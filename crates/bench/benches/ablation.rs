@@ -1,0 +1,100 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! row-wise vs joint checking, the functional-support prefilter, the
+//! largest-first enumeration heuristic and the glitch-extended probe model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use walshcheck_circuit::glitch::ProbeModel;
+use walshcheck_core::engine::{check_netlist, VerifyOptions};
+use walshcheck_core::property::{CheckMode, Property};
+use walshcheck_gadgets::suite::Benchmark;
+
+fn bench_check_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mode");
+    group.sample_size(10);
+    let netlist = Benchmark::Dom(2).netlist();
+    for mode in [CheckMode::RowWise, CheckMode::Joint] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("{mode:?}"), "dom-2"),
+            &netlist,
+            |b, n| {
+                b.iter(|| {
+                    let opts = VerifyOptions { mode, ..VerifyOptions::default() };
+                    check_netlist(n, Property::Sni(2), &opts).expect("valid").secure
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_prefilter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefilter");
+    group.sample_size(10);
+    let netlist = Benchmark::Dom(2).netlist();
+    for prefilter in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new(if prefilter { "on" } else { "off" }, "dom-2"),
+            &netlist,
+            |b, n| {
+                b.iter(|| {
+                    let opts = VerifyOptions { prefilter, ..VerifyOptions::default() };
+                    check_netlist(n, Property::Sni(2), &opts).expect("valid").secure
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ordering_on_insecure_gadget(c: &mut Criterion) {
+    // The paper's largest-first heuristic pays off when a violation exists:
+    // compare both orders on a gadget that fails (x·R(x) composition).
+    let mut group = c.benchmark_group("ordering");
+    group.sample_size(10);
+    let netlist = walshcheck_gadgets::composition::composition_fig1();
+    for largest_first in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new(
+                if largest_first { "largest-first" } else { "smallest-first" },
+                "fig1",
+            ),
+            &netlist,
+            |b, n| {
+                b.iter(|| {
+                    let opts = VerifyOptions { largest_first, ..VerifyOptions::default() };
+                    let v = check_netlist(n, Property::Ni(2), &opts).expect("valid");
+                    assert!(!v.secure);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_probe_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe-model");
+    group.sample_size(10);
+    let netlist = Benchmark::Dom(1).netlist();
+    for model in [ProbeModel::Standard, ProbeModel::Glitch] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("{model:?}"), "dom-1"),
+            &netlist,
+            |b, n| {
+                b.iter(|| {
+                    let opts = VerifyOptions::default().with_probe_model(model);
+                    check_netlist(n, Property::Sni(1), &opts).expect("valid").secure
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_check_modes,
+    bench_prefilter,
+    bench_ordering_on_insecure_gadget,
+    bench_probe_models
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the four verification engines on the paper's
+//! gadget suite (Tables I/II, Figures 6/7 — statistically sampled variant).
+//!
+//! Only the fast benchmark subset is sampled here; the heavy gadgets
+//! (dom-3/4, keccak-2/3) are measured once per run by the `report` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use walshcheck_bench::{paper_property, run_engine};
+use walshcheck_core::engine::{check_netlist, EngineKind, VerifyOptions};
+use walshcheck_gadgets::suite::Benchmark;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sni-verification");
+    group.sample_size(10);
+    for bench in Benchmark::fast() {
+        let netlist = bench.netlist();
+        let property = paper_property(bench);
+        for engine in [EngineKind::Lil, EngineKind::Map, EngineKind::Mapi, EngineKind::Fujita] {
+            group.bench_with_input(
+                BenchmarkId::new(engine.to_string(), bench.name()),
+                &netlist,
+                |b, netlist| {
+                    b.iter(|| {
+                        // ti-1 is (correctly) not SNI; the bench measures
+                        // the full verification either way.
+                        let v = check_netlist(netlist, property, &VerifyOptions::paper(engine))
+                            .expect("valid benchmark");
+                        v.stats.combinations
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_one_shot_consistency(c: &mut Criterion) {
+    // Smoke-level: the harness helper used by the report binary.
+    c.bench_function("harness/run_engine dom-1 MAPI", |b| {
+        b.iter(|| {
+            let r = run_engine(Benchmark::Dom(1), EngineKind::Mapi);
+            assert!(r.secure);
+            r.combinations
+        })
+    });
+}
+
+criterion_group!(benches, bench_engines, bench_one_shot_consistency);
+criterion_main!(benches);

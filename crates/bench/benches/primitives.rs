@@ -1,0 +1,100 @@
+//! Micro-benchmarks of the decision-diagram and spectral primitives: the
+//! Fujita ADD Walsh transform vs the sparse map transform, convolution
+//! containers (hash map vs sorted list), and circuit unfolding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use walshcheck_circuit::unfold::unfold;
+use walshcheck_core::spectrum::{LilSpectrum, MapSpectrum, Spectrum};
+use walshcheck_dd::add::AddManager;
+use walshcheck_dd::spectral::{sign_add, walsh_sparse, wht, SparseWalshCache};
+use walshcheck_gadgets::suite::Benchmark;
+
+fn bench_walsh_transforms(c: &mut Criterion) {
+    let netlist = Benchmark::Dom(2).netlist();
+    let unfolded = unfold(&netlist).expect("acyclic");
+    let outputs: Vec<_> = netlist
+        .outputs
+        .iter()
+        .map(|&(w, _)| unfolded.wire_fn(w))
+        .collect();
+
+    let mut group = c.benchmark_group("walsh-transform");
+    group.bench_function("sparse(dom-2 outputs)", |b| {
+        b.iter(|| {
+            let mut cache = SparseWalshCache::new();
+            outputs
+                .iter()
+                .map(|&f| walsh_sparse(&unfolded.bdds, f, &mut cache).len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("fujita-add(dom-2 outputs)", |b| {
+        b.iter(|| {
+            let mut adds = AddManager::new(unfolded.bdds.num_vars());
+            outputs
+                .iter()
+                .map(|&f| {
+                    let s = sign_add(&unfolded.bdds, &mut adds, f);
+                    let w = wht(&mut adds, s);
+                    adds.node_count(w)
+                })
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_convolution_containers(c: &mut Criterion) {
+    let netlist = Benchmark::Dom(3).netlist();
+    let unfolded = unfold(&netlist).expect("acyclic");
+    let mut cache = SparseWalshCache::new();
+    let spectra: Vec<_> = netlist
+        .outputs
+        .iter()
+        .map(|&(w, _)| walsh_sparse(&unfolded.bdds, unfolded.wire_fn(w), &mut cache))
+        .collect();
+    let maps: Vec<MapSpectrum> = spectra.iter().map(|s| MapSpectrum::from_map(s)).collect();
+    let lils: Vec<LilSpectrum> = spectra.iter().map(|s| LilSpectrum::from_map(s)).collect();
+
+    let mut group = c.benchmark_group("convolution");
+    group.bench_with_input(BenchmarkId::new("map", "dom-3 outputs"), &maps, |b, maps| {
+        b.iter(|| {
+            let mut acc = MapSpectrum::one();
+            for m in maps {
+                acc = acc.convolve(m);
+            }
+            acc.len()
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("lil", "dom-3 outputs"), &lils, |b, lils| {
+        b.iter(|| {
+            let mut acc = LilSpectrum::one();
+            for l in lils {
+                acc = acc.convolve(l);
+            }
+            acc.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_unfolding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unfold");
+    for bench in [Benchmark::Dom(2), Benchmark::Keccak(1)] {
+        let netlist = bench.netlist();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name()),
+            &netlist,
+            |b, n| b.iter(|| unfold(n).expect("acyclic").bdds.arena_size()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_walsh_transforms,
+    bench_convolution_containers,
+    bench_unfolding
+);
+criterion_main!(benches);

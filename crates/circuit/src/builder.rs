@@ -1,0 +1,263 @@
+//! Fluent construction of annotated netlists.
+//!
+//! [`NetlistBuilder`] is the programmatic front-end used by the gadget
+//! generators: declare secrets, shares, randoms and outputs, then wire up
+//! gates. Wire and cell names are generated automatically unless given.
+//!
+//! ```
+//! use walshcheck_circuit::builder::NetlistBuilder;
+//!
+//! // q = (a0 ⊕ r) ⊕ a1 — a trivially refreshed pass-through.
+//! let mut b = NetlistBuilder::new("demo");
+//! let x = b.secret("x");
+//! let a0 = b.share(x, 0);
+//! let a1 = b.share(x, 1);
+//! let r = b.random("r");
+//! let t = b.xor(a0, r);
+//! let q = b.xor(t, a1);
+//! let o = b.output("q");
+//! b.output_share(q, o, 0);
+//! let netlist = b.build()?;
+//! assert_eq!(netlist.num_cells(), 2);
+//! # Ok::<(), walshcheck_circuit::netlist::NetlistError>(())
+//! ```
+
+use crate::netlist::{
+    Cell, Gate, InputRole, Netlist, NetlistError, OutputId, OutputRole, SecretId, Wire, WireId,
+};
+
+/// Incremental builder for [`Netlist`].
+#[derive(Debug, Default)]
+pub struct NetlistBuilder {
+    netlist: Netlist,
+    next_wire: u32,
+    next_cell: u32,
+}
+
+impl NetlistBuilder {
+    /// Starts a new netlist with the given module name.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            netlist: Netlist::new(name),
+            next_wire: 0,
+            next_cell: 0,
+        }
+    }
+
+    fn fresh_wire(&mut self, name: Option<String>) -> WireId {
+        let id = WireId(self.netlist.wires.len() as u32);
+        let name = name.unwrap_or_else(|| {
+            let n = format!("_w{}", self.next_wire);
+            self.next_wire += 1;
+            n
+        });
+        self.netlist.wires.push(Wire { name });
+        id
+    }
+
+    /// Declares a new secret and returns its identifier.
+    pub fn secret(&mut self, name: impl Into<String>) -> SecretId {
+        let id = SecretId(self.netlist.secret_names.len() as u32);
+        self.netlist.secret_names.push(name.into());
+        id
+    }
+
+    /// Declares a new shared output and returns its identifier.
+    pub fn output(&mut self, name: impl Into<String>) -> OutputId {
+        let id = OutputId(self.netlist.output_names.len() as u32);
+        self.netlist.output_names.push(name.into());
+        id
+    }
+
+    /// Declares share `index` of `secret` as a primary input and returns its
+    /// wire. The wire is named `<secret>[<index>]`.
+    pub fn share(&mut self, secret: SecretId, index: u32) -> WireId {
+        let base = self.netlist.secret_names[secret.0 as usize].clone();
+        let w = self.fresh_wire(Some(format!("{base}[{index}]")));
+        self.netlist.inputs.push((w, InputRole::Share { secret, index }));
+        w
+    }
+
+    /// Declares `count` shares of `secret` at once (indices `0..count`).
+    pub fn shares(&mut self, secret: SecretId, count: u32) -> Vec<WireId> {
+        (0..count).map(|i| self.share(secret, i)).collect()
+    }
+
+    /// Declares a named random input bit.
+    pub fn random(&mut self, name: impl Into<String>) -> WireId {
+        let w = self.fresh_wire(Some(name.into()));
+        self.netlist.inputs.push((w, InputRole::Random));
+        w
+    }
+
+    /// Declares `count` random bits named `<prefix>[i]`.
+    pub fn randoms(&mut self, prefix: &str, count: u32) -> Vec<WireId> {
+        (0..count).map(|i| self.random(format!("{prefix}[{i}]"))).collect()
+    }
+
+    /// Declares a named public input bit.
+    pub fn public_input(&mut self, name: impl Into<String>) -> WireId {
+        let w = self.fresh_wire(Some(name.into()));
+        self.netlist.inputs.push((w, InputRole::Public));
+        w
+    }
+
+    /// Marks `wire` as share `index` of shared output `output`.
+    pub fn output_share(&mut self, wire: WireId, output: OutputId, index: u32) {
+        self.netlist.outputs.push((wire, OutputRole::Share { output, index }));
+    }
+
+    /// Marks `wire` as an unshared public output.
+    pub fn public_output(&mut self, wire: WireId) {
+        self.netlist.outputs.push((wire, OutputRole::Public));
+    }
+
+    fn cell(&mut self, gate: Gate, inputs: Vec<WireId>, name: Option<String>) -> WireId {
+        let out = self.fresh_wire(None);
+        let name = name.unwrap_or_else(|| {
+            let n = format!("_c{}", self.next_cell);
+            self.next_cell += 1;
+            n
+        });
+        self.netlist.cells.push(Cell { name, gate, inputs, output: out });
+        out
+    }
+
+    /// Adds a gate with an explicit instance name; returns the output wire.
+    pub fn gate_named(&mut self, gate: Gate, inputs: &[WireId], name: impl Into<String>) -> WireId {
+        self.cell(gate, inputs.to_vec(), Some(name.into()))
+    }
+
+    /// `a ∧ b`.
+    pub fn and(&mut self, a: WireId, b: WireId) -> WireId {
+        self.cell(Gate::And, vec![a, b], None)
+    }
+
+    /// `¬(a ∧ b)`.
+    pub fn nand(&mut self, a: WireId, b: WireId) -> WireId {
+        self.cell(Gate::Nand, vec![a, b], None)
+    }
+
+    /// `a ∨ b`.
+    pub fn or(&mut self, a: WireId, b: WireId) -> WireId {
+        self.cell(Gate::Or, vec![a, b], None)
+    }
+
+    /// `¬(a ∨ b)`.
+    pub fn nor(&mut self, a: WireId, b: WireId) -> WireId {
+        self.cell(Gate::Nor, vec![a, b], None)
+    }
+
+    /// `a ⊕ b`.
+    pub fn xor(&mut self, a: WireId, b: WireId) -> WireId {
+        self.cell(Gate::Xor, vec![a, b], None)
+    }
+
+    /// `¬(a ⊕ b)`.
+    pub fn xnor(&mut self, a: WireId, b: WireId) -> WireId {
+        self.cell(Gate::Xnor, vec![a, b], None)
+    }
+
+    /// `¬a`.
+    pub fn not(&mut self, a: WireId) -> WireId {
+        self.cell(Gate::Not, vec![a], None)
+    }
+
+    /// Identity buffer.
+    pub fn buf(&mut self, a: WireId) -> WireId {
+        self.cell(Gate::Buf, vec![a], None)
+    }
+
+    /// Register (unit-delay identity; glitch boundary).
+    pub fn reg(&mut self, d: WireId) -> WireId {
+        self.cell(Gate::Dff, vec![d], None)
+    }
+
+    /// Multiplexer `s ? b : a`.
+    pub fn mux(&mut self, s: WireId, a: WireId, b: WireId) -> WireId {
+        self.cell(Gate::Mux, vec![s, a, b], None)
+    }
+
+    /// XOR-reduces a non-empty list of wires left to right.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wires` is empty.
+    pub fn xor_all(&mut self, wires: &[WireId]) -> WireId {
+        let (&first, rest) = wires.split_first().expect("xor_all of empty list");
+        rest.iter().fold(first, |acc, &w| self.xor(acc, w))
+    }
+
+    /// Finishes and validates the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetlistError`] if a structural invariant is violated.
+    pub fn build(self) -> Result<Netlist, NetlistError> {
+        self.netlist.validate()?;
+        Ok(self.netlist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_names_are_unique_and_stable() {
+        let mut b = NetlistBuilder::new("m");
+        let s = b.secret("x");
+        let a0 = b.share(s, 0);
+        let a1 = b.share(s, 1);
+        let y = b.and(a0, a1);
+        let o = b.output("q");
+        b.output_share(y, o, 0);
+        let n = b.build().expect("valid");
+        assert_eq!(n.wire_name(a0), "x[0]");
+        assert_eq!(n.wire_name(a1), "x[1]");
+        assert_eq!(n.name, "m");
+        assert_eq!(n.num_wires(), 3);
+    }
+
+    #[test]
+    fn xor_all_folds_left() {
+        let mut b = NetlistBuilder::new("m");
+        let p = b.public_input("p");
+        let q = b.public_input("q");
+        let r = b.public_input("r");
+        let x = b.xor_all(&[p, q, r]);
+        b.public_output(x);
+        let n = b.build().expect("valid");
+        assert_eq!(n.num_cells(), 2);
+    }
+
+    #[test]
+    fn all_gate_helpers_build() {
+        let mut b = NetlistBuilder::new("m");
+        let p = b.public_input("p");
+        let q = b.public_input("q");
+        let w1 = b.and(p, q);
+        let w2 = b.nand(p, q);
+        let w3 = b.or(w1, w2);
+        let w4 = b.nor(p, w3);
+        let w5 = b.xnor(w4, q);
+        let w6 = b.not(w5);
+        let w7 = b.buf(w6);
+        let w8 = b.reg(w7);
+        let w9 = b.mux(p, w8, q);
+        b.public_output(w9);
+        let n = b.build().expect("valid");
+        assert_eq!(n.num_cells(), 9);
+    }
+
+    #[test]
+    fn named_gates_keep_their_names() {
+        let mut b = NetlistBuilder::new("m");
+        let p = b.public_input("p");
+        let q = b.public_input("q");
+        let w = b.gate_named(Gate::And, &[p, q], "the_and");
+        b.public_output(w);
+        let n = b.build().expect("valid");
+        assert!(n.cells.iter().any(|c| c.name == "the_and"));
+    }
+}

@@ -1,0 +1,388 @@
+//! Structural composition of masked netlists.
+//!
+//! [`chain`] wires the shared outputs of an inner gadget `f` into the share
+//! inputs of an outer gadget `g` — the `g ∘ f` construction whose security
+//! the composition theorems (and the paper's Fig. 1 counterexample) are
+//! about. The composite exposes:
+//!
+//! * the unbound secrets of both gadgets as secrets (renamed with a
+//!   `f.`/`g.` prefix on collision),
+//! * the concatenated randomness of both gadgets,
+//! * `g`'s shared outputs (plus any unbound outputs of `f`).
+//!
+//! The consumed `f` outputs stay in the netlist as ordinary internal wires —
+//! and therefore as probe sites, which is exactly what makes naive
+//! composition dangerous.
+
+use std::collections::HashMap;
+
+use crate::netlist::{
+    Cell, InputRole, Netlist, NetlistError, OutputId, OutputRole, SecretId, Wire, WireId,
+};
+
+/// A binding: shared output `output` of the inner gadget feeds secret
+/// `secret` of the outer gadget (share index `i` to share index `i`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Binding {
+    /// Output of the inner gadget.
+    pub inner_output: OutputId,
+    /// Secret (share input group) of the outer gadget it drives.
+    pub outer_secret: SecretId,
+}
+
+/// Error raised by [`chain`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComposeError {
+    /// The share counts of a bound output/secret pair differ.
+    ShareCountMismatch {
+        /// The offending binding.
+        binding: Binding,
+        /// Shares produced by the inner output.
+        produced: usize,
+        /// Shares expected by the outer secret.
+        expected: usize,
+    },
+    /// A binding refers to a non-existent output or secret.
+    UnknownBinding(Binding),
+    /// The same outer secret is bound twice.
+    DuplicateBinding(SecretId),
+    /// The composed netlist failed validation (a bug in the inputs).
+    Invalid(NetlistError),
+}
+
+impl std::fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ComposeError::ShareCountMismatch { binding, produced, expected } => write!(
+                f,
+                "binding {binding:?}: inner output has {produced} shares, outer secret expects {expected}"
+            ),
+            ComposeError::UnknownBinding(b) => write!(f, "binding {b:?} names unknown ports"),
+            ComposeError::DuplicateBinding(s) => {
+                write!(f, "outer secret {s} bound more than once")
+            }
+            ComposeError::Invalid(e) => write!(f, "composed netlist invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ComposeError {}
+
+/// Composes `g ∘ f`: each [`Binding`] replaces the bound outer shares with
+/// the inner gadget's output wires. See the module docs for the port rules.
+///
+/// # Errors
+///
+/// Returns a [`ComposeError`] if a binding is inconsistent.
+pub fn chain(f: &Netlist, g: &Netlist, bindings: &[Binding]) -> Result<Netlist, ComposeError> {
+    // Validate bindings.
+    let mut bound_secrets: HashMap<SecretId, OutputId> = HashMap::new();
+    for b in bindings {
+        if b.inner_output.0 as usize >= f.output_names.len()
+            || b.outer_secret.0 as usize >= g.secret_names.len()
+        {
+            return Err(ComposeError::UnknownBinding(*b));
+        }
+        let produced = f.output_shares_of(b.inner_output).len();
+        let expected = g.shares_of(b.outer_secret).len();
+        if produced != expected {
+            return Err(ComposeError::ShareCountMismatch { binding: *b, produced, expected });
+        }
+        if bound_secrets.insert(b.outer_secret, b.inner_output).is_some() {
+            return Err(ComposeError::DuplicateBinding(b.outer_secret));
+        }
+    }
+
+    let mut out = Netlist::new(format!("{}∘{}", g.name, f.name));
+    let name_of = |base: &str, taken: &mut HashMap<String, u32>| -> String {
+        match taken.get_mut(base) {
+            None => {
+                taken.insert(base.to_string(), 0);
+                base.to_string()
+            }
+            Some(n) => {
+                *n += 1;
+                format!("{base}.{n}")
+            }
+        }
+    };
+    let mut taken: HashMap<String, u32> = HashMap::new();
+
+    // --- copy f wholesale ---
+    let mut f_wire: Vec<WireId> = Vec::with_capacity(f.wires.len());
+    for w in &f.wires {
+        let id = WireId(out.wires.len() as u32);
+        let name = name_of(&w.name, &mut taken);
+        out.wires.push(Wire { name });
+        f_wire.push(id);
+    }
+    let mut f_secret: Vec<SecretId> = Vec::new();
+    for name in &f.secret_names {
+        let id = SecretId(out.secret_names.len() as u32);
+        out.secret_names.push(name_of(name, &mut taken));
+        f_secret.push(id);
+    }
+    for &(w, role) in &f.inputs {
+        let role = match role {
+            InputRole::Share { secret, index } => {
+                InputRole::Share { secret: f_secret[secret.0 as usize], index }
+            }
+            other => other,
+        };
+        out.inputs.push((f_wire[w.0 as usize], role));
+    }
+    for c in &f.cells {
+        out.cells.push(Cell {
+            name: name_of(&c.name, &mut taken),
+            gate: c.gate,
+            inputs: c.inputs.iter().map(|&w| f_wire[w.0 as usize]).collect(),
+            output: f_wire[c.output.0 as usize],
+        });
+    }
+
+    // --- copy g, substituting bound shares ---
+    // Map from (outer secret, share index) to the inner wire feeding it.
+    let mut substituted: HashMap<WireId, WireId> = HashMap::new();
+    for (&secret, &output) in &bound_secrets {
+        let produced = f.output_shares_of(output);
+        let expected = g.shares_of(secret);
+        for (src, dst) in produced.iter().zip(&expected) {
+            substituted.insert(*dst, f_wire[src.0 as usize]);
+        }
+    }
+    let mut g_wire: Vec<Option<WireId>> = vec![None; g.wires.len()];
+    for (gw, slot) in g_wire.iter_mut().enumerate() {
+        let gwid = WireId(gw as u32);
+        if let Some(&inner) = substituted.get(&gwid) {
+            *slot = Some(inner);
+        } else {
+            let id = WireId(out.wires.len() as u32);
+            let name = name_of(&g.wires[gw].name, &mut taken);
+            out.wires.push(Wire { name });
+            *slot = Some(id);
+        }
+    }
+    let g_wire: Vec<WireId> = g_wire.into_iter().map(|w| w.expect("filled")).collect();
+    let mut g_secret: HashMap<SecretId, SecretId> = HashMap::new();
+    for (i, name) in g.secret_names.iter().enumerate() {
+        let sid = SecretId(i as u32);
+        if bound_secrets.contains_key(&sid) {
+            continue;
+        }
+        let id = SecretId(out.secret_names.len() as u32);
+        out.secret_names.push(name_of(name, &mut taken));
+        g_secret.insert(sid, id);
+    }
+    for &(w, role) in &g.inputs {
+        match role {
+            InputRole::Share { secret, index } => {
+                if bound_secrets.contains_key(&secret) {
+                    continue; // replaced by the inner gadget's output wire
+                }
+                out.inputs.push((
+                    g_wire[w.0 as usize],
+                    InputRole::Share { secret: g_secret[&secret], index },
+                ));
+            }
+            other => out.inputs.push((g_wire[w.0 as usize], other)),
+        }
+    }
+    for c in &g.cells {
+        out.cells.push(Cell {
+            name: name_of(&c.name, &mut taken),
+            gate: c.gate,
+            inputs: c.inputs.iter().map(|&w| g_wire[w.0 as usize]).collect(),
+            output: g_wire[c.output.0 as usize],
+        });
+    }
+
+    // --- outputs: g's outputs, then f's unbound outputs ---
+    let mut g_output: Vec<OutputId> = Vec::new();
+    for name in &g.output_names {
+        let id = OutputId(out.output_names.len() as u32);
+        out.output_names.push(name_of(name, &mut taken));
+        g_output.push(id);
+    }
+    for &(w, role) in &g.outputs {
+        let role = match role {
+            OutputRole::Share { output, index } => {
+                OutputRole::Share { output: g_output[output.0 as usize], index }
+            }
+            OutputRole::Public => OutputRole::Public,
+        };
+        out.outputs.push((g_wire[w.0 as usize], role));
+    }
+    let bound_outputs: Vec<OutputId> = bound_secrets.values().copied().collect();
+    let mut f_output: HashMap<OutputId, OutputId> = HashMap::new();
+    for (i, name) in f.output_names.iter().enumerate() {
+        let oid = OutputId(i as u32);
+        if bound_outputs.contains(&oid) {
+            continue;
+        }
+        let id = OutputId(out.output_names.len() as u32);
+        out.output_names.push(name_of(name, &mut taken));
+        f_output.insert(oid, id);
+    }
+    for &(w, role) in &f.outputs {
+        if let OutputRole::Share { output, index } = role {
+            if let Some(&mapped) = f_output.get(&output) {
+                out.outputs
+                    .push((f_wire[w.0 as usize], OutputRole::Share { output: mapped, index }));
+            }
+        }
+    }
+
+    out.validate().map_err(ComposeError::Invalid)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::sim::Simulator;
+
+    /// A 2-share refresh gadget.
+    fn refresh2() -> Netlist {
+        let mut b = NetlistBuilder::new("refresh");
+        let s = b.secret("x");
+        let a = b.shares(s, 2);
+        let r = b.random("r");
+        let q0 = b.xor(a[0], r);
+        let q1 = b.xor(a[1], r);
+        let o = b.output("y");
+        b.output_share(q0, o, 0);
+        b.output_share(q1, o, 1);
+        b.build().expect("valid")
+    }
+
+    /// A 2-share XOR gadget with two secrets.
+    fn xor2() -> Netlist {
+        let mut b = NetlistBuilder::new("xor");
+        let su = b.secret("u");
+        let sv = b.secret("v");
+        let u = b.shares(su, 2);
+        let v = b.shares(sv, 2);
+        let q0 = b.xor(u[0], v[0]);
+        let q1 = b.xor(u[1], v[1]);
+        let o = b.output("w");
+        b.output_share(q0, o, 0);
+        b.output_share(q1, o, 1);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn chain_binds_output_to_secret() {
+        let f = refresh2();
+        let g = xor2();
+        let h = chain(
+            &f,
+            &g,
+            &[Binding { inner_output: OutputId(0), outer_secret: SecretId(0) }],
+        )
+        .expect("composes");
+        // Composite: secrets = f's x + g's unbound v; randoms = f's r.
+        assert_eq!(h.num_secrets(), 2);
+        assert_eq!(h.randoms().len(), 1);
+        assert_eq!(h.output_names.len(), 1); // g's output only (f's is bound)
+        h.validate().expect("valid");
+        // Semantics: w = refresh(x) ⊕ v = x ⊕ v.
+        let sim = Simulator::new(&h).expect("acyclic");
+        let shares = h.output_shares_of(OutputId(0));
+        for a in 0..1u128 << h.inputs.len() {
+            let values = sim.eval_all(a);
+            let w = values[shares[0].0 as usize] ^ values[shares[1].0 as usize];
+            // Reconstruct x and v from the assignment.
+            let mut x = false;
+            let mut v = false;
+            for (pos, &(_, role)) in h.inputs.iter().enumerate() {
+                if let InputRole::Share { secret, .. } = role {
+                    if a >> pos & 1 == 1 {
+                        if secret == SecretId(0) {
+                            x ^= true;
+                        } else {
+                            v ^= true;
+                        }
+                    }
+                }
+            }
+            assert_eq!(w, x ^ v, "assignment {a:b}");
+        }
+    }
+
+    #[test]
+    fn chain_rejects_mismatched_share_counts() {
+        let mut b = NetlistBuilder::new("wide");
+        let s = b.secret("x");
+        let a = b.shares(s, 3);
+        let q = b.xor_all(&a);
+        let o = b.output("y");
+        b.output_share(q, o, 0);
+        let f = b.build().expect("valid");
+        let g = xor2();
+        let e = chain(
+            &f,
+            &g,
+            &[Binding { inner_output: OutputId(0), outer_secret: SecretId(0) }],
+        )
+        .unwrap_err();
+        assert!(matches!(e, ComposeError::ShareCountMismatch { .. }));
+    }
+
+    #[test]
+    fn chain_rejects_unknown_and_duplicate_bindings() {
+        let f = refresh2();
+        let g = xor2();
+        let bad = Binding { inner_output: OutputId(7), outer_secret: SecretId(0) };
+        assert!(matches!(chain(&f, &g, &[bad]), Err(ComposeError::UnknownBinding(_))));
+        let b0 = Binding { inner_output: OutputId(0), outer_secret: SecretId(0) };
+        assert!(matches!(
+            chain(&f, &g, &[b0, b0]),
+            Err(ComposeError::DuplicateBinding(_))
+        ));
+    }
+
+    #[test]
+    fn unbound_inner_outputs_survive() {
+        // f with two outputs, only one bound: the other stays observable.
+        let mut b = NetlistBuilder::new("two");
+        let s = b.secret("x");
+        let a = b.shares(s, 2);
+        let r = b.random("r");
+        let q0 = b.xor(a[0], r);
+        let q1 = b.xor(a[1], r);
+        let o1 = b.output("y1");
+        b.output_share(q0, o1, 0);
+        b.output_share(q1, o1, 1);
+        let e0 = b.buf(a[0]);
+        let e1 = b.buf(a[1]);
+        let o2 = b.output("y2");
+        b.output_share(e0, o2, 0);
+        b.output_share(e1, o2, 1);
+        let f = b.build().expect("valid");
+        let g = xor2();
+        let h = chain(
+            &f,
+            &g,
+            &[Binding { inner_output: OutputId(0), outer_secret: SecretId(1) }],
+        )
+        .expect("composes");
+        assert_eq!(h.output_names.len(), 2); // g's w + f's unbound y2
+    }
+
+    #[test]
+    fn name_collisions_are_resolved() {
+        // Compose a gadget with itself: every name collides once.
+        let f = refresh2();
+        let g = refresh2();
+        let h = chain(
+            &f,
+            &g,
+            &[Binding { inner_output: OutputId(0), outer_secret: SecretId(0) }],
+        )
+        .expect("composes");
+        h.validate().expect("names stay unique");
+        assert_eq!(h.num_secrets(), 1);
+        assert_eq!(h.randoms().len(), 2);
+    }
+}

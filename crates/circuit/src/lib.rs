@@ -1,0 +1,52 @@
+//! # walshcheck-circuit — annotated gate-level netlists
+//!
+//! The circuit substrate of the probing-security verifier:
+//!
+//! * [`netlist`] — a flat bit-level netlist with maskVerif-style masking
+//!   annotations (shares, randoms, publics, shared outputs);
+//! * [`builder`] — fluent programmatic construction (used by the gadget
+//!   generators);
+//! * [`ilang`] — reader/writer for the Yosys ILANG subset with `##`
+//!   annotations consumed by the paper's tool;
+//! * [`compose`] — structural `g ∘ f` composition of gadget netlists;
+//! * [`topo`], [`sim`], [`stats`] — topological ordering, a concrete bit
+//!   simulator (the ground-truth oracle) and summary metrics;
+//! * [`unfold::unfold`] — symbolic unfolding of every wire into a BDD (step 1 of the
+//!   paper's methodology);
+//! * [`glitch`] — glitch-extended observation sets for the robust probing
+//!   model.
+//!
+//! ```
+//! use walshcheck_circuit::builder::NetlistBuilder;
+//! use walshcheck_circuit::unfold::unfold;
+//!
+//! let mut b = NetlistBuilder::new("tiny");
+//! let x = b.secret("x");
+//! let a0 = b.share(x, 0);
+//! let a1 = b.share(x, 1);
+//! let t = b.xor(a0, a1);
+//! let o = b.output("q");
+//! b.output_share(t, o, 0);
+//! let n = b.build()?;
+//! let unf = unfold(&n)?;
+//! assert_eq!(unf.bdds.support(unf.wire_fn(t)).len(), 2);
+//! # Ok::<(), walshcheck_circuit::netlist::NetlistError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod compose;
+pub mod glitch;
+pub mod ilang;
+pub mod netlist;
+pub mod sim;
+pub mod stats;
+pub mod topo;
+pub mod unfold;
+
+pub use builder::NetlistBuilder;
+pub use glitch::ProbeModel;
+pub use netlist::{Gate, InputRole, Netlist, OutputId, OutputRole, SecretId, WireId};
+pub use unfold::{unfold, Unfolded};

@@ -1,0 +1,523 @@
+//! Gate-level netlist model with masking annotations.
+//!
+//! A [`Netlist`] is a flat, bit-level combinational netlist (registers are
+//! modelled as unit-delay buffers for functional analysis and as cone
+//! boundaries for the glitch-extended probing model). Ports carry the
+//! maskVerif-style annotations of the paper: *share* inputs belong to a
+//! secret and carry a share index, *random* inputs are fresh uniform bits,
+//! *public* inputs are attacker-known, and outputs are grouped into shared
+//! output values.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a wire in a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WireId(pub u32);
+
+/// Index of a cell in a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId(pub u32);
+
+/// Identifier of a sensitive (secret) input value; its shares XOR to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SecretId(pub u32);
+
+/// Identifier of a shared output value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OutputId(pub u32);
+
+impl fmt::Display for WireId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl fmt::Display for SecretId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for OutputId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// Role of a primary input bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputRole {
+    /// Attacker-known value (e.g. clock, reset, plaintext).
+    Public,
+    /// Share `index` of secret `secret`.
+    Share {
+        /// The secret this bit is a share of.
+        secret: SecretId,
+        /// Share index within the secret's sharing.
+        index: u32,
+    },
+    /// Fresh uniformly random bit.
+    Random,
+}
+
+/// Role of a primary output bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutputRole {
+    /// Share `index` of shared output `output`.
+    Share {
+        /// The shared output value this bit belongs to.
+        output: OutputId,
+        /// Share index within the output sharing.
+        index: u32,
+    },
+    /// Unshared, attacker-visible output.
+    Public,
+}
+
+/// Primitive gate functions.
+///
+/// `Dff` is a register: functionally an identity, but a probe-cone boundary
+/// in the glitch-extended model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gate {
+    /// Identity buffer.
+    Buf,
+    /// Inverter.
+    Not,
+    /// 2-input AND.
+    And,
+    /// 2-input NAND.
+    Nand,
+    /// 2-input OR.
+    Or,
+    /// 2-input NOR.
+    Nor,
+    /// 2-input XOR.
+    Xor,
+    /// 2-input XNOR.
+    Xnor,
+    /// Multiplexer: inputs `[s, a, b]`, output `s ? b : a`.
+    Mux,
+    /// D flip-flop (identity function, glitch boundary). Input `[d]`.
+    Dff,
+}
+
+impl Gate {
+    /// Number of data inputs the gate expects.
+    pub fn arity(self) -> usize {
+        match self {
+            Gate::Buf | Gate::Not | Gate::Dff => 1,
+            Gate::Mux => 3,
+            _ => 2,
+        }
+    }
+
+    /// The Yosys-style type name (e.g. `$and`).
+    pub fn type_name(self) -> &'static str {
+        match self {
+            Gate::Buf => "$buf",
+            Gate::Not => "$not",
+            Gate::And => "$and",
+            Gate::Nand => "$nand",
+            Gate::Or => "$or",
+            Gate::Nor => "$nor",
+            Gate::Xor => "$xor",
+            Gate::Xnor => "$xnor",
+            Gate::Mux => "$mux",
+            Gate::Dff => "$dff",
+        }
+    }
+
+    /// Parses a Yosys-style type name.
+    pub fn from_type_name(s: &str) -> Option<Gate> {
+        Some(match s {
+            "$buf" => Gate::Buf,
+            "$not" => Gate::Not,
+            "$and" => Gate::And,
+            "$nand" => Gate::Nand,
+            "$or" => Gate::Or,
+            "$nor" => Gate::Nor,
+            "$xor" => Gate::Xor,
+            "$xnor" => Gate::Xnor,
+            "$mux" => Gate::Mux,
+            "$dff" | "$_DFF_P_" => Gate::Dff,
+            _ => return None,
+        })
+    }
+
+    /// Evaluates the gate on concrete input bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()`.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert_eq!(inputs.len(), self.arity(), "gate arity mismatch");
+        match self {
+            Gate::Buf | Gate::Dff => inputs[0],
+            Gate::Not => !inputs[0],
+            Gate::And => inputs[0] && inputs[1],
+            Gate::Nand => !(inputs[0] && inputs[1]),
+            Gate::Or => inputs[0] || inputs[1],
+            Gate::Nor => !(inputs[0] || inputs[1]),
+            Gate::Xor => inputs[0] ^ inputs[1],
+            Gate::Xnor => !(inputs[0] ^ inputs[1]),
+            Gate::Mux => {
+                if inputs[0] {
+                    inputs[2]
+                } else {
+                    inputs[1]
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.type_name())
+    }
+}
+
+/// A named single-bit wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Wire {
+    /// Unique wire name.
+    pub name: String,
+}
+
+/// A gate instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Instance name (unique).
+    pub name: String,
+    /// Gate function.
+    pub gate: Gate,
+    /// Data inputs, in port order.
+    pub inputs: Vec<WireId>,
+    /// Output wire driven by this cell.
+    pub output: WireId,
+}
+
+/// Error raised by [`Netlist::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A wire is driven both as a primary input and by a cell, or by two
+    /// cells.
+    MultipleDrivers(String),
+    /// A non-input wire has no driver.
+    Undriven(String),
+    /// A cell has the wrong number of inputs.
+    ArityMismatch {
+        /// Cell instance name.
+        cell: String,
+        /// Expected input count.
+        expected: usize,
+        /// Found input count.
+        found: usize,
+    },
+    /// The combinational logic contains a cycle through the named wire.
+    CombinationalCycle(String),
+    /// Duplicate wire name.
+    DuplicateWire(String),
+    /// An annotation refers to share/output indices inconsistently (e.g.
+    /// missing share index, duplicate `(secret, index)` pair).
+    BadSharing(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::MultipleDrivers(w) => write!(f, "wire {w} has multiple drivers"),
+            NetlistError::Undriven(w) => write!(f, "wire {w} has no driver"),
+            NetlistError::ArityMismatch { cell, expected, found } => {
+                write!(f, "cell {cell} expects {expected} inputs, found {found}")
+            }
+            NetlistError::CombinationalCycle(w) => {
+                write!(f, "combinational cycle through wire {w}")
+            }
+            NetlistError::DuplicateWire(w) => write!(f, "duplicate wire name {w}"),
+            NetlistError::BadSharing(msg) => write!(f, "inconsistent sharing: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// A flat, bit-level, annotated netlist.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Netlist {
+    /// Module name.
+    pub name: String,
+    /// All wires, indexed by [`WireId`].
+    pub wires: Vec<Wire>,
+    /// All cells, indexed by [`CellId`].
+    pub cells: Vec<Cell>,
+    /// Primary input bits with their masking role, in declaration order.
+    /// The declaration order fixes the BDD variable order.
+    pub inputs: Vec<(WireId, InputRole)>,
+    /// Primary output bits with their role.
+    pub outputs: Vec<(WireId, OutputRole)>,
+    /// Human-readable names of secrets, indexed by [`SecretId`].
+    pub secret_names: Vec<String>,
+    /// Human-readable names of shared outputs, indexed by [`OutputId`].
+    pub output_names: Vec<String>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist with the given module name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Netlist { name: name.into(), ..Default::default() }
+    }
+
+    /// Number of wires.
+    pub fn num_wires(&self) -> usize {
+        self.wires.len()
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of declared secrets.
+    pub fn num_secrets(&self) -> usize {
+        self.secret_names.len()
+    }
+
+    /// The wire name for `id`.
+    pub fn wire_name(&self, id: WireId) -> &str {
+        &self.wires[id.0 as usize].name
+    }
+
+    /// Looks a wire up by name.
+    pub fn find_wire(&self, name: &str) -> Option<WireId> {
+        self.wires
+            .iter()
+            .position(|w| w.name == name)
+            .map(|i| WireId(i as u32))
+    }
+
+    /// The cell driving `wire`, if any.
+    pub fn driver(&self, wire: WireId) -> Option<CellId> {
+        self.cells
+            .iter()
+            .position(|c| c.output == wire)
+            .map(|i| CellId(i as u32))
+    }
+
+    /// Shares of `secret`, sorted by share index.
+    pub fn shares_of(&self, secret: SecretId) -> Vec<WireId> {
+        let mut v: Vec<(u32, WireId)> = self
+            .inputs
+            .iter()
+            .filter_map(|&(w, role)| match role {
+                InputRole::Share { secret: s, index } if s == secret => Some((index, w)),
+                _ => None,
+            })
+            .collect();
+        v.sort();
+        v.into_iter().map(|(_, w)| w).collect()
+    }
+
+    /// Random input wires in declaration order.
+    pub fn randoms(&self) -> Vec<WireId> {
+        self.inputs
+            .iter()
+            .filter_map(|&(w, r)| (r == InputRole::Random).then_some(w))
+            .collect()
+    }
+
+    /// Output shares of `output`, sorted by share index.
+    pub fn output_shares_of(&self, output: OutputId) -> Vec<WireId> {
+        let mut v: Vec<(u32, WireId)> = self
+            .outputs
+            .iter()
+            .filter_map(|&(w, role)| match role {
+                OutputRole::Share { output: o, index } if o == output => Some((index, w)),
+                _ => None,
+            })
+            .collect();
+        v.sort();
+        v.into_iter().map(|(_, w)| w).collect()
+    }
+
+    /// Checks the structural invariants: unique wire names, single drivers,
+    /// no undriven logic, correct cell arities, consistent share indexing
+    /// and acyclic combinational logic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        let mut names = HashMap::new();
+        for w in &self.wires {
+            if names.insert(&w.name, ()).is_some() {
+                return Err(NetlistError::DuplicateWire(w.name.clone()));
+            }
+        }
+        let mut driven = vec![false; self.wires.len()];
+        for &(w, _) in &self.inputs {
+            if driven[w.0 as usize] {
+                return Err(NetlistError::MultipleDrivers(self.wire_name(w).into()));
+            }
+            driven[w.0 as usize] = true;
+        }
+        for c in &self.cells {
+            if c.inputs.len() != c.gate.arity() {
+                return Err(NetlistError::ArityMismatch {
+                    cell: c.name.clone(),
+                    expected: c.gate.arity(),
+                    found: c.inputs.len(),
+                });
+            }
+            if driven[c.output.0 as usize] {
+                return Err(NetlistError::MultipleDrivers(self.wire_name(c.output).into()));
+            }
+            driven[c.output.0 as usize] = true;
+        }
+        if let Some(idx) = driven.iter().position(|&d| !d) {
+            return Err(NetlistError::Undriven(self.wires[idx].name.clone()));
+        }
+        // Share-index consistency.
+        let mut seen_shares = HashMap::new();
+        for &(w, role) in &self.inputs {
+            if let InputRole::Share { secret, index } = role {
+                if secret.0 as usize >= self.secret_names.len() {
+                    return Err(NetlistError::BadSharing(format!(
+                        "share {} refers to undeclared secret {secret}",
+                        self.wire_name(w)
+                    )));
+                }
+                if seen_shares.insert((secret, index), w).is_some() {
+                    return Err(NetlistError::BadSharing(format!(
+                        "duplicate share index {index} for secret {secret}"
+                    )));
+                }
+            }
+        }
+        let mut seen_out = HashMap::new();
+        for &(w, role) in &self.outputs {
+            if let OutputRole::Share { output, index } = role {
+                if output.0 as usize >= self.output_names.len() {
+                    return Err(NetlistError::BadSharing(format!(
+                        "output share {} refers to undeclared output {output}",
+                        self.wire_name(w)
+                    )));
+                }
+                if seen_out.insert((output, index), w).is_some() {
+                    return Err(NetlistError::BadSharing(format!(
+                        "duplicate share index {index} for output {output}"
+                    )));
+                }
+            }
+        }
+        crate::topo::topo_order(self).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn gate_eval_truth_tables() {
+        assert!(Gate::And.eval(&[true, true]));
+        assert!(!Gate::And.eval(&[true, false]));
+        assert!(Gate::Nand.eval(&[true, false]));
+        assert!(Gate::Or.eval(&[false, true]));
+        assert!(!Gate::Nor.eval(&[false, true]));
+        assert!(Gate::Xor.eval(&[true, false]));
+        assert!(Gate::Xnor.eval(&[true, true]));
+        assert!(!Gate::Not.eval(&[true]));
+        assert!(Gate::Buf.eval(&[true]));
+        assert!(Gate::Dff.eval(&[true]));
+        // Mux: s=0 → a, s=1 → b.
+        assert!(Gate::Mux.eval(&[false, true, false]));
+        assert!(!Gate::Mux.eval(&[true, true, false]));
+    }
+
+    #[test]
+    fn gate_type_names_round_trip() {
+        for g in [
+            Gate::Buf,
+            Gate::Not,
+            Gate::And,
+            Gate::Nand,
+            Gate::Or,
+            Gate::Nor,
+            Gate::Xor,
+            Gate::Xnor,
+            Gate::Mux,
+            Gate::Dff,
+        ] {
+            assert_eq!(Gate::from_type_name(g.type_name()), Some(g));
+        }
+        assert_eq!(Gate::from_type_name("$adder"), None);
+    }
+
+    #[test]
+    fn share_and_random_queries() {
+        let mut b = NetlistBuilder::new("m");
+        let s = b.secret("x");
+        let a0 = b.share(s, 0);
+        let a1 = b.share(s, 1);
+        let r = b.random("r0");
+        let t = b.xor(a0, r);
+        let q = b.xor(t, a1);
+        let o = b.output("q");
+        b.output_share(q, o, 0);
+        let n = b.build().expect("valid");
+        assert_eq!(n.shares_of(s), vec![a0, a1]);
+        assert_eq!(n.randoms(), vec![r]);
+        assert_eq!(n.output_shares_of(o), vec![q]);
+        assert_eq!(n.num_secrets(), 1);
+        assert!(n.find_wire("r0").is_some());
+        assert!(n.find_wire("nope").is_none());
+    }
+
+    #[test]
+    fn validate_rejects_double_driver() {
+        let mut n = Netlist::new("bad");
+        n.wires.push(Wire { name: "a".into() });
+        n.wires.push(Wire { name: "b".into() });
+        n.inputs.push((WireId(0), InputRole::Public));
+        n.inputs.push((WireId(1), InputRole::Public));
+        n.cells.push(Cell {
+            name: "c0".into(),
+            gate: Gate::Buf,
+            inputs: vec![WireId(0)],
+            output: WireId(1),
+        });
+        assert!(matches!(n.validate(), Err(NetlistError::MultipleDrivers(_))));
+    }
+
+    #[test]
+    fn validate_rejects_undriven_and_duplicate_names() {
+        let mut n = Netlist::new("bad");
+        n.wires.push(Wire { name: "a".into() });
+        assert!(matches!(n.validate(), Err(NetlistError::Undriven(_))));
+        n.inputs.push((WireId(0), InputRole::Public));
+        n.wires.push(Wire { name: "a".into() });
+        n.inputs.push((WireId(1), InputRole::Public));
+        assert!(matches!(n.validate(), Err(NetlistError::DuplicateWire(_))));
+    }
+
+    #[test]
+    fn validate_rejects_bad_arity_and_cycles() {
+        let mut n = Netlist::new("bad");
+        n.wires.push(Wire { name: "a".into() });
+        n.wires.push(Wire { name: "b".into() });
+        n.inputs.push((WireId(0), InputRole::Public));
+        n.cells.push(Cell {
+            name: "c0".into(),
+            gate: Gate::And,
+            inputs: vec![WireId(0)],
+            output: WireId(1),
+        });
+        assert!(matches!(n.validate(), Err(NetlistError::ArityMismatch { .. })));
+        n.cells[0].inputs = vec![WireId(1), WireId(0)];
+        assert!(matches!(n.validate(), Err(NetlistError::CombinationalCycle(_))));
+    }
+}

@@ -1,0 +1,117 @@
+//! Netlist statistics: gate counts, logic depth, masking cost metrics.
+
+use crate::netlist::{Gate, Netlist, NetlistError};
+use crate::topo::topo_order;
+
+/// Summary metrics of a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetlistStats {
+    /// Total wires.
+    pub wires: usize,
+    /// Total cells.
+    pub cells: usize,
+    /// Non-linear gates (AND/NAND/OR/NOR/MUX) — the masking cost driver.
+    pub nonlinear_gates: usize,
+    /// XOR/XNOR gates.
+    pub linear_gates: usize,
+    /// Registers.
+    pub registers: usize,
+    /// Inverters and buffers.
+    pub unary_gates: usize,
+    /// Longest combinational path (in gates, registers count as one level).
+    pub depth: usize,
+    /// Fresh random bits consumed.
+    pub randoms: usize,
+    /// Number of secrets.
+    pub secrets: usize,
+    /// Shares of the widest secret.
+    pub max_shares: usize,
+}
+
+/// Computes [`NetlistStats`].
+///
+/// # Errors
+///
+/// Fails if the netlist is cyclic.
+pub fn stats(netlist: &Netlist) -> Result<NetlistStats, NetlistError> {
+    let order = topo_order(netlist)?;
+    let mut depth_of = vec![0usize; netlist.num_wires()];
+    let mut depth = 0;
+    let mut nonlinear = 0;
+    let mut linear = 0;
+    let mut registers = 0;
+    let mut unary = 0;
+    for c in order {
+        let cell = &netlist.cells[c.0 as usize];
+        match cell.gate {
+            Gate::And | Gate::Nand | Gate::Or | Gate::Nor | Gate::Mux => nonlinear += 1,
+            Gate::Xor | Gate::Xnor => linear += 1,
+            Gate::Dff => registers += 1,
+            Gate::Buf | Gate::Not => unary += 1,
+        }
+        let d = 1 + cell
+            .inputs
+            .iter()
+            .map(|&w| depth_of[w.0 as usize])
+            .max()
+            .unwrap_or(0);
+        depth_of[cell.output.0 as usize] = d;
+        depth = depth.max(d);
+    }
+    let max_shares = (0..netlist.num_secrets())
+        .map(|i| netlist.shares_of(crate::netlist::SecretId(i as u32)).len())
+        .max()
+        .unwrap_or(0);
+    Ok(NetlistStats {
+        wires: netlist.num_wires(),
+        cells: netlist.num_cells(),
+        nonlinear_gates: nonlinear,
+        linear_gates: linear,
+        registers,
+        unary_gates: unary,
+        depth,
+        randoms: netlist.randoms().len(),
+        secrets: netlist.num_secrets(),
+        max_shares,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn counts_and_depth() {
+        let mut b = NetlistBuilder::new("m");
+        let s = b.secret("x");
+        let a0 = b.share(s, 0);
+        let a1 = b.share(s, 1);
+        let r = b.random("r");
+        let t1 = b.and(a0, a1); // depth 1
+        let t2 = b.xor(t1, r); // depth 2
+        let t3 = b.reg(t2); // depth 3
+        let t4 = b.not(t3); // depth 4
+        let o = b.output("q");
+        b.output_share(t4, o, 0);
+        let n = b.build().expect("valid");
+        let st = stats(&n).expect("acyclic");
+        assert_eq!(st.nonlinear_gates, 1);
+        assert_eq!(st.linear_gates, 1);
+        assert_eq!(st.registers, 1);
+        assert_eq!(st.unary_gates, 1);
+        assert_eq!(st.depth, 4);
+        assert_eq!(st.randoms, 1);
+        assert_eq!(st.secrets, 1);
+        assert_eq!(st.max_shares, 2);
+    }
+
+    #[test]
+    fn empty_netlist() {
+        let n = Netlist::new("empty");
+        let st = stats(&n).expect("ok");
+        assert_eq!(st.depth, 0);
+        assert_eq!(st.cells, 0);
+        assert_eq!(st.max_shares, 0);
+    }
+}

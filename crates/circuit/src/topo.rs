@@ -1,0 +1,117 @@
+//! Topological ordering of netlist cells.
+
+use crate::netlist::{CellId, Netlist, NetlistError, WireId};
+
+/// Computes a topological order of the cells (every cell appears after the
+/// drivers of all of its inputs).
+///
+/// Registers are treated as combinational identities here; the gadget
+/// netlists analysed by the verifier are feed-forward pipelines, so a cycle
+/// (even through a register) is reported as an error.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if the cell graph is cyclic.
+pub fn topo_order(n: &Netlist) -> Result<Vec<CellId>, NetlistError> {
+    let num_wires = n.wires.len();
+    // driver_of[w] = cell driving wire w, if any.
+    let mut driver_of: Vec<Option<CellId>> = vec![None; num_wires];
+    for (i, c) in n.cells.iter().enumerate() {
+        driver_of[c.output.0 as usize] = Some(CellId(i as u32));
+    }
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut mark = vec![Mark::White; n.cells.len()];
+    let mut order = Vec::with_capacity(n.cells.len());
+
+    // Iterative DFS to avoid stack overflow on deep pipelines.
+    for start in 0..n.cells.len() {
+        if mark[start] != Mark::White {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        mark[start] = Mark::Grey;
+        while let Some(frame) = stack.last_mut() {
+            let cell = frame.0;
+            let inputs = &n.cells[cell].inputs;
+            if frame.1 < inputs.len() {
+                let wire: WireId = inputs[frame.1];
+                frame.1 += 1;
+                if let Some(dep) = driver_of[wire.0 as usize] {
+                    match mark[dep.0 as usize] {
+                        Mark::White => {
+                            mark[dep.0 as usize] = Mark::Grey;
+                            stack.push((dep.0 as usize, 0));
+                        }
+                        Mark::Grey => {
+                            return Err(NetlistError::CombinationalCycle(
+                                n.wire_name(n.cells[dep.0 as usize].output).to_string(),
+                            ));
+                        }
+                        Mark::Black => {}
+                    }
+                }
+            } else {
+                mark[cell] = Mark::Black;
+                order.push(CellId(cell as u32));
+                stack.pop();
+            }
+        }
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::netlist::{Cell, Gate, InputRole, Wire};
+
+    #[test]
+    fn order_respects_dependencies() {
+        let mut b = NetlistBuilder::new("m");
+        let p = b.public_input("p");
+        let q = b.public_input("q");
+        let t1 = b.and(p, q);
+        let t2 = b.xor(t1, p);
+        let t3 = b.or(t2, t1);
+        b.public_output(t3);
+        let n = b.build().expect("valid");
+        let order = topo_order(&n).expect("acyclic");
+        assert_eq!(order.len(), 3);
+        let pos = |c: CellId| order.iter().position(|&x| x == c).unwrap();
+        // Cell 0 (and) before cell 1 (xor) before cell 2 (or).
+        assert!(pos(CellId(0)) < pos(CellId(1)));
+        assert!(pos(CellId(1)) < pos(CellId(2)));
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let mut n = crate::netlist::Netlist::new("cyc");
+        n.wires.push(Wire { name: "a".into() });
+        n.wires.push(Wire { name: "b".into() });
+        n.inputs.push((crate::netlist::WireId(0), InputRole::Public));
+        // b = b ∧ a: self-dependency.
+        n.cells.push(Cell {
+            name: "c".into(),
+            gate: Gate::And,
+            inputs: vec![crate::netlist::WireId(1), crate::netlist::WireId(0)],
+            output: crate::netlist::WireId(1),
+        });
+        assert!(matches!(
+            topo_order(&n),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
+    }
+
+    #[test]
+    fn empty_netlist_is_fine() {
+        let n = crate::netlist::Netlist::new("empty");
+        assert_eq!(topo_order(&n).expect("ok").len(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Circuit "unfolding": symbolic evaluation of every wire into a BDD.
+//!
+//! This is step (1) of the paper's methodology: the annotated gate-level
+//! description is unfolded so that every possible intermediate probe has an
+//! explicit Boolean function over the primary inputs. The BDD manager's
+//! variable order is the input declaration order, shared between the circuit
+//! BDDs and the spectral coordinates of the Walsh analysis.
+
+use walshcheck_dd::bdd::{Bdd, BddManager};
+use walshcheck_dd::var::VarId;
+
+use crate::netlist::{Gate, Netlist, NetlistError, WireId};
+use crate::topo::topo_order;
+
+/// The result of unfolding a netlist: one BDD per wire.
+#[derive(Debug)]
+pub struct Unfolded {
+    /// The BDD manager holding every wire function. Variable `i` is the
+    /// `i`-th entry of the netlist's `inputs` list.
+    pub bdds: BddManager,
+    /// `wire_fns[w]` is the function computed by wire `w`.
+    pub wire_fns: Vec<Bdd>,
+}
+
+impl Unfolded {
+    /// The function of `wire`.
+    pub fn wire_fn(&self, wire: WireId) -> Bdd {
+        self.wire_fns[wire.0 as usize]
+    }
+
+    /// The BDD variable assigned to input wire position `pos` (index into
+    /// the netlist's `inputs` list).
+    pub fn input_var(pos: usize) -> VarId {
+        VarId(pos as u32)
+    }
+}
+
+/// Unfolds `netlist`, building the BDD of every wire.
+///
+/// # Errors
+///
+/// Fails if the netlist is cyclic.
+///
+/// # Panics
+///
+/// Panics if the netlist has more inputs than the BDD manager supports
+/// (128 variables).
+pub fn unfold(netlist: &Netlist) -> Result<Unfolded, NetlistError> {
+    let order = topo_order(netlist)?;
+    let mut bdds = BddManager::new(netlist.inputs.len() as u32);
+    let mut wire_fns = vec![Bdd::FALSE; netlist.wires.len()];
+    for (i, &(w, _)) in netlist.inputs.iter().enumerate() {
+        wire_fns[w.0 as usize] = bdds.var(VarId(i as u32));
+    }
+    for c in order {
+        let cell = &netlist.cells[c.0 as usize];
+        let f = |i: usize| wire_fns[cell.inputs[i].0 as usize];
+        let out = match cell.gate {
+            Gate::Buf | Gate::Dff => f(0),
+            Gate::Not => bdds.not(f(0)),
+            Gate::And => bdds.and(f(0), f(1)),
+            Gate::Nand => bdds.nand(f(0), f(1)),
+            Gate::Or => bdds.or(f(0), f(1)),
+            Gate::Nor => bdds.nor(f(0), f(1)),
+            Gate::Xor => bdds.xor(f(0), f(1)),
+            Gate::Xnor => bdds.xnor(f(0), f(1)),
+            Gate::Mux => bdds.ite(f(0), f(2), f(1)),
+        };
+        wire_fns[cell.output.0 as usize] = out;
+    }
+    Ok(Unfolded { bdds, wire_fns })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::sim::Simulator;
+
+    #[test]
+    fn unfolding_agrees_with_simulation() {
+        let mut b = NetlistBuilder::new("m");
+        let s = b.secret("x");
+        let a0 = b.share(s, 0);
+        let a1 = b.share(s, 1);
+        let r = b.random("r");
+        let t1 = b.and(a0, a1);
+        let t2 = b.xor(t1, r);
+        let t3 = b.mux(a0, t2, r);
+        let t4 = b.nor(t3, t1);
+        b.public_output(t4);
+        let n = b.build().expect("valid");
+        let unf = unfold(&n).expect("acyclic");
+        let sim = Simulator::new(&n).expect("acyclic");
+        for a in 0..8u128 {
+            let values = sim.eval_all(a);
+            #[allow(clippy::needless_range_loop)] // w is also the wire id
+            for w in 0..n.num_wires() {
+                let wire = crate::netlist::WireId(w as u32);
+                assert_eq!(
+                    unf.bdds.eval(unf.wire_fn(wire), a),
+                    values[w],
+                    "wire {} at {a:b}",
+                    n.wire_name(wire)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn input_wires_are_variables() {
+        let mut b = NetlistBuilder::new("m");
+        let p = b.public_input("p");
+        let q = b.public_input("q");
+        let t = b.xor(p, q);
+        b.public_output(t);
+        let n = b.build().expect("valid");
+        let unf = unfold(&n).expect("acyclic");
+        assert_eq!(unf.bdds.num_vars(), 2);
+        assert!(unf.bdds.root_var(unf.wire_fn(p)).is_some());
+        let sup = unf.bdds.support(unf.wire_fn(t));
+        assert_eq!(sup.len(), 2);
+    }
+}

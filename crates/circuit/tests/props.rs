@@ -1,0 +1,280 @@
+//! Property-based tests for the circuit substrate: random netlists must
+//! unfold to BDDs that agree with the concrete simulator, survive the ILANG
+//! round trip semantically, and keep glitch observation sets consistent.
+
+use proptest::prelude::*;
+
+use walshcheck_circuit::builder::NetlistBuilder;
+use walshcheck_circuit::glitch::{observation_sets, ProbeModel};
+use walshcheck_circuit::ilang::{parse_ilang, write_ilang};
+use walshcheck_circuit::netlist::{Netlist, WireId};
+use walshcheck_circuit::sim::Simulator;
+use walshcheck_circuit::unfold::unfold;
+
+/// A recipe for one random gate: (kind, input picks).
+#[derive(Debug, Clone)]
+struct GateRecipe {
+    kind: u8,
+    a: usize,
+    b: usize,
+    c: usize,
+}
+
+fn recipe_strategy(max_gates: usize) -> impl Strategy<Value = Vec<GateRecipe>> {
+    proptest::collection::vec(
+        (0u8..9, any::<usize>(), any::<usize>(), any::<usize>())
+            .prop_map(|(kind, a, b, c)| GateRecipe { kind, a, b, c }),
+        1..max_gates,
+    )
+}
+
+/// Builds a random (but always valid) masked netlist: one 2-share secret,
+/// two randoms, one public input, then the recipe gates over existing wires.
+fn build_netlist(recipes: &[GateRecipe]) -> Netlist {
+    let mut b = NetlistBuilder::new("random");
+    let s = b.secret("x");
+    let a0 = b.share(s, 0);
+    let a1 = b.share(s, 1);
+    let r0 = b.random("r0");
+    let r1 = b.random("r1");
+    let p = b.public_input("clk");
+    let mut wires = vec![a0, a1, r0, r1, p];
+    for g in recipes {
+        let a = wires[g.a % wires.len()];
+        let bb = wires[g.b % wires.len()];
+        let cc = wires[g.c % wires.len()];
+        let out = match g.kind {
+            0 => b.and(a, bb),
+            1 => b.or(a, bb),
+            2 => b.xor(a, bb),
+            3 => b.xnor(a, bb),
+            4 => b.nand(a, bb),
+            5 => b.nor(a, bb),
+            6 => b.not(a),
+            7 => b.reg(a),
+            _ => b.mux(a, bb, cc),
+        };
+        wires.push(out);
+    }
+    let o = b.output("q");
+    let last = *wires.last().expect("non-empty");
+    b.output_share(last, o, 0);
+    b.build().expect("builder output is structurally valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn unfolding_agrees_with_simulation(recipes in recipe_strategy(24)) {
+        let n = build_netlist(&recipes);
+        let unf = unfold(&n).expect("acyclic");
+        let sim = Simulator::new(&n).expect("acyclic");
+        for a in 0..1u128 << n.inputs.len() {
+            let values = sim.eval_all(a);
+            #[allow(clippy::needless_range_loop)] // w is also the wire id
+            for w in 0..n.num_wires() {
+                let wire = WireId(w as u32);
+                prop_assert_eq!(
+                    unf.bdds.eval(unf.wire_fn(wire), a),
+                    values[w],
+                    "wire {} under {:b}", n.wire_name(wire), a
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ilang_round_trip_is_semantics_preserving(recipes in recipe_strategy(20)) {
+        let original = build_netlist(&recipes);
+        let text = write_ilang(&original);
+        let reparsed = parse_ilang(&text).expect("own output parses");
+        prop_assert_eq!(reparsed.num_secrets(), original.num_secrets());
+        prop_assert_eq!(reparsed.randoms().len(), original.randoms().len());
+        prop_assert_eq!(reparsed.inputs.len(), original.inputs.len());
+        let sim_a = Simulator::new(&original).expect("acyclic");
+        let sim_b = Simulator::new(&reparsed).expect("acyclic");
+        let qa = original.outputs[0].0;
+        let qb = reparsed
+            .outputs
+            .iter()
+            .find_map(|&(w, r)| {
+                matches!(r, walshcheck_circuit::netlist::OutputRole::Share { .. }).then_some(w)
+            })
+            .expect("output present");
+        // The writer emits ports in role order (secrets, randoms, publics),
+        // matching the builder's declaration order for these netlists.
+        for a in 0..1u128 << original.inputs.len() {
+            prop_assert_eq!(
+                sim_a.eval_all(a)[qa.0 as usize],
+                sim_b.eval_all(a)[qb.0 as usize],
+                "assignment {:b}", a
+            );
+        }
+    }
+
+    #[test]
+    fn glitch_sets_contain_standard_sets(recipes in recipe_strategy(24)) {
+        let n = build_netlist(&recipes);
+        let std_sets = observation_sets(&n, ProbeModel::Standard).expect("acyclic");
+        let glitch_sets = observation_sets(&n, ProbeModel::Glitch).expect("acyclic");
+        let unf = unfold(&n).expect("acyclic");
+        for w in 0..n.num_wires() {
+            // Standard: exactly the wire itself.
+            prop_assert_eq!(&std_sets[w], &vec![WireId(w as u32)]);
+            // Glitch sets consist of stable wires only (inputs or registers)
+            // and jointly determine the probed wire's value.
+            let input_wires: std::collections::HashSet<_> =
+                n.inputs.iter().map(|&(w, _)| w).collect();
+            for &src in &glitch_sets[w] {
+                let is_input = input_wires.contains(&src);
+                let is_reg = n
+                    .driver(src)
+                    .map(|c| n.cells[c.0 as usize].gate == walshcheck_circuit::Gate::Dff)
+                    .unwrap_or(false);
+                prop_assert!(is_input || is_reg, "glitch source {} unstable", n.wire_name(src));
+            }
+            // The functional support of the wire is covered by the union of
+            // the observed stable signals' supports.
+            let mut union = walshcheck_dd::VarSet::EMPTY;
+            for &src in &glitch_sets[w] {
+                union = union.union(&unf.bdds.support(unf.wire_fn(src)));
+            }
+            let own = unf.bdds.support(unf.wire_fn(WireId(w as u32)));
+            prop_assert!(own.is_subset(&union), "cone not covered at wire {w}");
+        }
+    }
+
+    #[test]
+    fn validation_accepts_builder_output(recipes in recipe_strategy(16)) {
+        let n = build_netlist(&recipes);
+        prop_assert!(n.validate().is_ok());
+        prop_assert!(n.num_cells() >= 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The ILANG parser must never panic — arbitrary junk yields `Err`.
+    #[test]
+    fn parser_total_on_arbitrary_text(text in "[ -~\n\\\\]{0,300}") {
+        let _ = parse_ilang(&text);
+    }
+
+    /// Keyword-shaped fuzz: lines assembled from grammar fragments.
+    #[test]
+    fn parser_total_on_keyword_soup(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("module \\m".to_string()),
+                Just("wire \\a".to_string()),
+                Just("wire width 2 input 1 \\x".to_string()),
+                Just("## input \\x".to_string()),
+                Just("## random \\r".to_string()),
+                Just("cell $and \\c".to_string()),
+                Just("connect \\A \\x [0]".to_string()),
+                Just("connect \\Y \\a".to_string()),
+                Just("end".to_string()),
+                Just("# comment".to_string()),
+                Just("attribute \\src".to_string()),
+            ],
+            0..24,
+        )
+    ) {
+        let text = parts.join("\n");
+        let _ = parse_ilang(&text);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Chaining a refresh in front of any random gadget preserves its
+    /// function: the composite output equals the original gadget evaluated
+    /// on the same secret.
+    #[test]
+    fn chained_refresh_preserves_semantics(recipes in recipe_strategy(12)) {
+        use walshcheck_circuit::compose::{chain, Binding};
+        use walshcheck_circuit::netlist::{InputRole, OutputId, SecretId};
+
+        // Inner: a 2-share ISW-style refresh.
+        let mut fb = NetlistBuilder::new("refresh");
+        let fs = fb.secret("x");
+        let fa = fb.shares(fs, 2);
+        let fr = fb.random("r");
+        let q0 = fb.xor(fa[0], fr);
+        let q1 = fb.xor(fa[1], fr);
+        let fo = fb.output("y");
+        fb.output_share(q0, fo, 0);
+        fb.output_share(q1, fo, 1);
+        let f = fb.build().expect("valid");
+
+        let g = build_netlist(&recipes);
+        let h = chain(
+            &f,
+            &g,
+            &[Binding { inner_output: OutputId(0), outer_secret: SecretId(0) }],
+        )
+        .expect("share counts match (both 2)");
+        h.validate().expect("valid");
+
+        let sim_g = Simulator::new(&g).expect("acyclic");
+        let sim_h = Simulator::new(&h).expect("acyclic");
+        let out_g = g.outputs[0].0;
+        let out_h = h
+            .outputs
+            .iter()
+            .find_map(|&(w, r)| {
+                matches!(r, walshcheck_circuit::netlist::OutputRole::Share { .. }).then_some(w)
+            })
+            .expect("output");
+
+        // For every assignment of h, compute the value the inner refresh
+        // delivers to g's secret-0 shares, and replay g directly.
+        for a in 0..1u128 << h.inputs.len() {
+            let vh = sim_h.eval_all(a);
+            // g's input order: x0 x1 r0 r1 clk — reconstruct from h's port
+            // roles by matching positions.
+            let mut g_assignment = 0u128;
+            let mut g_share_pos = Vec::new();
+            for (pos, &(_, role)) in g.inputs.iter().enumerate() {
+                if matches!(role, InputRole::Share { .. }) {
+                    g_share_pos.push(pos);
+                }
+            }
+            // The two bound share values are the refresh's outputs.
+            let refreshed = [
+                vh[h.find_wire("_w0").expect("refresh wire").0 as usize],
+                vh[h.find_wire("_w1").expect("refresh wire").0 as usize],
+            ];
+            for (i, &pos) in g_share_pos.iter().enumerate() {
+                if refreshed[i] {
+                    g_assignment |= 1 << pos;
+                }
+            }
+            // Remaining g inputs (randoms/publics) appear after f's ports
+            // in h's input order, in g's declaration order.
+            let g_other: Vec<usize> = g
+                .inputs
+                .iter()
+                .enumerate()
+                .filter(|(_, &(_, r))| !matches!(r, InputRole::Share { .. }))
+                .map(|(pos, _)| pos)
+                .collect();
+            let h_other: Vec<usize> = (f.inputs.len()..h.inputs.len()).collect();
+            prop_assert_eq!(g_other.len(), h_other.len());
+            for (&gp, &hp) in g_other.iter().zip(&h_other) {
+                if a >> hp & 1 == 1 {
+                    g_assignment |= 1 << gp;
+                }
+            }
+            let vg = sim_g.eval_all(g_assignment);
+            prop_assert_eq!(
+                vh[out_h.0 as usize],
+                vg[out_g.0 as usize],
+                "assignment {:b}", a
+            );
+        }
+    }
+}

@@ -1,0 +1,1094 @@
+//! The exact spectral verifier and its four engine backends.
+//!
+//! [`Verifier::check`] enumerates all combinations of up to `d` observations
+//! (output shares and internal probes), computes the Walsh correlation rows
+//! of each combination, and tests them against the property's forbidden
+//! region. The four [`EngineKind`] backends reproduce the implementation
+//! alternatives compared in the paper's evaluation:
+//!
+//! | engine  | convolution        | verification                     |
+//! |---------|--------------------|----------------------------------|
+//! | `Lil`   | sorted lists (\[11\])| scan entries against the region  |
+//! | `Map`   | hash maps          | scan entries against the region  |
+//! | `Mapi`  | hash maps          | ADD × `T`-matrix (the paper)     |
+//! | `Fujita`| sign-ADD product + | ADD × `T`-matrix                 |
+//! |         | ADD Walsh transform|                                  |
+//!
+//! The enumeration applies the paper's largest-combinations-first heuristic
+//! and an optional functional-support prefilter (a cheap necessary
+//! condition), both switchable for the ablation benchmarks.
+
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use walshcheck_circuit::glitch::ProbeModel;
+use walshcheck_circuit::netlist::{Netlist, NetlistError};
+use walshcheck_circuit::unfold::{unfold, Unfolded};
+use walshcheck_dd::add::{Add, AddManager};
+use walshcheck_dd::bdd::{Bdd, BddManager};
+use walshcheck_dd::dyadic::Dyadic;
+use walshcheck_dd::spectral::{sign_add, walsh_sparse, wht, SparseWalshCache};
+use walshcheck_dd::var::{VarId, VarSet};
+
+use crate::mask::{Mask, VarMap};
+use crate::property::{CheckMode, CheckStats, Property, Verdict, Witness};
+use crate::sites::{extract_sites, Site, SiteOptions};
+use crate::spectrum::{LilSpectrum, MapSpectrum, Spectrum};
+use crate::tmatrix::Region;
+
+/// Selects the data structures used for convolution and verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// Sorted list-of-lists — the exact baseline of reference \[11\].
+    Lil,
+    /// Hash maps for both convolution and verification.
+    Map,
+    /// Hash-map convolution, ADD-based verification — the paper's method.
+    #[default]
+    Mapi,
+    /// Full ADD pipeline using the Fujita Walsh transform.
+    Fujita,
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EngineKind::Lil => "LIL",
+            EngineKind::Map => "MAP",
+            EngineKind::Mapi => "MAPI",
+            EngineKind::Fujita => "FUJITA",
+        })
+    }
+}
+
+/// Options for a verification run.
+#[derive(Debug, Clone)]
+pub struct VerifyOptions {
+    /// Engine backend.
+    pub engine: EngineKind,
+    /// Row-wise (paper-faithful) or joint (union-support) checking.
+    pub mode: CheckMode,
+    /// Probe-site extraction options (leakage model, input probing, dedup).
+    pub sites: SiteOptions,
+    /// Skip combinations whose functional support already satisfies the
+    /// budget (sound, cheap necessary condition).
+    pub prefilter: bool,
+    /// Enumerate larger combinations first (the paper's search heuristic).
+    pub largest_first: bool,
+    /// Optional wall-clock budget; when exceeded the check stops and the
+    /// verdict carries `stats.timed_out = true`.
+    pub time_limit: Option<std::time::Duration>,
+    /// Work sharding for [`check_parallel`]: only combinations whose first
+    /// site index is congruent to `tid` modulo `count` are processed.
+    pub shard: Option<(u32, u32)>,
+    /// Cooperative cancellation: when another worker has already found a
+    /// violation, the run stops early (the local verdict is then moot).
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            engine: EngineKind::Mapi,
+            mode: CheckMode::Joint,
+            sites: SiteOptions::default(),
+            prefilter: true,
+            largest_first: true,
+            time_limit: None,
+            shard: None,
+            cancel: None,
+        }
+    }
+}
+
+impl VerifyOptions {
+    /// Paper-faithful configuration for an engine: row-wise checking with
+    /// prefiltering disabled, as in the original evaluation.
+    pub fn paper(engine: EngineKind) -> Self {
+        VerifyOptions {
+            engine,
+            mode: CheckMode::RowWise,
+            sites: SiteOptions::default(),
+            prefilter: false,
+            largest_first: true,
+            time_limit: None,
+            shard: None,
+            cancel: None,
+        }
+    }
+
+    /// Sets the probe model (standard or glitch-extended).
+    pub fn with_probe_model(mut self, model: ProbeModel) -> Self {
+        self.sites.probe_model = model;
+        self
+    }
+}
+
+/// The exact spectral verifier for one netlist.
+#[derive(Debug)]
+pub struct Verifier {
+    netlist: Netlist,
+    unfolded: Unfolded,
+    varmap: VarMap,
+}
+
+impl Verifier {
+    /// Unfolds the netlist and prepares the verifier.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the netlist is structurally invalid or cyclic.
+    pub fn new(netlist: &Netlist) -> Result<Self, NetlistError> {
+        netlist.validate()?;
+        let unfolded = unfold(netlist)?;
+        let varmap = VarMap::from_netlist(netlist);
+        Ok(Verifier { netlist: netlist.clone(), unfolded, varmap })
+    }
+
+    /// The input-variable classification.
+    pub fn varmap(&self) -> &VarMap {
+        &self.varmap
+    }
+
+    /// The netlist under analysis.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The symbolic unfolding (wire functions).
+    pub fn unfolded(&self) -> &Unfolded {
+        &self.unfolded
+    }
+
+    /// Checks `property` with the default options (MAPI engine, joint mode).
+    pub fn check_default(&mut self, property: Property) -> Verdict {
+        self.check(property, &VerifyOptions::default())
+    }
+
+    /// Checks `property` under `options`.
+    ///
+    /// Joint mode walks all `2^m − 1` rows of a combination with `m`
+    /// observed functions; under very wide glitch cones this is expensive —
+    /// prefer row-wise mode or the standard probe model there.
+    pub fn check(&mut self, property: Property, options: &VerifyOptions) -> Verdict {
+        let mut witness: Option<Witness> = None;
+        let stats = self.run_enumeration(property, options, &mut |w| {
+            witness = Some(w);
+            ControlFlow::Break(())
+        });
+        Verdict { property, secure: witness.is_none(), witness, stats }
+    }
+
+    /// Enumerates violating combinations until `limit` witnesses are found
+    /// (or the space is exhausted). Unlike [`Verifier::check`], the search
+    /// continues past the first violation — useful for leakage diagnosis.
+    pub fn find_witnesses(
+        &mut self,
+        property: Property,
+        options: &VerifyOptions,
+        limit: usize,
+    ) -> Vec<Witness> {
+        let mut found = Vec::new();
+        let _ = self.run_enumeration(property, options, &mut |w| {
+            found.push(w);
+            if found.len() >= limit {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        found
+    }
+
+    /// The shared enumeration loop; `on_witness` decides whether to stop.
+    fn run_enumeration(
+        &mut self,
+        property: Property,
+        options: &VerifyOptions,
+        on_witness: &mut dyn FnMut(Witness) -> ControlFlow<()>,
+    ) -> CheckStats {
+        let start = Instant::now();
+        let sites = extract_sites(&self.netlist, &self.unfolded, &options.sites)
+            .expect("netlist validated in Verifier::new");
+        let d = property.order() as usize;
+        let mut stats = CheckStats::default();
+        // Probing security is a per-coefficient property: joint mode
+        // degenerates to the row-wise region test.
+        let mode = if matches!(property, Property::Probing(_)) {
+            CheckMode::RowWise
+        } else {
+            options.mode
+        };
+
+        let mut ctx = EngineCtx::new(options.engine, self.varmap.num_vars as u32);
+
+        let max_k = d.min(sites.len());
+        let sizes: Vec<usize> = if options.largest_first {
+            (1..=max_k).rev().collect()
+        } else {
+            (1..=max_k).collect()
+        };
+
+        'sizes: for k in sizes {
+            let flow = for_each_combination(sites.len(), k, &mut |idxs| {
+                if let Some((tid, count)) = options.shard {
+                    if idxs[0] as u32 % count != tid {
+                        return ControlFlow::Continue(());
+                    }
+                }
+                let combo: Vec<&Site> = idxs.iter().map(|&i| &sites[i]).collect();
+                stats.combinations += 1;
+                if stats.combinations % 256 == 1 {
+                    if let Some(flag) = &options.cancel {
+                        if flag.load(Ordering::Relaxed) {
+                            stats.timed_out = true;
+                            return ControlFlow::Break(());
+                        }
+                    }
+                    ctx.maybe_collect();
+                }
+                // The wall-clock budget is checked on every combination (a
+                // clock read is negligible next to any convolution).
+                if let Some(limit) = options.time_limit {
+                    if start.elapsed() > limit {
+                        stats.timed_out = true;
+                        return ControlFlow::Break(());
+                    }
+                }
+                let internal = combo.iter().filter(|s| s.is_internal()).count();
+                let region = region_for(property, &combo, k, internal);
+
+                if options.prefilter {
+                    let support = combo
+                        .iter()
+                        .fold(Mask::ZERO, |acc, s| acc | s.support);
+                    if region_prunable(&region, &self.varmap, support) {
+                        stats.pruned += 1;
+                        return ControlFlow::Continue(());
+                    }
+                }
+
+                let hit = ctx.check_combination(
+                    &self.unfolded.bdds,
+                    &self.varmap,
+                    &combo,
+                    &region,
+                    mode,
+                    &mut stats,
+                );
+                if let Some((mask, reason, coefficient)) = hit {
+                    return on_witness(Witness {
+                        combination: combo.iter().map(|s| s.probe.clone()).collect(),
+                        mask,
+                        reason,
+                        coefficient,
+                    });
+                }
+                ControlFlow::Continue(())
+            });
+            if flow.is_break() {
+                break 'sizes;
+            }
+        }
+
+        // MAPI/FUJITA verification mutates the shared BDD manager (T
+        // matrices, support BDDs); give the memory back between runs.
+        self.unfolded.bdds.clear_caches();
+        stats.total_time = start.elapsed();
+        stats
+    }
+}
+
+impl Verifier {
+    /// Shrinks a violating combination to a minimal one: greedily drops
+    /// observations while the remainder still violates `property` (with the
+    /// budgets of the smaller combination). Useful because the
+    /// largest-combinations-first search may return witnesses containing
+    /// irrelevant probes.
+    ///
+    /// Returns the minimized witness, or the original if it cannot shrink.
+    pub fn minimize_witness(
+        &mut self,
+        witness: &Witness,
+        property: Property,
+        options: &VerifyOptions,
+    ) -> Witness {
+        let mut current = witness.clone();
+        loop {
+            let mut shrunk = None;
+            for drop in 0..current.combination.len() {
+                if current.combination.len() == 1 {
+                    break;
+                }
+                let subset: Vec<crate::property::ProbeRef> = current
+                    .combination
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != drop)
+                    .map(|(_, p)| p.clone())
+                    .collect();
+                if let Some(w) = self.check_specific(&subset, property, options) {
+                    shrunk = Some(w);
+                    break;
+                }
+            }
+            match shrunk {
+                Some(w) => current = w,
+                None => return current,
+            }
+        }
+    }
+
+    /// Checks a single explicit combination of observations against
+    /// `property`, returning a witness if it violates.
+    pub fn check_specific(
+        &mut self,
+        combination: &[crate::property::ProbeRef],
+        property: Property,
+        options: &VerifyOptions,
+    ) -> Option<Witness> {
+        let sites = extract_sites(&self.netlist, &self.unfolded, &options.sites)
+            .expect("netlist validated in Verifier::new");
+        // Match the requested probes to sites (by observed wire).
+        let combo: Vec<&Site> = combination
+            .iter()
+            .map(|p| {
+                sites
+                    .iter()
+                    .find(|s| s.probe.wire() == p.wire() && s.is_internal() == p.is_internal())
+                    .expect("probe refers to a known site")
+            })
+            .collect();
+        let mode = if matches!(property, Property::Probing(_)) {
+            CheckMode::RowWise
+        } else {
+            options.mode
+        };
+        let internal = combo.iter().filter(|s| s.is_internal()).count();
+        let region = region_for(property, &combo, combo.len(), internal);
+        let mut ctx = EngineCtx::new(options.engine, self.varmap.num_vars as u32);
+        let mut stats = CheckStats::default();
+        let hit = ctx.check_combination(
+            &self.unfolded.bdds,
+            &self.varmap,
+            &combo,
+            &region,
+            mode,
+            &mut stats,
+        );
+        hit.map(|(mask, reason, coefficient)| Witness {
+            combination: combo.iter().map(|s| s.probe.clone()).collect(),
+            mask,
+            reason,
+            coefficient,
+        })
+    }
+}
+
+/// Checks `property` on `netlist` with `threads` worker threads, splitting
+/// the combination space by leading site index — the parallelization the
+/// paper lists as future work. Each worker owns its decision-diagram
+/// managers; a worker that finds a violation cancels the others.
+///
+/// # Errors
+///
+/// Fails if the netlist is structurally invalid or cyclic.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (a bug in the engine).
+pub fn check_parallel(
+    netlist: &Netlist,
+    property: Property,
+    options: &VerifyOptions,
+    threads: usize,
+) -> Result<Verdict, NetlistError> {
+    let threads = threads.max(1);
+    if threads == 1 {
+        return check_netlist(netlist, property, options);
+    }
+    // Validate up front so workers can't race on the error.
+    netlist.validate()?;
+    let flag = Arc::new(AtomicBool::new(false));
+    let verdicts: Vec<Verdict> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let mut opts = options.clone();
+                opts.shard = Some((tid as u32, threads as u32));
+                opts.cancel = Some(Arc::clone(&flag));
+                let flag = Arc::clone(&flag);
+                scope.spawn(move || {
+                    let mut verifier =
+                        Verifier::new(netlist).expect("validated before spawning");
+                    let verdict = verifier.check(property, &opts);
+                    if !verdict.secure {
+                        flag.store(true, Ordering::Relaxed);
+                    }
+                    verdict
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    // Merge: any witness wins; otherwise aggregate the counters.
+    let mut merged = Verdict {
+        property,
+        secure: true,
+        witness: None,
+        stats: crate::property::CheckStats::default(),
+    };
+    let any_witness = verdicts.iter().any(|v| !v.secure);
+    for v in verdicts {
+        merged.stats.combinations += v.stats.combinations;
+        merged.stats.pruned += v.stats.pruned;
+        merged.stats.convolutions += v.stats.convolutions;
+        merged.stats.rows_checked += v.stats.rows_checked;
+        merged.stats.convolution_time += v.stats.convolution_time;
+        merged.stats.verification_time += v.stats.verification_time;
+        merged.stats.total_time = merged.stats.total_time.max(v.stats.total_time);
+        if !v.secure && merged.witness.is_none() {
+            merged.secure = false;
+            merged.witness = v.witness;
+        }
+        // Workers stopped by cross-thread cancellation (because a witness
+        // exists) are complete for our purposes; only a genuine time-limit
+        // stop on an otherwise-clean run makes the merged verdict partial.
+        if v.stats.timed_out && !any_witness {
+            merged.stats.timed_out = true;
+        }
+    }
+    Ok(merged)
+}
+
+/// Checks `property` on `netlist` in one call.
+///
+/// # Errors
+///
+/// Fails if the netlist is structurally invalid or cyclic.
+pub fn check_netlist(
+    netlist: &Netlist,
+    property: Property,
+    options: &VerifyOptions,
+) -> Result<Verdict, NetlistError> {
+    Ok(Verifier::new(netlist)?.check(property, options))
+}
+
+/// The forbidden region for `property` on a combination of `s` observations
+/// with `internal` internal probes.
+fn region_for(property: Property, combo: &[&Site], s: usize, internal: usize) -> Region {
+    match property {
+        Property::Probing(_) => Region::Probing,
+        Property::Ni(_) => Region::ShareBudget { budget: s as u32 },
+        Property::Sni(_) => Region::ShareBudget { budget: internal as u32 },
+        Property::Pini(_) => {
+            let mut allowed = 0u64;
+            for site in combo {
+                if let crate::property::ProbeRef::Output { index, .. } = site.probe {
+                    allowed |= 1 << index;
+                }
+            }
+            Region::PiniBudget { allowed_indices: allowed, extra: internal as u32 }
+        }
+    }
+}
+
+/// Whether a combination whose functions only touch `support` can possibly
+/// produce a coefficient inside the region (necessary-condition prefilter).
+fn region_prunable(region: &Region, vm: &VarMap, support: Mask) -> bool {
+    match *region {
+        Region::Probing => !vm.share_groups.iter().any(|g| g.is_subset(support)),
+        Region::ShareBudget { budget } => {
+            vm.share_groups.iter().all(|&g| support.weight_in(g) <= budget)
+        }
+        Region::PiniBudget { allowed_indices, extra } => {
+            (vm.share_indices(support) & !allowed_indices).count_ones() <= extra
+        }
+    }
+}
+
+/// Visits every `k`-combination of `0..n` (lexicographic); the callback may
+/// break out early.
+fn for_each_combination(
+    n: usize,
+    k: usize,
+    f: &mut dyn FnMut(&[usize]) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    if k == 0 || k > n {
+        return ControlFlow::Continue(());
+    }
+    let mut idxs: Vec<usize> = (0..k).collect();
+    loop {
+        f(&idxs)?;
+        // Advance to the next combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return ControlFlow::Continue(());
+            }
+            i -= 1;
+            if idxs[i] != i + n - k {
+                break;
+            }
+        }
+        idxs[i] += 1;
+        for j in i + 1..k {
+            idxs[j] = idxs[j - 1] + 1;
+        }
+    }
+}
+
+/// Per-run engine state: spectrum caches and decision-diagram managers.
+struct EngineCtx {
+    kind: EngineKind,
+    walsh: SparseWalshCache,
+    map_base: HashMap<Bdd, Rc<MapSpectrum>>,
+    lil_base: HashMap<Bdd, Rc<LilSpectrum>>,
+    sign_base: HashMap<Bdd, Add>,
+    adds: AddManager<Dyadic>,
+    t_bdds: BddManager,
+    t_cache: HashMap<Region, Bdd>,
+}
+
+impl EngineCtx {
+    fn new(kind: EngineKind, num_vars: u32) -> Self {
+        EngineCtx {
+            kind,
+            walsh: SparseWalshCache::new(),
+            map_base: HashMap::new(),
+            lil_base: HashMap::new(),
+            sign_base: HashMap::new(),
+            adds: AddManager::new(num_vars),
+            t_bdds: BddManager::new(num_vars),
+            t_cache: HashMap::new(),
+        }
+    }
+
+    /// Bounds arena growth over very long enumerations: the per-row ADDs
+    /// and support BDDs are transient, so once the arenas grow past a
+    /// threshold everything (including the cached T matrices and sign
+    /// ADDs, which are cheap to rebuild) is dropped and re-created.
+    fn maybe_collect(&mut self) {
+        const NODE_LIMIT: usize = 4_000_000;
+        if self.adds.arena_size() > NODE_LIMIT || self.t_bdds.arena_size() > NODE_LIMIT {
+            let n = self.t_bdds.num_vars();
+            self.adds = AddManager::new(self.adds.num_vars());
+            self.t_bdds = BddManager::new(n);
+            self.t_cache.clear();
+            self.sign_base.clear();
+        }
+    }
+
+    fn t_matrix(&mut self, region: &Region, vm: &VarMap) -> Bdd {
+        if let Some(&t) = self.t_cache.get(region) {
+            return t;
+        }
+        let t = region.to_bdd(vm, &mut self.t_bdds);
+        self.t_cache.insert(region.clone(), t);
+        t
+    }
+
+    /// Checks one combination; returns a violating coordinate, the reason,
+    /// and the leaking coefficient when a single row exhibits it.
+    fn check_combination(
+        &mut self,
+        bdds: &BddManager,
+        vm: &VarMap,
+        combo: &[&Site],
+        region: &Region,
+        mode: CheckMode,
+        stats: &mut CheckStats,
+    ) -> Option<(Mask, String, Option<Dyadic>)> {
+        match (self.kind, mode) {
+            (EngineKind::Lil, _) => self.scan_check::<LilSpectrum>(bdds, vm, combo, region, mode, stats),
+            (EngineKind::Map, _) => self.scan_check::<MapSpectrum>(bdds, vm, combo, region, mode, stats),
+            (EngineKind::Mapi, CheckMode::RowWise) => {
+                self.mapi_rowwise(bdds, vm, combo, region, stats)
+            }
+            // MAPI joint: the union-support accumulation is a map scan (the
+            // ADD only accelerates the per-row region product).
+            (EngineKind::Mapi, CheckMode::Joint) => {
+                self.scan_check::<MapSpectrum>(bdds, vm, combo, region, mode, stats)
+            }
+            (EngineKind::Fujita, _) => self.fujita_check(bdds, vm, combo, region, mode, stats),
+        }
+    }
+
+    // ---- scan engines (LIL / MAP) ----
+
+    fn scan_check<S: Spectrum + SpectrumBase>(
+        &mut self,
+        bdds: &BddManager,
+        vm: &VarMap,
+        combo: &[&Site],
+        region: &Region,
+        mode: CheckMode,
+        stats: &mut CheckStats,
+    ) -> Option<(Mask, String, Option<Dyadic>)> {
+        let groups = self.subset_spectra::<S>(bdds, combo, mode, stats);
+        match mode {
+            CheckMode::RowWise => {
+                let mut hit = None;
+                let _ = product_rows(&groups, false, stats, &mut |spec, stats| {
+                    stats.rows_checked += 1;
+                    let t = Instant::now();
+                    let found = spec.find(&|m, _| region.matches(vm, m));
+                    stats.verification_time += t.elapsed();
+                    if let Some((m, c)) = found {
+                        hit = Some((m, c));
+                        return ControlFlow::Break(());
+                    }
+                    ControlFlow::Continue(())
+                });
+                hit.map(|(m, c)| (m, rowwise_reason(region, vm, m), Some(c)))
+            }
+            CheckMode::Joint => {
+                let mut union = Mask::ZERO;
+                let _ = product_rows(&groups, true, stats, &mut |spec, stats| {
+                    stats.rows_checked += 1;
+                    let t = Instant::now();
+                    union = union | spec.support_union(&|m| vm.rho_is_zero(m));
+                    stats.verification_time += t.elapsed();
+                    ControlFlow::Continue(())
+                });
+                joint_verdict(region, vm, union).map(|(m, r)| (m, r, None))
+            }
+        }
+    }
+
+    /// Per-site spectra of every non-empty subset of the site's observed
+    /// functions (a single element per site in the standard model).
+    fn subset_spectra<S: Spectrum + SpectrumBase>(
+        &mut self,
+        bdds: &BddManager,
+        combo: &[&Site],
+        _mode: CheckMode,
+        stats: &mut CheckStats,
+    ) -> Vec<Vec<Rc<S>>> {
+        combo
+            .iter()
+            .map(|site| {
+                let mut out: Vec<Rc<S>> = Vec::with_capacity((1 << site.funcs.len()) - 1);
+                // Enumerate non-empty subsets; reuse smaller subsets'
+                // results: subset m = (m without lowest bit) ⊛ base(lowest).
+                for m in 1usize..1 << site.funcs.len() {
+                    let low = m.trailing_zeros() as usize;
+                    let rest = m & (m - 1);
+                    let base = S::base(self, bdds, site.funcs[low], stats);
+                    let spec = if rest == 0 {
+                        base
+                    } else {
+                        let prev = Rc::clone(&out[rest - 1]);
+                        let t = Instant::now();
+                        let conv = prev.convolve(&base);
+                        stats.convolution_time += t.elapsed();
+                        stats.convolutions += 1;
+                        Rc::new(conv)
+                    };
+                    out.push(spec);
+                }
+                out
+            })
+            .collect()
+    }
+
+    // ---- MAPI: map convolution, ADD verification ----
+
+    fn mapi_rowwise(
+        &mut self,
+        bdds: &BddManager,
+        vm: &VarMap,
+        combo: &[&Site],
+        region: &Region,
+        stats: &mut CheckStats,
+    ) -> Option<(Mask, String, Option<Dyadic>)> {
+        let groups = self.subset_spectra::<MapSpectrum>(bdds, combo, CheckMode::RowWise, stats);
+        let t_matrix = self.t_matrix(region, vm);
+        let mut hit = None;
+        let adds = &mut self.adds;
+        let t_bdds = &mut self.t_bdds;
+        let _ = product_rows(&groups, false, stats, &mut |spec, stats| {
+            stats.rows_checked += 1;
+            let t = Instant::now();
+            // Convert the convolution into an ADD and resolve the
+            // existential query ∃α. T(α,ρ) ∧ W(α,ρ) with diagram machinery.
+            let w_add = map_to_add(adds, spec);
+            let nonzero = adds.nonzero_bdd(t_bdds, w_add);
+            let product = t_bdds.and(nonzero, t_matrix);
+            stats.verification_time += t.elapsed();
+            if product != Bdd::FALSE {
+                let alpha = t_bdds.one_sat(product).expect("satisfiable product");
+                hit = Some((Mask(alpha), *adds.eval(w_add, alpha)));
+                return ControlFlow::Break(());
+            }
+            ControlFlow::Continue(())
+        });
+        hit.map(|(m, c)| (m, rowwise_reason(region, vm, m), Some(c)))
+    }
+
+    // ---- FUJITA: full ADD pipeline ----
+
+    fn fujita_check(
+        &mut self,
+        bdds: &BddManager,
+        vm: &VarMap,
+        combo: &[&Site],
+        region: &Region,
+        mode: CheckMode,
+        stats: &mut CheckStats,
+    ) -> Option<(Mask, String, Option<Dyadic>)> {
+        // Per-site sign-ADD products of every non-empty subset.
+        let groups: Vec<Vec<Add>> = combo
+            .iter()
+            .map(|site| {
+                let mut out: Vec<Add> = Vec::with_capacity((1 << site.funcs.len()) - 1);
+                for m in 1usize..1 << site.funcs.len() {
+                    let low = m.trailing_zeros() as usize;
+                    let rest = m & (m - 1);
+                    let base = self.sign(bdds, site.funcs[low], stats);
+                    let prod = if rest == 0 {
+                        base
+                    } else {
+                        let prev = out[rest - 1];
+                        let t = Instant::now();
+                        let p = self.adds.mul_op(prev, base);
+                        stats.convolution_time += t.elapsed();
+                        p
+                    };
+                    out.push(prod);
+                }
+                out
+            })
+            .collect();
+
+        let t_matrix = self.t_matrix(region, vm);
+        let adds = &mut self.adds;
+        let t_bdds = &mut self.t_bdds;
+        let unit = adds.constant(Dyadic::ONE);
+
+        match mode {
+            CheckMode::RowWise => {
+                let mut hit = None;
+                let _ = product_signs(adds, &groups, false, unit, stats, &mut |adds, sign, stats| {
+                    stats.rows_checked += 1;
+                    let t = Instant::now();
+                    let spec = wht(adds, sign);
+                    stats.convolution_time += t.elapsed();
+                    stats.convolutions += 1;
+                    let t = Instant::now();
+                    let nonzero = adds.nonzero_bdd(t_bdds, spec);
+                    let product = t_bdds.and(nonzero, t_matrix);
+                    stats.verification_time += t.elapsed();
+                    if product != Bdd::FALSE {
+                        let alpha = t_bdds.one_sat(product).expect("satisfiable product");
+                        hit = Some((Mask(alpha), *adds.eval(spec, alpha)));
+                        return ControlFlow::Break(());
+                    }
+                    ControlFlow::Continue(())
+                });
+                hit.map(|(m, c)| (m, rowwise_reason(region, vm, m), Some(c)))
+            }
+            CheckMode::Joint => {
+                let mut union = Mask::ZERO;
+                let randoms = vm.random_vars();
+                let _ = product_signs(adds, &groups, true, unit, stats, &mut |adds, sign, stats| {
+                    stats.rows_checked += 1;
+                    let t = Instant::now();
+                    let spec = wht(adds, sign);
+                    stats.convolution_time += t.elapsed();
+                    stats.convolutions += 1;
+                    let t = Instant::now();
+                    let nonzero = adds.nonzero_bdd(t_bdds, spec);
+                    union = union | add_support_union(t_bdds, nonzero, &randoms);
+                    stats.verification_time += t.elapsed();
+                    ControlFlow::Continue(())
+                });
+                joint_verdict(region, vm, union).map(|(m, r)| (m, r, None))
+            }
+        }
+    }
+
+    fn sign(&mut self, bdds: &BddManager, f: Bdd, stats: &mut CheckStats) -> Add {
+        if let Some(&s) = self.sign_base.get(&f) {
+            return s;
+        }
+        let t = Instant::now();
+        let s = sign_add(bdds, &mut self.adds, f);
+        stats.convolution_time += t.elapsed();
+        self.sign_base.insert(f, s);
+        s
+    }
+}
+
+/// Hook giving the generic scan path access to the right base-spectrum
+/// cache of the context.
+trait SpectrumBase: Sized {
+    fn base(ctx: &mut EngineCtx, bdds: &BddManager, f: Bdd, stats: &mut CheckStats) -> Rc<Self>;
+}
+
+impl SpectrumBase for MapSpectrum {
+    fn base(ctx: &mut EngineCtx, bdds: &BddManager, f: Bdd, stats: &mut CheckStats) -> Rc<Self> {
+        if let Some(s) = ctx.map_base.get(&f) {
+            return Rc::clone(s);
+        }
+        let t = Instant::now();
+        let sparse = walsh_sparse(bdds, f, &mut ctx.walsh);
+        let s = Rc::new(MapSpectrum::from_map(&sparse));
+        stats.convolution_time += t.elapsed();
+        ctx.map_base.insert(f, Rc::clone(&s));
+        s
+    }
+}
+
+impl SpectrumBase for LilSpectrum {
+    fn base(ctx: &mut EngineCtx, bdds: &BddManager, f: Bdd, stats: &mut CheckStats) -> Rc<Self> {
+        if let Some(s) = ctx.lil_base.get(&f) {
+            return Rc::clone(s);
+        }
+        let t = Instant::now();
+        let sparse = walsh_sparse(bdds, f, &mut ctx.walsh);
+        let s = Rc::new(LilSpectrum::from_map(&sparse));
+        stats.convolution_time += t.elapsed();
+        ctx.lil_base.insert(f, Rc::clone(&s));
+        s
+    }
+}
+
+/// Walks the cartesian product of per-site row choices, convolving along the
+/// path. With `include_empty`, each site may also contribute nothing (used
+/// by joint mode to reach every ω), except the all-empty row.
+fn product_rows<S: Spectrum>(
+    groups: &[Vec<Rc<S>>],
+    include_empty: bool,
+    stats: &mut CheckStats,
+    leaf: &mut dyn FnMut(&S, &mut CheckStats) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    fn rec<S: Spectrum>(
+        groups: &[Vec<Rc<S>>],
+        idx: usize,
+        acc: Option<&S>,
+        include_empty: bool,
+        stats: &mut CheckStats,
+        leaf: &mut dyn FnMut(&S, &mut CheckStats) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if idx == groups.len() {
+            return match acc {
+                Some(spec) => leaf(spec, stats),
+                None => ControlFlow::Continue(()),
+            };
+        }
+        if include_empty {
+            rec(groups, idx + 1, acc, include_empty, stats, leaf)?;
+        }
+        for choice in &groups[idx] {
+            match acc {
+                None => rec(groups, idx + 1, Some(choice), include_empty, stats, leaf)?,
+                Some(prev) => {
+                    let t = Instant::now();
+                    let conv = prev.convolve(choice);
+                    stats.convolution_time += t.elapsed();
+                    stats.convolutions += 1;
+                    rec(groups, idx + 1, Some(&conv), include_empty, stats, leaf)?;
+                }
+            }
+        }
+        ControlFlow::Continue(())
+    }
+    rec(groups, 0, None, include_empty, stats, leaf)
+}
+
+/// Leaf callback of [`product_signs`]: receives the manager, the
+/// accumulated sign-ADD product, and the stats counters.
+type SignLeaf<'a> = dyn FnMut(&mut AddManager<Dyadic>, Add, &mut CheckStats) -> ControlFlow<()> + 'a;
+
+/// ADD analogue of [`product_rows`] for the FUJITA engine: multiplies sign
+/// ADDs along the product walk.
+fn product_signs(
+    adds: &mut AddManager<Dyadic>,
+    groups: &[Vec<Add>],
+    include_empty: bool,
+    unit: Add,
+    stats: &mut CheckStats,
+    leaf: &mut SignLeaf<'_>,
+) -> ControlFlow<()> {
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        adds: &mut AddManager<Dyadic>,
+        groups: &[Vec<Add>],
+        idx: usize,
+        acc: Add,
+        any: bool,
+        include_empty: bool,
+        stats: &mut CheckStats,
+        leaf: &mut SignLeaf<'_>,
+    ) -> ControlFlow<()> {
+        if idx == groups.len() {
+            if any {
+                return leaf(adds, acc, stats);
+            }
+            return ControlFlow::Continue(());
+        }
+        if include_empty {
+            rec(adds, groups, idx + 1, acc, any, include_empty, stats, leaf)?;
+        }
+        for i in 0..groups[idx].len() {
+            let choice = groups[idx][i];
+            let t = Instant::now();
+            let prod = adds.mul_op(acc, choice);
+            stats.convolution_time += t.elapsed();
+            rec(adds, groups, idx + 1, prod, true, include_empty, stats, leaf)?;
+        }
+        ControlFlow::Continue(())
+    }
+    rec(adds, groups, 0, unit, false, include_empty, stats, leaf)
+}
+
+/// Builds the ADD of a sparse spectrum: one path per non-zero coefficient.
+fn map_to_add(adds: &mut AddManager<Dyadic>, spec: &MapSpectrum) -> Add {
+    let entries: Vec<(u128, Dyadic)> = spec.entries().iter().map(|(&k, &c)| (k, c)).collect();
+    adds.from_sparse(entries, Dyadic::ZERO)
+}
+
+/// Union of coordinates of a non-zero-support BDD after forcing `ρ = 0`:
+/// variable `v` is in the union iff some surviving coordinate selects it.
+fn add_support_union(bdds: &mut BddManager, nonzero: Bdd, randoms: &VarSet) -> Mask {
+    let mut s0 = nonzero;
+    for v in randoms.iter() {
+        s0 = bdds.restrict(s0, v, false);
+    }
+    if s0 == Bdd::FALSE {
+        return Mask::ZERO;
+    }
+    let mut acc = Mask::ZERO;
+    let num_vars = bdds.num_vars();
+    let support = bdds.support(s0);
+    for v in 0..num_vars {
+        let var = VarId(v);
+        if randoms.contains(var) {
+            continue;
+        }
+        if !support.contains(var) {
+            // s0 is independent of v and non-empty: entries with v = 1 exist.
+            acc.0 |= 1 << v;
+            continue;
+        }
+        let lit = bdds.var(var);
+        if bdds.and(s0, lit) != Bdd::FALSE {
+            acc.0 |= 1 << v;
+        }
+    }
+    acc
+}
+
+fn rowwise_reason(region: &Region, vm: &VarMap, mask: Mask) -> String {
+    match *region {
+        Region::Probing => format!(
+            "non-zero correlation with raw secret(s) at α={mask} (full share groups, ρ=0)"
+        ),
+        Region::ShareBudget { budget } => {
+            let worst = vm
+                .share_groups
+                .iter()
+                .map(|&g| mask.weight_in(g))
+                .max()
+                .unwrap_or(0);
+            format!("coefficient at α={mask} selects {worst} shares of one secret (budget {budget})")
+        }
+        Region::PiniBudget { allowed_indices, extra } => {
+            let outside = (vm.share_indices(mask) & !allowed_indices).count_ones();
+            format!("coefficient at α={mask} uses {outside} non-output share indices (budget {extra})")
+        }
+    }
+}
+
+fn joint_verdict(region: &Region, vm: &VarMap, union: Mask) -> Option<(Mask, String)> {
+    match *region {
+        Region::ShareBudget { budget } => {
+            for (i, &g) in vm.share_groups.iter().enumerate() {
+                let w = union.weight_in(g);
+                if w > budget {
+                    return Some((
+                        union,
+                        format!(
+                            "simulation set needs {w} shares of secret #{i} (budget {budget})"
+                        ),
+                    ));
+                }
+            }
+            None
+        }
+        Region::PiniBudget { allowed_indices, extra } => {
+            let outside = (vm.share_indices(union) & !allowed_indices).count_ones();
+            (outside > extra).then(|| {
+                (
+                    union,
+                    format!("simulation set needs {outside} non-output share indices (budget {extra})"),
+                )
+            })
+        }
+        Region::Probing => unreachable!("probing is checked row-wise"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combination_enumeration_is_exhaustive() {
+        let mut seen = Vec::new();
+        let _ = for_each_combination(5, 3, &mut |c| {
+            seen.push(c.to_vec());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(seen.len(), 10);
+        assert_eq!(seen[0], vec![0, 1, 2]);
+        assert_eq!(seen[9], vec![2, 3, 4]);
+        // Early break stops enumeration.
+        let mut count = 0;
+        let flow = for_each_combination(5, 2, &mut |_| {
+            count += 1;
+            if count == 3 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert!(flow.is_break());
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn degenerate_combinations() {
+        let mut n = 0;
+        let _ = for_each_combination(3, 0, &mut |_| {
+            n += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(n, 0);
+        let _ = for_each_combination(2, 5, &mut |_| {
+            n += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(n, 0);
+        let _ = for_each_combination(3, 3, &mut |c| {
+            assert_eq!(c, [0, 1, 2]);
+            n += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn engine_kind_display() {
+        assert_eq!(EngineKind::Lil.to_string(), "LIL");
+        assert_eq!(EngineKind::Mapi.to_string(), "MAPI");
+        assert_eq!(EngineKind::default(), EngineKind::Mapi);
+    }
+}

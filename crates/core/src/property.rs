@@ -1,0 +1,230 @@
+//! Security properties, check outcomes and statistics.
+
+use std::fmt;
+use std::time::Duration;
+
+use walshcheck_circuit::netlist::{OutputId, WireId};
+use walshcheck_dd::dyadic::Dyadic;
+
+use crate::mask::Mask;
+
+/// A verifiable side-channel security property at order `d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Property {
+    /// `d`-probing security: no combination of up to `d` observations
+    /// (outputs and internal probes) carries information about any secret.
+    Probing(u32),
+    /// `d`-non-interference: any `s ≤ d` observations can be simulated with
+    /// at most `s` shares of each input.
+    Ni(u32),
+    /// `d`-strong non-interference: any `s ≤ d` observations with `i`
+    /// internal probes can be simulated with at most `i` shares of each
+    /// input.
+    Sni(u32),
+    /// `d`-probe-isolating non-interference: observations can be simulated
+    /// from the share indices of the observed outputs plus at most `i`
+    /// further indices (Goudarzi et al., TCHES 2021).
+    Pini(u32),
+}
+
+impl Property {
+    /// The order `d` of the property.
+    pub fn order(&self) -> u32 {
+        match *self {
+            Property::Probing(d) | Property::Ni(d) | Property::Sni(d) | Property::Pini(d) => d,
+        }
+    }
+}
+
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Property::Probing(d) => write!(f, "{d}-probing"),
+            Property::Ni(d) => write!(f, "{d}-NI"),
+            Property::Sni(d) => write!(f, "{d}-SNI"),
+            Property::Pini(d) => write!(f, "{d}-PINI"),
+        }
+    }
+}
+
+/// How a combination's Walsh matrix is tested against the property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CheckMode {
+    /// Paper-faithful region test: every coefficient of the combination's
+    /// convolution row is tested individually against the relation matrix
+    /// `T(α, ρ)`. Exact for probing security; for NI/SNI it tests each
+    /// coefficient's share weight in isolation.
+    RowWise,
+    /// Rigorous simulatability test: the union of spectral supports over
+    /// *all* rows of the combination is accumulated first, then per-secret
+    /// share counts are compared against the budget (the minimal simulation
+    /// set is exactly that union).
+    #[default]
+    Joint,
+}
+
+/// One observation in a probe combination.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ProbeRef {
+    /// Observation of a shared output bit.
+    Output {
+        /// The observed wire.
+        wire: WireId,
+        /// The shared output it belongs to.
+        output: OutputId,
+        /// The share index within the output.
+        index: u32,
+    },
+    /// A probe on an internal (or input) wire.
+    Internal {
+        /// The probed wire.
+        wire: WireId,
+    },
+}
+
+impl ProbeRef {
+    /// The observed wire.
+    pub fn wire(&self) -> WireId {
+        match *self {
+            ProbeRef::Output { wire, .. } | ProbeRef::Internal { wire } => wire,
+        }
+    }
+
+    /// Whether this is an internal probe (counts against the SNI budget).
+    pub fn is_internal(&self) -> bool {
+        matches!(self, ProbeRef::Internal { .. })
+    }
+}
+
+/// Evidence that a property is violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// The violating observation combination.
+    pub combination: Vec<ProbeRef>,
+    /// A spectral coordinate with a non-zero coefficient in the forbidden
+    /// region (row-wise mode), or the union spectral support that exceeds
+    /// the budget (joint mode).
+    pub mask: Mask,
+    /// Human-readable explanation of why the mask violates the property.
+    pub reason: String,
+    /// The leaking correlation coefficient at `mask` (row-wise checks);
+    /// its magnitude bounds the adversary's distinguishing advantage.
+    pub coefficient: Option<Dyadic>,
+}
+
+/// Aggregate cost counters of a verification run, including the paper's
+/// Fig. 6 breakdown into convolution and verification time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Combinations enumerated.
+    pub combinations: u64,
+    /// Combinations skipped by the functional-support prefilter.
+    pub pruned: u64,
+    /// Spectrum convolutions performed.
+    pub convolutions: u64,
+    /// Matrix rows tested against the property.
+    pub rows_checked: u64,
+    /// Time spent computing base spectra and convolutions.
+    pub convolution_time: Duration,
+    /// Time spent testing rows against the property (T-matrix products or
+    /// entry scans).
+    pub verification_time: Duration,
+    /// Total wall time of the check, including unfolding and enumeration.
+    pub total_time: Duration,
+    /// Whether the run stopped early because the configured time limit was
+    /// reached (the verdict is then a lower bound: no violation found *so
+    /// far*).
+    pub timed_out: bool,
+}
+
+/// Result of a verification run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// The property that was checked.
+    pub property: Property,
+    /// `true` if no violating combination was found (the property holds).
+    pub secure: bool,
+    /// A violation witness when `secure` is `false`.
+    pub witness: Option<Witness>,
+    /// Cost counters.
+    pub stats: CheckStats,
+}
+
+impl Verdict {
+    /// Convenience accessor: panics with the witness if the check failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the property does not hold.
+    pub fn expect_secure(&self) {
+        assert!(
+            self.secure,
+            "{} violated: {:?}",
+            self.property,
+            self.witness.as_ref().map(|w| &w.reason)
+        );
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.secure {
+            write!(f, "{}: secure", self.property)
+        } else {
+            write!(
+                f,
+                "{}: VIOLATED ({})",
+                self.property,
+                self.witness.as_ref().map_or("no witness", |w| w.reason.as_str())
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn property_display_and_order() {
+        assert_eq!(Property::Sni(2).to_string(), "2-SNI");
+        assert_eq!(Property::Probing(3).to_string(), "3-probing");
+        assert_eq!(Property::Ni(1).to_string(), "1-NI");
+        assert_eq!(Property::Pini(2).to_string(), "2-PINI");
+        assert_eq!(Property::Pini(2).order(), 2);
+    }
+
+    #[test]
+    fn probe_ref_accessors() {
+        let o = ProbeRef::Output { wire: WireId(3), output: OutputId(0), index: 1 };
+        let p = ProbeRef::Internal { wire: WireId(7) };
+        assert_eq!(o.wire(), WireId(3));
+        assert_eq!(p.wire(), WireId(7));
+        assert!(p.is_internal());
+        assert!(!o.is_internal());
+    }
+
+    #[test]
+    fn verdict_display() {
+        let v = Verdict {
+            property: Property::Sni(1),
+            secure: true,
+            witness: None,
+            stats: CheckStats::default(),
+        };
+        assert_eq!(v.to_string(), "1-SNI: secure");
+        v.expect_secure();
+        let bad = Verdict {
+            property: Property::Ni(2),
+            secure: false,
+            witness: Some(Witness {
+                combination: vec![],
+                mask: Mask(0b11),
+                reason: "3 shares of a from 2 probes".into(),
+                coefficient: None,
+            }),
+            stats: CheckStats::default(),
+        };
+        assert!(bad.to_string().contains("VIOLATED"));
+    }
+}

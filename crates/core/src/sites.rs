@@ -1,0 +1,213 @@
+//! Probe-site extraction from an unfolded netlist.
+//!
+//! A *site* is one observation the adversary may buy: either an output share
+//! (free for the SNI budget) or an internal probe. Under the glitch-extended
+//! model a single internal probe observes several functions (every stable
+//! signal in the probed wire's cone); a site therefore carries a *list* of
+//! functions.
+
+use std::collections::HashSet;
+
+use walshcheck_circuit::glitch::{observation_sets, ProbeModel};
+use walshcheck_circuit::netlist::{Netlist, NetlistError, OutputRole};
+use walshcheck_circuit::unfold::Unfolded;
+use walshcheck_dd::bdd::Bdd;
+use walshcheck_dd::var::VarSet;
+
+use crate::mask::Mask;
+use crate::property::ProbeRef;
+
+/// One observation the adversary may select.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// What is observed (output share or internal wire).
+    pub probe: ProbeRef,
+    /// The Boolean functions revealed by the observation (one in the
+    /// standard model; the stable cone under glitches).
+    pub funcs: Vec<Bdd>,
+    /// Union of the functional supports of `funcs`, as a spectral mask —
+    /// the cheap necessary condition used by the prefilter.
+    pub support: Mask,
+}
+
+impl Site {
+    /// Whether this site is an internal probe (counts into the SNI budget).
+    pub fn is_internal(&self) -> bool {
+        self.probe.is_internal()
+    }
+}
+
+/// Options controlling which wires become probe sites.
+#[derive(Debug, Clone, Copy)]
+pub struct SiteOptions {
+    /// Leakage model for internal probes.
+    pub probe_model: ProbeModel,
+    /// Whether primary input wires are probe sites (probing a share or a
+    /// random directly). The maskVerif benchmarks include them.
+    pub include_inputs: bool,
+    /// Drop internal sites whose observed function set duplicates an
+    /// earlier site's (identical BDDs — e.g. buffered copies).
+    pub dedup: bool,
+}
+
+impl Default for SiteOptions {
+    fn default() -> Self {
+        SiteOptions {
+            probe_model: ProbeModel::Standard,
+            include_inputs: true,
+            dedup: true,
+        }
+    }
+}
+
+/// Extracts the probe sites of a netlist: one site per output share, then
+/// one per probeable wire (inputs first, then cell outputs in id order).
+/// Wires carrying output shares are not duplicated as internal sites — the
+/// output observation dominates (same functions, stricter budget).
+///
+/// # Errors
+///
+/// Fails if the netlist is cyclic (glitch cone analysis needs an order).
+pub fn extract_sites(
+    netlist: &Netlist,
+    unfolded: &Unfolded,
+    options: &SiteOptions,
+) -> Result<Vec<Site>, NetlistError> {
+    let obs = observation_sets(netlist, options.probe_model)?;
+    let mut sites = Vec::new();
+    let mut output_wires = HashSet::new();
+
+    for &(wire, role) in &netlist.outputs {
+        if let OutputRole::Share { output, index } = role {
+            output_wires.insert(wire);
+            let funcs = vec![unfolded.wire_fn(wire)];
+            let support = support_of(unfolded, &funcs);
+            sites.push(Site {
+                probe: ProbeRef::Output { wire, output, index },
+                funcs,
+                support,
+            });
+        }
+    }
+
+    let input_wires: HashSet<_> = netlist.inputs.iter().map(|&(w, _)| w).collect();
+    let mut seen_funcsets: HashSet<Vec<Bdd>> = HashSet::new();
+    #[allow(clippy::needless_range_loop)] // wid indexes obs in lock-step with wire ids
+    for wid in 0..netlist.num_wires() {
+        let wire = walshcheck_circuit::netlist::WireId(wid as u32);
+        if output_wires.contains(&wire) {
+            continue;
+        }
+        if input_wires.contains(&wire) && !options.include_inputs {
+            continue;
+        }
+        let mut funcs: Vec<Bdd> =
+            obs[wid].iter().map(|&w| unfolded.wire_fn(w)).collect();
+        funcs.sort();
+        funcs.dedup();
+        // Constant wires can never leak.
+        funcs.retain(|f| !f.is_const());
+        if funcs.is_empty() {
+            continue;
+        }
+        if options.dedup && !seen_funcsets.insert(funcs.clone()) {
+            continue;
+        }
+        let support = support_of(unfolded, &funcs);
+        sites.push(Site { probe: ProbeRef::Internal { wire }, funcs, support });
+    }
+    Ok(sites)
+}
+
+fn support_of(unfolded: &Unfolded, funcs: &[Bdd]) -> Mask {
+    let mut acc = VarSet::EMPTY;
+    for &f in funcs {
+        acc = acc.union(&unfolded.bdds.support(f));
+    }
+    Mask::from_var_set(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use walshcheck_circuit::builder::NetlistBuilder;
+    use walshcheck_circuit::unfold::unfold;
+
+    fn demo() -> (Netlist, Unfolded) {
+        let mut b = NetlistBuilder::new("m");
+        let s = b.secret("x");
+        let a0 = b.share(s, 0);
+        let a1 = b.share(s, 1);
+        let r = b.random("r");
+        let t1 = b.xor(a0, r);
+        let t2 = b.buf(t1); // duplicate function of t1
+        let q = b.xor(t2, a1);
+        let o = b.output("q");
+        b.output_share(q, o, 0);
+        let n = b.build().expect("valid");
+        let u = unfold(&n).expect("acyclic");
+        (n, u)
+    }
+
+    #[test]
+    fn outputs_come_first_and_are_not_doubled() {
+        let (n, u) = demo();
+        let sites = extract_sites(&n, &u, &SiteOptions::default()).expect("ok");
+        assert!(matches!(sites[0].probe, ProbeRef::Output { .. }));
+        // Exactly one output site, and its wire is not also an internal site.
+        assert_eq!(sites.iter().filter(|s| !s.is_internal()).count(), 1);
+        let q = sites[0].probe.wire();
+        assert!(!sites.iter().any(|s| s.is_internal() && s.probe.wire() == q));
+    }
+
+    #[test]
+    fn dedup_drops_buffered_copies() {
+        let (n, u) = demo();
+        let with = extract_sites(&n, &u, &SiteOptions::default()).expect("ok");
+        let without = extract_sites(
+            &n,
+            &u,
+            &SiteOptions { dedup: false, ..SiteOptions::default() },
+        )
+        .expect("ok");
+        assert_eq!(without.len(), with.len() + 1);
+    }
+
+    #[test]
+    fn include_inputs_toggle() {
+        let (n, u) = demo();
+        let with = extract_sites(&n, &u, &SiteOptions::default()).expect("ok");
+        let without = extract_sites(
+            &n,
+            &u,
+            &SiteOptions { include_inputs: false, ..SiteOptions::default() },
+        )
+        .expect("ok");
+        // 3 input wires disappear.
+        assert_eq!(with.len(), without.len() + 3);
+    }
+
+    #[test]
+    fn glitch_sites_carry_multiple_functions() {
+        let (n, u) = demo();
+        let sites = extract_sites(
+            &n,
+            &u,
+            &SiteOptions { probe_model: ProbeModel::Glitch, ..SiteOptions::default() },
+        )
+        .expect("ok");
+        let max_funcs = sites.iter().map(|s| s.funcs.len()).max().unwrap();
+        assert!(max_funcs >= 2, "glitch cone of t2 observes a0 and r");
+    }
+
+    #[test]
+    fn supports_are_functional_supports() {
+        let (n, u) = demo();
+        let sites = extract_sites(&n, &u, &SiteOptions::default()).expect("ok");
+        for s in &sites {
+            for &f in &s.funcs {
+                assert!(Mask::from_var_set(u.bdds.support(f)).is_subset(s.support));
+            }
+        }
+    }
+}

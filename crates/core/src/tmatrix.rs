@@ -1,0 +1,227 @@
+//! The relation matrix `T(α, ρ)` and its scan predicates.
+//!
+//! Step (3) of the paper's methodology tests the convolution `W` against a
+//! predicate matrix `T(α, ρ)` that is 1 exactly where `W` must vanish for
+//! the property to hold (the white areas of the paper's Fig. 2):
+//!
+//! ```text
+//! ∃α. T(α, ρ) ∧ W(α, ρ) ∧ (ρ = 0)
+//! ```
+//!
+//! A [`Region`] is the semantic description of such a forbidden area. It can
+//! be evaluated two ways, matching the engine families:
+//!
+//! * [`Region::matches`] — a per-coordinate predicate, used by the LIL/MAP
+//!   engines that scan spectrum entries;
+//! * [`Region::to_bdd`] — the `T` matrix as a BDD, conjoined with the
+//!   spectrum's non-zero support by the MAPI/FUJITA engines so the decision
+//!   diagram machinery answers the existential query.
+
+use std::collections::HashMap;
+
+use walshcheck_circuit::netlist::SecretId;
+use walshcheck_dd::bdd::{Bdd, BddManager};
+use walshcheck_dd::threshold::{all_zero, at_least, at_least_fns};
+use walshcheck_dd::var::VarSet;
+
+use crate::mask::{Mask, VarMap};
+
+/// A forbidden spectral region (where the Walsh matrix must be zero).
+///
+/// All regions implicitly require `ρ = 0`: coefficients with a random
+/// component average out over the fresh randomness and never witness a
+/// violation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Probing security: the share part is a non-empty union of complete
+    /// share groups (the coordinate correlates with raw secrets).
+    Probing,
+    /// NI/SNI: some secret has more than `budget` of its shares selected.
+    ShareBudget {
+        /// Maximum number of shares of each secret a simulator may use.
+        budget: u32,
+    },
+    /// PINI: more than `extra` share *indices* outside `allowed_indices`
+    /// are selected (bit `j` of `allowed_indices` = index `j` is free).
+    PiniBudget {
+        /// Bitmask of share indices already granted by observed outputs.
+        allowed_indices: u64,
+        /// Number of additional indices the internal probes may grant.
+        extra: u32,
+    },
+}
+
+impl Region {
+    /// Whether the coordinate `mask` lies in the forbidden region.
+    pub fn matches(&self, vm: &VarMap, mask: Mask) -> bool {
+        if !vm.rho_is_zero(mask) {
+            return false;
+        }
+        match *self {
+            Region::Probing => vm.is_full_group_union(mask),
+            Region::ShareBudget { budget } => vm
+                .share_groups
+                .iter()
+                .any(|&g| mask.weight_in(g) > budget),
+            Region::PiniBudget { allowed_indices, extra } => {
+                let outside = vm.share_indices(mask) & !allowed_indices;
+                outside.count_ones() > extra
+            }
+        }
+    }
+
+    /// Builds the `T(α, ρ)` matrix as a BDD over the spectral variables.
+    pub fn to_bdd(&self, vm: &VarMap, bdds: &mut BddManager) -> Bdd {
+        let rho_zero = all_zero(bdds, &vm.random_vars());
+        let body = match *self {
+            Region::Probing => {
+                // Each group all-or-nothing, at least one group fully set.
+                let mut all_eq = Bdd::TRUE;
+                let mut any_full = Bdd::FALSE;
+                for s in 0..vm.num_secrets() {
+                    let g = vm.group_vars(SecretId(s as u32));
+                    let full = at_least(bdds, &g, g.len());
+                    let empty = all_zero(bdds, &g);
+                    let eq = bdds.or(full, empty);
+                    all_eq = bdds.and(all_eq, eq);
+                    any_full = bdds.or(any_full, full);
+                }
+                bdds.and(all_eq, any_full)
+            }
+            Region::ShareBudget { budget } => {
+                let mut any_over = Bdd::FALSE;
+                for s in 0..vm.num_secrets() {
+                    let g = vm.group_vars(SecretId(s as u32));
+                    let over = at_least(bdds, &g, budget as usize + 1);
+                    any_over = bdds.or(any_over, over);
+                }
+                any_over
+            }
+            Region::PiniBudget { allowed_indices, extra } => {
+                // indicator_j = "some share with index j outside the
+                // allowed set is selected".
+                let mut index_vars: HashMap<u32, VarSet> = HashMap::new();
+                for (pos, share) in vm.share_of.iter().enumerate() {
+                    if let Some((_, index)) = share {
+                        if allowed_indices >> index & 1 == 0 {
+                            index_vars
+                                .entry(*index)
+                                .or_insert(VarSet::EMPTY)
+                                .insert(vm.var(pos));
+                        }
+                    }
+                }
+                let mut indicators: Vec<Bdd> = Vec::new();
+                let mut keys: Vec<u32> = index_vars.keys().copied().collect();
+                keys.sort();
+                for k in keys {
+                    let vars = index_vars[&k];
+                    let none = all_zero(bdds, &vars);
+                    indicators.push(bdds.not(none));
+                }
+                at_least_fns(bdds, &indicators, extra as usize + 1)
+            }
+        };
+        bdds.and(rho_zero, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use walshcheck_circuit::builder::NetlistBuilder;
+    use walshcheck_circuit::netlist::Netlist;
+
+    /// Two secrets with 2 shares each, one random, one public.
+    /// Positions: x0 x1 y0 y1 r clk.
+    fn varmap() -> VarMap {
+        let mut b = NetlistBuilder::new("m");
+        let sx = b.secret("x");
+        let sy = b.secret("y");
+        let x = b.shares(sx, 2);
+        let y = b.shares(sy, 2);
+        let r = b.random("r");
+        let _c = b.public_input("clk");
+        let t1 = b.xor(x[0], y[0]);
+        let t2 = b.xor(t1, r);
+        let t3 = b.xor(t2, x[1]);
+        let t4 = b.xor(t3, y[1]);
+        let o = b.output("q");
+        b.output_share(t4, o, 0);
+        let n: Netlist = b.build().expect("valid");
+        VarMap::from_netlist(&n)
+    }
+
+    /// Cross-checks `matches` against `to_bdd` on every coordinate.
+    fn check_region_consistency(region: &Region, vm: &VarMap) {
+        let mut bdds = BddManager::new(vm.num_vars as u32);
+        let t = region.to_bdd(vm, &mut bdds);
+        for a in 0..1u128 << vm.num_vars {
+            assert_eq!(
+                bdds.eval(t, a),
+                region.matches(vm, Mask(a)),
+                "{region:?} at {a:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn probing_region_semantics() {
+        let vm = varmap();
+        let r = Region::Probing;
+        assert!(r.matches(&vm, Mask(0b000011))); // full x group
+        assert!(r.matches(&vm, Mask(0b001111))); // both groups
+        assert!(r.matches(&vm, Mask(0b100011))); // publics don't matter
+        assert!(!r.matches(&vm, Mask(0b000001))); // partial group
+        assert!(!r.matches(&vm, Mask(0b010011))); // random component
+        assert!(!r.matches(&vm, Mask::ZERO));
+        check_region_consistency(&r, &vm);
+    }
+
+    #[test]
+    fn share_budget_region_semantics() {
+        let vm = varmap();
+        let r = Region::ShareBudget { budget: 1 };
+        assert!(r.matches(&vm, Mask(0b000011))); // 2 shares of x > 1
+        assert!(!r.matches(&vm, Mask(0b000101))); // 1 share of each
+        assert!(!r.matches(&vm, Mask(0b010011))); // random component
+        check_region_consistency(&r, &vm);
+        let r0 = Region::ShareBudget { budget: 0 };
+        assert!(r0.matches(&vm, Mask(0b000001)));
+        assert!(!r0.matches(&vm, Mask(0b100000)));
+        check_region_consistency(&r0, &vm);
+        // Budget ≥ group size: region is empty.
+        let r2 = Region::ShareBudget { budget: 2 };
+        let mut bdds = BddManager::new(vm.num_vars as u32);
+        assert_eq!(r2.to_bdd(&vm, &mut bdds), Bdd::FALSE);
+    }
+
+    #[test]
+    fn pini_region_semantics() {
+        let vm = varmap();
+        // Output share index 0 observed, no internal probes allowed.
+        let r = Region::PiniBudget { allowed_indices: 0b01, extra: 0 };
+        // Selecting x1 (index 1) is outside the allowed set.
+        assert!(r.matches(&vm, Mask(0b000010)));
+        // Selecting x0 y0 (both index 0) is fine.
+        assert!(!r.matches(&vm, Mask(0b000101)));
+        check_region_consistency(&r, &vm);
+        // One extra index allowed: x1 alone is fine, nothing exceeds.
+        let r1 = Region::PiniBudget { allowed_indices: 0b01, extra: 1 };
+        assert!(!r1.matches(&vm, Mask(0b001010))); // x1,y1: one extra index (1)
+        check_region_consistency(&r1, &vm);
+    }
+
+    #[test]
+    fn regions_require_rho_zero() {
+        let vm = varmap();
+        for region in [
+            Region::Probing,
+            Region::ShareBudget { budget: 0 },
+            Region::PiniBudget { allowed_indices: 0, extra: 0 },
+        ] {
+            // Any coordinate with the random bit set is outside the region.
+            assert!(!region.matches(&vm, Mask(0b011111)));
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests for the core verification machinery: the relation
+//! matrix `T(α,ρ)` in both its forms, spectrum algebra, and the prefilter's
+//! soundness as a necessary condition.
+
+use proptest::prelude::*;
+
+use walshcheck_circuit::builder::NetlistBuilder;
+use walshcheck_circuit::netlist::Netlist;
+use walshcheck_core::mask::{Mask, VarMap};
+use walshcheck_core::spectrum::{LilSpectrum, MapSpectrum, Spectrum};
+use walshcheck_core::tmatrix::Region;
+use walshcheck_dd::bdd::BddManager;
+use walshcheck_dd::dyadic::Dyadic;
+
+/// A random port layout: per secret a share count, plus randoms/publics.
+fn varmap_strategy() -> impl Strategy<Value = VarMap> {
+    (
+        proptest::collection::vec(1u32..4, 1..3), // share counts per secret
+        0u32..3,                                  // randoms
+        0u32..2,                                  // publics
+    )
+        .prop_map(|(share_counts, randoms, publics)| {
+            let mut b = NetlistBuilder::new("layout");
+            let mut wires = Vec::new();
+            for (i, &count) in share_counts.iter().enumerate() {
+                let s = b.secret(format!("x{i}"));
+                wires.extend(b.shares(s, count));
+            }
+            for i in 0..randoms {
+                wires.push(b.random(format!("r{i}")));
+            }
+            for i in 0..publics {
+                wires.push(b.public_input(format!("p{i}")));
+            }
+            let q = b.xor_all(&wires);
+            let o = b.output("q");
+            b.output_share(q, o, 0);
+            let n: Netlist = b.build().expect("valid");
+            VarMap::from_netlist(&n)
+        })
+}
+
+fn region_strategy() -> impl Strategy<Value = Region> {
+    prop_oneof![
+        Just(Region::Probing),
+        (0u32..4).prop_map(|budget| Region::ShareBudget { budget }),
+        (0u64..8, 0u32..3)
+            .prop_map(|(allowed_indices, extra)| Region::PiniBudget { allowed_indices, extra }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The scan predicate and the BDD form of every region agree on every
+    /// coordinate of every random port layout.
+    #[test]
+    fn region_matches_equals_region_bdd(vm in varmap_strategy(), region in region_strategy()) {
+        let mut bdds = BddManager::new(vm.num_vars as u32);
+        let t = region.to_bdd(&vm, &mut bdds);
+        for a in 0..1u128 << vm.num_vars {
+            prop_assert_eq!(
+                bdds.eval(t, a),
+                region.matches(&vm, Mask(a)),
+                "{:?} at {:b}", region, a
+            );
+        }
+    }
+
+    /// Prefilter soundness: if no subset of the support mask matches the
+    /// region, then indeed no coordinate within the support matches.
+    #[test]
+    fn prunable_support_contains_no_matching_coordinate(
+        vm in varmap_strategy(),
+        region in region_strategy(),
+        support_bits in any::<u128>(),
+    ) {
+        let support = Mask(support_bits & ((1 << vm.num_vars) - 1));
+        // Re-derive the prefilter condition from the public predicate: the
+        // support is prunable iff its own mask (the maximal subset) fails
+        // every monotone witness. All three regions are monotone in α on
+        // the share part, so testing the full support mask suffices for
+        // ShareBudget/PiniBudget; Probing needs the per-group containment.
+        let prunable = match region {
+            Region::Probing => !vm
+                .share_groups
+                .iter()
+                .any(|g| g.is_subset(support)),
+            Region::ShareBudget { budget } => vm
+                .share_groups
+                .iter()
+                .all(|&g| support.weight_in(g) <= budget),
+            Region::PiniBudget { allowed_indices, extra } => {
+                (vm.share_indices(support) & !allowed_indices).count_ones() <= extra
+            }
+        };
+        if prunable {
+            // Enumerate all subsets of the support (support is small for
+            // random layouts: ≤ 12 bits).
+            let bits: Vec<usize> = support.iter().collect();
+            prop_assume!(bits.len() <= 12);
+            for choice in 0..1u64 << bits.len() {
+                let mut alpha = Mask::ZERO;
+                for (i, &b) in bits.iter().enumerate() {
+                    if choice >> i & 1 == 1 {
+                        alpha.0 |= 1 << b;
+                    }
+                }
+                prop_assert!(
+                    !region.matches(&vm, alpha),
+                    "prefilter unsound: {:?} matches {:?} within support {:?}",
+                    region, alpha, support
+                );
+            }
+        }
+    }
+}
+
+// ---- spectrum algebra ----
+
+fn spectrum_strategy() -> impl Strategy<Value = Vec<(u128, i64)>> {
+    proptest::collection::btree_map(0u128..64, -8i64..8, 0..8)
+        .prop_map(|m| m.into_iter().filter(|&(_, v)| v != 0).collect())
+}
+
+fn to_specs(entries: &[(u128, i64)]) -> (MapSpectrum, LilSpectrum) {
+    let map: std::collections::HashMap<u128, Dyadic> = entries
+        .iter()
+        .map(|&(k, v)| (k, Dyadic::from_int(v)))
+        .collect();
+    (MapSpectrum::from_map(&map), LilSpectrum::from_map(&map))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Convolution is commutative and container-independent.
+    #[test]
+    fn convolution_commutes_and_containers_agree(
+        a in spectrum_strategy(),
+        b in spectrum_strategy(),
+    ) {
+        let (ma, la) = to_specs(&a);
+        let (mb, lb) = to_specs(&b);
+        let ab = ma.convolve(&mb);
+        let ba = mb.convolve(&ma);
+        let lab = la.convolve(&lb);
+        prop_assert_eq!(ab.len(), ba.len());
+        prop_assert_eq!(ab.len(), lab.len());
+        let mut entries = Vec::new();
+        ab.for_each(&mut |mask, c| entries.push((mask, c)));
+        for (mask, c) in entries {
+            prop_assert_eq!(ba.coefficient(mask), c);
+            prop_assert_eq!(lab.coefficient(mask), c);
+        }
+    }
+
+    /// Convolution is associative.
+    #[test]
+    fn convolution_is_associative(
+        a in spectrum_strategy(),
+        b in spectrum_strategy(),
+        c in spectrum_strategy(),
+    ) {
+        let (ma, _) = to_specs(&a);
+        let (mb, _) = to_specs(&b);
+        let (mc, _) = to_specs(&c);
+        let left = ma.convolve(&mb).convolve(&mc);
+        let right = ma.convolve(&mb.convolve(&mc));
+        prop_assert_eq!(left.len(), right.len());
+        let mut entries = Vec::new();
+        left.for_each(&mut |mask, v| entries.push((mask, v)));
+        for (mask, v) in entries {
+            prop_assert_eq!(right.coefficient(mask), v);
+        }
+    }
+
+    /// The unit spectrum is the convolution identity and support_union is
+    /// the union of keys under the accepting predicate.
+    #[test]
+    fn unit_identity_and_support(entries in spectrum_strategy()) {
+        let (m, l) = to_specs(&entries);
+        let conv = m.convolve(&MapSpectrum::one());
+        prop_assert_eq!(conv.len(), m.len());
+        let mut items = Vec::new();
+        m.for_each(&mut |mask, c| items.push((mask, c)));
+        for (mask, c) in items {
+            prop_assert_eq!(conv.coefficient(mask), c);
+        }
+        let expect = entries.iter().fold(0u128, |a, &(k, _)| a | k);
+        prop_assert_eq!(m.support_union(&|_| true), Mask(expect));
+        prop_assert_eq!(l.support_union(&|_| true), Mask(expect));
+        prop_assert_eq!(m.support_union(&|_| false), Mask::ZERO);
+    }
+}

@@ -1,0 +1,599 @@
+//! Algebraic decision diagrams (ADDs) with generic terminal values.
+//!
+//! An ADD represents a function `{0,1}ⁿ → S` for an arbitrary value set `S`
+//! (Bahar et al., *Algebraic Decision Diagrams and Their Applications*). When
+//! `S = {0, 1}` an ADD degenerates to a BDD. [`AddManager`] is hash-consed in
+//! the same style as [`crate::bdd::BddManager`]: structural
+//! equality of functions is handle equality, and binary operations are
+//! memoized.
+//!
+//! The probing-security engines use ADDs over [`crate::dyadic::Dyadic`]
+//! terminals to store sparse Walsh correlation matrices, so a small set of
+//! arithmetic operations specific to that terminal type is provided alongside
+//! the generic machinery.
+//!
+//! ```
+//! use walshcheck_dd::add::AddManager;
+//! use walshcheck_dd::dyadic::Dyadic;
+//! use walshcheck_dd::var::VarId;
+//!
+//! let mut m = AddManager::new(2);
+//! let x = m.indicator(VarId(0), Dyadic::ONE, Dyadic::ZERO);
+//! let y = m.indicator(VarId(1), Dyadic::from_int(2), Dyadic::ZERO);
+//! let s = m.add_op(x, y);
+//! assert_eq!(*m.eval(s, 0b11), Dyadic::from_int(3));
+//! assert_eq!(*m.eval(s, 0b00), Dyadic::ZERO);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::bdd::{Bdd, BddManager};
+use crate::dyadic::Dyadic;
+use crate::var::{VarId, VarSet};
+
+/// Handle to an ADD node inside an [`AddManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Add(u32);
+
+const TERM_BIT: u32 = 1 << 31;
+const TERMINAL_VAR: u32 = u32::MAX;
+
+impl Add {
+    /// Whether this handle denotes a terminal (constant) node.
+    pub fn is_terminal(self) -> bool {
+        self.0 & TERM_BIT != 0
+    }
+
+    fn term_index(self) -> usize {
+        (self.0 & !TERM_BIT) as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: Add,
+    hi: Add,
+}
+
+/// An arena-based hash-consed ADD manager over terminal values of type `T`.
+///
+/// Terminal values are interned, so `T` must have a canonical representation
+/// (`Eq`/`Hash` must agree with semantic equality).
+#[derive(Debug)]
+pub struct AddManager<T> {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, Add, Add), Add>,
+    terminals: Vec<T>,
+    term_unique: HashMap<T, Add>,
+    binary_cache: HashMap<(u8, Add, Add), Add>,
+    unary_cache: HashMap<(u8, Add), Add>,
+    num_vars: u32,
+}
+
+impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
+    /// Creates a manager with `num_vars` variables (levels `0..num_vars`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars` exceeds [`VarId::MAX_VARS`].
+    pub fn new(num_vars: u32) -> Self {
+        assert!(num_vars <= VarId::MAX_VARS, "too many variables");
+        AddManager {
+            nodes: Vec::new(),
+            unique: HashMap::new(),
+            terminals: Vec::new(),
+            term_unique: HashMap::new(),
+            binary_cache: HashMap::new(),
+            unary_cache: HashMap::new(),
+            num_vars,
+        }
+    }
+
+    /// Number of variables managed.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Interns and returns the constant function `value`.
+    pub fn constant(&mut self, value: T) -> Add {
+        if let Some(&id) = self.term_unique.get(&value) {
+            return id;
+        }
+        let idx = u32::try_from(self.terminals.len()).expect("terminal table full");
+        assert!(idx & TERM_BIT == 0, "terminal table full");
+        let id = Add(TERM_BIT | idx);
+        self.terminals.push(value.clone());
+        self.term_unique.insert(value, id);
+        id
+    }
+
+    /// The terminal value of a constant node, or `None` for internal nodes.
+    pub fn terminal_value(&self, f: Add) -> Option<&T> {
+        f.is_terminal().then(|| &self.terminals[f.term_index()])
+    }
+
+    /// Decomposes an internal node into `(var, lo, hi)`, or `None` for
+    /// terminals.
+    pub fn node_parts(&self, f: Add) -> Option<(VarId, Add, Add)> {
+        if f.is_terminal() {
+            None
+        } else {
+            let n = &self.nodes[f.0 as usize];
+            Some((VarId(n.var), n.lo, n.hi))
+        }
+    }
+
+    fn var_of(&self, f: Add) -> u32 {
+        if f.is_terminal() {
+            TERMINAL_VAR
+        } else {
+            self.nodes[f.0 as usize].var
+        }
+    }
+
+    /// Interns the internal node `(var, lo, hi)` with the reduction rule.
+    pub fn mk(&mut self, var: VarId, lo: Add, hi: Add) -> Add {
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(
+            var.0 < self.var_of(lo) && var.0 < self.var_of(hi),
+            "ordering violated"
+        );
+        if let Some(&id) = self.unique.get(&(var.0, lo, hi)) {
+            return id;
+        }
+        let raw = u32::try_from(self.nodes.len()).expect("ADD arena full");
+        assert!(raw & TERM_BIT == 0, "ADD arena full");
+        let id = Add(raw);
+        self.nodes.push(Node { var: var.0, lo, hi });
+        self.unique.insert((var.0, lo, hi), id);
+        id
+    }
+
+    /// The function that is `hi_value` when `v` is 1 and `lo_value` otherwise.
+    pub fn indicator(&mut self, v: VarId, hi_value: T, lo_value: T) -> Add {
+        assert!(v.0 < self.num_vars, "unknown variable {v}");
+        let h = self.constant(hi_value);
+        let l = self.constant(lo_value);
+        self.mk(v, l, h)
+    }
+
+    /// Evaluates `f` under `assignment` (bit `i` = variable `i`).
+    pub fn eval(&self, f: Add, assignment: u128) -> &T {
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let n = &self.nodes[cur.0 as usize];
+            cur = if assignment >> n.var & 1 == 1 { n.hi } else { n.lo };
+        }
+        &self.terminals[cur.term_index()]
+    }
+
+    /// Applies a binary pointwise operation. `token` identifies the operation
+    /// in the memoization cache and must be distinct for semantically
+    /// distinct closures.
+    pub fn apply2(&mut self, token: u8, f: Add, g: Add, op: &impl Fn(&T, &T) -> T) -> Add {
+        if let (Some(a), Some(b)) = (self.terminal_value(f), self.terminal_value(g)) {
+            let v = op(a, b);
+            return self.constant(v);
+        }
+        if let Some(&r) = self.binary_cache.get(&(token, f, g)) {
+            return r;
+        }
+        let vf = self.var_of(f);
+        let vg = self.var_of(g);
+        let top = vf.min(vg);
+        let (f0, f1) = if vf == top {
+            let n = &self.nodes[f.0 as usize];
+            (n.lo, n.hi)
+        } else {
+            (f, f)
+        };
+        let (g0, g1) = if vg == top {
+            let n = &self.nodes[g.0 as usize];
+            (n.lo, n.hi)
+        } else {
+            (g, g)
+        };
+        let r0 = self.apply2(token, f0, g0, op);
+        let r1 = self.apply2(token, f1, g1, op);
+        let r = self.mk(VarId(top), r0, r1);
+        self.binary_cache.insert((token, f, g), r);
+        r
+    }
+
+    /// Applies a unary pointwise operation with memoization token `token`.
+    pub fn apply1(&mut self, token: u8, f: Add, op: &impl Fn(&T) -> T) -> Add {
+        if let Some(a) = self.terminal_value(f) {
+            let v = op(a);
+            return self.constant(v);
+        }
+        if let Some(&r) = self.unary_cache.get(&(token, f)) {
+            return r;
+        }
+        let n = self.nodes[f.0 as usize];
+        let r0 = self.apply1(token, n.lo, op);
+        let r1 = self.apply1(token, n.hi, op);
+        let r = self.mk(VarId(n.var), r0, r1);
+        self.unary_cache.insert((token, f), r);
+        r
+    }
+
+    /// Structurally copies a BDD into this manager, mapping the `true`
+    /// terminal to `then_value` and `false` to `else_value`.
+    #[allow(clippy::wrong_self_convention)] // conversion *into* this manager
+    pub fn from_bdd(&mut self, bdds: &BddManager, f: Bdd, then_value: T, else_value: T) -> Add {
+        let mut memo: HashMap<Bdd, Add> = HashMap::new();
+        let t = self.constant(then_value);
+        let e = self.constant(else_value);
+        self.from_bdd_rec(bdds, f, t, e, &mut memo)
+    }
+
+    #[allow(clippy::wrong_self_convention)]
+    fn from_bdd_rec(
+        &mut self,
+        bdds: &BddManager,
+        f: Bdd,
+        t: Add,
+        e: Add,
+        memo: &mut HashMap<Bdd, Add>,
+    ) -> Add {
+        if f == Bdd::TRUE {
+            return t;
+        }
+        if f == Bdd::FALSE {
+            return e;
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let (var, lo, hi) = bdds.node(f).expect("non-terminal");
+        let rlo = self.from_bdd_rec(bdds, lo, t, e, memo);
+        let rhi = self.from_bdd_rec(bdds, hi, t, e, memo);
+        let r = self.mk(var, rlo, rhi);
+        memo.insert(f, r);
+        r
+    }
+
+    /// Builds the BDD of `{x : pred(f(x))}` in `bdds`.
+    pub fn to_bdd(&self, bdds: &mut BddManager, f: Add, pred: &impl Fn(&T) -> bool) -> Bdd {
+        let mut memo: HashMap<Add, Bdd> = HashMap::new();
+        self.to_bdd_rec(bdds, f, pred, &mut memo)
+    }
+
+    fn to_bdd_rec(
+        &self,
+        bdds: &mut BddManager,
+        f: Add,
+        pred: &impl Fn(&T) -> bool,
+        memo: &mut HashMap<Add, Bdd>,
+    ) -> Bdd {
+        if let Some(v) = self.terminal_value(f) {
+            return bdds.constant(pred(v));
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let n = self.nodes[f.0 as usize];
+        let rlo = self.to_bdd_rec(bdds, n.lo, pred, memo);
+        let rhi = self.to_bdd_rec(bdds, n.hi, pred, memo);
+        let v = bdds.var(VarId(n.var));
+        let r = bdds.ite(v, rhi, rlo);
+        memo.insert(f, r);
+        r
+    }
+
+    /// The set of variables `f` structurally depends on.
+    pub fn support(&self, f: Add) -> VarSet {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut s = VarSet::EMPTY;
+        while let Some(n) = stack.pop() {
+            if n.is_terminal() || !seen.insert(n) {
+                continue;
+            }
+            let node = &self.nodes[n.0 as usize];
+            s.insert(VarId(node.var));
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        s
+    }
+
+    /// Number of distinct nodes reachable from `f` (including terminals).
+    pub fn node_count(&self, f: Add) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if seen.insert(n) && !n.is_terminal() {
+                let node = &self.nodes[n.0 as usize];
+                stack.push(node.lo);
+                stack.push(node.hi);
+            }
+        }
+        seen.len()
+    }
+
+    /// A chain ADD that is `value` exactly on the full assignment of `vars`
+    /// described by `polarity`, and `default` elsewhere.
+    pub fn cube_terminal(&mut self, vars: VarSet, polarity: u128, value: T, default: T) -> Add {
+        let mut acc = self.constant(value);
+        let def = self.constant(default);
+        let members: Vec<VarId> = vars.iter().collect();
+        for v in members.into_iter().rev() {
+            acc = if polarity >> v.0 & 1 == 1 {
+                self.mk(v, def, acc)
+            } else {
+                self.mk(v, acc, def)
+            };
+        }
+        acc
+    }
+
+    /// Builds the ADD of a sparse function in one radix pass: `entries`
+    /// maps full assignments (bit `i` = variable `i`) to values, everything
+    /// else is `default`. Duplicate keys must not occur.
+    ///
+    /// This is the fast path for converting a convolution hash map into an
+    /// ADD (linear in `entries.len() × num_vars`, no apply-cache traffic).
+    #[allow(clippy::wrong_self_convention)] // conversion *into* this manager
+    pub fn from_sparse(&mut self, entries: Vec<(u128, T)>, default: T) -> Add {
+        let n = self.num_vars;
+        let def = self.constant(default);
+        self.from_sparse_rec(0, n, entries, def)
+    }
+
+    #[allow(clippy::wrong_self_convention)]
+    fn from_sparse_rec(&mut self, level: u32, n: u32, entries: Vec<(u128, T)>, def: Add) -> Add {
+        if entries.is_empty() {
+            return def;
+        }
+        if level == n {
+            debug_assert_eq!(entries.len(), 1, "duplicate sparse keys");
+            let (_, v) = entries.into_iter().next().expect("non-empty");
+            return self.constant(v);
+        }
+        let bit = 1u128 << level;
+        let (hi, lo): (Vec<_>, Vec<_>) = entries.into_iter().partition(|(k, _)| k & bit != 0);
+        let l = self.from_sparse_rec(level + 1, n, lo, def);
+        let h = self.from_sparse_rec(level + 1, n, hi, def);
+        self.mk(VarId(level), l, h)
+    }
+
+    /// Invokes `callback(assignment, value)` for every full assignment whose
+    /// terminal value differs from `zero`, expanding skipped variables.
+    ///
+    /// Intended for extraction of sparse functions: subtrees that reduce to
+    /// `zero` are pruned without expansion, so the cost is proportional to
+    /// the number of reported entries times the depth.
+    pub fn for_each_nonzero(&self, f: Add, zero: &T, callback: &mut impl FnMut(u128, &T)) {
+        self.walk(f, 0, 0u128, zero, callback);
+    }
+
+    fn walk(
+        &self,
+        f: Add,
+        level: u32,
+        partial: u128,
+        zero: &T,
+        callback: &mut impl FnMut(u128, &T),
+    ) {
+        if let Some(v) = self.terminal_value(f) {
+            if v == zero {
+                return;
+            }
+            if level == self.num_vars {
+                callback(partial, v);
+            } else {
+                // Expand remaining skipped variables.
+                self.walk(f, level + 1, partial, zero, callback);
+                self.walk(f, level + 1, partial | 1u128 << level, zero, callback);
+            }
+            return;
+        }
+        let n = &self.nodes[f.0 as usize];
+        if n.var > level {
+            self.walk(f, level + 1, partial, zero, callback);
+            self.walk(f, level + 1, partial | 1u128 << level, zero, callback);
+        } else {
+            self.walk(n.lo, level + 1, partial, zero, callback);
+            self.walk(n.hi, level + 1, partial | 1u128 << level, zero, callback);
+        }
+    }
+
+    /// Clears the operation caches; handles remain valid.
+    pub fn clear_caches(&mut self) {
+        self.binary_cache.clear();
+        self.unary_cache.clear();
+    }
+
+    /// Total number of live internal nodes in the arena.
+    pub fn arena_size(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Cache tokens for the built-in [`Dyadic`] operations.
+mod token {
+    pub const ADD: u8 = 1;
+    pub const SUB: u8 = 2;
+    pub const MUL: u8 = 3;
+    pub const NEG: u8 = 16;
+    pub const HALF: u8 = 17;
+}
+
+impl AddManager<Dyadic> {
+    /// The constant-zero function.
+    pub fn zero(&mut self) -> Add {
+        self.constant(Dyadic::ZERO)
+    }
+
+    /// Pointwise sum `f + g`.
+    pub fn add_op(&mut self, f: Add, g: Add) -> Add {
+        let (a, b) = if f <= g { (f, g) } else { (g, f) };
+        self.apply2(token::ADD, a, b, &|x, y| *x + *y)
+    }
+
+    /// Pointwise difference `f − g`.
+    pub fn sub_op(&mut self, f: Add, g: Add) -> Add {
+        self.apply2(token::SUB, f, g, &|x, y| *x - *y)
+    }
+
+    /// Pointwise product `f · g`.
+    pub fn mul_op(&mut self, f: Add, g: Add) -> Add {
+        let (a, b) = if f <= g { (f, g) } else { (g, f) };
+        self.apply2(token::MUL, a, b, &|x, y| *x * *y)
+    }
+
+    /// Pointwise negation `−f`.
+    pub fn neg_op(&mut self, f: Add) -> Add {
+        self.apply1(token::NEG, f, &|x| -*x)
+    }
+
+    /// Pointwise exact halving `f / 2`.
+    pub fn half_op(&mut self, f: Add) -> Add {
+        self.apply1(token::HALF, f, &|x| x.half())
+    }
+
+    /// Whether `f` is the constant-zero function.
+    pub fn is_zero(&self, f: Add) -> bool {
+        self.terminal_value(f).is_some_and(Dyadic::is_zero)
+    }
+
+    /// BDD of the support `{x : f(x) ≠ 0}`.
+    pub fn nonzero_bdd(&self, bdds: &mut BddManager, f: Add) -> Bdd {
+        self.to_bdd(bdds, f, &|v| !v.is_zero())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_interned() {
+        let mut m: AddManager<Dyadic> = AddManager::new(2);
+        let a = m.constant(Dyadic::from_int(7));
+        let b = m.constant(Dyadic::from_int(7));
+        assert_eq!(a, b);
+        assert!(a.is_terminal());
+        assert_eq!(m.terminal_value(a), Some(&Dyadic::from_int(7)));
+    }
+
+    #[test]
+    fn arithmetic_matches_pointwise_semantics() {
+        let mut m: AddManager<Dyadic> = AddManager::new(3);
+        let x = m.indicator(VarId(0), Dyadic::from_int(2), Dyadic::ZERO);
+        let y = m.indicator(VarId(1), Dyadic::from_int(3), Dyadic::ONE);
+        let sum = m.add_op(x, y);
+        let prod = m.mul_op(x, y);
+        for a in 0..8u128 {
+            let xv = if a & 1 == 1 { 2 } else { 0 };
+            let yv = if a >> 1 & 1 == 1 { 3 } else { 1 };
+            assert_eq!(m.eval(sum, a).to_int(), Some(xv + yv));
+            assert_eq!(m.eval(prod, a).to_int(), Some(xv * yv));
+        }
+        let neg = m.neg_op(sum);
+        assert_eq!(m.eval(neg, 0b11).to_int(), Some(-5));
+    }
+
+    #[test]
+    fn reduction_collapses_equal_children() {
+        let mut m: AddManager<Dyadic> = AddManager::new(2);
+        let c = m.constant(Dyadic::ONE);
+        let same = m.mk(VarId(0), c, c);
+        assert_eq!(same, c);
+    }
+
+    #[test]
+    fn from_bdd_and_back() {
+        let mut b = BddManager::new(2);
+        let x = b.var(VarId(0));
+        let y = b.var(VarId(1));
+        let f = b.xor(x, y);
+        let mut m: AddManager<Dyadic> = AddManager::new(2);
+        // Sign encoding: true → −1, false → +1.
+        let s = m.from_bdd(&b, f, Dyadic::MINUS_ONE, Dyadic::ONE);
+        for a in 0..4u128 {
+            let expect = if b.eval(f, a) { -1 } else { 1 };
+            assert_eq!(m.eval(s, a).to_int(), Some(expect));
+        }
+        let back = m.to_bdd(&mut b, s, &|v| *v == Dyadic::MINUS_ONE);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn support_and_node_count() {
+        let mut m: AddManager<Dyadic> = AddManager::new(4);
+        let x = m.indicator(VarId(1), Dyadic::ONE, Dyadic::ZERO);
+        let y = m.indicator(VarId(3), Dyadic::ONE, Dyadic::ZERO);
+        let s = m.add_op(x, y);
+        let sup = m.support(s);
+        assert!(sup.contains(VarId(1)));
+        assert!(sup.contains(VarId(3)));
+        assert!(!sup.contains(VarId(0)));
+        assert!(m.node_count(s) >= 4);
+    }
+
+    #[test]
+    fn cube_terminal_hits_one_point() {
+        let mut m: AddManager<Dyadic> = AddManager::new(3);
+        let vars: VarSet = (0..3).map(VarId).collect();
+        let c = m.cube_terminal(vars, 0b101, Dyadic::from_int(9), Dyadic::ZERO);
+        for a in 0..8u128 {
+            let expect = if a == 0b101 { 9 } else { 0 };
+            assert_eq!(m.eval(c, a).to_int(), Some(expect));
+        }
+    }
+
+    #[test]
+    fn for_each_nonzero_enumerates_sparse_entries() {
+        let mut m: AddManager<Dyadic> = AddManager::new(3);
+        let vars: VarSet = (0..3).map(VarId).collect();
+        let c1 = m.cube_terminal(vars, 0b010, Dyadic::ONE, Dyadic::ZERO);
+        let c2 = m.cube_terminal(vars, 0b111, Dyadic::from_int(-2), Dyadic::ZERO);
+        let f = m.add_op(c1, c2);
+        let mut entries = Vec::new();
+        m.for_each_nonzero(f, &Dyadic::ZERO, &mut |a, v| entries.push((a, *v)));
+        entries.sort();
+        assert_eq!(
+            entries,
+            vec![(0b010, Dyadic::ONE), (0b111, Dyadic::from_int(-2))]
+        );
+    }
+
+    #[test]
+    fn from_sparse_matches_cube_construction() {
+        let mut m: AddManager<Dyadic> = AddManager::new(4);
+        let entries = vec![
+            (0b0000u128, Dyadic::ONE),
+            (0b1010, Dyadic::from_int(-3)),
+            (0b0111, Dyadic::new(1, -2)),
+        ];
+        let f = m.from_sparse(entries.clone(), Dyadic::ZERO);
+        for a in 0..16u128 {
+            let expect = entries
+                .iter()
+                .find(|&&(k, _)| k == a)
+                .map(|&(_, v)| v)
+                .unwrap_or(Dyadic::ZERO);
+            assert_eq!(*m.eval(f, a), expect, "at {a:b}");
+        }
+        // Empty sparse set is the default constant.
+        let z = m.from_sparse(Vec::new(), Dyadic::ONE);
+        assert_eq!(m.terminal_value(z), Some(&Dyadic::ONE));
+    }
+
+    #[test]
+    fn is_zero_detects_cancellation() {
+        let mut m: AddManager<Dyadic> = AddManager::new(2);
+        let x = m.indicator(VarId(0), Dyadic::ONE, Dyadic::from_int(2));
+        let nx = m.neg_op(x);
+        let s = m.add_op(x, nx);
+        assert!(m.is_zero(s));
+        assert!(!m.is_zero(x));
+    }
+}

@@ -1,0 +1,257 @@
+//! Algebraic normal form (ANF) and the Möbius transform.
+//!
+//! The ANF of a Boolean function is its unique XOR-of-monomials
+//! representation `f(x) = ⊕_{m ⊆ vars} c_m · Π_{i∈m} x_i`; the coefficient
+//! vector is the Möbius transform of the truth table. The masking literature
+//! lives in ANF terms: the *algebraic degree* bounds how many shares a
+//! threshold implementation needs (`n ≥ t·d + 1` shares for degree `t`), and
+//! direct TI sharings are constructed monomial by monomial
+//! (see `walshcheck-gadgets::ti_general`).
+//!
+//! [`anf_from_bdd`] computes the sparse ANF directly on the BDD with the
+//! butterfly recursion `f = f₀ ⊕ x·(f₀ ⊕ f₁)`, memoized per node — the
+//! XOR-domain analogue of the sparse Walsh transform in [`crate::spectral`].
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use crate::bdd::{Bdd, BddManager};
+use crate::var::VarSet;
+
+/// A sparse ANF: the set of monomials with coefficient 1, each a variable
+/// mask (bit `i` = variable `i`; the empty mask is the constant term).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Anf {
+    monomials: HashSet<u128>,
+}
+
+impl Anf {
+    /// The zero function.
+    pub fn zero() -> Self {
+        Anf::default()
+    }
+
+    /// The constant-one function.
+    pub fn one() -> Self {
+        Anf { monomials: HashSet::from([0]) }
+    }
+
+    /// Builds an ANF from an iterator of monomial masks (duplicates cancel,
+    /// as XOR demands).
+    pub fn from_monomials<I: IntoIterator<Item = u128>>(monomials: I) -> Self {
+        let mut set = HashSet::new();
+        for m in monomials {
+            if !set.insert(m) {
+                set.remove(&m);
+            }
+        }
+        Anf { monomials: set }
+    }
+
+    /// The monomials present (unordered).
+    pub fn monomials(&self) -> impl Iterator<Item = u128> + '_ {
+        self.monomials.iter().copied()
+    }
+
+    /// Number of monomials.
+    pub fn len(&self) -> usize {
+        self.monomials.len()
+    }
+
+    /// Whether this is the zero function.
+    pub fn is_empty(&self) -> bool {
+        self.monomials.is_empty()
+    }
+
+    /// The algebraic degree (0 for constants; 0 for the zero function).
+    pub fn degree(&self) -> u32 {
+        self.monomials.iter().map(|m| m.count_ones()).max().unwrap_or(0)
+    }
+
+    /// Evaluates the ANF on an assignment (bit `i` = variable `i`).
+    pub fn eval(&self, assignment: u128) -> bool {
+        self.monomials
+            .iter()
+            .filter(|&&m| m & assignment == m)
+            .count()
+            % 2
+            == 1
+    }
+
+    /// XOR of two ANFs.
+    pub fn xor(&self, other: &Anf) -> Anf {
+        let mut set = self.monomials.clone();
+        for &m in &other.monomials {
+            if !set.insert(m) {
+                set.remove(&m);
+            }
+        }
+        Anf { monomials: set }
+    }
+
+    /// The set of variables appearing in some monomial.
+    pub fn support(&self) -> VarSet {
+        VarSet(self.monomials.iter().fold(0u128, |a, &m| a | m))
+    }
+
+    /// Rebuilds the function as a BDD.
+    pub fn to_bdd(&self, m: &mut BddManager) -> Bdd {
+        let mut acc = Bdd::FALSE;
+        let mut sorted: Vec<u128> = self.monomials.iter().copied().collect();
+        sorted.sort();
+        for mono in sorted {
+            let term = m.cube(VarSet(mono), mono);
+            acc = m.xor(acc, term);
+        }
+        acc
+    }
+}
+
+/// Sparse ANF of `f` via the Möbius/Reed–Muller transform on the BDD:
+/// `anf(f) = anf(f₀) ⊕ x·(anf(f₀) ⊕ anf(f₁))`, memoized per node.
+pub fn anf_from_bdd(m: &BddManager, f: Bdd) -> Anf {
+    let mut memo: HashMap<Bdd, Rc<HashSet<u128>>> = HashMap::new();
+    Anf { monomials: (*rec(m, f, &mut memo)).clone() }
+}
+
+fn rec(m: &BddManager, f: Bdd, memo: &mut HashMap<Bdd, Rc<HashSet<u128>>>) -> Rc<HashSet<u128>> {
+    if f == Bdd::FALSE {
+        return Rc::new(HashSet::new());
+    }
+    if f == Bdd::TRUE {
+        return Rc::new(HashSet::from([0]));
+    }
+    if let Some(r) = memo.get(&f) {
+        return Rc::clone(r);
+    }
+    let (var, lo, hi) = m.node(f).expect("non-terminal");
+    let a0 = rec(m, lo, memo);
+    let a1 = rec(m, hi, memo);
+    let bit = 1u128 << var.0;
+    // f = f0 ⊕ x·(f0 ⊕ f1): start from f0, add x·(f0 Δ f1).
+    let mut out: HashSet<u128> = (*a0).clone();
+    for &mono in a0.symmetric_difference(&a1) {
+        let lifted = mono | bit;
+        if !out.insert(lifted) {
+            out.remove(&lifted);
+        }
+    }
+    let rc = Rc::new(out);
+    memo.insert(f, Rc::clone(&rc));
+    rc
+}
+
+/// Dense reference Möbius transform of a truth table (test oracle).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn dense_moebius(bits: &[bool]) -> Vec<bool> {
+    assert!(bits.len().is_power_of_two(), "truth table length must be 2^n");
+    let mut v = bits.to_vec();
+    let n = v.len();
+    let mut h = 1;
+    while h < n {
+        for i in (0..n).step_by(h * 2) {
+            for j in i..i + h {
+                v[j + h] ^= v[j];
+            }
+        }
+        h *= 2;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::VarId;
+
+    #[test]
+    fn anf_of_basic_functions() {
+        let mut m = BddManager::new(3);
+        let x = m.var(VarId(0));
+        let y = m.var(VarId(1));
+        let z = m.var(VarId(2));
+        let xy = m.and(x, y);
+        let f = m.xor(xy, z);
+        let anf = anf_from_bdd(&m, f);
+        let mut mons: Vec<u128> = anf.monomials().collect();
+        mons.sort();
+        assert_eq!(mons, vec![0b011, 0b100]);
+        assert_eq!(anf.degree(), 2);
+        // OR has all three monomials: x ⊕ y ⊕ xy.
+        let g = m.or(x, y);
+        let anf = anf_from_bdd(&m, g);
+        let mut mons: Vec<u128> = anf.monomials().collect();
+        mons.sort();
+        assert_eq!(mons, vec![0b001, 0b010, 0b011]);
+    }
+
+    #[test]
+    fn anf_of_constants() {
+        let m = BddManager::new(2);
+        assert!(anf_from_bdd(&m, Bdd::FALSE).is_empty());
+        let one = anf_from_bdd(&m, Bdd::TRUE);
+        assert_eq!(one.monomials().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(one.degree(), 0);
+    }
+
+    #[test]
+    fn anf_matches_dense_moebius() {
+        let mut m = BddManager::new(4);
+        let w = m.var(VarId(0));
+        let x = m.var(VarId(1));
+        let y = m.var(VarId(2));
+        let z = m.var(VarId(3));
+        let wx = m.and(w, x);
+        let yz = m.or(y, z);
+        let f = m.ite(wx, yz, x);
+        let table: Vec<bool> = (0..16u128).map(|a| m.eval(f, a)).collect();
+        let dense = dense_moebius(&table);
+        let anf = anf_from_bdd(&m, f);
+        for (mono, &coeff) in dense.iter().enumerate() {
+            assert_eq!(anf.monomials().any(|x| x == mono as u128), coeff, "monomial {mono:b}");
+        }
+    }
+
+    #[test]
+    fn anf_eval_and_round_trip() {
+        let mut m = BddManager::new(3);
+        let x = m.var(VarId(0));
+        let y = m.var(VarId(1));
+        let z = m.var(VarId(2));
+        let t = m.nand(x, y);
+        let f = m.xnor(t, z);
+        let anf = anf_from_bdd(&m, f);
+        for a in 0..8u128 {
+            assert_eq!(anf.eval(a), m.eval(f, a), "a={a:b}");
+        }
+        let back = anf.to_bdd(&mut m);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn anf_xor_and_support() {
+        let a = Anf::from_monomials([0b01u128, 0b10]);
+        let b = Anf::from_monomials([0b10u128, 0b100]);
+        let c = a.xor(&b);
+        let mut mons: Vec<u128> = c.monomials().collect();
+        mons.sort();
+        assert_eq!(mons, vec![0b001, 0b100]);
+        assert_eq!(c.support(), VarSet(0b101));
+        // Duplicates in the constructor cancel.
+        assert!(Anf::from_monomials([5u128, 5]).is_empty());
+    }
+
+    #[test]
+    fn dense_moebius_is_an_involution() {
+        let table = vec![
+            false, true, true, false, true, true, false, false,
+            true, false, false, false, true, true, true, false,
+        ];
+        let once = dense_moebius(&table);
+        let twice = dense_moebius(&once);
+        assert_eq!(twice, table);
+    }
+}

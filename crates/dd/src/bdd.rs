@@ -1,0 +1,759 @@
+//! Reduced ordered binary decision diagrams (ROBDDs).
+//!
+//! [`BddManager`] is an arena-based, hash-consed ROBDD package in the style of
+//! CUDD: nodes are interned in a unique table so that structural equality is
+//! pointer (index) equality, and all operations are memoized in apply caches,
+//! giving the classical `O(|f|·|g|)` bound for binary Boolean operations.
+//!
+//! The variable order is static (variable `0` is tested first). This suits the
+//! probing-security workload, where the order is fixed by the circuit's input
+//! declaration and never reordered mid-analysis.
+//!
+//! ```
+//! use walshcheck_dd::bdd::BddManager;
+//! use walshcheck_dd::var::VarId;
+//!
+//! let mut m = BddManager::new(3);
+//! let x = m.var(VarId(0));
+//! let y = m.var(VarId(1));
+//! let f = m.and(x, y);
+//! let g = m.or(x, y);
+//! assert!(m.implies(f, g));
+//! assert_eq!(m.sat_count(f), 2); // x∧y over 3 variables: 2 assignments
+//! ```
+
+use std::collections::HashMap;
+
+use crate::var::{VarId, VarSet};
+
+/// Handle to a BDD node inside a [`BddManager`].
+///
+/// Handles are plain indices; they are only meaningful for the manager that
+/// produced them. Structural equality of functions is handle equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bdd(pub(crate) u32);
+
+impl Bdd {
+    /// The constant false function.
+    pub const FALSE: Bdd = Bdd(0);
+    /// The constant true function.
+    pub const TRUE: Bdd = Bdd(1);
+
+    /// Whether this handle is one of the two terminal nodes.
+    pub fn is_const(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+/// Level assigned to terminal nodes: below every variable.
+const TERMINAL_VAR: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    var: u32,
+    lo: Bdd,
+    hi: Bdd,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum BoolOp {
+    And,
+    Or,
+    Xor,
+}
+
+/// An arena-based ROBDD manager with unique table and operation caches.
+#[derive(Debug)]
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, Bdd, Bdd), Bdd>,
+    apply_cache: HashMap<(BoolOp, Bdd, Bdd), Bdd>,
+    not_cache: HashMap<Bdd, Bdd>,
+    ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
+    quant_cache: HashMap<(Bdd, u128, bool), Bdd>,
+    num_vars: u32,
+}
+
+impl BddManager {
+    /// Creates a manager with `num_vars` variables (levels `0..num_vars`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars` exceeds [`VarId::MAX_VARS`].
+    pub fn new(num_vars: u32) -> Self {
+        assert!(num_vars <= VarId::MAX_VARS, "too many variables");
+        let nodes = vec![
+            Node { var: TERMINAL_VAR, lo: Bdd::FALSE, hi: Bdd::FALSE },
+            Node { var: TERMINAL_VAR, lo: Bdd::TRUE, hi: Bdd::TRUE },
+        ];
+        BddManager {
+            nodes,
+            unique: HashMap::new(),
+            apply_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+            ite_cache: HashMap::new(),
+            quant_cache: HashMap::new(),
+            num_vars,
+        }
+    }
+
+    /// Number of variables managed.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Appends a fresh variable at the bottom of the order and returns it.
+    pub fn add_var(&mut self) -> VarId {
+        assert!(self.num_vars < VarId::MAX_VARS, "too many variables");
+        let v = VarId(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Total number of live nodes in the arena (including both terminals).
+    pub fn arena_size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The decision variable of `f`'s root, or `None` for terminals.
+    pub fn root_var(&self, f: Bdd) -> Option<VarId> {
+        let v = self.nodes[f.0 as usize].var;
+        (v != TERMINAL_VAR).then_some(VarId(v))
+    }
+
+    fn var_of(&self, f: Bdd) -> u32 {
+        self.nodes[f.0 as usize].var
+    }
+
+    fn lo(&self, f: Bdd) -> Bdd {
+        self.nodes[f.0 as usize].lo
+    }
+
+    fn hi(&self, f: Bdd) -> Bdd {
+        self.nodes[f.0 as usize].hi
+    }
+
+    /// Decomposes a non-terminal node into `(var, lo, hi)`, or returns
+    /// `None` for the two terminals. This is the raw structural view used by
+    /// algorithms (e.g. spectral transforms) that traverse the diagram.
+    pub fn node(&self, f: Bdd) -> Option<(VarId, Bdd, Bdd)> {
+        if f.is_const() {
+            None
+        } else {
+            let n = &self.nodes[f.0 as usize];
+            Some((VarId(n.var), n.lo, n.hi))
+        }
+    }
+
+    /// The `(lo, hi)` cofactors of `f` with respect to variable `v`, which
+    /// must be at or above `f`'s root level.
+    pub fn cofactors(&self, f: Bdd, v: VarId) -> (Bdd, Bdd) {
+        if self.var_of(f) == v.0 {
+            (self.lo(f), self.hi(f))
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Interns the node `(var, lo, hi)`, applying the reduction rule.
+    fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(var < self.var_of(lo) && var < self.var_of(hi), "ordering violated");
+        if let Some(&id) = self.unique.get(&(var, lo, hi)) {
+            return id;
+        }
+        let id = Bdd(u32::try_from(self.nodes.len()).expect("BDD arena full"));
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert((var, lo, hi), id);
+        id
+    }
+
+    /// The literal `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not a variable of this manager.
+    pub fn var(&mut self, v: VarId) -> Bdd {
+        assert!(v.0 < self.num_vars, "unknown variable {v}");
+        self.mk(v.0, Bdd::FALSE, Bdd::TRUE)
+    }
+
+    /// The negated literal `¬v`.
+    pub fn nvar(&mut self, v: VarId) -> Bdd {
+        assert!(v.0 < self.num_vars, "unknown variable {v}");
+        self.mk(v.0, Bdd::TRUE, Bdd::FALSE)
+    }
+
+    /// Constant function for `value`.
+    pub fn constant(&self, value: bool) -> Bdd {
+        if value {
+            Bdd::TRUE
+        } else {
+            Bdd::FALSE
+        }
+    }
+
+    /// Logical negation `¬f`.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        if f == Bdd::FALSE {
+            return Bdd::TRUE;
+        }
+        if f == Bdd::TRUE {
+            return Bdd::FALSE;
+        }
+        if let Some(&r) = self.not_cache.get(&f) {
+            return r;
+        }
+        let (var, lo, hi) = {
+            let n = &self.nodes[f.0 as usize];
+            (n.var, n.lo, n.hi)
+        };
+        let nlo = self.not(lo);
+        let nhi = self.not(hi);
+        let r = self.mk(var, nlo, nhi);
+        self.not_cache.insert(f, r);
+        r
+    }
+
+    fn apply(&mut self, op: BoolOp, f: Bdd, g: Bdd) -> Bdd {
+        // Terminal short-cuts.
+        match op {
+            BoolOp::And => {
+                if f == Bdd::FALSE || g == Bdd::FALSE {
+                    return Bdd::FALSE;
+                }
+                if f == Bdd::TRUE {
+                    return g;
+                }
+                if g == Bdd::TRUE || f == g {
+                    return f;
+                }
+            }
+            BoolOp::Or => {
+                if f == Bdd::TRUE || g == Bdd::TRUE {
+                    return Bdd::TRUE;
+                }
+                if f == Bdd::FALSE {
+                    return g;
+                }
+                if g == Bdd::FALSE || f == g {
+                    return f;
+                }
+            }
+            BoolOp::Xor => {
+                if f == g {
+                    return Bdd::FALSE;
+                }
+                if f == Bdd::FALSE {
+                    return g;
+                }
+                if g == Bdd::FALSE {
+                    return f;
+                }
+                if f == Bdd::TRUE {
+                    return self.not(g);
+                }
+                if g == Bdd::TRUE {
+                    return self.not(f);
+                }
+            }
+        }
+        // Commutative: canonicalize the cache key.
+        let (a, b) = if f.0 <= g.0 { (f, g) } else { (g, f) };
+        if let Some(&r) = self.apply_cache.get(&(op, a, b)) {
+            return r;
+        }
+        let va = self.var_of(a);
+        let vb = self.var_of(b);
+        let top = va.min(vb);
+        let (a0, a1) = if va == top { (self.lo(a), self.hi(a)) } else { (a, a) };
+        let (b0, b1) = if vb == top { (self.lo(b), self.hi(b)) } else { (b, b) };
+        let r0 = self.apply(op, a0, b0);
+        let r1 = self.apply(op, a1, b1);
+        let r = self.mk(top, r0, r1);
+        self.apply_cache.insert((op, a, b), r);
+        r
+    }
+
+    /// Conjunction `f ∧ g`.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.apply(BoolOp::And, f, g)
+    }
+
+    /// Disjunction `f ∨ g`.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.apply(BoolOp::Or, f, g)
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        self.apply(BoolOp::Xor, f, g)
+    }
+
+    /// Exclusive nor `¬(f ⊕ g)`.
+    pub fn xnor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let x = self.xor(f, g);
+        self.not(x)
+    }
+
+    /// Negated conjunction `¬(f ∧ g)`.
+    pub fn nand(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let x = self.and(f, g);
+        self.not(x)
+    }
+
+    /// Negated disjunction `¬(f ∨ g)`.
+    pub fn nor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let x = self.or(f, g);
+        self.not(x)
+    }
+
+    /// If-then-else `(f ∧ g) ∨ (¬f ∧ h)`.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        if f == Bdd::TRUE {
+            return g;
+        }
+        if f == Bdd::FALSE {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == Bdd::TRUE && h == Bdd::FALSE {
+            return f;
+        }
+        if g == Bdd::FALSE && h == Bdd::TRUE {
+            return self.not(f);
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let top = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
+        let (f0, f1) = if self.var_of(f) == top { (self.lo(f), self.hi(f)) } else { (f, f) };
+        let (g0, g1) = if self.var_of(g) == top { (self.lo(g), self.hi(g)) } else { (g, g) };
+        let (h0, h1) = if self.var_of(h) == top { (self.lo(h), self.hi(h)) } else { (h, h) };
+        let r0 = self.ite(f0, g0, h0);
+        let r1 = self.ite(f1, g1, h1);
+        let r = self.mk(top, r0, r1);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    /// Whether `f → g` is a tautology.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> bool {
+        let ng = self.not(g);
+        self.and(f, ng) == Bdd::FALSE
+    }
+
+    /// Cofactor of `f` with variable `v` fixed to `value`.
+    pub fn restrict(&mut self, f: Bdd, v: VarId, value: bool) -> Bdd {
+        if f.is_const() || self.var_of(f) > v.0 {
+            return f;
+        }
+        if self.var_of(f) == v.0 {
+            return if value { self.hi(f) } else { self.lo(f) };
+        }
+        // var_of(f) < v: rebuild (no dedicated cache; restrict is rare and
+        // shallow in this workload).
+        let (var, lo, hi) = {
+            let n = &self.nodes[f.0 as usize];
+            (n.var, n.lo, n.hi)
+        };
+        let rlo = self.restrict(lo, v, value);
+        let rhi = self.restrict(hi, v, value);
+        self.mk(var, rlo, rhi)
+    }
+
+    fn quantify(&mut self, f: Bdd, vars: VarSet, existential: bool) -> Bdd {
+        if f.is_const() || vars.is_empty() {
+            return f;
+        }
+        if let Some(&r) = self.quant_cache.get(&(f, vars.0, existential)) {
+            return r;
+        }
+        let var = self.var_of(f);
+        let lo = self.lo(f);
+        let hi = self.hi(f);
+        // Variables above f's root no longer matter.
+        let below = VarSet(vars.0 & !((1u128 << var).wrapping_sub(1)));
+        let r = if below.is_empty() {
+            f
+        } else if below.contains(VarId(var)) {
+            let mut rest = below;
+            rest.remove(VarId(var));
+            let rlo = self.quantify(lo, rest, existential);
+            let rhi = self.quantify(hi, rest, existential);
+            if existential {
+                self.or(rlo, rhi)
+            } else {
+                self.and(rlo, rhi)
+            }
+        } else {
+            let rlo = self.quantify(lo, below, existential);
+            let rhi = self.quantify(hi, below, existential);
+            self.mk(var, rlo, rhi)
+        };
+        self.quant_cache.insert((f, vars.0, existential), r);
+        r
+    }
+
+    /// Functional composition `f[v := g]`: substitutes `g` for variable
+    /// `v` in `f` (CUDD's `Cudd_bddCompose`).
+    pub fn compose(&mut self, f: Bdd, v: VarId, g: Bdd) -> Bdd {
+        let mut memo: HashMap<Bdd, Bdd> = HashMap::new();
+        self.compose_rec(f, v, g, &mut memo)
+    }
+
+    fn compose_rec(&mut self, f: Bdd, v: VarId, g: Bdd, memo: &mut HashMap<Bdd, Bdd>) -> Bdd {
+        if f.is_const() || self.var_of(f) > v.0 {
+            return f; // v cannot appear below this node
+        }
+        if let Some(&r) = memo.get(&f) {
+            return r;
+        }
+        let (var, lo, hi) = {
+            let n = &self.nodes[f.0 as usize];
+            (n.var, n.lo, n.hi)
+        };
+        let r = if var == v.0 {
+            self.ite(g, hi, lo)
+        } else {
+            let clo = self.compose_rec(lo, v, g, memo);
+            let chi = self.compose_rec(hi, v, g, memo);
+            let lit = self.mk(var, Bdd::FALSE, Bdd::TRUE);
+            self.ite(lit, chi, clo)
+        };
+        memo.insert(f, r);
+        r
+    }
+
+    /// Existential quantification `∃ vars. f`.
+    pub fn exists(&mut self, f: Bdd, vars: VarSet) -> Bdd {
+        self.quantify(f, vars, true)
+    }
+
+    /// Universal quantification `∀ vars. f`.
+    pub fn forall(&mut self, f: Bdd, vars: VarSet) -> Bdd {
+        self.quantify(f, vars, false)
+    }
+
+    /// The set of variables `f` structurally depends on.
+    pub fn support(&self, f: Bdd) -> VarSet {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut s = VarSet::EMPTY;
+        while let Some(n) = stack.pop() {
+            if n.is_const() || !seen.insert(n) {
+                continue;
+            }
+            let node = &self.nodes[n.0 as usize];
+            s.insert(VarId(node.var));
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        s
+    }
+
+    /// Evaluates `f` under `assignment`, where bit `i` gives variable `i`.
+    pub fn eval(&self, f: Bdd, assignment: u128) -> bool {
+        let mut cur = f;
+        while !cur.is_const() {
+            let n = &self.nodes[cur.0 as usize];
+            cur = if assignment >> n.var & 1 == 1 { n.hi } else { n.lo };
+        }
+        cur == Bdd::TRUE
+    }
+
+    /// Number of satisfying assignments of `f` over all manager variables.
+    pub fn sat_count(&self, f: Bdd) -> u128 {
+        let mut memo: HashMap<Bdd, u128> = HashMap::new();
+        let below = self.count_below(f, &mut memo);
+        below << self.level(f)
+    }
+
+    fn level(&self, f: Bdd) -> u32 {
+        self.var_of(f).min(self.num_vars)
+    }
+
+    /// Satisfying assignments over variables at or below `f`'s own level.
+    fn count_below(&self, f: Bdd, memo: &mut HashMap<Bdd, u128>) -> u128 {
+        if f == Bdd::FALSE {
+            return 0;
+        }
+        if f == Bdd::TRUE {
+            return 1;
+        }
+        if let Some(&c) = memo.get(&f) {
+            return c;
+        }
+        let n = &self.nodes[f.0 as usize];
+        let clo = self.count_below(n.lo, memo) << (self.level(n.lo) - n.var - 1);
+        let chi = self.count_below(n.hi, memo) << (self.level(n.hi) - n.var - 1);
+        let c = clo + chi;
+        memo.insert(f, c);
+        c
+    }
+
+    /// One satisfying assignment of `f` (unset variables default to 0), or
+    /// `None` if `f` is unsatisfiable.
+    pub fn one_sat(&self, f: Bdd) -> Option<u128> {
+        if f == Bdd::FALSE {
+            return None;
+        }
+        let mut cur = f;
+        let mut assignment = 0u128;
+        while !cur.is_const() {
+            let n = &self.nodes[cur.0 as usize];
+            if n.hi != Bdd::FALSE {
+                assignment |= 1u128 << n.var;
+                cur = n.hi;
+            } else {
+                cur = n.lo;
+            }
+        }
+        Some(assignment)
+    }
+
+    /// The conjunction of literals described by `(vars, polarity)`: for each
+    /// variable in `vars`, positive if the corresponding bit of `polarity`
+    /// is set.
+    pub fn cube(&mut self, vars: VarSet, polarity: u128) -> Bdd {
+        let mut acc = Bdd::TRUE;
+        // Build bottom-up for linear-size construction.
+        let members: Vec<VarId> = vars.iter().collect();
+        for v in members.into_iter().rev() {
+            acc = if polarity >> v.0 & 1 == 1 {
+                self.mk(v.0, Bdd::FALSE, acc)
+            } else {
+                self.mk(v.0, acc, Bdd::FALSE)
+            };
+        }
+        acc
+    }
+
+    /// XOR of all literals in `vars` (the parity function).
+    pub fn parity(&mut self, vars: VarSet) -> Bdd {
+        let mut acc = Bdd::FALSE;
+        for v in vars.iter() {
+            let lit = self.var(v);
+            acc = self.xor(acc, lit);
+        }
+        acc
+    }
+
+    /// Number of distinct nodes reachable from `f` (including terminals).
+    pub fn node_count(&self, f: Bdd) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(n) = stack.pop() {
+            if seen.insert(n) && !n.is_const() {
+                let node = &self.nodes[n.0 as usize];
+                stack.push(node.lo);
+                stack.push(node.hi);
+            }
+        }
+        seen.len()
+    }
+
+    /// Clears the operation caches (the unique table is kept, so existing
+    /// handles stay valid). Useful to bound memory on very long runs.
+    pub fn clear_caches(&mut self) {
+        self.apply_cache.clear();
+        self.not_cache.clear();
+        self.ite_cache.clear();
+        self.quant_cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> BddManager {
+        BddManager::new(4)
+    }
+
+    #[test]
+    fn constants_and_literals() {
+        let mut m = mgr();
+        let x = m.var(VarId(0));
+        assert!(m.eval(x, 0b1));
+        assert!(!m.eval(x, 0b0));
+        let nx = m.nvar(VarId(0));
+        let notx = m.not(x);
+        assert_eq!(nx, notx);
+        assert_eq!(m.constant(true), Bdd::TRUE);
+    }
+
+    #[test]
+    fn hash_consing_gives_canonical_nodes() {
+        let mut m = mgr();
+        let x = m.var(VarId(0));
+        let y = m.var(VarId(1));
+        let f1 = m.and(x, y);
+        let f2 = m.and(y, x);
+        assert_eq!(f1, f2);
+        let g1 = m.or(x, y);
+        let ng = m.not(g1);
+        let nx = m.not(x);
+        let ny = m.not(y);
+        let demorgan = m.and(nx, ny);
+        assert_eq!(ng, demorgan);
+    }
+
+    #[test]
+    fn xor_chain_is_parity() {
+        let mut m = mgr();
+        let vars: VarSet = (0..4).map(VarId).collect();
+        let p = m.parity(vars);
+        for a in 0..16u128 {
+            assert_eq!(m.eval(p, a), (a.count_ones() & 1) == 1);
+        }
+        assert_eq!(m.sat_count(p), 8);
+    }
+
+    #[test]
+    fn ite_matches_definition() {
+        let mut m = mgr();
+        let f = m.var(VarId(0));
+        let g = m.var(VarId(1));
+        let h = m.var(VarId(2));
+        let r = m.ite(f, g, h);
+        for a in 0..16u128 {
+            let expect = if m.eval(f, a) { m.eval(g, a) } else { m.eval(h, a) };
+            assert_eq!(m.eval(r, a), expect);
+        }
+    }
+
+    #[test]
+    fn restrict_is_cofactor() {
+        let mut m = mgr();
+        let x = m.var(VarId(0));
+        let y = m.var(VarId(1));
+        let z = m.var(VarId(2));
+        let xy = m.and(x, y);
+        let f = m.xor(xy, z);
+        let f1 = m.restrict(f, VarId(1), true);
+        let expect = m.xor(x, z);
+        assert_eq!(f1, expect);
+        let f0 = m.restrict(f, VarId(1), false);
+        assert_eq!(f0, z);
+    }
+
+    #[test]
+    fn compose_substitutes_functions() {
+        let mut m = mgr();
+        let x = m.var(VarId(0));
+        let y = m.var(VarId(1));
+        let z = m.var(VarId(2));
+        let w = m.var(VarId(3));
+        let xy = m.and(x, y);
+        let f = m.xor(xy, z);
+        // Substitute z := y ∨ w.
+        let g = m.or(y, w);
+        let h = m.compose(f, VarId(2), g);
+        for a in 0..16u128 {
+            let xv = a & 1 == 1;
+            let yv = a >> 1 & 1 == 1;
+            let wv = a >> 3 & 1 == 1;
+            assert_eq!(m.eval(h, a), (xv && yv) ^ (yv || wv), "a={a:b}");
+        }
+        // Composing with a constant is cofactoring.
+        let h_true = m.compose(f, VarId(2), Bdd::TRUE);
+        let cof = m.restrict(f, VarId(2), true);
+        assert_eq!(h_true, cof);
+        // Composing a variable not in the support is the identity.
+        assert_eq!(m.compose(f, VarId(3), g), f);
+        // Shannon identity: f[v := v] = f.
+        assert_eq!(m.compose(f, VarId(1), y), f);
+    }
+
+    #[test]
+    fn quantifiers() {
+        let mut m = mgr();
+        let x = m.var(VarId(0));
+        let y = m.var(VarId(1));
+        let f = m.and(x, y);
+        let ex = m.exists(f, VarSet::singleton(VarId(0)));
+        assert_eq!(ex, y);
+        let fa = m.forall(f, VarSet::singleton(VarId(0)));
+        assert_eq!(fa, Bdd::FALSE);
+        let g = m.or(x, y);
+        let fa2 = m.forall(g, VarSet::singleton(VarId(0)));
+        assert_eq!(fa2, y);
+        // Quantifying a variable not in the support is the identity.
+        assert_eq!(m.exists(f, VarSet::singleton(VarId(3))), f);
+    }
+
+    #[test]
+    fn support_tracks_dependencies() {
+        let mut m = mgr();
+        let x = m.var(VarId(0));
+        let z = m.var(VarId(2));
+        let f = m.xor(x, z);
+        let s = m.support(f);
+        assert!(s.contains(VarId(0)));
+        assert!(!s.contains(VarId(1)));
+        assert!(s.contains(VarId(2)));
+        assert_eq!(m.support(Bdd::TRUE), VarSet::EMPTY);
+    }
+
+    #[test]
+    fn sat_count_with_skipped_levels() {
+        let mut m = mgr();
+        let z = m.var(VarId(3)); // lowest variable: 8 assignments
+        assert_eq!(m.sat_count(z), 8);
+        let x = m.var(VarId(0));
+        let f = m.or(x, z);
+        // |x ∨ z| over 4 vars = 16 − |¬x ∧ ¬z| = 16 − 4 = 12.
+        assert_eq!(m.sat_count(f), 12);
+        assert_eq!(m.sat_count(Bdd::TRUE), 16);
+        assert_eq!(m.sat_count(Bdd::FALSE), 0);
+    }
+
+    #[test]
+    fn one_sat_finds_a_model() {
+        let mut m = mgr();
+        let x = m.var(VarId(0));
+        let ny = m.nvar(VarId(1));
+        let f = m.and(x, ny);
+        let a = m.one_sat(f).expect("satisfiable");
+        assert!(m.eval(f, a));
+        assert_eq!(m.one_sat(Bdd::FALSE), None);
+    }
+
+    #[test]
+    fn cube_builds_minterms() {
+        let mut m = mgr();
+        let vars: VarSet = [VarId(0), VarId(2)].into_iter().collect();
+        let c = m.cube(vars, 0b001);
+        // x0 ∧ ¬x2
+        for a in 0..16u128 {
+            assert_eq!(m.eval(c, a), (a & 1 == 1) && (a >> 2 & 1 == 0));
+        }
+        assert_eq!(m.sat_count(c), 4);
+    }
+
+    #[test]
+    fn implies_and_node_count() {
+        let mut m = mgr();
+        let x = m.var(VarId(0));
+        let y = m.var(VarId(1));
+        let f = m.and(x, y);
+        assert!(m.implies(f, x));
+        assert!(!m.implies(x, f));
+        assert!(m.node_count(f) >= 3);
+    }
+
+    #[test]
+    fn add_var_extends_domain() {
+        let mut m = BddManager::new(1);
+        let v = m.add_var();
+        assert_eq!(v, VarId(1));
+        let x = m.var(v);
+        // Over the 2-variable domain, the literal has 2 satisfying assignments.
+        assert_eq!(m.sat_count(x), 2);
+    }
+}

@@ -1,0 +1,91 @@
+//! Graphviz (DOT) export for decision diagrams — a debugging aid mirroring
+//! CUDD's `Cudd_DumpDot`.
+
+use std::collections::HashSet;
+use std::fmt::Debug;
+use std::fmt::Write as _;
+use std::hash::Hash;
+
+use crate::add::{Add, AddManager};
+use crate::bdd::{Bdd, BddManager};
+
+/// Renders the BDD rooted at `f` as a DOT digraph. Dashed edges are 0-edges.
+pub fn bdd_to_dot(m: &BddManager, f: Bdd, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  f [shape=plaintext,label=\"{name}\"];");
+    let _ = writeln!(out, "  n0 [shape=box,label=\"0\"];");
+    let _ = writeln!(out, "  n1 [shape=box,label=\"1\"];");
+    let _ = writeln!(out, "  f -> n{};", f.0);
+    let mut seen: HashSet<Bdd> = HashSet::new();
+    let mut stack = vec![f];
+    while let Some(n) = stack.pop() {
+        if n.is_const() || !seen.insert(n) {
+            continue;
+        }
+        let (var, lo, hi) = m.node(n).expect("non-terminal");
+        let _ = writeln!(out, "  n{} [shape=circle,label=\"{var}\"];", n.0);
+        let _ = writeln!(out, "  n{} -> n{} [style=dashed];", n.0, lo.0);
+        let _ = writeln!(out, "  n{} -> n{};", n.0, hi.0);
+        stack.push(lo);
+        stack.push(hi);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the ADD rooted at `f` as a DOT digraph with terminal value boxes.
+pub fn add_to_dot<T: Clone + Eq + Hash + Debug>(m: &AddManager<T>, f: Add, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  f [shape=plaintext,label=\"{name}\"];");
+    let _ = writeln!(out, "  f -> \"{f:?}\";");
+    let mut seen: HashSet<Add> = HashSet::new();
+    let mut stack = vec![f];
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n) {
+            continue;
+        }
+        if let Some(v) = m.terminal_value(n) {
+            let _ = writeln!(out, "  \"{n:?}\" [shape=box,label=\"{v:?}\"];");
+            continue;
+        }
+        let (var, lo, hi) = m.node_parts(n).expect("non-terminal");
+        let _ = writeln!(out, "  \"{n:?}\" [shape=circle,label=\"{var}\"];");
+        let _ = writeln!(out, "  \"{n:?}\" -> \"{lo:?}\" [style=dashed];");
+        let _ = writeln!(out, "  \"{n:?}\" -> \"{hi:?}\";");
+        stack.push(lo);
+        stack.push(hi);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dyadic::Dyadic;
+    use crate::var::VarId;
+
+    #[test]
+    fn bdd_dot_contains_all_nodes() {
+        let mut m = BddManager::new(2);
+        let x = m.var(VarId(0));
+        let y = m.var(VarId(1));
+        let f = m.and(x, y);
+        let dot = bdd_to_dot(&m, f, "and");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("x0"));
+        assert!(dot.contains("x1"));
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn add_dot_contains_terminals() {
+        let mut m: AddManager<Dyadic> = AddManager::new(1);
+        let f = m.indicator(VarId(0), Dyadic::from_int(3), Dyadic::ZERO);
+        let dot = add_to_dot(&m, f, "ind");
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("x0"));
+    }
+}

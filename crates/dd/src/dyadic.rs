@@ -1,0 +1,346 @@
+//! Exact dyadic rational arithmetic.
+//!
+//! Normalized Walsh/correlation coefficients of Boolean functions are dyadic
+//! rationals `m · 2^e` with bounded denominators. Floating point would lose
+//! exactness for wide circuits (denominators can exceed 2^53), so the spectral
+//! engines carry coefficients as [`Dyadic`] values: an odd (or zero) `i128`
+//! mantissa and a binary exponent.
+//!
+//! ```
+//! use walshcheck_dd::dyadic::Dyadic;
+//!
+//! let half = Dyadic::new(1, -1);
+//! let quarter = half * half;
+//! assert_eq!(quarter, Dyadic::new(1, -2));
+//! assert_eq!(half + half, Dyadic::ONE);
+//! assert!((half - half).is_zero());
+//! ```
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// An exact dyadic rational `mantissa · 2^exponent`.
+///
+/// The representation is canonical: the mantissa is odd, or zero with a zero
+/// exponent. Canonicality makes derived `Eq`/`Hash` structural equality agree
+/// with numeric equality, which the ADD managers rely on for hash-consing
+/// terminal values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Dyadic {
+    mantissa: i128,
+    exponent: i32,
+}
+
+impl Dyadic {
+    /// The additive identity.
+    pub const ZERO: Dyadic = Dyadic { mantissa: 0, exponent: 0 };
+    /// The multiplicative identity.
+    pub const ONE: Dyadic = Dyadic { mantissa: 1, exponent: 0 };
+    /// Minus one, the smallest possible correlation.
+    pub const MINUS_ONE: Dyadic = Dyadic { mantissa: -1, exponent: 0 };
+
+    /// Creates `mantissa · 2^exponent`, normalizing the representation.
+    ///
+    /// ```
+    /// use walshcheck_dd::dyadic::Dyadic;
+    /// assert_eq!(Dyadic::new(4, -3), Dyadic::new(1, -1));
+    /// assert_eq!(Dyadic::new(0, 17), Dyadic::ZERO);
+    /// ```
+    pub fn new(mantissa: i128, exponent: i32) -> Self {
+        let mut d = Dyadic { mantissa, exponent };
+        d.normalize();
+        d
+    }
+
+    /// Creates the integer `n`.
+    pub fn from_int(n: i64) -> Self {
+        Dyadic::new(n as i128, 0)
+    }
+
+    /// `2^exponent`.
+    pub fn pow2(exponent: i32) -> Self {
+        Dyadic { mantissa: 1, exponent }
+    }
+
+    /// The normalized mantissa (odd, or zero).
+    pub fn mantissa(&self) -> i128 {
+        self.mantissa
+    }
+
+    /// The binary exponent of the normalized representation.
+    pub fn exponent(&self) -> i32 {
+        self.exponent
+    }
+
+    /// Whether the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.mantissa == 0
+    }
+
+    /// Whether the value is exactly one.
+    pub fn is_one(&self) -> bool {
+        self.mantissa == 1 && self.exponent == 0
+    }
+
+    /// The absolute value.
+    pub fn abs(&self) -> Self {
+        Dyadic { mantissa: self.mantissa.abs(), exponent: self.exponent }
+    }
+
+    /// The sign of the value: `-1`, `0` or `1`.
+    pub fn signum(&self) -> i32 {
+        self.mantissa.signum() as i32
+    }
+
+    /// Lossy conversion to `f64` (for reporting only; may round for very
+    /// wide denominators).
+    pub fn to_f64(&self) -> f64 {
+        self.mantissa as f64 * (self.exponent as f64).exp2()
+    }
+
+    /// Halves the value exactly.
+    pub fn half(&self) -> Self {
+        if self.mantissa == 0 {
+            Dyadic::ZERO
+        } else {
+            Dyadic { mantissa: self.mantissa, exponent: self.exponent - 1 }
+        }
+    }
+
+    /// Doubles the value exactly.
+    pub fn double(&self) -> Self {
+        if self.mantissa == 0 {
+            Dyadic::ZERO
+        } else {
+            Dyadic { mantissa: self.mantissa, exponent: self.exponent + 1 }
+        }
+    }
+
+    /// Multiplies by `2^k` exactly.
+    pub fn scale2(&self, k: i32) -> Self {
+        if self.mantissa == 0 {
+            Dyadic::ZERO
+        } else {
+            Dyadic { mantissa: self.mantissa, exponent: self.exponent + k }
+        }
+    }
+
+    /// Returns the integer value if the dyadic is an integer that fits `i128`.
+    pub fn to_int(&self) -> Option<i128> {
+        if self.mantissa == 0 {
+            Some(0)
+        } else if self.exponent >= 0 && self.exponent < 127 {
+            self.mantissa.checked_shl(self.exponent as u32)
+        } else {
+            None
+        }
+    }
+
+    fn normalize(&mut self) {
+        if self.mantissa == 0 {
+            self.exponent = 0;
+        } else {
+            let tz = self.mantissa.trailing_zeros() as i32;
+            self.mantissa >>= tz;
+            self.exponent += tz;
+        }
+    }
+}
+
+impl Add for Dyadic {
+    type Output = Dyadic;
+
+    fn add(self, rhs: Dyadic) -> Dyadic {
+        if self.mantissa == 0 {
+            return rhs;
+        }
+        if rhs.mantissa == 0 {
+            return self;
+        }
+        // Align to the smaller exponent; at most ~128 bits of shift are
+        // meaningful for the workloads (denominators bounded by circuit
+        // width), anything larger would overflow and panics in debug.
+        let (lo, hi) = if self.exponent <= rhs.exponent { (self, rhs) } else { (rhs, self) };
+        let shift = (hi.exponent - lo.exponent) as u32;
+        let hi_m = hi
+            .mantissa
+            .checked_shl(shift)
+            .expect("dyadic addition overflow: exponent spread too large");
+        Dyadic::new(lo.mantissa + hi_m, lo.exponent)
+    }
+}
+
+impl AddAssign for Dyadic {
+    fn add_assign(&mut self, rhs: Dyadic) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Dyadic {
+    type Output = Dyadic;
+
+    fn sub(self, rhs: Dyadic) -> Dyadic {
+        self + (-rhs)
+    }
+}
+
+impl SubAssign for Dyadic {
+    fn sub_assign(&mut self, rhs: Dyadic) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Dyadic {
+    type Output = Dyadic;
+
+    fn mul(self, rhs: Dyadic) -> Dyadic {
+        if self.mantissa == 0 || rhs.mantissa == 0 {
+            return Dyadic::ZERO;
+        }
+        let m = self
+            .mantissa
+            .checked_mul(rhs.mantissa)
+            .expect("dyadic multiplication overflow");
+        // Product of two odd mantissas is odd: already normalized.
+        Dyadic { mantissa: m, exponent: self.exponent + rhs.exponent }
+    }
+}
+
+impl MulAssign for Dyadic {
+    fn mul_assign(&mut self, rhs: Dyadic) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Dyadic {
+    type Output = Dyadic;
+
+    fn neg(self) -> Dyadic {
+        Dyadic { mantissa: -self.mantissa, exponent: self.exponent }
+    }
+}
+
+impl Sum for Dyadic {
+    fn sum<I: Iterator<Item = Dyadic>>(iter: I) -> Dyadic {
+        iter.fold(Dyadic::ZERO, |a, b| a + b)
+    }
+}
+
+impl PartialOrd for Dyadic {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Dyadic {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let diff = *self - *other;
+        diff.mantissa.cmp(&0)
+    }
+}
+
+impl fmt::Display for Dyadic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.exponent >= 0 {
+            match self.to_int() {
+                Some(n) => write!(f, "{n}"),
+                None => write!(f, "{}*2^{}", self.mantissa, self.exponent),
+            }
+        } else {
+            write!(f, "{}/2^{}", self.mantissa, -self.exponent)
+        }
+    }
+}
+
+impl From<i64> for Dyadic {
+    fn from(n: i64) -> Self {
+        Dyadic::from_int(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_is_canonical() {
+        assert_eq!(Dyadic::new(8, 0), Dyadic::new(1, 3));
+        assert_eq!(Dyadic::new(-6, -1), Dyadic::new(-3, 0));
+        assert_eq!(Dyadic::new(0, 42), Dyadic::ZERO);
+        assert_eq!(Dyadic::ZERO.exponent(), 0);
+    }
+
+    #[test]
+    fn addition_aligns_exponents() {
+        let a = Dyadic::new(1, -3); // 1/8
+        let b = Dyadic::new(3, -2); // 3/4
+        assert_eq!(a + b, Dyadic::new(7, -3)); // 7/8
+        assert_eq!(b + a, Dyadic::new(7, -3));
+    }
+
+    #[test]
+    fn addition_cancels_exactly() {
+        let a = Dyadic::new(5, -7);
+        assert!(!(a - a.half()).is_zero());
+        assert!((a - a).is_zero());
+        assert_eq!(a + (-a), Dyadic::ZERO);
+    }
+
+    #[test]
+    fn multiplication_adds_exponents() {
+        let a = Dyadic::new(3, -2);
+        let b = Dyadic::new(5, 1);
+        assert_eq!(a * b, Dyadic::new(15, -1));
+        assert_eq!(a * Dyadic::ZERO, Dyadic::ZERO);
+        assert_eq!(a * Dyadic::ONE, a);
+    }
+
+    #[test]
+    fn ordering_matches_value() {
+        let vals = [
+            Dyadic::MINUS_ONE,
+            Dyadic::new(-1, -1),
+            Dyadic::ZERO,
+            Dyadic::new(1, -2),
+            Dyadic::new(1, -1),
+            Dyadic::ONE,
+            Dyadic::from_int(2),
+        ];
+        for w in vals.windows(2) {
+            assert!(w[0] < w[1], "{} < {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Dyadic::from_int(5).to_string(), "5");
+        assert_eq!(Dyadic::new(3, -2).to_string(), "3/2^2");
+        assert_eq!(Dyadic::new(-1, -1).to_string(), "-1/2^1");
+        assert_eq!(Dyadic::ZERO.to_string(), "0");
+    }
+
+    #[test]
+    fn int_round_trip() {
+        for n in [-17i64, -1, 0, 1, 2, 1023] {
+            assert_eq!(Dyadic::from_int(n).to_int(), Some(n as i128));
+        }
+        assert_eq!(Dyadic::new(1, -1).to_int(), None);
+    }
+
+    #[test]
+    fn half_double_scale() {
+        let a = Dyadic::new(3, 4);
+        assert_eq!(a.half().double(), a);
+        assert_eq!(a.scale2(-4), Dyadic::new(3, 0));
+        assert_eq!(Dyadic::ZERO.half(), Dyadic::ZERO);
+        assert_eq!(Dyadic::ZERO.double(), Dyadic::ZERO);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Dyadic = (0..8).map(|_| Dyadic::new(1, -3)).sum();
+        assert_eq!(total, Dyadic::ONE);
+    }
+}

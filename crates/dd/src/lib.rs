@@ -1,0 +1,54 @@
+//! # walshcheck-dd — decision diagrams for spectral verification
+//!
+//! An arena-based, hash-consed implementation of reduced ordered binary
+//! decision diagrams ([`bdd::BddManager`]) and algebraic decision diagrams
+//! ([`add::AddManager`]) in the style of CUDD, together with the spectral
+//! machinery used by the probing-security verifier:
+//!
+//! * [`dyadic::Dyadic`] — exact dyadic rational arithmetic for normalized
+//!   Walsh correlation coefficients;
+//! * [`spectral`] — the Fujita Walsh–Hadamard transform on ADDs, a sparse
+//!   per-BDD-node Walsh transform, and a dense reference transform;
+//! * [`threshold`] — cardinality-threshold BDDs used to build the
+//!   non-interference relation matrix `T(α, ρ)`;
+//! * [`anf`] — sparse algebraic normal form via the Möbius transform;
+//! * [`reorder`] — variable-order transfer and greedy sifting;
+//! * [`dot`] — Graphviz export for debugging.
+//!
+//! ## Example
+//!
+//! ```
+//! use walshcheck_dd::add::AddManager;
+//! use walshcheck_dd::bdd::BddManager;
+//! use walshcheck_dd::dyadic::Dyadic;
+//! use walshcheck_dd::spectral::walsh_add;
+//! use walshcheck_dd::var::VarId;
+//!
+//! // Spectrum of f = a ∧ b: |W(α)| = 1/2 on every coordinate.
+//! let mut bdds = BddManager::new(2);
+//! let a = bdds.var(VarId(0));
+//! let b = bdds.var(VarId(1));
+//! let f = bdds.and(a, b);
+//! let mut adds = AddManager::new(2);
+//! let w = walsh_add(&bdds, &mut adds, f);
+//! assert_eq!(*adds.eval(w, 0b00), Dyadic::new(1, -1));
+//! assert_eq!(*adds.eval(w, 0b11), Dyadic::new(-1, -1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod add;
+pub mod anf;
+pub mod bdd;
+pub mod dot;
+pub mod dyadic;
+pub mod reorder;
+pub mod spectral;
+pub mod threshold;
+pub mod var;
+
+pub use add::{Add, AddManager};
+pub use bdd::{Bdd, BddManager};
+pub use dyadic::Dyadic;
+pub use var::{VarId, VarSet};

@@ -1,0 +1,344 @@
+//! Walsh–Hadamard spectral transforms on decision diagrams.
+//!
+//! Three representations of the (normalized) Walsh spectrum
+//!
+//! ```text
+//! W_f(α) = 2⁻ⁿ Σ_x (−1)^{f(x) ⊕ α·x}
+//! ```
+//!
+//! are provided, matching the three engine families of the paper:
+//!
+//! * [`wht`] — the Fujita et al. transform (*Fast spectrum computation for
+//!   logic functions using BDDs*, ISCAS '94): a butterfly recursion directly
+//!   on an ADD, producing the spectrum as an ADD over the spectral
+//!   coordinates. Used by the `FUJITA` engine.
+//! * [`walsh_sparse`] — the same recursion on a BDD but producing a sparse
+//!   hash-map spectrum, memoized per BDD node. Used by the `MAP`/`MAPI`
+//!   engines to obtain base spectra that are then combined by convolution.
+//! * [`dense_walsh`] — the classical in-place fast WHT on a truth table;
+//!   `O(n·2ⁿ)` and only suitable as a test oracle.
+//!
+//! All transforms agree on every function; `tests` and the crate's proptest
+//! suite pin this down.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::add::{Add, AddManager};
+use crate::bdd::{Bdd, BddManager};
+use crate::dyadic::Dyadic;
+use crate::var::VarId;
+
+/// Normalized Walsh–Hadamard transform of an arbitrary real-valued function
+/// given as an ADD: returns `G` with `G(α) = 2⁻ⁿ Σ_x g(x)·(−1)^{α·x}`.
+///
+/// The spectral coordinate `αᵢ` reuses the decision variable `xᵢ`.
+pub fn wht(adds: &mut AddManager<Dyadic>, g: Add) -> Add {
+    let n = adds.num_vars();
+    let mut memo: HashMap<(Add, u32), Add> = HashMap::new();
+    wht_rec(adds, g, 0, n, true, &mut memo)
+}
+
+/// Un-normalized inverse transform: `g(x) = Σ_α G(α)·(−1)^{α·x}`.
+///
+/// Composing [`wht`] then [`inverse_wht`] is the identity; composing two
+/// normalized transforms instead scales by `2⁻ⁿ`.
+pub fn inverse_wht(adds: &mut AddManager<Dyadic>, g: Add) -> Add {
+    let n = adds.num_vars();
+    let mut memo: HashMap<(Add, u32), Add> = HashMap::new();
+    wht_rec(adds, g, 0, n, false, &mut memo)
+}
+
+fn wht_rec(
+    adds: &mut AddManager<Dyadic>,
+    g: Add,
+    level: u32,
+    n: u32,
+    normalize: bool,
+    memo: &mut HashMap<(Add, u32), Add>,
+) -> Add {
+    if level == n {
+        debug_assert!(g.is_terminal(), "non-terminal below the last level");
+        return g;
+    }
+    if let Some(&r) = memo.get(&(g, level)) {
+        return r;
+    }
+    let (g0, g1) = match adds.node_parts(g) {
+        Some((v, lo, hi)) if v.0 == level => (lo, hi),
+        _ => (g, g),
+    };
+    let t0 = wht_rec(adds, g0, level + 1, n, normalize, memo);
+    let t1 = wht_rec(adds, g1, level + 1, n, normalize, memo);
+    let mut sum = adds.add_op(t0, t1);
+    let mut diff = adds.sub_op(t0, t1);
+    if normalize {
+        sum = adds.half_op(sum);
+        diff = adds.half_op(diff);
+    }
+    let r = adds.mk(VarId(level), sum, diff);
+    memo.insert((g, level), r);
+    r
+}
+
+/// The normalized Walsh spectrum of the Boolean function `f` as an ADD over
+/// the spectral coordinates (the sign encoding `(−1)^f` is transformed).
+pub fn walsh_add(bdds: &BddManager, adds: &mut AddManager<Dyadic>, f: Bdd) -> Add {
+    assert_eq!(bdds.num_vars(), adds.num_vars(), "mismatched domains");
+    let sign = adds.from_bdd(bdds, f, Dyadic::MINUS_ONE, Dyadic::ONE);
+    wht(adds, sign)
+}
+
+/// The sign encoding `(−1)^f` of a Boolean function as an ADD.
+pub fn sign_add(bdds: &BddManager, adds: &mut AddManager<Dyadic>, f: Bdd) -> Add {
+    adds.from_bdd(bdds, f, Dyadic::MINUS_ONE, Dyadic::ONE)
+}
+
+/// Memoization storage for [`walsh_sparse`], reusable across calls on the
+/// same [`BddManager`] so that shared subgraphs are only transformed once.
+#[derive(Debug, Default)]
+pub struct SparseWalshCache {
+    memo: HashMap<Bdd, Rc<HashMap<u128, Dyadic>>>,
+}
+
+impl SparseWalshCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of memoized BDD nodes.
+    pub fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.memo.is_empty()
+    }
+}
+
+/// Sparse normalized Walsh spectrum of `f`: a map from spectral coordinate
+/// `α` (bit `i` = variable `i`) to the non-zero coefficient `W_f(α)`.
+///
+/// Coefficients on variables outside `f`'s support are zero and never appear
+/// as keys, so the map size is bounded by `2^|support(f)|` regardless of the
+/// manager's width.
+pub fn walsh_sparse(
+    bdds: &BddManager,
+    f: Bdd,
+    cache: &mut SparseWalshCache,
+) -> Rc<HashMap<u128, Dyadic>> {
+    if f == Bdd::FALSE {
+        return Rc::new(HashMap::from([(0u128, Dyadic::ONE)]));
+    }
+    if f == Bdd::TRUE {
+        return Rc::new(HashMap::from([(0u128, Dyadic::MINUS_ONE)]));
+    }
+    if let Some(r) = cache.memo.get(&f) {
+        return Rc::clone(r);
+    }
+    let (var, lo, hi) = bdds.node(f).expect("non-terminal");
+    let w0 = walsh_sparse(bdds, lo, cache);
+    let w1 = walsh_sparse(bdds, hi, cache);
+    let mut out: HashMap<u128, Dyadic> = HashMap::with_capacity(w0.len() + w1.len());
+    let bit = 1u128 << var.0;
+    for (&k, &c0) in w0.iter() {
+        let c1 = w1.get(&k).copied().unwrap_or(Dyadic::ZERO);
+        let sum = (c0 + c1).half();
+        let diff = (c0 - c1).half();
+        if !sum.is_zero() {
+            out.insert(k, sum);
+        }
+        if !diff.is_zero() {
+            out.insert(k | bit, diff);
+        }
+    }
+    for (&k, &c1) in w1.iter() {
+        if w0.contains_key(&k) {
+            continue;
+        }
+        let sum = c1.half();
+        if !sum.is_zero() {
+            out.insert(k, sum);
+            out.insert(k | bit, -sum);
+        }
+    }
+    let rc = Rc::new(out);
+    cache.memo.insert(f, Rc::clone(&rc));
+    rc
+}
+
+/// Reference dense WHT: normalized spectrum of a truth table.
+///
+/// `bits[x]` is `f(x)` with `x` read as the assignment (bit `i` = variable
+/// `i`). The length must be a power of two.
+///
+/// # Panics
+///
+/// Panics if `bits.len()` is not a power of two.
+pub fn dense_walsh(bits: &[bool]) -> Vec<Dyadic> {
+    assert!(bits.len().is_power_of_two(), "truth table length must be 2^n");
+    let mut v: Vec<i64> = bits.iter().map(|&b| if b { -1 } else { 1 }).collect();
+    let n = v.len();
+    let mut h = 1;
+    while h < n {
+        for i in (0..n).step_by(h * 2) {
+            for j in i..i + h {
+                let (a, b) = (v[j], v[j + h]);
+                v[j] = a + b;
+                v[j + h] = a - b;
+            }
+        }
+        h *= 2;
+    }
+    let log = n.trailing_zeros() as i32;
+    v.into_iter().map(|c| Dyadic::new(c as i128, -log)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::VarSet;
+
+    fn truth_table(bdds: &BddManager, f: Bdd) -> Vec<bool> {
+        let n = bdds.num_vars();
+        (0..1u128 << n).map(|a| bdds.eval(f, a)).collect()
+    }
+
+    fn check_all_transforms_agree(bdds: &BddManager, adds: &mut AddManager<Dyadic>, f: Bdd) {
+        let n = bdds.num_vars();
+        let dense = dense_walsh(&truth_table(bdds, f));
+        let spectrum_add = walsh_add(bdds, adds, f);
+        let mut cache = SparseWalshCache::new();
+        let sparse = walsh_sparse(bdds, f, &mut cache);
+        for alpha in 0..1u128 << n {
+            let expect = dense[alpha as usize];
+            assert_eq!(*adds.eval(spectrum_add, alpha), expect, "ADD at α={alpha}");
+            let got = sparse.get(&alpha).copied().unwrap_or(Dyadic::ZERO);
+            assert_eq!(got, expect, "sparse at α={alpha}");
+        }
+    }
+
+    #[test]
+    fn spectrum_of_constants() {
+        let b = BddManager::new(3);
+        let mut a = AddManager::new(3);
+        check_all_transforms_agree(&b, &mut a, Bdd::TRUE);
+        check_all_transforms_agree(&b, &mut a, Bdd::FALSE);
+        let t = b.constant(true);
+        let mut cache = SparseWalshCache::new();
+        let s = walsh_sparse(&b, t, &mut cache);
+        assert_eq!(s.get(&0), Some(&Dyadic::MINUS_ONE));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn spectrum_of_literal_and_xor() {
+        let mut b = BddManager::new(3);
+        let mut a = AddManager::new(3);
+        let x = b.var(VarId(0));
+        check_all_transforms_agree(&b, &mut a, x);
+        let vars: VarSet = (0..3).map(VarId).collect();
+        let p = b.parity(vars);
+        check_all_transforms_agree(&b, &mut a, p);
+        // Parity has a single spectral line at α = 111 where f(x) ⊕ α·x ≡ 0.
+        let mut cache = SparseWalshCache::new();
+        let s = walsh_sparse(&b, p, &mut cache);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(&0b111), Some(&Dyadic::ONE));
+    }
+
+    #[test]
+    fn spectrum_of_and_or_majority() {
+        let mut b = BddManager::new(3);
+        let mut a = AddManager::new(3);
+        let x = b.var(VarId(0));
+        let y = b.var(VarId(1));
+        let z = b.var(VarId(2));
+        let xy = b.and(x, y);
+        check_all_transforms_agree(&b, &mut a, xy);
+        let or3 = b.or(xy, z);
+        check_all_transforms_agree(&b, &mut a, or3);
+        let yz = b.and(y, z);
+        let xz = b.and(x, z);
+        let t = b.or(xy, yz);
+        let maj = b.or(t, xz);
+        check_all_transforms_agree(&b, &mut a, maj);
+    }
+
+    #[test]
+    fn masked_and_spectrum_has_no_secret_line() {
+        // f = (a ∧ b) ⊕ r is uncorrelated with every α not involving r.
+        let mut b = BddManager::new(3);
+        let a_ = b.var(VarId(0));
+        let b_ = b.var(VarId(1));
+        let r = b.var(VarId(2));
+        let ab = b.and(a_, b_);
+        let f = b.xor(ab, r);
+        let mut cache = SparseWalshCache::new();
+        let s = walsh_sparse(&b, f, &mut cache);
+        for (&alpha, c) in s.iter() {
+            assert!(!c.is_zero());
+            assert!(alpha >> 2 & 1 == 1, "entry at α={alpha:b} without the mask bit");
+        }
+    }
+
+    #[test]
+    fn parseval_holds_for_sparse_spectra() {
+        let mut b = BddManager::new(4);
+        let w = b.var(VarId(0));
+        let x = b.var(VarId(1));
+        let y = b.var(VarId(2));
+        let z = b.var(VarId(3));
+        let wx = b.and(w, x);
+        let yz = b.xor(y, z);
+        let f = b.or(wx, yz);
+        let mut cache = SparseWalshCache::new();
+        let s = walsh_sparse(&b, f, &mut cache);
+        let energy: Dyadic = s.values().map(|c| *c * *c).sum();
+        assert_eq!(energy, Dyadic::ONE);
+    }
+
+    #[test]
+    fn inverse_wht_round_trips() {
+        let mut b = BddManager::new(3);
+        let mut a = AddManager::new(3);
+        let x = b.var(VarId(0));
+        let y = b.var(VarId(1));
+        let f = b.nand(x, y);
+        let sign = sign_add(&b, &mut a, f);
+        let spec = wht(&mut a, sign);
+        let back = inverse_wht(&mut a, spec);
+        assert_eq!(back, sign);
+    }
+
+    #[test]
+    #[allow(unused_mut)]
+    fn dense_walsh_small_cases() {
+        // f(x) = x on one variable: W(0)=0, W(1)=1... with sign convention
+        // W(1) = ½((−1)^0·(−1)^0 + (−1)^1·(−1)^1) = 1.
+        let s = dense_walsh(&[false, true]);
+        assert_eq!(s[0], Dyadic::ZERO);
+        assert_eq!(s[1], Dyadic::ONE);
+        // AND of two variables.
+        let s = dense_walsh(&[false, false, false, true]);
+        assert_eq!(s[0], Dyadic::new(1, -1));
+        assert_eq!(s[0b11], Dyadic::new(-1, -1));
+    }
+
+    #[test]
+    fn cache_is_reused_across_functions() {
+        let mut b = BddManager::new(3);
+        let x = b.var(VarId(0));
+        let y = b.var(VarId(1));
+        let f = b.and(x, y);
+        let g = b.or(f, x);
+        let mut cache = SparseWalshCache::new();
+        let _ = walsh_sparse(&b, f, &mut cache);
+        let filled = cache.len();
+        assert!(filled > 0);
+        let _ = walsh_sparse(&b, g, &mut cache);
+        assert!(cache.len() >= filled);
+    }
+}

@@ -1,0 +1,186 @@
+//! Cardinality-threshold BDD constructors.
+//!
+//! The non-interference "relation matrix" `T(α, ρ)` of the paper marks the
+//! spectral coordinates where the Walsh matrix must vanish; its building
+//! blocks are predicates of the form *"at least k of these variables are
+//! set"*. These are symmetric functions with linear-size BDDs, built here by
+//! dynamic programming over the variable order.
+//!
+//! ```
+//! use walshcheck_dd::bdd::BddManager;
+//! use walshcheck_dd::threshold::at_least;
+//! use walshcheck_dd::var::{VarId, VarSet};
+//!
+//! let mut m = BddManager::new(4);
+//! let vars: VarSet = (0..4).map(VarId).collect();
+//! let maj = at_least(&mut m, &vars, 3);
+//! assert!(m.eval(maj, 0b0111));
+//! assert!(!m.eval(maj, 0b0101));
+//! ```
+
+use crate::bdd::{Bdd, BddManager};
+use crate::var::VarSet;
+
+/// BDD of "at least `k` of `vars` are 1".
+///
+/// For `k = 0` this is the constant true; for `k > |vars|` constant false.
+pub fn at_least(m: &mut BddManager, vars: &VarSet, k: usize) -> Bdd {
+    let members: Vec<_> = vars.iter().collect();
+    let n = members.len();
+    if k == 0 {
+        return Bdd::TRUE;
+    }
+    if k > n {
+        return Bdd::FALSE;
+    }
+    // row[j] = "at least j more ones among the remaining variables".
+    // Process variables bottom-up.
+    let mut row: Vec<Bdd> = (0..=k).map(|j| m.constant(j == 0)).collect();
+    for &v in members.iter().rev() {
+        let lit = m.var(v);
+        let mut next = Vec::with_capacity(k + 1);
+        next.push(Bdd::TRUE);
+        for j in 1..=k {
+            let if_one = row[j - 1];
+            let if_zero = row[j];
+            next.push(m.ite(lit, if_one, if_zero));
+        }
+        row = next;
+    }
+    row[k]
+}
+
+/// BDD of "at least `k` of the functions `fns` are 1".
+///
+/// Generalizes [`at_least`] from literals to arbitrary predicate BDDs — used
+/// to build PINI relation matrices, where each "counted bit" is itself a
+/// disjunction (an index appearing in any share group).
+pub fn at_least_fns(m: &mut BddManager, fns: &[Bdd], k: usize) -> Bdd {
+    if k == 0 {
+        return Bdd::TRUE;
+    }
+    if k > fns.len() {
+        return Bdd::FALSE;
+    }
+    let mut row: Vec<Bdd> = (0..=k).map(|j| m.constant(j == 0)).collect();
+    for &f in fns.iter().rev() {
+        let mut next = Vec::with_capacity(k + 1);
+        next.push(Bdd::TRUE);
+        for j in 1..=k {
+            let if_one = row[j - 1];
+            let if_zero = row[j];
+            next.push(m.ite(f, if_one, if_zero));
+        }
+        row = next;
+    }
+    row[k]
+}
+
+/// BDD of "at most `k` of `vars` are 1".
+pub fn at_most(m: &mut BddManager, vars: &VarSet, k: usize) -> Bdd {
+    let above = at_least(m, vars, k + 1);
+    m.not(above)
+}
+
+/// BDD of "exactly `k` of `vars` are 1".
+pub fn exactly(m: &mut BddManager, vars: &VarSet, k: usize) -> Bdd {
+    let ge = at_least(m, vars, k);
+    let le = at_most(m, vars, k);
+    m.and(ge, le)
+}
+
+/// BDD of "all of `vars` are 0".
+pub fn all_zero(m: &mut BddManager, vars: &VarSet) -> Bdd {
+    at_most(m, vars, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::VarId;
+
+    fn vars(n: u32) -> VarSet {
+        (0..n).map(VarId).collect()
+    }
+
+    #[test]
+    fn thresholds_match_popcount() {
+        let mut m = BddManager::new(5);
+        let vs = vars(5);
+        for k in 0..=6usize {
+            let ge = at_least(&mut m, &vs, k);
+            let le = at_most(&mut m, &vs, k);
+            let eq = exactly(&mut m, &vs, k);
+            for a in 0..32u128 {
+                let ones = a.count_ones() as usize;
+                assert_eq!(m.eval(ge, a), ones >= k, "≥{k} at {a:b}");
+                assert_eq!(m.eval(le, a), ones <= k, "≤{k} at {a:b}");
+                assert_eq!(m.eval(eq, a), ones == k, "={k} at {a:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn thresholds_on_subsets() {
+        let mut m = BddManager::new(6);
+        let vs: VarSet = [VarId(1), VarId(3), VarId(5)].into_iter().collect();
+        let ge2 = at_least(&mut m, &vs, 2);
+        assert!(m.eval(ge2, 0b001010));
+        assert!(!m.eval(ge2, 0b010101)); // only bit 3 hmm: bits 0,2,4 set → none... one? bit 2? not in set; check below
+        assert!(m.eval(ge2, 0b101000));
+        // Variables outside the set are ignored.
+        assert!(m.eval(ge2, 0b001010 | 0b000101));
+    }
+
+    #[test]
+    fn all_zero_is_complement_cube() {
+        let mut m = BddManager::new(4);
+        let vs: VarSet = [VarId(0), VarId(2)].into_iter().collect();
+        let z = all_zero(&mut m, &vs);
+        for a in 0..16u128 {
+            assert_eq!(m.eval(z, a), a & 0b0101 == 0);
+        }
+    }
+
+    #[test]
+    fn degenerate_thresholds() {
+        let mut m = BddManager::new(3);
+        let vs = vars(3);
+        assert_eq!(at_least(&mut m, &vs, 0), Bdd::TRUE);
+        assert_eq!(at_least(&mut m, &vs, 4), Bdd::FALSE);
+        assert_eq!(at_most(&mut m, &vs, 3), Bdd::TRUE);
+        assert_eq!(at_least(&mut m, &VarSet::EMPTY, 1), Bdd::FALSE);
+        assert_eq!(at_most(&mut m, &VarSet::EMPTY, 0), Bdd::TRUE);
+    }
+
+    #[test]
+    fn at_least_fns_counts_predicates() {
+        let mut m = BddManager::new(4);
+        let a = m.var(VarId(0));
+        let b = m.var(VarId(1));
+        let c = m.var(VarId(2));
+        let d = m.var(VarId(3));
+        let ab = m.or(a, b);
+        let cd = m.and(c, d);
+        let fns = [ab, cd, a];
+        for k in 0..=4usize {
+            let f = at_least_fns(&mut m, &fns, k);
+            for asg in 0..16u128 {
+                let ones = [m.eval(ab, asg), m.eval(cd, asg), m.eval(a, asg)]
+                    .iter()
+                    .filter(|&&x| x)
+                    .count();
+                assert_eq!(m.eval(f, asg), ones >= k, "k={k} asg={asg:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_bdds_are_small() {
+        let mut m = BddManager::new(32);
+        let vs: VarSet = (0..32).map(VarId).collect();
+        let f = at_least(&mut m, &vs, 16);
+        // Symmetric function: O(n·k) nodes, far below 2^32.
+        assert!(m.node_count(f) < 32 * 17 + 2);
+    }
+}

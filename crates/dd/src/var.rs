@@ -1,0 +1,180 @@
+//! Variable identifiers and compact variable sets.
+
+use std::fmt;
+
+/// Identifier of a decision variable.
+///
+/// Variables are identified by their level in the (static) variable order:
+/// variable `0` is tested first. Managers support up to [`VarId::MAX_VARS`]
+/// variables so that a [`VarSet`] fits into a single `u128`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Upper bound on the number of variables a manager may hold.
+    pub const MAX_VARS: u32 = 128;
+
+    /// The level of the variable in the order (0 = topmost).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A set of decision variables, stored as a 128-bit mask.
+///
+/// ```
+/// use walshcheck_dd::var::{VarId, VarSet};
+///
+/// let mut s = VarSet::EMPTY;
+/// s.insert(VarId(3));
+/// s.insert(VarId(7));
+/// assert!(s.contains(VarId(3)));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![VarId(3), VarId(7)]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct VarSet(pub u128);
+
+impl VarSet {
+    /// The empty set.
+    pub const EMPTY: VarSet = VarSet(0);
+
+    /// The singleton `{v}`.
+    pub fn singleton(v: VarId) -> Self {
+        VarSet(1u128 << v.0)
+    }
+
+    /// Inserts a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is at or beyond [`VarId::MAX_VARS`].
+    pub fn insert(&mut self, v: VarId) {
+        assert!(v.0 < VarId::MAX_VARS, "variable index out of range");
+        self.0 |= 1u128 << v.0;
+    }
+
+    /// Removes a variable.
+    pub fn remove(&mut self, v: VarId) {
+        self.0 &= !(1u128 << v.0);
+    }
+
+    /// Whether the set contains `v`.
+    pub fn contains(&self, v: VarId) -> bool {
+        v.0 < VarId::MAX_VARS && self.0 >> v.0 & 1 == 1
+    }
+
+    /// Number of variables in the set.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &VarSet) -> VarSet {
+        VarSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &VarSet) -> VarSet {
+        VarSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &VarSet) -> VarSet {
+        VarSet(self.0 & !other.0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &VarSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates over the members in increasing level order.
+    pub fn iter(&self) -> impl Iterator<Item = VarId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let v = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(VarId(v))
+            }
+        })
+    }
+}
+
+impl FromIterator<VarId> for VarSet {
+    fn from_iter<I: IntoIterator<Item = VarId>>(iter: I) -> Self {
+        let mut s = VarSet::EMPTY;
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+impl Extend<VarId> for VarSet {
+    fn extend<I: IntoIterator<Item = VarId>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl fmt::Display for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_algebra() {
+        let a: VarSet = [VarId(0), VarId(2), VarId(64)].into_iter().collect();
+        let b: VarSet = [VarId(2), VarId(3)].into_iter().collect();
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(a.intersection(&b), VarSet::singleton(VarId(2)));
+        assert_eq!(a.difference(&b).len(), 2);
+        assert!(VarSet::singleton(VarId(2)).is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert!(VarSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = VarSet::EMPTY;
+        s.insert(VarId(127));
+        assert!(s.contains(VarId(127)));
+        s.remove(VarId(127));
+        assert!(s.is_empty());
+        assert!(!s.contains(VarId(5)));
+    }
+
+    #[test]
+    fn display() {
+        let s: VarSet = [VarId(1), VarId(3)].into_iter().collect();
+        assert_eq!(s.to_string(), "{x1, x3}");
+    }
+}

@@ -1,0 +1,98 @@
+//! First-order threshold implementation of the 3-bit χ permutation.
+//!
+//! χ₃ is the smallest member of the Keccak χ family and the classic
+//! multi-output TI case study (Nikova et al.): three secrets, three shares
+//! each, **no fresh randomness**, with the non-complete sharing
+//!
+//! ```text
+//! y_{i,s} = a_{i, s+1}  ⊕  TI-AND share s of (¬x_{i+1}, x_{i+2})
+//! ```
+//!
+//! where the complement flips share 0 only. Like [`crate::ti`], the result
+//! is first-order probing secure — even under glitches — but neither SNI
+//! nor uniform.
+
+use walshcheck_circuit::builder::NetlistBuilder;
+use walshcheck_circuit::netlist::Netlist;
+
+/// Builds the 3-share TI of the 3-bit χ map
+/// `y_i = x_i ⊕ (¬x_{i+1} ∧ x_{i+2})`.
+pub fn chi3_ti() -> Netlist {
+    let mut b = NetlistBuilder::new("chi3-ti");
+    let secrets: Vec<_> = (0..3).map(|i| b.secret(format!("x{i}"))).collect();
+    let x: Vec<Vec<_>> = secrets.iter().map(|&s| b.shares(s, 3)).collect();
+    // Complemented sharing of each input: flip share 0.
+    let notx: Vec<Vec<_>> = (0..3)
+        .map(|i| {
+            let mut v = x[i].clone();
+            v[0] = b.not(v[0]);
+            v
+        })
+        .collect();
+    for i in 0..3usize {
+        let a = &x[i];
+        let u = &notx[(i + 1) % 3];
+        let v = &x[(i + 2) % 3];
+        let o = b.output(format!("y{i}"));
+        for s in 0..3usize {
+            let j = (s + 1) % 3;
+            let k = (s + 2) % 3;
+            // TI AND share s over (u, v): avoids index s entirely.
+            let p1 = b.and(u[j], v[j]);
+            let p2 = b.and(u[j], v[k]);
+            let p3 = b.and(u[k], v[j]);
+            let t1 = b.xor(p1, p2);
+            let t2 = b.xor(t1, p3);
+            // Linear term with index j keeps share s non-complete.
+            let y = b.xor(t2, a[j]);
+            b.output_share(y, o, s as u32);
+        }
+    }
+    b.build().expect("chi3 netlist is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::check_gadget_function_multi;
+    use walshcheck_circuit::netlist::InputRole;
+
+    #[test]
+    fn chi3_computes_chi() {
+        check_gadget_function_multi(&chi3_ti(), &|s, i| {
+            s[i] ^ (!s[(i + 1) % 3] & s[(i + 2) % 3])
+        });
+    }
+
+    #[test]
+    fn chi3_is_non_complete() {
+        // Output share s never depends on input shares of index s.
+        let n = chi3_ti();
+        let unf = walshcheck_circuit::unfold(&n).expect("acyclic");
+        for (w, role) in &n.outputs {
+            let walshcheck_circuit::netlist::OutputRole::Share { index, .. } = role else {
+                continue;
+            };
+            let sup = unf.bdds.support(unf.wire_fn(*w));
+            for (pos, &(_, irole)) in n.inputs.iter().enumerate() {
+                if let InputRole::Share { index: sidx, .. } = irole {
+                    if sidx == *index {
+                        assert!(
+                            !sup.contains(walshcheck_dd::VarId(pos as u32)),
+                            "share index {sidx} leaks into output share {index}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chi3_structure() {
+        let n = chi3_ti();
+        assert_eq!(n.num_secrets(), 3);
+        assert_eq!(n.inputs.len(), 9);
+        assert!(n.randoms().is_empty());
+        assert_eq!(n.output_names.len(), 3);
+    }
+}

@@ -1,0 +1,151 @@
+//! The composition example of the paper (Fig. 1) — `g ∘ f` with a non-SNI
+//! inner refresh.
+//!
+//! The paper's Fig. 1 (derived from Coron, *Higher Order Masking of Look-Up
+//! Tables* \[2\]) composes a 3-share refresh `f` that is d-NI but **not**
+//! d-SNI (`o_f = [a₀⊕r₀⊕r₁, a₁⊕r₀, a₂⊕r₁]`, with the internal probe
+//! `p_f = a₀ ⊕ r₀`) into an order-2 ISW multiplication `g` (d-SNI, with the
+//! probe `p_g` on a cross-domain product). Because the refresh is only NI,
+//! the classical `x·R(x)` flaw applies when the multiplier's second operand
+//! carries the *same* secret: two probed values (`p_f` together with the
+//! `o_{f,2}·a₁` accumulation inside `g`) jointly depend on all three shares
+//! of `a` — the witness of the paper's Fig. 2 ("one needs only two probed
+//! values to get three shares"), so the composition is **not 2-NI**.
+//!
+//! Three variants are provided and cross-checked in the test-suite:
+//!
+//! * [`composition_fig1`] — `isw₂(refresh_fig1(a), a)`: **not** 2-NI;
+//! * [`composition_fixed`] — the same with an SNI (ISW) refresh: 2-NI, as
+//!   the composition theorem (SNI ∘ anything) predicts;
+//! * [`composition_independent`] — `isw₂(refresh_fig1(a), b)` with an
+//!   independent second operand: 2-NI (the flaw needs the shared operand).
+
+use walshcheck_circuit::builder::NetlistBuilder;
+use walshcheck_circuit::netlist::{Netlist, WireId};
+
+/// Shared tail: order-2 ISW multiplication of sharings `u × v`, probing
+/// conventions of the paper (the `o_{f,2}·v₁` product is named `p_g`).
+fn isw2_tail(b: &mut NetlistBuilder, u: [WireId; 3], v: [WireId; 3]) {
+    let n = 3usize;
+    let mut rg = vec![vec![None; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            rg[i][j] = Some(b.random(format!("rg[{i},{j}]")));
+        }
+    }
+    let mut z: Vec<Vec<Option<WireId>>> = vec![vec![None; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let rij = rg[i][j].expect("random present");
+            z[i][j] = Some(rij);
+            let uivj = b.and(u[i], v[j]);
+            let t = b.xor(rij, uivj);
+            // The paper's probe p_g = o_{f,2} ∧ b₁ is the (2,1) product.
+            let ujvi = if (j, i) == (2, 1) {
+                b.gate_named(walshcheck_circuit::Gate::And, &[u[j], v[i]], "p_g")
+            } else {
+                b.and(u[j], v[i])
+            };
+            z[j][i] = Some(b.xor(t, ujvi));
+        }
+    }
+    let o = b.output("c");
+    for i in 0..n {
+        let mut acc: WireId = b.and(u[i], v[i]);
+        for j in 0..n {
+            if i != j {
+                acc = b.xor(acc, z[i][j].expect("z defined"));
+            }
+        }
+        b.output_share(acc, o, i as u32);
+    }
+}
+
+/// The paper's Fig. 1 refresh of `a` with two randoms; the intermediate
+/// `t₀ = a₀ ⊕ r₀` is the probe `p_f`.
+fn refresh_tail(b: &mut NetlistBuilder, a: [WireId; 3], rf: [WireId; 2]) -> [WireId; 3] {
+    let t0 = b.gate_named(walshcheck_circuit::Gate::Xor, &[a[0], rf[0]], "p_f");
+    let of0 = b.xor(t0, rf[1]);
+    let of1 = b.xor(a[1], rf[0]);
+    let of2 = b.xor(a[2], rf[1]);
+    [of0, of1, of2]
+}
+
+/// Builds the paper's composed circuit `h = isw₂(refresh_fig1(a), a)`.
+///
+/// **Not 2-NI**: the probes `p_f = a₀⊕r₀` and the `o_{f,2}·a₁` accumulation
+/// jointly depend on all three shares of `a`.
+pub fn composition_fig1() -> Netlist {
+    let mut b = NetlistBuilder::new("fig1-composition");
+    let sa = b.secret("a");
+    let a = b.shares(sa, 3);
+    let rf = b.randoms("rf", 2);
+    let a = [a[0], a[1], a[2]];
+    let of = refresh_tail(&mut b, a, [rf[0], rf[1]]);
+    isw2_tail(&mut b, of, a);
+    b.build().expect("composition netlist is structurally valid")
+}
+
+/// The same composition with the inner refresh upgraded to an ISW (SNI)
+/// refresh: 2-NI by the composition theorem — the positive counterpart.
+pub fn composition_fixed() -> Netlist {
+    let mut b = NetlistBuilder::new("fig1-composition-fixed");
+    let sa = b.secret("a");
+    let a = b.shares(sa, 3);
+    let a = [a[0], a[1], a[2]];
+    let mut of = a;
+    for i in 0..3 {
+        for j in (i + 1)..3 {
+            let r = b.random(format!("rf[{i},{j}]"));
+            of[i] = b.xor(of[i], r);
+            of[j] = b.xor(of[j], r);
+        }
+    }
+    isw2_tail(&mut b, of, a);
+    b.build().expect("composition netlist is structurally valid")
+}
+
+/// `isw₂(refresh_fig1(a), b)` with an *independent* second operand: 2-NI —
+/// the `x·R(x)` flaw needs both multiplier inputs to carry the same secret.
+pub fn composition_independent() -> Netlist {
+    let mut b = NetlistBuilder::new("fig1-composition-independent");
+    let sa = b.secret("a");
+    let sb = b.secret("b");
+    let a = b.shares(sa, 3);
+    let bs = b.shares(sb, 3);
+    let rf = b.randoms("rf", 2);
+    let a = [a[0], a[1], a[2]];
+    let of = refresh_tail(&mut b, a, [rf[0], rf[1]]);
+    isw2_tail(&mut b, of, [bs[0], bs[1], bs[2]]);
+    b.build().expect("composition netlist is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::check_gadget_function;
+
+    #[test]
+    fn compositions_compute_their_products() {
+        // x·R(x) computes a∧a = a.
+        check_gadget_function(&composition_fig1(), &|s| s[0]);
+        check_gadget_function(&composition_fixed(), &|s| s[0]);
+        // The independent variant computes a∧b.
+        check_gadget_function(&composition_independent(), &|s| s[0] & s[1]);
+    }
+
+    #[test]
+    fn named_probe_wires_exist() {
+        for n in [composition_fig1(), composition_independent()] {
+            assert!(n.cells.iter().any(|c| c.name == "p_f"));
+            assert!(n.cells.iter().any(|c| c.name == "p_g"));
+        }
+    }
+
+    #[test]
+    fn randomness_budgets() {
+        assert_eq!(composition_fig1().randoms().len(), 5); // 2 + 3
+        assert_eq!(composition_fixed().randoms().len(), 6); // 3 + 3
+        assert_eq!(composition_independent().randoms().len(), 5);
+    }
+}

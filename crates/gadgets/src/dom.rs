@@ -1,0 +1,100 @@
+//! The Domain-Oriented Masking (DOM) AND gadget.
+//!
+//! Gross, Mangard, Korak — *Domain-Oriented Masking: Compact Masked Hardware
+//! Implementations with Arbitrary Protection Order*, TIS '16. The DOM-indep
+//! multiplier at order `d` uses `n = d + 1` shares per operand and one fresh
+//! random bit `z_{ij}` per unordered cross-domain pair `{i, j}`:
+//!
+//! ```text
+//! c_i = a_i·b_i ⊕ ⊕_{j>i} Reg(a_i·b_j ⊕ z_{ij}) ⊕ ⊕_{j<i} Reg(a_i·b_j ⊕ z_{ji})
+//! ```
+//!
+//! The registers after resharing are part of the published design (they stop
+//! glitch propagation); functionally they are identities, and the
+//! glitch-extended probing model in `walshcheck-circuit` treats them as cone
+//! boundaries.
+
+use walshcheck_circuit::builder::NetlistBuilder;
+use walshcheck_circuit::netlist::{Netlist, WireId};
+
+/// Builds the DOM-indep AND gadget at protection order `order`
+/// (`n = order + 1` shares, `n(n−1)/2` randoms).
+///
+/// # Panics
+///
+/// Panics if `order == 0`.
+pub fn dom_and(order: u32) -> Netlist {
+    assert!(order >= 1, "DOM needs order ≥ 1");
+    let n = (order + 1) as usize;
+    let mut b = NetlistBuilder::new(format!("dom-{order}"));
+    let sx = b.secret("x");
+    let sy = b.secret("y");
+    let x = b.shares(sx, n as u32);
+    let y = b.shares(sy, n as u32);
+    let mut z = vec![vec![None; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let r = b.random(format!("z[{i},{j}]"));
+            z[i][j] = Some(r);
+            z[j][i] = Some(r);
+        }
+    }
+    let o = b.output("q");
+    // Resharing terms Reg(x_i y_j ⊕ z_ij) are shared between domains i and
+    // j only through the random; each domain sums its own row.
+    let mut reshared = vec![vec![None; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let prod = b.and(x[i], y[j]);
+            let masked = b.xor(prod, z[i][j].expect("random for cross pair"));
+            reshared[i][j] = Some(b.reg(masked));
+        }
+    }
+    for i in 0..n {
+        let mut acc: WireId = b.and(x[i], y[i]);
+        for j in 0..n {
+            if i != j {
+                acc = b.xor(acc, reshared[i][j].expect("reshared term"));
+            }
+        }
+        b.output_share(acc, o, i as u32);
+    }
+    b.build().expect("DOM netlist is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::check_gadget_function;
+    use walshcheck_circuit::netlist::Gate;
+
+    #[test]
+    fn dom1_computes_and() {
+        check_gadget_function(&dom_and(1), &|s| s[0] & s[1]);
+    }
+
+    #[test]
+    fn dom2_computes_and() {
+        check_gadget_function(&dom_and(2), &|s| s[0] & s[1]);
+    }
+
+    #[test]
+    fn dom3_computes_and() {
+        check_gadget_function(&dom_and(3), &|s| s[0] & s[1]);
+    }
+
+    #[test]
+    fn dom_structure() {
+        let n = dom_and(1);
+        // 4 products + 2 maskings + 2 registers + 2 output xors = 10 cells.
+        assert_eq!(n.num_cells(), 10);
+        assert_eq!(n.randoms().len(), 1);
+        assert!(n.cells.iter().any(|c| c.gate == Gate::Dff));
+        let n4 = dom_and(4);
+        assert_eq!(n4.randoms().len(), 10);
+        assert_eq!(n4.shares_of(walshcheck_circuit::SecretId(0)).len(), 5);
+    }
+}

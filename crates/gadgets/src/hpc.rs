@@ -1,0 +1,164 @@
+//! Hardware Private Circuits (HPC) multipliers — PINI gadgets.
+//!
+//! Cassiers, Standaert — *Trivially and Efficiently Composable Masked
+//! Gadgets with Probe Isolating Non-Interference* (IEEE TIFS 2020). The
+//! paper under reproduction lists PINI verification as future work; these
+//! generators provide the canonical PINI-secure gadgets to exercise it:
+//!
+//! * **HPC1** — an SNI refresh on one operand followed by a DOM-indep
+//!   multiplier;
+//! * **HPC2** — the register-heavy single-stage construction
+//!
+//! ```text
+//! c_i = Reg(a_i·b_i) ⊕ ⊕_{j≠i} [ Reg(¬a_i·r_{ij}) ⊕ Reg(a_i·Reg(b_j ⊕ r_{ij})) ]
+//! ```
+//!
+//! with one fresh random per unordered share pair. Summing over `i`: the
+//! pairwise randoms cancel and `Σ c_i = a·b`.
+
+use walshcheck_circuit::builder::NetlistBuilder;
+use walshcheck_circuit::netlist::Netlist;
+
+/// Builds the HPC2 AND gadget at protection order `order`
+/// (`n = order + 1` shares, `n(n−1)/2` randoms). `d`-PINI, glitch-robust.
+///
+/// # Panics
+///
+/// Panics if `order == 0`.
+pub fn hpc2_and(order: u32) -> Netlist {
+    assert!(order >= 1, "HPC2 needs order ≥ 1");
+    let n = (order + 1) as usize;
+    let mut b = NetlistBuilder::new(format!("hpc2-{order}"));
+    let sa = b.secret("a");
+    let sb = b.secret("b");
+    let a = b.shares(sa, n as u32);
+    let bs = b.shares(sb, n as u32);
+    let mut r = vec![vec![None; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let rand = b.random(format!("r[{i},{j}]"));
+            r[i][j] = Some(rand);
+            r[j][i] = Some(rand);
+        }
+    }
+    let o = b.output("c");
+    for i in 0..n {
+        let not_ai = b.not(a[i]);
+        let prod = b.and(a[i], bs[i]);
+        let mut acc = b.reg(prod);
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            let rij = r[i][j].expect("pair random");
+            // u = Reg(¬a_i · r_ij)
+            let u0 = b.and(not_ai, rij);
+            let u = b.reg(u0);
+            // v = Reg(a_i · Reg(b_j ⊕ r_ij))
+            let masked = b.xor(bs[j], rij);
+            let masked_reg = b.reg(masked);
+            let v0 = b.and(a[i], masked_reg);
+            let v = b.reg(v0);
+            let uv = b.xor(u, v);
+            acc = b.xor(acc, uv);
+        }
+        b.output_share(acc, o, i as u32);
+    }
+    b.build().expect("HPC2 netlist is structurally valid")
+}
+
+/// Builds the HPC1 AND gadget at protection order `order`: an ISW (SNI)
+/// refresh of operand `b` followed by a DOM-indep multiplier. `d`-PINI.
+///
+/// # Panics
+///
+/// Panics if `order == 0`.
+pub fn hpc1_and(order: u32) -> Netlist {
+    assert!(order >= 1, "HPC1 needs order ≥ 1");
+    let n = (order + 1) as usize;
+    let mut bld = NetlistBuilder::new(format!("hpc1-{order}"));
+    let sa = bld.secret("a");
+    let sb = bld.secret("b");
+    let a = bld.shares(sa, n as u32);
+    let bs = bld.shares(sb, n as u32);
+    // SNI refresh of b (pairwise randoms), registered.
+    let mut b_ref = bs.clone();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let r = bld.random(format!("rr[{i},{j}]"));
+            b_ref[i] = bld.xor(b_ref[i], r);
+            b_ref[j] = bld.xor(b_ref[j], r);
+        }
+    }
+    let b_reg: Vec<_> = b_ref.iter().map(|&w| bld.reg(w)).collect();
+    // DOM-indep multiplication of a × refresh(b).
+    let mut z = vec![vec![None; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let rand = bld.random(format!("z[{i},{j}]"));
+            z[i][j] = Some(rand);
+            z[j][i] = Some(rand);
+        }
+    }
+    let o = bld.output("c");
+    let mut reshared = vec![vec![None; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let prod = bld.and(a[i], b_reg[j]);
+            let masked = bld.xor(prod, z[i][j].expect("pair random"));
+            reshared[i][j] = Some(bld.reg(masked));
+        }
+    }
+    for i in 0..n {
+        let mut acc = bld.and(a[i], b_reg[i]);
+        for j in 0..n {
+            if i != j {
+                acc = bld.xor(acc, reshared[i][j].expect("reshared term"));
+            }
+        }
+        bld.output_share(acc, o, i as u32);
+    }
+    bld.build().expect("HPC1 netlist is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::check_gadget_function;
+
+    #[test]
+    fn hpc2_computes_and() {
+        check_gadget_function(&hpc2_and(1), &|s| s[0] & s[1]);
+        check_gadget_function(&hpc2_and(2), &|s| s[0] & s[1]);
+    }
+
+    #[test]
+    fn hpc1_computes_and() {
+        check_gadget_function(&hpc1_and(1), &|s| s[0] & s[1]);
+        check_gadget_function(&hpc1_and(2), &|s| s[0] & s[1]);
+    }
+
+    #[test]
+    fn randomness_budgets() {
+        assert_eq!(hpc2_and(1).randoms().len(), 1);
+        assert_eq!(hpc2_and(3).randoms().len(), 6);
+        // HPC1 pays twice: refresh + resharing randoms.
+        assert_eq!(hpc1_and(1).randoms().len(), 2);
+        assert_eq!(hpc1_and(2).randoms().len(), 6);
+    }
+
+    #[test]
+    fn hpc2_is_register_heavy() {
+        let n = hpc2_and(1);
+        let regs = n
+            .cells
+            .iter()
+            .filter(|c| c.gate == walshcheck_circuit::Gate::Dff)
+            .count();
+        // Per share: 1 (diagonal) + (n−1)·3 registers.
+        assert_eq!(regs, 2 * (1 + 3));
+    }
+}

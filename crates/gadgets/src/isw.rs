@@ -1,0 +1,138 @@
+//! The Ishai–Sahai–Wagner (ISW) masked multiplication gadget.
+//!
+//! *Private Circuits: Securing Hardware against Probing Attacks*, CRYPTO '03.
+//! At protection order `d` each input is split into `n = d + 1` shares and
+//! the gadget consumes `n(n−1)/2` fresh random bits `r_{ij}` (`i < j`):
+//!
+//! ```text
+//! z_ij = r_ij                         for i < j
+//! z_ji = (r_ij ⊕ a_i·b_j) ⊕ a_j·b_i   for i < j
+//! c_i  = a_i·b_i ⊕ ⊕_{j≠i} z_ij
+//! ```
+//!
+//! The gadget is `d`-SNI for every order.
+
+use walshcheck_circuit::builder::NetlistBuilder;
+use walshcheck_circuit::netlist::{Netlist, WireId};
+
+/// Builds the ISW AND gadget at protection order `order` (`n = order + 1`
+/// shares).
+///
+/// # Panics
+///
+/// Panics if `order == 0` (an unmasked AND is not a gadget).
+pub fn isw_and(order: u32) -> Netlist {
+    assert!(order >= 1, "ISW needs order ≥ 1");
+    let n = (order + 1) as usize;
+    let mut b = NetlistBuilder::new(format!("isw-{order}"));
+    let sa = b.secret("a");
+    let sb = b.secret("b");
+    let a = b.shares(sa, n as u32);
+    let bs = b.shares(sb, n as u32);
+    // r[i][j] for i < j.
+    let mut r = vec![vec![None; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            r[i][j] = Some(b.random(format!("r[{i},{j}]")));
+        }
+    }
+    // z[i][j] for all i ≠ j.
+    let mut z = vec![vec![None; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let rij = r[i][j].expect("random present");
+            z[i][j] = Some(rij);
+            // z_ji = (r_ij ⊕ a_i b_j) ⊕ a_j b_i — this bracketing is the
+            // security-critical evaluation order of the original paper.
+            let aibj = b.and(a[i], bs[j]);
+            let t = b.xor(rij, aibj);
+            let ajbi = b.and(a[j], bs[i]);
+            z[j][i] = Some(b.xor(t, ajbi));
+        }
+    }
+    let o = b.output("c");
+    for i in 0..n {
+        let mut acc: WireId = b.and(a[i], bs[i]);
+        for (j, zrow) in z[i].iter().enumerate() {
+            if j != i {
+                acc = b.xor(acc, zrow.expect("z defined for i≠j"));
+            }
+        }
+        b.output_share(acc, o, i as u32);
+    }
+    b.build().expect("ISW netlist is structurally valid")
+}
+
+/// A sabotaged ISW gadget with one random wire replaced by constant reuse of
+/// another random — used by tests to confirm the verifier detects broken
+/// masking.
+pub fn isw_and_broken(order: u32) -> Netlist {
+    assert!(order >= 1, "ISW needs order ≥ 1");
+    let n = (order + 1) as usize;
+    let mut b = NetlistBuilder::new(format!("isw-{order}-broken"));
+    let sa = b.secret("a");
+    let sb = b.secret("b");
+    let a = b.shares(sa, n as u32);
+    let bs = b.shares(sb, n as u32);
+    let shared_r = b.random("r_shared");
+    let mut z = vec![vec![None; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            // Every pair reuses the same random bit: the pairwise masking
+            // cancels between rows and leaks.
+            let rij = shared_r;
+            z[i][j] = Some(rij);
+            let aibj = b.and(a[i], bs[j]);
+            let t = b.xor(rij, aibj);
+            let ajbi = b.and(a[j], bs[i]);
+            z[j][i] = Some(b.xor(t, ajbi));
+        }
+    }
+    let o = b.output("c");
+    for i in 0..n {
+        let mut acc: WireId = b.and(a[i], bs[i]);
+        for (j, zrow) in z[i].iter().enumerate() {
+            if j != i {
+                acc = b.xor(acc, zrow.expect("z defined for i≠j"));
+            }
+        }
+        b.output_share(acc, o, i as u32);
+    }
+    b.build().expect("netlist is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::check_gadget_function;
+
+    #[test]
+    fn isw1_computes_and() {
+        check_gadget_function(&isw_and(1), &|x| x[0] & x[1]);
+    }
+
+    #[test]
+    fn isw2_computes_and() {
+        check_gadget_function(&isw_and(2), &|x| x[0] & x[1]);
+    }
+
+    #[test]
+    fn isw3_computes_and() {
+        check_gadget_function(&isw_and(3), &|x| x[0] & x[1]);
+    }
+
+    #[test]
+    fn isw_counts() {
+        let n = isw_and(2);
+        assert_eq!(n.shares_of(walshcheck_circuit::SecretId(0)).len(), 3);
+        assert_eq!(n.randoms().len(), 3);
+        let n = isw_and(4);
+        assert_eq!(n.randoms().len(), 10);
+    }
+
+    #[test]
+    fn broken_isw_still_computes_and() {
+        // The sabotage breaks security, not correctness.
+        check_gadget_function(&isw_and_broken(2), &|x| x[0] & x[1]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Higher-order masked Keccak χ row function.
+//!
+//! Gross, Schaffenrath, Mangard — *Higher-Order Side-Channel Protected
+//! Implementations of Keccak*, DSD '17. The χ step maps a 5-bit row to
+//!
+//! ```text
+//! y_i = x_i ⊕ (¬x_{i+1} ∧ x_{i+2})      (indices mod 5)
+//! ```
+//!
+//! The masked implementation shares each lane bit into `n = d + 1` shares,
+//! realizes the NOT by complementing share 0 of `x_{i+1}`, computes each AND
+//! with a DOM-indep multiplier (fresh randomness per multiplier, registers on
+//! the reshared cross-domain terms) and XORs `x_i`'s shares onto the product
+//! shares.
+//!
+//! This is the largest benchmark of the paper's evaluation (keccak-1/2/3).
+
+use walshcheck_circuit::builder::NetlistBuilder;
+use walshcheck_circuit::netlist::{Netlist, WireId};
+
+/// Builds the DOM-masked Keccak χ row gadget at protection order `order`
+/// (5 secrets × `order + 1` shares, `5·n(n−1)/2` randoms, 5 shared outputs).
+///
+/// # Panics
+///
+/// Panics if `order == 0`.
+pub fn keccak_chi(order: u32) -> Netlist {
+    assert!(order >= 1, "Keccak χ needs order ≥ 1");
+    let n = (order + 1) as usize;
+    let mut b = NetlistBuilder::new(format!("keccak-{order}"));
+    let secrets: Vec<_> = (0..5).map(|i| b.secret(format!("x{i}"))).collect();
+    let x: Vec<Vec<WireId>> = secrets.iter().map(|&s| b.shares(s, n as u32)).collect();
+
+    // Complemented sharing of each lane: ¬x_i flips share 0 only.
+    let notx: Vec<Vec<WireId>> = (0..5)
+        .map(|i| {
+            let mut v = x[i].clone();
+            v[0] = b.not(v[0]);
+            v
+        })
+        .collect();
+
+    for i in 0..5usize {
+        let u = &notx[(i + 1) % 5]; // ¬x_{i+1}
+        let v = &x[(i + 2) % 5]; // x_{i+2}
+        // DOM-indep multiplier between sharings u and v.
+        let mut z = vec![vec![None; n]; n];
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let r = b.random(format!("z{i}[{p},{q}]"));
+                z[p][q] = Some(r);
+                z[q][p] = Some(r);
+            }
+        }
+        let mut reshared = vec![vec![None; n]; n];
+        for p in 0..n {
+            for q in 0..n {
+                if p == q {
+                    continue;
+                }
+                let prod = b.and(u[p], v[q]);
+                let masked = b.xor(prod, z[p][q].expect("random for cross pair"));
+                reshared[p][q] = Some(b.reg(masked));
+            }
+        }
+        let o = b.output(format!("y{i}"));
+        for p in 0..n {
+            let mut acc = b.and(u[p], v[p]);
+            for q in 0..n {
+                if p != q {
+                    acc = b.xor(acc, reshared[p][q].expect("reshared term"));
+                }
+            }
+            // y_i = x_i ⊕ (¬x_{i+1} ∧ x_{i+2}).
+            let y = b.xor(acc, x[i][p]);
+            b.output_share(y, o, p as u32);
+        }
+    }
+    b.build().expect("Keccak χ netlist is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::check_gadget_function_multi;
+
+    fn chi_spec(s: &[bool], i: usize) -> bool {
+        s[i] ^ (!s[(i + 1) % 5] & s[(i + 2) % 5])
+    }
+
+    #[test]
+    fn keccak1_computes_chi() {
+        check_gadget_function_multi(&keccak_chi(1), &chi_spec);
+    }
+
+    #[test]
+    fn keccak2_computes_chi_sampled() {
+        check_gadget_function_multi(&keccak_chi(2), &chi_spec);
+    }
+
+    #[test]
+    fn keccak_sizes() {
+        let k1 = keccak_chi(1);
+        assert_eq!(k1.inputs.len(), 15); // 10 shares + 5 randoms
+        assert_eq!(k1.num_secrets(), 5);
+        assert_eq!(k1.output_names.len(), 5);
+        let k3 = keccak_chi(3);
+        assert_eq!(k3.inputs.len(), 20 + 30);
+    }
+}

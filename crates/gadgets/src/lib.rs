@@ -1,0 +1,53 @@
+//! # walshcheck-gadgets — masked gadget benchmark generators
+//!
+//! From-scratch generators for the benchmark gadgets of the paper's
+//! evaluation (originally taken from the maskVerif repository as Yosys
+//! dumps):
+//!
+//! * [`isw`] — Ishai–Sahai–Wagner multiplication (any order) and a sabotaged
+//!   variant for negative tests;
+//! * [`dom`] — Domain-Oriented Masking AND (any order, with registers);
+//! * [`trichina`] — the Trichina first-order AND;
+//! * [`ti`] — the 3-share first-order threshold implementation AND;
+//! * [`ti_general`] — generic 3-share direct TI of any quadratic function
+//!   (from an ANF or BDD specification);
+//! * [`keccak`] — the DOM-masked Keccak χ row (orders 1–3 in the paper);
+//! * [`chi3`] — the 3-share TI of the 3-bit χ map (multi-output TI case);
+//! * [`hpc`] — the HPC1/HPC2 probe-isolating (PINI) multipliers;
+//! * [`refresh`] — mask refresh gadgets (the paper's Fig. 1 refresh,
+//!   circular, ISW/SNI);
+//! * [`composition`] — the paper's Fig. 1 composition `g ∘ f` with its
+//!   non-2-NI witness, plus a fixed (SNI-refresh) variant;
+//! * [`suite::Benchmark`] — the named list of all ten evaluation gadgets.
+//!
+//! Every generator is validated against a plain Boolean specification by
+//! exhaustive (or sampled, beyond 22 inputs) simulation; see [`test_util`].
+//!
+//! ```
+//! use walshcheck_gadgets::suite::Benchmark;
+//!
+//! let netlist = Benchmark::Dom(1).netlist();
+//! assert_eq!(netlist.num_secrets(), 2);
+//! assert_eq!(netlist.randoms().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Index-based loops mirror the published i/j share-index formulas of the
+// gadget definitions; iterator adapters would obscure the correspondence.
+#![allow(clippy::needless_range_loop)]
+
+pub mod chi3;
+pub mod composition;
+pub mod dom;
+pub mod hpc;
+pub mod isw;
+pub mod keccak;
+pub mod refresh;
+pub mod suite;
+pub mod test_util;
+pub mod ti;
+pub mod ti_general;
+pub mod trichina;
+
+pub use suite::Benchmark;

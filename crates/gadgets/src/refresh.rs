@@ -1,0 +1,105 @@
+//! Mask-refreshing gadgets.
+//!
+//! Refreshing re-randomizes a sharing without changing the encoded value;
+//! it is the glue that makes gadget composition secure (Coron, *Higher Order
+//! Masking of Look-Up Tables*). Three variants are provided:
+//!
+//! * [`refresh_paper`] — the exact 3-share refresh of the paper's Fig. 1
+//!   (`o = [a₀⊕r₀⊕r₁, a₁⊕r₀, a₂⊕r₁]`), used by the composition example;
+//! * [`refresh_circular`] — the cheap circular refresh with `n` randoms
+//!   (`o_i = a_i ⊕ r_i ⊕ r_{i+1 mod n}`), NI but not SNI;
+//! * [`refresh_isw`] — the ISW-style full refresh with `n(n−1)/2` randoms,
+//!   `d`-SNI.
+
+use walshcheck_circuit::builder::NetlistBuilder;
+use walshcheck_circuit::netlist::Netlist;
+
+/// The 3-share refresh used in the paper's composition example (Fig. 1):
+/// `o₀ = a₀ ⊕ r₀ ⊕ r₁`, `o₁ = a₁ ⊕ r₀`, `o₂ = a₂ ⊕ r₁`.
+pub fn refresh_paper() -> Netlist {
+    let mut b = NetlistBuilder::new("refresh-fig1");
+    let sa = b.secret("a");
+    let a = b.shares(sa, 3);
+    let r0 = b.random("r0");
+    let r1 = b.random("r1");
+    let o = b.output("o");
+    let t = b.xor(a[0], r0); // the probe location p_f = a₀ ⊕ r₀
+    let o0 = b.xor(t, r1);
+    let o1 = b.xor(a[1], r0);
+    let o2 = b.xor(a[2], r1);
+    b.output_share(o0, o, 0);
+    b.output_share(o1, o, 1);
+    b.output_share(o2, o, 2);
+    b.build().expect("refresh netlist is structurally valid")
+}
+
+/// Circular refresh with `n = order + 1` shares and `n` randoms:
+/// `o_i = a_i ⊕ r_i ⊕ r_{(i+1) mod n}`.
+///
+/// # Panics
+///
+/// Panics if `order == 0`.
+pub fn refresh_circular(order: u32) -> Netlist {
+    assert!(order >= 1, "refresh needs order ≥ 1");
+    let n = (order + 1) as usize;
+    let mut b = NetlistBuilder::new(format!("refresh-circ-{order}"));
+    let sa = b.secret("a");
+    let a = b.shares(sa, n as u32);
+    let r = b.randoms("r", n as u32);
+    let o = b.output("o");
+    for i in 0..n {
+        let t = b.xor(a[i], r[i]);
+        let oi = b.xor(t, r[(i + 1) % n]);
+        b.output_share(oi, o, i as u32);
+    }
+    b.build().expect("refresh netlist is structurally valid")
+}
+
+/// ISW-style full refresh with `n = order + 1` shares and `n(n−1)/2`
+/// randoms; each pairwise random is added to both endpoints. `d`-SNI.
+///
+/// # Panics
+///
+/// Panics if `order == 0`.
+pub fn refresh_isw(order: u32) -> Netlist {
+    assert!(order >= 1, "refresh needs order ≥ 1");
+    let n = (order + 1) as usize;
+    let mut b = NetlistBuilder::new(format!("refresh-isw-{order}"));
+    let sa = b.secret("a");
+    let a = b.shares(sa, n as u32);
+    let mut acc = a.clone();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let r = b.random(format!("r[{i},{j}]"));
+            acc[i] = b.xor(acc[i], r);
+            acc[j] = b.xor(acc[j], r);
+        }
+    }
+    let o = b.output("o");
+    for (i, &w) in acc.iter().enumerate() {
+        b.output_share(w, o, i as u32);
+    }
+    b.build().expect("refresh netlist is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::check_gadget_function;
+
+    #[test]
+    fn refreshes_preserve_the_value() {
+        check_gadget_function(&refresh_paper(), &|s| s[0]);
+        for order in 1..=3 {
+            check_gadget_function(&refresh_circular(order), &|s| s[0]);
+            check_gadget_function(&refresh_isw(order), &|s| s[0]);
+        }
+    }
+
+    #[test]
+    fn randomness_budgets() {
+        assert_eq!(refresh_paper().randoms().len(), 2);
+        assert_eq!(refresh_circular(2).randoms().len(), 3);
+        assert_eq!(refresh_isw(3).randoms().len(), 6);
+    }
+}

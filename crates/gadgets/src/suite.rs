@@ -1,0 +1,208 @@
+//! The named benchmark suite of the paper's evaluation.
+//!
+//! Tables I–III and Figures 6–7 of the paper run over ten gadgets from the
+//! maskVerif repository. [`Benchmark`] enumerates them with their protection
+//! order, and yields the generated netlist (see the crate-level docs for the
+//! substitution rationale: the gadgets are rebuilt from their published
+//! definitions instead of shipping the original Yosys dumps).
+
+use walshcheck_circuit::netlist::Netlist;
+
+use crate::{chi3, composition, dom, hpc, isw, keccak, refresh, ti, trichina};
+
+/// One benchmark of the paper's evaluation (Table I, column "gadget").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// 3-share threshold-implementation AND (first order).
+    Ti1,
+    /// Trichina masked AND (first order).
+    Trichina1,
+    /// ISW multiplication at order 1.
+    Isw1,
+    /// DOM-indep AND at the given order (1–4 in the paper).
+    Dom(u32),
+    /// DOM-masked Keccak χ row at the given order (1–3 in the paper).
+    Keccak(u32),
+    /// HPC1 PINI multiplier at the given order (extension).
+    Hpc1(u32),
+    /// HPC2 PINI multiplier at the given order (extension).
+    Hpc2(u32),
+    /// 3-share TI of the 3-bit χ map (extension).
+    Chi3Ti,
+    /// ISW refresh gadget at the given order (extension).
+    RefreshIsw(u32),
+    /// The paper's Fig. 1 composition `isw₂(refresh(a), a)` (extension;
+    /// intentionally **not** 2-NI).
+    Fig1,
+}
+
+impl Benchmark {
+    /// All ten benchmarks, in the row order of the paper's Table I.
+    pub fn all() -> Vec<Benchmark> {
+        vec![
+            Benchmark::Ti1,
+            Benchmark::Trichina1,
+            Benchmark::Isw1,
+            Benchmark::Dom(1),
+            Benchmark::Keccak(1),
+            Benchmark::Dom(2),
+            Benchmark::Keccak(2),
+            Benchmark::Dom(3),
+            Benchmark::Keccak(3),
+            Benchmark::Dom(4),
+        ]
+    }
+
+    /// The benchmark subset that is fast enough for routine CI-style runs
+    /// (everything up to second order).
+    pub fn fast() -> Vec<Benchmark> {
+        vec![
+            Benchmark::Ti1,
+            Benchmark::Trichina1,
+            Benchmark::Isw1,
+            Benchmark::Dom(1),
+            Benchmark::Keccak(1),
+            Benchmark::Dom(2),
+        ]
+    }
+
+    /// Extension gadgets beyond the paper's table (HPC, TI χ3, refresh,
+    /// the Fig. 1 composition), available to the CLI and harness.
+    pub fn extensions() -> Vec<Benchmark> {
+        vec![
+            Benchmark::Hpc1(1),
+            Benchmark::Hpc1(2),
+            Benchmark::Hpc2(1),
+            Benchmark::Hpc2(2),
+            Benchmark::Chi3Ti,
+            Benchmark::RefreshIsw(1),
+            Benchmark::RefreshIsw(2),
+            Benchmark::Fig1,
+        ]
+    }
+
+    /// The gadget name as printed in the paper's tables.
+    pub fn name(&self) -> String {
+        match self {
+            Benchmark::Ti1 => "ti-1".into(),
+            Benchmark::Trichina1 => "trichina-1".into(),
+            Benchmark::Isw1 => "isw-1".into(),
+            Benchmark::Dom(d) => format!("dom-{d}"),
+            Benchmark::Keccak(d) => format!("keccak-{d}"),
+            Benchmark::Hpc1(d) => format!("hpc1-{d}"),
+            Benchmark::Hpc2(d) => format!("hpc2-{d}"),
+            Benchmark::Chi3Ti => "chi3-ti".into(),
+            Benchmark::RefreshIsw(d) => format!("refresh-isw-{d}"),
+            Benchmark::Fig1 => "fig1".into(),
+        }
+    }
+
+    /// The security level (probing order `d`) the gadget targets; this is
+    /// the `d` used for the `d`-SNI/`d`-probing checks in the evaluation.
+    pub fn security_order(&self) -> u32 {
+        match self {
+            Benchmark::Ti1 | Benchmark::Trichina1 | Benchmark::Isw1 | Benchmark::Chi3Ti => 1,
+            Benchmark::Dom(d)
+            | Benchmark::Keccak(d)
+            | Benchmark::Hpc1(d)
+            | Benchmark::Hpc2(d)
+            | Benchmark::RefreshIsw(d) => *d,
+            Benchmark::Fig1 => 2,
+        }
+    }
+
+    /// Generates the benchmark netlist.
+    pub fn netlist(&self) -> Netlist {
+        match self {
+            Benchmark::Ti1 => ti::ti_and(),
+            Benchmark::Trichina1 => trichina::trichina_and(),
+            Benchmark::Isw1 => isw::isw_and(1),
+            Benchmark::Dom(d) => dom::dom_and(*d),
+            Benchmark::Keccak(d) => keccak::keccak_chi(*d),
+            Benchmark::Hpc1(d) => hpc::hpc1_and(*d),
+            Benchmark::Hpc2(d) => hpc::hpc2_and(*d),
+            Benchmark::Chi3Ti => chi3::chi3_ti(),
+            Benchmark::RefreshIsw(d) => refresh::refresh_isw(*d),
+            Benchmark::Fig1 => composition::composition_fig1(),
+        }
+    }
+
+    /// Looks a benchmark up by its table name (e.g. `"dom-3"`).
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        match name {
+            "ti-1" => Some(Benchmark::Ti1),
+            "trichina-1" => Some(Benchmark::Trichina1),
+            "isw-1" => Some(Benchmark::Isw1),
+            "chi3-ti" => Some(Benchmark::Chi3Ti),
+            "fig1" => Some(Benchmark::Fig1),
+            _ => {
+                let (family, d) = name.rsplit_once('-')?;
+                let d: u32 = d.parse().ok()?;
+                if !(1..=31).contains(&d) {
+                    return None;
+                }
+                match family {
+                    "dom" => Some(Benchmark::Dom(d)),
+                    "keccak" => Some(Benchmark::Keccak(d)),
+                    "hpc1" => Some(Benchmark::Hpc1(d)),
+                    "hpc2" => Some(Benchmark::Hpc2(d)),
+                    "refresh-isw" => Some(Benchmark::RefreshIsw(d)),
+                    _ => None,
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_benchmarks_in_paper_order() {
+        let all = Benchmark::all();
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[0].name(), "ti-1");
+        assert_eq!(all[9].name(), "dom-4");
+    }
+
+    #[test]
+    fn extensions_generate_and_round_trip() {
+        for b in Benchmark::extensions() {
+            assert_eq!(Benchmark::from_name(&b.name()), Some(b));
+            let n = b.netlist();
+            assert!(n.validate().is_ok(), "{b}");
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for b in Benchmark::all() {
+            assert_eq!(Benchmark::from_name(&b.name()), Some(b));
+        }
+        assert_eq!(Benchmark::from_name("nonesuch"), None);
+        assert_eq!(Benchmark::from_name("dom-0"), None);
+    }
+
+    #[test]
+    fn netlists_generate_and_validate() {
+        for b in Benchmark::fast() {
+            let n = b.netlist();
+            assert!(n.validate().is_ok(), "{b} invalid");
+            assert!(n.num_cells() > 0);
+        }
+    }
+
+    #[test]
+    fn security_orders_match_names() {
+        assert_eq!(Benchmark::Dom(4).security_order(), 4);
+        assert_eq!(Benchmark::Keccak(3).security_order(), 3);
+        assert_eq!(Benchmark::Ti1.security_order(), 1);
+    }
+}

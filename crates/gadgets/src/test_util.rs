@@ -1,0 +1,76 @@
+//! Functional-correctness oracles for gadgets.
+//!
+//! Every generator in this crate is checked against a plain Boolean
+//! specification: the XOR of the output shares must equal the specified
+//! function of the XOR-reconstructed secrets, for *every* assignment of
+//! shares and randoms (exhaustively up to 22 inputs, deterministic sampling
+//! beyond). These helpers are public so integration tests and downstream
+//! crates can reuse the oracle.
+
+use walshcheck_circuit::netlist::{InputRole, Netlist, OutputId};
+use walshcheck_circuit::sim::Simulator;
+
+/// Checks a single-output gadget: XOR of output shares ==
+/// `expected(secrets)` under every (sampled) assignment.
+///
+/// # Panics
+///
+/// Panics if the gadget mis-computes its function, has no outputs, or has
+/// more than one shared output (use [`check_gadget_function_multi`]).
+pub fn check_gadget_function(netlist: &Netlist, expected: &dyn Fn(&[bool]) -> bool) {
+    assert_eq!(
+        netlist.output_names.len(),
+        1,
+        "use check_gadget_function_multi for multi-output gadgets"
+    );
+    check_gadget_function_multi(netlist, &|secrets, _| expected(secrets));
+}
+
+/// Checks a multi-output gadget: for each shared output `o`, the XOR of its
+/// shares must equal `expected(secrets, o)`.
+///
+/// # Panics
+///
+/// Panics on the first mismatching assignment.
+pub fn check_gadget_function_multi(netlist: &Netlist, expected: &dyn Fn(&[bool], usize) -> bool) {
+    let sim = Simulator::new(netlist).expect("gadget is acyclic");
+    let num_inputs = netlist.inputs.len();
+    let num_secrets = netlist.num_secrets();
+    let outputs: Vec<_> = (0..netlist.output_names.len())
+        .map(|o| netlist.output_shares_of(OutputId(o as u32)))
+        .collect();
+    assert!(!outputs.is_empty(), "gadget has no outputs");
+
+    let check = |assignment: u128| {
+        let values = sim.eval_all(assignment);
+        let mut secrets = vec![false; num_secrets];
+        for (pos, &(_, role)) in netlist.inputs.iter().enumerate() {
+            if let InputRole::Share { secret, .. } = role {
+                if assignment >> pos & 1 == 1 {
+                    secrets[secret.0 as usize] ^= true;
+                }
+            }
+        }
+        for (oidx, shares) in outputs.iter().enumerate() {
+            let got = shares.iter().fold(false, |acc, w| acc ^ values[w.0 as usize]);
+            assert_eq!(
+                got,
+                expected(&secrets, oidx),
+                "output {oidx} wrong under assignment {assignment:b} (secrets {secrets:?})"
+            );
+        }
+    };
+
+    if num_inputs <= 22 {
+        for a in 0..1u128 << num_inputs {
+            check(a);
+        }
+    } else {
+        // Deterministic multiplicative-congruential sampling.
+        let mut state = 0x9e3779b97f4a7c15u128;
+        for _ in 0..4096 {
+            state = state.wrapping_mul(0x2545f4914f6cdd1d).wrapping_add(1);
+            check(state & ((1u128 << num_inputs) - 1));
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! The first-order Threshold Implementation (TI) AND gadget.
+//!
+//! Nikova, Rijmen, Schläffer — *Secure Hardware Implementation of Nonlinear
+//! Functions in the Presence of Glitches*, J. Cryptology 24(2). The 3-share
+//! multiplication without fresh randomness:
+//!
+//! ```text
+//! c_0 = a_1·b_1 ⊕ a_1·b_2 ⊕ a_2·b_1
+//! c_1 = a_2·b_2 ⊕ a_2·b_0 ⊕ a_0·b_2
+//! c_2 = a_0·b_0 ⊕ a_0·b_1 ⊕ a_1·b_0
+//! ```
+//!
+//! Output share `c_i` avoids input shares with index `i` (non-completeness),
+//! which gives first-order probing security even under glitches — but the
+//! gadget is **not** 1-SNI (its output shares depend on two input shares
+//! without internal randomness), which the verifier demonstrates.
+
+use walshcheck_circuit::builder::NetlistBuilder;
+use walshcheck_circuit::netlist::Netlist;
+
+/// Builds the 3-share first-order TI AND gadget (no randomness).
+pub fn ti_and() -> Netlist {
+    let mut b = NetlistBuilder::new("ti-1");
+    let sa = b.secret("a");
+    let sb = b.secret("b");
+    let a = b.shares(sa, 3);
+    let bs = b.shares(sb, 3);
+    let o = b.output("c");
+    // c_i uses only shares with index ≠ i.
+    for i in 0..3usize {
+        let j = (i + 1) % 3;
+        let k = (i + 2) % 3;
+        let p1 = b.and(a[j], bs[j]);
+        let p2 = b.and(a[j], bs[k]);
+        let p3 = b.and(a[k], bs[j]);
+        let t = b.xor(p1, p2);
+        let c = b.xor(t, p3);
+        b.output_share(c, o, i as u32);
+    }
+    b.build().expect("TI netlist is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::check_gadget_function;
+    use walshcheck_circuit::netlist::InputRole;
+
+    #[test]
+    fn ti_computes_and() {
+        check_gadget_function(&ti_and(), &|s| s[0] & s[1]);
+    }
+
+    #[test]
+    fn ti_is_non_complete() {
+        // Output share i must not depend on input shares of index i.
+        let n = ti_and();
+        let unf = walshcheck_circuit::unfold(&n).expect("acyclic");
+        for (w, role) in &n.outputs {
+            let walshcheck_circuit::OutputRole::Share { index, .. } = role else {
+                continue;
+            };
+            let sup = unf.bdds.support(unf.wire_fn(*w));
+            for (pos, &(_, irole)) in n.inputs.iter().enumerate() {
+                if let InputRole::Share { index: sidx, .. } = irole {
+                    if sidx == *index {
+                        assert!(
+                            !sup.contains(walshcheck_dd::VarId(pos as u32)),
+                            "share {sidx} leaks into output share {index}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ti_has_no_randomness() {
+        assert!(ti_and().randoms().is_empty());
+    }
+}

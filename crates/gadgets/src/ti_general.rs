@@ -1,0 +1,294 @@
+//! Generic first-order threshold-implementation sharing of quadratic
+//! functions.
+//!
+//! Nikova–Rijmen–Schläffer direct sharing: any vectorial Boolean function of
+//! algebraic degree ≤ 2 admits a 3-share TI in which output share `s` only
+//! uses input shares with indices `≠ s` (non-completeness), hence is
+//! first-order probing secure even under glitches — without any fresh
+//! randomness. Monomial by monomial, with `j = s+1, k = s+2 (mod 3)`:
+//!
+//! ```text
+//! constant 1      ↦ share 0 complemented
+//! x_a             ↦ x_a⁽ʲ⁾
+//! x_a·x_b         ↦ x_a⁽ʲ⁾x_b⁽ʲ⁾ ⊕ x_a⁽ʲ⁾x_b⁽ᵏ⁾ ⊕ x_a⁽ᵏ⁾x_b⁽ʲ⁾
+//! ```
+//!
+//! [`ti_share`] turns a [`QuadraticSpec`] (outputs given as sparse ANFs,
+//! see [`walshcheck_dd::anf`]) into an annotated netlist; [`ti_share_bdd`]
+//! derives the spec from plain BDDs first, rejecting higher-degree
+//! functions.
+
+use walshcheck_circuit::builder::NetlistBuilder;
+use walshcheck_circuit::netlist::{Netlist, WireId};
+use walshcheck_dd::anf::{anf_from_bdd, Anf};
+use walshcheck_dd::bdd::{Bdd, BddManager};
+
+/// A vectorial Boolean function of degree ≤ 2, outputs as ANFs over the
+/// input variables `0..num_inputs`.
+#[derive(Debug, Clone)]
+pub struct QuadraticSpec {
+    /// Gadget name (also the module name of the generated netlist).
+    pub name: String,
+    /// Number of (unshared) input bits.
+    pub num_inputs: usize,
+    /// One ANF per output bit.
+    pub outputs: Vec<Anf>,
+}
+
+/// Error raised by [`ti_share`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TiShareError {
+    /// An output has algebraic degree above 2 (no direct 3-share TI).
+    DegreeTooHigh {
+        /// The offending output index.
+        output: usize,
+        /// Its degree.
+        degree: u32,
+    },
+    /// An output mentions a variable outside `0..num_inputs`.
+    UnknownVariable {
+        /// The offending output index.
+        output: usize,
+    },
+}
+
+impl std::fmt::Display for TiShareError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TiShareError::DegreeTooHigh { output, degree } => write!(
+                f,
+                "output {output} has degree {degree}; direct 3-share TI needs degree ≤ 2"
+            ),
+            TiShareError::UnknownVariable { output } => {
+                write!(f, "output {output} uses an undeclared input variable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TiShareError {}
+
+/// Builds the 3-share direct TI of `spec`.
+///
+/// # Errors
+///
+/// Fails if an output exceeds degree 2 or references unknown variables.
+pub fn ti_share(spec: &QuadraticSpec) -> Result<Netlist, TiShareError> {
+    for (oidx, anf) in spec.outputs.iter().enumerate() {
+        if anf.degree() > 2 {
+            return Err(TiShareError::DegreeTooHigh { output: oidx, degree: anf.degree() });
+        }
+        if anf.support().iter().any(|v| v.index() >= spec.num_inputs) {
+            return Err(TiShareError::UnknownVariable { output: oidx });
+        }
+    }
+    let mut b = NetlistBuilder::new(spec.name.clone());
+    let x: Vec<Vec<WireId>> = (0..spec.num_inputs)
+        .map(|i| {
+            let s = b.secret(format!("x{i}"));
+            b.shares(s, 3)
+        })
+        .collect();
+
+    for (oidx, anf) in spec.outputs.iter().enumerate() {
+        let o = b.output(format!("y{oidx}"));
+        let mut monomials: Vec<u128> = anf.monomials().collect();
+        monomials.sort();
+        for s in 0..3usize {
+            let j = (s + 1) % 3;
+            let k = (s + 2) % 3;
+            let mut terms: Vec<WireId> = Vec::new();
+            let mut complement = false;
+            for &mono in &monomials {
+                let vars: Vec<usize> = (0..spec.num_inputs).filter(|i| mono >> i & 1 == 1).collect();
+                match vars.as_slice() {
+                    [] => {
+                        // Constant term: complement share 0 once.
+                        if s == 0 {
+                            complement = !complement;
+                        }
+                    }
+                    [a] => terms.push(x[*a][j]),
+                    [a, c] => {
+                        let t1 = b.and(x[*a][j], x[*c][j]);
+                        let t2 = b.and(x[*a][j], x[*c][k]);
+                        let t3 = b.and(x[*a][k], x[*c][j]);
+                        terms.push(t1);
+                        terms.push(t2);
+                        terms.push(t3);
+                    }
+                    _ => unreachable!("degree checked above"),
+                }
+            }
+            let mut acc = match terms.split_first() {
+                Some((&first, rest)) => {
+                    rest.iter().fold(first, |acc, &w| b.xor(acc, w))
+                }
+                None => {
+                    // Constant-zero share: any wire xored with itself.
+                    let w = x[0][j];
+                    b.xor(w, w)
+                }
+            };
+            if complement {
+                acc = b.not(acc);
+            }
+            b.output_share(acc, o, s as u32);
+        }
+    }
+    Ok(b.build().expect("generated TI netlist is structurally valid"))
+}
+
+/// Derives a [`QuadraticSpec`] from BDD outputs and shares it.
+///
+/// # Errors
+///
+/// Fails if an output exceeds degree 2.
+pub fn ti_share_bdd(
+    name: &str,
+    bdds: &BddManager,
+    outputs: &[Bdd],
+    num_inputs: usize,
+) -> Result<Netlist, TiShareError> {
+    let spec = QuadraticSpec {
+        name: name.to_string(),
+        num_inputs,
+        outputs: outputs.iter().map(|&f| anf_from_bdd(bdds, f)).collect(),
+    };
+    ti_share(&spec)
+}
+
+/// The 3-bit χ map as a [`QuadraticSpec`] (`y_i = x_i ⊕ (1⊕x_{i+1})·x_{i+2}`).
+pub fn chi3_spec() -> QuadraticSpec {
+    let outputs = (0..3u32)
+        .map(|i| {
+            let a = 1u128 << i;
+            let b = 1u128 << ((i + 1) % 3);
+            let c = 1u128 << ((i + 2) % 3);
+            // x_i ⊕ x_{i+2} ⊕ x_{i+1}x_{i+2}
+            Anf::from_monomials([a, c, b | c])
+        })
+        .collect();
+    QuadraticSpec { name: "chi3-spec".into(), num_inputs: 3, outputs }
+}
+
+/// The Toffoli gate `(x0, x1, x2 ⊕ x0·x1)` as a [`QuadraticSpec`].
+pub fn toffoli_spec() -> QuadraticSpec {
+    QuadraticSpec {
+        name: "toffoli".into(),
+        num_inputs: 3,
+        outputs: vec![
+            Anf::from_monomials([0b001u128]),
+            Anf::from_monomials([0b010u128]),
+            Anf::from_monomials([0b100u128, 0b011]),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::check_gadget_function_multi;
+
+    fn spec_eval(spec: &QuadraticSpec, inputs: &[bool]) -> Vec<bool> {
+        let mut a = 0u128;
+        for (i, &b) in inputs.iter().enumerate() {
+            if b {
+                a |= 1 << i;
+            }
+        }
+        spec.outputs.iter().map(|anf| anf.eval(a)).collect()
+    }
+
+    fn check_spec(spec: &QuadraticSpec) {
+        let n = ti_share(spec).expect("degree ≤ 2");
+        check_gadget_function_multi(&n, &|secrets, oidx| spec_eval(spec, secrets)[oidx]);
+    }
+
+    #[test]
+    fn toffoli_ti_is_correct() {
+        check_spec(&toffoli_spec());
+    }
+
+    #[test]
+    fn chi3_spec_ti_is_correct() {
+        check_spec(&chi3_spec());
+        // And the spec agrees with the plain χ formula.
+        let spec = chi3_spec();
+        for a in 0..8usize {
+            let inputs: Vec<bool> = (0..3).map(|i| a >> i & 1 == 1).collect();
+            let out = spec_eval(&spec, &inputs);
+            for i in 0..3 {
+                assert_eq!(out[i], inputs[i] ^ (!inputs[(i + 1) % 3] & inputs[(i + 2) % 3]));
+            }
+        }
+    }
+
+    #[test]
+    fn constant_and_zero_outputs_are_handled() {
+        let spec = QuadraticSpec {
+            name: "consts".into(),
+            num_inputs: 2,
+            outputs: vec![Anf::one(), Anf::zero(), Anf::from_monomials([0b01u128, 0])],
+        };
+        check_spec(&spec);
+    }
+
+    #[test]
+    fn cubic_functions_are_rejected() {
+        let spec = QuadraticSpec {
+            name: "cubic".into(),
+            num_inputs: 3,
+            outputs: vec![Anf::from_monomials([0b111u128])],
+        };
+        assert!(matches!(
+            ti_share(&spec),
+            Err(TiShareError::DegreeTooHigh { output: 0, degree: 3 })
+        ));
+        let bad_var = QuadraticSpec {
+            name: "oob".into(),
+            num_inputs: 2,
+            outputs: vec![Anf::from_monomials([0b100u128])],
+        };
+        assert!(matches!(ti_share(&bad_var), Err(TiShareError::UnknownVariable { output: 0 })));
+    }
+
+    #[test]
+    fn ti_share_bdd_round_trip() {
+        // Build χ3 as BDDs, extract ANF, share, and compare against the
+        // handwritten chi3_ti generator's function.
+        let mut m = BddManager::new(3);
+        let x: Vec<_> = (0..3).map(|i| m.var(walshcheck_dd::VarId(i))).collect();
+        let outs: Vec<Bdd> = (0..3usize)
+            .map(|i| {
+                let nb = m.not(x[(i + 1) % 3]);
+                let t = m.and(nb, x[(i + 2) % 3]);
+                m.xor(x[i], t)
+            })
+            .collect();
+        let n = ti_share_bdd("chi3-from-bdd", &m, &outs, 3).expect("quadratic");
+        check_gadget_function_multi(&n, &|s, i| s[i] ^ (!s[(i + 1) % 3] & s[(i + 2) % 3]));
+    }
+
+    #[test]
+    fn generated_sharings_are_non_complete() {
+        let n = ti_share(&toffoli_spec()).expect("quadratic");
+        let unf = walshcheck_circuit::unfold(&n).expect("acyclic");
+        for (w, role) in &n.outputs {
+            let walshcheck_circuit::netlist::OutputRole::Share { index, .. } = role else {
+                continue;
+            };
+            let sup = unf.bdds.support(unf.wire_fn(*w));
+            for (pos, &(_, irole)) in n.inputs.iter().enumerate() {
+                if let walshcheck_circuit::netlist::InputRole::Share { index: sidx, .. } = irole {
+                    if sidx == *index {
+                        assert!(
+                            !sup.contains(walshcheck_dd::VarId(pos as u32)),
+                            "share index {sidx} leaks into output share {index}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

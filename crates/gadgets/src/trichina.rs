@@ -1,0 +1,62 @@
+//! The Trichina masked AND gate.
+//!
+//! Trichina, Korkishko, Lee — *Small Size, Low Power, Side Channel-Immune AES
+//! Coprocessor*, AES 4 (2005). First-order masked AND with two shares per
+//! operand and one fresh random `z`:
+//!
+//! ```text
+//! c_1 = z
+//! c_0 = (((z ⊕ a_0·b_0) ⊕ a_0·b_1) ⊕ a_1·b_0) ⊕ a_1·b_1
+//! ```
+//!
+//! The left-to-right bracketing matters: every intermediate value stays
+//! masked by `z`.
+
+use walshcheck_circuit::builder::NetlistBuilder;
+use walshcheck_circuit::netlist::Netlist;
+
+/// Builds the first-order Trichina AND gadget.
+pub fn trichina_and() -> Netlist {
+    let mut b = NetlistBuilder::new("trichina-1");
+    let sa = b.secret("a");
+    let sb = b.secret("b");
+    let a = b.shares(sa, 2);
+    let bs = b.shares(sb, 2);
+    let z = b.random("z");
+    let o = b.output("c");
+
+    let p00 = b.and(a[0], bs[0]);
+    let t1 = b.xor(z, p00);
+    let p01 = b.and(a[0], bs[1]);
+    let t2 = b.xor(t1, p01);
+    let p10 = b.and(a[1], bs[0]);
+    let t3 = b.xor(t2, p10);
+    let p11 = b.and(a[1], bs[1]);
+    let c0 = b.xor(t3, p11);
+    // The second output share is the random itself, buffered so it exists
+    // as a circuit node (and probe site), as in the hardware netlist.
+    let c1 = b.buf(z);
+
+    b.output_share(c0, o, 0);
+    b.output_share(c1, o, 1);
+    b.build().expect("Trichina netlist is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::check_gadget_function;
+
+    #[test]
+    fn trichina_computes_and() {
+        check_gadget_function(&trichina_and(), &|s| s[0] & s[1]);
+    }
+
+    #[test]
+    fn trichina_structure() {
+        let n = trichina_and();
+        assert_eq!(n.randoms().len(), 1);
+        assert_eq!(n.num_cells(), 9);
+        assert_eq!(n.output_shares_of(walshcheck_circuit::OutputId(0)).len(), 2);
+    }
+}

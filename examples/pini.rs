@@ -1,0 +1,49 @@
+//! Probe-isolating non-interference (PINI) — the paper's future-work
+//! property, implemented and exercised on the canonical gadgets.
+//!
+//! ```text
+//! cargo run --release --example pini
+//! ```
+//!
+//! PINI (Cassiers–Standaert) makes composition *trivial*: PINI gadgets can
+//! be wired share-index-to-share-index without refreshing. This example
+//! shows that the HPC multipliers are PINI while ISW/DOM are not, and that
+//! HPC2 stays PINI in the glitch-extended model thanks to its registers.
+
+use walshcheck::prelude::*;
+use walshcheck_gadgets::hpc::{hpc1_and, hpc2_and};
+use walshcheck_gadgets::isw::isw_and;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{:<12} {:>10} {:>10} {:>16}", "gadget", "1-SNI", "1-PINI", "1-PINI (glitch)");
+    let glitch = VerifyOptions::default().with_probe_model(ProbeModel::Glitch);
+    for (name, netlist) in [
+        ("isw-1", isw_and(1)),
+        ("dom-1", Benchmark::Dom(1).netlist()),
+        ("hpc1-1", hpc1_and(1)),
+        ("hpc2-1", hpc2_and(1)),
+    ] {
+        let sni = check_netlist(&netlist, Property::Sni(1), &VerifyOptions::default())?;
+        let pini = check_netlist(&netlist, Property::Pini(1), &VerifyOptions::default())?;
+        let pini_glitch = check_netlist(&netlist, Property::Pini(1), &glitch)?;
+        println!(
+            "{name:<12} {:>10} {:>10} {:>16}",
+            sni.secure, pini.secure, pini_glitch.secure
+        );
+    }
+
+    // The point of PINI: naive share-wise composition stays secure. Chain
+    // two HPC2 multipliers without any refresh and check the result.
+    use walshcheck_circuit::compose::{chain, Binding};
+    use walshcheck_circuit::netlist::{OutputId, SecretId};
+    let h = chain(
+        &hpc2_and(1),
+        &hpc2_and(1),
+        &[Binding { inner_output: OutputId(0), outer_secret: SecretId(0) }],
+    )?;
+    let v = check_netlist(&h, Property::Probing(1), &VerifyOptions::default())?;
+    println!("\nhpc2 ∘ hpc2 (no refresh): {v}");
+    let v = check_netlist(&h, Property::Pini(1), &VerifyOptions::default())?;
+    println!("hpc2 ∘ hpc2 (no refresh): {v}");
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Quickstart: verify a first-order DOM multiplier.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the DOM-1 AND gadget, proves it 1-SNI with the paper's MAPI
+//! engine, shows that it is *not* second-order secure, and demonstrates a
+//! broken gadget being caught with a concrete witness.
+
+use walshcheck::prelude::*;
+use walshcheck_gadgets::isw::isw_and_broken;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate a benchmark gadget (or build your own with
+    //    NetlistBuilder / parse one from ILANG text).
+    let dom1 = Benchmark::Dom(1).netlist();
+    println!(
+        "dom-1: {} wires, {} cells, {} secrets, {} random bits",
+        dom1.num_wires(),
+        dom1.num_cells(),
+        dom1.num_secrets(),
+        dom1.randoms().len()
+    );
+
+    // 2. Check 1-SNI with the default engine (MAPI, joint mode).
+    let verdict = check_netlist(&dom1, Property::Sni(1), &VerifyOptions::default())?;
+    println!("\n{verdict}");
+    println!(
+        "  {} combinations, {} convolutions, {:?} total ({:?} convolution, {:?} verification)",
+        verdict.stats.combinations,
+        verdict.stats.convolutions,
+        verdict.stats.total_time,
+        verdict.stats.convolution_time,
+        verdict.stats.verification_time
+    );
+
+    // 3. A first-order gadget cannot resist two probes.
+    let verdict = check_netlist(&dom1, Property::Probing(2), &VerifyOptions::default())?;
+    println!("\n{verdict}");
+    if let Some(w) = &verdict.witness {
+        let probes: Vec<&str> =
+            w.combination.iter().map(|p| dom1.wire_name(p.wire())).collect();
+        println!("  probed wires: {probes:?}");
+    }
+
+    // 4. Sabotaged masking is caught with an explanation.
+    let broken = isw_and_broken(2);
+    let verdict = check_netlist(&broken, Property::Sni(2), &VerifyOptions::default())?;
+    println!("\nbroken ISW-2 — {verdict}");
+    if let Some(w) = &verdict.witness {
+        let probes: Vec<&str> =
+            w.combination.iter().map(|p| broken.wire_name(p.wire())).collect();
+        println!("  probed wires: {probes:?}");
+    }
+
+    // 5. Engines are interchangeable; compare their timings.
+    println!("\nengine comparison on dom-1 (1-SNI):");
+    for engine in [EngineKind::Lil, EngineKind::Map, EngineKind::Mapi, EngineKind::Fujita] {
+        let opts = VerifyOptions { engine, ..VerifyOptions::default() };
+        let v = check_netlist(&dom1, Property::Sni(1), &opts)?;
+        println!("  {engine:7}: secure={} in {:?}", v.secure, v.stats.total_time);
+    }
+    Ok(())
+}

@@ -1,0 +1,295 @@
+//! `walshcheck` — command-line exact verifier for masked circuits.
+//!
+//! ```text
+//! walshcheck check   <file.il | bench:NAME> [options]
+//! walshcheck profile <file.il | bench:NAME> [--max-order D] [--glitch]
+//! walshcheck info    <file.il | bench:NAME>
+//! walshcheck dump  bench:NAME              # print the gadget as ILANG
+//! walshcheck list                          # list built-in benchmarks
+//!
+//! options:
+//!   --property probing|ni|sni|pini   (default: sni)
+//!   --order D                        (default: shares of secret 0 minus 1)
+//!   --engine lil|map|mapi|fujita     (default: mapi)
+//!   --mode rowwise|joint             (default: joint)
+//!   --glitch                         glitch-extended (robust) probing model
+//!   --threads N                      parallel verification
+//!   --time-limit SECS                abort with a partial verdict
+//!   --no-prefilter                   disable the functional-support prefilter
+//! ```
+
+use std::process::ExitCode;
+
+use walshcheck::prelude::*;
+use walshcheck_core::engine::check_parallel;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: walshcheck <check|info|dump|list> [<file.il>|bench:NAME] [options]\n\
+         run `walshcheck help` for the option list"
+    );
+    ExitCode::from(2)
+}
+
+fn load(target: &str) -> Result<Netlist, String> {
+    if let Some(name) = target.strip_prefix("bench:") {
+        return Benchmark::from_name(name)
+            .map(|b| b.netlist())
+            .ok_or_else(|| format!("unknown benchmark `{name}` (try `walshcheck list`)"));
+    }
+    let text = std::fs::read_to_string(target).map_err(|e| format!("{target}: {e}"))?;
+    parse_ilang(&text).map_err(|e| e.to_string())
+}
+
+struct Cli {
+    property: String,
+    order: Option<u32>,
+    engine: EngineKind,
+    mode: CheckMode,
+    glitch: bool,
+    threads: usize,
+    time_limit: Option<std::time::Duration>,
+    prefilter: bool,
+    minimize: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        property: "sni".into(),
+        order: None,
+        engine: EngineKind::Mapi,
+        mode: CheckMode::Joint,
+        glitch: false,
+        threads: 1,
+        time_limit: None,
+        prefilter: true,
+        minimize: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--property" => cli.property = value("--property")?.to_lowercase(),
+            "--order" => {
+                cli.order =
+                    Some(value("--order")?.parse().map_err(|_| "bad --order".to_string())?)
+            }
+            "--engine" => {
+                cli.engine = match value("--engine")?.to_lowercase().as_str() {
+                    "lil" => EngineKind::Lil,
+                    "map" => EngineKind::Map,
+                    "mapi" => EngineKind::Mapi,
+                    "fujita" => EngineKind::Fujita,
+                    other => return Err(format!("unknown engine `{other}`")),
+                }
+            }
+            "--mode" => {
+                cli.mode = match value("--mode")?.to_lowercase().as_str() {
+                    "rowwise" | "row-wise" => CheckMode::RowWise,
+                    "joint" => CheckMode::Joint,
+                    other => return Err(format!("unknown mode `{other}`")),
+                }
+            }
+            "--glitch" => cli.glitch = true,
+            "--threads" => {
+                cli.threads =
+                    value("--threads")?.parse().map_err(|_| "bad --threads".to_string())?
+            }
+            "--time-limit" => {
+                let secs: u64 =
+                    value("--time-limit")?.parse().map_err(|_| "bad --time-limit".to_string())?;
+                cli.time_limit = Some(std::time::Duration::from_secs(secs));
+            }
+            "--no-prefilter" => cli.prefilter = false,
+            "--minimize" => cli.minimize = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(cli)
+}
+
+fn run_check(target: &str, args: &[String]) -> Result<ExitCode, String> {
+    let netlist = load(target)?;
+    let cli = parse_options(args)?;
+    let d = cli.order.unwrap_or_else(|| {
+        let shares = netlist
+            .shares_of(walshcheck::circuit::SecretId(0))
+            .len() as u32;
+        shares.saturating_sub(1).max(1)
+    });
+    let property = match cli.property.as_str() {
+        "probing" => Property::Probing(d),
+        "ni" => Property::Ni(d),
+        "sni" => Property::Sni(d),
+        "pini" => Property::Pini(d),
+        other => return Err(format!("unknown property `{other}`")),
+    };
+    let mut options = VerifyOptions {
+        engine: cli.engine,
+        mode: cli.mode,
+        prefilter: cli.prefilter,
+        time_limit: cli.time_limit,
+        ..VerifyOptions::default()
+    };
+    if cli.glitch {
+        options = options.with_probe_model(ProbeModel::Glitch);
+    }
+    let mut verdict =
+        check_parallel(&netlist, property, &options, cli.threads).map_err(|e| e.to_string())?;
+    if cli.minimize {
+        if let Some(w) = verdict.witness.take() {
+            let mut verifier =
+                walshcheck_core::engine::Verifier::new(&netlist).map_err(|e| e.to_string())?;
+            verdict.witness = Some(verifier.minimize_witness(&w, property, &options));
+        }
+    }
+    println!("{}: {verdict}", netlist.name);
+    if let Some(w) = &verdict.witness {
+        let probes: Vec<&str> =
+            w.combination.iter().map(|p| netlist.wire_name(p.wire())).collect();
+        println!("  witness probes: {probes:?}");
+        println!("  {}", w.reason);
+        if let Some(c) = w.coefficient {
+            println!("  leaking correlation coefficient: {c}");
+        }
+    }
+    println!(
+        "  {} combinations ({} pruned), {} rows, {:.3?} total \
+         ({:.3?} convolution, {:.3?} verification){}",
+        verdict.stats.combinations,
+        verdict.stats.pruned,
+        verdict.stats.rows_checked,
+        verdict.stats.total_time,
+        verdict.stats.convolution_time,
+        verdict.stats.verification_time,
+        if verdict.stats.timed_out { " — TIMED OUT, partial result" } else { "" }
+    );
+    Ok(if verdict.secure && !verdict.stats.timed_out {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn run_profile(target: &str, args: &[String]) -> Result<ExitCode, String> {
+    let netlist = load(target)?;
+    let mut max_order: u32 = 0;
+    let mut glitch = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-order" => {
+                max_order = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("bad --max-order")?
+            }
+            "--glitch" => glitch = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    if max_order == 0 {
+        let shares = netlist
+            .shares_of(walshcheck::circuit::SecretId(0))
+            .len() as u32;
+        max_order = shares.saturating_sub(1).max(1);
+    }
+    let mut options = VerifyOptions::default();
+    if glitch {
+        options = options.with_probe_model(ProbeModel::Glitch);
+    }
+    println!(
+        "security profile of {}{}:",
+        netlist.name,
+        if glitch { " (glitch-extended)" } else { "" }
+    );
+    println!("{:>6} {:>9} {:>7} {:>7} {:>7}", "order", "probing", "NI", "SNI", "PINI");
+    for d in 1..=max_order {
+        let mut row = Vec::new();
+        for property in
+            [Property::Probing(d), Property::Ni(d), Property::Sni(d), Property::Pini(d)]
+        {
+            let v = check_netlist(&netlist, property, &options).map_err(|e| e.to_string())?;
+            row.push(if v.secure { "yes" } else { "NO" });
+        }
+        println!(
+            "{:>6} {:>9} {:>7} {:>7} {:>7}",
+            d, row[0], row[1], row[2], row[3]
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run_info(target: &str) -> Result<ExitCode, String> {
+    let n = load(target)?;
+    let st = walshcheck::circuit::stats::stats(&n).map_err(|e| e.to_string())?;
+    println!("module {}", n.name);
+    println!("  wires:   {}", n.num_wires());
+    println!(
+        "  cells:   {} ({} non-linear, {} xor, {} reg, {} buf/not; depth {})",
+        n.num_cells(),
+        st.nonlinear_gates,
+        st.linear_gates,
+        st.registers,
+        st.unary_gates,
+        st.depth
+    );
+    for (i, name) in n.secret_names.iter().enumerate() {
+        let shares = n.shares_of(walshcheck::circuit::SecretId(i as u32)).len();
+        println!("  secret `{name}`: {shares} shares");
+    }
+    println!("  randoms: {}", n.randoms().len());
+    for (i, name) in n.output_names.iter().enumerate() {
+        let shares = n
+            .output_shares_of(walshcheck::circuit::OutputId(i as u32))
+            .len();
+        println!("  output `{name}`: {shares} shares");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("check") if args.len() >= 2 => run_check(&args[1], &args[2..]),
+        Some("profile") if args.len() >= 2 => run_profile(&args[1], &args[2..]),
+        Some("info") if args.len() >= 2 => run_info(&args[1]),
+        Some("dump") if args.len() >= 2 => load(&args[1]).map(|n| {
+            print!("{}", write_ilang(&n));
+            ExitCode::SUCCESS
+        }),
+        Some("list") => {
+            for b in Benchmark::all() {
+                println!("bench:{b}");
+            }
+            for b in walshcheck::gadgets::Benchmark::extensions() {
+                println!("bench:{b}  (extension)");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("help") | Some("--help") | Some("-h") => {
+            println!(
+                "walshcheck — exact spectral verification of probing security\n\n\
+                 subcommands:\n\
+                 \x20 check <file.il|bench:NAME> [options]   verify a property\n\
+                 \x20 info  <file.il|bench:NAME>             print port summary\n\
+                 \x20 dump  <file.il|bench:NAME>             re-emit annotated ILANG\n\
+                 \x20 list                                   list built-in benchmarks\n\n\
+                 options: --property probing|ni|sni|pini  --order D\n\
+                 \x20        --engine lil|map|mapi|fujita    --mode rowwise|joint\n\
+                 \x20        --glitch  --threads N  --time-limit SECS  --no-prefilter"
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => return usage(),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

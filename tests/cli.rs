@@ -1,0 +1,113 @@
+//! End-to-end tests of the `walshcheck` command-line binary.
+
+use std::process::Command;
+
+fn walshcheck(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_walshcheck"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn list_names_all_benchmarks() {
+    let (stdout, _, code) = walshcheck(&["list"]);
+    assert_eq!(code, Some(0));
+    for name in ["ti-1", "trichina-1", "isw-1", "dom-4", "keccak-3"] {
+        assert!(stdout.contains(&format!("bench:{name}")), "missing {name}");
+    }
+}
+
+#[test]
+fn check_secure_gadget_exits_zero() {
+    let (stdout, _, code) = walshcheck(&["check", "bench:dom-1", "--property", "sni"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("1-SNI: secure"), "{stdout}");
+}
+
+#[test]
+fn check_insecure_gadget_exits_nonzero_with_witness() {
+    let (stdout, _, code) =
+        walshcheck(&["check", "bench:ti-1", "--property", "sni", "--order", "1"]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("VIOLATED"), "{stdout}");
+    assert!(stdout.contains("witness probes"), "{stdout}");
+}
+
+#[test]
+fn check_engine_and_mode_flags() {
+    for engine in ["lil", "map", "mapi", "fujita"] {
+        for mode in ["rowwise", "joint"] {
+            let (stdout, _, code) = walshcheck(&[
+                "check",
+                "bench:isw-1",
+                "--engine",
+                engine,
+                "--mode",
+                mode,
+                "--threads",
+                "2",
+            ]);
+            assert_eq!(code, Some(0), "{engine}/{mode}: {stdout}");
+        }
+    }
+}
+
+#[test]
+fn profile_prints_property_matrix() {
+    let (stdout, _, code) = walshcheck(&["profile", "bench:trichina-1"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("probing"), "{stdout}");
+    assert!(stdout.contains("PINI"), "{stdout}");
+}
+
+#[test]
+fn dump_then_check_round_trips_through_a_file() {
+    let (il, _, code) = walshcheck(&["dump", "bench:dom-1"]);
+    assert_eq!(code, Some(0));
+    assert!(il.contains("module"), "{il}");
+    let dir = std::env::temp_dir().join("walshcheck-cli-test");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("dom1.il");
+    std::fs::write(&path, &il).expect("write");
+    let (stdout, _, code) = walshcheck(&["check", path.to_str().expect("utf-8 path")]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("secure"), "{stdout}");
+}
+
+#[test]
+fn info_reports_ports_and_stats() {
+    let (stdout, _, code) = walshcheck(&["info", "bench:dom-2"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("3 shares"), "{stdout}");
+    assert!(stdout.contains("non-linear"), "{stdout}");
+}
+
+#[test]
+fn errors_are_reported_cleanly() {
+    let (_, stderr, code) = walshcheck(&["check", "bench:nonesuch"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown benchmark"), "{stderr}");
+    let (_, stderr, code) = walshcheck(&["check", "bench:dom-1", "--engine", "warp"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown engine"), "{stderr}");
+    let (_, _, code) = walshcheck(&["frobnicate"]);
+    assert_eq!(code, Some(2));
+}
+
+#[test]
+fn glitch_flag_changes_verdicts() {
+    // Combinational ISW is 1-SNI in the standard model but not under
+    // glitch-extended probes.
+    let (stdout, _, code) = walshcheck(&["check", "bench:isw-1", "--property", "sni"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    let (stdout, _, code) =
+        walshcheck(&["check", "bench:isw-1", "--property", "sni", "--glitch"]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("VIOLATED"), "{stdout}");
+}

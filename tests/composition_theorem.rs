@@ -1,0 +1,105 @@
+//! The composition theorems, exercised mechanically with the structural
+//! `chain` combinator: SNI ∘ SNI and SNI-after-NI compose, the Fig. 1
+//! pattern shows why the *inner* gadget must be SNI.
+
+use walshcheck::prelude::*;
+use walshcheck_circuit::compose::{chain, Binding};
+use walshcheck_circuit::netlist::{OutputId, SecretId};
+use walshcheck_gadgets::isw::isw_and;
+use walshcheck_gadgets::refresh::{refresh_isw, refresh_paper};
+
+fn check(n: &Netlist, p: Property) -> bool {
+    check_netlist(n, p, &VerifyOptions::default()).expect("valid").secure
+}
+
+#[test]
+fn sni_refresh_into_sni_multiplier_is_sni() {
+    // f = ISW refresh (2-SNI), g = ISW multiplication (2-SNI):
+    // the composition theorem gives 2-SNI for g ∘ f.
+    let f = refresh_isw(2);
+    let g = isw_and(2);
+    let h = chain(
+        &f,
+        &g,
+        &[Binding { inner_output: OutputId(0), outer_secret: SecretId(0) }],
+    )
+    .expect("composes");
+    assert_eq!(h.num_secrets(), 2); // f's secret + g's unbound operand
+    assert!(check(&h, Property::Sni(2)), "SNI ∘ SNI must be SNI");
+    assert!(check(&h, Property::Probing(2)));
+}
+
+#[test]
+fn ni_refresh_into_sni_multiplier_is_ni() {
+    // f = the paper's Fig. 1 refresh (2-NI only), g = ISW (2-SNI), with an
+    // *independent* second operand: d-SNI ∘ d-NI gives d-NI.
+    let f = refresh_paper();
+    let g = isw_and(2);
+    let h = chain(
+        &f,
+        &g,
+        &[Binding { inner_output: OutputId(0), outer_secret: SecretId(0) }],
+    )
+    .expect("composes");
+    assert!(check(&h, Property::Ni(2)), "SNI ∘ NI must be NI");
+}
+
+#[test]
+fn chained_composition_matches_the_handwritten_one() {
+    // chain(refresh_paper, isw_2) computes the same function as the
+    // hand-written composition_independent and gets the same verdicts.
+    use walshcheck_gadgets::composition::composition_independent;
+    let f = refresh_paper();
+    let g = isw_and(2);
+    let chained = chain(
+        &f,
+        &g,
+        &[Binding { inner_output: OutputId(0), outer_secret: SecretId(0) }],
+    )
+    .expect("composes");
+    let handwritten = composition_independent();
+    for prop in [Property::Ni(2), Property::Sni(2), Property::Probing(2)] {
+        assert_eq!(
+            check(&chained, prop),
+            check(&handwritten, prop),
+            "{prop:?} verdicts must agree"
+        );
+    }
+}
+
+#[test]
+fn double_refresh_chain_is_sni() {
+    // refresh ∘ refresh via chain — names collide, sharing stays sound.
+    let f = refresh_isw(1);
+    let g = refresh_isw(1);
+    let h = chain(
+        &f,
+        &g,
+        &[Binding { inner_output: OutputId(0), outer_secret: SecretId(0) }],
+    )
+    .expect("composes");
+    assert_eq!(h.num_secrets(), 1);
+    assert!(check(&h, Property::Sni(1)));
+    // And the result still just computes the identity.
+    use walshcheck_gadgets::test_util::check_gadget_function;
+    check_gadget_function(&h, &|s| s[0]);
+}
+
+#[test]
+fn composed_netlists_round_trip_through_ilang() {
+    let f = refresh_isw(1);
+    let g = isw_and(1);
+    let h = chain(
+        &f,
+        &g,
+        &[Binding { inner_output: OutputId(0), outer_secret: SecretId(0) }],
+    )
+    .expect("composes");
+    let text = write_ilang(&h);
+    let back = parse_ilang(&text).expect("round trip");
+    assert_eq!(back.num_secrets(), h.num_secrets());
+    assert_eq!(
+        check(&back, Property::Sni(1)),
+        check(&h, Property::Sni(1))
+    );
+}

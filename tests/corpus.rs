@@ -1,0 +1,51 @@
+//! Every ILANG file in `corpus/` must parse, validate, simulate and verify.
+
+use walshcheck::prelude::*;
+
+fn corpus_files() -> Vec<std::path::PathBuf> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("corpus directory present")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "il"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "corpus must contain .il files");
+    files
+}
+
+#[test]
+fn corpus_parses_and_validates() {
+    for path in corpus_files() {
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let n = parse_ilang(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        n.validate().unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(n.num_secrets() > 0, "{}", path.display());
+    }
+}
+
+#[test]
+fn corpus_round_trips() {
+    for path in corpus_files() {
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let n = parse_ilang(&text).expect("parses");
+        let re = parse_ilang(&write_ilang(&n)).expect("re-parses");
+        assert_eq!(re.num_secrets(), n.num_secrets(), "{}", path.display());
+        assert_eq!(re.randoms().len(), n.randoms().len(), "{}", path.display());
+    }
+}
+
+#[test]
+fn corpus_gadgets_verify_at_their_order() {
+    for path in corpus_files() {
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let n = parse_ilang(&text).expect("parses");
+        let shares = n.shares_of(walshcheck::circuit::SecretId(0)).len() as u32;
+        let d = shares.saturating_sub(1).max(1);
+        // Probing security at the design order holds for every shipped file.
+        let v = check_netlist(&n, Property::Probing(d), &VerifyOptions::default())
+            .expect("valid");
+        assert!(v.secure, "{}: {v}", path.display());
+    }
+}

@@ -1,0 +1,138 @@
+//! Behavioural contracts of the verification engine: statistics coherence,
+//! shard disjointness, cache reuse, and option interplay.
+
+use walshcheck::prelude::*;
+use walshcheck_core::engine::{check_parallel, Verifier};
+
+#[test]
+fn stats_counters_are_coherent() {
+    let n = Benchmark::Dom(2).netlist();
+    let v = check_netlist(&n, Property::Sni(2), &VerifyOptions::default()).expect("valid");
+    assert!(v.secure);
+    // Every non-pruned combination contributes at least one checked row.
+    assert!(v.stats.rows_checked >= v.stats.combinations - v.stats.pruned);
+    assert!(v.stats.pruned <= v.stats.combinations);
+    // Time split is within the total.
+    assert!(v.stats.convolution_time <= v.stats.total_time);
+    assert!(v.stats.verification_time <= v.stats.total_time);
+}
+
+#[test]
+fn disabling_the_prefilter_only_adds_work() {
+    let n = Benchmark::Dom(2).netlist();
+    let filtered = check_netlist(
+        &n,
+        Property::Sni(2),
+        &VerifyOptions { prefilter: true, ..VerifyOptions::default() },
+    )
+    .expect("valid");
+    let unfiltered = check_netlist(
+        &n,
+        Property::Sni(2),
+        &VerifyOptions { prefilter: false, ..VerifyOptions::default() },
+    )
+    .expect("valid");
+    assert_eq!(filtered.secure, unfiltered.secure);
+    assert_eq!(filtered.stats.combinations, unfiltered.stats.combinations);
+    assert!(filtered.stats.pruned > 0, "prefilter must fire on dom-2");
+    assert_eq!(unfiltered.stats.pruned, 0);
+    assert!(filtered.stats.rows_checked < unfiltered.stats.rows_checked);
+}
+
+#[test]
+fn shards_partition_the_combination_space() {
+    let n = Benchmark::Dom(2).netlist();
+    let serial = check_netlist(&n, Property::Sni(2), &VerifyOptions::default()).expect("valid");
+    // The merged parallel stats count every combination exactly once.
+    let par = check_parallel(&n, Property::Sni(2), &VerifyOptions::default(), 3).expect("valid");
+    assert_eq!(par.stats.combinations, serial.stats.combinations);
+    assert_eq!(par.secure, serial.secure);
+}
+
+#[test]
+fn smallest_first_finds_smaller_witnesses() {
+    use walshcheck_gadgets::isw::isw_and_broken;
+    let n = isw_and_broken(2);
+    let largest = check_netlist(
+        &n,
+        Property::Sni(2),
+        &VerifyOptions { largest_first: true, ..VerifyOptions::default() },
+    )
+    .expect("valid");
+    let smallest = check_netlist(
+        &n,
+        Property::Sni(2),
+        &VerifyOptions { largest_first: false, ..VerifyOptions::default() },
+    )
+    .expect("valid");
+    assert!(!largest.secure && !smallest.secure);
+    let wl = largest.witness.expect("witness").combination.len();
+    let ws = smallest.witness.expect("witness").combination.len();
+    assert!(ws <= wl, "smallest-first witness ({ws}) must not exceed largest-first ({wl})");
+}
+
+#[test]
+fn row_counts_differ_between_modes() {
+    // Joint mode inspects all 2^s − 1 rows per combination; row-wise only
+    // the full row. Same verdict, more rows.
+    let n = Benchmark::Dom(2).netlist();
+    let rowwise = check_netlist(
+        &n,
+        Property::Sni(2),
+        &VerifyOptions { mode: CheckMode::RowWise, prefilter: false, ..VerifyOptions::default() },
+    )
+    .expect("valid");
+    let joint = check_netlist(
+        &n,
+        Property::Sni(2),
+        &VerifyOptions { mode: CheckMode::Joint, prefilter: false, ..VerifyOptions::default() },
+    )
+    .expect("valid");
+    assert_eq!(rowwise.secure, joint.secure);
+    assert!(joint.stats.rows_checked > rowwise.stats.rows_checked);
+}
+
+#[test]
+fn site_options_affect_the_search_space() {
+    use walshcheck_core::sites::SiteOptions;
+    let n = Benchmark::Dom(1).netlist();
+    let with_inputs = check_netlist(&n, Property::Sni(1), &VerifyOptions::default())
+        .expect("valid");
+    let without_inputs = check_netlist(
+        &n,
+        Property::Sni(1),
+        &VerifyOptions {
+            sites: SiteOptions { include_inputs: false, ..SiteOptions::default() },
+            ..VerifyOptions::default()
+        },
+    )
+    .expect("valid");
+    assert_eq!(with_inputs.secure, without_inputs.secure);
+    assert!(with_inputs.stats.combinations > without_inputs.stats.combinations);
+}
+
+#[test]
+fn verifier_accessors_expose_the_model() {
+    let n = Benchmark::Dom(1).netlist();
+    let v = Verifier::new(&n).expect("valid");
+    assert_eq!(v.varmap().num_secrets(), 2);
+    assert_eq!(v.netlist().name, "dom-1");
+    assert_eq!(v.unfolded().bdds.num_vars() as usize, n.inputs.len());
+}
+
+#[test]
+fn cyclic_netlists_are_rejected_up_front() {
+    use walshcheck::circuit::netlist::{Cell, Gate, InputRole, Netlist, Wire, WireId};
+    let mut n = Netlist::new("cyc");
+    n.wires.push(Wire { name: "a".into() });
+    n.wires.push(Wire { name: "b".into() });
+    n.inputs.push((WireId(0), InputRole::Public));
+    n.cells.push(Cell {
+        name: "c".into(),
+        gate: Gate::And,
+        inputs: vec![WireId(1), WireId(0)],
+        output: WireId(1),
+    });
+    assert!(Verifier::new(&n).is_err());
+    assert!(check_netlist(&n, Property::Probing(1), &VerifyOptions::default()).is_err());
+}

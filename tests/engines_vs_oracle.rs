@@ -1,0 +1,141 @@
+//! Cross-validation: every engine × mode must agree with the exhaustive
+//! distribution oracle on every gadget small enough to enumerate.
+
+use walshcheck::prelude::*;
+use walshcheck_core::exhaustive::exhaustive_check;
+use walshcheck_core::sites::SiteOptions;
+use walshcheck_gadgets::composition::{composition_fig1, composition_independent};
+use walshcheck_gadgets::isw::{isw_and, isw_and_broken};
+use walshcheck_gadgets::refresh::{refresh_circular, refresh_paper};
+
+fn gadget_zoo() -> Vec<(String, Netlist, u32)> {
+    vec![
+        ("ti-1".into(), Benchmark::Ti1.netlist(), 1),
+        ("trichina-1".into(), Benchmark::Trichina1.netlist(), 1),
+        ("isw-1".into(), isw_and(1), 1),
+        ("isw-2".into(), isw_and(2), 2),
+        ("isw-2-broken".into(), isw_and_broken(2), 2),
+        ("dom-1".into(), Benchmark::Dom(1).netlist(), 1),
+        ("dom-2".into(), Benchmark::Dom(2).netlist(), 2),
+        ("refresh-fig1".into(), refresh_paper(), 2),
+        ("refresh-circ-2".into(), refresh_circular(2), 2),
+        ("fig1".into(), composition_fig1(), 2),
+        ("fig1-indep".into(), composition_independent(), 2),
+    ]
+}
+
+fn engines() -> [EngineKind; 4] {
+    [EngineKind::Lil, EngineKind::Map, EngineKind::Mapi, EngineKind::Fujita]
+}
+
+#[test]
+fn all_engines_match_the_oracle_on_sni_and_ni() {
+    for (name, netlist, d) in gadget_zoo() {
+        for prop in [Property::Ni(d), Property::Sni(d)] {
+            let oracle = exhaustive_check(&netlist, prop, &SiteOptions::default())
+                .expect("small gadget")
+                .secure;
+            for engine in engines() {
+                for mode in [CheckMode::Joint, CheckMode::RowWise] {
+                    let opts = VerifyOptions { engine, mode, ..VerifyOptions::default() };
+                    let got = check_netlist(&netlist, prop, &opts).expect("valid").secure;
+                    assert_eq!(
+                        got, oracle,
+                        "{name} {prop:?} {engine} {mode:?} disagrees with oracle"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn all_engines_match_the_oracle_on_probing() {
+    for (name, netlist, d) in gadget_zoo() {
+        // Also check one order above the design order (usually insecure).
+        for order in [d, d + 1] {
+            let prop = Property::Probing(order);
+            let oracle = exhaustive_check(&netlist, prop, &SiteOptions::default())
+                .expect("small gadget")
+                .secure;
+            for engine in engines() {
+                let opts = VerifyOptions { engine, ..VerifyOptions::default() };
+                let got = check_netlist(&netlist, prop, &opts).expect("valid").secure;
+                assert_eq!(got, oracle, "{name} {prop:?} {engine} disagrees with oracle");
+            }
+        }
+    }
+}
+
+#[test]
+fn pini_matches_the_oracle() {
+    for (name, netlist, d) in gadget_zoo() {
+        let prop = Property::Pini(d);
+        let oracle = exhaustive_check(&netlist, prop, &SiteOptions::default())
+            .expect("small gadget")
+            .secure;
+        for engine in [EngineKind::Map, EngineKind::Mapi] {
+            let opts = VerifyOptions { engine, ..VerifyOptions::default() };
+            let got = check_netlist(&netlist, prop, &opts).expect("valid").secure;
+            assert_eq!(got, oracle, "{name} {prop:?} {engine} disagrees with oracle");
+        }
+    }
+}
+
+#[test]
+fn prefilter_and_ordering_do_not_change_verdicts() {
+    for (name, netlist, d) in gadget_zoo() {
+        for prop in [Property::Sni(d), Property::Probing(d + 1)] {
+            let reference = check_netlist(&netlist, prop, &VerifyOptions::default())
+                .expect("valid")
+                .secure;
+            for prefilter in [false, true] {
+                for largest_first in [false, true] {
+                    let opts = VerifyOptions {
+                        prefilter,
+                        largest_first,
+                        ..VerifyOptions::default()
+                    };
+                    let got = check_netlist(&netlist, prop, &opts).expect("valid").secure;
+                    assert_eq!(
+                        got, reference,
+                        "{name} {prop:?} prefilter={prefilter} largest_first={largest_first}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn heuristic_is_sound() {
+    // Whenever the maskVerif-style heuristic claims "secure", the oracle
+    // must agree (the converse may fail: the heuristic is incomplete).
+    use walshcheck_core::heuristic::heuristic_check;
+    for (name, netlist, d) in gadget_zoo() {
+        for prop in [Property::Probing(d), Property::Ni(d), Property::Sni(d)] {
+            let h = heuristic_check(&netlist, prop, &SiteOptions::default()).expect("valid");
+            if h.secure == Some(true) {
+                let oracle = exhaustive_check(&netlist, prop, &SiteOptions::default())
+                    .expect("small gadget")
+                    .secure;
+                assert!(oracle, "{name} {prop:?}: heuristic claimed secure, oracle disagrees");
+            }
+        }
+    }
+}
+
+#[test]
+fn witnesses_are_reported_with_probe_lists() {
+    let v = check_netlist(
+        &isw_and_broken(2),
+        Property::Sni(2),
+        &VerifyOptions::default(),
+    )
+    .expect("valid");
+    assert!(!v.secure);
+    let w = v.witness.expect("witness");
+    assert!(!w.combination.is_empty());
+    assert!(w.combination.len() <= 2);
+    assert!(!w.reason.is_empty());
+}

@@ -1,0 +1,87 @@
+//! Glitch-extended (robust) probing model: engine vs oracle agreement and
+//! the classical register-protection facts.
+
+use walshcheck::prelude::*;
+use walshcheck_core::exhaustive::exhaustive_check;
+use walshcheck_core::sites::SiteOptions;
+use walshcheck_gadgets::isw::isw_and;
+
+fn glitch_opts() -> VerifyOptions {
+    VerifyOptions::default().with_probe_model(ProbeModel::Glitch)
+}
+
+fn glitch_sites() -> SiteOptions {
+    SiteOptions { probe_model: ProbeModel::Glitch, ..SiteOptions::default() }
+}
+
+#[test]
+fn ti_is_glitch_robust_first_order() {
+    // Threshold implementations were designed exactly for this: 1-probing
+    // security in the presence of glitches, thanks to non-completeness.
+    let n = Benchmark::Ti1.netlist();
+    let v = check_netlist(&n, Property::Probing(1), &glitch_opts()).expect("valid");
+    assert!(v.secure, "{v}");
+    let o = exhaustive_check(&n, Property::Probing(1), &glitch_sites()).expect("small");
+    assert!(o.secure);
+}
+
+#[test]
+fn dom_registers_give_glitch_robust_sni_at_order_1() {
+    // The register after resharing stops glitch propagation; DOM-1 stays
+    // 1-SNI under glitch-extended probes.
+    let n = Benchmark::Dom(1).netlist();
+    let v = check_netlist(&n, Property::Sni(1), &glitch_opts()).expect("valid");
+    let o = exhaustive_check(&n, Property::Sni(1), &glitch_sites()).expect("small");
+    assert_eq!(v.secure, o.secure);
+    assert!(v.secure, "{v}");
+}
+
+#[test]
+fn isw_without_registers_fails_glitch_robust_sni() {
+    // The ISW output share accumulates (r ⊕ a_i b_j) ⊕ a_j b_i in one
+    // combinational cone: a glitch-extended probe on the output sees the
+    // unmasked products — not SNI (and not even 1-probing secure).
+    let n = isw_and(1);
+    let v = check_netlist(&n, Property::Sni(1), &glitch_opts()).expect("valid");
+    let o = exhaustive_check(&n, Property::Sni(1), &glitch_sites()).expect("small");
+    assert_eq!(v.secure, o.secure);
+    assert!(!v.secure, "combinational ISW must fail under glitches");
+}
+
+#[test]
+fn engines_agree_with_oracle_under_glitches() {
+    for (name, n, d) in [
+        ("ti-1", Benchmark::Ti1.netlist(), 1),
+        ("dom-1", Benchmark::Dom(1).netlist(), 1),
+        ("isw-1", isw_and(1), 1),
+        ("trichina-1", Benchmark::Trichina1.netlist(), 1),
+    ] {
+        for prop in [Property::Probing(d), Property::Ni(d), Property::Sni(d)] {
+            let oracle = exhaustive_check(&n, prop, &glitch_sites()).expect("small").secure;
+            for engine in [EngineKind::Lil, EngineKind::Map, EngineKind::Mapi, EngineKind::Fujita]
+            {
+                for mode in [CheckMode::Joint, CheckMode::RowWise] {
+                    let opts = VerifyOptions { engine, mode, ..glitch_opts() };
+                    let got = check_netlist(&n, prop, &opts).expect("valid").secure;
+                    assert_eq!(got, oracle, "{name} {prop:?} {engine} {mode:?} (glitch)");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn glitch_model_is_stricter_than_standard() {
+    // Any gadget secure under glitches is secure in the standard model
+    // (the observation sets only shrink).
+    for n in [Benchmark::Ti1.netlist(), Benchmark::Dom(1).netlist(), isw_and(1)] {
+        for prop in [Property::Probing(1), Property::Sni(1)] {
+            let glitch = check_netlist(&n, prop, &glitch_opts()).expect("valid").secure;
+            let standard =
+                check_netlist(&n, prop, &VerifyOptions::default()).expect("valid").secure;
+            if glitch {
+                assert!(standard, "glitch-secure but standard-insecure is impossible");
+            }
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Ground-truth verdicts for the benchmark gadgets.
+//!
+//! Every assertion here is a published fact about the gadget (or follows
+//! from its definition) and is independently confirmed by the exhaustive
+//! distribution oracle in `engines_vs_oracle.rs`.
+
+use walshcheck::prelude::*;
+use walshcheck_gadgets::composition::{
+    composition_fig1, composition_fixed, composition_independent,
+};
+use walshcheck_gadgets::isw::{isw_and, isw_and_broken};
+use walshcheck_gadgets::refresh::{refresh_circular, refresh_isw, refresh_paper};
+
+fn check(n: &walshcheck::circuit::netlist::Netlist, p: Property) -> bool {
+    check_netlist(n, p, &VerifyOptions::default())
+        .expect("valid netlist")
+        .secure
+}
+
+#[test]
+fn isw_is_sni_at_its_order() {
+    for d in 1..=2 {
+        let n = isw_and(d);
+        assert!(check(&n, Property::Sni(d)), "isw-{d} must be {d}-SNI");
+        assert!(check(&n, Property::Ni(d)));
+        assert!(check(&n, Property::Probing(d)));
+    }
+}
+
+#[test]
+fn isw_fails_beyond_its_order() {
+    let n = isw_and(1);
+    // Probing both input shares of a secret breaks order 2.
+    assert!(!check(&n, Property::Probing(2)));
+    assert!(!check(&n, Property::Sni(2)));
+}
+
+#[test]
+fn broken_isw_is_detected() {
+    let n = isw_and_broken(2);
+    assert!(!check(&n, Property::Sni(2)), "shared randomness must leak");
+}
+
+#[test]
+fn dom_is_sni_at_orders_1_and_2() {
+    for d in 1..=2 {
+        let n = Benchmark::Dom(d).netlist();
+        assert!(check(&n, Property::Sni(d)), "dom-{d} must be {d}-SNI");
+        assert!(check(&n, Property::Probing(d)));
+    }
+}
+
+#[test]
+fn trichina_is_1_sni() {
+    let n = Benchmark::Trichina1.netlist();
+    assert!(check(&n, Property::Sni(1)));
+    assert!(check(&n, Property::Ni(1)));
+    assert!(check(&n, Property::Probing(1)));
+}
+
+#[test]
+fn ti_is_probing_secure_but_not_ni() {
+    // The 3-share TI AND has no fresh randomness: it is 1-probing secure
+    // (non-completeness) but its output shares depend on two input shares,
+    // so it is neither 1-NI nor 1-SNI.
+    let n = Benchmark::Ti1.netlist();
+    assert!(check(&n, Property::Probing(1)));
+    assert!(!check(&n, Property::Ni(1)));
+    assert!(!check(&n, Property::Sni(1)));
+}
+
+#[test]
+fn keccak1_is_1_sni() {
+    let n = Benchmark::Keccak(1).netlist();
+    assert!(check(&n, Property::Sni(1)));
+    assert!(check(&n, Property::Probing(1)));
+}
+
+#[test]
+fn refresh_gadgets() {
+    // The paper's Fig. 1 refresh is NI but not SNI at order 2 (its whole
+    // point): probing p_f = a0⊕r0 plus observing output o1 = a1⊕r0 gives
+    // a0⊕a1 — two observations, one internal probe, two shares > budget 1.
+    let n = refresh_paper();
+    assert!(check(&n, Property::Ni(2)));
+    assert!(!check(&n, Property::Sni(2)));
+    // The circular refresh at order 1 is SNI (any single observation is
+    // masked); the ISW refresh is SNI at its order.
+    assert!(check(&refresh_circular(1), Property::Sni(1)));
+    for d in 1..=2 {
+        assert!(check(&refresh_isw(d), Property::Sni(d)), "refresh-isw-{d}");
+    }
+}
+
+#[test]
+fn fig1_composition_is_not_2ni_and_fix_restores_it() {
+    // The paper's Fig. 1/2 example: multiplying a non-SNI-refreshed sharing
+    // with the same secret is not 2-NI ("two probed values give three
+    // shares"); an SNI refresh restores composability, and an independent
+    // second operand avoids the flaw altogether.
+    assert!(!check(&composition_fig1(), Property::Ni(2)));
+    assert!(check(&composition_fixed(), Property::Ni(2)));
+    assert!(check(&composition_independent(), Property::Ni(2)));
+}
+
+#[test]
+fn fig1_witness_mentions_three_shares() {
+    let v = check_netlist(&composition_fig1(), Property::Ni(2), &VerifyOptions::default())
+        .expect("valid");
+    assert!(!v.secure);
+    let w = v.witness.expect("witness present");
+    assert_eq!(w.combination.len(), 2, "two probed values");
+    assert!(w.reason.contains("3 shares"), "reason: {}", w.reason);
+}
+
+#[test]
+fn pini_verdicts() {
+    // Refresh gadgets keep share indices separated: the ISW refresh is
+    // 1-PINI. The ISW multiplication is famously NOT PINI (cross-domain
+    // products mix indices).
+    assert!(check(&refresh_isw(1), Property::Pini(1)));
+    assert!(!check(&isw_and(1), Property::Pini(1)));
+}
+
+#[test]
+fn verdict_stats_are_populated() {
+    let v = check_netlist(
+        &Benchmark::Dom(1).netlist(),
+        Property::Sni(1),
+        &VerifyOptions::default(),
+    )
+    .expect("valid");
+    assert!(v.secure);
+    assert!(v.stats.combinations > 0);
+    assert!(v.stats.total_time.as_nanos() > 0);
+}
+
+#[test]
+fn parallel_check_agrees_with_serial() {
+    use walshcheck_core::engine::check_parallel;
+    for (n, prop) in [
+        (Benchmark::Dom(2).netlist(), Property::Sni(2)),
+        (composition_fig1(), Property::Ni(2)),
+        (isw_and_broken(2), Property::Sni(2)),
+    ] {
+        let serial = check_netlist(&n, prop, &VerifyOptions::default()).expect("valid");
+        for threads in [1, 2, 4] {
+            let par = check_parallel(&n, prop, &VerifyOptions::default(), threads)
+                .expect("valid");
+            assert_eq!(par.secure, serial.secure, "{prop:?} with {threads} threads");
+            assert!(!par.stats.timed_out);
+            if !par.secure {
+                assert!(par.witness.is_some());
+            }
+        }
+    }
+}
+
+#[test]
+fn time_limit_reports_partial_runs() {
+    let n = Benchmark::Dom(2).netlist();
+    let opts = VerifyOptions {
+        time_limit: Some(std::time::Duration::ZERO),
+        ..VerifyOptions::default()
+    };
+    let v = check_netlist(&n, Property::Sni(2), &opts).expect("valid");
+    assert!(v.stats.timed_out, "zero budget must time out");
+    // A generous budget completes normally.
+    let opts = VerifyOptions {
+        time_limit: Some(std::time::Duration::from_secs(3600)),
+        ..VerifyOptions::default()
+    };
+    let v = check_netlist(&n, Property::Sni(2), &opts).expect("valid");
+    assert!(!v.stats.timed_out);
+    assert!(v.secure);
+}
+
+#[test]
+fn hpc_gadgets_are_pini_and_isw_dom_are_not() {
+    use walshcheck_gadgets::hpc::{hpc1_and, hpc2_and};
+    // HPC2 is d-PINI (also under glitches); HPC1 is d-PINI.
+    for d in 1..=2 {
+        assert!(check(&hpc2_and(d), Property::Pini(d)), "hpc2-{d} must be {d}-PINI");
+        assert!(check(&hpc1_and(d), Property::Pini(d)), "hpc1-{d} must be {d}-PINI");
+        assert!(check(&hpc2_and(d), Property::Probing(d)));
+    }
+    let glitch = VerifyOptions::default().with_probe_model(ProbeModel::Glitch);
+    let v = check_netlist(&hpc2_and(1), Property::Pini(1), &glitch).expect("valid");
+    assert!(v.secure, "hpc2-1 must be glitch-robust 1-PINI: {v}");
+    // DOM multiplication mixes share indices across domains: not PINI.
+    assert!(!check(&Benchmark::Dom(1).netlist(), Property::Pini(1)));
+}
+
+#[test]
+fn hpc2_pini_matches_oracle_at_order_1() {
+    use walshcheck_core::exhaustive::exhaustive_check;
+    use walshcheck_core::sites::SiteOptions;
+    use walshcheck_gadgets::hpc::hpc2_and;
+    let n = hpc2_and(1);
+    for prop in [Property::Pini(1), Property::Sni(1), Property::Ni(1), Property::Probing(1)] {
+        let oracle = exhaustive_check(&n, prop, &SiteOptions::default()).expect("small");
+        let got = check_netlist(&n, prop, &VerifyOptions::default()).expect("valid");
+        assert_eq!(got.secure, oracle.secure, "{prop:?}");
+    }
+}
+
+#[test]
+fn uniformity_of_benchmark_sharings() {
+    use walshcheck_core::uniformity::{is_uniform_sharing, unbalanced_output_combination};
+    // Trichina's output sharing (c0, z) is uniform; DOM-1's resharing makes
+    // its output uniform too. The 3-share TI AND is the classic
+    // counterexample: no uniform 3-share sharing of AND exists without
+    // fresh randomness.
+    assert!(is_uniform_sharing(&Benchmark::Trichina1.netlist()).expect("small"));
+    assert!(is_uniform_sharing(&Benchmark::Dom(1).netlist()).expect("small"));
+    assert!(!is_uniform_sharing(&Benchmark::Ti1.netlist()).expect("small"));
+    // The spectral necessary condition already flags TI: its first output
+    // share c0 = a1(b1⊕b2) ⊕ a2b1 is biased (W(∅) = 1/4), while the
+    // uniform gadgets pass it.
+    assert!(unbalanced_output_combination(&Benchmark::Ti1.netlist())
+        .expect("small")
+        .is_some());
+    assert_eq!(
+        unbalanced_output_combination(&Benchmark::Trichina1.netlist()).expect("small"),
+        None
+    );
+    assert_eq!(
+        unbalanced_output_combination(&Benchmark::Dom(1).netlist()).expect("small"),
+        None
+    );
+}
+
+#[test]
+fn pini_composition_without_refresh_is_secure() {
+    use walshcheck_circuit::compose::{chain, Binding};
+    use walshcheck_circuit::netlist::{OutputId, SecretId};
+    use walshcheck_gadgets::hpc::hpc2_and;
+    let h = chain(
+        &hpc2_and(1),
+        &hpc2_and(1),
+        &[Binding { inner_output: OutputId(0), outer_secret: SecretId(0) }],
+    )
+    .expect("composes");
+    assert!(check(&h, Property::Pini(1)), "PINI ∘ PINI must be PINI");
+    assert!(check(&h, Property::Probing(1)));
+}
+
+#[test]
+fn chi3_ti_is_glitch_robust_first_order_but_not_sni() {
+    use walshcheck_core::exhaustive::exhaustive_check;
+    use walshcheck_core::sites::SiteOptions;
+    use walshcheck_gadgets::chi3::chi3_ti;
+    let n = chi3_ti();
+    let glitch = VerifyOptions::default().with_probe_model(ProbeModel::Glitch);
+    let v = check_netlist(&n, Property::Probing(1), &glitch).expect("valid");
+    assert!(v.secure, "TI χ3 must be glitch-robust first order: {v}");
+    assert!(!check(&n, Property::Sni(1)));
+    // Oracle agreement (9 inputs: trivially enumerable).
+    for prop in [Property::Probing(1), Property::Ni(1), Property::Sni(1)] {
+        let o = exhaustive_check(&n, prop, &SiteOptions::default()).expect("small");
+        assert_eq!(check(&n, prop), o.secure, "{prop:?}");
+    }
+}
+
+#[test]
+fn witness_minimization_shrinks_combinations() {
+    use walshcheck_core::engine::Verifier;
+    // Check the broken ISW at order 3: the largest-first search reports a
+    // size-3 witness even though 2 probes suffice.
+    let n = isw_and_broken(2);
+    let opts = VerifyOptions::default();
+    let mut verifier = Verifier::new(&n).expect("valid");
+    let v = verifier.check(Property::Sni(3), &opts);
+    assert!(!v.secure);
+    let w = v.witness.expect("witness");
+    let min = verifier.minimize_witness(&w, Property::Sni(3), &opts);
+    assert!(min.combination.len() <= w.combination.len());
+    assert!(!min.combination.is_empty());
+    // The minimized combination still violates on its own.
+    assert!(verifier
+        .check_specific(&min.combination, Property::Sni(3), &opts)
+        .is_some());
+}
+
+#[test]
+fn verifier_is_reusable_across_checks() {
+    use walshcheck_core::engine::Verifier;
+    let n = Benchmark::Dom(1).netlist();
+    let mut v = Verifier::new(&n).expect("valid");
+    let opts = VerifyOptions::default();
+    // Interleave properties and engines on one verifier instance; results
+    // must be stable across repetitions (cache clearing between runs).
+    for _ in 0..3 {
+        assert!(v.check(Property::Sni(1), &opts).secure);
+        assert!(!v.check(Property::Probing(2), &opts).secure);
+        let fujita = VerifyOptions { engine: EngineKind::Fujita, ..VerifyOptions::default() };
+        assert!(v.check(Property::Ni(1), &fujita).secure);
+    }
+}
+
+#[test]
+fn find_witnesses_enumerates_multiple_leaks() {
+    use walshcheck_core::engine::Verifier;
+    let n = isw_and_broken(2);
+    let mut v = Verifier::new(&n).expect("valid");
+    let witnesses = v.find_witnesses(Property::Sni(2), &VerifyOptions::default(), 5);
+    assert!(witnesses.len() >= 2, "broken masking must leak in many places");
+    assert!(witnesses.len() <= 5);
+    // All reported combinations are genuine violations.
+    for w in &witnesses {
+        assert!(v
+            .check_specific(&w.combination, Property::Sni(2), &VerifyOptions::default())
+            .is_some());
+    }
+    // A secure gadget yields none.
+    let secure = Benchmark::Dom(1).netlist();
+    let mut v = Verifier::new(&secure).expect("valid");
+    assert!(v.find_witnesses(Property::Sni(1), &VerifyOptions::default(), 5).is_empty());
+}
+
+#[test]
+fn exhaustive_probing_witness_reports_statistical_distance() {
+    use walshcheck_core::exhaustive::exhaustive_check;
+    use walshcheck_core::sites::SiteOptions;
+    let n = isw_and(1);
+    let v = exhaustive_check(&n, Property::Probing(2), &SiteOptions::default()).expect("small");
+    assert!(!v.secure);
+    let w = v.witness.expect("witness");
+    assert!(
+        w.reason.contains("statistical distance"),
+        "reason should quantify the leak: {}",
+        w.reason
+    );
+    // Probing two shares of a secret reveals it completely: distance 1.
+    assert!(w.reason.contains("1.0000"), "{}", w.reason);
+}

@@ -1,0 +1,72 @@
+//! Property test for the generic TI generator: every randomly generated
+//! quadratic sharing must compute its specification, be first-order probing
+//! secure in the glitch-extended model (the TI theorem), and agree with the
+//! exhaustive oracle across engines.
+
+use proptest::prelude::*;
+
+use walshcheck::prelude::*;
+use walshcheck_core::exhaustive::exhaustive_check;
+use walshcheck_core::sites::SiteOptions;
+use walshcheck_dd::anf::Anf;
+use walshcheck_gadgets::test_util::check_gadget_function_multi;
+use walshcheck_gadgets::ti_general::{ti_share, QuadraticSpec};
+
+/// Monomial masks over 3 variables with degree ≤ 2.
+const MONOMIALS: [u128; 7] = [0b000, 0b001, 0b010, 0b100, 0b011, 0b101, 0b110];
+
+fn spec_strategy() -> impl Strategy<Value = QuadraticSpec> {
+    proptest::collection::vec(
+        proptest::collection::vec(0usize..MONOMIALS.len(), 0..5),
+        1..3,
+    )
+    .prop_map(|outputs| QuadraticSpec {
+        name: "random-quadratic".into(),
+        num_inputs: 3,
+        outputs: outputs
+            .into_iter()
+            .map(|idxs| Anf::from_monomials(idxs.into_iter().map(|i| MONOMIALS[i])))
+            .collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_quadratic_ti_is_correct_and_first_order_secure(spec in spec_strategy()) {
+        let netlist = ti_share(&spec).expect("degree ≤ 2 by construction");
+        // 1. Functional correctness against the ANF spec.
+        check_gadget_function_multi(&netlist, &|secrets, oidx| {
+            let mut a = 0u128;
+            for (i, &b) in secrets.iter().enumerate() {
+                if b {
+                    a |= 1 << i;
+                }
+            }
+            spec.outputs[oidx].eval(a)
+        });
+        // 2. The TI theorem: non-complete sharings of uniform inputs are
+        //    first-order probing secure, even under glitches.
+        for model in [ProbeModel::Standard, ProbeModel::Glitch] {
+            let opts = VerifyOptions::default().with_probe_model(model);
+            let v = check_netlist(&netlist, Property::Probing(1), &opts).expect("valid");
+            prop_assert!(v.secure, "TI theorem violated under {model:?}: {v}");
+            let sites = SiteOptions { probe_model: model, ..SiteOptions::default() };
+            let oracle = exhaustive_check(&netlist, Property::Probing(1), &sites)
+                .expect("9 inputs");
+            prop_assert!(oracle.secure, "oracle disagrees with the TI theorem");
+        }
+        // 3. Engine agreement on NI/SNI (whatever the verdict is).
+        for prop in [Property::Ni(1), Property::Sni(1)] {
+            let oracle = exhaustive_check(&netlist, prop, &SiteOptions::default())
+                .expect("9 inputs")
+                .secure;
+            for engine in [EngineKind::Lil, EngineKind::Mapi] {
+                let opts = VerifyOptions { engine, ..VerifyOptions::default() };
+                let got = check_netlist(&netlist, prop, &opts).expect("valid").secure;
+                prop_assert_eq!(got, oracle, "{:?} {}", prop, engine);
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! The highest-value property test of the repository: on *random* masked
+//! circuits, every spectral engine (in both checking modes) must return
+//! exactly the verdict of the exhaustive distribution oracle, for every
+//! property and both probe models.
+
+use proptest::prelude::*;
+
+use walshcheck::prelude::*;
+use walshcheck_circuit::builder::NetlistBuilder;
+use walshcheck_core::exhaustive::exhaustive_check;
+use walshcheck_core::sites::SiteOptions;
+
+#[derive(Debug, Clone)]
+struct GateRecipe {
+    kind: u8,
+    a: usize,
+    b: usize,
+}
+
+fn recipe_strategy() -> impl Strategy<Value = (Vec<GateRecipe>, u8, u8)> {
+    (
+        proptest::collection::vec(
+            (0u8..8, any::<usize>(), any::<usize>())
+                .prop_map(|(kind, a, b)| GateRecipe { kind, a, b }),
+            1..14,
+        ),
+        2u8..4,  // shares of the secret
+        0u8..3,  // random bits
+    )
+}
+
+/// A random masked circuit over one secret with `shares` shares and `rand`
+/// fresh randoms; the last two wires become the output shares.
+fn build(recipes: &[GateRecipe], shares: u8, rands: u8) -> Netlist {
+    let mut b = NetlistBuilder::new("random");
+    let s = b.secret("x");
+    let mut wires = b.shares(s, shares as u32);
+    for i in 0..rands {
+        wires.push(b.random(format!("r{i}")));
+    }
+    for g in recipes {
+        let a = wires[g.a % wires.len()];
+        let bb = wires[g.b % wires.len()];
+        let out = match g.kind {
+            0 => b.and(a, bb),
+            1 => b.or(a, bb),
+            2 | 3 => b.xor(a, bb),
+            4 => b.xnor(a, bb),
+            5 => b.not(a),
+            6 => b.reg(a),
+            _ => b.nand(a, bb),
+        };
+        wires.push(out);
+    }
+    let o = b.output("q");
+    let q0 = wires[wires.len() - 1];
+    b.output_share(q0, o, 0);
+    if wires.len() >= 2 {
+        let q1 = wires[wires.len() - 2];
+        if q1 != q0 {
+            b.output_share(q1, o, 1);
+        }
+    }
+    b.build().expect("builder output is structurally valid")
+}
+
+proptest! {
+    // Each case runs 4 engines × 2 modes × properties × oracle: keep the
+    // case count moderate; the circuits are tiny so each case is fast.
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn engines_equal_oracle_on_random_circuits((recipes, shares, rands) in recipe_strategy()) {
+        let netlist = build(&recipes, shares, rands);
+        let d = 2u32.min(shares as u32 - 1).max(1);
+        for model in [ProbeModel::Standard, ProbeModel::Glitch] {
+            let sites = SiteOptions { probe_model: model, ..SiteOptions::default() };
+            for prop in [
+                Property::Probing(d),
+                Property::Ni(d),
+                Property::Sni(d),
+                Property::Pini(d),
+            ] {
+                let oracle = exhaustive_check(&netlist, prop, &sites)
+                    .expect("tiny circuit")
+                    .secure;
+                for engine in
+                    [EngineKind::Lil, EngineKind::Map, EngineKind::Mapi, EngineKind::Fujita]
+                {
+                    for mode in [CheckMode::Joint, CheckMode::RowWise] {
+                        let opts = VerifyOptions {
+                            engine,
+                            mode,
+                            sites,
+                            ..VerifyOptions::default()
+                        };
+                        let got = check_netlist(&netlist, prop, &opts)
+                            .expect("valid netlist")
+                            .secure;
+                        prop_assert_eq!(
+                            got,
+                            oracle,
+                            "{:?} {} {:?} {:?} disagrees with oracle on {:?} shares={} rands={}",
+                            prop, engine, mode, model, recipes, shares, rands
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefilter_never_changes_random_verdicts((recipes, shares, rands) in recipe_strategy()) {
+        let netlist = build(&recipes, shares, rands);
+        let d = shares as u32 - 1;
+        for prop in [Property::Probing(d), Property::Sni(d)] {
+            let base = check_netlist(
+                &netlist,
+                prop,
+                &VerifyOptions { prefilter: false, ..VerifyOptions::default() },
+            )
+            .expect("valid")
+            .secure;
+            let filtered = check_netlist(
+                &netlist,
+                prop,
+                &VerifyOptions { prefilter: true, ..VerifyOptions::default() },
+            )
+            .expect("valid")
+            .secure;
+            prop_assert_eq!(base, filtered, "{:?}", prop);
+        }
+    }
+}
