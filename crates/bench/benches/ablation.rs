@@ -4,8 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use walshcheck_circuit::glitch::ProbeModel;
-use walshcheck_core::engine::{check_netlist, VerifyOptions};
+use walshcheck_core::engine::VerifyOptions;
 use walshcheck_core::property::{CheckMode, Property};
+use walshcheck_core::session::Session;
 use walshcheck_gadgets::suite::Benchmark;
 
 fn bench_check_modes(c: &mut Criterion) {
@@ -18,8 +19,13 @@ fn bench_check_modes(c: &mut Criterion) {
             &netlist,
             |b, n| {
                 b.iter(|| {
-                    let opts = VerifyOptions { mode, ..VerifyOptions::default() };
-                    check_netlist(n, Property::Sni(2), &opts).expect("valid").secure
+                    let opts = VerifyOptions::builder().mode(mode).build();
+                    Session::new(n)
+                        .expect("valid")
+                        .options(opts)
+                        .property(Property::Sni(2))
+                        .run()
+                        .secure
                 })
             },
         );
@@ -37,8 +43,12 @@ fn bench_prefilter(c: &mut Criterion) {
             &netlist,
             |b, n| {
                 b.iter(|| {
-                    let opts = VerifyOptions { prefilter, ..VerifyOptions::default() };
-                    check_netlist(n, Property::Sni(2), &opts).expect("valid").secure
+                    Session::new(n)
+                        .expect("valid")
+                        .prefilter(prefilter)
+                        .property(Property::Sni(2))
+                        .run()
+                        .secure
                 })
             },
         );
@@ -55,14 +65,21 @@ fn bench_ordering_on_insecure_gadget(c: &mut Criterion) {
     for largest_first in [false, true] {
         group.bench_with_input(
             BenchmarkId::new(
-                if largest_first { "largest-first" } else { "smallest-first" },
+                if largest_first {
+                    "largest-first"
+                } else {
+                    "smallest-first"
+                },
                 "fig1",
             ),
             &netlist,
             |b, n| {
                 b.iter(|| {
-                    let opts = VerifyOptions { largest_first, ..VerifyOptions::default() };
-                    let v = check_netlist(n, Property::Ni(2), &opts).expect("valid");
+                    let v = Session::new(n)
+                        .expect("valid")
+                        .largest_first(largest_first)
+                        .property(Property::Ni(2))
+                        .run();
                     assert!(!v.secure);
                 })
             },
@@ -81,8 +98,12 @@ fn bench_probe_models(c: &mut Criterion) {
             &netlist,
             |b, n| {
                 b.iter(|| {
-                    let opts = VerifyOptions::default().with_probe_model(model);
-                    check_netlist(n, Property::Sni(1), &opts).expect("valid").secure
+                    Session::new(n)
+                        .expect("valid")
+                        .probe_model(model)
+                        .property(Property::Sni(1))
+                        .run()
+                        .secure
                 })
             },
         );

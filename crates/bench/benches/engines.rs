@@ -6,7 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use walshcheck_bench::{paper_property, run_engine};
-use walshcheck_core::engine::{check_netlist, EngineKind, VerifyOptions};
+use walshcheck_core::engine::{EngineKind, VerifyOptions};
+use walshcheck_core::session::Session;
 use walshcheck_gadgets::suite::Benchmark;
 
 fn bench_engines(c: &mut Criterion) {
@@ -15,7 +16,12 @@ fn bench_engines(c: &mut Criterion) {
     for bench in Benchmark::fast() {
         let netlist = bench.netlist();
         let property = paper_property(bench);
-        for engine in [EngineKind::Lil, EngineKind::Map, EngineKind::Mapi, EngineKind::Fujita] {
+        for engine in [
+            EngineKind::Lil,
+            EngineKind::Map,
+            EngineKind::Mapi,
+            EngineKind::Fujita,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(engine.to_string(), bench.name()),
                 &netlist,
@@ -23,8 +29,11 @@ fn bench_engines(c: &mut Criterion) {
                     b.iter(|| {
                         // ti-1 is (correctly) not SNI; the bench measures
                         // the full verification either way.
-                        let v = check_netlist(netlist, property, &VerifyOptions::paper(engine))
-                            .expect("valid benchmark");
+                        let v = Session::new(netlist)
+                            .expect("valid benchmark")
+                            .options(VerifyOptions::paper(engine))
+                            .property(property)
+                            .run();
                         v.stats.combinations
                     })
                 },

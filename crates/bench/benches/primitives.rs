@@ -57,24 +57,32 @@ fn bench_convolution_containers(c: &mut Criterion) {
     let lils: Vec<LilSpectrum> = spectra.iter().map(|s| LilSpectrum::from_map(s)).collect();
 
     let mut group = c.benchmark_group("convolution");
-    group.bench_with_input(BenchmarkId::new("map", "dom-3 outputs"), &maps, |b, maps| {
-        b.iter(|| {
-            let mut acc = MapSpectrum::one();
-            for m in maps {
-                acc = acc.convolve(m);
-            }
-            acc.len()
-        })
-    });
-    group.bench_with_input(BenchmarkId::new("lil", "dom-3 outputs"), &lils, |b, lils| {
-        b.iter(|| {
-            let mut acc = LilSpectrum::one();
-            for l in lils {
-                acc = acc.convolve(l);
-            }
-            acc.len()
-        })
-    });
+    group.bench_with_input(
+        BenchmarkId::new("map", "dom-3 outputs"),
+        &maps,
+        |b, maps| {
+            b.iter(|| {
+                let mut acc = MapSpectrum::one();
+                for m in maps {
+                    acc = acc.convolve(m);
+                }
+                acc.len()
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("lil", "dom-3 outputs"),
+        &lils,
+        |b, lils| {
+            b.iter(|| {
+                let mut acc = LilSpectrum::one();
+                for l in lils {
+                    acc = acc.convolve(l);
+                }
+                acc.len()
+            })
+        },
+    );
     group.finish();
 }
 

@@ -106,18 +106,29 @@ fn table2(results: &[(Benchmark, [RunResult; 4])]) {
     let (mut sl, mut sf, mut sm) = (Vec::new(), Vec::new(), Vec::new());
     for (b, [lil, fujita, map, mapi]) in results {
         let m = secs(mapi.total);
-        let (l, f, p) = (secs(lil.total) / m, secs(fujita.total) / m, secs(map.total) / m);
+        let (l, f, p) = (
+            secs(lil.total) / m,
+            secs(fujita.total) / m,
+            secs(map.total) / m,
+        );
         sl.push(l);
         sf.push(f);
         sm.push(p);
         let paper = tables::TABLE2.iter().find(|&&(g, ..)| g == b.name());
         let (pl, pf, pm) =
-            paper.map(|&(_, a, b, c)| (a, b, c)).unwrap_or((f64::NAN, f64::NAN, f64::NAN));
-        let best = [("LIL", secs(lil.total)), ("FUJITA", secs(fujita.total)), ("MAP", secs(map.total)), ("MAPI", m)]
-            .into_iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
-            .expect("non-empty")
-            .0;
+            paper
+                .map(|&(_, a, b, c)| (a, b, c))
+                .unwrap_or((f64::NAN, f64::NAN, f64::NAN));
+        let best = [
+            ("LIL", secs(lil.total)),
+            ("FUJITA", secs(fujita.total)),
+            ("MAP", secs(map.total)),
+            ("MAPI", m),
+        ]
+        .into_iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+        .expect("non-empty")
+        .0;
         println!(
             "{:<12} {:>7.2} [{:>6.2}] {:>7.2} [{:>6.2}] {:>7.2} [{:>6.2}] {:>12}",
             b.name(),
@@ -149,11 +160,7 @@ fn table3(benches: &[Benchmark], results: &[(Benchmark, [RunResult; 4])]) {
         let h = run_heuristic(b);
         let bl = run_bloem_like(b);
         let sv = run_silver_like(b);
-        let mapi = &results
-            .iter()
-            .find(|(g, _)| *g == b)
-            .expect("present")
-            .1[3];
+        let mapi = &results.iter().find(|(g, _)| *g == b).expect("present").1[3];
         let sv_str = sv.map_or("-".to_string(), |r| format!("{:.5}", secs(r.total)));
         println!(
             "{:<12} {:>14.5} {:>12.5} {:>12} {:>12.5}",
@@ -209,7 +216,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<u64>().ok())
         .map(Duration::from_secs)
-        .or(if full { Some(Duration::from_secs(900)) } else { None });
+        .or(if full {
+            Some(Duration::from_secs(900))
+        } else {
+            None
+        });
 
     let benches = bench_set(full);
     let results = run_all_engines(&benches, limit);

@@ -1,0 +1,43 @@
+//! Head-to-head timing of the two parallel schedulers: the legacy static
+//! modulo sharding vs the work-stealing batch queue behind `Session`.
+//!
+//! ```text
+//! cargo run --release -p walshcheck-bench --bin sched_compare [threads] [samples] [gadget ...]
+//! ```
+//!
+//! Defaults: 4 threads, 5 samples, `dom_2` and `keccak_1`. Both runs check
+//! the paper property with the MAPI engine; verdict agreement is asserted
+//! inside the harness, so a row printing at all means the schedulers agree.
+
+use walshcheck_bench::compare_schedulers;
+use walshcheck_gadgets::suite::Benchmark;
+
+fn parse_gadget(name: &str) -> Option<Benchmark> {
+    Benchmark::all().into_iter().find(|b| b.name() == name)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let samples: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+    let rest: Vec<String> = args.collect();
+    let gadgets: Vec<Benchmark> = if rest.is_empty() {
+        vec![Benchmark::Dom(2), Benchmark::Keccak(1)]
+    } else {
+        rest.iter()
+            .map(|n| parse_gadget(n).unwrap_or_else(|| panic!("unknown gadget `{n}`")))
+            .collect()
+    };
+
+    println!(
+        "{:<12} {:>7} {:>12} {:>14} {:>8}",
+        "gadget", "threads", "modulo", "work-stealing", "speedup"
+    );
+    for bench in gadgets {
+        let c = compare_schedulers(bench, threads, samples);
+        println!(
+            "{:<12} {:>7} {:>12.4?} {:>14.4?} {:>7.2}x",
+            c.gadget, c.threads, c.modulo, c.stealing, c.speedup
+        );
+    }
+}

@@ -18,10 +18,11 @@
 
 use std::time::{Duration, Instant};
 
-use walshcheck_core::engine::{check_netlist, EngineKind, VerifyOptions};
+use walshcheck_core::engine::{EngineKind, VerifyOptions};
 use walshcheck_core::exhaustive::exhaustive_check;
 use walshcheck_core::heuristic::heuristic_check;
 use walshcheck_core::property::Property;
+use walshcheck_core::session::Session;
 use walshcheck_core::sites::SiteOptions;
 use walshcheck_gadgets::suite::Benchmark;
 
@@ -72,10 +73,14 @@ pub fn run_engine_with(
     time_limit: Option<Duration>,
 ) -> RunResult {
     let netlist = bench.netlist();
-    let options = VerifyOptions { time_limit, ..VerifyOptions::paper(engine) };
+    let mut options = VerifyOptions::paper(engine);
+    options.time_limit = time_limit;
     let start = Instant::now();
-    let verdict = check_netlist(&netlist, paper_property(bench), &options)
-        .expect("benchmark netlists are valid");
+    let verdict = Session::new(&netlist)
+        .expect("benchmark netlists are valid")
+        .property(paper_property(bench))
+        .options(options)
+        .run();
     let total = start.elapsed();
     RunResult {
         gadget: bench.name(),
@@ -116,10 +121,13 @@ pub fn run_heuristic(bench: Benchmark) -> RunResult {
 /// strong non-interference".
 pub fn run_bloem_like(bench: Benchmark) -> RunResult {
     let netlist = bench.netlist();
-    let options = VerifyOptions { engine: EngineKind::Map, ..VerifyOptions::default() };
+    let options = VerifyOptions::builder().engine(EngineKind::Map).build();
     let start = Instant::now();
-    let verdict = check_netlist(&netlist, Property::Probing(1), &options)
-        .expect("benchmark netlists are valid");
+    let verdict = Session::new(&netlist)
+        .expect("benchmark netlists are valid")
+        .property(Property::Probing(1))
+        .options(options)
+        .run();
     let total = start.elapsed();
     RunResult {
         gadget: bench.name(),
@@ -155,6 +163,68 @@ pub fn run_silver_like(bench: Benchmark) -> Option<RunResult> {
         combinations: verdict.stats.combinations,
         timed_out: false,
     })
+}
+
+/// One row of the parallel-scheduler comparison: the same check timed under
+/// the old static modulo sharding and the work-stealing batch scheduler.
+#[derive(Debug, Clone)]
+pub struct SchedComparison {
+    /// Gadget name.
+    pub gadget: String,
+    /// Worker-thread count of both runs.
+    pub threads: usize,
+    /// Median wall time of the modulo-sharded baseline.
+    pub modulo: Duration,
+    /// Median wall time of the work-stealing scheduler.
+    pub stealing: Duration,
+    /// `modulo / stealing` (> 1 means the scheduler wins).
+    pub speedup: f64,
+}
+
+/// Times the paper-configuration SNI check of `bench` at `threads` workers
+/// under both parallel back-ends, `samples` times each (median reported).
+/// Both timings include the full run — netlist setup, unfolding and
+/// enumeration — exactly as a caller would pay for them.
+///
+/// # Panics
+///
+/// Panics if the generated benchmark netlist is invalid (a bug), or if the
+/// two back-ends disagree on the verdict (the scheduler's determinism
+/// guarantee would be broken).
+pub fn compare_schedulers(bench: Benchmark, threads: usize, samples: usize) -> SchedComparison {
+    let netlist = bench.netlist();
+    let property = paper_property(bench);
+    let options = VerifyOptions::paper(EngineKind::Mapi);
+    let mut modulo_s = Vec::new();
+    let mut stealing_s = Vec::new();
+    for _ in 0..samples.max(1) {
+        let start = Instant::now();
+        let old = walshcheck_core::check_parallel_modulo(&netlist, property, &options, threads)
+            .expect("benchmark netlists are valid");
+        modulo_s.push(secs(start.elapsed()));
+
+        let start = Instant::now();
+        let new = Session::new(&netlist)
+            .expect("benchmark netlists are valid")
+            .property(property)
+            .options(options.clone())
+            .threads(threads)
+            .run();
+        stealing_s.push(secs(start.elapsed()));
+        assert_eq!(
+            old.secure, new.secure,
+            "{bench}: scheduler verdicts diverge"
+        );
+    }
+    let modulo = Duration::from_secs_f64(median(&mut modulo_s));
+    let stealing = Duration::from_secs_f64(median(&mut stealing_s));
+    SchedComparison {
+        gadget: bench.name(),
+        threads,
+        modulo,
+        stealing,
+        speedup: secs(modulo) / secs(stealing).max(1e-9),
+    }
 }
 
 /// Median of a sequence of `f64` values (0.0 for an empty slice).

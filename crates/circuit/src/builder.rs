@@ -74,7 +74,9 @@ impl NetlistBuilder {
     pub fn share(&mut self, secret: SecretId, index: u32) -> WireId {
         let base = self.netlist.secret_names[secret.0 as usize].clone();
         let w = self.fresh_wire(Some(format!("{base}[{index}]")));
-        self.netlist.inputs.push((w, InputRole::Share { secret, index }));
+        self.netlist
+            .inputs
+            .push((w, InputRole::Share { secret, index }));
         w
     }
 
@@ -92,7 +94,9 @@ impl NetlistBuilder {
 
     /// Declares `count` random bits named `<prefix>[i]`.
     pub fn randoms(&mut self, prefix: &str, count: u32) -> Vec<WireId> {
-        (0..count).map(|i| self.random(format!("{prefix}[{i}]"))).collect()
+        (0..count)
+            .map(|i| self.random(format!("{prefix}[{i}]")))
+            .collect()
     }
 
     /// Declares a named public input bit.
@@ -104,7 +108,9 @@ impl NetlistBuilder {
 
     /// Marks `wire` as share `index` of shared output `output`.
     pub fn output_share(&mut self, wire: WireId, output: OutputId, index: u32) {
-        self.netlist.outputs.push((wire, OutputRole::Share { output, index }));
+        self.netlist
+            .outputs
+            .push((wire, OutputRole::Share { output, index }));
     }
 
     /// Marks `wire` as an unshared public output.
@@ -119,7 +125,12 @@ impl NetlistBuilder {
             self.next_cell += 1;
             n
         });
-        self.netlist.cells.push(Cell { name, gate, inputs, output: out });
+        self.netlist.cells.push(Cell {
+            name,
+            gate,
+            inputs,
+            output: out,
+        });
         out
     }
 

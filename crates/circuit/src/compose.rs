@@ -86,9 +86,16 @@ pub fn chain(f: &Netlist, g: &Netlist, bindings: &[Binding]) -> Result<Netlist, 
         let produced = f.output_shares_of(b.inner_output).len();
         let expected = g.shares_of(b.outer_secret).len();
         if produced != expected {
-            return Err(ComposeError::ShareCountMismatch { binding: *b, produced, expected });
+            return Err(ComposeError::ShareCountMismatch {
+                binding: *b,
+                produced,
+                expected,
+            });
         }
-        if bound_secrets.insert(b.outer_secret, b.inner_output).is_some() {
+        if bound_secrets
+            .insert(b.outer_secret, b.inner_output)
+            .is_some()
+        {
             return Err(ComposeError::DuplicateBinding(b.outer_secret));
         }
     }
@@ -124,9 +131,10 @@ pub fn chain(f: &Netlist, g: &Netlist, bindings: &[Binding]) -> Result<Netlist, 
     }
     for &(w, role) in &f.inputs {
         let role = match role {
-            InputRole::Share { secret, index } => {
-                InputRole::Share { secret: f_secret[secret.0 as usize], index }
-            }
+            InputRole::Share { secret, index } => InputRole::Share {
+                secret: f_secret[secret.0 as usize],
+                index,
+            },
             other => other,
         };
         out.inputs.push((f_wire[w.0 as usize], role));
@@ -181,7 +189,10 @@ pub fn chain(f: &Netlist, g: &Netlist, bindings: &[Binding]) -> Result<Netlist, 
                 }
                 out.inputs.push((
                     g_wire[w.0 as usize],
-                    InputRole::Share { secret: g_secret[&secret], index },
+                    InputRole::Share {
+                        secret: g_secret[&secret],
+                        index,
+                    },
                 ));
             }
             other => out.inputs.push((g_wire[w.0 as usize], other)),
@@ -205,9 +216,10 @@ pub fn chain(f: &Netlist, g: &Netlist, bindings: &[Binding]) -> Result<Netlist, 
     }
     for &(w, role) in &g.outputs {
         let role = match role {
-            OutputRole::Share { output, index } => {
-                OutputRole::Share { output: g_output[output.0 as usize], index }
-            }
+            OutputRole::Share { output, index } => OutputRole::Share {
+                output: g_output[output.0 as usize],
+                index,
+            },
             OutputRole::Public => OutputRole::Public,
         };
         out.outputs.push((g_wire[w.0 as usize], role));
@@ -226,8 +238,13 @@ pub fn chain(f: &Netlist, g: &Netlist, bindings: &[Binding]) -> Result<Netlist, 
     for &(w, role) in &f.outputs {
         if let OutputRole::Share { output, index } = role {
             if let Some(&mapped) = f_output.get(&output) {
-                out.outputs
-                    .push((f_wire[w.0 as usize], OutputRole::Share { output: mapped, index }));
+                out.outputs.push((
+                    f_wire[w.0 as usize],
+                    OutputRole::Share {
+                        output: mapped,
+                        index,
+                    },
+                ));
             }
         }
     }
@@ -278,7 +295,10 @@ mod tests {
         let h = chain(
             &f,
             &g,
-            &[Binding { inner_output: OutputId(0), outer_secret: SecretId(0) }],
+            &[Binding {
+                inner_output: OutputId(0),
+                outer_secret: SecretId(0),
+            }],
         )
         .expect("composes");
         // Composite: secrets = f's x + g's unbound v; randoms = f's r.
@@ -323,7 +343,10 @@ mod tests {
         let e = chain(
             &f,
             &g,
-            &[Binding { inner_output: OutputId(0), outer_secret: SecretId(0) }],
+            &[Binding {
+                inner_output: OutputId(0),
+                outer_secret: SecretId(0),
+            }],
         )
         .unwrap_err();
         assert!(matches!(e, ComposeError::ShareCountMismatch { .. }));
@@ -333,9 +356,18 @@ mod tests {
     fn chain_rejects_unknown_and_duplicate_bindings() {
         let f = refresh2();
         let g = xor2();
-        let bad = Binding { inner_output: OutputId(7), outer_secret: SecretId(0) };
-        assert!(matches!(chain(&f, &g, &[bad]), Err(ComposeError::UnknownBinding(_))));
-        let b0 = Binding { inner_output: OutputId(0), outer_secret: SecretId(0) };
+        let bad = Binding {
+            inner_output: OutputId(7),
+            outer_secret: SecretId(0),
+        };
+        assert!(matches!(
+            chain(&f, &g, &[bad]),
+            Err(ComposeError::UnknownBinding(_))
+        ));
+        let b0 = Binding {
+            inner_output: OutputId(0),
+            outer_secret: SecretId(0),
+        };
         assert!(matches!(
             chain(&f, &g, &[b0, b0]),
             Err(ComposeError::DuplicateBinding(_))
@@ -364,7 +396,10 @@ mod tests {
         let h = chain(
             &f,
             &g,
-            &[Binding { inner_output: OutputId(0), outer_secret: SecretId(1) }],
+            &[Binding {
+                inner_output: OutputId(0),
+                outer_secret: SecretId(1),
+            }],
         )
         .expect("composes");
         assert_eq!(h.output_names.len(), 2); // g's w + f's unbound y2
@@ -378,7 +413,10 @@ mod tests {
         let h = chain(
             &f,
             &g,
-            &[Binding { inner_output: OutputId(0), outer_secret: SecretId(0) }],
+            &[Binding {
+                inner_output: OutputId(0),
+                outer_secret: SecretId(0),
+            }],
         )
         .expect("composes");
         h.validate().expect("names stay unique");

@@ -230,7 +230,11 @@ impl fmt::Display for NetlistError {
         match self {
             NetlistError::MultipleDrivers(w) => write!(f, "wire {w} has multiple drivers"),
             NetlistError::Undriven(w) => write!(f, "wire {w} has no driver"),
-            NetlistError::ArityMismatch { cell, expected, found } => {
+            NetlistError::ArityMismatch {
+                cell,
+                expected,
+                found,
+            } => {
                 write!(f, "cell {cell} expects {expected} inputs, found {found}")
             }
             NetlistError::CombinationalCycle(w) => {
@@ -267,7 +271,10 @@ pub struct Netlist {
 impl Netlist {
     /// Creates an empty netlist with the given module name.
     pub fn new(name: impl Into<String>) -> Self {
-        Netlist { name: name.into(), ..Default::default() }
+        Netlist {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Number of wires.
@@ -372,7 +379,9 @@ impl Netlist {
                 });
             }
             if driven[c.output.0 as usize] {
-                return Err(NetlistError::MultipleDrivers(self.wire_name(c.output).into()));
+                return Err(NetlistError::MultipleDrivers(
+                    self.wire_name(c.output).into(),
+                ));
             }
             driven[c.output.0 as usize] = true;
         }
@@ -490,7 +499,10 @@ mod tests {
             inputs: vec![WireId(0)],
             output: WireId(1),
         });
-        assert!(matches!(n.validate(), Err(NetlistError::MultipleDrivers(_))));
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::MultipleDrivers(_))
+        ));
     }
 
     #[test]
@@ -516,8 +528,14 @@ mod tests {
             inputs: vec![WireId(0)],
             output: WireId(1),
         });
-        assert!(matches!(n.validate(), Err(NetlistError::ArityMismatch { .. })));
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::ArityMismatch { .. })
+        ));
         n.cells[0].inputs = vec![WireId(1), WireId(0)];
-        assert!(matches!(n.validate(), Err(NetlistError::CombinationalCycle(_))));
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::CombinationalCycle(_))
+        ));
     }
 }

@@ -95,7 +95,8 @@ mod tests {
         let mut n = crate::netlist::Netlist::new("cyc");
         n.wires.push(Wire { name: "a".into() });
         n.wires.push(Wire { name: "b".into() });
-        n.inputs.push((crate::netlist::WireId(0), InputRole::Public));
+        n.inputs
+            .push((crate::netlist::WireId(0), InputRole::Public));
         // b = b ∧ a: self-dependency.
         n.cells.push(Cell {
             name: "c".into(),

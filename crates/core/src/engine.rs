@@ -66,7 +66,18 @@ impl std::fmt::Display for EngineKind {
 }
 
 /// Options for a verification run.
+///
+/// Construct with [`VerifyOptions::builder`], [`VerifyOptions::default`] or
+/// the [`VerifyOptions::paper`] preset; the struct is `#[non_exhaustive]`, so
+/// literal construction outside this crate is not possible (fields may be
+/// added without a breaking change). Individual fields stay public and can
+/// be adjusted after construction.
+///
+/// Work distribution is no longer part of the options: sharding and
+/// cross-worker cancellation are internal to the work-stealing scheduler
+/// and are driven by [`crate::Session::threads`].
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct VerifyOptions {
     /// Engine backend.
     pub engine: EngineKind,
@@ -82,12 +93,6 @@ pub struct VerifyOptions {
     /// Optional wall-clock budget; when exceeded the check stops and the
     /// verdict carries `stats.timed_out = true`.
     pub time_limit: Option<std::time::Duration>,
-    /// Work sharding for [`check_parallel`]: only combinations whose first
-    /// site index is congruent to `tid` modulo `count` are processed.
-    pub shard: Option<(u32, u32)>,
-    /// Cooperative cancellation: when another worker has already found a
-    /// violation, the run stops early (the local verdict is then moot).
-    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Default for VerifyOptions {
@@ -99,13 +104,18 @@ impl Default for VerifyOptions {
             prefilter: true,
             largest_first: true,
             time_limit: None,
-            shard: None,
-            cancel: None,
         }
     }
 }
 
 impl VerifyOptions {
+    /// Starts a builder initialized with the default configuration.
+    pub fn builder() -> VerifyOptionsBuilder {
+        VerifyOptionsBuilder {
+            options: VerifyOptions::default(),
+        }
+    }
+
     /// Paper-faithful configuration for an engine: row-wise checking with
     /// prefiltering disabled, as in the original evaluation.
     pub fn paper(engine: EngineKind) -> Self {
@@ -116,8 +126,13 @@ impl VerifyOptions {
             prefilter: false,
             largest_first: true,
             time_limit: None,
-            shard: None,
-            cancel: None,
+        }
+    }
+
+    /// Re-opens this configuration as a builder (useful to tweak a preset).
+    pub fn to_builder(&self) -> VerifyOptionsBuilder {
+        VerifyOptionsBuilder {
+            options: self.clone(),
         }
     }
 
@@ -126,6 +141,96 @@ impl VerifyOptions {
         self.sites.probe_model = model;
         self
     }
+}
+
+/// Fluent constructor for [`VerifyOptions`].
+///
+/// ```
+/// use walshcheck_core::{CheckMode, EngineKind, VerifyOptions};
+///
+/// let options = VerifyOptions::builder()
+///     .engine(EngineKind::Fujita)
+///     .mode(CheckMode::RowWise)
+///     .prefilter(false)
+///     .build();
+/// assert_eq!(options.engine, EngineKind::Fujita);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VerifyOptionsBuilder {
+    options: VerifyOptions,
+}
+
+impl VerifyOptionsBuilder {
+    /// Engine backend.
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.options.engine = engine;
+        self
+    }
+
+    /// Row-wise (paper-faithful) or joint (union-support) checking.
+    pub fn mode(mut self, mode: CheckMode) -> Self {
+        self.options.mode = mode;
+        self
+    }
+
+    /// Replaces the probe-site extraction options wholesale.
+    pub fn sites(mut self, sites: SiteOptions) -> Self {
+        self.options.sites = sites;
+        self
+    }
+
+    /// Probe model (standard or glitch-extended).
+    pub fn probe_model(mut self, model: ProbeModel) -> Self {
+        self.options.sites.probe_model = model;
+        self
+    }
+
+    /// Whether unshared input wires are also probeable sites.
+    pub fn include_inputs(mut self, include: bool) -> Self {
+        self.options.sites.include_inputs = include;
+        self
+    }
+
+    /// Deduplication of sites with identical observed function sets.
+    pub fn dedup_sites(mut self, on: bool) -> Self {
+        self.options.sites.dedup = on;
+        self
+    }
+
+    /// Functional-support prefilter on/off.
+    pub fn prefilter(mut self, on: bool) -> Self {
+        self.options.prefilter = on;
+        self
+    }
+
+    /// Largest-combinations-first enumeration on/off.
+    pub fn largest_first(mut self, on: bool) -> Self {
+        self.options.largest_first = on;
+        self
+    }
+
+    /// Wall-clock budget for the run.
+    pub fn time_limit(mut self, limit: std::time::Duration) -> Self {
+        self.options.time_limit = Some(limit);
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> VerifyOptions {
+        self.options
+    }
+}
+
+/// Work-distribution knobs for one enumeration pass. Scheduler-internal:
+/// this is what the old `VerifyOptions::{shard, cancel}` fields became.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EnumControl {
+    /// Only combinations whose first site index is congruent to `tid`
+    /// modulo `count` are processed (static modulo sharding).
+    pub(crate) shard: Option<(u32, u32)>,
+    /// Cooperative cancellation: when set by another worker the run stops
+    /// early (the local verdict is then moot).
+    pub(crate) cancel: Option<Arc<AtomicBool>>,
 }
 
 /// The exact spectral verifier for one netlist.
@@ -146,7 +251,11 @@ impl Verifier {
         netlist.validate()?;
         let unfolded = unfold(netlist)?;
         let varmap = VarMap::from_netlist(netlist);
-        Ok(Verifier { netlist: netlist.clone(), unfolded, varmap })
+        Ok(Verifier {
+            netlist: netlist.clone(),
+            unfolded,
+            varmap,
+        })
     }
 
     /// The input-variable classification.
@@ -166,21 +275,45 @@ impl Verifier {
 
     /// Checks `property` with the default options (MAPI engine, joint mode).
     pub fn check_default(&mut self, property: Property) -> Verdict {
-        self.check(property, &VerifyOptions::default())
+        self.check_with_control(property, &VerifyOptions::default(), &EnumControl::default())
     }
 
     /// Checks `property` under `options`.
     ///
+    /// Deprecated thin wrapper: [`crate::Session`] is the supported entry
+    /// point (it adds parallelism and run observability on top of the same
+    /// enumeration).
+    ///
     /// Joint mode walks all `2^m − 1` rows of a combination with `m`
     /// observed functions; under very wide glitch cones this is expensive —
     /// prefer row-wise mode or the standard probe model there.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Session::new(netlist)?.property(p).run()` instead"
+    )]
     pub fn check(&mut self, property: Property, options: &VerifyOptions) -> Verdict {
+        self.check_with_control(property, options, &EnumControl::default())
+    }
+
+    /// [`Verifier::check`] with explicit work-distribution control — the
+    /// primitive behind both the serial path and the modulo-shard baseline.
+    pub(crate) fn check_with_control(
+        &mut self,
+        property: Property,
+        options: &VerifyOptions,
+        control: &EnumControl,
+    ) -> Verdict {
         let mut witness: Option<Witness> = None;
-        let stats = self.run_enumeration(property, options, &mut |w| {
+        let stats = self.run_enumeration(property, options, control, &mut |w| {
             witness = Some(w);
             ControlFlow::Break(())
         });
-        Verdict { property, secure: witness.is_none(), witness, stats }
+        Verdict {
+            property,
+            secure: witness.is_none(),
+            witness,
+            stats,
+        }
     }
 
     /// Enumerates violating combinations until `limit` witnesses are found
@@ -193,7 +326,7 @@ impl Verifier {
         limit: usize,
     ) -> Vec<Witness> {
         let mut found = Vec::new();
-        let _ = self.run_enumeration(property, options, &mut |w| {
+        let _ = self.run_enumeration(property, options, &EnumControl::default(), &mut |w| {
             found.push(w);
             if found.len() >= limit {
                 ControlFlow::Break(())
@@ -204,18 +337,16 @@ impl Verifier {
         found
     }
 
-    /// The shared enumeration loop; `on_witness` decides whether to stop.
-    fn run_enumeration(
-        &mut self,
+    /// Prepares the per-run enumeration state: the (deterministic) probe
+    /// sites, the resolved check mode, and a fresh engine context. Shared
+    /// between the serial enumeration and the scheduler's workers.
+    pub(crate) fn begin_enumeration(
+        &self,
         property: Property,
         options: &VerifyOptions,
-        on_witness: &mut dyn FnMut(Witness) -> ControlFlow<()>,
-    ) -> CheckStats {
-        let start = Instant::now();
+    ) -> EnumState {
         let sites = extract_sites(&self.netlist, &self.unfolded, &options.sites)
             .expect("netlist validated in Verifier::new");
-        let d = property.order() as usize;
-        let mut stats = CheckStats::default();
         // Probing security is a per-coefficient property: joint mode
         // degenerates to the row-wise region test.
         let mode = if matches!(property, Property::Probing(_)) {
@@ -223,33 +354,97 @@ impl Verifier {
         } else {
             options.mode
         };
+        let ctx = EngineCtx::new(options.engine, self.varmap.num_vars as u32);
+        EnumState { sites, mode, ctx }
+    }
 
-        let mut ctx = EngineCtx::new(options.engine, self.varmap.num_vars as u32);
+    /// Checks the single combination `idxs` (site indices into
+    /// `state.sites`). Does **not** count the combination in
+    /// `stats.combinations` — the enumeration driver owns that counter (and
+    /// the time-limit / cancellation cadence around it).
+    pub(crate) fn check_indices(
+        &self,
+        state: &mut EnumState,
+        property: Property,
+        prefilter: bool,
+        idxs: &[usize],
+        stats: &mut CheckStats,
+    ) -> ComboStep {
+        let combo: Vec<&Site> = idxs.iter().map(|&i| &state.sites[i]).collect();
+        let internal = combo.iter().filter(|s| s.is_internal()).count();
+        let region = region_for(property, &combo, combo.len(), internal);
 
-        let max_k = d.min(sites.len());
+        if prefilter {
+            let support = combo.iter().fold(Mask::ZERO, |acc, s| acc | s.support);
+            if region_prunable(&region, &self.varmap, support) {
+                stats.pruned += 1;
+                return ComboStep::Pruned;
+            }
+        }
+
+        let hit = state.ctx.check_combination(
+            &self.unfolded.bdds,
+            &self.varmap,
+            &combo,
+            &region,
+            state.mode,
+            stats,
+        );
+        match hit {
+            Some((mask, reason, coefficient)) => ComboStep::Violation(Witness {
+                combination: combo.iter().map(|s| s.probe.clone()).collect(),
+                mask,
+                reason,
+                coefficient,
+            }),
+            None => ComboStep::Clean,
+        }
+    }
+
+    /// Releases transient decision-diagram memory after an enumeration.
+    /// MAPI/FUJITA verification mutates the shared BDD manager (T matrices,
+    /// support BDDs); this gives the memory back between runs.
+    pub(crate) fn end_enumeration(&mut self) {
+        self.unfolded.bdds.clear_caches();
+    }
+
+    /// The shared enumeration loop; `on_witness` decides whether to stop.
+    fn run_enumeration(
+        &mut self,
+        property: Property,
+        options: &VerifyOptions,
+        control: &EnumControl,
+        on_witness: &mut dyn FnMut(Witness) -> ControlFlow<()>,
+    ) -> CheckStats {
+        let start = Instant::now();
+        let mut state = self.begin_enumeration(property, options);
+        let d = property.order() as usize;
+        let mut stats = CheckStats::default();
+
+        let max_k = d.min(state.sites.len());
         let sizes: Vec<usize> = if options.largest_first {
             (1..=max_k).rev().collect()
         } else {
             (1..=max_k).collect()
         };
 
+        let this = &*self;
         'sizes: for k in sizes {
-            let flow = for_each_combination(sites.len(), k, &mut |idxs| {
-                if let Some((tid, count)) = options.shard {
+            let flow = for_each_combination(state.sites.len(), k, &mut |idxs| {
+                if let Some((tid, count)) = control.shard {
                     if idxs[0] as u32 % count != tid {
                         return ControlFlow::Continue(());
                     }
                 }
-                let combo: Vec<&Site> = idxs.iter().map(|&i| &sites[i]).collect();
                 stats.combinations += 1;
                 if stats.combinations % 256 == 1 {
-                    if let Some(flag) = &options.cancel {
+                    if let Some(flag) = &control.cancel {
                         if flag.load(Ordering::Relaxed) {
                             stats.timed_out = true;
                             return ControlFlow::Break(());
                         }
                     }
-                    ctx.maybe_collect();
+                    state.ctx.maybe_collect();
                 }
                 // The wall-clock budget is checked on every combination (a
                 // clock read is negligible next to any convolution).
@@ -259,48 +454,48 @@ impl Verifier {
                         return ControlFlow::Break(());
                     }
                 }
-                let internal = combo.iter().filter(|s| s.is_internal()).count();
-                let region = region_for(property, &combo, k, internal);
-
-                if options.prefilter {
-                    let support = combo
-                        .iter()
-                        .fold(Mask::ZERO, |acc, s| acc | s.support);
-                    if region_prunable(&region, &self.varmap, support) {
-                        stats.pruned += 1;
-                        return ControlFlow::Continue(());
-                    }
+                match this.check_indices(&mut state, property, options.prefilter, idxs, &mut stats)
+                {
+                    ComboStep::Clean | ComboStep::Pruned => ControlFlow::Continue(()),
+                    ComboStep::Violation(w) => on_witness(w),
                 }
-
-                let hit = ctx.check_combination(
-                    &self.unfolded.bdds,
-                    &self.varmap,
-                    &combo,
-                    &region,
-                    mode,
-                    &mut stats,
-                );
-                if let Some((mask, reason, coefficient)) = hit {
-                    return on_witness(Witness {
-                        combination: combo.iter().map(|s| s.probe.clone()).collect(),
-                        mask,
-                        reason,
-                        coefficient,
-                    });
-                }
-                ControlFlow::Continue(())
             });
             if flow.is_break() {
                 break 'sizes;
             }
         }
 
-        // MAPI/FUJITA verification mutates the shared BDD manager (T
-        // matrices, support BDDs); give the memory back between runs.
-        self.unfolded.bdds.clear_caches();
+        self.end_enumeration();
         stats.total_time = start.elapsed();
         stats
     }
+}
+
+/// Owned per-pass enumeration state produced by
+/// [`Verifier::begin_enumeration`]: the deterministic site list, the
+/// resolved check mode, and the engine's spectrum/diagram caches.
+pub(crate) struct EnumState {
+    pub(crate) sites: Vec<Site>,
+    pub(crate) mode: CheckMode,
+    ctx: EngineCtx,
+}
+
+impl EnumState {
+    /// Bounds decision-diagram arena growth (see [`EngineCtx::maybe_collect`]).
+    pub(crate) fn maybe_collect(&mut self) {
+        self.ctx.maybe_collect();
+    }
+}
+
+/// Outcome of checking one combination.
+pub(crate) enum ComboStep {
+    /// No violation on this combination.
+    Clean,
+    /// Skipped by the functional-support prefilter (counted in
+    /// `stats.pruned`).
+    Pruned,
+    /// The combination violates the property.
+    Violation(Witness),
 }
 
 impl Verifier {
@@ -389,10 +584,10 @@ impl Verifier {
     }
 }
 
-/// Checks `property` on `netlist` with `threads` worker threads, splitting
-/// the combination space by leading site index — the parallelization the
-/// paper lists as future work. Each worker owns its decision-diagram
-/// managers; a worker that finds a violation cancels the others.
+/// Checks `property` on `netlist` with `threads` worker threads.
+///
+/// Deprecated thin wrapper over [`crate::Session`], which replaces the old
+/// static modulo sharding with the work-stealing batch scheduler.
 ///
 /// # Errors
 ///
@@ -401,7 +596,37 @@ impl Verifier {
 /// # Panics
 ///
 /// Panics if a worker thread panics (a bug in the engine).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Session::new(netlist)?.property(p).threads(n).run()` instead"
+)]
 pub fn check_parallel(
+    netlist: &Netlist,
+    property: Property,
+    options: &VerifyOptions,
+    threads: usize,
+) -> Result<Verdict, NetlistError> {
+    Ok(crate::Session::new(netlist)?
+        .property(property)
+        .options(options.clone())
+        .threads(threads)
+        .run())
+}
+
+/// The pre-scheduler parallel check: static modulo sharding by leading site
+/// index, one full enumeration pass per worker. Kept (hidden) as the
+/// baseline that `walshcheck-bench`'s scheduler comparison measures the
+/// work-stealing scheduler against.
+///
+/// # Errors
+///
+/// Fails if the netlist is structurally invalid or cyclic.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (a bug in the engine).
+#[doc(hidden)]
+pub fn check_parallel_modulo(
     netlist: &Netlist,
     property: Property,
     options: &VerifyOptions,
@@ -409,7 +634,11 @@ pub fn check_parallel(
 ) -> Result<Verdict, NetlistError> {
     let threads = threads.max(1);
     if threads == 1 {
-        return check_netlist(netlist, property, options);
+        return Ok(Verifier::new(netlist)?.check_with_control(
+            property,
+            options,
+            &EnumControl::default(),
+        ));
     }
     // Validate up front so workers can't race on the error.
     netlist.validate()?;
@@ -417,14 +646,14 @@ pub fn check_parallel(
     let verdicts: Vec<Verdict> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|tid| {
-                let mut opts = options.clone();
-                opts.shard = Some((tid as u32, threads as u32));
-                opts.cancel = Some(Arc::clone(&flag));
+                let control = EnumControl {
+                    shard: Some((tid as u32, threads as u32)),
+                    cancel: Some(Arc::clone(&flag)),
+                };
                 let flag = Arc::clone(&flag);
                 scope.spawn(move || {
-                    let mut verifier =
-                        Verifier::new(netlist).expect("validated before spawning");
-                    let verdict = verifier.check(property, &opts);
+                    let mut verifier = Verifier::new(netlist).expect("validated before spawning");
+                    let verdict = verifier.check_with_control(property, options, &control);
                     if !verdict.secure {
                         flag.store(true, Ordering::Relaxed);
                     }
@@ -438,30 +667,23 @@ pub fn check_parallel(
             .collect()
     });
     // Merge: any witness wins; otherwise aggregate the counters.
+    let any_witness = verdicts.iter().any(|v| !v.secure);
     let mut merged = Verdict {
         property,
         secure: true,
         witness: None,
         stats: crate::property::CheckStats::default(),
     };
-    let any_witness = verdicts.iter().any(|v| !v.secure);
     for v in verdicts {
-        merged.stats.combinations += v.stats.combinations;
-        merged.stats.pruned += v.stats.pruned;
-        merged.stats.convolutions += v.stats.convolutions;
-        merged.stats.rows_checked += v.stats.rows_checked;
-        merged.stats.convolution_time += v.stats.convolution_time;
-        merged.stats.verification_time += v.stats.verification_time;
-        merged.stats.total_time = merged.stats.total_time.max(v.stats.total_time);
-        if !v.secure && merged.witness.is_none() {
-            merged.secure = false;
-            merged.witness = v.witness;
-        }
+        let mut stats = v.stats.clone();
         // Workers stopped by cross-thread cancellation (because a witness
         // exists) are complete for our purposes; only a genuine time-limit
         // stop on an otherwise-clean run makes the merged verdict partial.
-        if v.stats.timed_out && !any_witness {
-            merged.stats.timed_out = true;
+        stats.timed_out = stats.timed_out && !any_witness;
+        merged.stats.merge(&stats);
+        if !v.secure && merged.witness.is_none() {
+            merged.secure = false;
+            merged.witness = v.witness;
         }
     }
     Ok(merged)
@@ -469,15 +691,24 @@ pub fn check_parallel(
 
 /// Checks `property` on `netlist` in one call.
 ///
+/// Deprecated thin wrapper over [`crate::Session`].
+///
 /// # Errors
 ///
 /// Fails if the netlist is structurally invalid or cyclic.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Session::new(netlist)?.property(p).run()` instead"
+)]
 pub fn check_netlist(
     netlist: &Netlist,
     property: Property,
     options: &VerifyOptions,
 ) -> Result<Verdict, NetlistError> {
-    Ok(Verifier::new(netlist)?.check(property, options))
+    Ok(crate::Session::new(netlist)?
+        .property(property)
+        .options(options.clone())
+        .run())
 }
 
 /// The forbidden region for `property` on a combination of `s` observations
@@ -486,7 +717,9 @@ fn region_for(property: Property, combo: &[&Site], s: usize, internal: usize) ->
     match property {
         Property::Probing(_) => Region::Probing,
         Property::Ni(_) => Region::ShareBudget { budget: s as u32 },
-        Property::Sni(_) => Region::ShareBudget { budget: internal as u32 },
+        Property::Sni(_) => Region::ShareBudget {
+            budget: internal as u32,
+        },
         Property::Pini(_) => {
             let mut allowed = 0u64;
             for site in combo {
@@ -494,7 +727,10 @@ fn region_for(property: Property, combo: &[&Site], s: usize, internal: usize) ->
                     allowed |= 1 << index;
                 }
             }
-            Region::PiniBudget { allowed_indices: allowed, extra: internal as u32 }
+            Region::PiniBudget {
+                allowed_indices: allowed,
+                extra: internal as u32,
+            }
         }
     }
 }
@@ -504,12 +740,14 @@ fn region_for(property: Property, combo: &[&Site], s: usize, internal: usize) ->
 fn region_prunable(region: &Region, vm: &VarMap, support: Mask) -> bool {
     match *region {
         Region::Probing => !vm.share_groups.iter().any(|g| g.is_subset(support)),
-        Region::ShareBudget { budget } => {
-            vm.share_groups.iter().all(|&g| support.weight_in(g) <= budget)
-        }
-        Region::PiniBudget { allowed_indices, extra } => {
-            (vm.share_indices(support) & !allowed_indices).count_ones() <= extra
-        }
+        Region::ShareBudget { budget } => vm
+            .share_groups
+            .iter()
+            .all(|&g| support.weight_in(g) <= budget),
+        Region::PiniBudget {
+            allowed_indices,
+            extra,
+        } => (vm.share_indices(support) & !allowed_indices).count_ones() <= extra,
     }
 }
 
@@ -606,8 +844,12 @@ impl EngineCtx {
         stats: &mut CheckStats,
     ) -> Option<(Mask, String, Option<Dyadic>)> {
         match (self.kind, mode) {
-            (EngineKind::Lil, _) => self.scan_check::<LilSpectrum>(bdds, vm, combo, region, mode, stats),
-            (EngineKind::Map, _) => self.scan_check::<MapSpectrum>(bdds, vm, combo, region, mode, stats),
+            (EngineKind::Lil, _) => {
+                self.scan_check::<LilSpectrum>(bdds, vm, combo, region, mode, stats)
+            }
+            (EngineKind::Map, _) => {
+                self.scan_check::<MapSpectrum>(bdds, vm, combo, region, mode, stats)
+            }
             (EngineKind::Mapi, CheckMode::RowWise) => {
                 self.mapi_rowwise(bdds, vm, combo, region, stats)
             }
@@ -775,40 +1017,54 @@ impl EngineCtx {
         match mode {
             CheckMode::RowWise => {
                 let mut hit = None;
-                let _ = product_signs(adds, &groups, false, unit, stats, &mut |adds, sign, stats| {
-                    stats.rows_checked += 1;
-                    let t = Instant::now();
-                    let spec = wht(adds, sign);
-                    stats.convolution_time += t.elapsed();
-                    stats.convolutions += 1;
-                    let t = Instant::now();
-                    let nonzero = adds.nonzero_bdd(t_bdds, spec);
-                    let product = t_bdds.and(nonzero, t_matrix);
-                    stats.verification_time += t.elapsed();
-                    if product != Bdd::FALSE {
-                        let alpha = t_bdds.one_sat(product).expect("satisfiable product");
-                        hit = Some((Mask(alpha), *adds.eval(spec, alpha)));
-                        return ControlFlow::Break(());
-                    }
-                    ControlFlow::Continue(())
-                });
+                let _ = product_signs(
+                    adds,
+                    &groups,
+                    false,
+                    unit,
+                    stats,
+                    &mut |adds, sign, stats| {
+                        stats.rows_checked += 1;
+                        let t = Instant::now();
+                        let spec = wht(adds, sign);
+                        stats.convolution_time += t.elapsed();
+                        stats.convolutions += 1;
+                        let t = Instant::now();
+                        let nonzero = adds.nonzero_bdd(t_bdds, spec);
+                        let product = t_bdds.and(nonzero, t_matrix);
+                        stats.verification_time += t.elapsed();
+                        if product != Bdd::FALSE {
+                            let alpha = t_bdds.one_sat(product).expect("satisfiable product");
+                            hit = Some((Mask(alpha), *adds.eval(spec, alpha)));
+                            return ControlFlow::Break(());
+                        }
+                        ControlFlow::Continue(())
+                    },
+                );
                 hit.map(|(m, c)| (m, rowwise_reason(region, vm, m), Some(c)))
             }
             CheckMode::Joint => {
                 let mut union = Mask::ZERO;
                 let randoms = vm.random_vars();
-                let _ = product_signs(adds, &groups, true, unit, stats, &mut |adds, sign, stats| {
-                    stats.rows_checked += 1;
-                    let t = Instant::now();
-                    let spec = wht(adds, sign);
-                    stats.convolution_time += t.elapsed();
-                    stats.convolutions += 1;
-                    let t = Instant::now();
-                    let nonzero = adds.nonzero_bdd(t_bdds, spec);
-                    union = union | add_support_union(t_bdds, nonzero, &randoms);
-                    stats.verification_time += t.elapsed();
-                    ControlFlow::Continue(())
-                });
+                let _ = product_signs(
+                    adds,
+                    &groups,
+                    true,
+                    unit,
+                    stats,
+                    &mut |adds, sign, stats| {
+                        stats.rows_checked += 1;
+                        let t = Instant::now();
+                        let spec = wht(adds, sign);
+                        stats.convolution_time += t.elapsed();
+                        stats.convolutions += 1;
+                        let t = Instant::now();
+                        let nonzero = adds.nonzero_bdd(t_bdds, spec);
+                        union = union | add_support_union(t_bdds, nonzero, &randoms);
+                        stats.verification_time += t.elapsed();
+                        ControlFlow::Continue(())
+                    },
+                );
                 joint_verdict(region, vm, union).map(|(m, r)| (m, r, None))
             }
         }
@@ -905,7 +1161,8 @@ fn product_rows<S: Spectrum>(
 
 /// Leaf callback of [`product_signs`]: receives the manager, the
 /// accumulated sign-ADD product, and the stats counters.
-type SignLeaf<'a> = dyn FnMut(&mut AddManager<Dyadic>, Add, &mut CheckStats) -> ControlFlow<()> + 'a;
+type SignLeaf<'a> =
+    dyn FnMut(&mut AddManager<Dyadic>, Add, &mut CheckStats) -> ControlFlow<()> + 'a;
 
 /// ADD analogue of [`product_rows`] for the FUJITA engine: multiplies sign
 /// ADDs along the product walk.
@@ -942,7 +1199,16 @@ fn product_signs(
             let t = Instant::now();
             let prod = adds.mul_op(acc, choice);
             stats.convolution_time += t.elapsed();
-            rec(adds, groups, idx + 1, prod, true, include_empty, stats, leaf)?;
+            rec(
+                adds,
+                groups,
+                idx + 1,
+                prod,
+                true,
+                include_empty,
+                stats,
+                leaf,
+            )?;
         }
         ControlFlow::Continue(())
     }
@@ -988,9 +1254,9 @@ fn add_support_union(bdds: &mut BddManager, nonzero: Bdd, randoms: &VarSet) -> M
 
 fn rowwise_reason(region: &Region, vm: &VarMap, mask: Mask) -> String {
     match *region {
-        Region::Probing => format!(
-            "non-zero correlation with raw secret(s) at α={mask} (full share groups, ρ=0)"
-        ),
+        Region::Probing => {
+            format!("non-zero correlation with raw secret(s) at α={mask} (full share groups, ρ=0)")
+        }
         Region::ShareBudget { budget } => {
             let worst = vm
                 .share_groups
@@ -998,11 +1264,18 @@ fn rowwise_reason(region: &Region, vm: &VarMap, mask: Mask) -> String {
                 .map(|&g| mask.weight_in(g))
                 .max()
                 .unwrap_or(0);
-            format!("coefficient at α={mask} selects {worst} shares of one secret (budget {budget})")
+            format!(
+                "coefficient at α={mask} selects {worst} shares of one secret (budget {budget})"
+            )
         }
-        Region::PiniBudget { allowed_indices, extra } => {
+        Region::PiniBudget {
+            allowed_indices,
+            extra,
+        } => {
             let outside = (vm.share_indices(mask) & !allowed_indices).count_ones();
-            format!("coefficient at α={mask} uses {outside} non-output share indices (budget {extra})")
+            format!(
+                "coefficient at α={mask} uses {outside} non-output share indices (budget {extra})"
+            )
         }
     }
 }
@@ -1015,20 +1288,23 @@ fn joint_verdict(region: &Region, vm: &VarMap, union: Mask) -> Option<(Mask, Str
                 if w > budget {
                     return Some((
                         union,
-                        format!(
-                            "simulation set needs {w} shares of secret #{i} (budget {budget})"
-                        ),
+                        format!("simulation set needs {w} shares of secret #{i} (budget {budget})"),
                     ));
                 }
             }
             None
         }
-        Region::PiniBudget { allowed_indices, extra } => {
+        Region::PiniBudget {
+            allowed_indices,
+            extra,
+        } => {
             let outside = (vm.share_indices(union) & !allowed_indices).count_ones();
             (outside > extra).then(|| {
                 (
                     union,
-                    format!("simulation set needs {outside} non-output share indices (budget {extra})"),
+                    format!(
+                        "simulation set needs {outside} non-output share indices (budget {extra})"
+                    ),
                 )
             })
         }

@@ -85,7 +85,12 @@ pub fn exhaustive_check(
         }
     }
     stats.total_time = start.elapsed();
-    Ok(Verdict { property, secure: witness.is_none(), witness, stats })
+    Ok(Verdict {
+        property,
+        secure: witness.is_none(),
+        witness,
+        stats,
+    })
 }
 
 /// For every wire, the mask of input positions it structurally depends on.
@@ -118,7 +123,11 @@ fn raw_sites(
         if let OutputRole::Share { output, index } = role {
             output_wires.insert(wire);
             sites.push(RawSite {
-                probe: ProbeRef::Output { wire, output, index },
+                probe: ProbeRef::Output {
+                    wire,
+                    output,
+                    index,
+                },
                 wires: vec![wire],
                 support: cones[wire.0 as usize],
             });
@@ -139,7 +148,11 @@ fn raw_sites(
         let support = wires
             .iter()
             .fold(Mask::ZERO, |a, w| a | cones[w.0 as usize]);
-        sites.push(RawSite { probe: ProbeRef::Internal { wire }, wires, support });
+        sites.push(RawSite {
+            probe: ProbeRef::Internal { wire },
+            wires,
+            support,
+        });
     }
     Ok(sites)
 }
@@ -162,8 +175,7 @@ fn check_combination(
         .iter()
         .filter(|&p| !vm.randoms.contains(p))
         .collect();
-    let rand_positions: Vec<usize> =
-        support.iter().filter(|&p| vm.randoms.contains(p)).collect();
+    let rand_positions: Vec<usize> = support.iter().filter(|&p| vm.randoms.contains(p)).collect();
 
     // hist[x] = multiset of observed-value vectors over the randomness.
     let t = Instant::now();
@@ -198,9 +210,7 @@ fn check_combination(
     let t = Instant::now();
     let result = match property {
         Property::Probing(_) => probing_violation(vm, &det_positions, &hist, support),
-        Property::Ni(_) => {
-            budget_violation(vm, &det_positions, &hist, combo.len() as u32, None)
-        }
+        Property::Ni(_) => budget_violation(vm, &det_positions, &hist, combo.len() as u32, None),
         Property::Sni(_) => budget_violation(vm, &det_positions, &hist, internal, None),
         Property::Pini(_) => {
             let mut allowed = 0u64;
@@ -250,7 +260,9 @@ fn budget_violation(
                 if w > budget {
                     return Some((
                         dep,
-                        format!("distribution depends on {w} shares of secret #{i} (budget {budget})"),
+                        format!(
+                            "distribution depends on {w} shares of secret #{i} (budget {budget})"
+                        ),
                     ));
                 }
             }
@@ -290,8 +302,11 @@ fn probing_violation(
         return None;
     }
     // Bit index of each deterministic position.
-    let bit_of: HashMap<usize, usize> =
-        det_positions.iter().enumerate().map(|(bi, &p)| (p, bi)).collect();
+    let bit_of: HashMap<usize, usize> = det_positions
+        .iter()
+        .enumerate()
+        .map(|(bi, &p)| (p, bi))
+        .collect();
     let public_bits: Vec<usize> = det_positions
         .iter()
         .enumerate()

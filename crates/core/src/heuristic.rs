@@ -50,14 +50,21 @@ struct Cone {
 }
 
 fn gate_is_linear(g: Gate) -> bool {
-    matches!(g, Gate::Buf | Gate::Not | Gate::Xor | Gate::Xnor | Gate::Dff)
+    matches!(
+        g,
+        Gate::Buf | Gate::Not | Gate::Xor | Gate::Xnor | Gate::Dff
+    )
 }
 
 /// Per-wire occurrence/linearity analysis.
 fn analyze(netlist: &Netlist) -> Vec<Cone> {
     let n_inputs = netlist.inputs.len();
     let mut cones: Vec<Cone> = (0..netlist.num_wires())
-        .map(|_| Cone { occ: vec![0; n_inputs], nonlinear: Mask::ZERO, support: Mask::ZERO })
+        .map(|_| Cone {
+            occ: vec![0; n_inputs],
+            nonlinear: Mask::ZERO,
+            support: Mask::ZERO,
+        })
         .collect();
     for (pos, &(w, _)) in netlist.inputs.iter().enumerate() {
         cones[w.0 as usize].occ[pos] = 1;
@@ -82,7 +89,11 @@ fn analyze(netlist: &Netlist) -> Vec<Cone> {
             nonlinear = nonlinear | support;
         }
         let out = cell.output.0 as usize;
-        cones[out] = Cone { occ, nonlinear, support };
+        cones[out] = Cone {
+            occ,
+            nonlinear,
+            support,
+        };
     }
     cones
 }
@@ -109,7 +120,14 @@ pub fn heuristic_check(
     for &(wire, role) in &netlist.outputs {
         if let OutputRole::Share { output, index } = role {
             output_wires.insert(wire);
-            sites.push((ProbeRef::Output { wire, output, index }, vec![wire]));
+            sites.push((
+                ProbeRef::Output {
+                    wire,
+                    output,
+                    index,
+                },
+                vec![wire],
+            ));
         }
     }
     let input_wires: HashSet<_> = netlist.inputs.iter().map(|&(w, _)| w).collect();
@@ -166,7 +184,10 @@ fn tuple_discharged(
     s: u32,
     internal: u32,
 ) -> bool {
-    let mut exprs: Vec<WireId> = combo.iter().flat_map(|(_, ws)| ws.iter().copied()).collect();
+    let mut exprs: Vec<WireId> = combo
+        .iter()
+        .flat_map(|(_, ws)| ws.iter().copied())
+        .collect();
     // Rule loop: drop expressions masked by an otherwise-unused linear random.
     loop {
         // Expressions without shares can always be simulated; drop them.
@@ -205,7 +226,10 @@ fn tuple_discharged(
     match property {
         Property::Probing(_) => !vm.share_groups.iter().any(|g| g.is_subset(union)),
         Property::Ni(_) => vm.share_groups.iter().all(|&g| union.weight_in(g) <= s),
-        Property::Sni(_) => vm.share_groups.iter().all(|&g| union.weight_in(g) <= internal),
+        Property::Sni(_) => vm
+            .share_groups
+            .iter()
+            .all(|&g| union.weight_in(g) <= internal),
         Property::Pini(_) => {
             let mut allowed = 0u64;
             for (p, _) in combo {
@@ -268,8 +292,8 @@ mod tests {
     fn proves_the_masked_output_uniform() {
         // The output q = a0 ⊕ r ⊕ a1 is discharged by the random rule, so
         // the refresh is heuristically 1-probing secure.
-        let v = heuristic_check(&refresh(), Property::Probing(1), &SiteOptions::default())
-            .expect("ok");
+        let v =
+            heuristic_check(&refresh(), Property::Probing(1), &SiteOptions::default()).expect("ok");
         assert_eq!(v.secure, Some(true), "{v:?}");
     }
 
@@ -279,8 +303,8 @@ mod tests {
         // {a0⊕r, r} even though it is in fact secure at order 1… but at
         // d=2 the heuristic must go inconclusive (and indeed probing the
         // pair (t, r) reveals a0).
-        let v = heuristic_check(&refresh(), Property::Probing(2), &SiteOptions::default())
-            .expect("ok");
+        let v =
+            heuristic_check(&refresh(), Property::Probing(2), &SiteOptions::default()).expect("ok");
         assert_eq!(v.secure, None);
         assert!(v.stuck_combination.is_some());
     }

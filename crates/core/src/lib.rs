@@ -21,8 +21,7 @@
 //! ([`heuristic`]), and TI uniformity checks ([`uniformity`]).
 //!
 //! ```
-//! use walshcheck_core::engine::{check_netlist, VerifyOptions};
-//! use walshcheck_core::property::Property;
+//! use walshcheck_core::{Property, Session};
 //! use walshcheck_circuit::builder::NetlistBuilder;
 //!
 //! # fn main() -> Result<(), walshcheck_circuit::netlist::NetlistError> {
@@ -37,7 +36,7 @@
 //! let o = b.output("q");
 //! b.output_share(q, o, 0);
 //! let netlist = b.build()?;
-//! let verdict = check_netlist(&netlist, Property::Sni(1), &VerifyOptions::default())?;
+//! let verdict = Session::new(&netlist)?.property(Property::Sni(1)).run();
 //! assert!(verdict.secure);
 //! # Ok(())
 //! # }
@@ -50,12 +49,23 @@ pub mod engine;
 pub mod exhaustive;
 pub mod heuristic;
 pub mod mask;
+pub mod observe;
 pub mod property;
+pub mod report;
+mod scheduler;
+pub mod session;
 pub mod sites;
 pub mod spectrum;
 pub mod tmatrix;
 pub mod uniformity;
 
-pub use engine::{check_netlist, EngineKind, Verifier, VerifyOptions};
+#[doc(hidden)]
+pub use engine::check_parallel_modulo;
+#[allow(deprecated)]
+pub use engine::{check_netlist, check_parallel};
+pub use engine::{EngineKind, Verifier, VerifyOptions, VerifyOptionsBuilder};
 pub use mask::{Mask, VarMap};
-pub use property::{CheckMode, Property, Verdict, Witness};
+pub use observe::{ChannelObserver, EnginePhase, ProgressEvent, ProgressObserver};
+pub use property::{CheckMode, CheckStats, Property, Verdict, Witness};
+pub use report::run_report_json;
+pub use session::Session;

@@ -135,7 +135,14 @@ impl VarMap {
             }
         }
         let all_shares = share_groups.iter().fold(Mask::ZERO, |a, &g| a | g);
-        VarMap { num_vars, share_groups, share_of, randoms, publics, all_shares }
+        VarMap {
+            num_vars,
+            share_groups,
+            share_of,
+            randoms,
+            publics,
+            all_shares,
+        }
     }
 
     /// Number of secrets.

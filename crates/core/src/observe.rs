@@ -1,0 +1,291 @@
+//! Run observability: progress callbacks from the scheduler.
+//!
+//! A [`ProgressObserver`] registered on a [`crate::Session`] receives
+//! callbacks while a check runs: batches being claimed by workers,
+//! combinations skipped by the prefilter, violations as they are found, and
+//! the wall-time of each engine phase. All methods default to no-ops, so an
+//! implementation only overrides what it cares about.
+//!
+//! [`ChannelObserver`] is the ready-made implementation: it forwards every
+//! callback as a [`ProgressEvent`] value over an [`std::sync::mpsc`]
+//! channel, decoupling the (hot) worker threads from however the events are
+//! rendered — the CLI's `--progress` ticker and the JSON run-report are
+//! both driven by draining the receiving end.
+
+use std::sync::mpsc::{Receiver, SendError, Sender};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::property::{CheckStats, Witness};
+
+/// A named phase of a verification run, for timing callbacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnginePhase {
+    /// Structural validation of the netlist.
+    Validate,
+    /// Symbolic unfolding of wire functions into BDDs.
+    Unfold,
+    /// Probe-site extraction.
+    ExtractSites,
+    /// The combination enumeration (batch dispatch until the queue drains).
+    Enumerate,
+    /// Aggregate time spent computing base spectra and convolutions
+    /// (summed across workers).
+    Convolution,
+    /// Aggregate time spent testing rows against the property (summed
+    /// across workers).
+    Verification,
+}
+
+impl std::fmt::Display for EnginePhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            EnginePhase::Validate => "validate",
+            EnginePhase::Unfold => "unfold",
+            EnginePhase::ExtractSites => "extract-sites",
+            EnginePhase::Enumerate => "enumerate",
+            EnginePhase::Convolution => "convolution",
+            EnginePhase::Verification => "verification",
+        })
+    }
+}
+
+/// Callbacks fired by the scheduler while a check runs.
+///
+/// Implementations must be `Send + Sync`: the callbacks arrive concurrently
+/// from worker threads. Every method has a no-op default body.
+pub trait ProgressObserver: Send + Sync {
+    /// The run is starting: `sites` probe sites produce `total` combinations
+    /// across the size buckets `(k, count_k)`, listed in enumeration order.
+    fn run_started(&self, sites: usize, total: u64, buckets: &[(usize, u64)]) {
+        let _ = (sites, total, buckets);
+    }
+
+    /// Worker `worker` claimed a batch of `len` combinations of size `k`
+    /// starting at enumeration index `first_index`.
+    fn batch_claimed(&self, worker: usize, k: usize, first_index: u64, len: usize) {
+        let _ = (worker, k, first_index, len);
+    }
+
+    /// Worker `worker` finished a claimed batch, having actually processed
+    /// `checked` combinations of which `pruned` were prefilter-skipped.
+    fn batch_finished(&self, worker: usize, checked: u64, pruned: u64) {
+        let _ = (worker, checked, pruned);
+    }
+
+    /// The combination at enumeration index `index` was skipped by the
+    /// functional-support prefilter.
+    fn combination_pruned(&self, worker: usize, index: u64) {
+        let _ = (worker, index);
+    }
+
+    /// Worker `worker` found a violation at enumeration index `index`.
+    /// Earlier-indexed batches may still be in flight; the winning witness
+    /// (minimal index) is the one reported in the final verdict.
+    fn violation_found(&self, worker: usize, index: u64, witness: &Witness) {
+        let _ = (worker, index, witness);
+    }
+
+    /// Phase `phase` took `elapsed` wall time (worker-summed for
+    /// [`EnginePhase::Convolution`] / [`EnginePhase::Verification`]).
+    fn phase_timing(&self, phase: EnginePhase, elapsed: Duration) {
+        let _ = (phase, elapsed);
+    }
+
+    /// The run is over; `stats` are the merged counters of all workers.
+    fn run_finished(&self, stats: &CheckStats) {
+        let _ = stats;
+    }
+}
+
+/// One observer callback, reified as a value (what [`ChannelObserver`]
+/// sends).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgressEvent {
+    /// See [`ProgressObserver::run_started`].
+    RunStarted {
+        /// Number of probe sites.
+        sites: usize,
+        /// Total combinations across all size buckets.
+        total: u64,
+        /// `(k, count_k)` per bucket, in enumeration order.
+        buckets: Vec<(usize, u64)>,
+    },
+    /// See [`ProgressObserver::batch_claimed`].
+    BatchClaimed {
+        /// Claiming worker index.
+        worker: usize,
+        /// Combination size of the batch's bucket.
+        k: usize,
+        /// Enumeration index of the batch's first combination.
+        first_index: u64,
+        /// Number of combinations in the batch.
+        len: usize,
+    },
+    /// See [`ProgressObserver::batch_finished`].
+    BatchFinished {
+        /// Worker index.
+        worker: usize,
+        /// Combinations actually processed in the batch.
+        checked: u64,
+        /// Of those, prefilter-skipped.
+        pruned: u64,
+    },
+    /// See [`ProgressObserver::combination_pruned`].
+    CombinationPruned {
+        /// Worker index.
+        worker: usize,
+        /// Enumeration index of the pruned combination.
+        index: u64,
+    },
+    /// See [`ProgressObserver::violation_found`].
+    ViolationFound {
+        /// Worker index.
+        worker: usize,
+        /// Enumeration index of the violating combination.
+        index: u64,
+        /// The violation evidence.
+        witness: Witness,
+    },
+    /// See [`ProgressObserver::phase_timing`].
+    PhaseTiming {
+        /// The timed phase.
+        phase: EnginePhase,
+        /// Its wall time.
+        elapsed: Duration,
+    },
+    /// See [`ProgressObserver::run_finished`].
+    RunFinished {
+        /// Merged counters of all workers.
+        stats: CheckStats,
+    },
+}
+
+/// A [`ProgressObserver`] that forwards every callback as a
+/// [`ProgressEvent`] over an mpsc channel.
+///
+/// The sender side is mutex-wrapped ([`Sender`] is not `Sync`); send errors
+/// (receiver dropped) are ignored so a consumer may stop listening at any
+/// point without aborting the run.
+#[derive(Debug)]
+pub struct ChannelObserver {
+    tx: Mutex<Sender<ProgressEvent>>,
+}
+
+impl ChannelObserver {
+    /// A connected observer/receiver pair.
+    pub fn new() -> (Self, Receiver<ProgressEvent>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (ChannelObserver { tx: Mutex::new(tx) }, rx)
+    }
+
+    fn send(&self, event: ProgressEvent) {
+        // A poisoned mutex means a panicking sender thread; the observer is
+        // best-effort, so both poisoning and a closed channel are ignored.
+        if let Ok(tx) = self.tx.lock() {
+            let _: Result<(), SendError<_>> = tx.send(event);
+        }
+    }
+}
+
+impl ProgressObserver for ChannelObserver {
+    fn run_started(&self, sites: usize, total: u64, buckets: &[(usize, u64)]) {
+        self.send(ProgressEvent::RunStarted {
+            sites,
+            total,
+            buckets: buckets.to_vec(),
+        });
+    }
+
+    fn batch_claimed(&self, worker: usize, k: usize, first_index: u64, len: usize) {
+        self.send(ProgressEvent::BatchClaimed {
+            worker,
+            k,
+            first_index,
+            len,
+        });
+    }
+
+    fn batch_finished(&self, worker: usize, checked: u64, pruned: u64) {
+        self.send(ProgressEvent::BatchFinished {
+            worker,
+            checked,
+            pruned,
+        });
+    }
+
+    fn combination_pruned(&self, worker: usize, index: u64) {
+        self.send(ProgressEvent::CombinationPruned { worker, index });
+    }
+
+    fn violation_found(&self, worker: usize, index: u64, witness: &Witness) {
+        self.send(ProgressEvent::ViolationFound {
+            worker,
+            index,
+            witness: witness.clone(),
+        });
+    }
+
+    fn phase_timing(&self, phase: EnginePhase, elapsed: Duration) {
+        self.send(ProgressEvent::PhaseTiming { phase, elapsed });
+    }
+
+    fn run_finished(&self, stats: &CheckStats) {
+        self.send(ProgressEvent::RunFinished {
+            stats: stats.clone(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::Mask;
+
+    #[test]
+    fn channel_observer_forwards_events() {
+        let (obs, rx) = ChannelObserver::new();
+        obs.run_started(5, 10, &[(2, 10)]);
+        obs.batch_claimed(0, 2, 0, 4);
+        obs.combination_pruned(0, 1);
+        let w = Witness {
+            combination: vec![],
+            mask: Mask(0b1),
+            reason: "test".into(),
+            coefficient: None,
+        };
+        obs.violation_found(0, 3, &w);
+        obs.batch_finished(0, 4, 1);
+        obs.phase_timing(EnginePhase::Enumerate, Duration::from_millis(1));
+        obs.run_finished(&CheckStats::default());
+        let events: Vec<ProgressEvent> = rx.try_iter().collect();
+        assert_eq!(events.len(), 7);
+        assert_eq!(
+            events[0],
+            ProgressEvent::RunStarted {
+                sites: 5,
+                total: 10,
+                buckets: vec![(2, 10)]
+            }
+        );
+        assert!(matches!(
+            events[3],
+            ProgressEvent::ViolationFound { index: 3, .. }
+        ));
+        assert!(matches!(events[6], ProgressEvent::RunFinished { .. }));
+    }
+
+    #[test]
+    fn dropped_receiver_does_not_panic() {
+        let (obs, rx) = ChannelObserver::new();
+        drop(rx);
+        obs.batch_claimed(1, 1, 0, 1);
+        obs.run_finished(&CheckStats::default());
+    }
+
+    #[test]
+    fn phase_display_names() {
+        assert_eq!(EnginePhase::ExtractSites.to_string(), "extract-sites");
+        assert_eq!(EnginePhase::Convolution.to_string(), "convolution");
+    }
+}

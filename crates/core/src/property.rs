@@ -137,6 +137,43 @@ pub struct CheckStats {
     pub timed_out: bool,
 }
 
+impl CheckStats {
+    /// Folds another run's counters into this one (the parallel-merge
+    /// semantics): counts and phase times add up, `total_time` takes the
+    /// maximum (workers run concurrently), and `timed_out` is sticky.
+    pub fn merge(&mut self, other: &CheckStats) {
+        self.combinations += other.combinations;
+        self.pruned += other.pruned;
+        self.convolutions += other.convolutions;
+        self.rows_checked += other.rows_checked;
+        self.convolution_time += other.convolution_time;
+        self.verification_time += other.verification_time;
+        self.total_time = self.total_time.max(other.total_time);
+        self.timed_out |= other.timed_out;
+    }
+}
+
+impl std::ops::Add for CheckStats {
+    type Output = CheckStats;
+
+    fn add(mut self, rhs: CheckStats) -> CheckStats {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl std::ops::AddAssign for CheckStats {
+    fn add_assign(&mut self, rhs: CheckStats) {
+        self.merge(&rhs);
+    }
+}
+
+impl std::iter::Sum for CheckStats {
+    fn sum<I: Iterator<Item = CheckStats>>(iter: I) -> CheckStats {
+        iter.fold(CheckStats::default(), |acc, s| acc + s)
+    }
+}
+
 /// Result of a verification run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Verdict {
@@ -175,7 +212,9 @@ impl fmt::Display for Verdict {
                 f,
                 "{}: VIOLATED ({})",
                 self.property,
-                self.witness.as_ref().map_or("no witness", |w| w.reason.as_str())
+                self.witness
+                    .as_ref()
+                    .map_or("no witness", |w| w.reason.as_str())
             )
         }
     }
@@ -196,7 +235,11 @@ mod tests {
 
     #[test]
     fn probe_ref_accessors() {
-        let o = ProbeRef::Output { wire: WireId(3), output: OutputId(0), index: 1 };
+        let o = ProbeRef::Output {
+            wire: WireId(3),
+            output: OutputId(0),
+            index: 1,
+        };
         let p = ProbeRef::Internal { wire: WireId(7) };
         assert_eq!(o.wire(), WireId(3));
         assert_eq!(p.wire(), WireId(7));

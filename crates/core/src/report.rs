@@ -1,0 +1,230 @@
+//! Machine-readable run reports.
+//!
+//! The build environment vendors no serialization framework, so this module
+//! hand-rolls the small, stable JSON surface that `walshcheck check --json`
+//! emits (schema `walshcheck-report/1`, documented in the README). All
+//! emitters produce compact single-line JSON with escaped strings; numbers
+//! are plain decimals, durations are fractional seconds.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use walshcheck_circuit::netlist::Netlist;
+
+use crate::property::{CheckStats, ProbeRef, Verdict, Witness};
+
+/// Escapes `s` as the contents of a JSON string literal (quotes not
+/// included).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn seconds(d: Duration) -> String {
+    format!("{:.6}", d.as_secs_f64())
+}
+
+impl CheckStats {
+    /// The counters as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"combinations\":{},\"pruned\":{},\"convolutions\":{},",
+                "\"rows_checked\":{},\"convolution_seconds\":{},",
+                "\"verification_seconds\":{},\"total_seconds\":{},\"timed_out\":{}}}"
+            ),
+            self.combinations,
+            self.pruned,
+            self.convolutions,
+            self.rows_checked,
+            seconds(self.convolution_time),
+            seconds(self.verification_time),
+            seconds(self.total_time),
+            self.timed_out,
+        )
+    }
+}
+
+impl ProbeRef {
+    /// The probe as a JSON object; wire names resolve through `netlist`
+    /// when provided.
+    pub fn to_json(&self, netlist: Option<&Netlist>) -> String {
+        let name = netlist
+            .map(|n| format!(",\"name\":\"{}\"", json_escape(n.wire_name(self.wire()))))
+            .unwrap_or_default();
+        match *self {
+            ProbeRef::Output {
+                wire,
+                output,
+                index,
+            } => format!(
+                "{{\"kind\":\"output\",\"wire\":{}{name},\"output\":{},\"share\":{}}}",
+                wire.0, output.0, index
+            ),
+            ProbeRef::Internal { wire } => {
+                format!("{{\"kind\":\"internal\",\"wire\":{}{name}}}", wire.0)
+            }
+        }
+    }
+}
+
+impl Witness {
+    /// The witness as a JSON object; wire names resolve through `netlist`
+    /// when provided.
+    pub fn to_json(&self, netlist: Option<&Netlist>) -> String {
+        let probes: Vec<String> = self
+            .combination
+            .iter()
+            .map(|p| p.to_json(netlist))
+            .collect();
+        let coefficient = match &self.coefficient {
+            Some(c) => format!("\"{}\"", json_escape(&c.to_string())),
+            None => "null".into(),
+        };
+        format!(
+            "{{\"probes\":[{}],\"mask\":\"{}\",\"reason\":\"{}\",\"coefficient\":{}}}",
+            probes.join(","),
+            self.mask,
+            json_escape(&self.reason),
+            coefficient,
+        )
+    }
+}
+
+impl Verdict {
+    /// The verdict as a JSON object (property, outcome, witness, stats).
+    pub fn to_json(&self, netlist: Option<&Netlist>) -> String {
+        let witness = match &self.witness {
+            Some(w) => w.to_json(netlist),
+            None => "null".into(),
+        };
+        format!(
+            "{{\"property\":\"{}\",\"secure\":{},\"witness\":{},\"stats\":{}}}",
+            json_escape(&self.property.to_string()),
+            self.secure,
+            witness,
+            self.stats.to_json(),
+        )
+    }
+}
+
+/// The full `walshcheck check --json` run report (schema
+/// `walshcheck-report/1`): the verdict plus run configuration and the
+/// observer-collected engine-phase timings `(name, duration)`.
+pub fn run_report_json(
+    netlist: &Netlist,
+    verdict: &Verdict,
+    engine: &str,
+    mode: &str,
+    threads: usize,
+    phases: &[(String, Duration)],
+) -> String {
+    let phase_fields: Vec<String> = phases
+        .iter()
+        .map(|(name, d)| format!("\"{}\":{}", json_escape(name), seconds(*d)))
+        .collect();
+    format!(
+        concat!(
+            "{{\"schema\":\"walshcheck-report/1\",\"netlist\":\"{}\",",
+            "\"engine\":\"{}\",\"mode\":\"{}\",\"threads\":{},",
+            "\"property\":\"{}\",\"secure\":{},\"witness\":{},",
+            "\"stats\":{},\"phases\":{{{}}}}}"
+        ),
+        json_escape(&netlist.name),
+        json_escape(engine),
+        json_escape(mode),
+        threads,
+        json_escape(&verdict.property.to_string()),
+        verdict.secure,
+        match &verdict.witness {
+            Some(w) => w.to_json(Some(netlist)),
+            None => "null".into(),
+        },
+        verdict.stats.to_json(),
+        phase_fields.join(","),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::Mask;
+    use crate::property::Property;
+    use walshcheck_circuit::netlist::{OutputId, WireId};
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn stats_json_shape() {
+        let s = CheckStats {
+            combinations: 3,
+            pruned: 1,
+            ..CheckStats::default()
+        };
+        let j = s.to_json();
+        assert!(j.starts_with("{\"combinations\":3,\"pruned\":1,"));
+        assert!(j.ends_with("\"timed_out\":false}"));
+    }
+
+    #[test]
+    fn witness_and_verdict_json() {
+        let w = Witness {
+            combination: vec![
+                ProbeRef::Output {
+                    wire: WireId(2),
+                    output: OutputId(0),
+                    index: 1,
+                },
+                ProbeRef::Internal { wire: WireId(5) },
+            ],
+            mask: Mask(0b101),
+            reason: "says \"leak\"".into(),
+            coefficient: None,
+        };
+        let j = w.to_json(None);
+        assert!(j.contains("\"kind\":\"output\",\"wire\":2,\"output\":0,\"share\":1"));
+        assert!(j.contains("\"kind\":\"internal\",\"wire\":5"));
+        assert!(j.contains("\\\"leak\\\""));
+        assert!(j.contains("\"coefficient\":null"));
+
+        let v = Verdict {
+            property: Property::Sni(1),
+            secure: false,
+            witness: Some(w),
+            stats: CheckStats::default(),
+        };
+        let j = v.to_json(None);
+        assert!(j.contains("\"property\":\"1-SNI\""));
+        assert!(j.contains("\"secure\":false"));
+        assert!(j.contains("\"witness\":{"));
+    }
+
+    #[test]
+    fn secure_verdict_has_null_witness() {
+        let v = Verdict {
+            property: Property::Probing(1),
+            secure: true,
+            witness: None,
+            stats: CheckStats::default(),
+        };
+        assert!(v.to_json(None).contains("\"witness\":null"));
+    }
+}

@@ -1,0 +1,493 @@
+//! Work-stealing batched scheduler for the combination enumeration.
+//!
+//! The paper lists parallelization as future work; the first cut here was
+//! static modulo sharding (kept as `check_parallel_modulo` for baseline
+//! measurements), which splits the space by leading site index. That split
+//! is badly unbalanced: the largest-first heuristic makes combination cost
+//! depend on position, and a worker whose shard holds the expensive leading
+//! indices becomes the critical path while the others idle.
+//!
+//! This scheduler instead dispenses the enumeration as contiguous batches
+//! from a shared cursor (self-scheduling / work stealing from a central
+//! queue): idle workers always find work while any remains, so imbalance is
+//! bounded by one batch. Combinations keep their global enumeration index —
+//! the exact order the serial verifier uses — which preserves deterministic
+//! witness selection (see below) no matter how batches interleave at run
+//! time.
+//!
+//! # Batching policy
+//!
+//! Combinations are grouped into size buckets (`k = d..1` under
+//! largest-first). Each bucket's batch length is `C(n, k) / (threads × 16)`
+//! clamped to `[1, 1024]`: small enough that every worker gets many batches
+//! per bucket (load balance), large enough that the shared-cursor lock is
+//! cold (one lock round-trip per batch, not per combination).
+//!
+//! # Cancellation and determinism
+//!
+//! A worker that finds a violation at global index `g` lowers the shared
+//! `stop_before` bound with a `fetch_min`. The queue stops issuing batches
+//! at or past the bound, and in-flight workers skip their remaining
+//! combinations with index `≥ stop_before` — but every batch below the
+//! bound runs to completion. Since batches are claimed in enumeration
+//! order, all combinations before the final bound are fully checked, and
+//! the minimum-index candidate is exactly the witness the serial
+//! enumeration would have returned first. A wall-clock timeout instead
+//! raises a hard stop that abandons all remaining work (the verdict is then
+//! flagged `timed_out`, matching the serial semantics).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use walshcheck_circuit::netlist::Netlist;
+
+use crate::engine::{ComboStep, EnumState, Verifier, VerifyOptions};
+use crate::observe::{EnginePhase, ProgressObserver};
+use crate::property::{CheckStats, Property, Verdict, Witness};
+
+/// Wall-times of the setup work done in `Session::new`, reported to the
+/// observer as engine phases.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SetupTimings {
+    pub(crate) validate: Duration,
+    pub(crate) unfold: Duration,
+}
+
+/// `C(n, k)`, saturating at `u64::MAX` (only used for progress accounting;
+/// the enumeration itself never materializes the count).
+fn binomial(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+        if acc > u64::MAX as u128 {
+            return u64::MAX;
+        }
+    }
+    acc as u64
+}
+
+/// A claimed slice of the enumeration: `len` combinations of size `k`
+/// starting at global index `first_index`, stored flattened.
+struct Batch {
+    k: usize,
+    first_index: u64,
+    flat: Vec<usize>,
+}
+
+impl Batch {
+    fn len(&self) -> usize {
+        self.flat.len() / self.k
+    }
+
+    fn combos(&self) -> impl Iterator<Item = &[usize]> {
+        self.flat.chunks_exact(self.k)
+    }
+}
+
+/// Cursor state behind the queue's mutex: the current bucket, the next
+/// combination in it, and that combination's global index.
+struct Cursor {
+    /// Index into `BatchQueue::sizes`.
+    bucket: usize,
+    /// The next combination to hand out (`None` once the bucket must be
+    /// (re-)initialized).
+    next: Option<Vec<usize>>,
+    /// Global enumeration index of `next`.
+    global: u64,
+}
+
+/// The shared batch dispenser.
+struct BatchQueue {
+    n: usize,
+    /// Bucket sizes in enumeration order (largest-first by default).
+    sizes: Vec<usize>,
+    /// Batch length per bucket (see module docs for the policy).
+    batch_lens: Vec<usize>,
+    cursor: Mutex<Cursor>,
+    /// Combinations with global index `>= stop_before` need not run: a
+    /// violation with a smaller index has already been found.
+    stop_before: AtomicU64,
+    /// Abandon everything (wall-clock timeout).
+    hard_stop: AtomicBool,
+}
+
+impl BatchQueue {
+    fn new(n: usize, sizes: Vec<usize>, threads: usize) -> Self {
+        let batch_lens = sizes
+            .iter()
+            .map(|&k| {
+                let total = binomial(n, k);
+                (total / (threads as u64 * 16).max(1)).clamp(1, 1024) as usize
+            })
+            .collect();
+        BatchQueue {
+            n,
+            sizes,
+            batch_lens,
+            cursor: Mutex::new(Cursor {
+                bucket: 0,
+                next: None,
+                global: 0,
+            }),
+            stop_before: AtomicU64::new(u64::MAX),
+            hard_stop: AtomicBool::new(false),
+        }
+    }
+
+    fn stop_before(&self) -> u64 {
+        self.stop_before.load(Ordering::Relaxed)
+    }
+
+    fn record_violation(&self, index: u64) {
+        self.stop_before.fetch_min(index, Ordering::Relaxed);
+    }
+
+    fn hard_stop(&self) {
+        self.hard_stop.store(true, Ordering::Relaxed);
+    }
+
+    fn hard_stopped(&self) -> bool {
+        self.hard_stop.load(Ordering::Relaxed)
+    }
+
+    /// Claims the next batch, or `None` when the enumeration is exhausted,
+    /// cancelled past the cursor, or hard-stopped.
+    fn next_batch(&self) -> Option<Batch> {
+        if self.hard_stopped() {
+            return None;
+        }
+        let mut cur = self.cursor.lock().expect("queue poisoned");
+        // Position the cursor on a combination (entering the next bucket if
+        // the current one is drained).
+        while cur.next.is_none() {
+            if cur.bucket >= self.sizes.len() {
+                return None;
+            }
+            let k = self.sizes[cur.bucket];
+            if k >= 1 && k <= self.n {
+                cur.next = Some((0..k).collect());
+            } else {
+                cur.bucket += 1;
+            }
+        }
+        if cur.global >= self.stop_before() {
+            return None;
+        }
+        let k = self.sizes[cur.bucket];
+        let want = self.batch_lens[cur.bucket];
+        let first_index = cur.global;
+        let mut flat = Vec::with_capacity(want * k);
+        let mut produced = 0usize;
+        while produced < want {
+            let combo = cur.next.as_mut().expect("cursor positioned");
+            flat.extend_from_slice(combo);
+            produced += 1;
+            if !next_combination(combo, self.n) {
+                cur.next = None;
+                cur.bucket += 1;
+                break;
+            }
+        }
+        cur.global += produced as u64;
+        Some(Batch {
+            k,
+            first_index,
+            flat,
+        })
+    }
+}
+
+/// Advances `idxs` to the next `k`-combination of `0..n` in lexicographic
+/// order; returns `false` when `idxs` was the last one.
+fn next_combination(idxs: &mut [usize], n: usize) -> bool {
+    let k = idxs.len();
+    let mut i = k;
+    loop {
+        if i == 0 {
+            return false;
+        }
+        i -= 1;
+        if idxs[i] != i + n - k {
+            break;
+        }
+    }
+    idxs[i] += 1;
+    for j in i + 1..k {
+        idxs[j] = idxs[j - 1] + 1;
+    }
+    true
+}
+
+/// Runs the batched enumeration with `threads` workers on the calling
+/// thread plus `threads - 1` scoped worker threads. `verifier` doubles as
+/// worker 0's engine (its unfolding is reused across runs); the other
+/// workers build their own `Verifier` from the shared netlist, since the
+/// decision-diagram managers are single-threaded by design.
+pub(crate) fn run(
+    verifier: &mut Verifier,
+    property: Property,
+    options: &VerifyOptions,
+    threads: usize,
+    observer: Option<&Arc<dyn ProgressObserver>>,
+    setup: SetupTimings,
+) -> Verdict {
+    let start = Instant::now();
+    let threads = threads.max(1);
+
+    let t = Instant::now();
+    let mut state0 = verifier.begin_enumeration(property, options);
+    let extract_time = t.elapsed();
+
+    let n = state0.sites.len();
+    let max_k = (property.order() as usize).min(n);
+    let sizes: Vec<usize> = if options.largest_first {
+        (1..=max_k).rev().collect()
+    } else {
+        (1..=max_k).collect()
+    };
+    let buckets: Vec<(usize, u64)> = sizes.iter().map(|&k| (k, binomial(n, k))).collect();
+    let total = buckets
+        .iter()
+        .fold(0u64, |acc, &(_, c)| acc.saturating_add(c));
+
+    if let Some(obs) = observer {
+        obs.run_started(n, total, &buckets);
+        obs.phase_timing(EnginePhase::Validate, setup.validate);
+        obs.phase_timing(EnginePhase::Unfold, setup.unfold);
+        obs.phase_timing(EnginePhase::ExtractSites, extract_time);
+    }
+
+    let queue = BatchQueue::new(n, sizes, threads);
+    let candidates: Mutex<Vec<(u64, Witness)>> = Mutex::new(Vec::new());
+    let enum_start = Instant::now();
+
+    let shared: &Verifier = verifier;
+    let netlist: &Netlist = shared.netlist();
+    let obs_dyn: Option<&dyn ProgressObserver> = observer.map(|o| o.as_ref());
+    let mut worker_stats: Vec<CheckStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..threads)
+            .map(|wid| {
+                let queue = &queue;
+                let candidates = &candidates;
+                scope.spawn(move || {
+                    let worker = Verifier::new(netlist).expect("validated in Session::new");
+                    let mut state = worker.begin_enumeration(property, options);
+                    debug_assert_eq!(state.sites.len(), n, "site extraction is deterministic");
+                    worker_loop(
+                        wid, &worker, &mut state, queue, property, options, enum_start, obs_dyn,
+                        candidates,
+                    )
+                })
+            })
+            .collect();
+        let mine = worker_loop(
+            0,
+            shared,
+            &mut state0,
+            &queue,
+            property,
+            options,
+            enum_start,
+            obs_dyn,
+            &candidates,
+        );
+        let mut all = vec![mine];
+        all.extend(
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked")),
+        );
+        all
+    });
+    let enum_time = enum_start.elapsed();
+    verifier.end_enumeration();
+
+    let mut stats: CheckStats = worker_stats.drain(..).sum();
+    let winner = {
+        let mut cands = candidates.into_inner().expect("candidates poisoned");
+        cands.sort_by_key(|&(g, _)| g);
+        cands.into_iter().next()
+    };
+    // Workers stopped by cancellation (a witness exists) are complete for
+    // our purposes; only a time-limit stop on a clean run is partial.
+    stats.timed_out = stats.timed_out && winner.is_none();
+    stats.total_time = start.elapsed();
+
+    if let Some(obs) = observer {
+        obs.phase_timing(EnginePhase::Enumerate, enum_time);
+        obs.phase_timing(EnginePhase::Convolution, stats.convolution_time);
+        obs.phase_timing(EnginePhase::Verification, stats.verification_time);
+        obs.run_finished(&stats);
+    }
+
+    Verdict {
+        property,
+        secure: winner.is_none(),
+        witness: winner.map(|(_, w)| w),
+        stats,
+    }
+}
+
+/// One worker: claim batches until the queue dries up. Combination
+/// counting, arena collection cadence, and the per-combination time-limit
+/// check replicate the serial enumeration exactly, so a one-thread
+/// scheduler run produces the same counters as `Verifier::check`.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    wid: usize,
+    verifier: &Verifier,
+    state: &mut EnumState,
+    queue: &BatchQueue,
+    property: Property,
+    options: &VerifyOptions,
+    run_start: Instant,
+    observer: Option<&dyn ProgressObserver>,
+    candidates: &Mutex<Vec<(u64, Witness)>>,
+) -> CheckStats {
+    let worker_start = Instant::now();
+    let mut stats = CheckStats::default();
+    'claim: while let Some(batch) = queue.next_batch() {
+        if let Some(obs) = observer {
+            obs.batch_claimed(wid, batch.k, batch.first_index, batch.len());
+        }
+        let checked0 = stats.combinations;
+        let pruned0 = stats.pruned;
+        for (i, idxs) in batch.combos().enumerate() {
+            let index = batch.first_index + i as u64;
+            // Later combinations in the batch only have larger indices, so
+            // once the cancellation bound is crossed the rest can be
+            // dropped wholesale.
+            if index >= queue.stop_before() {
+                break;
+            }
+            if queue.hard_stopped() {
+                break 'claim;
+            }
+            stats.combinations += 1;
+            if stats.combinations % 256 == 1 {
+                state.maybe_collect();
+            }
+            if let Some(limit) = options.time_limit {
+                if run_start.elapsed() > limit {
+                    stats.timed_out = true;
+                    queue.hard_stop();
+                    break 'claim;
+                }
+            }
+            match verifier.check_indices(state, property, options.prefilter, idxs, &mut stats) {
+                ComboStep::Clean => {}
+                ComboStep::Pruned => {
+                    if let Some(obs) = observer {
+                        obs.combination_pruned(wid, index);
+                    }
+                }
+                ComboStep::Violation(witness) => {
+                    queue.record_violation(index);
+                    if let Some(obs) = observer {
+                        obs.violation_found(wid, index, &witness);
+                    }
+                    candidates
+                        .lock()
+                        .expect("candidates poisoned")
+                        .push((index, witness));
+                }
+            }
+        }
+        if let Some(obs) = observer {
+            obs.batch_finished(wid, stats.combinations - checked0, stats.pruned - pruned0);
+        }
+    }
+    stats.total_time = worker_start.elapsed();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(5, 6), 0);
+        assert_eq!(binomial(33, 2), 528);
+        assert_eq!(binomial(128, 64), u64::MAX); // saturates
+    }
+
+    #[test]
+    fn successor_walks_lexicographic_order() {
+        let mut c = vec![0, 1, 2];
+        let mut seen = vec![c.clone()];
+        while next_combination(&mut c, 5) {
+            seen.push(c.clone());
+        }
+        assert_eq!(seen.len(), 10);
+        assert_eq!(seen[0], [0, 1, 2]);
+        assert_eq!(seen[1], [0, 1, 3]);
+        assert_eq!(seen[9], [2, 3, 4]);
+    }
+
+    #[test]
+    fn queue_dispenses_every_combination_once_in_order() {
+        let queue = BatchQueue::new(6, vec![3, 2, 1], 2);
+        let mut indices = Vec::new();
+        let mut combos = Vec::new();
+        while let Some(batch) = queue.next_batch() {
+            for (i, c) in batch.combos().enumerate() {
+                indices.push(batch.first_index + i as u64);
+                combos.push((batch.k, c.to_vec()));
+            }
+        }
+        let expect_total = binomial(6, 3) + binomial(6, 2) + binomial(6, 1);
+        assert_eq!(indices.len() as u64, expect_total);
+        // Global indices are consecutive from zero — the serial order.
+        assert_eq!(indices, (0..expect_total).collect::<Vec<_>>());
+        // Bucket boundaries respected: all k=3 first, then k=2, then k=1.
+        let ks: Vec<usize> = combos.iter().map(|(k, _)| *k).collect();
+        let mut sorted = ks.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(ks, sorted);
+        // First and last combination of the first bucket.
+        assert_eq!(combos[0].1, [0, 1, 2]);
+        assert_eq!(combos[(binomial(6, 3) - 1) as usize].1, [3, 4, 5]);
+    }
+
+    #[test]
+    fn queue_respects_stop_before() {
+        let queue = BatchQueue::new(6, vec![2], 1);
+        queue.record_violation(3);
+        let mut count = 0u64;
+        while let Some(batch) = queue.next_batch() {
+            count += batch.len() as u64;
+        }
+        // The queue stops issuing once the cursor crosses the bound; at
+        // most one in-flight batch straddles it.
+        assert!(count < binomial(6, 2));
+        queue.record_violation(0);
+        assert!(queue.next_batch().is_none());
+    }
+
+    #[test]
+    fn hard_stop_drains_the_queue() {
+        let queue = BatchQueue::new(10, vec![2], 4);
+        assert!(queue.next_batch().is_some());
+        queue.hard_stop();
+        assert!(queue.next_batch().is_none());
+    }
+
+    #[test]
+    fn batch_lengths_are_positive_and_bounded() {
+        for threads in [1, 4, 64] {
+            let queue = BatchQueue::new(40, vec![3, 2, 1], threads);
+            for len in &queue.batch_lens {
+                assert!((1..=1024).contains(len));
+            }
+        }
+    }
+}

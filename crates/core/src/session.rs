@@ -1,0 +1,202 @@
+//! The front-door verification API.
+//!
+//! A [`Session`] owns a prepared verifier for one netlist and carries the
+//! whole run configuration — property, engine options, worker count,
+//! progress observer — behind a chainable builder surface:
+//!
+//! ```
+//! use walshcheck_core::{EngineKind, Property, Session};
+//! use walshcheck_gadgets::dom::dom_and;
+//!
+//! let netlist = dom_and(1);
+//! let verdict = Session::new(&netlist)
+//!     .expect("valid netlist")
+//!     .property(Property::Sni(1))
+//!     .engine(EngineKind::Mapi)
+//!     .threads(2)
+//!     .run();
+//! assert!(verdict.secure);
+//! ```
+//!
+//! Setup (validation and symbolic unfolding) happens once in
+//! [`Session::new`]; repeated [`Session::run`] calls reuse it. Every run
+//! goes through the work-stealing batch scheduler — with one thread that
+//! degenerates to the serial enumeration (same combination order, same
+//! counters), so verdicts are thread-count-independent by construction.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use walshcheck_circuit::glitch::ProbeModel;
+use walshcheck_circuit::netlist::{Netlist, NetlistError};
+
+use crate::engine::{EngineKind, Verifier, VerifyOptions};
+use crate::observe::ProgressObserver;
+use crate::property::{CheckMode, Property, Verdict, Witness};
+use crate::scheduler::{self, SetupTimings};
+
+/// A configured verification run over one netlist. See the module docs.
+pub struct Session {
+    verifier: Verifier,
+    options: VerifyOptions,
+    property: Option<Property>,
+    threads: usize,
+    observer: Option<Arc<dyn ProgressObserver>>,
+    setup: SetupTimings,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("options", &self.options)
+            .field("property", &self.property)
+            .field("threads", &self.threads)
+            .field("observer", &self.observer.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Validates and unfolds `netlist`, preparing a session with the
+    /// default options (MAPI engine, joint mode, one thread).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the netlist is structurally invalid or cyclic.
+    pub fn new(netlist: &Netlist) -> Result<Self, NetlistError> {
+        let t = Instant::now();
+        netlist.validate()?;
+        let validate = t.elapsed();
+        let t = Instant::now();
+        let verifier = Verifier::new(netlist)?;
+        let unfold = t.elapsed();
+        Ok(Session {
+            verifier,
+            options: VerifyOptions::default(),
+            property: None,
+            threads: 1,
+            observer: None,
+            setup: SetupTimings { validate, unfold },
+        })
+    }
+
+    /// The property to check. Must be set before [`Session::run`].
+    #[must_use]
+    pub fn property(mut self, property: Property) -> Self {
+        self.property = Some(property);
+        self
+    }
+
+    /// Replaces the whole option set (e.g. with a
+    /// [`VerifyOptions::paper`] preset or a built configuration).
+    #[must_use]
+    pub fn options(mut self, options: VerifyOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Engine backend.
+    #[must_use]
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.options.engine = engine;
+        self
+    }
+
+    /// Row-wise or joint checking.
+    #[must_use]
+    pub fn mode(mut self, mode: CheckMode) -> Self {
+        self.options.mode = mode;
+        self
+    }
+
+    /// Probe model (standard or glitch-extended).
+    #[must_use]
+    pub fn probe_model(mut self, model: ProbeModel) -> Self {
+        self.options.sites.probe_model = model;
+        self
+    }
+
+    /// Functional-support prefilter on/off.
+    #[must_use]
+    pub fn prefilter(mut self, on: bool) -> Self {
+        self.options.prefilter = on;
+        self
+    }
+
+    /// Largest-combinations-first enumeration on/off.
+    #[must_use]
+    pub fn largest_first(mut self, on: bool) -> Self {
+        self.options.largest_first = on;
+        self
+    }
+
+    /// Wall-clock budget for each run.
+    #[must_use]
+    pub fn time_limit(mut self, limit: Duration) -> Self {
+        self.options.time_limit = Some(limit);
+        self
+    }
+
+    /// Number of worker threads (clamped to at least 1). The verdict —
+    /// including the selected witness — is independent of this.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Registers a progress observer receiving scheduler callbacks.
+    #[must_use]
+    pub fn observer(mut self, observer: Arc<dyn ProgressObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// The current option set.
+    pub fn options_ref(&self) -> &VerifyOptions {
+        &self.options
+    }
+
+    /// The netlist under analysis.
+    pub fn netlist(&self) -> &Netlist {
+        self.verifier.netlist()
+    }
+
+    /// The underlying verifier, for advanced per-combination queries
+    /// ([`Verifier::check_specific`], [`Verifier::minimize_witness`]).
+    pub fn verifier_mut(&mut self) -> &mut Verifier {
+        &mut self.verifier
+    }
+
+    /// Runs the check with the configured property, engine and threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no property was set (see [`Session::property`]).
+    pub fn run(&mut self) -> Verdict {
+        let property = self
+            .property
+            .expect("Session::property(..) must be set before Session::run()");
+        scheduler::run(
+            &mut self.verifier,
+            property,
+            &self.options,
+            self.threads,
+            self.observer.as_ref(),
+            self.setup,
+        )
+    }
+
+    /// Enumerates violating combinations (serially) until `limit` witnesses
+    /// are found or the space is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no property was set (see [`Session::property`]).
+    pub fn find_witnesses(&mut self, limit: usize) -> Vec<Witness> {
+        let property = self
+            .property
+            .expect("Session::property(..) must be set before Session::find_witnesses()");
+        self.verifier.find_witnesses(property, &self.options, limit)
+    }
+}

@@ -83,7 +83,11 @@ pub fn extract_sites(
             let funcs = vec![unfolded.wire_fn(wire)];
             let support = support_of(unfolded, &funcs);
             sites.push(Site {
-                probe: ProbeRef::Output { wire, output, index },
+                probe: ProbeRef::Output {
+                    wire,
+                    output,
+                    index,
+                },
                 funcs,
                 support,
             });
@@ -101,8 +105,7 @@ pub fn extract_sites(
         if input_wires.contains(&wire) && !options.include_inputs {
             continue;
         }
-        let mut funcs: Vec<Bdd> =
-            obs[wid].iter().map(|&w| unfolded.wire_fn(w)).collect();
+        let mut funcs: Vec<Bdd> = obs[wid].iter().map(|&w| unfolded.wire_fn(w)).collect();
         funcs.sort();
         funcs.dedup();
         // Constant wires can never leak.
@@ -114,7 +117,11 @@ pub fn extract_sites(
             continue;
         }
         let support = support_of(unfolded, &funcs);
-        sites.push(Site { probe: ProbeRef::Internal { wire }, funcs, support });
+        sites.push(Site {
+            probe: ProbeRef::Internal { wire },
+            funcs,
+            support,
+        });
     }
     Ok(sites)
 }
@@ -167,7 +174,10 @@ mod tests {
         let without = extract_sites(
             &n,
             &u,
-            &SiteOptions { dedup: false, ..SiteOptions::default() },
+            &SiteOptions {
+                dedup: false,
+                ..SiteOptions::default()
+            },
         )
         .expect("ok");
         assert_eq!(without.len(), with.len() + 1);
@@ -180,7 +190,10 @@ mod tests {
         let without = extract_sites(
             &n,
             &u,
-            &SiteOptions { include_inputs: false, ..SiteOptions::default() },
+            &SiteOptions {
+                include_inputs: false,
+                ..SiteOptions::default()
+            },
         )
         .expect("ok");
         // 3 input wires disappear.
@@ -193,7 +206,10 @@ mod tests {
         let sites = extract_sites(
             &n,
             &u,
-            &SiteOptions { probe_model: ProbeModel::Glitch, ..SiteOptions::default() },
+            &SiteOptions {
+                probe_model: ProbeModel::Glitch,
+                ..SiteOptions::default()
+            },
         )
         .expect("ok");
         let max_funcs = sites.iter().map(|s| s.funcs.len()).max().unwrap();

@@ -42,11 +42,17 @@ pub trait Spectrum: Clone {
     /// Calls `f` for every non-zero entry.
     fn for_each(&self, f: &mut dyn FnMut(Mask, Dyadic));
 
-    /// The first entry satisfying `pred`, if any.
+    /// The entry with the smallest coordinate satisfying `pred`, if any.
+    ///
+    /// Taking the minimum (rather than the first match seen) keeps the
+    /// reported witness mask independent of the container's iteration
+    /// order — `MapSpectrum`'s hash map iterates in a per-instance random
+    /// order, and the full scan happens regardless since `for_each` has no
+    /// early exit.
     fn find(&self, pred: &dyn Fn(Mask, Dyadic) -> bool) -> Option<(Mask, Dyadic)> {
-        let mut found = None;
+        let mut found: Option<(Mask, Dyadic)> = None;
         self.for_each(&mut |m, c| {
-            if found.is_none() && pred(m, c) {
+            if found.is_none_or(|(best, _)| m < best) && pred(m, c) {
                 found = Some((m, c));
             }
         });
@@ -78,7 +84,9 @@ pub struct MapSpectrum {
 impl MapSpectrum {
     /// The spectrum of the constant-zero function (`W(0) = 1`).
     pub fn one() -> Self {
-        MapSpectrum { entries: HashMap::from([(0, Dyadic::ONE)]) }
+        MapSpectrum {
+            entries: HashMap::from([(0, Dyadic::ONE)]),
+        }
     }
 
     /// Direct access to the underlying map.
@@ -90,7 +98,11 @@ impl MapSpectrum {
 impl Spectrum for MapSpectrum {
     fn from_map(map: &HashMap<u128, Dyadic>) -> Self {
         MapSpectrum {
-            entries: map.iter().filter(|(_, c)| !c.is_zero()).map(|(&k, &c)| (k, c)).collect(),
+            entries: map
+                .iter()
+                .filter(|(_, c)| !c.is_zero())
+                .map(|(&k, &c)| (k, c))
+                .collect(),
         }
     }
 
@@ -140,7 +152,9 @@ pub struct LilSpectrum {
 impl LilSpectrum {
     /// The spectrum of the constant-zero function.
     pub fn one() -> Self {
-        LilSpectrum { entries: vec![(0, Dyadic::ONE)] }
+        LilSpectrum {
+            entries: vec![(0, Dyadic::ONE)],
+        }
     }
 
     /// The sorted entry list.
@@ -151,8 +165,11 @@ impl LilSpectrum {
 
 impl Spectrum for LilSpectrum {
     fn from_map(map: &HashMap<u128, Dyadic>) -> Self {
-        let mut entries: Vec<(u128, Dyadic)> =
-            map.iter().filter(|(_, c)| !c.is_zero()).map(|(&k, &c)| (k, c)).collect();
+        let mut entries: Vec<(u128, Dyadic)> = map
+            .iter()
+            .filter(|(_, c)| !c.is_zero())
+            .map(|(&k, &c)| (k, c))
+            .collect();
         entries.sort_by_key(|&(k, _)| k);
         LilSpectrum { entries }
     }
@@ -283,6 +300,10 @@ mod tests {
         assert_eq!(none, Mask::ZERO);
         let hit = ms.find(&|mask, _| mask.weight() == 2);
         assert_eq!(hit.map(|(m, _)| m), Some(Mask(0b101)));
+        // With several matches, the smallest coordinate wins — independent
+        // of the hash map's iteration order.
+        let hit = ms.find(&|mask, _| mask.weight() == 1);
+        assert_eq!(hit.map(|(m, _)| m), Some(Mask(0b001)));
     }
 
     #[test]

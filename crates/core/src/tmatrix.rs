@@ -59,11 +59,13 @@ impl Region {
         }
         match *self {
             Region::Probing => vm.is_full_group_union(mask),
-            Region::ShareBudget { budget } => vm
-                .share_groups
-                .iter()
-                .any(|&g| mask.weight_in(g) > budget),
-            Region::PiniBudget { allowed_indices, extra } => {
+            Region::ShareBudget { budget } => {
+                vm.share_groups.iter().any(|&g| mask.weight_in(g) > budget)
+            }
+            Region::PiniBudget {
+                allowed_indices,
+                extra,
+            } => {
                 let outside = vm.share_indices(mask) & !allowed_indices;
                 outside.count_ones() > extra
             }
@@ -97,7 +99,10 @@ impl Region {
                 }
                 any_over
             }
-            Region::PiniBudget { allowed_indices, extra } => {
+            Region::PiniBudget {
+                allowed_indices,
+                extra,
+            } => {
                 // indicator_j = "some share with index j outside the
                 // allowed set is selected".
                 let mut index_vars: HashMap<u32, VarSet> = HashMap::new();
@@ -200,14 +205,20 @@ mod tests {
     fn pini_region_semantics() {
         let vm = varmap();
         // Output share index 0 observed, no internal probes allowed.
-        let r = Region::PiniBudget { allowed_indices: 0b01, extra: 0 };
+        let r = Region::PiniBudget {
+            allowed_indices: 0b01,
+            extra: 0,
+        };
         // Selecting x1 (index 1) is outside the allowed set.
         assert!(r.matches(&vm, Mask(0b000010)));
         // Selecting x0 y0 (both index 0) is fine.
         assert!(!r.matches(&vm, Mask(0b000101)));
         check_region_consistency(&r, &vm);
         // One extra index allowed: x1 alone is fine, nothing exceeds.
-        let r1 = Region::PiniBudget { allowed_indices: 0b01, extra: 1 };
+        let r1 = Region::PiniBudget {
+            allowed_indices: 0b01,
+            extra: 1,
+        };
         assert!(!r1.matches(&vm, Mask(0b001010))); // x1,y1: one extra index (1)
         check_region_consistency(&r1, &vm);
     }
@@ -218,7 +229,10 @@ mod tests {
         for region in [
             Region::Probing,
             Region::ShareBudget { budget: 0 },
-            Region::PiniBudget { allowed_indices: 0, extra: 0 },
+            Region::PiniBudget {
+                allowed_indices: 0,
+                extra: 0,
+            },
         ] {
             // Any coordinate with the random bit set is outside the region.
             assert!(!region.matches(&vm, Mask(0b011111)));

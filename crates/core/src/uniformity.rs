@@ -74,7 +74,11 @@ pub fn is_uniform_sharing(netlist: &Netlist) -> Result<bool, NetlistError> {
                 y |= 1 << bi;
             }
         }
-        *counts.entry((secrets, publics)).or_default().entry(y).or_insert(0) += 1;
+        *counts
+            .entry((secrets, publics))
+            .or_default()
+            .entry(y)
+            .or_insert(0) += 1;
     }
     // Every output group with k shares has 2^(k−1) valid sharings of its
     // value; uniformity requires *all* of them to appear, equally often.
@@ -126,7 +130,10 @@ pub fn unbalanced_output_combination(netlist: &Netlist) -> Result<Option<u64>, N
     let unfolded = unfold(netlist)?;
     let n_vars = unfolded.bdds.num_vars();
     let mut bdds = unfolded.bdds;
-    let funcs: Vec<Bdd> = out_shares.iter().map(|&(w, _)| unfolded.wire_fns[w.0 as usize]).collect();
+    let funcs: Vec<Bdd> = out_shares
+        .iter()
+        .map(|&(w, _)| unfolded.wire_fns[w.0 as usize])
+        .collect();
 
     // Which selections cover complete output groups (those may be biased:
     // they equal the unshared output value xor-combination).

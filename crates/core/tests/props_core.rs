@@ -44,8 +44,10 @@ fn region_strategy() -> impl Strategy<Value = Region> {
     prop_oneof![
         Just(Region::Probing),
         (0u32..4).prop_map(|budget| Region::ShareBudget { budget }),
-        (0u64..8, 0u32..3)
-            .prop_map(|(allowed_indices, extra)| Region::PiniBudget { allowed_indices, extra }),
+        (0u64..8, 0u32..3).prop_map(|(allowed_indices, extra)| Region::PiniBudget {
+            allowed_indices,
+            extra
+        }),
     ]
 }
 

@@ -167,7 +167,11 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
         let mut cur = f;
         while !cur.is_terminal() {
             let n = &self.nodes[cur.0 as usize];
-            cur = if assignment >> n.var & 1 == 1 { n.hi } else { n.lo };
+            cur = if assignment >> n.var & 1 == 1 {
+                n.hi
+            } else {
+                n.lo
+            };
         }
         &self.terminals[cur.term_index()]
     }

@@ -33,7 +33,9 @@ impl Anf {
 
     /// The constant-one function.
     pub fn one() -> Self {
-        Anf { monomials: HashSet::from([0]) }
+        Anf {
+            monomials: HashSet::from([0]),
+        }
     }
 
     /// Builds an ANF from an iterator of monomial masks (duplicates cancel,
@@ -65,7 +67,11 @@ impl Anf {
 
     /// The algebraic degree (0 for constants; 0 for the zero function).
     pub fn degree(&self) -> u32 {
-        self.monomials.iter().map(|m| m.count_ones()).max().unwrap_or(0)
+        self.monomials
+            .iter()
+            .map(|m| m.count_ones())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Evaluates the ANF on an assignment (bit `i` = variable `i`).
@@ -111,7 +117,9 @@ impl Anf {
 /// `anf(f) = anf(f₀) ⊕ x·(anf(f₀) ⊕ anf(f₁))`, memoized per node.
 pub fn anf_from_bdd(m: &BddManager, f: Bdd) -> Anf {
     let mut memo: HashMap<Bdd, Rc<HashSet<u128>>> = HashMap::new();
-    Anf { monomials: (*rec(m, f, &mut memo)).clone() }
+    Anf {
+        monomials: (*rec(m, f, &mut memo)).clone(),
+    }
 }
 
 fn rec(m: &BddManager, f: Bdd, memo: &mut HashMap<Bdd, Rc<HashSet<u128>>>) -> Rc<HashSet<u128>> {
@@ -147,7 +155,10 @@ fn rec(m: &BddManager, f: Bdd, memo: &mut HashMap<Bdd, Rc<HashSet<u128>>>) -> Rc
 ///
 /// Panics if the length is not a power of two.
 pub fn dense_moebius(bits: &[bool]) -> Vec<bool> {
-    assert!(bits.len().is_power_of_two(), "truth table length must be 2^n");
+    assert!(
+        bits.len().is_power_of_two(),
+        "truth table length must be 2^n"
+    );
     let mut v = bits.to_vec();
     let n = v.len();
     let mut h = 1;
@@ -211,7 +222,11 @@ mod tests {
         let dense = dense_moebius(&table);
         let anf = anf_from_bdd(&m, f);
         for (mono, &coeff) in dense.iter().enumerate() {
-            assert_eq!(anf.monomials().any(|x| x == mono as u128), coeff, "monomial {mono:b}");
+            assert_eq!(
+                anf.monomials().any(|x| x == mono as u128),
+                coeff,
+                "monomial {mono:b}"
+            );
         }
     }
 
@@ -247,8 +262,8 @@ mod tests {
     #[test]
     fn dense_moebius_is_an_involution() {
         let table = vec![
-            false, true, true, false, true, true, false, false,
-            true, false, false, false, true, true, true, false,
+            false, true, true, false, true, true, false, false, true, false, false, false, true,
+            true, true, false,
         ];
         let once = dense_moebius(&table);
         let twice = dense_moebius(&once);

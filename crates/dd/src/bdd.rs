@@ -83,8 +83,16 @@ impl BddManager {
     pub fn new(num_vars: u32) -> Self {
         assert!(num_vars <= VarId::MAX_VARS, "too many variables");
         let nodes = vec![
-            Node { var: TERMINAL_VAR, lo: Bdd::FALSE, hi: Bdd::FALSE },
-            Node { var: TERMINAL_VAR, lo: Bdd::TRUE, hi: Bdd::TRUE },
+            Node {
+                var: TERMINAL_VAR,
+                lo: Bdd::FALSE,
+                hi: Bdd::FALSE,
+            },
+            Node {
+                var: TERMINAL_VAR,
+                lo: Bdd::TRUE,
+                hi: Bdd::TRUE,
+            },
         ];
         BddManager {
             nodes,
@@ -160,7 +168,10 @@ impl BddManager {
         if lo == hi {
             return lo;
         }
-        debug_assert!(var < self.var_of(lo) && var < self.var_of(hi), "ordering violated");
+        debug_assert!(
+            var < self.var_of(lo) && var < self.var_of(hi),
+            "ordering violated"
+        );
         if let Some(&id) = self.unique.get(&(var, lo, hi)) {
             return id;
         }
@@ -268,8 +279,16 @@ impl BddManager {
         let va = self.var_of(a);
         let vb = self.var_of(b);
         let top = va.min(vb);
-        let (a0, a1) = if va == top { (self.lo(a), self.hi(a)) } else { (a, a) };
-        let (b0, b1) = if vb == top { (self.lo(b), self.hi(b)) } else { (b, b) };
+        let (a0, a1) = if va == top {
+            (self.lo(a), self.hi(a))
+        } else {
+            (a, a)
+        };
+        let (b0, b1) = if vb == top {
+            (self.lo(b), self.hi(b))
+        } else {
+            (b, b)
+        };
         let r0 = self.apply(op, a0, b0);
         let r1 = self.apply(op, a1, b1);
         let r = self.mk(top, r0, r1);
@@ -331,9 +350,21 @@ impl BddManager {
             return r;
         }
         let top = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
-        let (f0, f1) = if self.var_of(f) == top { (self.lo(f), self.hi(f)) } else { (f, f) };
-        let (g0, g1) = if self.var_of(g) == top { (self.lo(g), self.hi(g)) } else { (g, g) };
-        let (h0, h1) = if self.var_of(h) == top { (self.lo(h), self.hi(h)) } else { (h, h) };
+        let (f0, f1) = if self.var_of(f) == top {
+            (self.lo(f), self.hi(f))
+        } else {
+            (f, f)
+        };
+        let (g0, g1) = if self.var_of(g) == top {
+            (self.lo(g), self.hi(g))
+        } else {
+            (g, g)
+        };
+        let (h0, h1) = if self.var_of(h) == top {
+            (self.lo(h), self.hi(h))
+        } else {
+            (h, h)
+        };
         let r0 = self.ite(f0, g0, h0);
         let r1 = self.ite(f1, g1, h1);
         let r = self.mk(top, r0, r1);
@@ -461,7 +492,11 @@ impl BddManager {
         let mut cur = f;
         while !cur.is_const() {
             let n = &self.nodes[cur.0 as usize];
-            cur = if assignment >> n.var & 1 == 1 { n.hi } else { n.lo };
+            cur = if assignment >> n.var & 1 == 1 {
+                n.hi
+            } else {
+                n.lo
+            };
         }
         cur == Bdd::TRUE
     }
@@ -622,7 +657,11 @@ mod tests {
         let h = m.var(VarId(2));
         let r = m.ite(f, g, h);
         for a in 0..16u128 {
-            let expect = if m.eval(f, a) { m.eval(g, a) } else { m.eval(h, a) };
+            let expect = if m.eval(f, a) {
+                m.eval(g, a)
+            } else {
+                m.eval(h, a)
+            };
             assert_eq!(m.eval(r, a), expect);
         }
     }

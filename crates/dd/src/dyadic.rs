@@ -35,11 +35,20 @@ pub struct Dyadic {
 
 impl Dyadic {
     /// The additive identity.
-    pub const ZERO: Dyadic = Dyadic { mantissa: 0, exponent: 0 };
+    pub const ZERO: Dyadic = Dyadic {
+        mantissa: 0,
+        exponent: 0,
+    };
     /// The multiplicative identity.
-    pub const ONE: Dyadic = Dyadic { mantissa: 1, exponent: 0 };
+    pub const ONE: Dyadic = Dyadic {
+        mantissa: 1,
+        exponent: 0,
+    };
     /// Minus one, the smallest possible correlation.
-    pub const MINUS_ONE: Dyadic = Dyadic { mantissa: -1, exponent: 0 };
+    pub const MINUS_ONE: Dyadic = Dyadic {
+        mantissa: -1,
+        exponent: 0,
+    };
 
     /// Creates `mantissa · 2^exponent`, normalizing the representation.
     ///
@@ -61,7 +70,10 @@ impl Dyadic {
 
     /// `2^exponent`.
     pub fn pow2(exponent: i32) -> Self {
-        Dyadic { mantissa: 1, exponent }
+        Dyadic {
+            mantissa: 1,
+            exponent,
+        }
     }
 
     /// The normalized mantissa (odd, or zero).
@@ -86,7 +98,10 @@ impl Dyadic {
 
     /// The absolute value.
     pub fn abs(&self) -> Self {
-        Dyadic { mantissa: self.mantissa.abs(), exponent: self.exponent }
+        Dyadic {
+            mantissa: self.mantissa.abs(),
+            exponent: self.exponent,
+        }
     }
 
     /// The sign of the value: `-1`, `0` or `1`.
@@ -105,7 +120,10 @@ impl Dyadic {
         if self.mantissa == 0 {
             Dyadic::ZERO
         } else {
-            Dyadic { mantissa: self.mantissa, exponent: self.exponent - 1 }
+            Dyadic {
+                mantissa: self.mantissa,
+                exponent: self.exponent - 1,
+            }
         }
     }
 
@@ -114,7 +132,10 @@ impl Dyadic {
         if self.mantissa == 0 {
             Dyadic::ZERO
         } else {
-            Dyadic { mantissa: self.mantissa, exponent: self.exponent + 1 }
+            Dyadic {
+                mantissa: self.mantissa,
+                exponent: self.exponent + 1,
+            }
         }
     }
 
@@ -123,7 +144,10 @@ impl Dyadic {
         if self.mantissa == 0 {
             Dyadic::ZERO
         } else {
-            Dyadic { mantissa: self.mantissa, exponent: self.exponent + k }
+            Dyadic {
+                mantissa: self.mantissa,
+                exponent: self.exponent + k,
+            }
         }
     }
 
@@ -162,7 +186,11 @@ impl Add for Dyadic {
         // Align to the smaller exponent; at most ~128 bits of shift are
         // meaningful for the workloads (denominators bounded by circuit
         // width), anything larger would overflow and panics in debug.
-        let (lo, hi) = if self.exponent <= rhs.exponent { (self, rhs) } else { (rhs, self) };
+        let (lo, hi) = if self.exponent <= rhs.exponent {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
         let shift = (hi.exponent - lo.exponent) as u32;
         let hi_m = hi
             .mantissa
@@ -204,7 +232,10 @@ impl Mul for Dyadic {
             .checked_mul(rhs.mantissa)
             .expect("dyadic multiplication overflow");
         // Product of two odd mantissas is odd: already normalized.
-        Dyadic { mantissa: m, exponent: self.exponent + rhs.exponent }
+        Dyadic {
+            mantissa: m,
+            exponent: self.exponent + rhs.exponent,
+        }
     }
 }
 
@@ -218,7 +249,10 @@ impl Neg for Dyadic {
     type Output = Dyadic;
 
     fn neg(self) -> Dyadic {
-        Dyadic { mantissa: -self.mantissa, exponent: self.exponent }
+        Dyadic {
+            mantissa: -self.mantissa,
+            exponent: self.exponent,
+        }
     }
 }
 

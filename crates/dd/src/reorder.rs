@@ -133,7 +133,13 @@ pub fn sift(src: &BddManager, roots: &[Bdd]) -> SiftResult {
             }
         }
     }
-    SiftResult { manager: best_mgr, roots: best_roots, order, before, after: best_size }
+    SiftResult {
+        manager: best_mgr,
+        roots: best_roots,
+        order,
+        before,
+        after: best_size,
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +239,9 @@ mod tests {
         let both = total_size(&src, &[f, g, f]);
         let fs = total_size(&src, &[f]);
         let gs = total_size(&src, &[g]);
-        assert!(both < fs + gs, "sharing must be visible: {both} vs {fs}+{gs}");
+        assert!(
+            both < fs + gs,
+            "sharing must be visible: {both} vs {fs}+{gs}"
+        );
     }
 }

@@ -178,7 +178,10 @@ pub fn walsh_sparse(
 ///
 /// Panics if `bits.len()` is not a power of two.
 pub fn dense_walsh(bits: &[bool]) -> Vec<Dyadic> {
-    assert!(bits.len().is_power_of_two(), "truth table length must be 2^n");
+    assert!(
+        bits.len().is_power_of_two(),
+        "truth table length must be 2^n"
+    );
     let mut v: Vec<i64> = bits.iter().map(|&b| if b { -1 } else { 1 }).collect();
     let n = v.len();
     let mut h = 1;
@@ -193,7 +196,9 @@ pub fn dense_walsh(bits: &[bool]) -> Vec<Dyadic> {
         h *= 2;
     }
     let log = n.trailing_zeros() as i32;
-    v.into_iter().map(|c| Dyadic::new(c as i128, -log)).collect()
+    v.into_iter()
+        .map(|c| Dyadic::new(c as i128, -log))
+        .collect()
 }
 
 #[cfg(test)]
@@ -280,7 +285,10 @@ mod tests {
         let s = walsh_sparse(&b, f, &mut cache);
         for (&alpha, c) in s.iter() {
             assert!(!c.is_zero());
-            assert!(alpha >> 2 & 1 == 1, "entry at α={alpha:b} without the mask bit");
+            assert!(
+                alpha >> 2 & 1 == 1,
+                "entry at α={alpha:b} without the mask bit"
+            );
         }
     }
 

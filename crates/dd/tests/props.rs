@@ -25,9 +25,15 @@ struct Frac {
 impl Frac {
     fn of(d: Dyadic) -> Frac {
         if d.exponent() >= 0 {
-            Frac { num: d.mantissa() << d.exponent(), denpow: 0 }
+            Frac {
+                num: d.mantissa() << d.exponent(),
+                denpow: 0,
+            }
         } else {
-            Frac { num: d.mantissa(), denpow: (-d.exponent()) as u32 }
+            Frac {
+                num: d.mantissa(),
+                denpow: (-d.exponent()) as u32,
+            }
         }
     }
 
@@ -111,8 +117,11 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(a, b, c)| Expr::Ite(Box::new(a), Box::new(b), Box::new(c))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| Expr::Ite(
+                Box::new(a),
+                Box::new(b),
+                Box::new(c)
+            )),
         ]
     })
 }

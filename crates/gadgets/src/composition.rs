@@ -83,7 +83,8 @@ pub fn composition_fig1() -> Netlist {
     let a = [a[0], a[1], a[2]];
     let of = refresh_tail(&mut b, a, [rf[0], rf[1]]);
     isw2_tail(&mut b, of, a);
-    b.build().expect("composition netlist is structurally valid")
+    b.build()
+        .expect("composition netlist is structurally valid")
 }
 
 /// The same composition with the inner refresh upgraded to an ISW (SNI)
@@ -102,7 +103,8 @@ pub fn composition_fixed() -> Netlist {
         }
     }
     isw2_tail(&mut b, of, a);
-    b.build().expect("composition netlist is structurally valid")
+    b.build()
+        .expect("composition netlist is structurally valid")
 }
 
 /// `isw₂(refresh_fig1(a), b)` with an *independent* second operand: 2-NI —
@@ -117,7 +119,8 @@ pub fn composition_independent() -> Netlist {
     let a = [a[0], a[1], a[2]];
     let of = refresh_tail(&mut b, a, [rf[0], rf[1]]);
     isw2_tail(&mut b, of, [bs[0], bs[1], bs[2]]);
-    b.build().expect("composition netlist is structurally valid")
+    b.build()
+        .expect("composition netlist is structurally valid")
 }
 
 #[cfg(test)]

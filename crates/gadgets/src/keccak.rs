@@ -43,7 +43,7 @@ pub fn keccak_chi(order: u32) -> Netlist {
     for i in 0..5usize {
         let u = &notx[(i + 1) % 5]; // ¬x_{i+1}
         let v = &x[(i + 2) % 5]; // x_{i+2}
-        // DOM-indep multiplier between sharings u and v.
+                                 // DOM-indep multiplier between sharings u and v.
         let mut z = vec![vec![None; n]; n];
         for p in 0..n {
             for q in (p + 1)..n {

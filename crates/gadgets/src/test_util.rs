@@ -52,7 +52,9 @@ pub fn check_gadget_function_multi(netlist: &Netlist, expected: &dyn Fn(&[bool],
             }
         }
         for (oidx, shares) in outputs.iter().enumerate() {
-            let got = shares.iter().fold(false, |acc, w| acc ^ values[w.0 as usize]);
+            let got = shares
+                .iter()
+                .fold(false, |acc, w| acc ^ values[w.0 as usize]);
             assert_eq!(
                 got,
                 expected(&secrets, oidx),

@@ -76,7 +76,10 @@ impl std::error::Error for TiShareError {}
 pub fn ti_share(spec: &QuadraticSpec) -> Result<Netlist, TiShareError> {
     for (oidx, anf) in spec.outputs.iter().enumerate() {
         if anf.degree() > 2 {
-            return Err(TiShareError::DegreeTooHigh { output: oidx, degree: anf.degree() });
+            return Err(TiShareError::DegreeTooHigh {
+                output: oidx,
+                degree: anf.degree(),
+            });
         }
         if anf.support().iter().any(|v| v.index() >= spec.num_inputs) {
             return Err(TiShareError::UnknownVariable { output: oidx });
@@ -100,7 +103,9 @@ pub fn ti_share(spec: &QuadraticSpec) -> Result<Netlist, TiShareError> {
             let mut terms: Vec<WireId> = Vec::new();
             let mut complement = false;
             for &mono in &monomials {
-                let vars: Vec<usize> = (0..spec.num_inputs).filter(|i| mono >> i & 1 == 1).collect();
+                let vars: Vec<usize> = (0..spec.num_inputs)
+                    .filter(|i| mono >> i & 1 == 1)
+                    .collect();
                 match vars.as_slice() {
                     [] => {
                         // Constant term: complement share 0 once.
@@ -121,9 +126,7 @@ pub fn ti_share(spec: &QuadraticSpec) -> Result<Netlist, TiShareError> {
                 }
             }
             let mut acc = match terms.split_first() {
-                Some((&first, rest)) => {
-                    rest.iter().fold(first, |acc, &w| b.xor(acc, w))
-                }
+                Some((&first, rest)) => rest.iter().fold(first, |acc, &w| b.xor(acc, w)),
                 None => {
                     // Constant-zero share: any wire xored with itself.
                     let w = x[0][j];
@@ -136,7 +139,8 @@ pub fn ti_share(spec: &QuadraticSpec) -> Result<Netlist, TiShareError> {
             b.output_share(acc, o, s as u32);
         }
     }
-    Ok(b.build().expect("generated TI netlist is structurally valid"))
+    Ok(b.build()
+        .expect("generated TI netlist is structurally valid"))
 }
 
 /// Derives a [`QuadraticSpec`] from BDD outputs and shares it.
@@ -169,7 +173,11 @@ pub fn chi3_spec() -> QuadraticSpec {
             Anf::from_monomials([a, c, b | c])
         })
         .collect();
-    QuadraticSpec { name: "chi3-spec".into(), num_inputs: 3, outputs }
+    QuadraticSpec {
+        name: "chi3-spec".into(),
+        num_inputs: 3,
+        outputs,
+    }
 }
 
 /// The Toffoli gate `(x0, x1, x2 ⊕ x0·x1)` as a [`QuadraticSpec`].
@@ -219,7 +227,10 @@ mod tests {
             let inputs: Vec<bool> = (0..3).map(|i| a >> i & 1 == 1).collect();
             let out = spec_eval(&spec, &inputs);
             for i in 0..3 {
-                assert_eq!(out[i], inputs[i] ^ (!inputs[(i + 1) % 3] & inputs[(i + 2) % 3]));
+                assert_eq!(
+                    out[i],
+                    inputs[i] ^ (!inputs[(i + 1) % 3] & inputs[(i + 2) % 3])
+                );
             }
         }
     }
@@ -243,14 +254,20 @@ mod tests {
         };
         assert!(matches!(
             ti_share(&spec),
-            Err(TiShareError::DegreeTooHigh { output: 0, degree: 3 })
+            Err(TiShareError::DegreeTooHigh {
+                output: 0,
+                degree: 3
+            })
         ));
         let bad_var = QuadraticSpec {
             name: "oob".into(),
             num_inputs: 2,
             outputs: vec![Anf::from_monomials([0b100u128])],
         };
-        assert!(matches!(ti_share(&bad_var), Err(TiShareError::UnknownVariable { output: 0 })));
+        assert!(matches!(
+            ti_share(&bad_var),
+            Err(TiShareError::UnknownVariable { output: 0 })
+        ));
     }
 
     #[test]

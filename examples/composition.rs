@@ -17,7 +17,11 @@ use walshcheck_gadgets::composition::{composition_fig1, composition_fixed};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let h = composition_fig1();
-    println!("h = isw2(refresh(a), a): {} wires, {} cells", h.num_wires(), h.num_cells());
+    println!(
+        "h = isw2(refresh(a), a): {} wires, {} cells",
+        h.num_wires(),
+        h.num_cells()
+    );
 
     // --- Fig. 2 flavour: the correlation-matrix rows of the probe pair ---
     let unfolded = walshcheck::circuit::unfold(&h)?;
@@ -54,14 +58,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         });
         cells.sort();
-        println!("  row {label:8}: {}", if cells.is_empty() { "all zero".into() } else { cells.join(", ") });
+        println!(
+            "  row {label:8}: {}",
+            if cells.is_empty() {
+                "all zero".into()
+            } else {
+                cells.join(", ")
+            }
+        );
     }
 
     // --- The exact verifier finds the witness ---
-    let verdict = check_netlist(&h, Property::Ni(2), &VerifyOptions::default())?;
+    let verdict = Session::new(&h)?.property(Property::Ni(2)).run();
     println!("\n{verdict}");
     let w = verdict.witness.expect("the composition is not 2-NI");
-    let probes: Vec<&str> = w.combination.iter().map(|p| h.wire_name(p.wire())).collect();
+    let probes: Vec<&str> = w
+        .combination
+        .iter()
+        .map(|p| h.wire_name(p.wire()))
+        .collect();
     println!("  two probed values: {probes:?}");
     println!("  {}", w.reason);
 
@@ -89,13 +104,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cells.sort();
         println!(
             "  row {label:8}: {}",
-            if cells.is_empty() { "all zero".into() } else { cells.join(", ") }
+            if cells.is_empty() {
+                "all zero".into()
+            } else {
+                cells.join(", ")
+            }
         );
     }
 
     // --- The repaired composition is 2-NI ---
     let fixed = composition_fixed();
-    let verdict = check_netlist(&fixed, Property::Ni(2), &VerifyOptions::default())?;
+    let verdict = Session::new(&fixed)?.property(Property::Ni(2)).run();
     println!("\nwith an SNI refresh instead — {verdict}");
     Ok(())
 }

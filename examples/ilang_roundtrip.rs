@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None => {
             let gadget = Benchmark::Trichina1.netlist();
             let text = write_ilang(&gadget);
-            println!("--- generated ILANG ({} bytes) ---\n{text}--- end ---\n", text.len());
+            println!(
+                "--- generated ILANG ({} bytes) ---\n{text}--- end ---\n",
+                text.len()
+            );
             parse_ilang(&text)?
         }
     };
@@ -41,10 +44,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let d = shares.saturating_sub(1).max(1);
     for (label, options) in [
         ("standard", VerifyOptions::default()),
-        ("glitch-extended", VerifyOptions::default().with_probe_model(ProbeModel::Glitch)),
+        (
+            "glitch-extended",
+            VerifyOptions::default().with_probe_model(ProbeModel::Glitch),
+        ),
     ] {
+        let mut session = Session::new(&netlist)?.options(options);
         for property in [Property::Probing(d), Property::Ni(d), Property::Sni(d)] {
-            let verdict = check_netlist(&netlist, property, &options)?;
+            session = session.property(property);
+            let verdict = session.run();
             println!("  [{label}] {verdict}");
         }
     }

@@ -29,8 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for d in 1..=max_order {
         let netlist = keccak_chi(d);
-        let options = VerifyOptions { engine, ..VerifyOptions::default() };
-        let verdict = check_netlist(&netlist, Property::Sni(d), &options)?;
+        let mut session = Session::new(&netlist)?
+            .engine(engine)
+            .property(Property::Sni(d));
+        let verdict = session.run();
         println!(
             "{:<10} {:>7} {:>8} {:>10} {:>12.4?} {:>12.4?} {:>12.4?} {:>8}",
             format!("keccak-{d}"),
@@ -43,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             verdict.secure
         );
         // The χ gadget must also remain d-probing secure.
-        let verdict = check_netlist(&netlist, Property::Probing(d), &options)?;
+        let verdict = session.property(Property::Probing(d)).run();
         assert!(verdict.secure, "keccak-{d} must be {d}-probing secure");
     }
     println!("\n(each gadget also re-checked d-probing secure)");

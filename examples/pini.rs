@@ -15,17 +15,23 @@ use walshcheck_gadgets::hpc::{hpc1_and, hpc2_and};
 use walshcheck_gadgets::isw::isw_and;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{:<12} {:>10} {:>10} {:>16}", "gadget", "1-SNI", "1-PINI", "1-PINI (glitch)");
-    let glitch = VerifyOptions::default().with_probe_model(ProbeModel::Glitch);
+    println!(
+        "{:<12} {:>10} {:>10} {:>16}",
+        "gadget", "1-SNI", "1-PINI", "1-PINI (glitch)"
+    );
     for (name, netlist) in [
         ("isw-1", isw_and(1)),
         ("dom-1", Benchmark::Dom(1).netlist()),
         ("hpc1-1", hpc1_and(1)),
         ("hpc2-1", hpc2_and(1)),
     ] {
-        let sni = check_netlist(&netlist, Property::Sni(1), &VerifyOptions::default())?;
-        let pini = check_netlist(&netlist, Property::Pini(1), &VerifyOptions::default())?;
-        let pini_glitch = check_netlist(&netlist, Property::Pini(1), &glitch)?;
+        // One Session per gadget: the unfolding is shared by all three runs.
+        let mut session = Session::new(&netlist)?.property(Property::Sni(1));
+        let sni = session.run();
+        session = session.property(Property::Pini(1));
+        let pini = session.run();
+        session = session.probe_model(ProbeModel::Glitch);
+        let pini_glitch = session.run();
         println!(
             "{name:<12} {:>10} {:>10} {:>16}",
             sni.secure, pini.secure, pini_glitch.secure
@@ -39,11 +45,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let h = chain(
         &hpc2_and(1),
         &hpc2_and(1),
-        &[Binding { inner_output: OutputId(0), outer_secret: SecretId(0) }],
+        &[Binding {
+            inner_output: OutputId(0),
+            outer_secret: SecretId(0),
+        }],
     )?;
-    let v = check_netlist(&h, Property::Probing(1), &VerifyOptions::default())?;
+    let mut session = Session::new(&h)?.property(Property::Probing(1));
+    let v = session.run();
     println!("\nhpc2 ∘ hpc2 (no refresh): {v}");
-    let v = check_netlist(&h, Property::Pini(1), &VerifyOptions::default())?;
+    let v = session.property(Property::Pini(1)).run();
     println!("hpc2 ∘ hpc2 (no refresh): {v}");
     Ok(())
 }

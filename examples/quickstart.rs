@@ -23,8 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dom1.randoms().len()
     );
 
-    // 2. Check 1-SNI with the default engine (MAPI, joint mode).
-    let verdict = check_netlist(&dom1, Property::Sni(1), &VerifyOptions::default())?;
+    // 2. Check 1-SNI with the default engine (MAPI, joint mode). The
+    //    Session owns the prepared verifier, so repeated runs on the same
+    //    netlist reuse the symbolic unfolding.
+    let mut session = Session::new(&dom1)?.property(Property::Sni(1));
+    let verdict = session.run();
     println!("\n{verdict}");
     println!(
         "  {} combinations, {} convolutions, {:?} total ({:?} convolution, {:?} verification)",
@@ -36,30 +39,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. A first-order gadget cannot resist two probes.
-    let verdict = check_netlist(&dom1, Property::Probing(2), &VerifyOptions::default())?;
+    let mut session = session.property(Property::Probing(2));
+    let verdict = session.run();
     println!("\n{verdict}");
     if let Some(w) = &verdict.witness {
-        let probes: Vec<&str> =
-            w.combination.iter().map(|p| dom1.wire_name(p.wire())).collect();
+        let probes: Vec<&str> = w
+            .combination
+            .iter()
+            .map(|p| dom1.wire_name(p.wire()))
+            .collect();
         println!("  probed wires: {probes:?}");
     }
 
     // 4. Sabotaged masking is caught with an explanation.
     let broken = isw_and_broken(2);
-    let verdict = check_netlist(&broken, Property::Sni(2), &VerifyOptions::default())?;
+    let verdict = Session::new(&broken)?.property(Property::Sni(2)).run();
     println!("\nbroken ISW-2 — {verdict}");
     if let Some(w) = &verdict.witness {
-        let probes: Vec<&str> =
-            w.combination.iter().map(|p| broken.wire_name(p.wire())).collect();
+        let probes: Vec<&str> = w
+            .combination
+            .iter()
+            .map(|p| broken.wire_name(p.wire()))
+            .collect();
         println!("  probed wires: {probes:?}");
     }
 
     // 5. Engines are interchangeable; compare their timings.
     println!("\nengine comparison on dom-1 (1-SNI):");
-    for engine in [EngineKind::Lil, EngineKind::Map, EngineKind::Mapi, EngineKind::Fujita] {
-        let opts = VerifyOptions { engine, ..VerifyOptions::default() };
-        let v = check_netlist(&dom1, Property::Sni(1), &opts)?;
-        println!("  {engine:7}: secure={} in {:?}", v.secure, v.stats.total_time);
+    for engine in [
+        EngineKind::Lil,
+        EngineKind::Map,
+        EngineKind::Mapi,
+        EngineKind::Fujita,
+    ] {
+        let v = Session::new(&dom1)?
+            .property(Property::Sni(1))
+            .engine(engine)
+            .run();
+        println!(
+            "  {engine:7}: secure={} in {:?}",
+            v.secure, v.stats.total_time
+        );
     }
     Ok(())
 }

@@ -14,7 +14,7 @@ use walshcheck::prelude::*;
 use walshcheck_dd::anf::anf_from_bdd;
 use walshcheck_dd::bdd::BddManager;
 use walshcheck_dd::VarId;
-use walshcheck_gadgets::ti_general::{ti_share_bdd, toffoli_spec, ti_share};
+use walshcheck_gadgets::ti_general::{ti_share, ti_share_bdd, toffoli_spec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A custom 3-bit quadratic S-box, described functionally.
@@ -47,9 +47,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The TI theorem, mechanically verified.
     for (label, options) in [
         ("standard", VerifyOptions::default()),
-        ("glitch-extended", VerifyOptions::default().with_probe_model(ProbeModel::Glitch)),
+        (
+            "glitch-extended",
+            VerifyOptions::default().with_probe_model(ProbeModel::Glitch),
+        ),
     ] {
-        let v = check_netlist(&netlist, Property::Probing(1), &options)?;
+        let v = Session::new(&netlist)?
+            .options(options)
+            .property(Property::Probing(1))
+            .run();
         println!("  [{label}] {v}");
         assert!(v.secure);
     }
@@ -63,7 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Library specs work too (Toffoli gate).
     let toffoli = ti_share(&toffoli_spec())?;
-    let v = check_netlist(&toffoli, Property::Probing(1), &VerifyOptions::default())?;
+    let v = Session::new(&toffoli)?.property(Property::Probing(1)).run();
     println!("Toffoli TI — {v}");
     Ok(())
 }

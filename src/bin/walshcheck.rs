@@ -13,15 +13,21 @@
 //!   --engine lil|map|mapi|fujita     (default: mapi)
 //!   --mode rowwise|joint             (default: joint)
 //!   --glitch                         glitch-extended (robust) probing model
-//!   --threads N                      parallel verification
+//!   --threads N                      parallel verification (work-stealing)
 //!   --time-limit SECS                abort with a partial verdict
 //!   --no-prefilter                   disable the functional-support prefilter
+//!   --minimize                       shrink the witness to a minimal one
+//!   --progress                       live progress ticker on stderr
+//!   --json                           machine-readable run report on stdout
 //! ```
 
 use std::process::ExitCode;
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use walshcheck::prelude::*;
-use walshcheck_core::engine::check_parallel;
+use walshcheck_core::run_report_json;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -51,6 +57,8 @@ struct Cli {
     time_limit: Option<std::time::Duration>,
     prefilter: bool,
     minimize: bool,
+    progress: bool,
+    json: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Cli, String> {
@@ -64,17 +72,24 @@ fn parse_options(args: &[String]) -> Result<Cli, String> {
         time_limit: None,
         prefilter: true,
         minimize: false,
+        progress: false,
+        json: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
-            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
             "--property" => cli.property = value("--property")?.to_lowercase(),
             "--order" => {
-                cli.order =
-                    Some(value("--order")?.parse().map_err(|_| "bad --order".to_string())?)
+                cli.order = Some(
+                    value("--order")?
+                        .parse()
+                        .map_err(|_| "bad --order".to_string())?,
+                )
             }
             "--engine" => {
                 cli.engine = match value("--engine")?.to_lowercase().as_str() {
@@ -94,29 +109,97 @@ fn parse_options(args: &[String]) -> Result<Cli, String> {
             }
             "--glitch" => cli.glitch = true,
             "--threads" => {
-                cli.threads =
-                    value("--threads")?.parse().map_err(|_| "bad --threads".to_string())?
+                cli.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "bad --threads".to_string())?
             }
             "--time-limit" => {
-                let secs: u64 =
-                    value("--time-limit")?.parse().map_err(|_| "bad --time-limit".to_string())?;
+                let secs: u64 = value("--time-limit")?
+                    .parse()
+                    .map_err(|_| "bad --time-limit".to_string())?;
                 cli.time_limit = Some(std::time::Duration::from_secs(secs));
             }
             "--no-prefilter" => cli.prefilter = false,
             "--minimize" => cli.minimize = true,
+            "--progress" => cli.progress = true,
+            "--json" => cli.json = true,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
     Ok(cli)
 }
 
+/// Drains the observer channel; with `ticker`, renders a live progress line
+/// on stderr. Returns the collected engine-phase timings for the JSON
+/// report.
+fn aggregate_events(rx: Receiver<ProgressEvent>, ticker: bool) -> Vec<(String, Duration)> {
+    let mut phases = Vec::new();
+    let mut total: u64 = 0;
+    let mut checked: u64 = 0;
+    let mut pruned: u64 = 0;
+    let mut violations: u64 = 0;
+    let mut last_tick = Instant::now();
+    let mut ticked = false;
+    for event in rx {
+        match event {
+            ProgressEvent::RunStarted {
+                sites, total: t, ..
+            } => {
+                total = t;
+                if ticker {
+                    eprintln!("progress: {sites} sites, {t} combinations to check");
+                }
+            }
+            ProgressEvent::BatchFinished {
+                checked: c,
+                pruned: p,
+                ..
+            } => {
+                checked += c;
+                pruned += p;
+                if ticker && last_tick.elapsed() >= Duration::from_millis(100) {
+                    eprint!("\rprogress: {checked}/{total} combinations, {pruned} pruned, {violations} violation(s)");
+                    ticked = true;
+                    last_tick = Instant::now();
+                }
+            }
+            ProgressEvent::ViolationFound { index, .. } => {
+                violations += 1;
+                if ticker {
+                    if ticked {
+                        eprintln!();
+                        ticked = false;
+                    }
+                    eprintln!("progress: violation at enumeration index {index}");
+                }
+            }
+            ProgressEvent::PhaseTiming { phase, elapsed } => {
+                phases.push((phase.to_string(), elapsed));
+            }
+            ProgressEvent::RunFinished { stats } if ticker => {
+                if ticked {
+                    eprintln!();
+                    ticked = false;
+                }
+                eprintln!(
+                    "progress: done — {} combinations ({} pruned) in {:.3?}",
+                    stats.combinations, stats.pruned, stats.total_time
+                );
+            }
+            _ => {}
+        }
+    }
+    if ticked {
+        eprintln!();
+    }
+    phases
+}
+
 fn run_check(target: &str, args: &[String]) -> Result<ExitCode, String> {
     let netlist = load(target)?;
     let cli = parse_options(args)?;
     let d = cli.order.unwrap_or_else(|| {
-        let shares = netlist
-            .shares_of(walshcheck::circuit::SecretId(0))
-            .len() as u32;
+        let shares = netlist.shares_of(walshcheck::circuit::SecretId(0)).len() as u32;
         shares.saturating_sub(1).max(1)
     });
     let property = match cli.property.as_str() {
@@ -126,46 +209,99 @@ fn run_check(target: &str, args: &[String]) -> Result<ExitCode, String> {
         "pini" => Property::Pini(d),
         other => return Err(format!("unknown property `{other}`")),
     };
-    let mut options = VerifyOptions {
-        engine: cli.engine,
-        mode: cli.mode,
-        prefilter: cli.prefilter,
-        time_limit: cli.time_limit,
-        ..VerifyOptions::default()
-    };
-    if cli.glitch {
-        options = options.with_probe_model(ProbeModel::Glitch);
+    let mut builder = VerifyOptions::builder()
+        .engine(cli.engine)
+        .mode(cli.mode)
+        .prefilter(cli.prefilter);
+    if let Some(limit) = cli.time_limit {
+        builder = builder.time_limit(limit);
     }
-    let mut verdict =
-        check_parallel(&netlist, property, &options, cli.threads).map_err(|e| e.to_string())?;
+    if cli.glitch {
+        builder = builder.probe_model(ProbeModel::Glitch);
+    }
+    let options = builder.build();
+
+    let mut session = Session::new(&netlist)
+        .map_err(|e| e.to_string())?
+        .property(property)
+        .options(options.clone())
+        .threads(cli.threads);
+    // The observer feeds both the --progress ticker and the phase timings
+    // of the --json report.
+    let aggregator = if cli.progress || cli.json {
+        let (observer, rx) = ChannelObserver::new();
+        session = session.observer(Arc::new(observer));
+        let ticker = cli.progress;
+        Some(std::thread::spawn(move || aggregate_events(rx, ticker)))
+    } else {
+        None
+    };
+
+    let mut verdict = session.run();
     if cli.minimize {
         if let Some(w) = verdict.witness.take() {
-            let mut verifier =
-                walshcheck_core::engine::Verifier::new(&netlist).map_err(|e| e.to_string())?;
-            verdict.witness = Some(verifier.minimize_witness(&w, property, &options));
+            verdict.witness = Some(
+                session
+                    .verifier_mut()
+                    .minimize_witness(&w, property, &options),
+            );
         }
     }
-    println!("{}: {verdict}", netlist.name);
-    if let Some(w) = &verdict.witness {
-        let probes: Vec<&str> =
-            w.combination.iter().map(|p| netlist.wire_name(p.wire())).collect();
-        println!("  witness probes: {probes:?}");
-        println!("  {}", w.reason);
-        if let Some(c) = w.coefficient {
-            println!("  leaking correlation coefficient: {c}");
+    // Dropping the session drops the channel sender, letting the
+    // aggregator thread drain out and finish.
+    drop(session);
+    let phases = match aggregator {
+        Some(handle) => handle.join().expect("progress aggregator panicked"),
+        None => Vec::new(),
+    };
+
+    if cli.json {
+        let mode = match options.mode {
+            CheckMode::RowWise => "rowwise",
+            CheckMode::Joint => "joint",
+        };
+        println!(
+            "{}",
+            run_report_json(
+                &netlist,
+                &verdict,
+                // The lowercase flag spelling, not the Display form.
+                &options.engine.to_string().to_ascii_lowercase(),
+                mode,
+                cli.threads.max(1),
+                &phases,
+            )
+        );
+    } else {
+        println!("{}: {verdict}", netlist.name);
+        if let Some(w) = &verdict.witness {
+            let probes: Vec<&str> = w
+                .combination
+                .iter()
+                .map(|p| netlist.wire_name(p.wire()))
+                .collect();
+            println!("  witness probes: {probes:?}");
+            println!("  {}", w.reason);
+            if let Some(c) = w.coefficient {
+                println!("  leaking correlation coefficient: {c}");
+            }
         }
+        println!(
+            "  {} combinations ({} pruned), {} rows, {:.3?} total \
+             ({:.3?} convolution, {:.3?} verification){}",
+            verdict.stats.combinations,
+            verdict.stats.pruned,
+            verdict.stats.rows_checked,
+            verdict.stats.total_time,
+            verdict.stats.convolution_time,
+            verdict.stats.verification_time,
+            if verdict.stats.timed_out {
+                " — TIMED OUT, partial result"
+            } else {
+                ""
+            }
+        );
     }
-    println!(
-        "  {} combinations ({} pruned), {} rows, {:.3?} total \
-         ({:.3?} convolution, {:.3?} verification){}",
-        verdict.stats.combinations,
-        verdict.stats.pruned,
-        verdict.stats.rows_checked,
-        verdict.stats.total_time,
-        verdict.stats.convolution_time,
-        verdict.stats.verification_time,
-        if verdict.stats.timed_out { " — TIMED OUT, partial result" } else { "" }
-    );
     Ok(if verdict.secure && !verdict.stats.timed_out {
         ExitCode::SUCCESS
     } else {
@@ -191,27 +327,38 @@ fn run_profile(target: &str, args: &[String]) -> Result<ExitCode, String> {
         }
     }
     if max_order == 0 {
-        let shares = netlist
-            .shares_of(walshcheck::circuit::SecretId(0))
-            .len() as u32;
+        let shares = netlist.shares_of(walshcheck::circuit::SecretId(0)).len() as u32;
         max_order = shares.saturating_sub(1).max(1);
     }
-    let mut options = VerifyOptions::default();
+    let mut builder = VerifyOptions::builder();
     if glitch {
-        options = options.with_probe_model(ProbeModel::Glitch);
+        builder = builder.probe_model(ProbeModel::Glitch);
     }
+    let options = builder.build();
+    // One session across the whole sweep: the unfolding is reused by every
+    // (order, property) cell.
+    let mut session = Session::new(&netlist)
+        .map_err(|e| e.to_string())?
+        .options(options);
     println!(
         "security profile of {}{}:",
         netlist.name,
         if glitch { " (glitch-extended)" } else { "" }
     );
-    println!("{:>6} {:>9} {:>7} {:>7} {:>7}", "order", "probing", "NI", "SNI", "PINI");
+    println!(
+        "{:>6} {:>9} {:>7} {:>7} {:>7}",
+        "order", "probing", "NI", "SNI", "PINI"
+    );
     for d in 1..=max_order {
         let mut row = Vec::new();
-        for property in
-            [Property::Probing(d), Property::Ni(d), Property::Sni(d), Property::Pini(d)]
-        {
-            let v = check_netlist(&netlist, property, &options).map_err(|e| e.to_string())?;
+        for property in [
+            Property::Probing(d),
+            Property::Ni(d),
+            Property::Sni(d),
+            Property::Pini(d),
+        ] {
+            session = session.property(property);
+            let v = session.run();
             row.push(if v.secure { "yes" } else { "NO" });
         }
         println!(
@@ -279,7 +426,8 @@ fn main() -> ExitCode {
                  \x20 list                                   list built-in benchmarks\n\n\
                  options: --property probing|ni|sni|pini  --order D\n\
                  \x20        --engine lil|map|mapi|fujita    --mode rowwise|joint\n\
-                 \x20        --glitch  --threads N  --time-limit SECS  --no-prefilter"
+                 \x20        --glitch  --threads N  --time-limit SECS  --no-prefilter\n\
+                 \x20        --minimize  --progress  --json"
             );
             Ok(ExitCode::SUCCESS)
         }

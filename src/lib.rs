@@ -22,11 +22,15 @@
 //!
 //! # fn main() -> Result<(), walshcheck::circuit::netlist::NetlistError> {
 //! let dom1 = Benchmark::Dom(1).netlist();
-//! let verdict = check_netlist(&dom1, Property::Sni(1), &VerifyOptions::default())?;
+//! let verdict = Session::new(&dom1)?.property(Property::Sni(1)).run();
 //! assert!(verdict.secure);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! [`Session`](core::Session) is the front door: it owns the prepared
+//! verifier, exposes the builder-style run configuration (engine, mode,
+//! threads, observer), and drives the work-stealing parallel scheduler.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,7 +46,13 @@ pub mod prelude {
     pub use walshcheck_circuit::glitch::ProbeModel;
     pub use walshcheck_circuit::ilang::{parse_ilang, write_ilang};
     pub use walshcheck_circuit::netlist::Netlist;
-    pub use walshcheck_core::engine::{check_netlist, EngineKind, Verifier, VerifyOptions};
-    pub use walshcheck_core::property::{CheckMode, Property, Verdict};
+    #[allow(deprecated)]
+    pub use walshcheck_core::engine::check_netlist;
+    pub use walshcheck_core::engine::{EngineKind, Verifier, VerifyOptions, VerifyOptionsBuilder};
+    pub use walshcheck_core::observe::{
+        ChannelObserver, EnginePhase, ProgressEvent, ProgressObserver,
+    };
+    pub use walshcheck_core::property::{CheckMode, CheckStats, Property, Verdict, Witness};
+    pub use walshcheck_core::session::Session;
     pub use walshcheck_gadgets::suite::Benchmark;
 }

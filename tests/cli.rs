@@ -101,13 +101,82 @@ fn errors_are_reported_cleanly() {
 }
 
 #[test]
+fn json_report_for_secure_gadget() {
+    let (stdout, _, code) = walshcheck(&["check", "bench:dom-1", "--property", "sni", "--json"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    for fragment in [
+        "\"schema\":\"walshcheck-report/1\"",
+        "\"netlist\":\"dom-1\"",
+        "\"secure\":true",
+        "\"witness\":null",
+        "\"combinations\":",
+        "\"phases\":{",
+        "\"enumerate\":",
+    ] {
+        assert!(
+            stdout.contains(fragment),
+            "missing {fragment} in:\n{stdout}"
+        );
+    }
+    // Machine-readable output must be the only thing on stdout.
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    assert!(stdout.trim_end().ends_with('}'), "{stdout}");
+}
+
+#[test]
+fn json_report_for_insecure_gadget_carries_the_witness() {
+    let (stdout, _, code) = walshcheck(&["check", "bench:ti-1", "--property", "sni", "--json"]);
+    assert_eq!(code, Some(1), "{stdout}");
+    for fragment in [
+        "\"secure\":false",
+        "\"witness\":{",
+        "\"probes\":",
+        "\"reason\":",
+    ] {
+        assert!(
+            stdout.contains(fragment),
+            "missing {fragment} in:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn json_report_respects_threads_and_engine() {
+    let (stdout, _, code) = walshcheck(&[
+        "check",
+        "bench:dom-1",
+        "--property",
+        "sni",
+        "--json",
+        "--threads",
+        "3",
+        "--engine",
+        "lil",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("\"threads\":3"), "{stdout}");
+    assert!(stdout.contains("\"engine\":\"lil\""), "{stdout}");
+}
+
+#[test]
+fn progress_flag_reports_on_stderr_only() {
+    let (stdout, stderr, code) =
+        walshcheck(&["check", "bench:dom-1", "--property", "sni", "--progress"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stderr.contains("progress:"), "{stderr}");
+    assert!(stderr.contains("combinations"), "{stderr}");
+    // The human verdict stays on stdout, uncontaminated by the ticker.
+    assert!(stdout.contains("secure"), "{stdout}");
+    assert!(!stdout.contains("progress:"), "{stdout}");
+}
+
+#[test]
 fn glitch_flag_changes_verdicts() {
     // Combinational ISW is 1-SNI in the standard model but not under
     // glitch-extended probes.
     let (stdout, _, code) = walshcheck(&["check", "bench:isw-1", "--property", "sni"]);
     assert_eq!(code, Some(0), "{stdout}");
-    let (stdout, _, code) =
-        walshcheck(&["check", "bench:isw-1", "--property", "sni", "--glitch"]);
+    let (stdout, _, code) = walshcheck(&["check", "bench:isw-1", "--property", "sni", "--glitch"]);
     assert_eq!(code, Some(1), "{stdout}");
     assert!(stdout.contains("VIOLATED"), "{stdout}");
 }

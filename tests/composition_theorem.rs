@@ -9,7 +9,7 @@ use walshcheck_gadgets::isw::isw_and;
 use walshcheck_gadgets::refresh::{refresh_isw, refresh_paper};
 
 fn check(n: &Netlist, p: Property) -> bool {
-    check_netlist(n, p, &VerifyOptions::default()).expect("valid").secure
+    Session::new(n).expect("valid").property(p).run().secure
 }
 
 #[test]
@@ -21,7 +21,10 @@ fn sni_refresh_into_sni_multiplier_is_sni() {
     let h = chain(
         &f,
         &g,
-        &[Binding { inner_output: OutputId(0), outer_secret: SecretId(0) }],
+        &[Binding {
+            inner_output: OutputId(0),
+            outer_secret: SecretId(0),
+        }],
     )
     .expect("composes");
     assert_eq!(h.num_secrets(), 2); // f's secret + g's unbound operand
@@ -38,7 +41,10 @@ fn ni_refresh_into_sni_multiplier_is_ni() {
     let h = chain(
         &f,
         &g,
-        &[Binding { inner_output: OutputId(0), outer_secret: SecretId(0) }],
+        &[Binding {
+            inner_output: OutputId(0),
+            outer_secret: SecretId(0),
+        }],
     )
     .expect("composes");
     assert!(check(&h, Property::Ni(2)), "SNI ∘ NI must be NI");
@@ -54,7 +60,10 @@ fn chained_composition_matches_the_handwritten_one() {
     let chained = chain(
         &f,
         &g,
-        &[Binding { inner_output: OutputId(0), outer_secret: SecretId(0) }],
+        &[Binding {
+            inner_output: OutputId(0),
+            outer_secret: SecretId(0),
+        }],
     )
     .expect("composes");
     let handwritten = composition_independent();
@@ -75,7 +84,10 @@ fn double_refresh_chain_is_sni() {
     let h = chain(
         &f,
         &g,
-        &[Binding { inner_output: OutputId(0), outer_secret: SecretId(0) }],
+        &[Binding {
+            inner_output: OutputId(0),
+            outer_secret: SecretId(0),
+        }],
     )
     .expect("composes");
     assert_eq!(h.num_secrets(), 1);
@@ -92,14 +104,14 @@ fn composed_netlists_round_trip_through_ilang() {
     let h = chain(
         &f,
         &g,
-        &[Binding { inner_output: OutputId(0), outer_secret: SecretId(0) }],
+        &[Binding {
+            inner_output: OutputId(0),
+            outer_secret: SecretId(0),
+        }],
     )
     .expect("composes");
     let text = write_ilang(&h);
     let back = parse_ilang(&text).expect("round trip");
     assert_eq!(back.num_secrets(), h.num_secrets());
-    assert_eq!(
-        check(&back, Property::Sni(1)),
-        check(&h, Property::Sni(1))
-    );
+    assert_eq!(check(&back, Property::Sni(1)), check(&h, Property::Sni(1)));
 }

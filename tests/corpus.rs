@@ -20,7 +20,8 @@ fn corpus_parses_and_validates() {
     for path in corpus_files() {
         let text = std::fs::read_to_string(&path).expect("readable");
         let n = parse_ilang(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-        n.validate().unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        n.validate()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         assert!(n.num_secrets() > 0, "{}", path.display());
     }
 }
@@ -44,8 +45,10 @@ fn corpus_gadgets_verify_at_their_order() {
         let shares = n.shares_of(walshcheck::circuit::SecretId(0)).len() as u32;
         let d = shares.saturating_sub(1).max(1);
         // Probing security at the design order holds for every shipped file.
-        let v = check_netlist(&n, Property::Probing(d), &VerifyOptions::default())
-            .expect("valid");
+        let v = Session::new(&n)
+            .expect("valid")
+            .property(Property::Probing(d))
+            .run();
         assert!(v.secure, "{}: {v}", path.display());
     }
 }

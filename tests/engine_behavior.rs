@@ -1,13 +1,17 @@
 //! Behavioural contracts of the verification engine: statistics coherence,
-//! shard disjointness, cache reuse, and option interplay.
+//! scheduler/stat merging, cache reuse, and option interplay.
 
 use walshcheck::prelude::*;
-use walshcheck_core::engine::{check_parallel, Verifier};
+use walshcheck_core::engine::Verifier;
+
+fn check(n: &Netlist, p: Property) -> Verdict {
+    Session::new(n).expect("valid").property(p).run()
+}
 
 #[test]
 fn stats_counters_are_coherent() {
     let n = Benchmark::Dom(2).netlist();
-    let v = check_netlist(&n, Property::Sni(2), &VerifyOptions::default()).expect("valid");
+    let v = check(&n, Property::Sni(2));
     assert!(v.secure);
     // Every non-pruned combination contributes at least one checked row.
     assert!(v.stats.rows_checked >= v.stats.combinations - v.stats.pruned);
@@ -20,18 +24,16 @@ fn stats_counters_are_coherent() {
 #[test]
 fn disabling_the_prefilter_only_adds_work() {
     let n = Benchmark::Dom(2).netlist();
-    let filtered = check_netlist(
-        &n,
-        Property::Sni(2),
-        &VerifyOptions { prefilter: true, ..VerifyOptions::default() },
-    )
-    .expect("valid");
-    let unfiltered = check_netlist(
-        &n,
-        Property::Sni(2),
-        &VerifyOptions { prefilter: false, ..VerifyOptions::default() },
-    )
-    .expect("valid");
+    let filtered = Session::new(&n)
+        .expect("valid")
+        .prefilter(true)
+        .property(Property::Sni(2))
+        .run();
+    let unfiltered = Session::new(&n)
+        .expect("valid")
+        .prefilter(false)
+        .property(Property::Sni(2))
+        .run();
     assert_eq!(filtered.secure, unfiltered.secure);
     assert_eq!(filtered.stats.combinations, unfiltered.stats.combinations);
     assert!(filtered.stats.pruned > 0, "prefilter must fire on dom-2");
@@ -40,35 +42,66 @@ fn disabling_the_prefilter_only_adds_work() {
 }
 
 #[test]
-fn shards_partition_the_combination_space() {
+fn worker_batches_partition_the_combination_space() {
     let n = Benchmark::Dom(2).netlist();
-    let serial = check_netlist(&n, Property::Sni(2), &VerifyOptions::default()).expect("valid");
+    let serial = check(&n, Property::Sni(2));
     // The merged parallel stats count every combination exactly once.
-    let par = check_parallel(&n, Property::Sni(2), &VerifyOptions::default(), 3).expect("valid");
+    let par = Session::new(&n)
+        .expect("valid")
+        .property(Property::Sni(2))
+        .threads(3)
+        .run();
     assert_eq!(par.stats.combinations, serial.stats.combinations);
     assert_eq!(par.secure, serial.secure);
+}
+
+#[test]
+fn modulo_shards_partition_the_combination_space() {
+    // The legacy statically-sharded implementation is kept as a bench
+    // baseline; it must still agree with the serial run.
+    let n = Benchmark::Dom(2).netlist();
+    let serial = check(&n, Property::Sni(2));
+    let par =
+        walshcheck_core::check_parallel_modulo(&n, Property::Sni(2), &VerifyOptions::default(), 3)
+            .expect("valid");
+    assert_eq!(par.stats.combinations, serial.stats.combinations);
+    assert_eq!(par.secure, serial.secure);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_entry_points_still_work() {
+    // The 0.1 API (`check_netlist` / `check_parallel`) is a thin wrapper
+    // over Session now; keep it alive until the shims are dropped.
+    use walshcheck_core::engine::check_parallel;
+    let n = Benchmark::Dom(1).netlist();
+    let serial = check_netlist(&n, Property::Sni(1), &VerifyOptions::default()).expect("valid");
+    let par = check_parallel(&n, Property::Sni(1), &VerifyOptions::default(), 2).expect("valid");
+    assert!(serial.secure && par.secure);
+    assert_eq!(serial.stats.combinations, par.stats.combinations);
 }
 
 #[test]
 fn smallest_first_finds_smaller_witnesses() {
     use walshcheck_gadgets::isw::isw_and_broken;
     let n = isw_and_broken(2);
-    let largest = check_netlist(
-        &n,
-        Property::Sni(2),
-        &VerifyOptions { largest_first: true, ..VerifyOptions::default() },
-    )
-    .expect("valid");
-    let smallest = check_netlist(
-        &n,
-        Property::Sni(2),
-        &VerifyOptions { largest_first: false, ..VerifyOptions::default() },
-    )
-    .expect("valid");
+    let largest = Session::new(&n)
+        .expect("valid")
+        .largest_first(true)
+        .property(Property::Sni(2))
+        .run();
+    let smallest = Session::new(&n)
+        .expect("valid")
+        .largest_first(false)
+        .property(Property::Sni(2))
+        .run();
     assert!(!largest.secure && !smallest.secure);
     let wl = largest.witness.expect("witness").combination.len();
     let ws = smallest.witness.expect("witness").combination.len();
-    assert!(ws <= wl, "smallest-first witness ({ws}) must not exceed largest-first ({wl})");
+    assert!(
+        ws <= wl,
+        "smallest-first witness ({ws}) must not exceed largest-first ({wl})"
+    );
 }
 
 #[test]
@@ -76,37 +109,31 @@ fn row_counts_differ_between_modes() {
     // Joint mode inspects all 2^s − 1 rows per combination; row-wise only
     // the full row. Same verdict, more rows.
     let n = Benchmark::Dom(2).netlist();
-    let rowwise = check_netlist(
-        &n,
-        Property::Sni(2),
-        &VerifyOptions { mode: CheckMode::RowWise, prefilter: false, ..VerifyOptions::default() },
-    )
-    .expect("valid");
-    let joint = check_netlist(
-        &n,
-        Property::Sni(2),
-        &VerifyOptions { mode: CheckMode::Joint, prefilter: false, ..VerifyOptions::default() },
-    )
-    .expect("valid");
+    let rowwise = Session::new(&n)
+        .expect("valid")
+        .mode(CheckMode::RowWise)
+        .prefilter(false)
+        .property(Property::Sni(2))
+        .run();
+    let joint = Session::new(&n)
+        .expect("valid")
+        .mode(CheckMode::Joint)
+        .prefilter(false)
+        .property(Property::Sni(2))
+        .run();
     assert_eq!(rowwise.secure, joint.secure);
     assert!(joint.stats.rows_checked > rowwise.stats.rows_checked);
 }
 
 #[test]
 fn site_options_affect_the_search_space() {
-    use walshcheck_core::sites::SiteOptions;
     let n = Benchmark::Dom(1).netlist();
-    let with_inputs = check_netlist(&n, Property::Sni(1), &VerifyOptions::default())
-        .expect("valid");
-    let without_inputs = check_netlist(
-        &n,
-        Property::Sni(1),
-        &VerifyOptions {
-            sites: SiteOptions { include_inputs: false, ..SiteOptions::default() },
-            ..VerifyOptions::default()
-        },
-    )
-    .expect("valid");
+    let with_inputs = check(&n, Property::Sni(1));
+    let without_inputs = Session::new(&n)
+        .expect("valid")
+        .options(VerifyOptions::builder().include_inputs(false).build())
+        .property(Property::Sni(1))
+        .run();
     assert_eq!(with_inputs.secure, without_inputs.secure);
     assert!(with_inputs.stats.combinations > without_inputs.stats.combinations);
 }
@@ -134,5 +161,5 @@ fn cyclic_netlists_are_rejected_up_front() {
         output: WireId(1),
     });
     assert!(Verifier::new(&n).is_err());
-    assert!(check_netlist(&n, Property::Probing(1), &VerifyOptions::default()).is_err());
+    assert!(Session::new(&n).is_err());
 }

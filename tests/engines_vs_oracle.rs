@@ -25,7 +25,21 @@ fn gadget_zoo() -> Vec<(String, Netlist, u32)> {
 }
 
 fn engines() -> [EngineKind; 4] {
-    [EngineKind::Lil, EngineKind::Map, EngineKind::Mapi, EngineKind::Fujita]
+    [
+        EngineKind::Lil,
+        EngineKind::Map,
+        EngineKind::Mapi,
+        EngineKind::Fujita,
+    ]
+}
+
+fn run(netlist: &Netlist, prop: Property, opts: VerifyOptions) -> bool {
+    Session::new(netlist)
+        .expect("valid")
+        .options(opts)
+        .property(prop)
+        .run()
+        .secure
 }
 
 #[test]
@@ -37,8 +51,8 @@ fn all_engines_match_the_oracle_on_sni_and_ni() {
                 .secure;
             for engine in engines() {
                 for mode in [CheckMode::Joint, CheckMode::RowWise] {
-                    let opts = VerifyOptions { engine, mode, ..VerifyOptions::default() };
-                    let got = check_netlist(&netlist, prop, &opts).expect("valid").secure;
+                    let opts = VerifyOptions::builder().engine(engine).mode(mode).build();
+                    let got = run(&netlist, prop, opts);
                     assert_eq!(
                         got, oracle,
                         "{name} {prop:?} {engine} {mode:?} disagrees with oracle"
@@ -59,9 +73,15 @@ fn all_engines_match_the_oracle_on_probing() {
                 .expect("small gadget")
                 .secure;
             for engine in engines() {
-                let opts = VerifyOptions { engine, ..VerifyOptions::default() };
-                let got = check_netlist(&netlist, prop, &opts).expect("valid").secure;
-                assert_eq!(got, oracle, "{name} {prop:?} {engine} disagrees with oracle");
+                let got = run(
+                    &netlist,
+                    prop,
+                    VerifyOptions::builder().engine(engine).build(),
+                );
+                assert_eq!(
+                    got, oracle,
+                    "{name} {prop:?} {engine} disagrees with oracle"
+                );
             }
         }
     }
@@ -75,9 +95,15 @@ fn pini_matches_the_oracle() {
             .expect("small gadget")
             .secure;
         for engine in [EngineKind::Map, EngineKind::Mapi] {
-            let opts = VerifyOptions { engine, ..VerifyOptions::default() };
-            let got = check_netlist(&netlist, prop, &opts).expect("valid").secure;
-            assert_eq!(got, oracle, "{name} {prop:?} {engine} disagrees with oracle");
+            let got = run(
+                &netlist,
+                prop,
+                VerifyOptions::builder().engine(engine).build(),
+            );
+            assert_eq!(
+                got, oracle,
+                "{name} {prop:?} {engine} disagrees with oracle"
+            );
         }
     }
 }
@@ -86,17 +112,14 @@ fn pini_matches_the_oracle() {
 fn prefilter_and_ordering_do_not_change_verdicts() {
     for (name, netlist, d) in gadget_zoo() {
         for prop in [Property::Sni(d), Property::Probing(d + 1)] {
-            let reference = check_netlist(&netlist, prop, &VerifyOptions::default())
-                .expect("valid")
-                .secure;
+            let reference = run(&netlist, prop, VerifyOptions::default());
             for prefilter in [false, true] {
                 for largest_first in [false, true] {
-                    let opts = VerifyOptions {
-                        prefilter,
-                        largest_first,
-                        ..VerifyOptions::default()
-                    };
-                    let got = check_netlist(&netlist, prop, &opts).expect("valid").secure;
+                    let opts = VerifyOptions::builder()
+                        .prefilter(prefilter)
+                        .largest_first(largest_first)
+                        .build();
+                    let got = run(&netlist, prop, opts);
                     assert_eq!(
                         got, reference,
                         "{name} {prop:?} prefilter={prefilter} largest_first={largest_first}"
@@ -119,7 +142,10 @@ fn heuristic_is_sound() {
                 let oracle = exhaustive_check(&netlist, prop, &SiteOptions::default())
                     .expect("small gadget")
                     .secure;
-                assert!(oracle, "{name} {prop:?}: heuristic claimed secure, oracle disagrees");
+                assert!(
+                    oracle,
+                    "{name} {prop:?}: heuristic claimed secure, oracle disagrees"
+                );
             }
         }
     }
@@ -127,12 +153,10 @@ fn heuristic_is_sound() {
 
 #[test]
 fn witnesses_are_reported_with_probe_lists() {
-    let v = check_netlist(
-        &isw_and_broken(2),
-        Property::Sni(2),
-        &VerifyOptions::default(),
-    )
-    .expect("valid");
+    let v = Session::new(&isw_and_broken(2))
+        .expect("valid")
+        .property(Property::Sni(2))
+        .run();
     assert!(!v.secure);
     let w = v.witness.expect("witness");
     assert!(!w.combination.is_empty());

@@ -10,8 +10,19 @@ fn glitch_opts() -> VerifyOptions {
     VerifyOptions::default().with_probe_model(ProbeModel::Glitch)
 }
 
+fn run(n: &Netlist, prop: Property, opts: VerifyOptions) -> Verdict {
+    Session::new(n)
+        .expect("valid")
+        .options(opts)
+        .property(prop)
+        .run()
+}
+
 fn glitch_sites() -> SiteOptions {
-    SiteOptions { probe_model: ProbeModel::Glitch, ..SiteOptions::default() }
+    SiteOptions {
+        probe_model: ProbeModel::Glitch,
+        ..SiteOptions::default()
+    }
 }
 
 #[test]
@@ -19,7 +30,7 @@ fn ti_is_glitch_robust_first_order() {
     // Threshold implementations were designed exactly for this: 1-probing
     // security in the presence of glitches, thanks to non-completeness.
     let n = Benchmark::Ti1.netlist();
-    let v = check_netlist(&n, Property::Probing(1), &glitch_opts()).expect("valid");
+    let v = run(&n, Property::Probing(1), glitch_opts());
     assert!(v.secure, "{v}");
     let o = exhaustive_check(&n, Property::Probing(1), &glitch_sites()).expect("small");
     assert!(o.secure);
@@ -30,7 +41,7 @@ fn dom_registers_give_glitch_robust_sni_at_order_1() {
     // The register after resharing stops glitch propagation; DOM-1 stays
     // 1-SNI under glitch-extended probes.
     let n = Benchmark::Dom(1).netlist();
-    let v = check_netlist(&n, Property::Sni(1), &glitch_opts()).expect("valid");
+    let v = run(&n, Property::Sni(1), glitch_opts());
     let o = exhaustive_check(&n, Property::Sni(1), &glitch_sites()).expect("small");
     assert_eq!(v.secure, o.secure);
     assert!(v.secure, "{v}");
@@ -42,7 +53,7 @@ fn isw_without_registers_fails_glitch_robust_sni() {
     // combinational cone: a glitch-extended probe on the output sees the
     // unmasked products — not SNI (and not even 1-probing secure).
     let n = isw_and(1);
-    let v = check_netlist(&n, Property::Sni(1), &glitch_opts()).expect("valid");
+    let v = run(&n, Property::Sni(1), glitch_opts());
     let o = exhaustive_check(&n, Property::Sni(1), &glitch_sites()).expect("small");
     assert_eq!(v.secure, o.secure);
     assert!(!v.secure, "combinational ISW must fail under glitches");
@@ -57,12 +68,20 @@ fn engines_agree_with_oracle_under_glitches() {
         ("trichina-1", Benchmark::Trichina1.netlist(), 1),
     ] {
         for prop in [Property::Probing(d), Property::Ni(d), Property::Sni(d)] {
-            let oracle = exhaustive_check(&n, prop, &glitch_sites()).expect("small").secure;
-            for engine in [EngineKind::Lil, EngineKind::Map, EngineKind::Mapi, EngineKind::Fujita]
-            {
+            let oracle = exhaustive_check(&n, prop, &glitch_sites())
+                .expect("small")
+                .secure;
+            for engine in [
+                EngineKind::Lil,
+                EngineKind::Map,
+                EngineKind::Mapi,
+                EngineKind::Fujita,
+            ] {
                 for mode in [CheckMode::Joint, CheckMode::RowWise] {
-                    let opts = VerifyOptions { engine, mode, ..glitch_opts() };
-                    let got = check_netlist(&n, prop, &opts).expect("valid").secure;
+                    let mut opts = glitch_opts();
+                    opts.engine = engine;
+                    opts.mode = mode;
+                    let got = run(&n, prop, opts).secure;
                     assert_eq!(got, oracle, "{name} {prop:?} {engine} {mode:?} (glitch)");
                 }
             }
@@ -74,13 +93,19 @@ fn engines_agree_with_oracle_under_glitches() {
 fn glitch_model_is_stricter_than_standard() {
     // Any gadget secure under glitches is secure in the standard model
     // (the observation sets only shrink).
-    for n in [Benchmark::Ti1.netlist(), Benchmark::Dom(1).netlist(), isw_and(1)] {
+    for n in [
+        Benchmark::Ti1.netlist(),
+        Benchmark::Dom(1).netlist(),
+        isw_and(1),
+    ] {
         for prop in [Property::Probing(1), Property::Sni(1)] {
-            let glitch = check_netlist(&n, prop, &glitch_opts()).expect("valid").secure;
-            let standard =
-                check_netlist(&n, prop, &VerifyOptions::default()).expect("valid").secure;
+            let glitch = run(&n, prop, glitch_opts()).secure;
+            let standard = run(&n, prop, VerifyOptions::default()).secure;
             if glitch {
-                assert!(standard, "glitch-secure but standard-insecure is impossible");
+                assert!(
+                    standard,
+                    "glitch-secure but standard-insecure is impossible"
+                );
             }
         }
     }

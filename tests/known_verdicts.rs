@@ -12,8 +12,10 @@ use walshcheck_gadgets::isw::{isw_and, isw_and_broken};
 use walshcheck_gadgets::refresh::{refresh_circular, refresh_isw, refresh_paper};
 
 fn check(n: &walshcheck::circuit::netlist::Netlist, p: Property) -> bool {
-    check_netlist(n, p, &VerifyOptions::default())
+    Session::new(n)
         .expect("valid netlist")
+        .property(p)
+        .run()
         .secure
 }
 
@@ -105,8 +107,10 @@ fn fig1_composition_is_not_2ni_and_fix_restores_it() {
 
 #[test]
 fn fig1_witness_mentions_three_shares() {
-    let v = check_netlist(&composition_fig1(), Property::Ni(2), &VerifyOptions::default())
-        .expect("valid");
+    let v = Session::new(&composition_fig1())
+        .expect("valid")
+        .property(Property::Ni(2))
+        .run();
     assert!(!v.secure);
     let w = v.witness.expect("witness present");
     assert_eq!(w.combination.len(), 2, "two probed values");
@@ -124,12 +128,10 @@ fn pini_verdicts() {
 
 #[test]
 fn verdict_stats_are_populated() {
-    let v = check_netlist(
-        &Benchmark::Dom(1).netlist(),
-        Property::Sni(1),
-        &VerifyOptions::default(),
-    )
-    .expect("valid");
+    let v = Session::new(&Benchmark::Dom(1).netlist())
+        .expect("valid")
+        .property(Property::Sni(1))
+        .run();
     assert!(v.secure);
     assert!(v.stats.combinations > 0);
     assert!(v.stats.total_time.as_nanos() > 0);
@@ -137,16 +139,18 @@ fn verdict_stats_are_populated() {
 
 #[test]
 fn parallel_check_agrees_with_serial() {
-    use walshcheck_core::engine::check_parallel;
     for (n, prop) in [
         (Benchmark::Dom(2).netlist(), Property::Sni(2)),
         (composition_fig1(), Property::Ni(2)),
         (isw_and_broken(2), Property::Sni(2)),
     ] {
-        let serial = check_netlist(&n, prop, &VerifyOptions::default()).expect("valid");
+        let serial = Session::new(&n).expect("valid").property(prop).run();
         for threads in [1, 2, 4] {
-            let par = check_parallel(&n, prop, &VerifyOptions::default(), threads)
-                .expect("valid");
+            let par = Session::new(&n)
+                .expect("valid")
+                .property(prop)
+                .threads(threads)
+                .run();
             assert_eq!(par.secure, serial.secure, "{prop:?} with {threads} threads");
             assert!(!par.stats.timed_out);
             if !par.secure {
@@ -159,18 +163,18 @@ fn parallel_check_agrees_with_serial() {
 #[test]
 fn time_limit_reports_partial_runs() {
     let n = Benchmark::Dom(2).netlist();
-    let opts = VerifyOptions {
-        time_limit: Some(std::time::Duration::ZERO),
-        ..VerifyOptions::default()
-    };
-    let v = check_netlist(&n, Property::Sni(2), &opts).expect("valid");
+    let v = Session::new(&n)
+        .expect("valid")
+        .time_limit(std::time::Duration::ZERO)
+        .property(Property::Sni(2))
+        .run();
     assert!(v.stats.timed_out, "zero budget must time out");
     // A generous budget completes normally.
-    let opts = VerifyOptions {
-        time_limit: Some(std::time::Duration::from_secs(3600)),
-        ..VerifyOptions::default()
-    };
-    let v = check_netlist(&n, Property::Sni(2), &opts).expect("valid");
+    let v = Session::new(&n)
+        .expect("valid")
+        .time_limit(std::time::Duration::from_secs(3600))
+        .property(Property::Sni(2))
+        .run();
     assert!(!v.stats.timed_out);
     assert!(v.secure);
 }
@@ -180,12 +184,21 @@ fn hpc_gadgets_are_pini_and_isw_dom_are_not() {
     use walshcheck_gadgets::hpc::{hpc1_and, hpc2_and};
     // HPC2 is d-PINI (also under glitches); HPC1 is d-PINI.
     for d in 1..=2 {
-        assert!(check(&hpc2_and(d), Property::Pini(d)), "hpc2-{d} must be {d}-PINI");
-        assert!(check(&hpc1_and(d), Property::Pini(d)), "hpc1-{d} must be {d}-PINI");
+        assert!(
+            check(&hpc2_and(d), Property::Pini(d)),
+            "hpc2-{d} must be {d}-PINI"
+        );
+        assert!(
+            check(&hpc1_and(d), Property::Pini(d)),
+            "hpc1-{d} must be {d}-PINI"
+        );
         assert!(check(&hpc2_and(d), Property::Probing(d)));
     }
-    let glitch = VerifyOptions::default().with_probe_model(ProbeModel::Glitch);
-    let v = check_netlist(&hpc2_and(1), Property::Pini(1), &glitch).expect("valid");
+    let v = Session::new(&hpc2_and(1))
+        .expect("valid")
+        .probe_model(ProbeModel::Glitch)
+        .property(Property::Pini(1))
+        .run();
     assert!(v.secure, "hpc2-1 must be glitch-robust 1-PINI: {v}");
     // DOM multiplication mixes share indices across domains: not PINI.
     assert!(!check(&Benchmark::Dom(1).netlist(), Property::Pini(1)));
@@ -197,9 +210,14 @@ fn hpc2_pini_matches_oracle_at_order_1() {
     use walshcheck_core::sites::SiteOptions;
     use walshcheck_gadgets::hpc::hpc2_and;
     let n = hpc2_and(1);
-    for prop in [Property::Pini(1), Property::Sni(1), Property::Ni(1), Property::Probing(1)] {
+    for prop in [
+        Property::Pini(1),
+        Property::Sni(1),
+        Property::Ni(1),
+        Property::Probing(1),
+    ] {
         let oracle = exhaustive_check(&n, prop, &SiteOptions::default()).expect("small");
-        let got = check_netlist(&n, prop, &VerifyOptions::default()).expect("valid");
+        let got = Session::new(&n).expect("valid").property(prop).run();
         assert_eq!(got.secure, oracle.secure, "{prop:?}");
     }
 }
@@ -238,7 +256,10 @@ fn pini_composition_without_refresh_is_secure() {
     let h = chain(
         &hpc2_and(1),
         &hpc2_and(1),
-        &[Binding { inner_output: OutputId(0), outer_secret: SecretId(0) }],
+        &[Binding {
+            inner_output: OutputId(0),
+            outer_secret: SecretId(0),
+        }],
     )
     .expect("composes");
     assert!(check(&h, Property::Pini(1)), "PINI ∘ PINI must be PINI");
@@ -251,8 +272,11 @@ fn chi3_ti_is_glitch_robust_first_order_but_not_sni() {
     use walshcheck_core::sites::SiteOptions;
     use walshcheck_gadgets::chi3::chi3_ti;
     let n = chi3_ti();
-    let glitch = VerifyOptions::default().with_probe_model(ProbeModel::Glitch);
-    let v = check_netlist(&n, Property::Probing(1), &glitch).expect("valid");
+    let v = Session::new(&n)
+        .expect("valid")
+        .probe_model(ProbeModel::Glitch)
+        .property(Property::Probing(1))
+        .run();
     assert!(v.secure, "TI χ3 must be glitch-robust first order: {v}");
     assert!(!check(&n, Property::Sni(1)));
     // Oracle agreement (9 inputs: trivially enumerable).
@@ -264,37 +288,39 @@ fn chi3_ti_is_glitch_robust_first_order_but_not_sni() {
 
 #[test]
 fn witness_minimization_shrinks_combinations() {
-    use walshcheck_core::engine::Verifier;
     // Check the broken ISW at order 3: the largest-first search reports a
     // size-3 witness even though 2 probes suffice.
     let n = isw_and_broken(2);
     let opts = VerifyOptions::default();
-    let mut verifier = Verifier::new(&n).expect("valid");
-    let v = verifier.check(Property::Sni(3), &opts);
+    let mut session = Session::new(&n).expect("valid").property(Property::Sni(3));
+    let v = session.run();
     assert!(!v.secure);
     let w = v.witness.expect("witness");
-    let min = verifier.minimize_witness(&w, Property::Sni(3), &opts);
+    let min = session
+        .verifier_mut()
+        .minimize_witness(&w, Property::Sni(3), &opts);
     assert!(min.combination.len() <= w.combination.len());
     assert!(!min.combination.is_empty());
     // The minimized combination still violates on its own.
-    assert!(verifier
+    assert!(session
+        .verifier_mut()
         .check_specific(&min.combination, Property::Sni(3), &opts)
         .is_some());
 }
 
 #[test]
-fn verifier_is_reusable_across_checks() {
-    use walshcheck_core::engine::Verifier;
+fn session_is_reusable_across_checks() {
     let n = Benchmark::Dom(1).netlist();
-    let mut v = Verifier::new(&n).expect("valid");
-    let opts = VerifyOptions::default();
-    // Interleave properties and engines on one verifier instance; results
+    let mut s = Session::new(&n).expect("valid").property(Property::Sni(1));
+    // Interleave properties and engines on one session instance; results
     // must be stable across repetitions (cache clearing between runs).
     for _ in 0..3 {
-        assert!(v.check(Property::Sni(1), &opts).secure);
-        assert!(!v.check(Property::Probing(2), &opts).secure);
-        let fujita = VerifyOptions { engine: EngineKind::Fujita, ..VerifyOptions::default() };
-        assert!(v.check(Property::Ni(1), &fujita).secure);
+        s = s.engine(EngineKind::Mapi).property(Property::Sni(1));
+        assert!(s.run().secure);
+        s = s.property(Property::Probing(2));
+        assert!(!s.run().secure);
+        s = s.engine(EngineKind::Fujita).property(Property::Ni(1));
+        assert!(s.run().secure);
     }
 }
 
@@ -304,7 +330,10 @@ fn find_witnesses_enumerates_multiple_leaks() {
     let n = isw_and_broken(2);
     let mut v = Verifier::new(&n).expect("valid");
     let witnesses = v.find_witnesses(Property::Sni(2), &VerifyOptions::default(), 5);
-    assert!(witnesses.len() >= 2, "broken masking must leak in many places");
+    assert!(
+        witnesses.len() >= 2,
+        "broken masking must leak in many places"
+    );
     assert!(witnesses.len() <= 5);
     // All reported combinations are genuine violations.
     for w in &witnesses {
@@ -315,7 +344,9 @@ fn find_witnesses_enumerates_multiple_leaks() {
     // A secure gadget yields none.
     let secure = Benchmark::Dom(1).netlist();
     let mut v = Verifier::new(&secure).expect("valid");
-    assert!(v.find_witnesses(Property::Sni(1), &VerifyOptions::default(), 5).is_empty());
+    assert!(v
+        .find_witnesses(Property::Sni(1), &VerifyOptions::default(), 5)
+        .is_empty());
 }
 
 #[test]

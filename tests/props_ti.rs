@@ -50,7 +50,11 @@ proptest! {
         //    first-order probing secure, even under glitches.
         for model in [ProbeModel::Standard, ProbeModel::Glitch] {
             let opts = VerifyOptions::default().with_probe_model(model);
-            let v = check_netlist(&netlist, Property::Probing(1), &opts).expect("valid");
+            let v = Session::new(&netlist)
+                .expect("valid")
+                .options(opts)
+                .property(Property::Probing(1))
+                .run();
             prop_assert!(v.secure, "TI theorem violated under {model:?}: {v}");
             let sites = SiteOptions { probe_model: model, ..SiteOptions::default() };
             let oracle = exhaustive_check(&netlist, Property::Probing(1), &sites)
@@ -63,8 +67,12 @@ proptest! {
                 .expect("9 inputs")
                 .secure;
             for engine in [EngineKind::Lil, EngineKind::Mapi] {
-                let opts = VerifyOptions { engine, ..VerifyOptions::default() };
-                let got = check_netlist(&netlist, prop, &opts).expect("valid").secure;
+                let got = Session::new(&netlist)
+                    .expect("valid")
+                    .engine(engine)
+                    .property(prop)
+                    .run()
+                    .secure;
                 prop_assert_eq!(got, oracle, "{:?} {}", prop, engine);
             }
         }

@@ -20,12 +20,15 @@ struct GateRecipe {
 fn recipe_strategy() -> impl Strategy<Value = (Vec<GateRecipe>, u8, u8)> {
     (
         proptest::collection::vec(
-            (0u8..8, any::<usize>(), any::<usize>())
-                .prop_map(|(kind, a, b)| GateRecipe { kind, a, b }),
+            (0u8..8, any::<usize>(), any::<usize>()).prop_map(|(kind, a, b)| GateRecipe {
+                kind,
+                a,
+                b,
+            }),
             1..14,
         ),
-        2u8..4,  // shares of the secret
-        0u8..3,  // random bits
+        2u8..4, // shares of the secret
+        0u8..3, // random bits
     )
 }
 
@@ -88,14 +91,13 @@ proptest! {
                     [EngineKind::Lil, EngineKind::Map, EngineKind::Mapi, EngineKind::Fujita]
                 {
                     for mode in [CheckMode::Joint, CheckMode::RowWise] {
-                        let opts = VerifyOptions {
-                            engine,
-                            mode,
-                            sites,
-                            ..VerifyOptions::default()
-                        };
-                        let got = check_netlist(&netlist, prop, &opts)
+                        let mut opts = VerifyOptions::builder().engine(engine).mode(mode).build();
+                        opts.sites = sites;
+                        let got = Session::new(&netlist)
                             .expect("valid netlist")
+                            .options(opts)
+                            .property(prop)
+                            .run()
                             .secure;
                         prop_assert_eq!(
                             got,
@@ -114,20 +116,18 @@ proptest! {
         let netlist = build(&recipes, shares, rands);
         let d = shares as u32 - 1;
         for prop in [Property::Probing(d), Property::Sni(d)] {
-            let base = check_netlist(
-                &netlist,
-                prop,
-                &VerifyOptions { prefilter: false, ..VerifyOptions::default() },
-            )
-            .expect("valid")
-            .secure;
-            let filtered = check_netlist(
-                &netlist,
-                prop,
-                &VerifyOptions { prefilter: true, ..VerifyOptions::default() },
-            )
-            .expect("valid")
-            .secure;
+            let base = Session::new(&netlist)
+                .expect("valid")
+                .prefilter(false)
+                .property(prop)
+                .run()
+                .secure;
+            let filtered = Session::new(&netlist)
+                .expect("valid")
+                .prefilter(true)
+                .property(prop)
+                .run()
+                .secure;
             prop_assert_eq!(base, filtered, "{:?}", prop);
         }
     }

@@ -1,0 +1,145 @@
+//! Thread-count independence of the work-stealing scheduler.
+//!
+//! The scheduler's contract: the verdict — secure flag, witness
+//! combination, witness reason — is identical whatever the worker count,
+//! because violations are resolved to the minimal enumeration index
+//! before reporting. On secure runs the enumeration is exhaustive, so the
+//! combination count is pinned too; on insecure runs the count is
+//! scheduling-dependent (workers may probe a few extra combinations
+//! before cancellation propagates) and is deliberately not asserted.
+//! These tests pin that contract for every engine over the shipped
+//! corpus and the built-in benchmarks.
+
+use walshcheck::prelude::*;
+use walshcheck_gadgets::composition::composition_fig1;
+use walshcheck_gadgets::isw::isw_and_broken;
+
+fn engines() -> [EngineKind; 4] {
+    [
+        EngineKind::Lil,
+        EngineKind::Map,
+        EngineKind::Mapi,
+        EngineKind::Fujita,
+    ]
+}
+
+/// Runs `prop` on `n` single- and multi-threaded and asserts the verdicts
+/// are indistinguishable (including the witness, probe for probe).
+fn assert_thread_independent(label: &str, n: &Netlist, prop: Property, engine: EngineKind) {
+    let serial = Session::new(n)
+        .expect("valid")
+        .engine(engine)
+        .property(prop)
+        .threads(1)
+        .run();
+    let parallel = Session::new(n)
+        .expect("valid")
+        .engine(engine)
+        .property(prop)
+        .threads(4)
+        .run();
+    assert_eq!(
+        serial.secure, parallel.secure,
+        "{label} {prop:?} {engine}: verdict flipped"
+    );
+    match (&serial.witness, &parallel.witness) {
+        (None, None) => {
+            // A clean bill of health means exhaustive enumeration, so the
+            // combination count must match exactly. (With a witness the
+            // count is scheduling-dependent: other workers may examine a
+            // few combinations past the minimal violation before the
+            // cancellation flag reaches them.)
+            assert_eq!(
+                serial.stats.combinations, parallel.stats.combinations,
+                "{label} {prop:?} {engine}: combination counts differ"
+            );
+        }
+        (Some(a), Some(b)) => {
+            assert_eq!(
+                a.combination, b.combination,
+                "{label} {prop:?} {engine}: different witness combination"
+            );
+            assert_eq!(
+                a.mask, b.mask,
+                "{label} {prop:?} {engine}: different witness mask"
+            );
+            assert_eq!(
+                a.reason, b.reason,
+                "{label} {prop:?} {engine}: different reason"
+            );
+        }
+        (a, b) => panic!(
+            "{label} {prop:?} {engine}: witness presence differs (serial: {}, parallel: {})",
+            a.is_some(),
+            b.is_some()
+        ),
+    }
+}
+
+#[test]
+fn corpus_verdicts_are_thread_count_independent() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("corpus directory present")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "il"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty());
+    for path in files {
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let n = parse_ilang(&text).expect("corpus parses");
+        let shares = n.shares_of(walshcheck::circuit::SecretId(0)).len() as u32;
+        let d = shares.saturating_sub(1).max(1);
+        let label = path.file_name().unwrap().to_string_lossy().into_owned();
+        for engine in engines() {
+            assert_thread_independent(&label, &n, Property::Probing(d), engine);
+        }
+    }
+}
+
+#[test]
+fn benchmark_verdicts_are_thread_count_independent() {
+    for bench in Benchmark::fast() {
+        let n = bench.netlist();
+        let d = bench.security_order();
+        for engine in engines() {
+            assert_thread_independent(&bench.name(), &n, Property::Sni(d), engine);
+        }
+    }
+}
+
+#[test]
+fn witnesses_are_thread_count_independent_on_insecure_gadgets() {
+    // Insecure gadgets are where scheduling races could leak through: any
+    // worker may stumble on *a* violation first, but the reported witness
+    // must still be the serial one (minimal enumeration index).
+    for (label, n, prop) in [
+        ("isw-2-broken", isw_and_broken(2), Property::Sni(2)),
+        ("fig1", composition_fig1(), Property::Ni(2)),
+        ("ti-1", Benchmark::Ti1.netlist(), Property::Sni(1)),
+        ("dom-1", Benchmark::Dom(1).netlist(), Property::Probing(2)),
+    ] {
+        for engine in engines() {
+            assert_thread_independent(label, &n, prop, engine);
+        }
+    }
+}
+
+#[test]
+fn thread_counts_beyond_the_workload_are_harmless() {
+    // More workers than batches: the extras must exit cleanly.
+    let n = Benchmark::Dom(1).netlist();
+    let serial = Session::new(&n)
+        .expect("valid")
+        .property(Property::Sni(1))
+        .run();
+    let wide = Session::new(&n)
+        .expect("valid")
+        .property(Property::Sni(1))
+        .threads(16)
+        .run();
+    assert_eq!(serial.secure, wide.secure);
+    assert_eq!(serial.stats.combinations, wide.stats.combinations);
+}

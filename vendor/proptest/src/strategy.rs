@@ -1,0 +1,431 @@
+//! Value-generation strategies: the composable core of the shim.
+
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A generator of test values.
+///
+/// Unlike the real proptest (where a strategy produces a shrinkable value
+/// tree), a shim strategy simply draws a value from the RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `f` receives the strategy for the
+    /// recursive positions and returns the composite strategy. Nesting is
+    /// bounded by `depth`; `_size` and `_branch` (sizing hints in the real
+    /// API) are accepted for compatibility and ignored.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            // Mix the leaf back in at every level so expected size stays
+            // bounded even though each level recurses.
+            strat = one_of(vec![leaf.clone(), f(strat).boxed()]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let inner = self;
+        BoxedStrategy(Rc::new(move |rng| inner.generate(rng)))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy that always yields a clone of its value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies (the engine of `prop_oneof!`).
+pub fn one_of<T>(choices: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+    assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+    OneOf { choices }
+}
+
+/// See [`one_of`].
+pub struct OneOf<T> {
+    choices: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.choices.len() as u128) as usize;
+        self.choices[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty => $wide:ty),* $(,)?) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // start < end makes the wrapping difference fit the
+                    // unsigned type of the same width.
+                    let span = self.end.wrapping_sub(self.start) as $wide as u128;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, u128 => u128, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, i128 => u128, isize => usize,
+);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+)),* $(,)?) => {
+        $(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// String-pattern strategies: `"[ -~]{0,300}" in ...` draws strings
+/// matching a small regex subset — sequences of atoms (literal characters,
+/// escapes, `[...]` classes with ranges) each optionally repeated by
+/// `{m}` / `{m,n}` / `*` / `+` / `?`. Alternation and grouping are not
+/// supported (the real proptest compiles full regexes; the shim covers
+/// what the test-suite uses).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (choices, min, max) in &atoms {
+            let n = min + rng.below((max - min + 1) as u128) as usize;
+            for _ in 0..n {
+                out.push(choices[rng.below(choices.len() as u128) as usize]);
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+/// One atom: the characters it may produce and its repetition bounds.
+type Atom = (Vec<char>, usize, usize);
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices: Vec<char> = match chars[i] {
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        unescape(chars[i])
+                    } else {
+                        chars[i]
+                    };
+                    // A range `a-z` (a trailing `-` is a literal).
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = if chars[i + 2] == '\\' {
+                            i += 1;
+                            unescape(chars[i + 2])
+                        } else {
+                            chars[i + 2]
+                        };
+                        set.extend((lo..=hi).filter(|c| c.is_ascii() || *c <= hi));
+                        i += 3;
+                    } else {
+                        set.push(lo);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                set
+            }
+            '\\' => {
+                i += 1;
+                let c = unescape(chars[i]);
+                i += 1;
+                vec![c]
+            }
+            '.' => {
+                i += 1;
+                (' '..='~').collect()
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional repetition suffix.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("closing }")
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bound"),
+                            hi.trim().parse().expect("bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("bound");
+                            (n, n)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 16)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 16)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(
+            !choices.is_empty(),
+            "empty character class in pattern {pattern:?}"
+        );
+        assert!(min <= max, "bad repetition in pattern {pattern:?}");
+        atoms.push((choices, min, max));
+    }
+    atoms
+}
+
+/// Types with a full-range default strategy (shim for proptest's
+/// `Arbitrary`).
+pub trait ArbitraryValue {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl ArbitraryValue for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u128() as $t
+                }
+            }
+        )*
+    };
+}
+
+arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-range strategy for a primitive type.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_patterns_generate_matching_text() {
+        let mut rng = TestRng::from_name("patterns");
+        for _ in 0..300 {
+            let s = "[ -~\n\\\\]{0,300}".generate(&mut rng);
+            assert!(s.len() <= 300);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+        for _ in 0..50 {
+            let s = "ab[0-9]{2}c?".generate(&mut rng);
+            assert!(s.starts_with("ab"), "{s}");
+            let digits: String = s[2..4].into();
+            assert!(digits.chars().all(|c| c.is_ascii_digit()), "{s}");
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..500 {
+            let v = (-20i32..20).generate(&mut rng);
+            assert!((-20..20).contains(&v));
+            let u = (3u128..9).generate(&mut rng);
+            assert!((3..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn map_and_oneof_compose() {
+        let mut rng = TestRng::from_name("compose");
+        let s = crate::prop_oneof![(0u32..5).prop_map(|v| v * 2), Just(99u32),];
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v == 99 || (v % 2 == 0 && v < 10));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        #[allow(dead_code)]
+        enum Tree {
+            Leaf(u32),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0u32..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = TestRng::from_name("recursive");
+        for _ in 0..200 {
+            assert!(depth(&strat.generate(&mut rng)) <= 4);
+        }
+    }
+}
