@@ -1,34 +1,44 @@
 //! Head-to-head timing of the two parallel schedulers: the legacy static
-//! modulo sharding vs the work-stealing batch queue behind `Session`.
+//! modulo sharding vs the work-stealing batch queue behind `Session` —
+//! plus a prefix-cache A/B mode.
 //!
 //! ```text
 //! cargo run --release -p walshcheck-bench --bin sched_compare [threads] [samples] [gadget ...]
+//! cargo run --release -p walshcheck-bench --bin sched_compare -- --cache-ab [threads] [samples] [gadget ...]
 //! ```
 //!
-//! Defaults: 4 threads, 5 samples, `dom_2` and `keccak_1`. Both runs check
-//! the paper property with the MAPI engine; verdict agreement is asserted
-//! inside the harness, so a row printing at all means the schedulers agree.
+//! Defaults: 4 threads, 5 samples, `dom-2` and `keccak-1`. In scheduler
+//! mode both runs check the paper property with the MAPI engine; in
+//! `--cache-ab` mode the same check is timed with the prefix cache on and
+//! off (see `cache_ab_property`). Verdict (and, for the cache mode,
+//! witness) agreement is asserted inside the harness, so a row printing at
+//! all means the two configurations agree. The cache mode exits nonzero if
+//! the cached run is slower than the uncached one on `dom-2`, making it
+//! usable as a CI smoke test against cache regressions.
 
-use walshcheck_bench::compare_schedulers;
+use walshcheck_bench::{compare_cache_modes, compare_schedulers};
 use walshcheck_gadgets::suite::Benchmark;
 
 fn parse_gadget(name: &str) -> Option<Benchmark> {
     Benchmark::all().into_iter().find(|b| b.name() == name)
 }
 
-fn main() {
-    let mut args = std::env::args().skip(1);
+/// Parses `[threads] [samples] [gadget ...]` from the remaining arguments.
+fn parse_common(args: impl Iterator<Item = String>) -> (usize, usize, Vec<Benchmark>) {
+    let mut args = args.peekable();
     let threads: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
     let samples: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
-    let rest: Vec<String> = args.collect();
-    let gadgets: Vec<Benchmark> = if rest.is_empty() {
+    let gadgets: Vec<Benchmark> = if args.peek().is_none() {
         vec![Benchmark::Dom(2), Benchmark::Keccak(1)]
     } else {
-        rest.iter()
-            .map(|n| parse_gadget(n).unwrap_or_else(|| panic!("unknown gadget `{n}`")))
+        args.map(|n| parse_gadget(&n).unwrap_or_else(|| panic!("unknown gadget `{n}`")))
             .collect()
     };
+    (threads, samples, gadgets)
+}
 
+fn scheduler_mode(args: impl Iterator<Item = String>) {
+    let (threads, samples, gadgets) = parse_common(args);
     println!(
         "{:<12} {:>7} {:>12} {:>14} {:>8}",
         "gadget", "threads", "modulo", "work-stealing", "speedup"
@@ -39,5 +49,38 @@ fn main() {
             "{:<12} {:>7} {:>12.4?} {:>14.4?} {:>7.2}x",
             c.gadget, c.threads, c.modulo, c.stealing, c.speedup
         );
+    }
+}
+
+fn cache_ab_mode(args: impl Iterator<Item = String>) {
+    let (threads, samples, gadgets) = parse_common(args);
+    println!(
+        "{:<12} {:>7} {:>12} {:>12} {:>8} {:>10} {:>10}",
+        "gadget", "threads", "cached", "uncached", "speedup", "hits", "misses"
+    );
+    let mut regressed = false;
+    for bench in gadgets {
+        let c = compare_cache_modes(bench, threads, samples);
+        println!(
+            "{:<12} {:>7} {:>12.4?} {:>12.4?} {:>7.2}x {:>10} {:>10}",
+            c.gadget, c.threads, c.cached, c.uncached, c.speedup, c.hits, c.misses
+        );
+        if c.gadget == "dom-2" && c.speedup < 1.0 {
+            eprintln!("cache regression: dom-2 is slower with the prefix cache enabled");
+            regressed = true;
+        }
+    }
+    if regressed {
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("--cache-ab") {
+        args.next();
+        cache_ab_mode(args);
+    } else {
+        scheduler_mode(args);
     }
 }

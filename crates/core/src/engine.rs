@@ -35,6 +35,7 @@ use walshcheck_dd::spectral::{sign_add, walsh_sparse, wht, SparseWalshCache};
 use walshcheck_dd::var::{VarId, VarSet};
 
 use crate::mask::{Mask, VarMap};
+use crate::pcache::PrefixCache;
 use crate::property::{CheckMode, CheckStats, Property, Verdict, Witness};
 use crate::sites::{extract_sites, Site, SiteOptions};
 use crate::spectrum::{LilSpectrum, MapSpectrum, Spectrum};
@@ -93,7 +94,17 @@ pub struct VerifyOptions {
     /// Optional wall-clock budget; when exceeded the check stops and the
     /// verdict carries `stats.timed_out = true`.
     pub time_limit: Option<std::time::Duration>,
+    /// Reuse partial convolution products across tuples that share an
+    /// enumeration prefix (see DESIGN.md §9). Purely a time/memory trade:
+    /// verdicts and witnesses are identical either way.
+    pub cache: bool,
+    /// Byte budget of each worker's prefix cache (least-recently-used
+    /// eviction above it). `0` disables caching like `cache = false`.
+    pub cache_budget: usize,
 }
+
+/// Default per-worker prefix-cache budget (64 MiB).
+pub const DEFAULT_CACHE_BUDGET: usize = 64 << 20;
 
 impl Default for VerifyOptions {
     fn default() -> Self {
@@ -104,6 +115,8 @@ impl Default for VerifyOptions {
             prefilter: true,
             largest_first: true,
             time_limit: None,
+            cache: true,
+            cache_budget: DEFAULT_CACHE_BUDGET,
         }
     }
 }
@@ -126,6 +139,8 @@ impl VerifyOptions {
             prefilter: false,
             largest_first: true,
             time_limit: None,
+            cache: true,
+            cache_budget: DEFAULT_CACHE_BUDGET,
         }
     }
 
@@ -215,6 +230,18 @@ impl VerifyOptionsBuilder {
         self
     }
 
+    /// Prefix-shared convolution caching on/off.
+    pub fn cache(mut self, on: bool) -> Self {
+        self.options.cache = on;
+        self
+    }
+
+    /// Byte budget of each worker's prefix cache.
+    pub fn cache_budget(mut self, bytes: usize) -> Self {
+        self.options.cache_budget = bytes;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> VerifyOptions {
         self.options
@@ -287,6 +314,7 @@ impl Verifier {
     /// Joint mode walks all `2^m − 1` rows of a combination with `m`
     /// observed functions; under very wide glitch cones this is expensive —
     /// prefer row-wise mode or the standard probe model there.
+    #[cfg(feature = "compat")]
     #[deprecated(
         since = "0.2.0",
         note = "use `Session::new(netlist)?.property(p).run()` instead"
@@ -354,7 +382,11 @@ impl Verifier {
         } else {
             options.mode
         };
-        let ctx = EngineCtx::new(options.engine, self.varmap.num_vars as u32);
+        let ctx = EngineCtx::new(
+            options.engine,
+            self.varmap.num_vars as u32,
+            effective_cache_budget(options),
+        );
         EnumState { sites, mode, ctx }
     }
 
@@ -386,6 +418,7 @@ impl Verifier {
             &self.unfolded.bdds,
             &self.varmap,
             &combo,
+            idxs,
             &region,
             state.mode,
             stats,
@@ -465,6 +498,7 @@ impl Verifier {
             }
         }
 
+        state.finish(&mut stats);
         self.end_enumeration();
         stats.total_time = start.elapsed();
         stats
@@ -484,6 +518,22 @@ impl EnumState {
     /// Bounds decision-diagram arena growth (see [`EngineCtx::maybe_collect`]).
     pub(crate) fn maybe_collect(&mut self) {
         self.ctx.maybe_collect();
+    }
+
+    /// Folds the engine's prefix-cache counters into `stats`. Call exactly
+    /// once, when the worker's enumeration pass is over.
+    pub(crate) fn finish(&self, stats: &mut CheckStats) {
+        self.ctx.fold_cache_stats(stats);
+    }
+}
+
+/// The cache budget an options struct resolves to: `0` (disabled) when
+/// caching is switched off.
+fn effective_cache_budget(options: &VerifyOptions) -> usize {
+    if options.cache {
+        options.cache_budget
+    } else {
+        0
     }
 }
 
@@ -549,15 +599,16 @@ impl Verifier {
         let sites = extract_sites(&self.netlist, &self.unfolded, &options.sites)
             .expect("netlist validated in Verifier::new");
         // Match the requested probes to sites (by observed wire).
-        let combo: Vec<&Site> = combination
+        let idxs: Vec<usize> = combination
             .iter()
             .map(|p| {
                 sites
                     .iter()
-                    .find(|s| s.probe.wire() == p.wire() && s.is_internal() == p.is_internal())
+                    .position(|s| s.probe.wire() == p.wire() && s.is_internal() == p.is_internal())
                     .expect("probe refers to a known site")
             })
             .collect();
+        let combo: Vec<&Site> = idxs.iter().map(|&i| &sites[i]).collect();
         let mode = if matches!(property, Property::Probing(_)) {
             CheckMode::RowWise
         } else {
@@ -565,12 +616,17 @@ impl Verifier {
         };
         let internal = combo.iter().filter(|s| s.is_internal()).count();
         let region = region_for(property, &combo, combo.len(), internal);
-        let mut ctx = EngineCtx::new(options.engine, self.varmap.num_vars as u32);
+        let mut ctx = EngineCtx::new(
+            options.engine,
+            self.varmap.num_vars as u32,
+            effective_cache_budget(options),
+        );
         let mut stats = CheckStats::default();
         let hit = ctx.check_combination(
             &self.unfolded.bdds,
             &self.varmap,
             &combo,
+            &idxs,
             &region,
             mode,
             &mut stats,
@@ -587,15 +643,18 @@ impl Verifier {
 /// Checks `property` on `netlist` with `threads` worker threads.
 ///
 /// Deprecated thin wrapper over [`crate::Session`], which replaces the old
-/// static modulo sharding with the work-stealing batch scheduler.
+/// static modulo sharding with the work-stealing batch scheduler. Only
+/// available with the `compat` cargo feature (on by default); see README's
+/// migration table for the removal timeline.
 ///
 /// # Errors
 ///
-/// Fails if the netlist is structurally invalid or cyclic.
+/// Fails if the netlist is structurally invalid, cyclic, or too large.
 ///
 /// # Panics
 ///
 /// Panics if a worker thread panics (a bug in the engine).
+#[cfg(feature = "compat")]
 #[deprecated(
     since = "0.2.0",
     note = "use `Session::new(netlist)?.property(p).threads(n).run()` instead"
@@ -605,7 +664,7 @@ pub fn check_parallel(
     property: Property,
     options: &VerifyOptions,
     threads: usize,
-) -> Result<Verdict, NetlistError> {
+) -> Result<Verdict, crate::Error> {
     Ok(crate::Session::new(netlist)?
         .property(property)
         .options(options.clone())
@@ -691,11 +750,14 @@ pub fn check_parallel_modulo(
 
 /// Checks `property` on `netlist` in one call.
 ///
-/// Deprecated thin wrapper over [`crate::Session`].
+/// Deprecated thin wrapper over [`crate::Session`]. Only available with the
+/// `compat` cargo feature (on by default); see README's migration table for
+/// the removal timeline.
 ///
 /// # Errors
 ///
-/// Fails if the netlist is structurally invalid or cyclic.
+/// Fails if the netlist is structurally invalid, cyclic, or too large.
+#[cfg(feature = "compat")]
 #[deprecated(
     since = "0.2.0",
     note = "use `Session::new(netlist)?.property(p).run()` instead"
@@ -704,7 +766,7 @@ pub fn check_netlist(
     netlist: &Netlist,
     property: Property,
     options: &VerifyOptions,
-) -> Result<Verdict, NetlistError> {
+) -> Result<Verdict, crate::Error> {
     Ok(crate::Session::new(netlist)?
         .property(property)
         .options(options.clone())
@@ -782,7 +844,47 @@ fn for_each_combination(
     }
 }
 
-/// Per-run engine state: spectrum caches and decision-diagram managers.
+/// Partial correlation rows of an enumeration prefix, in the DFS leaf order
+/// of [`product_rows`]. `None` marks the path on which no site has
+/// contributed a factor yet (joint mode's empty choices); it stands for the
+/// unit spectrum without materializing it.
+type RowList<S> = Vec<Option<Rc<S>>>;
+
+/// Prefix row lists larger than this are not materialized (wide glitch
+/// cones make the cartesian product of per-site choices explode); the
+/// engine falls back to the streaming DFS, which needs O(depth) memory.
+const MAX_PREFIX_ROWS: usize = 1 << 10;
+
+/// Estimated heap bytes of a cached row list (spectra report their own
+/// footprint; the `Option<Rc<_>>` slots add a word each).
+fn row_list_bytes<S: Spectrum>(rows: &[Option<Rc<S>>]) -> usize {
+    rows.iter().flatten().map(|s| s.heap_bytes()).sum::<usize>() + rows.len() * 8 + 32
+}
+
+/// The apply-cache entry limit derived from a prefix-cache byte budget
+/// (`None` keeps the manager's default bound).
+fn add_apply_limit(cache_budget: usize) -> Option<usize> {
+    (cache_budget > 0).then(|| (cache_budget / 48).clamp(1 << 14, 1 << 22))
+}
+
+/// How one combination's correlation rows will be produced.
+enum RowPlan<S> {
+    /// Streaming DFS over the per-site groups (cache off, or the prefix
+    /// row list would be too large to materialize).
+    Dfs(Vec<Vec<Rc<S>>>),
+    /// Materialized rows of the proper prefix plus the last site's group;
+    /// the last convolution level is streamed row by row.
+    Prefix(Rc<RowList<S>>, Rc<RowList<S>>),
+}
+
+/// FUJITA's analogue of [`RowPlan`] with sign-ADD handles.
+enum SignPlan {
+    Dfs(Vec<Vec<Add>>),
+    Prefix(Rc<Vec<Option<Add>>>, Rc<Vec<Option<Add>>>),
+}
+
+/// Per-run engine state: spectrum caches, prefix caches and
+/// decision-diagram managers.
 struct EngineCtx {
     kind: EngineKind,
     walsh: SparseWalshCache,
@@ -792,34 +894,70 @@ struct EngineCtx {
     adds: AddManager<Dyadic>,
     t_bdds: BddManager,
     t_cache: HashMap<Region, Bdd>,
+    /// Byte budget of each prefix cache below; `0` disables prefix caching
+    /// entirely (the engines then re-derive every tuple independently, as
+    /// before PR 2).
+    cache_budget: usize,
+    map_prefix: PrefixCache<Rc<RowList<MapSpectrum>>>,
+    lil_prefix: PrefixCache<Rc<RowList<LilSpectrum>>>,
+    add_prefix: PrefixCache<Rc<Vec<Option<Add>>>>,
 }
 
 impl EngineCtx {
-    fn new(kind: EngineKind, num_vars: u32) -> Self {
+    fn new(kind: EngineKind, num_vars: u32, cache_budget: usize) -> Self {
+        let mut adds = AddManager::new(num_vars);
+        if let Some(limit) = add_apply_limit(cache_budget) {
+            adds.set_apply_cache_limit(limit);
+        }
         EngineCtx {
             kind,
             walsh: SparseWalshCache::new(),
             map_base: HashMap::new(),
             lil_base: HashMap::new(),
             sign_base: HashMap::new(),
-            adds: AddManager::new(num_vars),
+            adds,
             t_bdds: BddManager::new(num_vars),
             t_cache: HashMap::new(),
+            cache_budget,
+            map_prefix: PrefixCache::new(cache_budget),
+            lil_prefix: PrefixCache::new(cache_budget),
+            add_prefix: PrefixCache::new(cache_budget),
         }
     }
 
     /// Bounds arena growth over very long enumerations: the per-row ADDs
     /// and support BDDs are transient, so once the arenas grow past a
     /// threshold everything (including the cached T matrices and sign
-    /// ADDs, which are cheap to rebuild) is dropped and re-created.
+    /// ADDs, which are cheap to rebuild) is dropped and re-created. Cached
+    /// prefix ADD handles point into the old arena, so the ADD prefix
+    /// cache is invalidated too (the spectrum prefix caches survive).
     fn maybe_collect(&mut self) {
         const NODE_LIMIT: usize = 4_000_000;
         if self.adds.arena_size() > NODE_LIMIT || self.t_bdds.arena_size() > NODE_LIMIT {
             let n = self.t_bdds.num_vars();
             self.adds = AddManager::new(self.adds.num_vars());
+            if let Some(limit) = add_apply_limit(self.cache_budget) {
+                self.adds.set_apply_cache_limit(limit);
+            }
             self.t_bdds = BddManager::new(n);
             self.t_cache.clear();
             self.sign_base.clear();
+            self.add_prefix.clear();
+        }
+    }
+
+    /// Folds the prefix-cache counters into `stats` (at most one of the
+    /// three caches is active for any engine kind; the others stay zero).
+    fn fold_cache_stats(&self, stats: &mut CheckStats) {
+        for s in [
+            self.map_prefix.stats(),
+            self.lil_prefix.stats(),
+            self.add_prefix.stats(),
+        ] {
+            stats.cache_hits += s.hits;
+            stats.cache_misses += s.misses;
+            stats.cache_evictions += s.evictions;
+            stats.cache_peak_bytes += s.peak_bytes;
         }
     }
 
@@ -833,51 +971,59 @@ impl EngineCtx {
     }
 
     /// Checks one combination; returns a violating coordinate, the reason,
-    /// and the leaking coefficient when a single row exhibits it.
+    /// and the leaking coefficient when a single row exhibits it. `idxs`
+    /// are the combination's global site indices — the prefix-cache keys.
+    #[allow(clippy::too_many_arguments)]
     fn check_combination(
         &mut self,
         bdds: &BddManager,
         vm: &VarMap,
         combo: &[&Site],
+        idxs: &[usize],
         region: &Region,
         mode: CheckMode,
         stats: &mut CheckStats,
     ) -> Option<(Mask, String, Option<Dyadic>)> {
         match (self.kind, mode) {
             (EngineKind::Lil, _) => {
-                self.scan_check::<LilSpectrum>(bdds, vm, combo, region, mode, stats)
+                self.scan_check::<LilSpectrum>(bdds, vm, combo, idxs, region, mode, stats)
             }
             (EngineKind::Map, _) => {
-                self.scan_check::<MapSpectrum>(bdds, vm, combo, region, mode, stats)
+                self.scan_check::<MapSpectrum>(bdds, vm, combo, idxs, region, mode, stats)
             }
             (EngineKind::Mapi, CheckMode::RowWise) => {
-                self.mapi_rowwise(bdds, vm, combo, region, stats)
+                self.mapi_rowwise(bdds, vm, combo, idxs, region, stats)
             }
             // MAPI joint: the union-support accumulation is a map scan (the
             // ADD only accelerates the per-row region product).
             (EngineKind::Mapi, CheckMode::Joint) => {
-                self.scan_check::<MapSpectrum>(bdds, vm, combo, region, mode, stats)
+                self.scan_check::<MapSpectrum>(bdds, vm, combo, idxs, region, mode, stats)
             }
-            (EngineKind::Fujita, _) => self.fujita_check(bdds, vm, combo, region, mode, stats),
+            (EngineKind::Fujita, _) => {
+                self.fujita_check(bdds, vm, combo, idxs, region, mode, stats)
+            }
         }
     }
 
     // ---- scan engines (LIL / MAP) ----
 
+    #[allow(clippy::too_many_arguments)]
     fn scan_check<S: Spectrum + SpectrumBase>(
         &mut self,
         bdds: &BddManager,
         vm: &VarMap,
         combo: &[&Site],
+        idxs: &[usize],
         region: &Region,
         mode: CheckMode,
         stats: &mut CheckStats,
     ) -> Option<(Mask, String, Option<Dyadic>)> {
-        let groups = self.subset_spectra::<S>(bdds, combo, mode, stats);
+        let joint = mode == CheckMode::Joint;
+        let plan = self.row_plan::<S>(bdds, combo, idxs, joint, stats);
         match mode {
             CheckMode::RowWise => {
                 let mut hit = None;
-                let _ = product_rows(&groups, false, stats, &mut |spec, stats| {
+                let _ = drive_rows(&plan, false, stats, &mut |spec, stats| {
                     stats.rows_checked += 1;
                     let t = Instant::now();
                     let found = spec.find(&|m, _| region.matches(vm, m));
@@ -892,7 +1038,7 @@ impl EngineCtx {
             }
             CheckMode::Joint => {
                 let mut union = Mask::ZERO;
-                let _ = product_rows(&groups, true, stats, &mut |spec, stats| {
+                let _ = drive_rows(&plan, true, stats, &mut |spec, stats| {
                     stats.rows_checked += 1;
                     let t = Instant::now();
                     union = union | spec.support_union(&|m| vm.rho_is_zero(m));
@@ -904,38 +1050,149 @@ impl EngineCtx {
         }
     }
 
+    /// Decides how this combination's rows will be produced and computes
+    /// the shared pieces: with the cache enabled, per-site groups and the
+    /// proper prefix's accumulated rows come from the prefix cache; with it
+    /// disabled (or when materializing the prefix would be too large), the
+    /// per-site groups feed the streaming DFS of [`product_rows`].
+    fn row_plan<S: Spectrum + SpectrumBase>(
+        &mut self,
+        bdds: &BddManager,
+        combo: &[&Site],
+        idxs: &[usize],
+        joint: bool,
+        stats: &mut CheckStats,
+    ) -> RowPlan<S> {
+        if self.cache_budget == 0 {
+            return RowPlan::Dfs(self.subset_spectra::<S>(bdds, combo, stats));
+        }
+        let groups: Vec<Rc<RowList<S>>> = combo
+            .iter()
+            .zip(idxs)
+            .map(|(site, &i)| self.site_rows::<S>(bdds, site, i, stats))
+            .collect();
+        let k = groups.len();
+        let rows_estimate = groups[..k - 1]
+            .iter()
+            .map(|g| g.len() + joint as usize)
+            .fold(1usize, usize::saturating_mul);
+        if rows_estimate > MAX_PREFIX_ROWS {
+            let plain = groups
+                .iter()
+                .map(|g| g.iter().flatten().cloned().collect())
+                .collect();
+            return RowPlan::Dfs(plain);
+        }
+        let prefix = if k == 1 {
+            Rc::new(vec![None])
+        } else {
+            self.prefix_rows::<S>(&idxs[..k - 1], &groups[..k - 1], joint, stats)
+        };
+        RowPlan::Prefix(prefix, Rc::clone(&groups[k - 1]))
+    }
+
+    /// The per-site row group — spectra of every non-empty subset of the
+    /// site's observed functions (a single element in the standard model) —
+    /// cached at key `([i], row-wise)`, which doubles as the depth-1
+    /// row-wise prefix entry (the values coincide).
+    fn site_rows<S: Spectrum + SpectrumBase>(
+        &mut self,
+        bdds: &BddManager,
+        site: &Site,
+        idx: usize,
+        stats: &mut CheckStats,
+    ) -> Rc<RowList<S>> {
+        if let Some(rows) = S::prefix_cache(self).get(&[idx], false) {
+            return rows;
+        }
+        let rows = Rc::new(self.one_site_rows::<S>(bdds, site, stats));
+        let bytes = row_list_bytes(&rows);
+        S::prefix_cache(self).insert(&[idx], false, Rc::clone(&rows), bytes);
+        rows
+    }
+
+    /// Computes one site's subset spectra (no cache interaction).
+    fn one_site_rows<S: Spectrum + SpectrumBase>(
+        &mut self,
+        bdds: &BddManager,
+        site: &Site,
+        stats: &mut CheckStats,
+    ) -> RowList<S> {
+        let mut out: RowList<S> = Vec::with_capacity((1 << site.funcs.len()) - 1);
+        // Enumerate non-empty subsets; reuse smaller subsets'
+        // results: subset m = (m without lowest bit) ⊛ base(lowest).
+        for m in 1usize..1 << site.funcs.len() {
+            let low = m.trailing_zeros() as usize;
+            let rest = m & (m - 1);
+            let base = S::base(self, bdds, site.funcs[low], stats);
+            let spec = if rest == 0 {
+                base
+            } else {
+                let prev = out[rest - 1].as_ref().expect("site rows are all present");
+                let t = Instant::now();
+                let conv = prev.convolve(&base);
+                stats.convolution_time += t.elapsed();
+                stats.convolutions += 1;
+                Rc::new(conv)
+            };
+            out.push(Some(spec));
+        }
+        out
+    }
+
+    /// Accumulated partial rows of the proper prefix `idxs` (site-index
+    /// slice of length ≥ 1), in DFS leaf order. Probes the cache from the
+    /// deepest level down, then extends one level at a time, caching every
+    /// intermediate so sibling tuples and deeper prefixes reuse it.
+    fn prefix_rows<S: Spectrum + SpectrumBase>(
+        &mut self,
+        idxs: &[usize],
+        groups: &[Rc<RowList<S>>],
+        joint: bool,
+        stats: &mut CheckStats,
+    ) -> Rc<RowList<S>> {
+        let depth = idxs.len();
+        // Depth-1 row-wise rows are the site group itself (same cache key
+        // `([i], false)` that `site_rows` maintains), so the descent stops
+        // at level 1 without a second probe there.
+        let (mut level, mut rows) = if joint {
+            (0, Rc::new(vec![None]))
+        } else {
+            (1, Rc::clone(&groups[0]))
+        };
+        for j in ((level + 1)..=depth).rev() {
+            if let Some(r) = S::prefix_cache(self).get(&idxs[..j], joint) {
+                rows = r;
+                level = j;
+                break;
+            }
+        }
+        while level < depth {
+            let next = Rc::new(extend_rows(&rows, &groups[level], joint, stats));
+            level += 1;
+            let bytes = row_list_bytes(&next);
+            S::prefix_cache(self).insert(&idxs[..level], joint, Rc::clone(&next), bytes);
+            rows = next;
+        }
+        rows
+    }
+
     /// Per-site spectra of every non-empty subset of the site's observed
-    /// functions (a single element per site in the standard model).
+    /// functions, computed fresh for this combination (the cache-off path:
+    /// exactly the pre-PR-2 cost model).
     fn subset_spectra<S: Spectrum + SpectrumBase>(
         &mut self,
         bdds: &BddManager,
         combo: &[&Site],
-        _mode: CheckMode,
         stats: &mut CheckStats,
     ) -> Vec<Vec<Rc<S>>> {
         combo
             .iter()
             .map(|site| {
-                let mut out: Vec<Rc<S>> = Vec::with_capacity((1 << site.funcs.len()) - 1);
-                // Enumerate non-empty subsets; reuse smaller subsets'
-                // results: subset m = (m without lowest bit) ⊛ base(lowest).
-                for m in 1usize..1 << site.funcs.len() {
-                    let low = m.trailing_zeros() as usize;
-                    let rest = m & (m - 1);
-                    let base = S::base(self, bdds, site.funcs[low], stats);
-                    let spec = if rest == 0 {
-                        base
-                    } else {
-                        let prev = Rc::clone(&out[rest - 1]);
-                        let t = Instant::now();
-                        let conv = prev.convolve(&base);
-                        stats.convolution_time += t.elapsed();
-                        stats.convolutions += 1;
-                        Rc::new(conv)
-                    };
-                    out.push(spec);
-                }
-                out
+                self.one_site_rows::<S>(bdds, site, stats)
+                    .into_iter()
+                    .flatten()
+                    .collect()
             })
             .collect()
     }
@@ -947,15 +1204,16 @@ impl EngineCtx {
         bdds: &BddManager,
         vm: &VarMap,
         combo: &[&Site],
+        idxs: &[usize],
         region: &Region,
         stats: &mut CheckStats,
     ) -> Option<(Mask, String, Option<Dyadic>)> {
-        let groups = self.subset_spectra::<MapSpectrum>(bdds, combo, CheckMode::RowWise, stats);
+        let plan = self.row_plan::<MapSpectrum>(bdds, combo, idxs, false, stats);
         let t_matrix = self.t_matrix(region, vm);
         let mut hit = None;
         let adds = &mut self.adds;
         let t_bdds = &mut self.t_bdds;
-        let _ = product_rows(&groups, false, stats, &mut |spec, stats| {
+        let _ = drive_rows(&plan, false, stats, &mut |spec, stats| {
             stats.rows_checked += 1;
             let t = Instant::now();
             // Convert the convolution into an ADD and resolve the
@@ -976,98 +1234,212 @@ impl EngineCtx {
 
     // ---- FUJITA: full ADD pipeline ----
 
+    #[allow(clippy::too_many_arguments)]
     fn fujita_check(
         &mut self,
         bdds: &BddManager,
         vm: &VarMap,
         combo: &[&Site],
+        idxs: &[usize],
         region: &Region,
         mode: CheckMode,
         stats: &mut CheckStats,
     ) -> Option<(Mask, String, Option<Dyadic>)> {
-        // Per-site sign-ADD products of every non-empty subset.
-        let groups: Vec<Vec<Add>> = combo
-            .iter()
-            .map(|site| {
-                let mut out: Vec<Add> = Vec::with_capacity((1 << site.funcs.len()) - 1);
-                for m in 1usize..1 << site.funcs.len() {
-                    let low = m.trailing_zeros() as usize;
-                    let rest = m & (m - 1);
-                    let base = self.sign(bdds, site.funcs[low], stats);
-                    let prod = if rest == 0 {
-                        base
-                    } else {
-                        let prev = out[rest - 1];
-                        let t = Instant::now();
-                        let p = self.adds.mul_op(prev, base);
-                        stats.convolution_time += t.elapsed();
-                        p
-                    };
-                    out.push(prod);
-                }
-                out
-            })
-            .collect();
-
+        let joint = mode == CheckMode::Joint;
+        let plan = self.sign_plan(bdds, combo, idxs, joint, stats);
         let t_matrix = self.t_matrix(region, vm);
         let adds = &mut self.adds;
         let t_bdds = &mut self.t_bdds;
-        let unit = adds.constant(Dyadic::ONE);
 
         match mode {
             CheckMode::RowWise => {
                 let mut hit = None;
-                let _ = product_signs(
-                    adds,
-                    &groups,
-                    false,
-                    unit,
-                    stats,
-                    &mut |adds, sign, stats| {
-                        stats.rows_checked += 1;
-                        let t = Instant::now();
-                        let spec = wht(adds, sign);
-                        stats.convolution_time += t.elapsed();
-                        stats.convolutions += 1;
-                        let t = Instant::now();
-                        let nonzero = adds.nonzero_bdd(t_bdds, spec);
-                        let product = t_bdds.and(nonzero, t_matrix);
-                        stats.verification_time += t.elapsed();
-                        if product != Bdd::FALSE {
-                            let alpha = t_bdds.one_sat(product).expect("satisfiable product");
-                            hit = Some((Mask(alpha), *adds.eval(spec, alpha)));
-                            return ControlFlow::Break(());
-                        }
-                        ControlFlow::Continue(())
-                    },
-                );
+                let _ = drive_signs(adds, &plan, false, stats, &mut |adds, sign, stats| {
+                    stats.rows_checked += 1;
+                    let t = Instant::now();
+                    let spec = wht(adds, sign);
+                    stats.convolution_time += t.elapsed();
+                    stats.convolutions += 1;
+                    let t = Instant::now();
+                    let nonzero = adds.nonzero_bdd(t_bdds, spec);
+                    let product = t_bdds.and(nonzero, t_matrix);
+                    stats.verification_time += t.elapsed();
+                    if product != Bdd::FALSE {
+                        let alpha = t_bdds.one_sat(product).expect("satisfiable product");
+                        hit = Some((Mask(alpha), *adds.eval(spec, alpha)));
+                        return ControlFlow::Break(());
+                    }
+                    ControlFlow::Continue(())
+                });
                 hit.map(|(m, c)| (m, rowwise_reason(region, vm, m), Some(c)))
             }
             CheckMode::Joint => {
                 let mut union = Mask::ZERO;
                 let randoms = vm.random_vars();
-                let _ = product_signs(
-                    adds,
-                    &groups,
-                    true,
-                    unit,
-                    stats,
-                    &mut |adds, sign, stats| {
-                        stats.rows_checked += 1;
-                        let t = Instant::now();
-                        let spec = wht(adds, sign);
-                        stats.convolution_time += t.elapsed();
-                        stats.convolutions += 1;
-                        let t = Instant::now();
-                        let nonzero = adds.nonzero_bdd(t_bdds, spec);
-                        union = union | add_support_union(t_bdds, nonzero, &randoms);
-                        stats.verification_time += t.elapsed();
-                        ControlFlow::Continue(())
-                    },
-                );
+                let _ = drive_signs(adds, &plan, true, stats, &mut |adds, sign, stats| {
+                    stats.rows_checked += 1;
+                    let t = Instant::now();
+                    let spec = wht(adds, sign);
+                    stats.convolution_time += t.elapsed();
+                    stats.convolutions += 1;
+                    let t = Instant::now();
+                    let nonzero = adds.nonzero_bdd(t_bdds, spec);
+                    union = union | add_support_union(t_bdds, nonzero, &randoms);
+                    stats.verification_time += t.elapsed();
+                    ControlFlow::Continue(())
+                });
                 joint_verdict(region, vm, union).map(|(m, r)| (m, r, None))
             }
         }
+    }
+
+    /// FUJITA's [`RowPlan`]: sign-ADD groups per site, with the proper
+    /// prefix's accumulated sign products cached like the spectrum paths
+    /// (ADD handles are cheap to store; the nodes live in the shared arena,
+    /// whose growth [`EngineCtx::maybe_collect`] bounds separately).
+    fn sign_plan(
+        &mut self,
+        bdds: &BddManager,
+        combo: &[&Site],
+        idxs: &[usize],
+        joint: bool,
+        stats: &mut CheckStats,
+    ) -> SignPlan {
+        if self.cache_budget == 0 {
+            let groups = combo
+                .iter()
+                .map(|site| self.one_site_signs(bdds, site, stats))
+                .collect();
+            return SignPlan::Dfs(groups);
+        }
+        let groups: Vec<Rc<Vec<Option<Add>>>> = combo
+            .iter()
+            .zip(idxs)
+            .map(|(site, &i)| self.site_signs(bdds, site, i, stats))
+            .collect();
+        let k = groups.len();
+        let rows_estimate = groups[..k - 1]
+            .iter()
+            .map(|g| g.len() + joint as usize)
+            .fold(1usize, usize::saturating_mul);
+        if rows_estimate > MAX_PREFIX_ROWS {
+            let plain = groups
+                .iter()
+                .map(|g| g.iter().flatten().copied().collect())
+                .collect();
+            return SignPlan::Dfs(plain);
+        }
+        let prefix = if k == 1 {
+            Rc::new(vec![None])
+        } else {
+            self.prefix_signs(&idxs[..k - 1], &groups[..k - 1], joint, stats)
+        };
+        SignPlan::Prefix(prefix, Rc::clone(&groups[k - 1]))
+    }
+
+    /// Cached per-site sign-ADD group (key `([i], row-wise)` in the ADD
+    /// prefix cache, mirroring [`EngineCtx::site_rows`]).
+    fn site_signs(
+        &mut self,
+        bdds: &BddManager,
+        site: &Site,
+        idx: usize,
+        stats: &mut CheckStats,
+    ) -> Rc<Vec<Option<Add>>> {
+        if let Some(rows) = self.add_prefix.get(&[idx], false) {
+            return rows;
+        }
+        let rows: Rc<Vec<Option<Add>>> = Rc::new(
+            self.one_site_signs(bdds, site, stats)
+                .into_iter()
+                .map(Some)
+                .collect(),
+        );
+        let bytes = rows.len() * 8 + 32;
+        self.add_prefix
+            .insert(&[idx], false, Rc::clone(&rows), bytes);
+        rows
+    }
+
+    /// Sign-ADD products of every non-empty subset of one site's observed
+    /// functions (no cache interaction).
+    fn one_site_signs(
+        &mut self,
+        bdds: &BddManager,
+        site: &Site,
+        stats: &mut CheckStats,
+    ) -> Vec<Add> {
+        let mut out: Vec<Add> = Vec::with_capacity((1 << site.funcs.len()) - 1);
+        for m in 1usize..1 << site.funcs.len() {
+            let low = m.trailing_zeros() as usize;
+            let rest = m & (m - 1);
+            let base = self.sign(bdds, site.funcs[low], stats);
+            let prod = if rest == 0 {
+                base
+            } else {
+                let prev = out[rest - 1];
+                let t = Instant::now();
+                let p = self.adds.mul_op(prev, base);
+                stats.convolution_time += t.elapsed();
+                p
+            };
+            out.push(prod);
+        }
+        out
+    }
+
+    /// Accumulated sign products of the proper prefix `idxs`, analogous to
+    /// [`EngineCtx::prefix_rows`]. `None` is the not-yet-multiplied path
+    /// (the unit constant without materializing it; multiplying by the unit
+    /// would return the identical hash-consed handle anyway).
+    fn prefix_signs(
+        &mut self,
+        idxs: &[usize],
+        groups: &[Rc<Vec<Option<Add>>>],
+        joint: bool,
+        stats: &mut CheckStats,
+    ) -> Rc<Vec<Option<Add>>> {
+        let depth = idxs.len();
+        let (mut level, mut rows) = if joint {
+            (0, Rc::new(vec![None]))
+        } else {
+            (1, Rc::clone(&groups[0]))
+        };
+        for j in ((level + 1)..=depth).rev() {
+            if let Some(r) = self.add_prefix.get(&idxs[..j], joint) {
+                rows = r;
+                level = j;
+                break;
+            }
+        }
+        while level < depth {
+            let group = Rc::clone(&groups[level]);
+            let mut next: Vec<Option<Add>> =
+                Vec::with_capacity(rows.len() * (group.len() + joint as usize));
+            for &r in rows.iter() {
+                if joint {
+                    next.push(r);
+                }
+                for &c in group.iter().flatten() {
+                    match r {
+                        None => next.push(Some(c)),
+                        Some(prev) => {
+                            let t = Instant::now();
+                            let p = self.adds.mul_op(prev, c);
+                            stats.convolution_time += t.elapsed();
+                            next.push(Some(p));
+                        }
+                    }
+                }
+            }
+            let next = Rc::new(next);
+            level += 1;
+            let bytes = next.len() * 8 + 32;
+            self.add_prefix
+                .insert(&idxs[..level], joint, Rc::clone(&next), bytes);
+            rows = next;
+        }
+        rows
     }
 
     fn sign(&mut self, bdds: &BddManager, f: Bdd, stats: &mut CheckStats) -> Add {
@@ -1082,10 +1454,11 @@ impl EngineCtx {
     }
 }
 
-/// Hook giving the generic scan path access to the right base-spectrum
-/// cache of the context.
+/// Hook giving the generic scan path access to the right base-spectrum and
+/// prefix caches of the context.
 trait SpectrumBase: Sized {
     fn base(ctx: &mut EngineCtx, bdds: &BddManager, f: Bdd, stats: &mut CheckStats) -> Rc<Self>;
+    fn prefix_cache(ctx: &mut EngineCtx) -> &mut PrefixCache<Rc<RowList<Self>>>;
 }
 
 impl SpectrumBase for MapSpectrum {
@@ -1099,6 +1472,10 @@ impl SpectrumBase for MapSpectrum {
         stats.convolution_time += t.elapsed();
         ctx.map_base.insert(f, Rc::clone(&s));
         s
+    }
+
+    fn prefix_cache(ctx: &mut EngineCtx) -> &mut PrefixCache<Rc<RowList<Self>>> {
+        &mut ctx.map_prefix
     }
 }
 
@@ -1114,6 +1491,140 @@ impl SpectrumBase for LilSpectrum {
         ctx.lil_base.insert(f, Rc::clone(&s));
         s
     }
+
+    fn prefix_cache(ctx: &mut EngineCtx) -> &mut PrefixCache<Rc<RowList<Self>>> {
+        &mut ctx.lil_prefix
+    }
+}
+
+/// Extends the accumulated prefix rows by one site's group, preserving the
+/// DFS leaf order (rows outer, choices inner; joint mode's empty choice
+/// first). The convolution association is the same left-to-right chain the
+/// DFS computes, so the resulting spectra are identical, not just
+/// equivalent.
+fn extend_rows<S: Spectrum>(
+    rows: &RowList<S>,
+    group: &RowList<S>,
+    joint: bool,
+    stats: &mut CheckStats,
+) -> RowList<S> {
+    let mut out: RowList<S> = Vec::with_capacity(rows.len() * (group.len() + joint as usize));
+    for r in rows {
+        if joint {
+            out.push(r.clone());
+        }
+        for c in group.iter().flatten() {
+            match r {
+                None => out.push(Some(Rc::clone(c))),
+                Some(prev) => {
+                    let t = Instant::now();
+                    let conv = prev.convolve(c);
+                    stats.convolution_time += t.elapsed();
+                    stats.convolutions += 1;
+                    out.push(Some(Rc::new(conv)));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Drives `leaf` over every correlation row of a [`RowPlan`], in the same
+/// leaf order either way (the deterministic-witness guarantee depends on
+/// it; see DESIGN.md §9).
+fn drive_rows<S: Spectrum>(
+    plan: &RowPlan<S>,
+    joint: bool,
+    stats: &mut CheckStats,
+    leaf: &mut dyn FnMut(&S, &mut CheckStats) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    match plan {
+        RowPlan::Dfs(groups) => product_rows(groups, joint, stats, leaf),
+        RowPlan::Prefix(rows, group) => stream_rows(rows, group, joint, stats, leaf),
+    }
+}
+
+/// Streams the last convolution level: every prefix row times every choice
+/// of the final site (plus, in joint mode, the prefix row itself for the
+/// final site's empty choice). The all-empty path (`None` row, empty last
+/// choice) is skipped exactly as [`product_rows`] skips its `None`
+/// accumulator.
+fn stream_rows<S: Spectrum>(
+    rows: &RowList<S>,
+    group: &RowList<S>,
+    joint: bool,
+    stats: &mut CheckStats,
+    leaf: &mut dyn FnMut(&S, &mut CheckStats) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    for r in rows {
+        if joint {
+            if let Some(spec) = r {
+                leaf(spec, stats)?;
+            }
+        }
+        for c in group.iter().flatten() {
+            match r {
+                None => leaf(c, stats)?,
+                Some(prev) => {
+                    let t = Instant::now();
+                    let conv = prev.convolve(c);
+                    stats.convolution_time += t.elapsed();
+                    stats.convolutions += 1;
+                    leaf(&conv, stats)?;
+                }
+            }
+        }
+    }
+    ControlFlow::Continue(())
+}
+
+/// [`drive_rows`] for the FUJITA sign-ADD pipeline.
+fn drive_signs(
+    adds: &mut AddManager<Dyadic>,
+    plan: &SignPlan,
+    joint: bool,
+    stats: &mut CheckStats,
+    leaf: &mut SignLeaf<'_>,
+) -> ControlFlow<()> {
+    match plan {
+        SignPlan::Dfs(groups) => {
+            let unit = adds.constant(Dyadic::ONE);
+            product_signs(adds, groups, joint, unit, stats, leaf)
+        }
+        SignPlan::Prefix(rows, group) => stream_signs(adds, rows, group, joint, stats, leaf),
+    }
+}
+
+/// Sign-ADD analogue of [`stream_rows`]. A `None` row times a choice is the
+/// choice itself — multiplying by the unit constant would return the same
+/// hash-consed handle, so skipping it changes nothing but the cost.
+fn stream_signs(
+    adds: &mut AddManager<Dyadic>,
+    rows: &[Option<Add>],
+    group: &[Option<Add>],
+    joint: bool,
+    stats: &mut CheckStats,
+    leaf: &mut SignLeaf<'_>,
+) -> ControlFlow<()> {
+    for &r in rows {
+        if joint {
+            if let Some(sign) = r {
+                leaf(adds, sign, stats)?;
+            }
+        }
+        for &c in group.iter().flatten() {
+            match r {
+                None => leaf(adds, c, stats)?,
+                Some(prev) => {
+                    let t = Instant::now();
+                    let prod = adds.mul_op(prev, c);
+                    stats.convolution_time += t.elapsed();
+                    leaf(adds, prod, stats)?;
+                }
+            }
+        }
+    }
+    ControlFlow::Continue(())
 }
 
 /// Walks the cartesian product of per-site row choices, convolving along the

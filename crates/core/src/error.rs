@@ -1,0 +1,78 @@
+//! The unified error type of the core crate.
+//!
+//! Fallible entry points ([`crate::Session::new`], the deprecated
+//! `check_*` wrappers, the CLI front end) return [`Error`] instead of
+//! leaking the circuit crate's error types directly, so a caller matches
+//! one enum regardless of which layer failed.
+
+use std::fmt;
+
+use walshcheck_circuit::ilang::ParseIlangError;
+use walshcheck_circuit::netlist::NetlistError;
+
+/// Any failure the verification API can report.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// The netlist is structurally invalid (multiple drivers, cycles,
+    /// bad sharing annotations, …).
+    Netlist(NetlistError),
+    /// An RTLIL (`.il`) source failed to parse.
+    ParseIlang(ParseIlangError),
+    /// The run configuration is inconsistent or unusable.
+    Config(String),
+    /// The design exceeds an engine capacity limit (e.g. more input
+    /// variables than a spectral coordinate can index).
+    Capacity(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Netlist(e) => write!(f, "invalid netlist: {e}"),
+            Error::ParseIlang(e) => write!(f, "parse error: {e}"),
+            Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Capacity(msg) => write!(f, "capacity exceeded: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Netlist(e) => Some(e),
+            Error::ParseIlang(e) => Some(e),
+            Error::Config(_) | Error::Capacity(_) => None,
+        }
+    }
+}
+
+impl From<NetlistError> for Error {
+    fn from(e: NetlistError) -> Self {
+        Error::Netlist(e)
+    }
+}
+
+impl From<ParseIlangError> for Error {
+    fn from(e: ParseIlangError) -> Self {
+        Error::ParseIlang(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_and_source() {
+        let e = Error::from(NetlistError::CombinationalCycle("t".into()));
+        assert!(e.to_string().starts_with("invalid netlist:"));
+        assert!(e.source().is_some());
+        let e = Error::Capacity("129 input variables (limit 128)".into());
+        assert!(e.to_string().contains("capacity exceeded"));
+        assert!(e.source().is_none());
+        let e = Error::Config("no property set".into());
+        assert!(e.to_string().contains("invalid configuration"));
+    }
+}

@@ -24,7 +24,7 @@
 //! use walshcheck_core::{Property, Session};
 //! use walshcheck_circuit::builder::NetlistBuilder;
 //!
-//! # fn main() -> Result<(), walshcheck_circuit::netlist::NetlistError> {
+//! # fn main() -> Result<(), walshcheck_core::Error> {
 //! // A refreshed pass-through: q = (a0 ⊕ r) ⊕ a1.
 //! let mut b = NetlistBuilder::new("demo");
 //! let x = b.secret("x");
@@ -46,10 +46,12 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod error;
 pub mod exhaustive;
 pub mod heuristic;
 pub mod mask;
 pub mod observe;
+mod pcache;
 pub mod property;
 pub mod report;
 mod scheduler;
@@ -61,11 +63,13 @@ pub mod uniformity;
 
 #[doc(hidden)]
 pub use engine::check_parallel_modulo;
+#[cfg(feature = "compat")]
 #[allow(deprecated)]
 pub use engine::{check_netlist, check_parallel};
 pub use engine::{EngineKind, Verifier, VerifyOptions, VerifyOptionsBuilder};
+pub use error::Error;
 pub use mask::{Mask, VarMap};
 pub use observe::{ChannelObserver, EnginePhase, ProgressEvent, ProgressObserver};
 pub use property::{CheckMode, CheckStats, Property, Verdict, Witness};
-pub use report::run_report_json;
+pub use report::{run_report_json, ReportCacheConfig};
 pub use session::Session;

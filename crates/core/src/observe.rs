@@ -92,6 +92,14 @@ pub trait ProgressObserver: Send + Sync {
         let _ = (phase, elapsed);
     }
 
+    /// Merged prefix-cache counters of all workers, reported once per run
+    /// just before [`ProgressObserver::run_finished`] (all zero when the
+    /// cache is disabled). `peak_bytes` is the sum of per-worker peaks —
+    /// an upper bound on the simultaneous footprint.
+    fn cache_stats(&self, hits: u64, misses: u64, evictions: u64, peak_bytes: u64) {
+        let _ = (hits, misses, evictions, peak_bytes);
+    }
+
     /// The run is over; `stats` are the merged counters of all workers.
     fn run_finished(&self, stats: &CheckStats) {
         let _ = stats;
@@ -153,6 +161,17 @@ pub enum ProgressEvent {
         phase: EnginePhase,
         /// Its wall time.
         elapsed: Duration,
+    },
+    /// See [`ProgressObserver::cache_stats`].
+    CacheStats {
+        /// Prefix-cache lookups served from the cache.
+        hits: u64,
+        /// Entries computed and inserted.
+        misses: u64,
+        /// Entries dropped (budget, oversized, or invalidation).
+        evictions: u64,
+        /// Summed per-worker peak footprint estimate, in bytes.
+        peak_bytes: u64,
     },
     /// See [`ProgressObserver::run_finished`].
     RunFinished {
@@ -230,6 +249,15 @@ impl ProgressObserver for ChannelObserver {
         self.send(ProgressEvent::PhaseTiming { phase, elapsed });
     }
 
+    fn cache_stats(&self, hits: u64, misses: u64, evictions: u64, peak_bytes: u64) {
+        self.send(ProgressEvent::CacheStats {
+            hits,
+            misses,
+            evictions,
+            peak_bytes,
+        });
+    }
+
     fn run_finished(&self, stats: &CheckStats) {
         self.send(ProgressEvent::RunFinished {
             stats: stats.clone(),
@@ -257,9 +285,10 @@ mod tests {
         obs.violation_found(0, 3, &w);
         obs.batch_finished(0, 4, 1);
         obs.phase_timing(EnginePhase::Enumerate, Duration::from_millis(1));
+        obs.cache_stats(8, 4, 1, 4096);
         obs.run_finished(&CheckStats::default());
         let events: Vec<ProgressEvent> = rx.try_iter().collect();
-        assert_eq!(events.len(), 7);
+        assert_eq!(events.len(), 8);
         assert_eq!(
             events[0],
             ProgressEvent::RunStarted {
@@ -272,7 +301,16 @@ mod tests {
             events[3],
             ProgressEvent::ViolationFound { index: 3, .. }
         ));
-        assert!(matches!(events[6], ProgressEvent::RunFinished { .. }));
+        assert_eq!(
+            events[6],
+            ProgressEvent::CacheStats {
+                hits: 8,
+                misses: 4,
+                evictions: 1,
+                peak_bytes: 4096
+            }
+        );
+        assert!(matches!(events[7], ProgressEvent::RunFinished { .. }));
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! Memory-bounded prefix cache for partial convolution products.
+//!
+//! The combination enumeration is lexicographic, which is exactly a DFS over
+//! the prefix trie of site-index tuples: consecutive tuples share long
+//! prefixes. The engines exploit that by caching, per worker, the list of
+//! partial correlation rows of each proper prefix they compute — a later
+//! tuple extending the same prefix reuses the rows instead of re-convolving
+//! them (see DESIGN.md §9).
+//!
+//! [`PrefixCache`] is the container behind that reuse: a hash map keyed by
+//! `(prefix, mode)` with least-recently-used eviction driven by an estimated
+//! byte budget, replacing the unbounded maps a naive memoization would grow.
+//! Values are opaque to the cache; the caller supplies a byte estimate at
+//! insertion time (spectra report their own heap footprint, decision-diagram
+//! handles are accounted as handles since their nodes live in a shared
+//! arena).
+//!
+//! Counting convention: a **hit** is a lookup served from the cache; a
+//! **miss** is an entry the engine had to compute and insert (the descending
+//! prefix probe of one tuple is not counted as multiple misses); an
+//! **eviction** is an entry dropped by the budget, rejected as oversized, or
+//! invalidated by [`PrefixCache::clear`].
+
+use std::collections::HashMap;
+
+/// Aggregate counters of one [`PrefixCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct PrefixCacheStats {
+    /// Lookups served from the cache.
+    pub(crate) hits: u64,
+    /// Entries computed and inserted.
+    pub(crate) misses: u64,
+    /// Entries dropped (budget, oversized, or invalidation).
+    pub(crate) evictions: u64,
+    /// Largest estimated footprint reached, in bytes.
+    pub(crate) peak_bytes: u64,
+}
+
+/// Cache key: the site-index prefix plus the row-construction mode (joint
+/// mode interleaves empty-choice rows, so its row lists differ from
+/// row-wise ones for the same prefix).
+#[derive(Debug, Default, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    prefix: Vec<u32>,
+    joint: bool,
+}
+
+fn key_of(prefix: &[usize], joint: bool) -> Key {
+    Key {
+        prefix: prefix.iter().map(|&i| i as u32).collect(),
+        joint,
+    }
+}
+
+/// Estimated heap bytes of a key (for budget accounting).
+fn key_bytes(key: &Key) -> usize {
+    key.prefix.len() * 4 + 32
+}
+
+#[derive(Debug)]
+struct Slot<V> {
+    value: V,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// An LRU cache bounded by an estimated byte budget. See the module docs.
+#[derive(Debug)]
+pub(crate) struct PrefixCache<V> {
+    map: HashMap<Key, Slot<V>>,
+    /// Reusable lookup key, so the hot `get` path allocates nothing.
+    scratch: Key,
+    budget: usize,
+    used: usize,
+    tick: u64,
+    stats: PrefixCacheStats,
+}
+
+impl<V: Clone> PrefixCache<V> {
+    pub(crate) fn new(budget: usize) -> Self {
+        PrefixCache {
+            map: HashMap::new(),
+            scratch: Key {
+                prefix: Vec::new(),
+                joint: false,
+            },
+            budget,
+            used: 0,
+            tick: 0,
+            stats: PrefixCacheStats::default(),
+        }
+    }
+
+    /// Looks up the row list of `(prefix, joint)`, refreshing its recency.
+    /// Values are refcounted handles, so a hit hands out a clone.
+    pub(crate) fn get(&mut self, prefix: &[usize], joint: bool) -> Option<V> {
+        let mut key = std::mem::take(&mut self.scratch);
+        key.prefix.clear();
+        key.prefix.extend(prefix.iter().map(|&i| i as u32));
+        key.joint = joint;
+        self.tick += 1;
+        let tick = self.tick;
+        let found = self.map.get_mut(&key).map(|slot| {
+            slot.last_used = tick;
+            slot.value.clone()
+        });
+        self.scratch = key;
+        if found.is_some() {
+            self.stats.hits += 1;
+        }
+        found
+    }
+
+    /// Inserts a freshly computed entry of estimated `bytes` size, evicting
+    /// least-recently-used entries if the budget is exceeded. Counts one
+    /// miss (the caller had to compute `value`).
+    pub(crate) fn insert(&mut self, prefix: &[usize], joint: bool, value: V, bytes: usize) {
+        self.stats.misses += 1;
+        let key = key_of(prefix, joint);
+        let bytes = bytes + key_bytes(&key);
+        if bytes > self.budget {
+            // A single oversized value would immediately flush everything
+            // else; refusing it keeps the cache useful.
+            self.stats.evictions += 1;
+            return;
+        }
+        self.tick += 1;
+        let slot = Slot {
+            value,
+            bytes,
+            last_used: self.tick,
+        };
+        if let Some(old) = self.map.insert(key, slot) {
+            self.used -= old.bytes;
+        }
+        self.used += bytes;
+        if self.used > self.budget {
+            self.evict();
+        }
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.used as u64);
+    }
+
+    /// Evicts in LRU order until usage drops below 7/8 of the budget (the
+    /// slack amortizes the O(n log n) recency sort over many insertions).
+    fn evict(&mut self) {
+        let target = self.budget - self.budget / 8;
+        let mut order: Vec<(u64, Key)> = self
+            .map
+            .iter()
+            .map(|(k, s)| (s.last_used, k.clone()))
+            .collect();
+        order.sort_unstable_by_key(|&(t, _)| t);
+        for (_, key) in order {
+            if self.used <= target {
+                break;
+            }
+            if let Some(slot) = self.map.remove(&key) {
+                self.used -= slot.bytes;
+                self.stats.evictions += 1;
+            }
+        }
+    }
+
+    /// Drops every entry (used when cached decision-diagram handles are
+    /// invalidated by an arena reset). Cleared entries count as evictions.
+    pub(crate) fn clear(&mut self) {
+        self.stats.evictions += self.map.len() as u64;
+        self.map.clear();
+        self.used = 0;
+    }
+
+    /// Current counter snapshot.
+    pub(crate) fn stats(&self) -> PrefixCacheStats {
+        self.stats
+    }
+
+    /// Current estimated footprint in bytes.
+    #[cfg(test)]
+    pub(crate) fn used_bytes(&self) -> usize {
+        self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c: PrefixCache<u32> = PrefixCache::new(1 << 20);
+        assert!(c.get(&[0, 1], false).is_none());
+        c.insert(&[0, 1], false, 7, 100);
+        assert_eq!(c.get(&[0, 1], false), Some(7));
+        // Same prefix, other mode: distinct entry.
+        assert!(c.get(&[0, 1], true).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 1, 0));
+        assert!(s.peak_bytes > 0);
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used() {
+        // Each entry costs ~1000 + key bytes; budget fits about three.
+        let mut c: PrefixCache<u32> = PrefixCache::new(3_200);
+        c.insert(&[0], false, 0, 1000);
+        c.insert(&[1], false, 1, 1000);
+        c.insert(&[2], false, 2, 1000);
+        // Refresh [0] so [1] is the LRU entry.
+        assert!(c.get(&[0], false).is_some());
+        c.insert(&[3], false, 3, 1000);
+        assert!(c.get(&[1], false).is_none(), "LRU entry evicted");
+        assert!(c.get(&[3], false).is_some(), "new entry resident");
+        assert!(c.stats().evictions >= 1);
+        assert!(c.used_bytes() <= 3_200);
+    }
+
+    #[test]
+    fn oversized_values_are_rejected() {
+        let mut c: PrefixCache<u32> = PrefixCache::new(100);
+        c.insert(&[0], false, 9, 1000);
+        assert!(c.get(&[0], false).is_none());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn clear_counts_invalidations() {
+        let mut c: PrefixCache<u32> = PrefixCache::new(1 << 20);
+        c.insert(&[0], false, 0, 10);
+        c.insert(&[0, 1], true, 1, 10);
+        c.clear();
+        assert_eq!(c.stats().evictions, 2);
+        assert!(c.get(&[0], false).is_none());
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn replacing_an_entry_keeps_accounting_consistent() {
+        let mut c: PrefixCache<u32> = PrefixCache::new(1 << 20);
+        c.insert(&[0], false, 1, 500);
+        let used = c.used_bytes();
+        c.insert(&[0], false, 2, 500);
+        assert_eq!(c.used_bytes(), used);
+        assert_eq!(c.get(&[0], false), Some(2));
+    }
+}

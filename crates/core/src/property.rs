@@ -124,6 +124,18 @@ pub struct CheckStats {
     pub convolutions: u64,
     /// Matrix rows tested against the property.
     pub rows_checked: u64,
+    /// Prefix-cache lookups served from the cache (partial convolution
+    /// products reused across tuples; see DESIGN.md §9).
+    pub cache_hits: u64,
+    /// Prefix-cache entries that had to be computed and inserted.
+    pub cache_misses: u64,
+    /// Prefix-cache entries dropped — by the byte budget, as oversized, or
+    /// invalidated by a decision-diagram arena reset.
+    pub cache_evictions: u64,
+    /// Peak estimated prefix-cache footprint in bytes. Workers cache
+    /// independently, so the merged value is the sum of per-worker peaks
+    /// (an upper bound on the simultaneous footprint).
+    pub cache_peak_bytes: u64,
     /// Time spent computing base spectra and convolutions.
     pub convolution_time: Duration,
     /// Time spent testing rows against the property (T-matrix products or
@@ -146,6 +158,10 @@ impl CheckStats {
         self.pruned += other.pruned;
         self.convolutions += other.convolutions;
         self.rows_checked += other.rows_checked;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.cache_peak_bytes += other.cache_peak_bytes;
         self.convolution_time += other.convolution_time;
         self.verification_time += other.verification_time;
         self.total_time = self.total_time.max(other.total_time);

@@ -2,7 +2,7 @@
 //!
 //! The build environment vendors no serialization framework, so this module
 //! hand-rolls the small, stable JSON surface that `walshcheck check --json`
-//! emits (schema `walshcheck-report/1`, documented in the README). All
+//! emits (schema `walshcheck-report/2`, documented in the README). All
 //! emitters produce compact single-line JSON with escaped strings; numbers
 //! are plain decimals, durations are fractional seconds.
 
@@ -43,13 +43,19 @@ impl CheckStats {
         format!(
             concat!(
                 "{{\"combinations\":{},\"pruned\":{},\"convolutions\":{},",
-                "\"rows_checked\":{},\"convolution_seconds\":{},",
+                "\"rows_checked\":{},\"cache_hits\":{},\"cache_misses\":{},",
+                "\"cache_evictions\":{},\"cache_peak_bytes\":{},",
+                "\"convolution_seconds\":{},",
                 "\"verification_seconds\":{},\"total_seconds\":{},\"timed_out\":{}}}"
             ),
             self.combinations,
             self.pruned,
             self.convolutions,
             self.rows_checked,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.cache_peak_bytes,
             seconds(self.convolution_time),
             seconds(self.verification_time),
             seconds(self.total_time),
@@ -121,25 +127,49 @@ impl Verdict {
     }
 }
 
+/// The prefix-cache configuration of a run, echoed in the report so cache
+/// counters can be interpreted (schema `walshcheck-report/2`).
+#[derive(Debug, Clone, Copy)]
+pub struct ReportCacheConfig {
+    /// Whether prefix-shared convolution caching was enabled.
+    pub enabled: bool,
+    /// The per-worker byte budget the run was configured with.
+    pub budget_bytes: usize,
+}
+
+impl From<&crate::engine::VerifyOptions> for ReportCacheConfig {
+    fn from(options: &crate::engine::VerifyOptions) -> Self {
+        ReportCacheConfig {
+            enabled: options.cache && options.cache_budget > 0,
+            budget_bytes: options.cache_budget,
+        }
+    }
+}
+
 /// The full `walshcheck check --json` run report (schema
-/// `walshcheck-report/1`): the verdict plus run configuration and the
-/// observer-collected engine-phase timings `(name, duration)`.
+/// `walshcheck-report/2`): the verdict plus run configuration, the
+/// prefix-cache configuration and counters, and the observer-collected
+/// engine-phase timings `(name, duration)`.
 pub fn run_report_json(
     netlist: &Netlist,
     verdict: &Verdict,
     engine: &str,
     mode: &str,
     threads: usize,
+    cache: ReportCacheConfig,
     phases: &[(String, Duration)],
 ) -> String {
     let phase_fields: Vec<String> = phases
         .iter()
         .map(|(name, d)| format!("\"{}\":{}", json_escape(name), seconds(*d)))
         .collect();
+    let stats = &verdict.stats;
     format!(
         concat!(
-            "{{\"schema\":\"walshcheck-report/1\",\"netlist\":\"{}\",",
+            "{{\"schema\":\"walshcheck-report/2\",\"netlist\":\"{}\",",
             "\"engine\":\"{}\",\"mode\":\"{}\",\"threads\":{},",
+            "\"cache\":{{\"enabled\":{},\"budget_bytes\":{},\"hits\":{},",
+            "\"misses\":{},\"evictions\":{},\"peak_bytes\":{}}},",
             "\"property\":\"{}\",\"secure\":{},\"witness\":{},",
             "\"stats\":{},\"phases\":{{{}}}}}"
         ),
@@ -147,6 +177,12 @@ pub fn run_report_json(
         json_escape(engine),
         json_escape(mode),
         threads,
+        cache.enabled,
+        cache.budget_bytes,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
+        stats.cache_peak_bytes,
         json_escape(&verdict.property.to_string()),
         verdict.secure,
         match &verdict.witness {

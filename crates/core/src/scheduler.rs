@@ -183,13 +183,22 @@ impl BatchQueue {
         let first_index = cur.global;
         let mut flat = Vec::with_capacity(want * k);
         let mut produced = 0usize;
-        while produced < want {
+        loop {
             let combo = cur.next.as_mut().expect("cursor positioned");
+            // A combination ending at `n - 1` is the last extension of its
+            // (k−1)-prefix: stopping the batch only there keeps every
+            // subtree of the prefix trie on a single worker, so its prefix
+            // cache sees all the reuse (the overshoot past `want` is at
+            // most `n − 1` combinations).
+            let closes_subtree = k < 2 || combo[k - 1] == self.n - 1;
             flat.extend_from_slice(combo);
             produced += 1;
             if !next_combination(combo, self.n) {
                 cur.next = None;
                 cur.bucket += 1;
+                break;
+            }
+            if produced >= want && closes_subtree {
                 break;
             }
         }
@@ -322,6 +331,12 @@ pub(crate) fn run(
         obs.phase_timing(EnginePhase::Enumerate, enum_time);
         obs.phase_timing(EnginePhase::Convolution, stats.convolution_time);
         obs.phase_timing(EnginePhase::Verification, stats.verification_time);
+        obs.cache_stats(
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.cache_evictions,
+            stats.cache_peak_bytes,
+        );
         obs.run_finished(&stats);
     }
 
@@ -402,6 +417,7 @@ fn worker_loop(
             obs.batch_finished(wid, stats.combinations - checked0, stats.pruned - pruned0);
         }
     }
+    state.finish(&mut stats);
     stats.total_time = worker_start.elapsed();
     stats
 }
@@ -479,6 +495,27 @@ mod tests {
         assert!(queue.next_batch().is_some());
         queue.hard_stop();
         assert!(queue.next_batch().is_none());
+    }
+
+    #[test]
+    fn batches_end_on_subtree_boundaries() {
+        // C(9,3) = 84 with threads = 2 gives a nominal batch length of 2,
+        // so nearly every batch must be extended to its subtree boundary.
+        let queue = BatchQueue::new(9, vec![3], 2);
+        let mut total = 0u64;
+        while let Some(batch) = queue.next_batch() {
+            let last = batch.flat.chunks_exact(batch.k).last().expect("non-empty");
+            assert_eq!(last[batch.k - 1], 8, "batch ends mid-subtree: {last:?}");
+            total += batch.len() as u64;
+        }
+        assert_eq!(total, binomial(9, 3));
+        // Size-1 buckets have no prefix to align on.
+        let queue = BatchQueue::new(9, vec![1], 2);
+        let mut total = 0u64;
+        while let Some(batch) = queue.next_batch() {
+            total += batch.len() as u64;
+        }
+        assert_eq!(total, 9);
     }
 
     #[test]

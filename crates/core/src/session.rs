@@ -28,9 +28,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use walshcheck_circuit::glitch::ProbeModel;
-use walshcheck_circuit::netlist::{Netlist, NetlistError};
+use walshcheck_circuit::netlist::Netlist;
+use walshcheck_dd::var::VarId;
 
 use crate::engine::{EngineKind, Verifier, VerifyOptions};
+use crate::error::Error;
 use crate::observe::ProgressObserver;
 use crate::property::{CheckMode, Property, Verdict, Witness};
 use crate::scheduler::{self, SetupTimings};
@@ -62,8 +64,17 @@ impl Session {
     ///
     /// # Errors
     ///
-    /// Fails if the netlist is structurally invalid or cyclic.
-    pub fn new(netlist: &Netlist) -> Result<Self, NetlistError> {
+    /// Fails with [`Error::Netlist`] if the netlist is structurally invalid
+    /// or cyclic, and with [`Error::Capacity`] if it has more input
+    /// variables than a spectral coordinate can index.
+    pub fn new(netlist: &Netlist) -> Result<Self, Error> {
+        if netlist.inputs.len() > VarId::MAX_VARS as usize {
+            return Err(Error::Capacity(format!(
+                "{} input variables (limit {})",
+                netlist.inputs.len(),
+                VarId::MAX_VARS
+            )));
+        }
         let t = Instant::now();
         netlist.validate()?;
         let validate = t.elapsed();
@@ -134,6 +145,22 @@ impl Session {
     #[must_use]
     pub fn time_limit(mut self, limit: Duration) -> Self {
         self.options.time_limit = Some(limit);
+        self
+    }
+
+    /// Prefix-shared convolution caching on/off (on by default). Purely a
+    /// time/memory trade: verdicts and witnesses are identical either way.
+    #[must_use]
+    pub fn cache(mut self, on: bool) -> Self {
+        self.options.cache = on;
+        self
+    }
+
+    /// Byte budget of each worker's prefix cache (least-recently-used
+    /// eviction above it; `0` disables caching).
+    #[must_use]
+    pub fn cache_budget(mut self, bytes: usize) -> Self {
+        self.options.cache_budget = bytes;
         self
     }
 

@@ -73,6 +73,11 @@ pub trait Spectrum: Clone {
 
     /// The coefficient at `mask` (zero if absent).
     fn coefficient(&self, mask: Mask) -> Dyadic;
+
+    /// Estimated heap footprint in bytes, used by the prefix-cache budget
+    /// accounting. An estimate (container overhead is approximated), not an
+    /// exact measure.
+    fn heap_bytes(&self) -> usize;
 }
 
 /// Hash-map backed spectrum (the paper's MAP/MAPI container).
@@ -139,6 +144,11 @@ impl Spectrum for MapSpectrum {
 
     fn coefficient(&self, mask: Mask) -> Dyadic {
         self.entries.get(&mask.0).copied().unwrap_or(Dyadic::ZERO)
+    }
+
+    fn heap_bytes(&self) -> usize {
+        // (u128, Dyadic) payload plus hash-map control bytes and slack.
+        self.entries.len() * 48 + 48
     }
 }
 
@@ -209,6 +219,10 @@ impl Spectrum for LilSpectrum {
             Ok(i) => self.entries[i].1,
             Err(_) => Dyadic::ZERO,
         }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.entries.len() * 32 + 32
     }
 }
 

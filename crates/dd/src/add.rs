@@ -58,6 +58,30 @@ struct Node {
     hi: Add,
 }
 
+/// Counters of the memoization caches behind [`AddManager::apply2`] /
+/// [`AddManager::apply1`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyCacheStats {
+    /// Lookups answered from a cache.
+    pub hits: u64,
+    /// Results computed and inserted.
+    pub misses: u64,
+    /// Times a cache was dropped wholesale — on reaching the entry limit or
+    /// via [`AddManager::clear_caches`].
+    pub flushes: u64,
+}
+
+/// Default per-cache entry limit (see
+/// [`AddManager::set_apply_cache_limit`]).
+const DEFAULT_APPLY_CACHE_LIMIT: usize = 1 << 20;
+
+/// Estimated bytes per binary-cache entry: key `(u8, Add, Add)` + value
+/// `Add` + `HashMap` overhead.
+const BINARY_ENTRY_BYTES: usize = 48;
+
+/// Estimated bytes per unary-cache entry.
+const UNARY_ENTRY_BYTES: usize = 40;
+
 /// An arena-based hash-consed ADD manager over terminal values of type `T`.
 ///
 /// Terminal values are interned, so `T` must have a canonical representation
@@ -70,6 +94,8 @@ pub struct AddManager<T> {
     term_unique: HashMap<T, Add>,
     binary_cache: HashMap<(u8, Add, Add), Add>,
     unary_cache: HashMap<(u8, Add), Add>,
+    apply_cache_limit: usize,
+    apply_stats: ApplyCacheStats,
     num_vars: u32,
 }
 
@@ -88,8 +114,27 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
             term_unique: HashMap::new(),
             binary_cache: HashMap::new(),
             unary_cache: HashMap::new(),
+            apply_cache_limit: DEFAULT_APPLY_CACHE_LIMIT,
+            apply_stats: ApplyCacheStats::default(),
             num_vars,
         }
+    }
+
+    /// Caps each apply cache at `limit` entries (floored at 16); a cache
+    /// reaching its cap is dropped wholesale before the next insert.
+    /// Memoization only affects time, never results, so any limit is safe.
+    pub fn set_apply_cache_limit(&mut self, limit: usize) {
+        self.apply_cache_limit = limit.max(16);
+    }
+
+    /// The apply-cache counters accumulated so far (they survive flushes).
+    pub fn apply_cache_stats(&self) -> ApplyCacheStats {
+        self.apply_stats
+    }
+
+    /// Estimated current heap footprint of both apply caches, in bytes.
+    pub fn apply_cache_bytes(&self) -> usize {
+        self.binary_cache.len() * BINARY_ENTRY_BYTES + self.unary_cache.len() * UNARY_ENTRY_BYTES
     }
 
     /// Number of variables managed.
@@ -185,6 +230,7 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
             return self.constant(v);
         }
         if let Some(&r) = self.binary_cache.get(&(token, f, g)) {
+            self.apply_stats.hits += 1;
             return r;
         }
         let vf = self.var_of(f);
@@ -205,6 +251,11 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
         let r0 = self.apply2(token, f0, g0, op);
         let r1 = self.apply2(token, f1, g1, op);
         let r = self.mk(VarId(top), r0, r1);
+        if self.binary_cache.len() >= self.apply_cache_limit {
+            self.binary_cache.clear();
+            self.apply_stats.flushes += 1;
+        }
+        self.apply_stats.misses += 1;
         self.binary_cache.insert((token, f, g), r);
         r
     }
@@ -216,12 +267,18 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
             return self.constant(v);
         }
         if let Some(&r) = self.unary_cache.get(&(token, f)) {
+            self.apply_stats.hits += 1;
             return r;
         }
         let n = self.nodes[f.0 as usize];
         let r0 = self.apply1(token, n.lo, op);
         let r1 = self.apply1(token, n.hi, op);
         let r = self.mk(VarId(n.var), r0, r1);
+        if self.unary_cache.len() >= self.apply_cache_limit {
+            self.unary_cache.clear();
+            self.apply_stats.flushes += 1;
+        }
+        self.apply_stats.misses += 1;
         self.unary_cache.insert((token, f), r);
         r
     }
@@ -410,6 +467,9 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
 
     /// Clears the operation caches; handles remain valid.
     pub fn clear_caches(&mut self) {
+        if !self.binary_cache.is_empty() || !self.unary_cache.is_empty() {
+            self.apply_stats.flushes += 1;
+        }
         self.binary_cache.clear();
         self.unary_cache.clear();
     }
@@ -589,6 +649,36 @@ mod tests {
         // Empty sparse set is the default constant.
         let z = m.from_sparse(Vec::new(), Dyadic::ONE);
         assert_eq!(m.terminal_value(z), Some(&Dyadic::ONE));
+    }
+
+    #[test]
+    fn apply_cache_counts_and_flushes() {
+        let mut m: AddManager<Dyadic> = AddManager::new(4);
+        m.set_apply_cache_limit(0); // floored at 16
+        let x = m.indicator(VarId(0), Dyadic::from_int(2), Dyadic::ZERO);
+        let y = m.indicator(VarId(1), Dyadic::from_int(3), Dyadic::ONE);
+        let s = m.add_op(x, y);
+        let before = m.apply_cache_stats();
+        assert!(before.misses > 0);
+        assert!(m.apply_cache_bytes() > 0);
+        // Same operation again: served from cache, result identical.
+        let s2 = m.add_op(x, y);
+        assert_eq!(s, s2);
+        let after = m.apply_cache_stats();
+        assert!(after.hits > before.hits);
+        assert_eq!(after.misses, before.misses);
+        // Fill past the 16-entry floor so an insert flushes the cache.
+        let mut acc = s;
+        for v in 2..4 {
+            let i = m.indicator(VarId(v), Dyadic::from_int(v as i64), Dyadic::ONE);
+            acc = m.add_op(acc, i);
+            acc = m.mul_op(acc, i);
+        }
+        m.clear_caches();
+        assert!(m.apply_cache_stats().flushes > 0);
+        assert_eq!(m.apply_cache_bytes(), 0);
+        // Counters survive the flush.
+        assert!(m.apply_cache_stats().misses >= after.misses);
     }
 
     #[test]

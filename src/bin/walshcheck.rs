@@ -16,6 +16,8 @@
 //!   --threads N                      parallel verification (work-stealing)
 //!   --time-limit SECS                abort with a partial verdict
 //!   --no-prefilter                   disable the functional-support prefilter
+//!   --no-cache                       disable prefix-shared convolution caching
+//!   --cache-budget BYTES             per-worker prefix-cache budget
 //!   --minimize                       shrink the witness to a minimal one
 //!   --progress                       live progress ticker on stderr
 //!   --json                           machine-readable run report on stdout
@@ -27,7 +29,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use walshcheck::prelude::*;
-use walshcheck_core::run_report_json;
+use walshcheck_core::{run_report_json, Error, ReportCacheConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -37,14 +39,19 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-fn load(target: &str) -> Result<Netlist, String> {
+fn load(target: &str) -> Result<Netlist, Error> {
     if let Some(name) = target.strip_prefix("bench:") {
         return Benchmark::from_name(name)
             .map(|b| b.netlist())
-            .ok_or_else(|| format!("unknown benchmark `{name}` (try `walshcheck list`)"));
+            .ok_or_else(|| {
+                Error::Config(format!(
+                    "unknown benchmark `{name}` (try `walshcheck list`)"
+                ))
+            });
     }
-    let text = std::fs::read_to_string(target).map_err(|e| format!("{target}: {e}"))?;
-    parse_ilang(&text).map_err(|e| e.to_string())
+    let text =
+        std::fs::read_to_string(target).map_err(|e| Error::Config(format!("{target}: {e}")))?;
+    Ok(parse_ilang(&text)?)
 }
 
 struct Cli {
@@ -56,12 +63,14 @@ struct Cli {
     threads: usize,
     time_limit: Option<std::time::Duration>,
     prefilter: bool,
+    cache: bool,
+    cache_budget: Option<usize>,
     minimize: bool,
     progress: bool,
     json: bool,
 }
 
-fn parse_options(args: &[String]) -> Result<Cli, String> {
+fn parse_options(args: &[String]) -> Result<Cli, Error> {
     let mut cli = Cli {
         property: "sni".into(),
         order: None,
@@ -71,6 +80,8 @@ fn parse_options(args: &[String]) -> Result<Cli, String> {
         threads: 1,
         time_limit: None,
         prefilter: true,
+        cache: true,
+        cache_budget: None,
         minimize: false,
         progress: false,
         json: false,
@@ -80,50 +91,51 @@ fn parse_options(args: &[String]) -> Result<Cli, String> {
         let mut value = |name: &str| {
             it.next()
                 .cloned()
-                .ok_or_else(|| format!("{name} needs a value"))
+                .ok_or_else(|| Error::Config(format!("{name} needs a value")))
         };
+        let bad = |name: &str| Error::Config(format!("bad {name}"));
         match arg.as_str() {
             "--property" => cli.property = value("--property")?.to_lowercase(),
-            "--order" => {
-                cli.order = Some(
-                    value("--order")?
-                        .parse()
-                        .map_err(|_| "bad --order".to_string())?,
-                )
-            }
+            "--order" => cli.order = Some(value("--order")?.parse().map_err(|_| bad("--order"))?),
             "--engine" => {
                 cli.engine = match value("--engine")?.to_lowercase().as_str() {
                     "lil" => EngineKind::Lil,
                     "map" => EngineKind::Map,
                     "mapi" => EngineKind::Mapi,
                     "fujita" => EngineKind::Fujita,
-                    other => return Err(format!("unknown engine `{other}`")),
+                    other => return Err(Error::Config(format!("unknown engine `{other}`"))),
                 }
             }
             "--mode" => {
                 cli.mode = match value("--mode")?.to_lowercase().as_str() {
                     "rowwise" | "row-wise" => CheckMode::RowWise,
                     "joint" => CheckMode::Joint,
-                    other => return Err(format!("unknown mode `{other}`")),
+                    other => return Err(Error::Config(format!("unknown mode `{other}`"))),
                 }
             }
             "--glitch" => cli.glitch = true,
             "--threads" => {
-                cli.threads = value("--threads")?
-                    .parse()
-                    .map_err(|_| "bad --threads".to_string())?
+                cli.threads = value("--threads")?.parse().map_err(|_| bad("--threads"))?
             }
             "--time-limit" => {
                 let secs: u64 = value("--time-limit")?
                     .parse()
-                    .map_err(|_| "bad --time-limit".to_string())?;
+                    .map_err(|_| bad("--time-limit"))?;
                 cli.time_limit = Some(std::time::Duration::from_secs(secs));
             }
             "--no-prefilter" => cli.prefilter = false,
+            "--no-cache" => cli.cache = false,
+            "--cache-budget" => {
+                cli.cache_budget = Some(
+                    value("--cache-budget")?
+                        .parse()
+                        .map_err(|_| bad("--cache-budget"))?,
+                )
+            }
             "--minimize" => cli.minimize = true,
             "--progress" => cli.progress = true,
             "--json" => cli.json = true,
-            other => return Err(format!("unknown option `{other}`")),
+            other => return Err(Error::Config(format!("unknown option `{other}`"))),
         }
     }
     Ok(cli)
@@ -195,7 +207,7 @@ fn aggregate_events(rx: Receiver<ProgressEvent>, ticker: bool) -> Vec<(String, D
     phases
 }
 
-fn run_check(target: &str, args: &[String]) -> Result<ExitCode, String> {
+fn run_check(target: &str, args: &[String]) -> Result<ExitCode, Error> {
     let netlist = load(target)?;
     let cli = parse_options(args)?;
     let d = cli.order.unwrap_or_else(|| {
@@ -207,12 +219,16 @@ fn run_check(target: &str, args: &[String]) -> Result<ExitCode, String> {
         "ni" => Property::Ni(d),
         "sni" => Property::Sni(d),
         "pini" => Property::Pini(d),
-        other => return Err(format!("unknown property `{other}`")),
+        other => return Err(Error::Config(format!("unknown property `{other}`"))),
     };
     let mut builder = VerifyOptions::builder()
         .engine(cli.engine)
         .mode(cli.mode)
-        .prefilter(cli.prefilter);
+        .prefilter(cli.prefilter)
+        .cache(cli.cache);
+    if let Some(bytes) = cli.cache_budget {
+        builder = builder.cache_budget(bytes);
+    }
     if let Some(limit) = cli.time_limit {
         builder = builder.time_limit(limit);
     }
@@ -221,8 +237,7 @@ fn run_check(target: &str, args: &[String]) -> Result<ExitCode, String> {
     }
     let options = builder.build();
 
-    let mut session = Session::new(&netlist)
-        .map_err(|e| e.to_string())?
+    let mut session = Session::new(&netlist)?
         .property(property)
         .options(options.clone())
         .threads(cli.threads);
@@ -269,6 +284,7 @@ fn run_check(target: &str, args: &[String]) -> Result<ExitCode, String> {
                 &options.engine.to_string().to_ascii_lowercase(),
                 mode,
                 cli.threads.max(1),
+                ReportCacheConfig::from(&options),
                 &phases,
             )
         );
@@ -301,6 +317,15 @@ fn run_check(target: &str, args: &[String]) -> Result<ExitCode, String> {
                 ""
             }
         );
+        if verdict.stats.cache_hits + verdict.stats.cache_misses > 0 {
+            println!(
+                "  prefix cache: {} hits, {} misses, {} evictions, {} peak bytes",
+                verdict.stats.cache_hits,
+                verdict.stats.cache_misses,
+                verdict.stats.cache_evictions,
+                verdict.stats.cache_peak_bytes
+            );
+        }
     }
     Ok(if verdict.secure && !verdict.stats.timed_out {
         ExitCode::SUCCESS
@@ -309,7 +334,7 @@ fn run_check(target: &str, args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
-fn run_profile(target: &str, args: &[String]) -> Result<ExitCode, String> {
+fn run_profile(target: &str, args: &[String]) -> Result<ExitCode, Error> {
     let netlist = load(target)?;
     let mut max_order: u32 = 0;
     let mut glitch = false;
@@ -320,10 +345,10 @@ fn run_profile(target: &str, args: &[String]) -> Result<ExitCode, String> {
                 max_order = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .ok_or("bad --max-order")?
+                    .ok_or_else(|| Error::Config("bad --max-order".into()))?
             }
             "--glitch" => glitch = true,
-            other => return Err(format!("unknown option `{other}`")),
+            other => return Err(Error::Config(format!("unknown option `{other}`"))),
         }
     }
     if max_order == 0 {
@@ -337,9 +362,7 @@ fn run_profile(target: &str, args: &[String]) -> Result<ExitCode, String> {
     let options = builder.build();
     // One session across the whole sweep: the unfolding is reused by every
     // (order, property) cell.
-    let mut session = Session::new(&netlist)
-        .map_err(|e| e.to_string())?
-        .options(options);
+    let mut session = Session::new(&netlist)?.options(options);
     println!(
         "security profile of {}{}:",
         netlist.name,
@@ -369,9 +392,9 @@ fn run_profile(target: &str, args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-fn run_info(target: &str) -> Result<ExitCode, String> {
+fn run_info(target: &str) -> Result<ExitCode, Error> {
     let n = load(target)?;
-    let st = walshcheck::circuit::stats::stats(&n).map_err(|e| e.to_string())?;
+    let st = walshcheck::circuit::stats::stats(&n)?;
     println!("module {}", n.name);
     println!("  wires:   {}", n.num_wires());
     println!(
@@ -427,6 +450,7 @@ fn main() -> ExitCode {
                  options: --property probing|ni|sni|pini  --order D\n\
                  \x20        --engine lil|map|mapi|fujita    --mode rowwise|joint\n\
                  \x20        --glitch  --threads N  --time-limit SECS  --no-prefilter\n\
+                 \x20        --no-cache  --cache-budget BYTES\n\
                  \x20        --minimize  --progress  --json"
             );
             Ok(ExitCode::SUCCESS)

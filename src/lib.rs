@@ -20,7 +20,7 @@
 //! ```
 //! use walshcheck::prelude::*;
 //!
-//! # fn main() -> Result<(), walshcheck::circuit::netlist::NetlistError> {
+//! # fn main() -> Result<(), walshcheck::core::Error> {
 //! let dom1 = Benchmark::Dom(1).netlist();
 //! let verdict = Session::new(&dom1)?.property(Property::Sni(1)).run();
 //! assert!(verdict.secure);
@@ -46,9 +46,11 @@ pub mod prelude {
     pub use walshcheck_circuit::glitch::ProbeModel;
     pub use walshcheck_circuit::ilang::{parse_ilang, write_ilang};
     pub use walshcheck_circuit::netlist::Netlist;
+    #[cfg(feature = "compat")]
     #[allow(deprecated)]
     pub use walshcheck_core::engine::check_netlist;
     pub use walshcheck_core::engine::{EngineKind, Verifier, VerifyOptions, VerifyOptionsBuilder};
+    pub use walshcheck_core::error::Error;
     pub use walshcheck_core::observe::{
         ChannelObserver, EnginePhase, ProgressEvent, ProgressObserver,
     };

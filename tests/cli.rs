@@ -105,11 +105,13 @@ fn json_report_for_secure_gadget() {
     let (stdout, _, code) = walshcheck(&["check", "bench:dom-1", "--property", "sni", "--json"]);
     assert_eq!(code, Some(0), "{stdout}");
     for fragment in [
-        "\"schema\":\"walshcheck-report/1\"",
+        "\"schema\":\"walshcheck-report/2\"",
         "\"netlist\":\"dom-1\"",
+        "\"cache\":{\"enabled\":true,",
         "\"secure\":true",
         "\"witness\":null",
         "\"combinations\":",
+        "\"cache_hits\":",
         "\"phases\":{",
         "\"enumerate\":",
     ] {
@@ -138,6 +140,38 @@ fn json_report_for_insecure_gadget_carries_the_witness() {
             "missing {fragment} in:\n{stdout}"
         );
     }
+}
+
+#[test]
+fn no_cache_flag_disables_caching_without_changing_the_verdict() {
+    let cached = walshcheck(&["check", "bench:dom-2", "--property", "sni", "--json"]);
+    let uncached = walshcheck(&[
+        "check",
+        "bench:dom-2",
+        "--property",
+        "sni",
+        "--json",
+        "--no-cache",
+    ]);
+    assert_eq!(cached.2, Some(0), "{}", cached.0);
+    assert_eq!(uncached.2, Some(0), "{}", uncached.0);
+    assert!(
+        cached.0.contains("\"cache\":{\"enabled\":true,"),
+        "{}",
+        cached.0
+    );
+    assert!(
+        uncached.0.contains("\"cache\":{\"enabled\":false,"),
+        "{}",
+        uncached.0
+    );
+    // Caching is a pure time/memory trade: same verdict either way, and
+    // the disabled run reports all-zero counters.
+    assert!(uncached
+        .0
+        .contains("\"hits\":0,\"misses\":0,\"evictions\":0,\"peak_bytes\":0"));
+    assert!(cached.0.contains("\"secure\":true"));
+    assert!(uncached.0.contains("\"secure\":true"));
 }
 
 #[test]

@@ -68,6 +68,7 @@ fn modulo_shards_partition_the_combination_space() {
     assert_eq!(par.secure, serial.secure);
 }
 
+#[cfg(feature = "compat")]
 #[test]
 #[allow(deprecated)]
 fn deprecated_entry_points_still_work() {

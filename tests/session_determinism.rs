@@ -1,4 +1,4 @@
-//! Thread-count independence of the work-stealing scheduler.
+//! Thread-count and cache independence of the work-stealing scheduler.
 //!
 //! The scheduler's contract: the verdict — secure flag, witness
 //! combination, witness reason — is identical whatever the worker count,
@@ -9,6 +9,11 @@
 //! before cancellation propagates) and is deliberately not asserted.
 //! These tests pin that contract for every engine over the shipped
 //! corpus and the built-in benchmarks.
+//!
+//! The prefix cache (DESIGN.md §9) carries the same contract: caching
+//! partial convolutions is a pure time/memory trade, so verdict and
+//! witness must be byte-identical with the cache on, off, or thrashing
+//! under a tiny budget — at any thread count.
 
 use walshcheck::prelude::*;
 use walshcheck_gadgets::composition::composition_fig1;
@@ -125,6 +130,132 @@ fn witnesses_are_thread_count_independent_on_insecure_gadgets() {
             assert_thread_independent(label, &n, prop, engine);
         }
     }
+}
+
+/// Runs `prop` on `n` with the prefix cache on and off (at `threads`
+/// workers) and asserts the verdicts are byte-identical: the cache is a
+/// pure time/memory trade and must never influence the result.
+fn assert_cache_transparent(
+    label: &str,
+    n: &Netlist,
+    prop: Property,
+    engine: EngineKind,
+    threads: usize,
+) {
+    let run = |cache: bool| {
+        Session::new(n)
+            .expect("valid")
+            .engine(engine)
+            .property(prop)
+            .cache(cache)
+            .threads(threads)
+            .run()
+    };
+    let cached = run(true);
+    let uncached = run(false);
+    assert_eq!(
+        cached.secure, uncached.secure,
+        "{label} {prop:?} {engine} t{threads}: cache flipped the verdict"
+    );
+    assert_eq!(
+        cached.witness, uncached.witness,
+        "{label} {prop:?} {engine} t{threads}: cache changed the witness"
+    );
+    if cached.witness.is_none() {
+        assert_eq!(
+            cached.stats.combinations, uncached.stats.combinations,
+            "{label} {prop:?} {engine} t{threads}: combination counts differ"
+        );
+    }
+    assert_eq!(
+        uncached.stats.cache_hits + uncached.stats.cache_misses,
+        0,
+        "{label} {prop:?} {engine} t{threads}: disabled cache still counted"
+    );
+}
+
+#[test]
+fn corpus_verdicts_are_cache_independent() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("corpus directory present")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "il"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty());
+    for path in files {
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let n = parse_ilang(&text).expect("corpus parses");
+        let shares = n.shares_of(walshcheck::circuit::SecretId(0)).len() as u32;
+        let d = shares.saturating_sub(1).max(1);
+        let label = path.file_name().unwrap().to_string_lossy().into_owned();
+        for engine in engines() {
+            for threads in [1, 4] {
+                assert_cache_transparent(&label, &n, Property::Probing(d), engine, threads);
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_is_transparent_on_insecure_gadgets_and_ni_workloads() {
+    // Insecure gadgets pin witness identity; the NI(d+2) workloads reach
+    // tuple sizes ≥ 3 where prefix reuse actually fires.
+    for (label, n, prop) in [
+        ("isw-2-broken", isw_and_broken(2), Property::Sni(2)),
+        ("ti-1", Benchmark::Ti1.netlist(), Property::Sni(1)),
+        ("dom-1", Benchmark::Dom(1).netlist(), Property::Ni(3)),
+        ("dom-2", Benchmark::Dom(2).netlist(), Property::Ni(4)),
+    ] {
+        for engine in engines() {
+            for threads in [1, 4] {
+                assert_cache_transparent(label, &n, prop, engine, threads);
+            }
+        }
+    }
+}
+
+#[test]
+fn tiny_cache_budgets_only_cost_time() {
+    // A budget small enough to thrash (constant evictions / oversized
+    // rejections) must still produce the exact serial verdict.
+    let n = Benchmark::Dom(2).netlist();
+    for engine in engines() {
+        let full = Session::new(&n)
+            .expect("valid")
+            .engine(engine)
+            .property(Property::Ni(4))
+            .run();
+        let tiny = Session::new(&n)
+            .expect("valid")
+            .engine(engine)
+            .property(Property::Ni(4))
+            .cache_budget(4096)
+            .threads(4)
+            .run();
+        assert_eq!(full.secure, tiny.secure, "{engine}: tiny budget flipped");
+        assert_eq!(full.witness, tiny.witness, "{engine}: tiny budget witness");
+    }
+}
+
+#[test]
+fn prefix_cache_fires_on_deep_tuples() {
+    // NI(4) on dom-2 enumerates tuples of up to four probes; consecutive
+    // tuples share prefixes, so the cache must report real traffic.
+    let n = Benchmark::Dom(2).netlist();
+    let v = Session::new(&n)
+        .expect("valid")
+        .property(Property::Ni(4))
+        .run();
+    assert!(
+        v.stats.cache_hits > 0,
+        "no prefix-cache hits: {:?}",
+        v.stats
+    );
+    assert!(v.stats.cache_misses > 0, "no misses recorded");
+    assert!(v.stats.cache_peak_bytes > 0, "no footprint recorded");
 }
 
 #[test]
