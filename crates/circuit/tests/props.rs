@@ -162,6 +162,29 @@ proptest! {
         let _ = parse_ilang(&text);
     }
 
+    /// Truncation fuzz: every prefix of a valid document must parse
+    /// totally — either a (semantically complete) netlist or a clean
+    /// `Err`, never a panic. This is the resilience contract the CLI's
+    /// exit-code 3 path relies on when fed a half-written file.
+    #[test]
+    fn parser_total_on_truncated_documents(
+        recipes in recipe_strategy(12),
+        cut in 0usize..4096,
+    ) {
+        let text = write_ilang(&build_netlist(&recipes));
+        let cut = cut % (text.len() + 1);
+        // Cut at a char boundary (ILANG output is ASCII, but stay robust).
+        let cut = (0..=cut).rev().find(|&i| text.is_char_boundary(i)).unwrap_or(0);
+        let _ = parse_ilang(&text[..cut]);
+    }
+
+    /// Inputs that drop the module header are rejected with `Err`, not a
+    /// panic and not a silently empty netlist.
+    #[test]
+    fn parser_rejects_headerless_garbage(text in "[a-z0-9 \n]{1,200}") {
+        prop_assert!(parse_ilang(&text).is_err(), "accepted: {text:?}");
+    }
+
     /// Keyword-shaped fuzz: lines assembled from grammar fragments.
     #[test]
     fn parser_total_on_keyword_soup(

@@ -36,7 +36,7 @@ use walshcheck_dd::var::{VarId, VarSet};
 
 use crate::mask::{Mask, VarMap};
 use crate::pcache::PrefixCache;
-use crate::property::{CheckMode, CheckStats, Property, Verdict, Witness};
+use crate::property::{CheckMode, CheckStats, Property, SkippedCombination, Verdict, Witness};
 use crate::sites::{extract_sites, Site, SiteOptions};
 use crate::spectrum::{LilSpectrum, MapSpectrum, Spectrum};
 use crate::tmatrix::Region;
@@ -94,6 +94,13 @@ pub struct VerifyOptions {
     /// Optional wall-clock budget; when exceeded the check stops and the
     /// verdict carries `stats.timed_out = true`.
     pub time_limit: Option<std::time::Duration>,
+    /// Optional per-combination decision-diagram node budget. A combination
+    /// whose estimated row count exceeds the budget, or that grows the ADD /
+    /// T-matrix arenas by more than `node_budget` nodes, is quarantined
+    /// (recorded in [`Verdict::skipped`]) instead of blowing up memory, and
+    /// the outcome degrades to
+    /// [`Outcome::Inconclusive`](crate::Outcome::Inconclusive).
+    pub node_budget: Option<usize>,
     /// Reuse partial convolution products across tuples that share an
     /// enumeration prefix (see DESIGN.md §9). Purely a time/memory trade:
     /// verdicts and witnesses are identical either way.
@@ -115,6 +122,7 @@ impl Default for VerifyOptions {
             prefilter: true,
             largest_first: true,
             time_limit: None,
+            node_budget: None,
             cache: true,
             cache_budget: DEFAULT_CACHE_BUDGET,
         }
@@ -139,6 +147,7 @@ impl VerifyOptions {
             prefilter: false,
             largest_first: true,
             time_limit: None,
+            node_budget: None,
             cache: true,
             cache_budget: DEFAULT_CACHE_BUDGET,
         }
@@ -227,6 +236,13 @@ impl VerifyOptionsBuilder {
     /// Wall-clock budget for the run.
     pub fn time_limit(mut self, limit: std::time::Duration) -> Self {
         self.options.time_limit = Some(limit);
+        self
+    }
+
+    /// Per-combination decision-diagram node budget (see
+    /// [`VerifyOptions::node_budget`]).
+    pub fn node_budget(mut self, nodes: usize) -> Self {
+        self.options.node_budget = Some(nodes);
         self
     }
 
@@ -332,16 +348,11 @@ impl Verifier {
         control: &EnumControl,
     ) -> Verdict {
         let mut witness: Option<Witness> = None;
-        let stats = self.run_enumeration(property, options, control, &mut |w| {
+        let (stats, skipped) = self.run_enumeration(property, options, control, &mut |w| {
             witness = Some(w);
             ControlFlow::Break(())
         });
-        Verdict {
-            property,
-            secure: witness.is_none(),
-            witness,
-            stats,
-        }
+        Verdict::conclude(property, witness, skipped, stats)
     }
 
     /// Enumerates violating combinations until `limit` witnesses are found
@@ -353,16 +364,31 @@ impl Verifier {
         options: &VerifyOptions,
         limit: usize,
     ) -> Vec<Witness> {
+        self.find_witnesses_full(property, options, limit).0
+    }
+
+    /// [`Verifier::find_witnesses`] plus the run's degradation evidence: the
+    /// quarantined combinations and the stats (whose `timed_out` flag is the
+    /// only way to tell "no more leaks" apart from "ran out of time"). The
+    /// enumeration honors `options.time_limit` and `options.node_budget`
+    /// exactly like a `check` run.
+    pub(crate) fn find_witnesses_full(
+        &mut self,
+        property: Property,
+        options: &VerifyOptions,
+        limit: usize,
+    ) -> (Vec<Witness>, Vec<SkippedCombination>, CheckStats) {
         let mut found = Vec::new();
-        let _ = self.run_enumeration(property, options, &EnumControl::default(), &mut |w| {
-            found.push(w);
-            if found.len() >= limit {
-                ControlFlow::Break(())
-            } else {
-                ControlFlow::Continue(())
-            }
-        });
-        found
+        let (stats, skipped) =
+            self.run_enumeration(property, options, &EnumControl::default(), &mut |w| {
+                found.push(w);
+                if found.len() >= limit {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            });
+        (found, skipped, stats)
     }
 
     /// Prepares the per-run enumeration state: the (deterministic) probe
@@ -386,6 +412,7 @@ impl Verifier {
             options.engine,
             self.varmap.num_vars as u32,
             effective_cache_budget(options),
+            options.node_budget,
         );
         EnumState { sites, mode, ctx }
     }
@@ -413,6 +440,10 @@ impl Verifier {
                 return ComboStep::Pruned;
             }
         }
+
+        // Pruned tuples never reach the engine, so budgeting starts here:
+        // the prefilter is a sound proof, not a capacity concession.
+        state.ctx.begin_tuple(&combo);
 
         let hit = state.ctx.check_combination(
             &self.unfolded.bdds,
@@ -442,17 +473,22 @@ impl Verifier {
     }
 
     /// The shared enumeration loop; `on_witness` decides whether to stop.
+    /// Returns the stats and the combinations quarantined by the
+    /// per-combination isolation boundary (budget exhaustion or a caught
+    /// panic), in enumeration order.
     fn run_enumeration(
         &mut self,
         property: Property,
         options: &VerifyOptions,
         control: &EnumControl,
         on_witness: &mut dyn FnMut(Witness) -> ControlFlow<()>,
-    ) -> CheckStats {
+    ) -> (CheckStats, Vec<SkippedCombination>) {
+        crate::isolate::install_quiet_hook();
         let start = Instant::now();
         let mut state = self.begin_enumeration(property, options);
         let d = property.order() as usize;
         let mut stats = CheckStats::default();
+        let mut skipped: Vec<SkippedCombination> = Vec::new();
 
         let max_k = d.min(state.sites.len());
         let sizes: Vec<usize> = if options.largest_first {
@@ -462,8 +498,14 @@ impl Verifier {
         };
 
         let this = &*self;
+        // Position in the deterministic global enumeration order — counted
+        // over *all* combinations (including sharded-out ones) so indices
+        // agree with the scheduler's batch indices and across shard counts.
+        let mut index: u64 = 0;
         'sizes: for k in sizes {
             let flow = for_each_combination(state.sites.len(), k, &mut |idxs| {
+                let my_index = index;
+                index += 1;
                 if let Some((tid, count)) = control.shard {
                     if idxs[0] as u32 % count != tid {
                         return ControlFlow::Continue(());
@@ -487,10 +529,22 @@ impl Verifier {
                         return ControlFlow::Break(());
                     }
                 }
-                match this.check_indices(&mut state, property, options.prefilter, idxs, &mut stats)
-                {
-                    ComboStep::Clean | ComboStep::Pruned => ControlFlow::Continue(()),
-                    ComboStep::Violation(w) => on_witness(w),
+                match crate::isolate::check_isolated(
+                    this, &mut state, property, options, my_index, idxs, &mut stats,
+                ) {
+                    Ok(ComboStep::Clean | ComboStep::Pruned) => ControlFlow::Continue(()),
+                    Ok(ComboStep::Violation(w)) => on_witness(w),
+                    Err(reason) => {
+                        skipped.push(SkippedCombination {
+                            index: my_index,
+                            combination: idxs
+                                .iter()
+                                .map(|&i| state.sites[i].probe.clone())
+                                .collect(),
+                            reason,
+                        });
+                        ControlFlow::Continue(())
+                    }
                 }
             });
             if flow.is_break() {
@@ -501,7 +555,7 @@ impl Verifier {
         state.finish(&mut stats);
         self.end_enumeration();
         stats.total_time = start.elapsed();
-        stats
+        (stats, skipped)
     }
 }
 
@@ -521,7 +575,9 @@ impl EnumState {
     }
 
     /// Folds the engine's prefix-cache counters into `stats`. Call exactly
-    /// once, when the worker's enumeration pass is over.
+    /// once per engine-context epoch: when the worker's enumeration pass is
+    /// over, or just before a quarantine rebuilds the context (each rebuilt
+    /// context starts its counters at zero, so the epochs sum correctly).
     pub(crate) fn finish(&self, stats: &mut CheckStats) {
         self.ctx.fold_cache_stats(stats);
     }
@@ -616,10 +672,14 @@ impl Verifier {
         };
         let internal = combo.iter().filter(|s| s.is_internal()).count();
         let region = region_for(property, &combo, combo.len(), internal);
+        // No node budget here: `check_specific` / `minimize_witness` operate
+        // on combinations that already completed (or that the caller chose
+        // explicitly), so quarantining would only lose information.
         let mut ctx = EngineCtx::new(
             options.engine,
             self.varmap.num_vars as u32,
             effective_cache_budget(options),
+            None,
         );
         let mut stats = CheckStats::default();
         let hit = ctx.check_combination(
@@ -727,25 +787,29 @@ pub fn check_parallel_modulo(
     });
     // Merge: any witness wins; otherwise aggregate the counters.
     let any_witness = verdicts.iter().any(|v| !v.secure);
-    let mut merged = Verdict {
-        property,
-        secure: true,
-        witness: None,
-        stats: crate::property::CheckStats::default(),
-    };
+    let mut merged_stats = crate::property::CheckStats::default();
+    let mut witness: Option<Witness> = None;
+    let mut skipped: Vec<SkippedCombination> = Vec::new();
     for v in verdicts {
         let mut stats = v.stats.clone();
-        // Workers stopped by cross-thread cancellation (because a witness
-        // exists) are complete for our purposes; only a genuine time-limit
-        // stop on an otherwise-clean run makes the merged verdict partial.
+        // A found witness is a complete answer — one leaking combination
+        // disproves the property no matter how much of the space went
+        // unexplored — so `timed_out` is cleared when *any* worker found
+        // one. Workers stopped by cross-thread cancellation (because a
+        // witness exists) are complete for our purposes; only a genuine
+        // time-limit stop on an otherwise-clean run makes the merged
+        // verdict partial. Pinned by `witness_is_definitive_even_under_
+        // timeout` (property.rs) and `timeout_with_witness_is_violated`
+        // (tests/resilience.rs); the scheduler merge mirrors this.
         stats.timed_out = stats.timed_out && !any_witness;
-        merged.stats.merge(&stats);
-        if !v.secure && merged.witness.is_none() {
-            merged.secure = false;
-            merged.witness = v.witness;
+        merged_stats.merge(&stats);
+        if !v.secure && witness.is_none() {
+            witness = v.witness;
         }
+        skipped.extend(v.skipped);
     }
-    Ok(merged)
+    skipped.sort_by_key(|s| s.index);
+    Ok(Verdict::conclude(property, witness, skipped, merged_stats))
 }
 
 /// Checks `property` on `netlist` in one call.
@@ -898,17 +962,29 @@ struct EngineCtx {
     /// entirely (the engines then re-derive every tuple independently, as
     /// before PR 2).
     cache_budget: usize,
+    /// Per-combination node-growth budget applied to `adds` / `t_bdds` (the
+    /// only managers that grow while checking a tuple) plus a deterministic
+    /// row-count pre-charge; `None` disables budgeting.
+    node_budget: Option<usize>,
     map_prefix: PrefixCache<Rc<RowList<MapSpectrum>>>,
     lil_prefix: PrefixCache<Rc<RowList<LilSpectrum>>>,
     add_prefix: PrefixCache<Rc<Vec<Option<Add>>>>,
 }
 
 impl EngineCtx {
-    fn new(kind: EngineKind, num_vars: u32, cache_budget: usize) -> Self {
+    fn new(
+        kind: EngineKind,
+        num_vars: u32,
+        cache_budget: usize,
+        node_budget: Option<usize>,
+    ) -> Self {
         let mut adds = AddManager::new(num_vars);
         if let Some(limit) = add_apply_limit(cache_budget) {
             adds.set_apply_cache_limit(limit);
         }
+        adds.set_node_budget(node_budget);
+        let mut t_bdds = BddManager::new(num_vars);
+        t_bdds.set_node_budget(node_budget);
         EngineCtx {
             kind,
             walsh: SparseWalshCache::new(),
@@ -916,13 +992,39 @@ impl EngineCtx {
             lil_base: HashMap::new(),
             sign_base: HashMap::new(),
             adds,
-            t_bdds: BddManager::new(num_vars),
+            t_bdds,
             t_cache: HashMap::new(),
             cache_budget,
+            node_budget,
             map_prefix: PrefixCache::new(cache_budget),
             lil_prefix: PrefixCache::new(cache_budget),
             add_prefix: PrefixCache::new(cache_budget),
         }
+    }
+
+    /// Opens a tuple-sized budget window: rebases the managers' growth
+    /// baselines and pre-charges a deterministic estimate of the tuple's row
+    /// count. The pre-charge (`Σ_site 2^|funcs| − 1`, a lower bound on the
+    /// correlation rows the tuple contributes) is a pure function of the
+    /// tuple, independent of worker history or cache warmth — it is what
+    /// makes tiny-budget quarantine lists identical at every thread count.
+    /// Diverges with [`walshcheck_dd::budget::CapacityExceeded`] when the
+    /// estimate alone exceeds the budget.
+    fn begin_tuple(&mut self, combo: &[&Site]) {
+        let Some(limit) = self.node_budget else {
+            return;
+        };
+        let est = combo.iter().fold(0usize, |acc, s| {
+            let rows = 1usize
+                .checked_shl(s.funcs.len() as u32)
+                .map_or(usize::MAX, |p| p - 1);
+            acc.saturating_add(rows)
+        });
+        if est > limit {
+            walshcheck_dd::budget::exceeded("tuple-estimate", est, limit);
+        }
+        self.adds.rebase_node_budget();
+        self.t_bdds.rebase_node_budget();
     }
 
     /// Bounds arena growth over very long enumerations: the per-row ADDs
@@ -939,7 +1041,9 @@ impl EngineCtx {
             if let Some(limit) = add_apply_limit(self.cache_budget) {
                 self.adds.set_apply_cache_limit(limit);
             }
+            self.adds.set_node_budget(self.node_budget);
             self.t_bdds = BddManager::new(n);
+            self.t_bdds.set_node_budget(self.node_budget);
             self.t_cache.clear();
             self.sign_base.clear();
             self.add_prefix.clear();

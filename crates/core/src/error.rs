@@ -24,6 +24,11 @@ pub enum Error {
     /// The design exceeds an engine capacity limit (e.g. more input
     /// variables than a spectral coordinate can index).
     Capacity(String),
+    /// A filesystem operation (checkpoint read/write) failed.
+    Io(std::io::Error),
+    /// A checkpoint file is malformed, has the wrong schema, or does not
+    /// match the current netlist/property/options fingerprint.
+    Checkpoint(String),
 }
 
 impl fmt::Display for Error {
@@ -33,6 +38,8 @@ impl fmt::Display for Error {
             Error::ParseIlang(e) => write!(f, "parse error: {e}"),
             Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
             Error::Capacity(msg) => write!(f, "capacity exceeded: {msg}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Checkpoint(msg) => write!(f, "bad checkpoint: {msg}"),
         }
     }
 }
@@ -42,8 +49,15 @@ impl std::error::Error for Error {
         match self {
             Error::Netlist(e) => Some(e),
             Error::ParseIlang(e) => Some(e),
-            Error::Config(_) | Error::Capacity(_) => None,
+            Error::Io(e) => Some(e),
+            Error::Config(_) | Error::Capacity(_) | Error::Checkpoint(_) => None,
         }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
     }
 }
 

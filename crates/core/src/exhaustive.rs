@@ -85,12 +85,7 @@ pub fn exhaustive_check(
         }
     }
     stats.total_time = start.elapsed();
-    Ok(Verdict {
-        property,
-        secure: witness.is_none(),
-        witness,
-        stats,
-    })
+    Ok(Verdict::conclude(property, witness, vec![], stats))
 }
 
 /// For every wire, the mask of input positions it structurally depends on.

@@ -1,0 +1,94 @@
+//! Deterministic fault injection (cargo feature `fault-inject`).
+//!
+//! Resilience claims are only worth what their tests can prove, and panics
+//! or budget blow-ups in real engine code are not reproducible on demand.
+//! With the `fault-inject` feature enabled (off by default, no new
+//! dependencies), the `WALSHCHECK_FAULT` environment variable injects
+//! faults at exact points of the deterministic enumeration order:
+//!
+//! | directive                   | effect                                            |
+//! |-----------------------------|---------------------------------------------------|
+//! | `panic-at=IDX`              | panic while checking global combination `IDX`     |
+//! | `budget-at=IDX`             | raise `CapacityExceeded` at combination `IDX`     |
+//! | `lose-worker=WID`           | panic worker `WID` at startup, outside the        |
+//! |                             | per-combination isolation boundary                |
+//! | `exit-after-checkpoints=N`  | `process::exit(42)` after the `N`-th checkpoint   |
+//! |                             | write (simulates a mid-sweep kill for resume CI)  |
+//!
+//! Multiple directives are comma-separated. Without the feature every hook
+//! compiles to nothing.
+
+/// Panic payload used by injected worker faults; classified as
+/// [`crate::IncompleteReason::WorkerFailure`] by the isolation boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedFault(pub &'static str);
+
+impl std::fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault: {}", self.0)
+    }
+}
+
+/// Process exit code used by `exit-after-checkpoints` (distinct from the
+/// CLI's 0–3 verdict codes so a harness can tell the simulated kill apart).
+pub const INJECTED_EXIT_CODE: i32 = 42;
+
+#[cfg(feature = "fault-inject")]
+fn directive(prefix: &str) -> Option<u64> {
+    // Re-read the environment on every call: the value is tiny, this is a
+    // test-only build, and per-call reads let in-process tests change the
+    // plan between runs.
+    let plan = std::env::var("WALSHCHECK_FAULT").ok()?;
+    plan.split(',').find_map(|d| {
+        d.trim()
+            .strip_prefix(prefix)
+            .and_then(|v| v.strip_prefix('='))
+            .and_then(|v| v.trim().parse().ok())
+    })
+}
+
+/// Injects a panic or budget exhaustion at global combination `index`.
+/// Called inside the per-combination isolation boundary.
+pub(crate) fn maybe_inject(index: u64) {
+    #[cfg(feature = "fault-inject")]
+    {
+        if directive("panic-at") == Some(index) {
+            std::panic::panic_any(InjectedFault("panic-at"));
+        }
+        if directive("budget-at") == Some(index) {
+            walshcheck_dd::budget::exceeded("fault-inject", 0, 0);
+        }
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    let _ = index;
+}
+
+/// Injects a whole-worker loss: panics at worker startup, *outside* the
+/// per-combination boundary, exercising the scheduler's lost-worker path.
+pub(crate) fn maybe_lose_worker(worker: usize) {
+    #[cfg(feature = "fault-inject")]
+    {
+        if directive("lose-worker") == Some(worker as u64) {
+            std::panic::panic_any(InjectedFault("lose-worker"));
+        }
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    let _ = worker;
+}
+
+/// Called after every successful checkpoint write; kills the process after
+/// the configured number of writes to simulate a mid-sweep crash.
+pub(crate) fn on_checkpoint_written() {
+    #[cfg(feature = "fault-inject")]
+    {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static WRITES: AtomicU64 = AtomicU64::new(0);
+        if let Some(n) = directive("exit-after-checkpoints") {
+            let written = WRITES.fetch_add(1, Ordering::SeqCst) + 1;
+            if written >= n {
+                eprintln!("fault-inject: exiting after {written} checkpoint writes");
+                std::process::exit(INJECTED_EXIT_CODE);
+            }
+        }
+    }
+}

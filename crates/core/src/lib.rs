@@ -37,7 +37,7 @@
 //! b.output_share(q, o, 0);
 //! let netlist = b.build()?;
 //! let verdict = Session::new(&netlist)?.property(Property::Sni(1)).run();
-//! assert!(verdict.secure);
+//! assert_eq!(verdict.outcome, walshcheck_core::Outcome::Secure);
 //! # Ok(())
 //! # }
 //! ```
@@ -45,10 +45,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod engine;
 pub mod error;
 pub mod exhaustive;
+pub mod fault;
 pub mod heuristic;
+mod isolate;
+mod json;
 pub mod mask;
 pub mod observe;
 mod pcache;
@@ -61,6 +65,7 @@ pub mod spectrum;
 pub mod tmatrix;
 pub mod uniformity;
 
+pub use checkpoint::CheckpointConfig;
 #[doc(hidden)]
 pub use engine::check_parallel_modulo;
 #[cfg(feature = "compat")]
@@ -70,6 +75,9 @@ pub use engine::{EngineKind, Verifier, VerifyOptions, VerifyOptionsBuilder};
 pub use error::Error;
 pub use mask::{Mask, VarMap};
 pub use observe::{ChannelObserver, EnginePhase, ProgressEvent, ProgressObserver};
-pub use property::{CheckMode, CheckStats, Property, Verdict, Witness};
+pub use property::{
+    CheckMode, CheckStats, IncompleteReason, Outcome, Property, SkippedCombination, Verdict,
+    Witness,
+};
 pub use report::{run_report_json, ReportCacheConfig};
-pub use session::Session;
+pub use session::{Session, WitnessSearch};

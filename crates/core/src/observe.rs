@@ -86,6 +86,25 @@ pub trait ProgressObserver: Send + Sync {
         let _ = (worker, index, witness);
     }
 
+    /// Worker `worker` quarantined the combination at enumeration index
+    /// `index` — it panicked or exhausted its node budget — and the sweep
+    /// continued without it. The verdict will be at best
+    /// [`crate::Outcome::Inconclusive`].
+    fn combination_quarantined(
+        &self,
+        worker: usize,
+        index: u64,
+        reason: crate::property::IncompleteReason,
+    ) {
+        let _ = (worker, index, reason);
+    }
+
+    /// A checkpoint covering `combinations` completed combinations was
+    /// written to `path`.
+    fn checkpoint_written(&self, path: &std::path::Path, combinations: u64) {
+        let _ = (path, combinations);
+    }
+
     /// Phase `phase` took `elapsed` wall time (worker-summed for
     /// [`EnginePhase::Convolution`] / [`EnginePhase::Verification`]).
     fn phase_timing(&self, phase: EnginePhase, elapsed: Duration) {
@@ -154,6 +173,22 @@ pub enum ProgressEvent {
         index: u64,
         /// The violation evidence.
         witness: Witness,
+    },
+    /// See [`ProgressObserver::combination_quarantined`].
+    CombinationQuarantined {
+        /// Worker index.
+        worker: usize,
+        /// Enumeration index of the quarantined combination.
+        index: u64,
+        /// Why it could not be checked.
+        reason: crate::property::IncompleteReason,
+    },
+    /// See [`ProgressObserver::checkpoint_written`].
+    CheckpointWritten {
+        /// Where the checkpoint was written.
+        path: std::path::PathBuf,
+        /// Completed combinations covered by the written frontier.
+        combinations: u64,
     },
     /// See [`ProgressObserver::phase_timing`].
     PhaseTiming {
@@ -245,6 +280,26 @@ impl ProgressObserver for ChannelObserver {
         });
     }
 
+    fn combination_quarantined(
+        &self,
+        worker: usize,
+        index: u64,
+        reason: crate::property::IncompleteReason,
+    ) {
+        self.send(ProgressEvent::CombinationQuarantined {
+            worker,
+            index,
+            reason,
+        });
+    }
+
+    fn checkpoint_written(&self, path: &std::path::Path, combinations: u64) {
+        self.send(ProgressEvent::CheckpointWritten {
+            path: path.to_path_buf(),
+            combinations,
+        });
+    }
+
     fn phase_timing(&self, phase: EnginePhase, elapsed: Duration) {
         self.send(ProgressEvent::PhaseTiming { phase, elapsed });
     }
@@ -283,12 +338,14 @@ mod tests {
             coefficient: None,
         };
         obs.violation_found(0, 3, &w);
+        obs.combination_quarantined(0, 4, crate::property::IncompleteReason::NodeBudget);
+        obs.checkpoint_written(std::path::Path::new("run.ck"), 7);
         obs.batch_finished(0, 4, 1);
         obs.phase_timing(EnginePhase::Enumerate, Duration::from_millis(1));
         obs.cache_stats(8, 4, 1, 4096);
         obs.run_finished(&CheckStats::default());
         let events: Vec<ProgressEvent> = rx.try_iter().collect();
-        assert_eq!(events.len(), 8);
+        assert_eq!(events.len(), 10);
         assert_eq!(
             events[0],
             ProgressEvent::RunStarted {
@@ -301,8 +358,23 @@ mod tests {
             events[3],
             ProgressEvent::ViolationFound { index: 3, .. }
         ));
+        assert!(matches!(
+            events[4],
+            ProgressEvent::CombinationQuarantined {
+                index: 4,
+                reason: crate::property::IncompleteReason::NodeBudget,
+                ..
+            }
+        ));
+        assert!(matches!(
+            events[5],
+            ProgressEvent::CheckpointWritten {
+                combinations: 7,
+                ..
+            }
+        ));
         assert_eq!(
-            events[6],
+            events[8],
             ProgressEvent::CacheStats {
                 hits: 8,
                 misses: 4,
@@ -310,7 +382,7 @@ mod tests {
                 peak_bytes: 4096
             }
         );
-        assert!(matches!(events[7], ProgressEvent::RunFinished { .. }));
+        assert!(matches!(events[9], ProgressEvent::RunFinished { .. }));
     }
 
     #[test]

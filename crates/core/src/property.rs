@@ -112,6 +112,109 @@ pub struct Witness {
     pub coefficient: Option<Dyadic>,
 }
 
+/// Why a run could not reach a definitive `Secure`/`Violated` answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IncompleteReason {
+    /// The configured wall-clock limit was reached before the sweep
+    /// finished.
+    Timeout,
+    /// At least one combination was quarantined because it exceeded the
+    /// per-tuple node budget (see [`crate::engine::VerifyOptionsBuilder::node_budget`]).
+    NodeBudget,
+    /// A worker panicked (the combination being checked was quarantined, or
+    /// the whole worker was lost), so part of the space may be unchecked.
+    WorkerFailure,
+}
+
+impl IncompleteReason {
+    /// Stable machine-readable name used in reports and checkpoints.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IncompleteReason::Timeout => "timeout",
+            IncompleteReason::NodeBudget => "node-budget",
+            IncompleteReason::WorkerFailure => "worker-failure",
+        }
+    }
+
+    /// Inverse of [`IncompleteReason::as_str`].
+    pub fn parse(s: &str) -> Option<IncompleteReason> {
+        match s {
+            "timeout" => Some(IncompleteReason::Timeout),
+            "node-budget" => Some(IncompleteReason::NodeBudget),
+            "worker-failure" => Some(IncompleteReason::WorkerFailure),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for IncompleteReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The three-valued result of a verification run.
+///
+/// `Secure` and `Violated` are definitive answers over the *entire*
+/// combination space; `Inconclusive` means the sweep was cut short (timeout,
+/// quarantined combinations, or a lost worker) without finding a violation —
+/// the property may or may not hold. A found witness is always definitive:
+/// one leaking combination disproves the property no matter how much of the
+/// space is left unexplored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Every combination was checked and none violates the property.
+    Secure,
+    /// A violating combination was found ([`Verdict::witness`] has the
+    /// evidence).
+    Violated,
+    /// The sweep did not cover the whole space and found no violation.
+    Inconclusive(IncompleteReason),
+}
+
+impl Outcome {
+    /// Whether this outcome is a definitive answer (`Secure` or `Violated`).
+    pub fn is_conclusive(self) -> bool {
+        !matches!(self, Outcome::Inconclusive(_))
+    }
+
+    /// Stable machine-readable name used in reports: `"secure"`,
+    /// `"violated"` or `"inconclusive"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Outcome::Secure => "secure",
+            Outcome::Violated => "violated",
+            Outcome::Inconclusive(_) => "inconclusive",
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Inconclusive(r) => write!(f, "inconclusive ({r})"),
+            other => f.write_str(other.as_str()),
+        }
+    }
+}
+
+/// A combination that was quarantined instead of checked.
+///
+/// Quarantined combinations are recorded in enumeration order in
+/// [`Verdict::skipped`]; their presence downgrades the outcome to
+/// [`Outcome::Inconclusive`] unless a witness was found elsewhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SkippedCombination {
+    /// Position of the combination in the deterministic global enumeration
+    /// order (the same order that picks minimal-index witnesses).
+    pub index: u64,
+    /// The quarantined observation combination.
+    pub combination: Vec<ProbeRef>,
+    /// Why it was quarantined.
+    pub reason: IncompleteReason,
+}
+
 /// Aggregate cost counters of a verification run, including the paper's
 /// Fig. 6 breakdown into convolution and verification time.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -136,6 +239,15 @@ pub struct CheckStats {
     /// independently, so the merged value is the sum of per-worker peaks
     /// (an upper bound on the simultaneous footprint).
     pub cache_peak_bytes: u64,
+    /// Combinations quarantined instead of checked (budget exhaustion or an
+    /// isolated panic); the quarantined tuples themselves are listed in
+    /// [`Verdict::skipped`].
+    pub skipped: u64,
+    /// Whole workers lost to a panic outside the per-combination isolation
+    /// boundary. Any batch such a worker had claimed may be unchecked, so a
+    /// non-zero count forces [`Outcome::Inconclusive`] unless a witness was
+    /// found.
+    pub worker_failures: u64,
     /// Time spent computing base spectra and convolutions.
     pub convolution_time: Duration,
     /// Time spent testing rows against the property (T-matrix products or
@@ -162,6 +274,8 @@ impl CheckStats {
         self.cache_misses += other.cache_misses;
         self.cache_evictions += other.cache_evictions;
         self.cache_peak_bytes += other.cache_peak_bytes;
+        self.skipped += other.skipped;
+        self.worker_failures += other.worker_failures;
         self.convolution_time += other.convolution_time;
         self.verification_time += other.verification_time;
         self.total_time = self.total_time.max(other.total_time);
@@ -192,46 +306,103 @@ impl std::iter::Sum for CheckStats {
 
 /// Result of a verification run.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct Verdict {
     /// The property that was checked.
     pub property: Property,
-    /// `true` if no violating combination was found (the property holds).
+    /// `true` if no violating combination was found. **0.2 compat only** —
+    /// this stays `true` for inconclusive runs (a timeout or quarantine that
+    /// found nothing), so it must never be read as "the property holds".
+    /// Branch on [`Verdict::outcome`] instead.
     pub secure: bool,
-    /// A violation witness when `secure` is `false`.
+    /// The three-valued result; the only field that distinguishes "checked
+    /// everything, found nothing" from "ran out of time/budget/workers".
+    pub outcome: Outcome,
+    /// A violation witness when the outcome is [`Outcome::Violated`].
     pub witness: Option<Witness>,
+    /// Combinations quarantined instead of checked, in enumeration order.
+    pub skipped: Vec<SkippedCombination>,
     /// Cost counters.
     pub stats: CheckStats,
 }
 
 impl Verdict {
-    /// Convenience accessor: panics with the witness if the check failed.
+    /// Builds a verdict, deriving [`Verdict::outcome`] from the evidence.
+    ///
+    /// Precedence: a witness is definitive (`Violated`) no matter what else
+    /// happened; otherwise a timeout, a lost worker, a worker-failure
+    /// quarantine, and a budget quarantine downgrade to `Inconclusive` in
+    /// that order; only a clean, complete sweep is `Secure`.
+    pub fn conclude(
+        property: Property,
+        witness: Option<Witness>,
+        skipped: Vec<SkippedCombination>,
+        stats: CheckStats,
+    ) -> Verdict {
+        let outcome = if witness.is_some() {
+            Outcome::Violated
+        } else if stats.timed_out {
+            Outcome::Inconclusive(IncompleteReason::Timeout)
+        } else if stats.worker_failures > 0
+            || skipped
+                .iter()
+                .any(|s| s.reason == IncompleteReason::WorkerFailure)
+        {
+            Outcome::Inconclusive(IncompleteReason::WorkerFailure)
+        } else if !skipped.is_empty() {
+            Outcome::Inconclusive(IncompleteReason::NodeBudget)
+        } else {
+            Outcome::Secure
+        };
+        Verdict {
+            property,
+            secure: witness.is_none(),
+            outcome,
+            witness,
+            skipped,
+            stats,
+        }
+    }
+
+    /// Convenience accessor: panics unless the sweep *completed* and proved
+    /// the property.
     ///
     /// # Panics
     ///
-    /// Panics if the property does not hold.
+    /// Panics if the property was violated **or** the run was inconclusive —
+    /// a timed-out or quarantine-degraded run has not proved anything, so
+    /// treating it as secure would be the exact trap this method exists to
+    /// close.
     pub fn expect_secure(&self) {
         assert!(
-            self.secure,
-            "{} violated: {:?}",
+            self.outcome == Outcome::Secure,
+            "{} not proved secure: outcome is {} ({:?}; {} combinations quarantined)",
             self.property,
-            self.witness.as_ref().map(|w| &w.reason)
+            self.outcome,
+            self.witness.as_ref().map(|w| &w.reason),
+            self.skipped.len(),
         );
     }
 }
 
 impl fmt::Display for Verdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.secure {
-            write!(f, "{}: secure", self.property)
-        } else {
-            write!(
+        match self.outcome {
+            Outcome::Secure => write!(f, "{}: secure", self.property),
+            Outcome::Violated => write!(
                 f,
                 "{}: VIOLATED ({})",
                 self.property,
                 self.witness
                     .as_ref()
                     .map_or("no witness", |w| w.reason.as_str())
-            )
+            ),
+            Outcome::Inconclusive(reason) => write!(
+                f,
+                "{}: INCONCLUSIVE ({reason}; {} combinations quarantined)",
+                self.property,
+                self.skipped.len()
+            ),
         }
     }
 }
@@ -265,25 +436,105 @@ mod tests {
 
     #[test]
     fn verdict_display() {
-        let v = Verdict {
-            property: Property::Sni(1),
-            secure: true,
-            witness: None,
-            stats: CheckStats::default(),
-        };
+        let v = Verdict::conclude(Property::Sni(1), None, vec![], CheckStats::default());
         assert_eq!(v.to_string(), "1-SNI: secure");
+        assert_eq!(v.outcome, Outcome::Secure);
         v.expect_secure();
-        let bad = Verdict {
-            property: Property::Ni(2),
-            secure: false,
-            witness: Some(Witness {
+        let bad = Verdict::conclude(
+            Property::Ni(2),
+            Some(Witness {
                 combination: vec![],
                 mask: Mask(0b11),
                 reason: "3 shares of a from 2 probes".into(),
                 coefficient: None,
             }),
-            stats: CheckStats::default(),
-        };
+            vec![],
+            CheckStats::default(),
+        );
         assert!(bad.to_string().contains("VIOLATED"));
+        assert_eq!(bad.outcome, Outcome::Violated);
+        assert!(!bad.secure);
+    }
+
+    #[test]
+    #[should_panic(expected = "not proved secure")]
+    fn expect_secure_panics_on_timeout() {
+        // The timed-out-reads-as-secure trap: no witness was found, so the
+        // compat `secure` bool is true, but nothing was proved.
+        let stats = CheckStats {
+            timed_out: true,
+            ..CheckStats::default()
+        };
+        let v = Verdict::conclude(Property::Sni(2), None, vec![], stats);
+        assert!(v.secure, "compat bool still reports no-witness-found");
+        assert_eq!(v.outcome, Outcome::Inconclusive(IncompleteReason::Timeout));
+        v.expect_secure(); // must panic
+    }
+
+    #[test]
+    fn witness_is_definitive_even_under_timeout() {
+        // Pins the `timed_out && !any_witness` semantics shared with the
+        // scheduler/engine merge: a found witness is a complete answer (one
+        // leaking tuple disproves the property regardless of coverage), so a
+        // witness outranks every incompleteness signal.
+        let stats = CheckStats {
+            timed_out: true,
+            worker_failures: 1,
+            ..CheckStats::default()
+        };
+        let w = Witness {
+            combination: vec![],
+            mask: Mask(1),
+            reason: "leak".into(),
+            coefficient: None,
+        };
+        let v = Verdict::conclude(Property::Sni(1), Some(w), vec![], stats);
+        assert_eq!(v.outcome, Outcome::Violated);
+    }
+
+    #[test]
+    fn quarantine_precedence_and_expect_secure() {
+        let skipped = vec![SkippedCombination {
+            index: 7,
+            combination: vec![ProbeRef::Internal { wire: WireId(1) }],
+            reason: IncompleteReason::NodeBudget,
+        }];
+        let v = Verdict::conclude(
+            Property::Ni(1),
+            None,
+            skipped.clone(),
+            CheckStats::default(),
+        );
+        assert_eq!(
+            v.outcome,
+            Outcome::Inconclusive(IncompleteReason::NodeBudget)
+        );
+        assert!(v.to_string().contains("INCONCLUSIVE"));
+        assert!(std::panic::catch_unwind(|| v.expect_secure()).is_err());
+
+        // A worker-failure quarantine outranks budget quarantines.
+        let mut mixed = skipped;
+        mixed.push(SkippedCombination {
+            index: 9,
+            combination: vec![],
+            reason: IncompleteReason::WorkerFailure,
+        });
+        let v = Verdict::conclude(Property::Ni(1), None, mixed, CheckStats::default());
+        assert_eq!(
+            v.outcome,
+            Outcome::Inconclusive(IncompleteReason::WorkerFailure)
+        );
+    }
+
+    #[test]
+    fn reason_round_trips_through_names() {
+        for r in [
+            IncompleteReason::Timeout,
+            IncompleteReason::NodeBudget,
+            IncompleteReason::WorkerFailure,
+        ] {
+            assert_eq!(IncompleteReason::parse(r.as_str()), Some(r));
+        }
+        assert_eq!(IncompleteReason::parse("nonesuch"), None);
     }
 }

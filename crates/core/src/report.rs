@@ -2,16 +2,27 @@
 //!
 //! The build environment vendors no serialization framework, so this module
 //! hand-rolls the small, stable JSON surface that `walshcheck check --json`
-//! emits (schema `walshcheck-report/2`, documented in the README). All
+//! emits (schema `walshcheck-report/3`, documented in the README). All
 //! emitters produce compact single-line JSON with escaped strings; numbers
 //! are plain decimals, durations are fractional seconds.
+//!
+//! Report/3 adds the resilience surface on top of report/2: a top-level
+//! `"outcome"` (`"secure"` / `"violated"` / `"inconclusive"`) and a
+//! `"degradation"` block saying exactly how much of the sweep is missing
+//! from an inconclusive verdict (timeout, lost workers, quarantined
+//! combinations, resume provenance).
 
 use std::fmt::Write as _;
 use std::time::Duration;
 
 use walshcheck_circuit::netlist::Netlist;
 
-use crate::property::{CheckStats, ProbeRef, Verdict, Witness};
+use crate::property::{CheckStats, Outcome, ProbeRef, SkippedCombination, Verdict, Witness};
+
+/// Quarantined combinations listed inline in a report before the list is
+/// truncated to a count (keeps reports bounded on pathological runs where
+/// thousands of combinations blow the budget).
+const MAX_SKIPPED_IN_REPORT: usize = 64;
 
 /// Escapes `s` as the contents of a JSON string literal (quotes not
 /// included).
@@ -45,6 +56,7 @@ impl CheckStats {
                 "{{\"combinations\":{},\"pruned\":{},\"convolutions\":{},",
                 "\"rows_checked\":{},\"cache_hits\":{},\"cache_misses\":{},",
                 "\"cache_evictions\":{},\"cache_peak_bytes\":{},",
+                "\"skipped\":{},\"worker_failures\":{},",
                 "\"convolution_seconds\":{},",
                 "\"verification_seconds\":{},\"total_seconds\":{},\"timed_out\":{}}}"
             ),
@@ -56,10 +68,30 @@ impl CheckStats {
             self.cache_misses,
             self.cache_evictions,
             self.cache_peak_bytes,
+            self.skipped,
+            self.worker_failures,
             seconds(self.convolution_time),
             seconds(self.verification_time),
             seconds(self.total_time),
             self.timed_out,
+        )
+    }
+}
+
+impl SkippedCombination {
+    /// The quarantined combination as a JSON object; wire names resolve
+    /// through `netlist` when provided.
+    pub fn to_json(&self, netlist: Option<&Netlist>) -> String {
+        let probes: Vec<String> = self
+            .combination
+            .iter()
+            .map(|p| p.to_json(netlist))
+            .collect();
+        format!(
+            "{{\"index\":{},\"reason\":\"{}\",\"probes\":[{}]}}",
+            self.index,
+            self.reason.as_str(),
+            probes.join(","),
         )
     }
 }
@@ -111,17 +143,29 @@ impl Witness {
 }
 
 impl Verdict {
-    /// The verdict as a JSON object (property, outcome, witness, stats).
+    /// The verdict as a JSON object (property, outcome, witness, skipped,
+    /// stats). `secure` is kept next to `outcome` for 0.2 consumers.
     pub fn to_json(&self, netlist: Option<&Netlist>) -> String {
         let witness = match &self.witness {
             Some(w) => w.to_json(netlist),
             None => "null".into(),
         };
+        let skipped: Vec<String> = self
+            .skipped
+            .iter()
+            .take(MAX_SKIPPED_IN_REPORT)
+            .map(|s| s.to_json(netlist))
+            .collect();
         format!(
-            "{{\"property\":\"{}\",\"secure\":{},\"witness\":{},\"stats\":{}}}",
+            concat!(
+                "{{\"property\":\"{}\",\"secure\":{},\"outcome\":\"{}\",",
+                "\"witness\":{},\"skipped\":[{}],\"stats\":{}}}"
+            ),
             json_escape(&self.property.to_string()),
             self.secure,
+            self.outcome.as_str(),
             witness,
+            skipped.join(","),
             self.stats.to_json(),
         )
     }
@@ -146,10 +190,42 @@ impl From<&crate::engine::VerifyOptions> for ReportCacheConfig {
     }
 }
 
+/// The `"degradation"` block of a report/3 document: how far the verdict is
+/// from a full sweep. `reason` is `null` on conclusive runs.
+fn degradation_json(verdict: &Verdict, netlist: &Netlist, resumed: bool) -> String {
+    let reason = match verdict.outcome {
+        Outcome::Inconclusive(r) => format!("\"{}\"", r.as_str()),
+        Outcome::Secure | Outcome::Violated => "null".into(),
+    };
+    let listed: Vec<String> = verdict
+        .skipped
+        .iter()
+        .take(MAX_SKIPPED_IN_REPORT)
+        .map(|s| s.to_json(Some(netlist)))
+        .collect();
+    format!(
+        concat!(
+            "{{\"reason\":{},\"timed_out\":{},\"worker_failures\":{},",
+            "\"skipped_count\":{},\"skipped\":[{}],\"skipped_truncated\":{},",
+            "\"resumed\":{}}}"
+        ),
+        reason,
+        verdict.stats.timed_out,
+        verdict.stats.worker_failures,
+        verdict.skipped.len(),
+        listed.join(","),
+        verdict.skipped.len() > MAX_SKIPPED_IN_REPORT,
+        resumed,
+    )
+}
+
 /// The full `walshcheck check --json` run report (schema
-/// `walshcheck-report/2`): the verdict plus run configuration, the
-/// prefix-cache configuration and counters, and the observer-collected
-/// engine-phase timings `(name, duration)`.
+/// `walshcheck-report/3`): the verdict (with its three-valued outcome and
+/// degradation block) plus run configuration, the prefix-cache
+/// configuration and counters, and the observer-collected engine-phase
+/// timings `(name, duration)`. `resumed` records whether the run was seeded
+/// from a checkpoint.
+#[allow(clippy::too_many_arguments)]
 pub fn run_report_json(
     netlist: &Netlist,
     verdict: &Verdict,
@@ -158,6 +234,7 @@ pub fn run_report_json(
     threads: usize,
     cache: ReportCacheConfig,
     phases: &[(String, Duration)],
+    resumed: bool,
 ) -> String {
     let phase_fields: Vec<String> = phases
         .iter()
@@ -166,11 +243,12 @@ pub fn run_report_json(
     let stats = &verdict.stats;
     format!(
         concat!(
-            "{{\"schema\":\"walshcheck-report/2\",\"netlist\":\"{}\",",
+            "{{\"schema\":\"walshcheck-report/3\",\"netlist\":\"{}\",",
             "\"engine\":\"{}\",\"mode\":\"{}\",\"threads\":{},",
             "\"cache\":{{\"enabled\":{},\"budget_bytes\":{},\"hits\":{},",
             "\"misses\":{},\"evictions\":{},\"peak_bytes\":{}}},",
-            "\"property\":\"{}\",\"secure\":{},\"witness\":{},",
+            "\"property\":\"{}\",\"secure\":{},\"outcome\":\"{}\",",
+            "\"degradation\":{},\"witness\":{},",
             "\"stats\":{},\"phases\":{{{}}}}}"
         ),
         json_escape(&netlist.name),
@@ -185,6 +263,8 @@ pub fn run_report_json(
         stats.cache_peak_bytes,
         json_escape(&verdict.property.to_string()),
         verdict.secure,
+        verdict.outcome.as_str(),
+        degradation_json(verdict, netlist, resumed),
         match &verdict.witness {
             Some(w) => w.to_json(Some(netlist)),
             None => "null".into(),
@@ -241,26 +321,35 @@ mod tests {
         assert!(j.contains("\\\"leak\\\""));
         assert!(j.contains("\"coefficient\":null"));
 
-        let v = Verdict {
-            property: Property::Sni(1),
-            secure: false,
-            witness: Some(w),
-            stats: CheckStats::default(),
-        };
+        let v = Verdict::conclude(Property::Sni(1), Some(w), vec![], CheckStats::default());
         let j = v.to_json(None);
         assert!(j.contains("\"property\":\"1-SNI\""));
         assert!(j.contains("\"secure\":false"));
+        assert!(j.contains("\"outcome\":\"violated\""));
         assert!(j.contains("\"witness\":{"));
     }
 
     #[test]
     fn secure_verdict_has_null_witness() {
-        let v = Verdict {
-            property: Property::Probing(1),
-            secure: true,
-            witness: None,
-            stats: CheckStats::default(),
-        };
-        assert!(v.to_json(None).contains("\"witness\":null"));
+        let v = Verdict::conclude(Property::Probing(1), None, vec![], CheckStats::default());
+        let j = v.to_json(None);
+        assert!(j.contains("\"witness\":null"));
+        assert!(j.contains("\"outcome\":\"secure\""));
+        assert!(j.contains("\"skipped\":[]"));
+    }
+
+    #[test]
+    fn inconclusive_verdict_reports_degradation() {
+        use crate::property::IncompleteReason;
+        let skipped = vec![SkippedCombination {
+            index: 9,
+            combination: vec![ProbeRef::Internal { wire: WireId(4) }],
+            reason: IncompleteReason::NodeBudget,
+        }];
+        let v = Verdict::conclude(Property::Sni(2), None, skipped, CheckStats::default());
+        let j = v.to_json(None);
+        assert!(j.contains("\"outcome\":\"inconclusive\""));
+        assert!(j.contains("\"reason\":\"node-budget\""));
+        assert!(j.contains("\"index\":9"));
     }
 }

@@ -36,15 +36,19 @@
 //! raises a hard stop that abandons all remaining work (the verdict is then
 //! flagged `timed_out`, matching the serial semantics).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use walshcheck_circuit::netlist::Netlist;
 
+use crate::checkpoint::{self, Checkpoint, CheckpointConfig, RangeSet, ResumeState};
 use crate::engine::{ComboStep, EnumState, Verifier, VerifyOptions};
 use crate::observe::{EnginePhase, ProgressObserver};
-use crate::property::{CheckStats, Property, Verdict, Witness};
+use crate::property::{
+    CheckStats, IncompleteReason, Property, SkippedCombination, Verdict, Witness,
+};
 
 /// Wall-times of the setup work done in `Session::new`, reported to the
 /// observer as engine phases.
@@ -211,6 +215,92 @@ impl BatchQueue {
     }
 }
 
+/// Frontier and counters persisted by a checkpoint, behind one lock so
+/// every snapshot is internally consistent (a range is never visible as
+/// completed without the combinations counted inside it).
+#[derive(Default)]
+struct Progress {
+    completed: RangeSet,
+    combinations: u64,
+    pruned: u64,
+}
+
+/// Shared checkpointing state for one run.
+struct CheckpointShared {
+    config: CheckpointConfig,
+    fingerprint: String,
+    property: String,
+    progress: Mutex<Progress>,
+    last_write: Mutex<Instant>,
+}
+
+impl CheckpointShared {
+    /// Writes a checkpoint if at least `config.every` has elapsed since the
+    /// previous one. Lock order matters for snapshot consistency: workers
+    /// push evidence (candidates / skipped) *before* marking the containing
+    /// batch complete, so reading `progress` first guarantees any range seen
+    /// as completed already has its evidence in the lists read afterwards.
+    fn maybe_write(
+        &self,
+        candidates: &Mutex<Vec<Candidate>>,
+        skipped: &Mutex<Vec<Quarantined>>,
+        observer: Option<&dyn ProgressObserver>,
+    ) {
+        {
+            let mut last = self.last_write.lock().expect("checkpoint clock poisoned");
+            if last.elapsed() < self.config.every {
+                return;
+            }
+            *last = Instant::now();
+        }
+        self.write(candidates, skipped, observer);
+    }
+
+    /// Unconditionally writes a checkpoint (best-effort: an I/O failure of a
+    /// periodic write must not abort the verification it is backing up).
+    fn write(
+        &self,
+        candidates: &Mutex<Vec<Candidate>>,
+        skipped: &Mutex<Vec<Quarantined>>,
+        observer: Option<&dyn ProgressObserver>,
+    ) {
+        let (completed, combinations, pruned) = {
+            let p = self.progress.lock().expect("progress poisoned");
+            (p.completed.clone(), p.combinations, p.pruned)
+        };
+        let cands = candidates
+            .lock()
+            .expect("candidates poisoned")
+            .iter()
+            .map(|(g, idxs, _)| (*g, idxs.clone()))
+            .collect();
+        let skips = skipped.lock().expect("skipped poisoned").clone();
+        let ck = Checkpoint {
+            fingerprint: self.fingerprint.clone(),
+            property: self.property.clone(),
+            combinations,
+            pruned,
+            completed,
+            candidates: cands,
+            skipped: skips,
+        };
+        if checkpoint::write_atomic(&self.config.path, &checkpoint::render(&ck)).is_ok() {
+            if let Some(obs) = observer {
+                obs.checkpoint_written(&self.config.path, combinations);
+            }
+            crate::fault::on_checkpoint_written();
+        }
+    }
+}
+
+/// A violation candidate: global index, site indices, and the witness —
+/// `None` for candidates seeded from a checkpoint, whose witness is
+/// recomputed only if they win the minimal-index selection.
+type Candidate = (u64, Vec<usize>, Option<Witness>);
+
+/// A quarantined combination: global index, site indices, reason.
+type Quarantined = (u64, Vec<usize>, IncompleteReason);
+
 /// Advances `idxs` to the next `k`-combination of `0..n` in lexicographic
 /// order; returns `false` when `idxs` was the last one.
 fn next_combination(idxs: &mut [usize], n: usize) -> bool {
@@ -237,6 +327,7 @@ fn next_combination(idxs: &mut [usize], n: usize) -> bool {
 /// worker 0's engine (its unfolding is reused across runs); the other
 /// workers build their own `Verifier` from the shared netlist, since the
 /// decision-diagram managers are single-threaded by design.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run(
     verifier: &mut Verifier,
     property: Property,
@@ -244,7 +335,10 @@ pub(crate) fn run(
     threads: usize,
     observer: Option<&Arc<dyn ProgressObserver>>,
     setup: SetupTimings,
+    ckpt: Option<&CheckpointConfig>,
+    resume: Option<ResumeState>,
 ) -> Verdict {
+    crate::isolate::install_quiet_hook();
     let start = Instant::now();
     let threads = threads.max(1);
 
@@ -272,60 +366,150 @@ pub(crate) fn run(
     }
 
     let queue = BatchQueue::new(n, sizes, threads);
-    let candidates: Mutex<Vec<(u64, Witness)>> = Mutex::new(Vec::new());
     let enum_start = Instant::now();
+
+    // Seed shared evidence from the resume state (if any); the done-set of
+    // completed ranges lets workers skip already-checked combinations.
+    let resume = resume.unwrap_or_default();
+    let resumed_combinations = resume.combinations;
+    let resumed_pruned = resume.pruned;
+    let done: Option<&RangeSet> = if resume.completed.is_empty() {
+        None
+    } else {
+        Some(&resume.completed)
+    };
+    let candidates: Mutex<Vec<Candidate>> = Mutex::new(
+        resume
+            .candidates
+            .iter()
+            .map(|(g, idxs)| (*g, idxs.clone(), None))
+            .collect(),
+    );
+    for &(g, _) in &resume.candidates {
+        // A seeded candidate cancels everything past it, exactly as a live
+        // violation would.
+        queue.record_violation(g);
+    }
+    let skipped: Mutex<Vec<Quarantined>> = Mutex::new(resume.skipped.clone());
+
+    let ck_shared: Option<CheckpointShared> = ckpt.map(|cfg| CheckpointShared {
+        config: cfg.clone(),
+        fingerprint: checkpoint::fingerprint(verifier.netlist(), property, options),
+        property: property.to_string(),
+        progress: Mutex::new(Progress {
+            completed: resume.completed.clone(),
+            combinations: resumed_combinations,
+            pruned: resumed_pruned,
+        }),
+        last_write: Mutex::new(Instant::now()),
+    });
 
     let shared: &Verifier = verifier;
     let netlist: &Netlist = shared.netlist();
     let obs_dyn: Option<&dyn ProgressObserver> = observer.map(|o| o.as_ref());
-    let mut worker_stats: Vec<CheckStats> = std::thread::scope(|scope| {
+    let ck_ref = ck_shared.as_ref();
+    let mut lost_workers: u64 = 0;
+    let mut worker_stats: Vec<CheckStats> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (1..threads)
             .map(|wid| {
                 let queue = &queue;
                 let candidates = &candidates;
+                let skipped = &skipped;
+                // The whole worker body sits behind a `catch_unwind`: the
+                // per-combination boundary in `worker_loop` already converts
+                // engine panics into quarantines, so anything escaping here
+                // (worker setup, an injected worker loss, a scheduler bug)
+                // kills only this worker. Siblings keep draining the queue
+                // and the run degrades to Inconclusive(WorkerFailure)
+                // instead of aborting.
                 scope.spawn(move || {
-                    let worker = Verifier::new(netlist).expect("validated in Session::new");
-                    let mut state = worker.begin_enumeration(property, options);
-                    debug_assert_eq!(state.sites.len(), n, "site extraction is deterministic");
-                    worker_loop(
-                        wid, &worker, &mut state, queue, property, options, enum_start, obs_dyn,
-                        candidates,
-                    )
+                    catch_unwind(AssertUnwindSafe(|| {
+                        crate::fault::maybe_lose_worker(wid);
+                        let worker = Verifier::new(netlist).expect("validated in Session::new");
+                        let mut state = worker.begin_enumeration(property, options);
+                        debug_assert_eq!(state.sites.len(), n, "site extraction is deterministic");
+                        worker_loop(
+                            wid, &worker, &mut state, queue, property, options, enum_start,
+                            obs_dyn, candidates, skipped, done, ck_ref,
+                        )
+                    }))
+                    .ok()
                 })
             })
             .collect();
-        let mine = worker_loop(
-            0,
-            shared,
-            &mut state0,
-            &queue,
-            property,
-            options,
-            enum_start,
-            obs_dyn,
-            &candidates,
-        );
-        let mut all = vec![mine];
-        all.extend(
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked")),
-        );
-        all
+        let mine = catch_unwind(AssertUnwindSafe(|| {
+            crate::fault::maybe_lose_worker(0);
+            worker_loop(
+                0,
+                shared,
+                &mut state0,
+                &queue,
+                property,
+                options,
+                enum_start,
+                obs_dyn,
+                &candidates,
+                &skipped,
+                done,
+                ck_ref,
+            )
+        }))
+        .ok();
+        match mine {
+            Some(s) => worker_stats.push(s),
+            None => lost_workers += 1,
+        }
+        for h in handles {
+            // `join` cannot panic — the closure catches its own unwinds —
+            // but a lost worker surfaces as `None` either way.
+            match h.join().ok().flatten() {
+                Some(s) => worker_stats.push(s),
+                None => lost_workers += 1,
+            }
+        }
     });
     let enum_time = enum_start.elapsed();
     verifier.end_enumeration();
 
+    // Final write: even a finished run leaves a coherent frontier file, so
+    // a later resume of a completed sweep is a cheap no-op.
+    if let Some(ck) = ck_ref {
+        ck.write(&candidates, &skipped, obs_dyn);
+    }
+
     let mut stats: CheckStats = worker_stats.drain(..).sum();
-    let winner = {
+    stats.worker_failures += lost_workers;
+    stats.combinations += resumed_combinations;
+    stats.pruned += resumed_pruned;
+    let winner: Option<(u64, Witness)> = {
         let mut cands = candidates.into_inner().expect("candidates poisoned");
-        cands.sort_by_key(|&(g, _)| g);
-        cands.into_iter().next()
+        cands.sort_by_key(|&(g, _, _)| g);
+        cands.into_iter().next().map(|(g, idxs, w)| {
+            let w = w.unwrap_or_else(|| recompute_witness(verifier, property, options, &idxs));
+            (g, w)
+        })
     };
     // Workers stopped by cancellation (a witness exists) are complete for
     // our purposes; only a time-limit stop on a clean run is partial.
     stats.timed_out = stats.timed_out && winner.is_none();
     stats.total_time = start.elapsed();
+
+    let skipped: Vec<SkippedCombination> = {
+        let mut raw = skipped.into_inner().expect("skipped poisoned");
+        raw.sort_by_key(|&(g, _, _)| g);
+        raw.dedup_by_key(|&mut (g, _, _)| g);
+        raw.into_iter()
+            .map(|(index, idxs, reason)| SkippedCombination {
+                index,
+                combination: idxs
+                    .iter()
+                    .map(|&i| state0.sites[i].probe.clone())
+                    .collect(),
+                reason,
+            })
+            .collect()
+    };
 
     if let Some(obs) = observer {
         obs.phase_timing(EnginePhase::Enumerate, enum_time);
@@ -340,11 +524,31 @@ pub(crate) fn run(
         obs.run_finished(&stats);
     }
 
-    Verdict {
-        property,
-        secure: winner.is_none(),
-        witness: winner.map(|(_, w)| w),
-        stats,
+    Verdict::conclude(property, winner.map(|(_, w)| w), skipped, stats)
+}
+
+/// Recomputes the witness of a checkpointed candidate. Deterministic: the
+/// candidate's site indices identify the combination, and the engine's
+/// verdict for one combination is a pure function of netlist + property.
+/// Budget and prefilter are disabled — the combination already proved it
+/// violates, so capacity concessions must not re-quarantine it.
+fn recompute_witness(
+    verifier: &Verifier,
+    property: Property,
+    options: &VerifyOptions,
+    idxs: &[usize],
+) -> Witness {
+    let mut opts = options.clone();
+    opts.node_budget = None;
+    opts.prefilter = false;
+    let mut state = verifier.begin_enumeration(property, &opts);
+    let mut stats = CheckStats::default();
+    match verifier.check_indices(&mut state, property, false, idxs, &mut stats) {
+        ComboStep::Violation(w) => w,
+        _ => unreachable!(
+            "checkpointed candidate no longer violates — checkpoint does not \
+             match this netlist/property (fingerprint collision?)"
+        ),
     }
 }
 
@@ -352,6 +556,14 @@ pub(crate) fn run(
 /// counting, arena collection cadence, and the per-combination time-limit
 /// check replicate the serial enumeration exactly, so a one-thread
 /// scheduler run produces the same counters as `Verifier::check`.
+///
+/// Every combination runs behind the [`crate::isolate`] boundary: a panic
+/// or budget blow-out quarantines that one combination (pushed onto
+/// `skipped`) and the sweep continues. Batches that ran to their end —
+/// normally or cut short by the cancellation bound, but *not* by a
+/// hard stop — are recorded in the checkpoint frontier: cancellation-cut
+/// combinations all sit at or past a recorded violation index, so a resume
+/// can never lose a minimal witness to them.
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     wid: usize,
@@ -362,7 +574,10 @@ fn worker_loop(
     options: &VerifyOptions,
     run_start: Instant,
     observer: Option<&dyn ProgressObserver>,
-    candidates: &Mutex<Vec<(u64, Witness)>>,
+    candidates: &Mutex<Vec<Candidate>>,
+    skipped: &Mutex<Vec<Quarantined>>,
+    done: Option<&RangeSet>,
+    ckpt: Option<&CheckpointShared>,
 ) -> CheckStats {
     let worker_start = Instant::now();
     let mut stats = CheckStats::default();
@@ -383,6 +598,11 @@ fn worker_loop(
             if queue.hard_stopped() {
                 break 'claim;
             }
+            // Already covered by the resumed frontier: the combination was
+            // checked (and counted) by the interrupted run.
+            if done.is_some_and(|d| d.contains(index)) {
+                continue;
+            }
             stats.combinations += 1;
             if stats.combinations % 256 == 1 {
                 state.maybe_collect();
@@ -394,27 +614,53 @@ fn worker_loop(
                     break 'claim;
                 }
             }
-            match verifier.check_indices(state, property, options.prefilter, idxs, &mut stats) {
-                ComboStep::Clean => {}
-                ComboStep::Pruned => {
+            match crate::isolate::check_isolated(
+                verifier, state, property, options, index, idxs, &mut stats,
+            ) {
+                Ok(ComboStep::Clean) => {}
+                Ok(ComboStep::Pruned) => {
                     if let Some(obs) = observer {
                         obs.combination_pruned(wid, index);
                     }
                 }
-                ComboStep::Violation(witness) => {
+                Ok(ComboStep::Violation(witness)) => {
                     queue.record_violation(index);
                     if let Some(obs) = observer {
                         obs.violation_found(wid, index, &witness);
                     }
-                    candidates
+                    candidates.lock().expect("candidates poisoned").push((
+                        index,
+                        idxs.to_vec(),
+                        Some(witness),
+                    ));
+                }
+                Err(reason) => {
+                    if let Some(obs) = observer {
+                        obs.combination_quarantined(wid, index, reason);
+                    }
+                    skipped
                         .lock()
-                        .expect("candidates poisoned")
-                        .push((index, witness));
+                        .expect("skipped poisoned")
+                        .push((index, idxs.to_vec(), reason));
                 }
             }
         }
         if let Some(obs) = observer {
             obs.batch_finished(wid, stats.combinations - checked0, stats.pruned - pruned0);
+        }
+        // This point is only reached when the batch ran to its end (a hard
+        // stop breaks out of `'claim` above), so the batch's whole index
+        // range — including any cancellation-cut tail, see the function
+        // docs — joins the checkpoint frontier.
+        if let Some(ck) = ckpt {
+            {
+                let mut p = ck.progress.lock().expect("progress poisoned");
+                p.completed
+                    .insert(batch.first_index, batch.first_index + batch.len() as u64);
+                p.combinations += stats.combinations - checked0;
+                p.pruned += stats.pruned - pruned0;
+            }
+            ck.maybe_write(candidates, skipped, observer);
         }
     }
     state.finish(&mut stats);

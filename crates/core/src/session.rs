@@ -24,6 +24,7 @@
 //! degenerates to the serial enumeration (same combination order, same
 //! counters), so verdicts are thread-count-independent by construction.
 
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -31,10 +32,11 @@ use walshcheck_circuit::glitch::ProbeModel;
 use walshcheck_circuit::netlist::Netlist;
 use walshcheck_dd::var::VarId;
 
+use crate::checkpoint::{self, CheckpointConfig, ResumeState};
 use crate::engine::{EngineKind, Verifier, VerifyOptions};
 use crate::error::Error;
 use crate::observe::ProgressObserver;
-use crate::property::{CheckMode, Property, Verdict, Witness};
+use crate::property::{CheckMode, CheckStats, Property, SkippedCombination, Verdict, Witness};
 use crate::scheduler::{self, SetupTimings};
 
 /// A configured verification run over one netlist. See the module docs.
@@ -45,6 +47,8 @@ pub struct Session {
     threads: usize,
     observer: Option<Arc<dyn ProgressObserver>>,
     setup: SetupTimings,
+    checkpoint: Option<CheckpointConfig>,
+    resume: Option<ResumeState>,
 }
 
 impl std::fmt::Debug for Session {
@@ -88,6 +92,8 @@ impl Session {
             threads: 1,
             observer: None,
             setup: SetupTimings { validate, unfold },
+            checkpoint: None,
+            resume: None,
         })
     }
 
@@ -164,6 +170,62 @@ impl Session {
         self
     }
 
+    /// Caps decision-diagram arena growth per checked combination, in
+    /// nodes. A combination whose check (or whose deterministic size
+    /// pre-charge) would grow the arenas past the cap is *quarantined*
+    /// instead of checked: the sweep continues, the combination lands in
+    /// [`Verdict::skipped`], and the verdict degrades to at best
+    /// [`crate::Outcome::Inconclusive`] with
+    /// [`crate::IncompleteReason::NodeBudget`]. The quarantine list is
+    /// deterministic and thread-count-independent.
+    #[must_use]
+    pub fn node_budget(mut self, nodes: usize) -> Self {
+        self.options.node_budget = Some(nodes);
+        self
+    }
+
+    /// Periodically persists run progress to `path` (at most every
+    /// `every`; [`Duration::ZERO`] writes after every completed batch). The
+    /// file can be fed back through [`Session::resume_from`] after an
+    /// interrupted run.
+    #[must_use]
+    pub fn checkpoint_to(mut self, path: impl Into<std::path::PathBuf>, every: Duration) -> Self {
+        self.checkpoint = Some(CheckpointConfig::new(path, every));
+        self
+    }
+
+    /// Seeds the *next* [`Session::run`] from a checkpoint written by
+    /// [`Session::checkpoint_to`]: completed combinations are skipped and
+    /// the recorded evidence (candidates, quarantines, counters) is carried
+    /// over. The resumed verdict — outcome, witness, quarantine list — is
+    /// identical to an uninterrupted run's.
+    ///
+    /// Call this *after* [`Session::property`] and any option setters: the
+    /// checkpoint is validated against a fingerprint of the netlist, the
+    /// property, and the enumeration-relevant options as configured now.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] if `path` cannot be read, [`Error::Checkpoint`] if the
+    /// file is malformed or does not match this session's fingerprint,
+    /// [`Error::Config`] if no property is set yet.
+    pub fn resume_from(mut self, path: impl AsRef<Path>) -> Result<Self, Error> {
+        let property = self.property.ok_or_else(|| {
+            Error::Config("set Session::property(..) before Session::resume_from(..)".into())
+        })?;
+        let text = std::fs::read_to_string(path.as_ref())?;
+        let ck = checkpoint::parse(&text)?;
+        let expect = checkpoint::fingerprint(self.verifier.netlist(), property, &self.options);
+        if ck.fingerprint != expect {
+            return Err(Error::Checkpoint(format!(
+                "fingerprint mismatch: checkpoint was written for {} ({}), this session is {} ({})",
+                ck.fingerprint, ck.property, expect, property
+            )));
+        }
+        self.resume = Some(ck.into_resume());
+        Ok(self)
+    }
+
     /// Number of worker threads (clamped to at least 1). The verdict —
     /// including the selected witness — is independent of this.
     #[must_use]
@@ -204,6 +266,8 @@ impl Session {
         let property = self
             .property
             .expect("Session::property(..) must be set before Session::run()");
+        // A resume state seeds exactly one run; later runs sweep fresh.
+        let resume = self.resume.take();
         scheduler::run(
             &mut self.verifier,
             property,
@@ -211,11 +275,41 @@ impl Session {
             self.threads,
             self.observer.as_ref(),
             self.setup,
+            self.checkpoint.as_ref(),
+            resume,
         )
     }
 
     /// Enumerates violating combinations (serially) until `limit` witnesses
-    /// are found or the space is exhausted.
+    /// are found, the space is exhausted, or a configured
+    /// [`Session::time_limit`] expires. Unlike the bare witness list of
+    /// [`Session::find_witnesses`], the result says *why* the search ended:
+    /// `timed_out` and the quarantine list distinguish "no more witnesses
+    /// exist" from "the search gave up looking".
+    ///
+    /// # Panics
+    ///
+    /// Panics if no property was set (see [`Session::property`]).
+    pub fn search_witnesses(&mut self, limit: usize) -> WitnessSearch {
+        let property = self
+            .property
+            .expect("Session::property(..) must be set before Session::search_witnesses()");
+        let (witnesses, skipped, stats) =
+            self.verifier
+                .find_witnesses_full(property, &self.options, limit);
+        WitnessSearch {
+            complete: !stats.timed_out && skipped.is_empty() && witnesses.len() < limit,
+            witnesses,
+            skipped,
+            stats,
+        }
+    }
+
+    /// Enumerates violating combinations (serially) until `limit` witnesses
+    /// are found or the space is exhausted. Honors
+    /// [`Session::time_limit`] and [`Session::node_budget`]; call
+    /// [`Session::search_witnesses`] to distinguish an exhausted space from
+    /// a truncated search.
     ///
     /// # Panics
     ///
@@ -226,4 +320,24 @@ impl Session {
             .expect("Session::property(..) must be set before Session::find_witnesses()");
         self.verifier.find_witnesses(property, &self.options, limit)
     }
+}
+
+/// The result of [`Session::search_witnesses`]: the witnesses plus the
+/// completeness evidence a bare `Vec<Witness>` cannot carry.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct WitnessSearch {
+    /// Violating combinations, in enumeration order.
+    pub witnesses: Vec<Witness>,
+    /// Combinations the search could not check (budget / panic
+    /// quarantines).
+    pub skipped: Vec<SkippedCombination>,
+    /// Counters of the search sweep; `stats.timed_out` is set when a
+    /// [`Session::time_limit`] cut the search short.
+    pub stats: CheckStats,
+    /// `true` when the whole space was swept: not timed out, nothing
+    /// quarantined, and the search stopped because the space was exhausted
+    /// rather than because `limit` was reached. An empty `witnesses` with
+    /// `complete == false` proves nothing.
+    pub complete: bool,
 }

@@ -30,6 +30,7 @@ use std::fmt::Debug;
 use std::hash::Hash;
 
 use crate::bdd::{Bdd, BddManager};
+use crate::budget::NodeBudget;
 use crate::dyadic::Dyadic;
 use crate::var::{VarId, VarSet};
 
@@ -96,6 +97,7 @@ pub struct AddManager<T> {
     unary_cache: HashMap<(u8, Add), Add>,
     apply_cache_limit: usize,
     apply_stats: ApplyCacheStats,
+    budget: NodeBudget,
     num_vars: u32,
 }
 
@@ -116,8 +118,25 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
             unary_cache: HashMap::new(),
             apply_cache_limit: DEFAULT_APPLY_CACHE_LIMIT,
             apply_stats: ApplyCacheStats::default(),
+            budget: NodeBudget::default(),
             num_vars,
         }
+    }
+
+    /// Installs (or clears, with `None`) a node-growth budget and rebases its
+    /// baseline to the current arena size. Once set, interning more than
+    /// `limit` new internal nodes past the most recent
+    /// [`AddManager::rebase_node_budget`] raises a
+    /// [`crate::budget::CapacityExceeded`] panic payload for the caller to
+    /// `catch_unwind`.
+    pub fn set_node_budget(&mut self, limit: Option<usize>) {
+        self.budget.set(limit, self.nodes.len());
+    }
+
+    /// Moves the budget baseline to the current arena size, making existing
+    /// structure free. Call at each unit-of-work (tuple) boundary.
+    pub fn rebase_node_budget(&mut self) {
+        self.budget.rebase(self.nodes.len());
     }
 
     /// Caps each apply cache at `limit` entries (floored at 16); a cache
@@ -191,6 +210,7 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
         if let Some(&id) = self.unique.get(&(var.0, lo, hi)) {
             return id;
         }
+        self.budget.charge("add-arena", self.nodes.len());
         let raw = u32::try_from(self.nodes.len()).expect("ADD arena full");
         assert!(raw & TERM_BIT == 0, "ADD arena full");
         let id = Add(raw);

@@ -24,6 +24,7 @@
 
 use std::collections::HashMap;
 
+use crate::budget::NodeBudget;
 use crate::var::{VarId, VarSet};
 
 /// Handle to a BDD node inside a [`BddManager`].
@@ -71,6 +72,7 @@ pub struct BddManager {
     not_cache: HashMap<Bdd, Bdd>,
     ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
     quant_cache: HashMap<(Bdd, u128, bool), Bdd>,
+    budget: NodeBudget,
     num_vars: u32,
 }
 
@@ -101,8 +103,25 @@ impl BddManager {
             not_cache: HashMap::new(),
             ite_cache: HashMap::new(),
             quant_cache: HashMap::new(),
+            budget: NodeBudget::default(),
             num_vars,
         }
+    }
+
+    /// Installs (or clears, with `None`) a node-growth budget and rebases its
+    /// baseline to the current arena size. Once set, interning more than
+    /// `limit` new internal nodes past the most recent
+    /// [`BddManager::rebase_node_budget`] raises a
+    /// [`crate::budget::CapacityExceeded`] panic payload for the caller to
+    /// `catch_unwind`.
+    pub fn set_node_budget(&mut self, limit: Option<usize>) {
+        self.budget.set(limit, self.nodes.len());
+    }
+
+    /// Moves the budget baseline to the current arena size, making existing
+    /// structure free. Call at each unit-of-work (tuple) boundary.
+    pub fn rebase_node_budget(&mut self) {
+        self.budget.rebase(self.nodes.len());
     }
 
     /// Number of variables managed.
@@ -175,6 +194,7 @@ impl BddManager {
         if let Some(&id) = self.unique.get(&(var, lo, hi)) {
             return id;
         }
+        self.budget.charge("bdd-arena", self.nodes.len());
         let id = Bdd(u32::try_from(self.nodes.len()).expect("BDD arena full"));
         self.nodes.push(Node { var, lo, hi });
         self.unique.insert((var, lo, hi), id);

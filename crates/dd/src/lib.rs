@@ -41,6 +41,7 @@
 pub mod add;
 pub mod anf;
 pub mod bdd;
+pub mod budget;
 pub mod dot;
 pub mod dyadic;
 pub mod reorder;
@@ -50,5 +51,6 @@ pub mod var;
 
 pub use add::{Add, AddManager};
 pub use bdd::{Bdd, BddManager};
+pub use budget::CapacityExceeded;
 pub use dyadic::Dyadic;
 pub use var::{VarId, VarSet};

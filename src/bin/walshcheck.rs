@@ -18,10 +18,20 @@
 //!   --no-prefilter                   disable the functional-support prefilter
 //!   --no-cache                       disable prefix-shared convolution caching
 //!   --cache-budget BYTES             per-worker prefix-cache budget
+//!   --node-budget NODES              per-combination decision-diagram cap;
+//!                                    over-budget combinations are quarantined
+//!   --checkpoint FILE                periodically persist run progress
+//!   --checkpoint-every SECS          min seconds between writes (default 30;
+//!                                    0 writes after every batch)
+//!   --resume FILE                    resume from a checkpoint
 //!   --minimize                       shrink the witness to a minimal one
 //!   --progress                       live progress ticker on stderr
 //!   --json                           machine-readable run report on stdout
 //! ```
+//!
+//! Exit codes: `0` proved secure (full sweep), `1` violated, `2`
+//! inconclusive (timeout / budget quarantines / lost workers), `3` usage or
+//! I/O errors.
 
 use std::process::ExitCode;
 use std::sync::mpsc::Receiver;
@@ -31,12 +41,22 @@ use std::time::{Duration, Instant};
 use walshcheck::prelude::*;
 use walshcheck_core::{run_report_json, Error, ReportCacheConfig};
 
+/// Exit code for proved-secure full sweeps.
+const EXIT_SECURE: u8 = 0;
+/// Exit code for violated properties (a witness exists).
+const EXIT_VIOLATED: u8 = 1;
+/// Exit code for inconclusive runs: timed out, combinations quarantined by
+/// the node budget, or workers lost. *Not* a proof either way.
+const EXIT_INCONCLUSIVE: u8 = 2;
+/// Exit code for usage and I/O errors.
+const EXIT_ERROR: u8 = 3;
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: walshcheck <check|info|dump|list> [<file.il>|bench:NAME] [options]\n\
          run `walshcheck help` for the option list"
     );
-    ExitCode::from(2)
+    ExitCode::from(EXIT_ERROR)
 }
 
 fn load(target: &str) -> Result<Netlist, Error> {
@@ -65,6 +85,10 @@ struct Cli {
     prefilter: bool,
     cache: bool,
     cache_budget: Option<usize>,
+    node_budget: Option<usize>,
+    checkpoint: Option<String>,
+    checkpoint_every: Duration,
+    resume: Option<String>,
     minimize: bool,
     progress: bool,
     json: bool,
@@ -82,6 +106,10 @@ fn parse_options(args: &[String]) -> Result<Cli, Error> {
         prefilter: true,
         cache: true,
         cache_budget: None,
+        node_budget: None,
+        checkpoint: None,
+        checkpoint_every: Duration::from_secs(30),
+        resume: None,
         minimize: false,
         progress: false,
         json: false,
@@ -132,6 +160,21 @@ fn parse_options(args: &[String]) -> Result<Cli, Error> {
                         .map_err(|_| bad("--cache-budget"))?,
                 )
             }
+            "--node-budget" => {
+                cli.node_budget = Some(
+                    value("--node-budget")?
+                        .parse()
+                        .map_err(|_| bad("--node-budget"))?,
+                )
+            }
+            "--checkpoint" => cli.checkpoint = Some(value("--checkpoint")?),
+            "--checkpoint-every" => {
+                let secs: u64 = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|_| bad("--checkpoint-every"))?;
+                cli.checkpoint_every = Duration::from_secs(secs);
+            }
+            "--resume" => cli.resume = Some(value("--resume")?),
             "--minimize" => cli.minimize = true,
             "--progress" => cli.progress = true,
             "--json" => cli.json = true,
@@ -185,6 +228,23 @@ fn aggregate_events(rx: Receiver<ProgressEvent>, ticker: bool) -> Vec<(String, D
                     eprintln!("progress: violation at enumeration index {index}");
                 }
             }
+            ProgressEvent::CombinationQuarantined { index, reason, .. } if ticker => {
+                if ticked {
+                    eprintln!();
+                    ticked = false;
+                }
+                eprintln!("progress: combination {index} quarantined ({reason})");
+            }
+            ProgressEvent::CheckpointWritten { path, combinations } if ticker => {
+                if ticked {
+                    eprintln!();
+                    ticked = false;
+                }
+                eprintln!(
+                    "progress: checkpoint written to {} ({combinations} combinations done)",
+                    path.display()
+                );
+            }
             ProgressEvent::PhaseTiming { phase, elapsed } => {
                 phases.push((phase.to_string(), elapsed));
             }
@@ -235,12 +295,22 @@ fn run_check(target: &str, args: &[String]) -> Result<ExitCode, Error> {
     if cli.glitch {
         builder = builder.probe_model(ProbeModel::Glitch);
     }
+    if let Some(nodes) = cli.node_budget {
+        builder = builder.node_budget(nodes);
+    }
     let options = builder.build();
 
     let mut session = Session::new(&netlist)?
         .property(property)
         .options(options.clone())
         .threads(cli.threads);
+    if let Some(path) = &cli.checkpoint {
+        session = session.checkpoint_to(path, cli.checkpoint_every);
+    }
+    let resumed = cli.resume.is_some();
+    if let Some(path) = &cli.resume {
+        session = session.resume_from(path)?;
+    }
     // The observer feeds both the --progress ticker and the phase timings
     // of the --json report.
     let aggregator = if cli.progress || cli.json {
@@ -286,6 +356,7 @@ fn run_check(target: &str, args: &[String]) -> Result<ExitCode, Error> {
                 cli.threads.max(1),
                 ReportCacheConfig::from(&options),
                 &phases,
+                resumed,
             )
         );
     } else {
@@ -317,6 +388,29 @@ fn run_check(target: &str, args: &[String]) -> Result<ExitCode, Error> {
                 ""
             }
         );
+        if !verdict.skipped.is_empty() {
+            println!(
+                "  {} combination(s) quarantined (not checked):",
+                verdict.skipped.len()
+            );
+            for s in verdict.skipped.iter().take(8) {
+                let probes: Vec<&str> = s
+                    .combination
+                    .iter()
+                    .map(|p| netlist.wire_name(p.wire()))
+                    .collect();
+                println!("    #{} {probes:?} — {}", s.index, s.reason);
+            }
+            if verdict.skipped.len() > 8 {
+                println!("    … and {} more", verdict.skipped.len() - 8);
+            }
+        }
+        if verdict.stats.worker_failures > 0 {
+            println!(
+                "  {} worker(s) lost mid-run; their claimed work was not rechecked",
+                verdict.stats.worker_failures
+            );
+        }
         if verdict.stats.cache_hits + verdict.stats.cache_misses > 0 {
             println!(
                 "  prefix cache: {} hits, {} misses, {} evictions, {} peak bytes",
@@ -327,11 +421,13 @@ fn run_check(target: &str, args: &[String]) -> Result<ExitCode, Error> {
             );
         }
     }
-    Ok(if verdict.secure && !verdict.stats.timed_out {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    })
+    // The exit code mirrors the three-valued outcome: an inconclusive run
+    // is *not* reported as secure, and scripts must treat 2 as "unknown".
+    Ok(ExitCode::from(match verdict.outcome {
+        Outcome::Secure => EXIT_SECURE,
+        Outcome::Violated => EXIT_VIOLATED,
+        Outcome::Inconclusive(_) => EXIT_INCONCLUSIVE,
+    }))
 }
 
 fn run_profile(target: &str, args: &[String]) -> Result<ExitCode, Error> {
@@ -382,7 +478,11 @@ fn run_profile(target: &str, args: &[String]) -> Result<ExitCode, Error> {
         ] {
             session = session.property(property);
             let v = session.run();
-            row.push(if v.secure { "yes" } else { "NO" });
+            row.push(match v.outcome {
+                Outcome::Secure => "yes",
+                Outcome::Violated => "NO",
+                Outcome::Inconclusive(_) => "?",
+            });
         }
         println!(
             "{:>6} {:>9} {:>7} {:>7} {:>7}",
@@ -450,8 +550,10 @@ fn main() -> ExitCode {
                  options: --property probing|ni|sni|pini  --order D\n\
                  \x20        --engine lil|map|mapi|fujita    --mode rowwise|joint\n\
                  \x20        --glitch  --threads N  --time-limit SECS  --no-prefilter\n\
-                 \x20        --no-cache  --cache-budget BYTES\n\
-                 \x20        --minimize  --progress  --json"
+                 \x20        --no-cache  --cache-budget BYTES  --node-budget NODES\n\
+                 \x20        --checkpoint FILE  --checkpoint-every SECS  --resume FILE\n\
+                 \x20        --minimize  --progress  --json\n\n\
+                 exit codes: 0 secure, 1 violated, 2 inconclusive, 3 usage/io error"
             );
             Ok(ExitCode::SUCCESS)
         }
@@ -461,7 +563,7 @@ fn main() -> ExitCode {
         Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
-            ExitCode::from(2)
+            ExitCode::from(EXIT_ERROR)
         }
     }
 }

@@ -46,6 +46,7 @@ pub mod prelude {
     pub use walshcheck_circuit::glitch::ProbeModel;
     pub use walshcheck_circuit::ilang::{parse_ilang, write_ilang};
     pub use walshcheck_circuit::netlist::Netlist;
+    pub use walshcheck_core::checkpoint::CheckpointConfig;
     #[cfg(feature = "compat")]
     #[allow(deprecated)]
     pub use walshcheck_core::engine::check_netlist;
@@ -54,7 +55,10 @@ pub mod prelude {
     pub use walshcheck_core::observe::{
         ChannelObserver, EnginePhase, ProgressEvent, ProgressObserver,
     };
-    pub use walshcheck_core::property::{CheckMode, CheckStats, Property, Verdict, Witness};
-    pub use walshcheck_core::session::Session;
+    pub use walshcheck_core::property::{
+        CheckMode, CheckStats, IncompleteReason, Outcome, Property, SkippedCombination, Verdict,
+        Witness,
+    };
+    pub use walshcheck_core::session::{Session, WitnessSearch};
     pub use walshcheck_gadgets::suite::Benchmark;
 }

@@ -90,14 +90,108 @@ fn info_reports_ports_and_stats() {
 
 #[test]
 fn errors_are_reported_cleanly() {
+    // Usage and I/O errors exit 3, distinct from the verdict codes 0/1/2.
     let (_, stderr, code) = walshcheck(&["check", "bench:nonesuch"]);
-    assert_eq!(code, Some(2));
+    assert_eq!(code, Some(3));
     assert!(stderr.contains("unknown benchmark"), "{stderr}");
     let (_, stderr, code) = walshcheck(&["check", "bench:dom-1", "--engine", "warp"]);
-    assert_eq!(code, Some(2));
+    assert_eq!(code, Some(3));
     assert!(stderr.contains("unknown engine"), "{stderr}");
     let (_, _, code) = walshcheck(&["frobnicate"]);
-    assert_eq!(code, Some(2));
+    assert_eq!(code, Some(3));
+}
+
+#[test]
+fn inconclusive_run_exits_two() {
+    // A tiny node budget quarantines combinations: no witness, but no proof
+    // either — the exit code must be 2, never 0.
+    let (stdout, _, code) = walshcheck(&[
+        "check",
+        "bench:dom-2",
+        "--property",
+        "sni",
+        "--node-budget",
+        "1",
+    ]);
+    assert_eq!(code, Some(2), "{stdout}");
+    assert!(stdout.contains("INCONCLUSIVE"), "{stdout}");
+    assert!(stdout.contains("quarantined"), "{stdout}");
+}
+
+#[test]
+fn inconclusive_json_report_carries_degradation() {
+    let (stdout, _, code) = walshcheck(&[
+        "check",
+        "bench:dom-2",
+        "--property",
+        "sni",
+        "--node-budget",
+        "1",
+        "--json",
+    ]);
+    assert_eq!(code, Some(2), "{stdout}");
+    for fragment in [
+        "\"outcome\":\"inconclusive\"",
+        "\"degradation\":{\"reason\":\"node-budget\"",
+        "\"skipped_count\":",
+        "\"resumed\":false",
+        // Compat: `secure` stays, but it is not a proof on its own.
+        "\"secure\":true",
+    ] {
+        assert!(
+            stdout.contains(fragment),
+            "missing {fragment} in:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn checkpoint_resume_round_trips_via_cli() {
+    let dir = std::env::temp_dir().join("walshcheck-cli-ckpt");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let ck = dir.join("dom2.ck");
+    let _ = std::fs::remove_file(&ck);
+    let ck_str = ck.to_str().expect("utf-8 path");
+    // A full run leaves a complete-frontier checkpoint…
+    let (stdout, _, code) = walshcheck(&[
+        "check",
+        "bench:dom-2",
+        "--property",
+        "sni",
+        "--json",
+        "--checkpoint",
+        ck_str,
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    let text = std::fs::read_to_string(&ck).expect("checkpoint written");
+    assert!(
+        text.contains("\"schema\":\"walshcheck-checkpoint/1\""),
+        "{text}"
+    );
+    // …and resuming from it reproduces the verdict without re-sweeping.
+    let (resumed, _, code) = walshcheck(&[
+        "check",
+        "bench:dom-2",
+        "--property",
+        "sni",
+        "--json",
+        "--resume",
+        ck_str,
+    ]);
+    assert_eq!(code, Some(0), "{resumed}");
+    assert!(resumed.contains("\"outcome\":\"secure\""), "{resumed}");
+    assert!(resumed.contains("\"resumed\":true"), "{resumed}");
+    // Resuming against a different circuit is rejected up front.
+    let (_, stderr, code) = walshcheck(&[
+        "check",
+        "bench:dom-1",
+        "--property",
+        "sni",
+        "--resume",
+        ck_str,
+    ]);
+    assert_eq!(code, Some(3), "{stderr}");
+    assert!(stderr.contains("fingerprint mismatch"), "{stderr}");
 }
 
 #[test]
@@ -105,10 +199,12 @@ fn json_report_for_secure_gadget() {
     let (stdout, _, code) = walshcheck(&["check", "bench:dom-1", "--property", "sni", "--json"]);
     assert_eq!(code, Some(0), "{stdout}");
     for fragment in [
-        "\"schema\":\"walshcheck-report/2\"",
+        "\"schema\":\"walshcheck-report/3\"",
         "\"netlist\":\"dom-1\"",
         "\"cache\":{\"enabled\":true,",
         "\"secure\":true",
+        "\"outcome\":\"secure\"",
+        "\"degradation\":{\"reason\":null,",
         "\"witness\":null",
         "\"combinations\":",
         "\"cache_hits\":",

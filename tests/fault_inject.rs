@@ -1,0 +1,114 @@
+//! Fault-injection tests (compiled only with `--features fault-inject`).
+//!
+//! The `WALSHCHECK_FAULT` environment variable plants deterministic faults
+//! at exact points of the enumeration (see `walshcheck_core::fault`); these
+//! tests prove the isolation boundaries hold: an injected panic or budget
+//! blow-up is quarantined, a lost worker degrades the verdict — and nothing
+//! ever aborts the process or falsely reports `Secure`.
+//!
+//! The directives live in process-global environment state, so every test
+//! serializes on one lock and clears the variable before releasing it.
+
+#![cfg(feature = "fault-inject")]
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use walshcheck::prelude::*;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Takes the environment lock (surviving poisoning: a failed sibling test
+/// must not cascade) and installs the given fault plan.
+fn plan(directives: &str) -> MutexGuard<'static, ()> {
+    let guard = ENV_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    std::env::set_var("WALSHCHECK_FAULT", directives);
+    guard
+}
+
+fn clear() {
+    std::env::remove_var("WALSHCHECK_FAULT");
+}
+
+fn dom2_session() -> Session {
+    let netlist = Benchmark::from_name("dom-2").expect("benchmark").netlist();
+    Session::new(&netlist)
+        .expect("valid netlist")
+        .property(Property::Sni(2))
+}
+
+#[test]
+fn injected_panic_is_quarantined_not_fatal() {
+    let guard = plan("panic-at=2");
+    let verdict = dom2_session().run();
+    clear();
+    drop(guard);
+
+    assert_eq!(
+        verdict.outcome,
+        Outcome::Inconclusive(IncompleteReason::WorkerFailure)
+    );
+    assert!(verdict.witness.is_none());
+    let quarantined: Vec<u64> = verdict.skipped.iter().map(|s| s.index).collect();
+    assert_eq!(quarantined, vec![2], "exactly the faulted combination");
+    assert_eq!(verdict.skipped[0].reason, IncompleteReason::WorkerFailure);
+    assert!(
+        verdict.stats.combinations > 1,
+        "siblings of the faulted combination were still checked"
+    );
+    assert!(std::panic::catch_unwind(|| verdict.expect_secure()).is_err());
+}
+
+#[test]
+fn injected_budget_exhaustion_reads_as_node_budget() {
+    let guard = plan("budget-at=3");
+    let verdict = dom2_session().run();
+    clear();
+    drop(guard);
+
+    assert_eq!(
+        verdict.outcome,
+        Outcome::Inconclusive(IncompleteReason::NodeBudget)
+    );
+    let quarantined: Vec<_> = verdict
+        .skipped
+        .iter()
+        .map(|s| (s.index, s.reason))
+        .collect();
+    assert_eq!(quarantined, vec![(3, IncompleteReason::NodeBudget)]);
+}
+
+#[test]
+fn lost_worker_degrades_but_does_not_hang() {
+    // Worker 1 dies at startup, outside the per-combination boundary; the
+    // scheduler must notice the loss, keep worker 0 sweeping, and degrade
+    // the verdict rather than deadlock on the dead worker's batches.
+    let guard = plan("lose-worker=1");
+    let verdict = dom2_session().threads(2).run();
+    clear();
+    drop(guard);
+
+    assert!(verdict.stats.worker_failures >= 1, "the loss is accounted");
+    assert_eq!(
+        verdict.outcome,
+        Outcome::Inconclusive(IncompleteReason::WorkerFailure)
+    );
+    assert!(verdict.witness.is_none());
+}
+
+#[test]
+fn faults_on_an_insecure_gadget_cannot_mask_a_witness() {
+    // Quarantining combination 0 must not stop the sweep from finding a
+    // violation elsewhere — and the witness, once found, is definitive.
+    let netlist = Benchmark::from_name("ti-1").expect("benchmark").netlist();
+    let guard = plan("panic-at=0");
+    let verdict = Session::new(&netlist)
+        .expect("valid netlist")
+        .property(Property::Sni(1))
+        .run();
+    clear();
+    drop(guard);
+
+    assert_eq!(verdict.outcome, Outcome::Violated);
+    assert!(verdict.witness.is_some());
+    assert!(!verdict.secure);
+}

@@ -1,0 +1,327 @@
+//! Integration tests for the resilient-execution layer: three-valued
+//! outcomes, resource budgets, quarantine determinism, and checkpoint /
+//! resume identity. These drive the public `Session` API end to end the
+//! way the CLI does, but assert on the typed verdict rather than text.
+
+use std::time::Duration;
+
+use walshcheck::prelude::*;
+
+fn bench(name: &str) -> Netlist {
+    Benchmark::from_name(name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"))
+        .netlist()
+}
+
+const ENGINES: [EngineKind; 4] = [
+    EngineKind::Lil,
+    EngineKind::Map,
+    EngineKind::Mapi,
+    EngineKind::Fujita,
+];
+
+fn tmp_checkpoint(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("walshcheck-resilience-tests");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join(format!("{tag}.ck"));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// A found witness is definitive: even when the wall clock expires during
+/// the same sweep, the verdict is `Violated` and `timed_out` is cleared
+/// (one leaking tuple disproves the property regardless of coverage).
+///
+/// Escalating limits walk through the race deterministically: runs whose
+/// clock expires before the witness is reached are `Inconclusive(Timeout)`
+/// — never `Secure`, never a panic — and the final generous limit always
+/// reaches the violating combination.
+#[test]
+fn timeout_with_witness_is_violated() {
+    let netlist = bench("ti-1");
+    for micros in [50, 200, 1_000, 10_000, 10_000_000] {
+        let verdict = Session::new(&netlist)
+            .expect("valid netlist")
+            .property(Property::Sni(1))
+            .time_limit(Duration::from_micros(micros))
+            .run();
+        match verdict.outcome {
+            Outcome::Violated => {
+                assert!(
+                    verdict.witness.is_some(),
+                    "violated verdict carries evidence"
+                );
+                assert!(
+                    !verdict.stats.timed_out,
+                    "a witness outranks the timeout: timed_out must be cleared"
+                );
+                assert!(!verdict.secure);
+                return;
+            }
+            Outcome::Inconclusive(IncompleteReason::Timeout) => {
+                // Expired before the witness; compat bool stays true but
+                // the outcome says nothing was proved.
+                assert!(verdict.witness.is_none());
+                assert!(verdict.secure, "compat bool: no witness found");
+                continue;
+            }
+            other => panic!("unexpected outcome {other:?} at {micros}us"),
+        }
+    }
+    panic!("ti-1 1-SNI violation not found even with a 10s budget");
+}
+
+/// `time_limit(Duration::ZERO)` across all four engines and both thread
+/// counts: the verdict must be `Inconclusive(Timeout)`, never `Secure` —
+/// nothing was swept, so nothing was proved.
+#[test]
+fn zero_time_limit_is_inconclusive_never_secure() {
+    let netlist = bench("dom-2");
+    for engine in ENGINES {
+        for threads in [1usize, 4] {
+            let verdict = Session::new(&netlist)
+                .expect("valid netlist")
+                .property(Property::Sni(2))
+                .engine(engine)
+                .threads(threads)
+                .time_limit(Duration::ZERO)
+                .run();
+            assert_eq!(
+                verdict.outcome,
+                Outcome::Inconclusive(IncompleteReason::Timeout),
+                "{engine:?}/{threads}t: a zero budget cannot prove anything"
+            );
+            assert!(verdict.witness.is_none(), "{engine:?}/{threads}t");
+            assert!(verdict.stats.timed_out, "{engine:?}/{threads}t");
+            assert!(
+                std::panic::catch_unwind(|| verdict.expect_secure()).is_err(),
+                "{engine:?}/{threads}t: expect_secure must reject an inconclusive run"
+            );
+        }
+    }
+}
+
+/// A starvation-level node budget quarantines combinations instead of
+/// aborting: the outcome degrades to `Inconclusive(NodeBudget)` (never
+/// `Secure`), and the quarantine list — indices, tuples, reasons — is
+/// identical at 1 and 4 threads for every engine, because the budget is
+/// charged against a deterministic per-tuple size estimate rather than
+/// shared arena state.
+#[test]
+fn node_budget_quarantine_is_deterministic_across_threads() {
+    let netlist = bench("dom-2");
+    for engine in ENGINES {
+        let mut runs = Vec::new();
+        for threads in [1usize, 4] {
+            let verdict = Session::new(&netlist)
+                .expect("valid netlist")
+                .property(Property::Sni(2))
+                .engine(engine)
+                .threads(threads)
+                .node_budget(1)
+                .run();
+            assert_eq!(
+                verdict.outcome,
+                Outcome::Inconclusive(IncompleteReason::NodeBudget),
+                "{engine:?}/{threads}t"
+            );
+            assert!(verdict.witness.is_none(), "{engine:?}/{threads}t");
+            assert!(
+                !verdict.skipped.is_empty(),
+                "{engine:?}/{threads}t: a 1-node budget must quarantine"
+            );
+            assert!(verdict
+                .skipped
+                .iter()
+                .all(|s| s.reason == IncompleteReason::NodeBudget));
+            assert_eq!(
+                verdict.stats.skipped,
+                verdict.skipped.len() as u64,
+                "{engine:?}/{threads}t: counter matches the list"
+            );
+            runs.push(verdict);
+        }
+        let (one, four) = (&runs[0], &runs[1]);
+        assert_eq!(
+            one.skipped, four.skipped,
+            "{engine:?}: quarantine list must not depend on the thread count"
+        );
+        assert_eq!(
+            one.stats.combinations, four.stats.combinations,
+            "{engine:?}"
+        );
+        assert_eq!(one.stats.pruned, four.stats.pruned, "{engine:?}");
+    }
+}
+
+/// Checkpoint → interrupt → resume reproduces the uninterrupted verdict
+/// exactly — outcome, witness, quarantine list, and the combination /
+/// prune counters — at both 1 and 4 threads. The interrupted leg uses a
+/// wall-clock limit as the "kill": a timed-out run leaves a valid
+/// checkpoint behind (the final write runs even on early exit), and the
+/// resumed run sweeps only the remainder.
+#[test]
+fn checkpoint_resume_reproduces_the_uninterrupted_verdict() {
+    let netlist = bench("dom-2");
+    let baseline = Session::new(&netlist)
+        .expect("valid netlist")
+        .property(Property::Sni(2))
+        .run();
+    assert_eq!(baseline.outcome, Outcome::Secure);
+
+    for threads in [1usize, 4] {
+        for (tag, limit) in [("zero", Duration::ZERO), ("5ms", Duration::from_millis(5))] {
+            let path = tmp_checkpoint(&format!("dom2-{threads}t-{tag}"));
+            let interrupted = Session::new(&netlist)
+                .expect("valid netlist")
+                .property(Property::Sni(2))
+                .threads(threads)
+                .time_limit(limit)
+                .checkpoint_to(&path, Duration::ZERO)
+                .run();
+            assert!(
+                path.is_file(),
+                "{threads}t/{tag}: a checkpoint survives the interruption"
+            );
+            // The interrupted leg either timed out (usual) or finished
+            // inside the budget (possible for the 5ms leg on a fast
+            // machine); both leave a resumable file.
+            assert_ne!(interrupted.outcome, Outcome::Violated);
+
+            let resumed = Session::new(&netlist)
+                .expect("valid netlist")
+                .property(Property::Sni(2))
+                .threads(threads)
+                .resume_from(&path)
+                .expect("fingerprint matches")
+                .run();
+            assert_eq!(resumed.outcome, baseline.outcome, "{threads}t/{tag}");
+            assert_eq!(resumed.secure, baseline.secure, "{threads}t/{tag}");
+            assert_eq!(resumed.witness, baseline.witness, "{threads}t/{tag}");
+            assert_eq!(resumed.skipped, baseline.skipped, "{threads}t/{tag}");
+            assert_eq!(
+                resumed.stats.combinations, baseline.stats.combinations,
+                "{threads}t/{tag}: carried + fresh counters add up to the full sweep"
+            );
+            assert_eq!(
+                resumed.stats.pruned, baseline.stats.pruned,
+                "{threads}t/{tag}"
+            );
+        }
+    }
+}
+
+/// Resuming a run that already found its violation re-derives the *same*
+/// minimal witness from the recorded candidate index (witnesses are not
+/// serialized; the resume path recomputes them deterministically).
+#[test]
+fn resume_recomputes_an_identical_witness() {
+    let netlist = bench("ti-1");
+    let path = tmp_checkpoint("ti1-witness");
+    let first = Session::new(&netlist)
+        .expect("valid netlist")
+        .property(Property::Sni(1))
+        .checkpoint_to(&path, Duration::ZERO)
+        .run();
+    assert_eq!(first.outcome, Outcome::Violated);
+    let witness = first.witness.expect("violated verdict has a witness");
+
+    let resumed = Session::new(&netlist)
+        .expect("valid netlist")
+        .property(Property::Sni(1))
+        .resume_from(&path)
+        .expect("fingerprint matches")
+        .run();
+    assert_eq!(resumed.outcome, Outcome::Violated);
+    assert_eq!(
+        resumed.witness.as_ref(),
+        Some(&witness),
+        "the recomputed witness is byte-identical to the original"
+    );
+}
+
+/// Resuming against a different configuration is rejected up front: the
+/// fingerprint covers the netlist, the property and the
+/// enumeration-relevant options.
+#[test]
+fn resume_rejects_mismatched_configurations() {
+    let netlist = bench("dom-2");
+    let path = tmp_checkpoint("dom2-mismatch");
+    let _ = Session::new(&netlist)
+        .expect("valid netlist")
+        .property(Property::Sni(2))
+        .checkpoint_to(&path, Duration::ZERO)
+        .run();
+
+    // Different property.
+    let err = Session::new(&netlist)
+        .expect("valid netlist")
+        .property(Property::Ni(2))
+        .resume_from(&path)
+        .expect_err("property is part of the fingerprint");
+    assert!(err.to_string().contains("fingerprint mismatch"), "{err}");
+
+    // Different netlist.
+    let other = bench("dom-1");
+    let err = Session::new(&other)
+        .expect("valid netlist")
+        .property(Property::Sni(2))
+        .resume_from(&path)
+        .expect_err("netlist is part of the fingerprint");
+    assert!(err.to_string().contains("fingerprint mismatch"), "{err}");
+
+    // Resuming before setting a property is a configuration error.
+    let err = Session::new(&netlist)
+        .expect("valid netlist")
+        .resume_from(&path)
+        .expect_err("property must be set first");
+    assert!(err.to_string().contains("property"), "{err}");
+}
+
+/// `Session::search_witnesses` honors the configured limits and reports
+/// how the search ended instead of silently truncating.
+#[test]
+fn search_witnesses_honors_limits_and_reports_completeness() {
+    // A zero wall-clock budget: no witnesses, and `complete == false`
+    // says the empty list proves nothing.
+    let dom2 = bench("dom-2");
+    let search = Session::new(&dom2)
+        .expect("valid netlist")
+        .property(Property::Sni(2))
+        .time_limit(Duration::ZERO)
+        .search_witnesses(5);
+    assert!(search.witnesses.is_empty());
+    assert!(search.stats.timed_out);
+    assert!(
+        !search.complete,
+        "a timed-out search must not claim completeness"
+    );
+
+    // A starvation node budget: quarantines recorded, not complete.
+    let search = Session::new(&dom2)
+        .expect("valid netlist")
+        .property(Property::Sni(2))
+        .node_budget(1)
+        .search_witnesses(5);
+    assert!(!search.skipped.is_empty());
+    assert!(!search.complete);
+
+    // Unconstrained on an insecure gadget: witnesses found, and the sweep
+    // ran to the end of the space.
+    let ti1 = bench("ti-1");
+    let search = Session::new(&ti1)
+        .expect("valid netlist")
+        .property(Property::Sni(1))
+        .search_witnesses(1_000);
+    assert!(!search.witnesses.is_empty());
+    assert!(search.complete, "space exhausted below the limit");
+    assert!(search.skipped.is_empty());
+    assert!(!search.stats.timed_out);
+
+    // The compat wrapper returns the same witnesses.
+    let bare = Session::new(&ti1)
+        .expect("valid netlist")
+        .property(Property::Sni(1))
+        .find_witnesses(1_000);
+    assert_eq!(bare, search.witnesses);
+}
