@@ -68,12 +68,23 @@ impl std::fmt::Display for ComposeError {
 
 impl std::error::Error for ComposeError {}
 
+/// Looks up a source-netlist id in a rebuild map, turning an out-of-range
+/// reference (a malformed input netlist) into an error instead of a panic.
+fn mapped<T: Copy>(map: &[T], index: u32, what: &str, side: &str) -> Result<T, ComposeError> {
+    map.get(index as usize).copied().ok_or_else(|| {
+        ComposeError::Invalid(NetlistError::DanglingReference(format!(
+            "{side} netlist references {what} #{index} which does not exist"
+        )))
+    })
+}
+
 /// Composes `g ∘ f`: each [`Binding`] replaces the bound outer shares with
 /// the inner gadget's output wires. See the module docs for the port rules.
 ///
 /// # Errors
 ///
-/// Returns a [`ComposeError`] if a binding is inconsistent.
+/// Returns a [`ComposeError`] if a binding is inconsistent or either input
+/// netlist contains dangling internal references.
 pub fn chain(f: &Netlist, g: &Netlist, bindings: &[Binding]) -> Result<Netlist, ComposeError> {
     // Validate bindings.
     let mut bound_secrets: HashMap<SecretId, OutputId> = HashMap::new();
@@ -132,19 +143,24 @@ pub fn chain(f: &Netlist, g: &Netlist, bindings: &[Binding]) -> Result<Netlist, 
     for &(w, role) in &f.inputs {
         let role = match role {
             InputRole::Share { secret, index } => InputRole::Share {
-                secret: f_secret[secret.0 as usize],
+                secret: mapped(&f_secret, secret.0, "secret", "inner")?,
                 index,
             },
             other => other,
         };
-        out.inputs.push((f_wire[w.0 as usize], role));
+        out.inputs
+            .push((mapped(&f_wire, w.0, "wire", "inner")?, role));
     }
     for c in &f.cells {
         out.cells.push(Cell {
             name: name_of(&c.name, &mut taken),
             gate: c.gate,
-            inputs: c.inputs.iter().map(|&w| f_wire[w.0 as usize]).collect(),
-            output: f_wire[c.output.0 as usize],
+            inputs: c
+                .inputs
+                .iter()
+                .map(|&w| mapped(&f_wire, w.0, "wire", "inner"))
+                .collect::<Result<_, _>>()?,
+            output: mapped(&f_wire, c.output.0, "wire", "inner")?,
         });
     }
 
@@ -155,22 +171,21 @@ pub fn chain(f: &Netlist, g: &Netlist, bindings: &[Binding]) -> Result<Netlist, 
         let produced = f.output_shares_of(output);
         let expected = g.shares_of(secret);
         for (src, dst) in produced.iter().zip(&expected) {
-            substituted.insert(*dst, f_wire[src.0 as usize]);
+            substituted.insert(*dst, mapped(&f_wire, src.0, "wire", "inner")?);
         }
     }
-    let mut g_wire: Vec<Option<WireId>> = vec![None; g.wires.len()];
-    for (gw, slot) in g_wire.iter_mut().enumerate() {
+    let mut g_wire: Vec<WireId> = Vec::with_capacity(g.wires.len());
+    for (gw, wire) in g.wires.iter().enumerate() {
         let gwid = WireId(gw as u32);
         if let Some(&inner) = substituted.get(&gwid) {
-            *slot = Some(inner);
+            g_wire.push(inner);
         } else {
             let id = WireId(out.wires.len() as u32);
-            let name = name_of(&g.wires[gw].name, &mut taken);
+            let name = name_of(&wire.name, &mut taken);
             out.wires.push(Wire { name });
-            *slot = Some(id);
+            g_wire.push(id);
         }
     }
-    let g_wire: Vec<WireId> = g_wire.into_iter().map(|w| w.expect("filled")).collect();
     let mut g_secret: HashMap<SecretId, SecretId> = HashMap::new();
     for (i, name) in g.secret_names.iter().enumerate() {
         let sid = SecretId(i as u32);
@@ -187,23 +202,35 @@ pub fn chain(f: &Netlist, g: &Netlist, bindings: &[Binding]) -> Result<Netlist, 
                 if bound_secrets.contains_key(&secret) {
                     continue; // replaced by the inner gadget's output wire
                 }
+                let renamed = *g_secret.get(&secret).ok_or_else(|| {
+                    ComposeError::Invalid(NetlistError::DanglingReference(format!(
+                        "outer netlist references secret #{} which does not exist",
+                        secret.0
+                    )))
+                })?;
                 out.inputs.push((
-                    g_wire[w.0 as usize],
+                    mapped(&g_wire, w.0, "wire", "outer")?,
                     InputRole::Share {
-                        secret: g_secret[&secret],
+                        secret: renamed,
                         index,
                     },
                 ));
             }
-            other => out.inputs.push((g_wire[w.0 as usize], other)),
+            other => out
+                .inputs
+                .push((mapped(&g_wire, w.0, "wire", "outer")?, other)),
         }
     }
     for c in &g.cells {
         out.cells.push(Cell {
             name: name_of(&c.name, &mut taken),
             gate: c.gate,
-            inputs: c.inputs.iter().map(|&w| g_wire[w.0 as usize]).collect(),
-            output: g_wire[c.output.0 as usize],
+            inputs: c
+                .inputs
+                .iter()
+                .map(|&w| mapped(&g_wire, w.0, "wire", "outer"))
+                .collect::<Result<_, _>>()?,
+            output: mapped(&g_wire, c.output.0, "wire", "outer")?,
         });
     }
 
@@ -217,12 +244,13 @@ pub fn chain(f: &Netlist, g: &Netlist, bindings: &[Binding]) -> Result<Netlist, 
     for &(w, role) in &g.outputs {
         let role = match role {
             OutputRole::Share { output, index } => OutputRole::Share {
-                output: g_output[output.0 as usize],
+                output: mapped(&g_output, output.0, "output", "outer")?,
                 index,
             },
             OutputRole::Public => OutputRole::Public,
         };
-        out.outputs.push((g_wire[w.0 as usize], role));
+        out.outputs
+            .push((mapped(&g_wire, w.0, "wire", "outer")?, role));
     }
     let bound_outputs: Vec<OutputId> = bound_secrets.values().copied().collect();
     let mut f_output: HashMap<OutputId, OutputId> = HashMap::new();
@@ -237,11 +265,11 @@ pub fn chain(f: &Netlist, g: &Netlist, bindings: &[Binding]) -> Result<Netlist, 
     }
     for &(w, role) in &f.outputs {
         if let OutputRole::Share { output, index } = role {
-            if let Some(&mapped) = f_output.get(&output) {
+            if let Some(&renamed) = f_output.get(&output) {
                 out.outputs.push((
-                    f_wire[w.0 as usize],
+                    mapped(&f_wire, w.0, "wire", "inner")?,
                     OutputRole::Share {
-                        output: mapped,
+                        output: renamed,
                         index,
                     },
                 ));
@@ -403,6 +431,33 @@ mod tests {
         )
         .expect("composes");
         assert_eq!(h.output_names.len(), 2); // g's w + f's unbound y2
+    }
+
+    #[test]
+    fn chain_rejects_dangling_references_without_panicking() {
+        // Corrupt a valid gadget so a cell input points past the wire table;
+        // chain() must surface this as an error, not an index panic.
+        let mut f = refresh2();
+        f.cells[0].inputs[0] = WireId(999);
+        let g = xor2();
+        let b = Binding {
+            inner_output: OutputId(0),
+            outer_secret: SecretId(0),
+        };
+        let e = chain(&f, &g, &[b]).unwrap_err();
+        assert!(
+            matches!(e, ComposeError::Invalid(NetlistError::DanglingReference(_))),
+            "got {e:?}"
+        );
+        // Same for the outer gadget's cell table.
+        let f = refresh2();
+        let mut g = xor2();
+        g.cells[0].output = WireId(999);
+        let e = chain(&f, &g, &[b]).unwrap_err();
+        assert!(
+            matches!(e, ComposeError::Invalid(NetlistError::DanglingReference(_))),
+            "got {e:?}"
+        );
     }
 
     #[test]

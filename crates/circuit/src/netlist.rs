@@ -223,6 +223,9 @@ pub enum NetlistError {
     /// An annotation refers to share/output indices inconsistently (e.g.
     /// missing share index, duplicate `(secret, index)` pair).
     BadSharing(String),
+    /// A cross-reference (wire, secret or output id) points outside the
+    /// netlist it belongs to.
+    DanglingReference(String),
 }
 
 impl fmt::Display for NetlistError {
@@ -242,6 +245,7 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::DuplicateWire(w) => write!(f, "duplicate wire name {w}"),
             NetlistError::BadSharing(msg) => write!(f, "inconsistent sharing: {msg}"),
+            NetlistError::DanglingReference(msg) => write!(f, "dangling reference: {msg}"),
         }
     }
 }

@@ -109,6 +109,11 @@ pub(crate) struct Checkpoint {
     pub(crate) candidates: Vec<(u64, Vec<usize>)>,
     /// Quarantined combinations: `(global index, site indices, reason)`.
     pub(crate) skipped: Vec<(u64, Vec<usize>, IncompleteReason)>,
+    /// Quarantines the rescue pass already resolved as clean, with the
+    /// reason they were originally skipped for. Kept out of `skipped` so a
+    /// resumed run does not replay their escalation ladders. Absent in
+    /// files written before rescue existed — parsed as empty.
+    pub(crate) rescued: Vec<(u64, Vec<usize>, IncompleteReason)>,
 }
 
 /// What the scheduler needs to resume: the frontier plus seeded evidence,
@@ -121,6 +126,7 @@ pub(crate) struct ResumeState {
     pub(crate) pruned: u64,
     pub(crate) candidates: Vec<(u64, Vec<usize>)>,
     pub(crate) skipped: Vec<(u64, Vec<usize>, IncompleteReason)>,
+    pub(crate) rescued: Vec<(u64, Vec<usize>, IncompleteReason)>,
 }
 
 impl Checkpoint {
@@ -136,12 +142,18 @@ impl Checkpoint {
             .into_iter()
             .filter(|&(i, _, _)| completed.contains(i))
             .collect();
+        let rescued = self
+            .rescued
+            .into_iter()
+            .filter(|&(i, _, _)| completed.contains(i))
+            .collect();
         ResumeState {
             completed,
             combinations: self.combinations,
             pruned: self.pruned,
             candidates,
             skipped,
+            rescued,
         }
     }
 }
@@ -210,6 +222,17 @@ pub(crate) fn render(ck: &Checkpoint) -> String {
     }
     out.push_str("],\"skipped\":[");
     for (i, (index, sites, reason)) in ck.skipped.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"index\":{index},\"sites\":{},\"reason\":\"{}\"}}",
+            render_usize_list(sites),
+            reason.as_str()
+        ));
+    }
+    out.push_str("],\"rescued\":[");
+    for (i, (index, sites, reason)) in ck.rescued.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -319,6 +342,19 @@ pub(crate) fn parse(text: &str) -> Result<Checkpoint, Error> {
             .ok_or_else(|| Error::Checkpoint("entry has unknown reason".into()))?;
         skipped.push((index_of(entry)?, sites_of(entry)?, reason));
     }
+    // Tolerant of files written before the rescue pass existed: the array
+    // is simply absent there.
+    let mut rescued = Vec::new();
+    if let Some(entries) = doc.get("rescued").and_then(Json::as_arr) {
+        for entry in entries {
+            let reason = entry
+                .get("reason")
+                .and_then(Json::as_str)
+                .and_then(IncompleteReason::parse)
+                .ok_or_else(|| Error::Checkpoint("entry has unknown reason".into()))?;
+            rescued.push((index_of(entry)?, sites_of(entry)?, reason));
+        }
+    }
 
     Ok(Checkpoint {
         fingerprint: str_field("fingerprint")?,
@@ -328,6 +364,7 @@ pub(crate) fn parse(text: &str) -> Result<Checkpoint, Error> {
         completed,
         candidates,
         skipped,
+        rescued,
     })
 }
 
@@ -376,6 +413,7 @@ mod tests {
             completed,
             candidates: vec![(5, vec![0, 3])],
             skipped: vec![(7, vec![1, 2], IncompleteReason::NodeBudget)],
+            rescued: vec![(9, vec![0, 4], IncompleteReason::WorkerFailure)],
         };
         let text = render(&ck);
         assert!(text.starts_with("{\"schema\":\"walshcheck-checkpoint/1\""));
@@ -387,6 +425,17 @@ mod tests {
         assert_eq!(back.completed, ck.completed);
         assert_eq!(back.candidates, ck.candidates);
         assert_eq!(back.skipped, ck.skipped);
+        assert_eq!(back.rescued, ck.rescued);
+    }
+
+    #[test]
+    fn parse_tolerates_missing_rescued_array() {
+        // Files written before the rescue pass existed have no `rescued`.
+        let text = "{\"schema\":\"walshcheck-checkpoint/1\",\"fingerprint\":\"x\",\
+             \"property\":\"p\",\"combinations\":1,\"pruned\":0,\"completed\":[[0,4]],\
+             \"candidates\":[],\"skipped\":[]}";
+        let back = parse(text).expect("legacy file parses");
+        assert!(back.rescued.is_empty());
     }
 
     #[test]
@@ -414,9 +463,17 @@ mod tests {
             completed,
             candidates: vec![(5, vec![1]), (15, vec![2])],
             skipped: vec![(3, vec![0], IncompleteReason::WorkerFailure)],
+            rescued: vec![
+                (4, vec![1], IncompleteReason::NodeBudget),
+                (12, vec![2], IncompleteReason::NodeBudget),
+            ],
         };
         let resume = ck.into_resume();
         assert_eq!(resume.candidates, vec![(5, vec![1])]);
         assert_eq!(resume.skipped.len(), 1);
+        assert_eq!(
+            resume.rescued,
+            vec![(4, vec![1], IncompleteReason::NodeBudget)]
+        );
     }
 }

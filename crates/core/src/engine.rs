@@ -401,6 +401,19 @@ impl Verifier {
     ) -> EnumState {
         let sites = extract_sites(&self.netlist, &self.unfolded, &options.sites)
             .expect("netlist validated in Verifier::new");
+        self.begin_with_sites(sites, property, options)
+    }
+
+    /// [`Verifier::begin_enumeration`] with an explicit site list. The
+    /// rescue pass re-checks combinations against the sweep's exact sites
+    /// (cloned from its state) instead of re-extracting them, so a rescue
+    /// attempt under different options still indexes the same tuples.
+    pub(crate) fn begin_with_sites(
+        &self,
+        sites: Vec<Site>,
+        property: Property,
+        options: &VerifyOptions,
+    ) -> EnumState {
         // Probing security is a per-coefficient property: joint mode
         // degenerates to the row-wise region test.
         let mode = if matches!(property, Property::Probing(_)) {
@@ -415,6 +428,109 @@ impl Verifier {
             options.node_budget,
         );
         EnumState { sites, mode, ctx }
+    }
+
+    /// Checks one combination in a cold engine context built from
+    /// `options` — the rescue ladder's plain-retry primitive. Every call
+    /// starts from scratch (no prefix cache, no shared arenas), so the
+    /// result depends only on `(options, sites, idxs)`, never on sweep
+    /// history — part of the rescue determinism argument (DESIGN.md §11).
+    pub(crate) fn check_fresh(
+        &self,
+        property: Property,
+        options: &VerifyOptions,
+        sites: &[Site],
+        idxs: &[usize],
+        stats: &mut CheckStats,
+    ) -> ComboStep {
+        let mut state = self.begin_with_sites(sites.to_vec(), property, options);
+        let step = self.check_indices(&mut state, property, false, idxs, stats);
+        state.finish(stats);
+        step
+    }
+
+    /// Re-checks one combination after greedily sifting its observed
+    /// functions into a smaller variable order
+    /// ([`walshcheck_dd::reorder::sift`]) — the rescue ladder's second
+    /// rung. The functions are re-expressed in a fresh manager under the
+    /// found order, the variable map and site supports are permuted to
+    /// match, the check runs in a cold engine context, and a violating
+    /// coordinate is mapped back to the original numbering before
+    /// returning. The `begin_tuple` pre-charge counts functions, not
+    /// nodes, so it is unchanged by sifting — only the arena-growth half
+    /// of the budget benefits from the smaller diagrams.
+    pub(crate) fn check_sifted(
+        &self,
+        property: Property,
+        options: &VerifyOptions,
+        sites: &[Site],
+        idxs: &[usize],
+        stats: &mut CheckStats,
+    ) -> ComboStep {
+        let combo: Vec<&Site> = idxs.iter().map(|&i| &sites[i]).collect();
+        let roots: Vec<Bdd> = combo.iter().flat_map(|s| s.funcs.iter().copied()).collect();
+        let sifted = walshcheck_dd::reorder::sift(&self.unfolded.bdds, &roots);
+        let vm = self.varmap.permuted(&sifted.order);
+        let permute = |m: Mask| {
+            let mut out = Mask::ZERO;
+            for i in m.iter() {
+                out.0 |= 1 << sifted.order[i].0;
+            }
+            out
+        };
+        let mut moved = sifted.roots.iter().copied();
+        let local: Vec<Site> = combo
+            .iter()
+            .map(|s| Site {
+                probe: s.probe.clone(),
+                funcs: moved.by_ref().take(s.funcs.len()).collect(),
+                support: permute(s.support),
+            })
+            .collect();
+        let refs: Vec<&Site> = local.iter().collect();
+        let mode = if matches!(property, Property::Probing(_)) {
+            CheckMode::RowWise
+        } else {
+            options.mode
+        };
+        let internal = refs.iter().filter(|s| s.is_internal()).count();
+        let region = region_for(property, &refs, refs.len(), internal);
+        let mut ctx = EngineCtx::new(
+            options.engine,
+            self.varmap.num_vars as u32,
+            effective_cache_budget(options),
+            options.node_budget,
+        );
+        ctx.begin_tuple(&refs);
+        // Local indices are the throwaway context's cache keys; they never
+        // mix with another run's keys because the context dies here.
+        let local_idxs: Vec<usize> = (0..refs.len()).collect();
+        let hit = ctx.check_combination(
+            &sifted.manager,
+            &vm,
+            &refs,
+            &local_idxs,
+            &region,
+            mode,
+            stats,
+        );
+        ctx.fold_cache_stats(stats);
+        match hit {
+            Some((mask, reason, coefficient)) => {
+                let inv = sifted.inverse_order();
+                let mut back = Mask::ZERO;
+                for level in mask.iter() {
+                    back.0 |= 1 << inv[level].0;
+                }
+                ComboStep::Violation(Witness {
+                    combination: refs.iter().map(|s| s.probe.clone()).collect(),
+                    mask: back,
+                    reason,
+                    coefficient,
+                })
+            }
+            None => ComboStep::Clean,
+        }
     }
 
     /// Checks the single combination `idxs` (site indices into
@@ -513,6 +629,10 @@ impl Verifier {
                 }
                 stats.combinations += 1;
                 if stats.combinations % 256 == 1 {
+                    if crate::shutdown::requested() {
+                        stats.interrupted = true;
+                        return ControlFlow::Break(());
+                    }
                     if let Some(flag) = &control.cancel {
                         if flag.load(Ordering::Relaxed) {
                             stats.timed_out = true;

@@ -14,6 +14,12 @@
 //! |                             | per-combination isolation boundary                |
 //! | `exit-after-checkpoints=N`  | `process::exit(42)` after the `N`-th checkpoint   |
 //! |                             | write (simulates a mid-sweep kill for resume CI)  |
+//! | `rescue-panic-at=IDX`       | panic in *every* rescue attempt of combination    |
+//! |                             | `IDX` (drives the ladder to `Unresolved`)         |
+//! | `rescue-budget-at=IDX`      | raise `CapacityExceeded` in every rescue attempt  |
+//! |                             | of combination `IDX`                              |
+//! | `stall-ms=N`                | sleep `N` ms before each combination check (slows |
+//! |                             | a sweep so signal-kill tests land mid-run)        |
 //!
 //! Multiple directives are comma-separated. Without the feature every hook
 //! compiles to nothing.
@@ -52,11 +58,32 @@ fn directive(prefix: &str) -> Option<u64> {
 pub(crate) fn maybe_inject(index: u64) {
     #[cfg(feature = "fault-inject")]
     {
+        if let Some(ms) = directive("stall-ms") {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
         if directive("panic-at") == Some(index) {
             std::panic::panic_any(InjectedFault("panic-at"));
         }
         if directive("budget-at") == Some(index) {
             walshcheck_dd::budget::exceeded("fault-inject", 0, 0);
+        }
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    let _ = index;
+}
+
+/// Injects a panic or budget exhaustion into *every* rescue attempt of
+/// combination `index` — unlike `maybe_inject`, which the rescue path does
+/// not call, so the sweep-time directives cannot contaminate the ladder.
+/// Called inside the rescue attempt's isolation boundary.
+pub(crate) fn maybe_inject_rescue(index: u64) {
+    #[cfg(feature = "fault-inject")]
+    {
+        if directive("rescue-panic-at") == Some(index) {
+            std::panic::panic_any(InjectedFault("rescue-panic-at"));
+        }
+        if directive("rescue-budget-at") == Some(index) {
+            walshcheck_dd::budget::exceeded("fault-inject-rescue", 0, 0);
         }
     }
     #[cfg(not(feature = "fault-inject"))]

@@ -57,9 +57,11 @@ pub mod mask;
 pub mod observe;
 mod pcache;
 pub mod property;
+pub mod recover;
 pub mod report;
 mod scheduler;
 pub mod session;
+pub mod shutdown;
 pub mod sites;
 pub mod spectrum;
 pub mod tmatrix;
@@ -78,6 +80,10 @@ pub use observe::{ChannelObserver, EnginePhase, ProgressEvent, ProgressObserver}
 pub use property::{
     CheckMode, CheckStats, IncompleteReason, Outcome, Property, SkippedCombination, Verdict,
     Witness,
+};
+pub use recover::{
+    RecoveryReport, RescueAttempt, RescueAttemptOutcome, RescueConfig, RescueResolution,
+    RescueRung, RescuedCombination,
 };
 pub use report::{run_report_json, ReportCacheConfig};
 pub use session::{Session, WitnessSearch};

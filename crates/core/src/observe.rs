@@ -119,6 +119,29 @@ pub trait ProgressObserver: Send + Sync {
         let _ = (hits, misses, evictions, peak_bytes);
     }
 
+    /// The post-sweep rescue pass is starting on `quarantined` combinations
+    /// (fires only when rescue is enabled and there is something to rescue).
+    fn rescue_started(&self, quarantined: usize) {
+        let _ = quarantined;
+    }
+
+    /// One rung of the escalation ladder ran for the quarantined
+    /// combination at enumeration index `index`.
+    fn rescue_attempt(&self, index: u64, attempt: &crate::recover::RescueAttempt) {
+        let _ = (index, attempt);
+    }
+
+    /// The ladder for the combination at enumeration index `index` ended
+    /// with `resolution`.
+    fn rescue_resolved(&self, index: u64, resolution: crate::recover::RescueResolution) {
+        let _ = (index, resolution);
+    }
+
+    /// The rescue pass is over; `report` summarises every ladder that ran.
+    fn rescue_finished(&self, report: &crate::recover::RecoveryReport) {
+        let _ = report;
+    }
+
     /// The run is over; `stats` are the merged counters of all workers.
     fn run_finished(&self, stats: &CheckStats) {
         let _ = stats;
@@ -207,6 +230,34 @@ pub enum ProgressEvent {
         evictions: u64,
         /// Summed per-worker peak footprint estimate, in bytes.
         peak_bytes: u64,
+    },
+    /// See [`ProgressObserver::rescue_started`].
+    RescueStarted {
+        /// Number of quarantined combinations entering the rescue pass.
+        quarantined: usize,
+    },
+    /// See [`ProgressObserver::rescue_attempt`].
+    RescueAttempted {
+        /// Enumeration index of the combination being rescued.
+        index: u64,
+        /// The rung that ran and how it ended.
+        attempt: crate::recover::RescueAttempt,
+    },
+    /// See [`ProgressObserver::rescue_resolved`].
+    RescueResolved {
+        /// Enumeration index of the combination.
+        index: u64,
+        /// How its escalation ladder ended.
+        resolution: crate::recover::RescueResolution,
+    },
+    /// See [`ProgressObserver::rescue_finished`].
+    RescueFinished {
+        /// Ladders run (including resolutions carried from a resumed run).
+        attempted: usize,
+        /// Of those, resolved (clean or violated).
+        resolved: usize,
+        /// Of those, still quarantined after every rung.
+        unresolved: usize,
     },
     /// See [`ProgressObserver::run_finished`].
     RunFinished {
@@ -313,6 +364,29 @@ impl ProgressObserver for ChannelObserver {
         });
     }
 
+    fn rescue_started(&self, quarantined: usize) {
+        self.send(ProgressEvent::RescueStarted { quarantined });
+    }
+
+    fn rescue_attempt(&self, index: u64, attempt: &crate::recover::RescueAttempt) {
+        self.send(ProgressEvent::RescueAttempted {
+            index,
+            attempt: attempt.clone(),
+        });
+    }
+
+    fn rescue_resolved(&self, index: u64, resolution: crate::recover::RescueResolution) {
+        self.send(ProgressEvent::RescueResolved { index, resolution });
+    }
+
+    fn rescue_finished(&self, report: &crate::recover::RecoveryReport) {
+        self.send(ProgressEvent::RescueFinished {
+            attempted: report.attempted,
+            resolved: report.resolved,
+            unresolved: report.unresolved,
+        });
+    }
+
     fn run_finished(&self, stats: &CheckStats) {
         self.send(ProgressEvent::RunFinished {
             stats: stats.clone(),
@@ -341,11 +415,46 @@ mod tests {
         obs.combination_quarantined(0, 4, crate::property::IncompleteReason::NodeBudget);
         obs.checkpoint_written(std::path::Path::new("run.ck"), 7);
         obs.batch_finished(0, 4, 1);
+        obs.rescue_started(1);
+        let attempt = crate::recover::RescueAttempt {
+            rung: crate::recover::RescueRung::Budget,
+            engine: crate::engine::EngineKind::Mapi,
+            node_budget: Some(2),
+            outcome: crate::recover::RescueAttemptOutcome::Clean,
+        };
+        obs.rescue_attempt(4, &attempt);
+        obs.rescue_resolved(4, crate::recover::RescueResolution::Clean);
+        obs.rescue_finished(&crate::recover::RecoveryReport {
+            attempted: 1,
+            resolved: 1,
+            unresolved: 0,
+            combinations: vec![],
+        });
         obs.phase_timing(EnginePhase::Enumerate, Duration::from_millis(1));
         obs.cache_stats(8, 4, 1, 4096);
         obs.run_finished(&CheckStats::default());
         let events: Vec<ProgressEvent> = rx.try_iter().collect();
-        assert_eq!(events.len(), 10);
+        assert_eq!(events.len(), 14);
+        assert_eq!(events[7], ProgressEvent::RescueStarted { quarantined: 1 });
+        assert!(matches!(
+            events[8],
+            ProgressEvent::RescueAttempted { index: 4, .. }
+        ));
+        assert_eq!(
+            events[9],
+            ProgressEvent::RescueResolved {
+                index: 4,
+                resolution: crate::recover::RescueResolution::Clean
+            }
+        );
+        assert_eq!(
+            events[10],
+            ProgressEvent::RescueFinished {
+                attempted: 1,
+                resolved: 1,
+                unresolved: 0
+            }
+        );
         assert_eq!(
             events[0],
             ProgressEvent::RunStarted {
@@ -374,7 +483,7 @@ mod tests {
             }
         ));
         assert_eq!(
-            events[8],
+            events[12],
             ProgressEvent::CacheStats {
                 hits: 8,
                 misses: 4,
@@ -382,7 +491,7 @@ mod tests {
                 peak_bytes: 4096
             }
         );
-        assert!(matches!(events[9], ProgressEvent::RunFinished { .. }));
+        assert!(matches!(events[13], ProgressEvent::RunFinished { .. }));
     }
 
     #[test]

@@ -124,6 +124,10 @@ pub enum IncompleteReason {
     /// A worker panicked (the combination being checked was quarantined, or
     /// the whole worker was lost), so part of the space may be unchecked.
     WorkerFailure,
+    /// A graceful shutdown was requested ([`crate::shutdown::request`],
+    /// typically SIGINT/SIGTERM) and the sweep was drained at a batch
+    /// boundary; the flushed checkpoint resumes the run byte-identically.
+    Interrupted,
 }
 
 impl IncompleteReason {
@@ -133,6 +137,7 @@ impl IncompleteReason {
             IncompleteReason::Timeout => "timeout",
             IncompleteReason::NodeBudget => "node-budget",
             IncompleteReason::WorkerFailure => "worker-failure",
+            IncompleteReason::Interrupted => "interrupted",
         }
     }
 
@@ -142,6 +147,7 @@ impl IncompleteReason {
             "timeout" => Some(IncompleteReason::Timeout),
             "node-budget" => Some(IncompleteReason::NodeBudget),
             "worker-failure" => Some(IncompleteReason::WorkerFailure),
+            "interrupted" => Some(IncompleteReason::Interrupted),
             _ => None,
         }
     }
@@ -259,6 +265,10 @@ pub struct CheckStats {
     /// reached (the verdict is then a lower bound: no violation found *so
     /// far*).
     pub timed_out: bool,
+    /// Whether the run was cut short by a graceful-shutdown request
+    /// ([`crate::shutdown::request`]) while unswept work remained. The final
+    /// checkpoint write still runs, so the run can be resumed.
+    pub interrupted: bool,
 }
 
 impl CheckStats {
@@ -280,6 +290,7 @@ impl CheckStats {
         self.verification_time += other.verification_time;
         self.total_time = self.total_time.max(other.total_time);
         self.timed_out |= other.timed_out;
+        self.interrupted |= other.interrupted;
     }
 }
 
@@ -322,6 +333,10 @@ pub struct Verdict {
     pub witness: Option<Witness>,
     /// Combinations quarantined instead of checked, in enumeration order.
     pub skipped: Vec<SkippedCombination>,
+    /// Record of the post-sweep rescue pass (`Some` whenever a rescue ran or
+    /// resolutions were carried from a resumed checkpoint); [`None`] when
+    /// rescue was disabled or there was nothing to rescue.
+    pub recovery: Option<crate::recover::RecoveryReport>,
     /// Cost counters.
     pub stats: CheckStats,
 }
@@ -330,9 +345,11 @@ impl Verdict {
     /// Builds a verdict, deriving [`Verdict::outcome`] from the evidence.
     ///
     /// Precedence: a witness is definitive (`Violated`) no matter what else
-    /// happened; otherwise a timeout, a lost worker, a worker-failure
-    /// quarantine, and a budget quarantine downgrade to `Inconclusive` in
-    /// that order; only a clean, complete sweep is `Secure`.
+    /// happened; otherwise a shutdown interrupt, a timeout, a lost worker, a
+    /// worker-failure quarantine, and a budget quarantine downgrade to
+    /// `Inconclusive` in that order; only a clean, complete sweep is
+    /// `Secure`. (A successful rescue pass empties `skipped`, which is how
+    /// an `Inconclusive` run upgrades to `Secure`.)
     pub fn conclude(
         property: Property,
         witness: Option<Witness>,
@@ -341,6 +358,8 @@ impl Verdict {
     ) -> Verdict {
         let outcome = if witness.is_some() {
             Outcome::Violated
+        } else if stats.interrupted {
+            Outcome::Inconclusive(IncompleteReason::Interrupted)
         } else if stats.timed_out {
             Outcome::Inconclusive(IncompleteReason::Timeout)
         } else if stats.worker_failures > 0
@@ -360,6 +379,7 @@ impl Verdict {
             outcome,
             witness,
             skipped,
+            recovery: None,
             stats,
         }
     }
@@ -527,11 +547,34 @@ mod tests {
     }
 
     #[test]
+    fn interrupt_outranks_other_degradations_but_not_a_witness() {
+        let stats = CheckStats {
+            interrupted: true,
+            timed_out: true,
+            ..CheckStats::default()
+        };
+        let v = Verdict::conclude(Property::Sni(2), None, vec![], stats.clone());
+        assert_eq!(
+            v.outcome,
+            Outcome::Inconclusive(IncompleteReason::Interrupted)
+        );
+        let w = Witness {
+            combination: vec![],
+            mask: Mask(1),
+            reason: "leak".into(),
+            coefficient: None,
+        };
+        let v = Verdict::conclude(Property::Sni(2), Some(w), vec![], stats);
+        assert_eq!(v.outcome, Outcome::Violated);
+    }
+
+    #[test]
     fn reason_round_trips_through_names() {
         for r in [
             IncompleteReason::Timeout,
             IncompleteReason::NodeBudget,
             IncompleteReason::WorkerFailure,
+            IncompleteReason::Interrupted,
         ] {
             assert_eq!(IncompleteReason::parse(r.as_str()), Some(r));
         }

@@ -2,15 +2,19 @@
 //!
 //! The build environment vendors no serialization framework, so this module
 //! hand-rolls the small, stable JSON surface that `walshcheck check --json`
-//! emits (schema `walshcheck-report/3`, documented in the README). All
+//! emits (schema `walshcheck-report/4`, documented in the README). All
 //! emitters produce compact single-line JSON with escaped strings; numbers
 //! are plain decimals, durations are fractional seconds.
 //!
-//! Report/3 adds the resilience surface on top of report/2: a top-level
+//! Report/3 added the resilience surface on top of report/2: a top-level
 //! `"outcome"` (`"secure"` / `"violated"` / `"inconclusive"`) and a
 //! `"degradation"` block saying exactly how much of the sweep is missing
 //! from an inconclusive verdict (timeout, lost workers, quarantined
 //! combinations, resume provenance).
+//!
+//! Report/4 adds the recovery surface: an `"interrupted"` stat flag and a
+//! `"recovery"` block (`null` when the rescue pass did not run) recording
+//! every escalation-ladder attempt made for quarantined combinations.
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -58,7 +62,8 @@ impl CheckStats {
                 "\"cache_evictions\":{},\"cache_peak_bytes\":{},",
                 "\"skipped\":{},\"worker_failures\":{},",
                 "\"convolution_seconds\":{},",
-                "\"verification_seconds\":{},\"total_seconds\":{},\"timed_out\":{}}}"
+                "\"verification_seconds\":{},\"total_seconds\":{},\"timed_out\":{},",
+                "\"interrupted\":{}}}"
             ),
             self.combinations,
             self.pruned,
@@ -74,6 +79,7 @@ impl CheckStats {
             seconds(self.verification_time),
             seconds(self.total_time),
             self.timed_out,
+            self.interrupted,
         )
     }
 }
@@ -142,9 +148,75 @@ impl Witness {
     }
 }
 
+impl crate::recover::RescueAttempt {
+    /// The attempt as a JSON object.
+    pub fn to_json(&self) -> String {
+        let budget = match self.node_budget {
+            Some(n) => n.to_string(),
+            None => "null".into(),
+        };
+        format!(
+            "{{\"rung\":\"{}\",\"engine\":\"{}\",\"node_budget\":{},\"outcome\":\"{}\"}}",
+            self.rung.as_str(),
+            self.engine.to_string().to_lowercase(),
+            budget,
+            self.outcome.as_str(),
+        )
+    }
+}
+
+impl crate::recover::RescuedCombination {
+    /// The per-combination rescue record as a JSON object; wire names
+    /// resolve through `netlist` when provided.
+    pub fn to_json(&self, netlist: Option<&Netlist>) -> String {
+        let probes: Vec<String> = self
+            .combination
+            .iter()
+            .map(|p| p.to_json(netlist))
+            .collect();
+        let attempts: Vec<String> = self.attempts.iter().map(|a| a.to_json()).collect();
+        format!(
+            concat!(
+                "{{\"index\":{},\"reason\":\"{}\",\"probes\":[{}],",
+                "\"attempts\":[{}],\"resolution\":\"{}\"}}"
+            ),
+            self.index,
+            self.reason.as_str(),
+            probes.join(","),
+            attempts.join(","),
+            self.resolution.as_str(),
+        )
+    }
+}
+
+impl crate::recover::RecoveryReport {
+    /// The `"recovery"` block of a report/4 document. The per-combination
+    /// list is truncated like the skipped list, with a flag saying so.
+    pub fn to_json(&self, netlist: Option<&Netlist>) -> String {
+        let listed: Vec<String> = self
+            .combinations
+            .iter()
+            .take(MAX_SKIPPED_IN_REPORT)
+            .map(|c| c.to_json(netlist))
+            .collect();
+        format!(
+            concat!(
+                "{{\"attempted\":{},\"resolved\":{},\"unresolved\":{},",
+                "\"combinations\":[{}],\"combinations_truncated\":{}}}"
+            ),
+            self.attempted,
+            self.resolved,
+            self.unresolved,
+            listed.join(","),
+            self.combinations.len() > MAX_SKIPPED_IN_REPORT,
+        )
+    }
+}
+
 impl Verdict {
     /// The verdict as a JSON object (property, outcome, witness, skipped,
-    /// stats). `secure` is kept next to `outcome` for 0.2 consumers.
+    /// stats, recovery). `secure` is kept next to `outcome` for 0.2
+    /// consumers.
     pub fn to_json(&self, netlist: Option<&Netlist>) -> String {
         let witness = match &self.witness {
             Some(w) => w.to_json(netlist),
@@ -156,10 +228,14 @@ impl Verdict {
             .take(MAX_SKIPPED_IN_REPORT)
             .map(|s| s.to_json(netlist))
             .collect();
+        let recovery = match &self.recovery {
+            Some(r) => r.to_json(netlist),
+            None => "null".into(),
+        };
         format!(
             concat!(
                 "{{\"property\":\"{}\",\"secure\":{},\"outcome\":\"{}\",",
-                "\"witness\":{},\"skipped\":[{}],\"stats\":{}}}"
+                "\"witness\":{},\"skipped\":[{}],\"stats\":{},\"recovery\":{}}}"
             ),
             json_escape(&self.property.to_string()),
             self.secure,
@@ -167,6 +243,7 @@ impl Verdict {
             witness,
             skipped.join(","),
             self.stats.to_json(),
+            recovery,
         )
     }
 }
@@ -220,11 +297,11 @@ fn degradation_json(verdict: &Verdict, netlist: &Netlist, resumed: bool) -> Stri
 }
 
 /// The full `walshcheck check --json` run report (schema
-/// `walshcheck-report/3`): the verdict (with its three-valued outcome and
-/// degradation block) plus run configuration, the prefix-cache
-/// configuration and counters, and the observer-collected engine-phase
-/// timings `(name, duration)`. `resumed` records whether the run was seeded
-/// from a checkpoint.
+/// `walshcheck-report/4`): the verdict (with its three-valued outcome,
+/// degradation block, and recovery block) plus run configuration, the
+/// prefix-cache configuration and counters, and the observer-collected
+/// engine-phase timings `(name, duration)`. `resumed` records whether the
+/// run was seeded from a checkpoint.
 #[allow(clippy::too_many_arguments)]
 pub fn run_report_json(
     netlist: &Netlist,
@@ -243,12 +320,12 @@ pub fn run_report_json(
     let stats = &verdict.stats;
     format!(
         concat!(
-            "{{\"schema\":\"walshcheck-report/3\",\"netlist\":\"{}\",",
+            "{{\"schema\":\"walshcheck-report/4\",\"netlist\":\"{}\",",
             "\"engine\":\"{}\",\"mode\":\"{}\",\"threads\":{},",
             "\"cache\":{{\"enabled\":{},\"budget_bytes\":{},\"hits\":{},",
             "\"misses\":{},\"evictions\":{},\"peak_bytes\":{}}},",
             "\"property\":\"{}\",\"secure\":{},\"outcome\":\"{}\",",
-            "\"degradation\":{},\"witness\":{},",
+            "\"degradation\":{},\"recovery\":{},\"witness\":{},",
             "\"stats\":{},\"phases\":{{{}}}}}"
         ),
         json_escape(&netlist.name),
@@ -265,6 +342,10 @@ pub fn run_report_json(
         verdict.secure,
         verdict.outcome.as_str(),
         degradation_json(verdict, netlist, resumed),
+        match &verdict.recovery {
+            Some(r) => r.to_json(Some(netlist)),
+            None => "null".into(),
+        },
         match &verdict.witness {
             Some(w) => w.to_json(Some(netlist)),
             None => "null".into(),
@@ -297,7 +378,7 @@ mod tests {
         };
         let j = s.to_json();
         assert!(j.starts_with("{\"combinations\":3,\"pruned\":1,"));
-        assert!(j.ends_with("\"timed_out\":false}"));
+        assert!(j.ends_with("\"timed_out\":false,\"interrupted\":false}"));
     }
 
     #[test]
@@ -336,6 +417,39 @@ mod tests {
         assert!(j.contains("\"witness\":null"));
         assert!(j.contains("\"outcome\":\"secure\""));
         assert!(j.contains("\"skipped\":[]"));
+    }
+
+    #[test]
+    fn recovery_block_json_shape() {
+        use crate::engine::EngineKind;
+        use crate::recover::{
+            RecoveryReport, RescueAttempt, RescueAttemptOutcome, RescueResolution, RescueRung,
+            RescuedCombination,
+        };
+        let report = RecoveryReport {
+            attempted: 1,
+            resolved: 1,
+            unresolved: 0,
+            combinations: vec![RescuedCombination {
+                index: 7,
+                combination: vec![ProbeRef::Internal { wire: WireId(3) }],
+                reason: crate::property::IncompleteReason::NodeBudget,
+                attempts: vec![RescueAttempt {
+                    rung: RescueRung::Budget,
+                    engine: EngineKind::Mapi,
+                    node_budget: Some(16),
+                    outcome: RescueAttemptOutcome::Clean,
+                }],
+                resolution: RescueResolution::Clean,
+            }],
+        };
+        let j = report.to_json(None);
+        assert!(j.starts_with("{\"attempted\":1,\"resolved\":1,\"unresolved\":0,"));
+        assert!(j.contains("\"rung\":\"budget\""));
+        assert!(j.contains("\"engine\":\"mapi\""));
+        assert!(j.contains("\"node_budget\":16"));
+        assert!(j.contains("\"resolution\":\"clean\""));
+        assert!(j.ends_with("\"combinations_truncated\":false}"));
     }
 
     #[test]

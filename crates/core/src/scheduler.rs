@@ -49,6 +49,7 @@ use crate::observe::{EnginePhase, ProgressObserver};
 use crate::property::{
     CheckStats, IncompleteReason, Property, SkippedCombination, Verdict, Witness,
 };
+use crate::recover::{RecoveryReport, RescueConfig, RescueResolution, RescuedCombination};
 
 /// Wall-times of the setup work done in `Session::new`, reported to the
 /// observer as engine phases.
@@ -118,6 +119,11 @@ struct BatchQueue {
     stop_before: AtomicU64,
     /// Abandon everything (wall-clock timeout).
     hard_stop: AtomicBool,
+    /// Set when a graceful-shutdown request drained the queue while
+    /// dispensable work remained — distinguishes "interrupted" from
+    /// "exhausted" (a sweep that finished before the signal stays
+    /// conclusive).
+    cut: AtomicBool,
 }
 
 impl BatchQueue {
@@ -140,6 +146,7 @@ impl BatchQueue {
             }),
             stop_before: AtomicU64::new(u64::MAX),
             hard_stop: AtomicBool::new(false),
+            cut: AtomicBool::new(false),
         }
     }
 
@@ -157,6 +164,10 @@ impl BatchQueue {
 
     fn hard_stopped(&self) -> bool {
         self.hard_stop.load(Ordering::Relaxed)
+    }
+
+    fn was_cut(&self) -> bool {
+        self.cut.load(Ordering::Relaxed)
     }
 
     /// Claims the next batch, or `None` when the enumeration is exhausted,
@@ -180,6 +191,13 @@ impl BatchQueue {
             }
         }
         if cur.global >= self.stop_before() {
+            return None;
+        }
+        // Graceful shutdown drains the queue at the batch boundary: the
+        // check sits *after* the exhaustion and cancellation tests, so
+        // `cut` is only raised when checkable work was actually abandoned.
+        if crate::shutdown::requested() {
+            self.cut.store(true, Ordering::Relaxed);
             return None;
         }
         let k = self.sizes[cur.bucket];
@@ -232,6 +250,11 @@ struct CheckpointShared {
     property: String,
     progress: Mutex<Progress>,
     last_write: Mutex<Instant>,
+    /// Quarantines already resolved by an earlier (interrupted) run's
+    /// rescue pass, carried through every sweep-time snapshot so a second
+    /// interruption does not lose them. The current run's own rescue pass
+    /// appends to a separate list and writes via [`Self::write_snapshot`].
+    carried_rescued: Vec<Quarantined>,
 }
 
 impl CheckpointShared {
@@ -253,7 +276,7 @@ impl CheckpointShared {
             }
             *last = Instant::now();
         }
-        self.write(candidates, skipped, observer);
+        self.write(candidates, skipped, &self.carried_rescued, observer);
     }
 
     /// Unconditionally writes a checkpoint (best-effort: an I/O failure of a
@@ -262,8 +285,10 @@ impl CheckpointShared {
         &self,
         candidates: &Mutex<Vec<Candidate>>,
         skipped: &Mutex<Vec<Quarantined>>,
+        rescued: &[Quarantined],
         observer: Option<&dyn ProgressObserver>,
     ) {
+        // Progress first, evidence second — see `maybe_write`.
         let (completed, combinations, pruned) = {
             let p = self.progress.lock().expect("progress poisoned");
             (p.completed.clone(), p.combinations, p.pruned)
@@ -275,14 +300,62 @@ impl CheckpointShared {
             .map(|(g, idxs, _)| (*g, idxs.clone()))
             .collect();
         let skips = skipped.lock().expect("skipped poisoned").clone();
+        self.emit(
+            completed,
+            combinations,
+            pruned,
+            cands,
+            skips,
+            rescued,
+            observer,
+        );
+    }
+
+    /// Snapshot-based variant for the (single-threaded) rescue pass, where
+    /// the evidence lists are plain vectors again and the frontier is
+    /// static.
+    fn write_snapshot(
+        &self,
+        candidates: &[(u64, Vec<usize>)],
+        skipped: &[Quarantined],
+        rescued: &[Quarantined],
+        observer: Option<&dyn ProgressObserver>,
+    ) {
+        let (completed, combinations, pruned) = {
+            let p = self.progress.lock().expect("progress poisoned");
+            (p.completed.clone(), p.combinations, p.pruned)
+        };
+        self.emit(
+            completed,
+            combinations,
+            pruned,
+            candidates.to_vec(),
+            skipped.to_vec(),
+            rescued,
+            observer,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        &self,
+        completed: RangeSet,
+        combinations: u64,
+        pruned: u64,
+        candidates: Vec<(u64, Vec<usize>)>,
+        skipped: Vec<Quarantined>,
+        rescued: &[Quarantined],
+        observer: Option<&dyn ProgressObserver>,
+    ) {
         let ck = Checkpoint {
             fingerprint: self.fingerprint.clone(),
             property: self.property.clone(),
             combinations,
             pruned,
             completed,
-            candidates: cands,
-            skipped: skips,
+            candidates,
+            skipped,
+            rescued: rescued.to_vec(),
         };
         if checkpoint::write_atomic(&self.config.path, &checkpoint::render(&ck)).is_ok() {
             if let Some(obs) = observer {
@@ -337,6 +410,7 @@ pub(crate) fn run(
     setup: SetupTimings,
     ckpt: Option<&CheckpointConfig>,
     resume: Option<ResumeState>,
+    rescue: &RescueConfig,
 ) -> Verdict {
     crate::isolate::install_quiet_hook();
     let start = Instant::now();
@@ -402,6 +476,7 @@ pub(crate) fn run(
             pruned: resumed_pruned,
         }),
         last_write: Mutex::new(Instant::now()),
+        carried_rescued: resume.rescued.clone(),
     });
 
     let shared: &Verifier = verifier;
@@ -472,20 +547,134 @@ pub(crate) fn run(
     let enum_time = enum_start.elapsed();
     verifier.end_enumeration();
 
-    // Final write: even a finished run leaves a coherent frontier file, so
-    // a later resume of a completed sweep is a cheap no-op.
-    if let Some(ck) = ck_ref {
-        ck.write(&candidates, &skipped, obs_dyn);
-    }
-
     let mut stats: CheckStats = worker_stats.drain(..).sum();
     stats.worker_failures += lost_workers;
     stats.combinations += resumed_combinations;
     stats.pruned += resumed_pruned;
+    stats.interrupted |= queue.was_cut();
+
+    // Quarantines an earlier (interrupted) run's rescue pass already
+    // resolved stay resolved; their ladder ran in that process and is not
+    // replayed here.
+    let mut rescued: Vec<Quarantined> = resume.rescued.clone();
+
+    // Post-sweep flush: even a finished run leaves a coherent frontier
+    // file, so a later resume of a completed sweep is a cheap no-op — and
+    // for a graceful shutdown this write *is* the flush the signal handler
+    // promises.
+    if let Some(ck) = ck_ref {
+        ck.write(&candidates, &skipped, &rescued, obs_dyn);
+    }
+
+    let mut cand_list: Vec<Candidate> = candidates.into_inner().expect("candidates poisoned");
+    let mut raw_skipped: Vec<Quarantined> = skipped.into_inner().expect("skipped poisoned");
+    raw_skipped.sort_by_key(|&(g, _, _)| g);
+    raw_skipped.dedup_by_key(|&mut (g, _, _)| g);
+
+    // Rescue pass: serial, on this thread, in ascending quarantine order.
+    // The escalation ladder is a pure function of (options, rescue config),
+    // so the pass is deterministic no matter how many workers the sweep
+    // used. Skipped entirely after a timeout or an interrupt — both mean
+    // the sweep itself is incomplete and rescue could not upgrade the
+    // verdict anyway.
+    let mut records: Vec<RescuedCombination> = rescued
+        .iter()
+        .map(|(g, idxs, reason)| RescuedCombination {
+            index: *g,
+            combination: idxs
+                .iter()
+                .map(|&i| state0.sites[i].probe.clone())
+                .collect(),
+            reason: *reason,
+            attempts: Vec::new(),
+            resolution: RescueResolution::Clean,
+        })
+        .collect();
+    let can_rescue =
+        rescue.enabled && !raw_skipped.is_empty() && !stats.timed_out && !stats.interrupted;
+    if can_rescue {
+        let todo = std::mem::take(&mut raw_skipped);
+        if let Some(obs) = observer {
+            obs.rescue_started(todo.len());
+        }
+        // Only quarantines at or below the minimal violation index can
+        // change the verdict: anything past it is outranked by the witness
+        // in `Verdict::conclude`, exactly as the sweep's cancellation bound
+        // skips combinations past a found violation. A rescued violation
+        // lowers the bound the same way.
+        let mut cutoff: Option<u64> = cand_list.iter().map(|&(g, _, _)| g).min();
+        for (i, (g, idxs, reason)) in todo.iter().enumerate() {
+            if cutoff.is_some_and(|c| *g > c) {
+                raw_skipped.push((*g, idxs.clone(), *reason));
+                continue;
+            }
+            let rec = crate::recover::rescue_one(
+                verifier,
+                property,
+                options,
+                rescue,
+                &state0.sites,
+                *g,
+                idxs,
+                *reason,
+                obs_dyn,
+            );
+            match rec.resolution {
+                RescueResolution::Clean => rescued.push((*g, idxs.clone(), *reason)),
+                RescueResolution::Violated => {
+                    // Witness recomputed below only if this index wins the
+                    // minimal-index selection — with the run's own engine
+                    // and no budget, byte-identical to a sweep-found one.
+                    cand_list.push((*g, idxs.clone(), None));
+                    cutoff = Some(cutoff.map_or(*g, |c| c.min(*g)));
+                }
+                RescueResolution::Unresolved => raw_skipped.push((*g, idxs.clone(), *reason)),
+            }
+            records.push(rec);
+            // Persist every resolution so a kill mid-rescue resumes without
+            // replaying healed combinations; the unprocessed tail goes back
+            // into the snapshot as still-skipped.
+            if let Some(ck) = ck_ref {
+                let cands: Vec<(u64, Vec<usize>)> = cand_list
+                    .iter()
+                    .map(|(g, idxs, _)| (*g, idxs.clone()))
+                    .collect();
+                let mut skips = raw_skipped.clone();
+                skips.extend_from_slice(&todo[i + 1..]);
+                skips.sort_by_key(|&(g, _, _)| g);
+                ck.write_snapshot(&cands, &skips, &rescued, obs_dyn);
+            }
+        }
+        // The skipped counter mirrors the surviving quarantine list (fresh
+        // sweep quarantines were counted by workers; rescue just resolved
+        // some of them).
+        stats.skipped = raw_skipped.len() as u64;
+    }
+    let recovery: Option<RecoveryReport> = if can_rescue || !records.is_empty() {
+        records.sort_by_key(|r| r.index);
+        let resolved = records
+            .iter()
+            .filter(|r| r.resolution != RescueResolution::Unresolved)
+            .count();
+        let report = RecoveryReport {
+            attempted: records.len(),
+            resolved,
+            unresolved: records.len() - resolved,
+            combinations: records,
+        };
+        if can_rescue {
+            if let Some(obs) = observer {
+                obs.rescue_finished(&report);
+            }
+        }
+        Some(report)
+    } else {
+        None
+    };
+
     let winner: Option<(u64, Witness)> = {
-        let mut cands = candidates.into_inner().expect("candidates poisoned");
-        cands.sort_by_key(|&(g, _, _)| g);
-        cands.into_iter().next().map(|(g, idxs, w)| {
+        cand_list.sort_by_key(|&(g, _, _)| g);
+        cand_list.into_iter().next().map(|(g, idxs, w)| {
             let w = w.unwrap_or_else(|| recompute_witness(verifier, property, options, &idxs));
             (g, w)
         })
@@ -495,21 +684,18 @@ pub(crate) fn run(
     stats.timed_out = stats.timed_out && winner.is_none();
     stats.total_time = start.elapsed();
 
-    let skipped: Vec<SkippedCombination> = {
-        let mut raw = skipped.into_inner().expect("skipped poisoned");
-        raw.sort_by_key(|&(g, _, _)| g);
-        raw.dedup_by_key(|&mut (g, _, _)| g);
-        raw.into_iter()
-            .map(|(index, idxs, reason)| SkippedCombination {
-                index,
-                combination: idxs
-                    .iter()
-                    .map(|&i| state0.sites[i].probe.clone())
-                    .collect(),
-                reason,
-            })
-            .collect()
-    };
+    raw_skipped.sort_by_key(|&(g, _, _)| g);
+    let skipped: Vec<SkippedCombination> = raw_skipped
+        .into_iter()
+        .map(|(index, idxs, reason)| SkippedCombination {
+            index,
+            combination: idxs
+                .iter()
+                .map(|&i| state0.sites[i].probe.clone())
+                .collect(),
+            reason,
+        })
+        .collect();
 
     if let Some(obs) = observer {
         obs.phase_timing(EnginePhase::Enumerate, enum_time);
@@ -524,7 +710,9 @@ pub(crate) fn run(
         obs.run_finished(&stats);
     }
 
-    Verdict::conclude(property, winner.map(|(_, w)| w), skipped, stats)
+    let mut verdict = Verdict::conclude(property, winner.map(|(_, w)| w), skipped, stats);
+    verdict.recovery = recovery;
+    verdict
 }
 
 /// Recomputes the witness of a checkpointed candidate. Deterministic: the

@@ -37,6 +37,7 @@ use crate::engine::{EngineKind, Verifier, VerifyOptions};
 use crate::error::Error;
 use crate::observe::ProgressObserver;
 use crate::property::{CheckMode, CheckStats, Property, SkippedCombination, Verdict, Witness};
+use crate::recover::RescueConfig;
 use crate::scheduler::{self, SetupTimings};
 
 /// A configured verification run over one netlist. See the module docs.
@@ -49,6 +50,7 @@ pub struct Session {
     setup: SetupTimings,
     checkpoint: Option<CheckpointConfig>,
     resume: Option<ResumeState>,
+    rescue: RescueConfig,
 }
 
 impl std::fmt::Debug for Session {
@@ -94,6 +96,7 @@ impl Session {
             setup: SetupTimings { validate, unfold },
             checkpoint: None,
             resume: None,
+            rescue: RescueConfig::default(),
         })
     }
 
@@ -181,6 +184,37 @@ impl Session {
     #[must_use]
     pub fn node_budget(mut self, nodes: usize) -> Self {
         self.options.node_budget = Some(nodes);
+        self
+    }
+
+    /// Post-sweep rescue pass on/off (off by default). When on, every
+    /// quarantined combination is re-verified through a deterministic
+    /// escalation ladder — doubled node budgets, then BDD variable sifting,
+    /// then engine fallback (see [`crate::recover`]) — and the verdict
+    /// upgrades from `Inconclusive` to `Secure`/`Violated` if *every*
+    /// quarantine resolves. Results stay byte-identical across thread
+    /// counts and checkpoint/resume.
+    #[must_use]
+    pub fn rescue(mut self, on: bool) -> Self {
+        self.rescue.enabled = on;
+        self
+    }
+
+    /// Number of budget-doubling attempts on the first rescue rung
+    /// (default [`crate::recover::DEFAULT_RESCUE_ATTEMPTS`]). Implies
+    /// nothing about the later sift/fallback rungs, which always run once
+    /// each if reached.
+    #[must_use]
+    pub fn rescue_attempts(mut self, attempts: u32) -> Self {
+        self.rescue.attempts = attempts;
+        self
+    }
+
+    /// Global cap, in bytes, on the node budget any single rescue attempt
+    /// may be granted (default [`crate::recover::DEFAULT_RESCUE_BUDGET`]).
+    #[must_use]
+    pub fn rescue_budget(mut self, bytes: usize) -> Self {
+        self.rescue.budget_bytes = bytes;
         self
     }
 
@@ -277,6 +311,7 @@ impl Session {
             self.setup,
             self.checkpoint.as_ref(),
             resume,
+            &self.rescue,
         )
     }
 
@@ -298,7 +333,10 @@ impl Session {
             self.verifier
                 .find_witnesses_full(property, &self.options, limit);
         WitnessSearch {
-            complete: !stats.timed_out && skipped.is_empty() && witnesses.len() < limit,
+            complete: !stats.timed_out
+                && !stats.interrupted
+                && skipped.is_empty()
+                && witnesses.len() < limit,
             witnesses,
             skipped,
             stats,

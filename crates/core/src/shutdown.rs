@@ -1,0 +1,61 @@
+//! Cooperative graceful-shutdown flag.
+//!
+//! A process-global request bit connects external interrupt sources (the
+//! CLI's SIGINT/SIGTERM handler, an embedder's own lifecycle hooks) to the
+//! enumeration drivers. Once [`request`] is called, the scheduler's batch
+//! queue stops dispensing work — in-flight batches run to completion, so
+//! the checkpoint frontier stays consistent — the final checkpoint write
+//! flushes everything found so far, and the verdict comes back as
+//! [`Outcome::Inconclusive`](crate::Outcome::Inconclusive) with
+//! [`IncompleteReason::Interrupted`](crate::IncompleteReason::Interrupted).
+//! A later run resumed from that checkpoint reproduces the uninterrupted
+//! verdict byte-for-byte (DESIGN.md §10/§11).
+//!
+//! [`request`] performs a single relaxed atomic store and is
+//! async-signal-safe: it is exactly what a `sigaction` handler may do.
+//! The flag is process-global by necessity (signal handlers have no
+//! session context), so library embedders that keep the process alive
+//! after an interrupted run must call [`reset`] before starting the next
+//! one; the CLI simply exits.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Requests a graceful shutdown of every running verification in this
+/// process. Async-signal-safe: a single relaxed atomic store, no
+/// allocation, no locks — callable straight from a signal handler.
+pub fn request() {
+    REQUESTED.store(true, Ordering::Relaxed);
+}
+
+/// Whether a shutdown has been requested (and not yet [`reset`]).
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Clears a previous [`request`]. For embedders that survive an
+/// interrupted run and want to start another; the CLI never needs this —
+/// it exits after flushing the checkpoint.
+pub fn reset() {
+    REQUESTED.store(false, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_is_sticky_until_reset() {
+        // Serialized with any other flag user by running in this dedicated
+        // unit test only; integration coverage lives in tests/shutdown.rs
+        // (its own binary, so the global flag cannot race other suites).
+        reset();
+        assert!(!requested());
+        request();
+        request();
+        assert!(requested());
+        reset();
+        assert!(!requested());
+    }
+}

@@ -80,6 +80,24 @@ pub struct SiftResult {
     pub after: usize,
 }
 
+impl SiftResult {
+    /// The new level of old variable `old` under the found order.
+    pub fn new_level(&self, old: VarId) -> VarId {
+        self.order[old.index()]
+    }
+
+    /// The inverse permutation: `inv[new_level] = old variable`. Callers
+    /// re-checking functions under the sifted order use this to map results
+    /// (e.g. witness coordinates) back into the original numbering.
+    pub fn inverse_order(&self) -> Vec<VarId> {
+        let mut inv = vec![VarId(0); self.order.len()];
+        for (old, &new) in self.order.iter().enumerate() {
+            inv[new.index()] = VarId(old as u32);
+        }
+        inv
+    }
+}
+
 fn total_size(m: &BddManager, roots: &[Bdd]) -> usize {
     // Distinct nodes over the union of all roots.
     let mut seen = std::collections::HashSet::new();
@@ -227,6 +245,17 @@ mod tests {
         let f = pairs(&mut src, &[0, 1, 2, 3, 4, 5]);
         let result = sift(&src, &[f]);
         assert_eq!(result.after, result.before);
+    }
+
+    #[test]
+    fn inverse_order_round_trips() {
+        let mut src = BddManager::new(6);
+        let f = pairs(&mut src, &[0, 3, 1, 4, 2, 5]);
+        let result = sift(&src, &[f]);
+        let inv = result.inverse_order();
+        for i in 0..6u32 {
+            assert_eq!(inv[result.new_level(VarId(i)).index()], VarId(i));
+        }
     }
 
     #[test]

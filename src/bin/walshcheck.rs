@@ -20,6 +20,16 @@
 //!   --cache-budget BYTES             per-worker prefix-cache budget
 //!   --node-budget NODES              per-combination decision-diagram cap;
 //!                                    over-budget combinations are quarantined
+//!   --rescue                         re-verify quarantined combinations after
+//!                                    the sweep through an escalation ladder
+//!                                    (doubled budgets, BDD sifting, engine
+//!                                    fallback); upgrades Inconclusive verdicts
+//!                                    when every quarantine resolves
+//!   --no-rescue                      disable the rescue pass (the default)
+//!   --rescue-attempts N              budget-doubling attempts on the first
+//!                                    rescue rung (default 3)
+//!   --rescue-budget BYTES            cap on any single rescue attempt's node
+//!                                    budget (default 256 MiB)
 //!   --checkpoint FILE                periodically persist run progress
 //!   --checkpoint-every SECS          min seconds between writes (default 30;
 //!                                    0 writes after every batch)
@@ -31,7 +41,9 @@
 //!
 //! Exit codes: `0` proved secure (full sweep), `1` violated, `2`
 //! inconclusive (timeout / budget quarantines / lost workers), `3` usage or
-//! I/O errors.
+//! I/O errors, `4` interrupted by SIGINT/SIGTERM (the run drained at a
+//! batch boundary and flushed its checkpoint; rerun with `--resume` to
+//! continue byte-identically).
 
 use std::process::ExitCode;
 use std::sync::mpsc::Receiver;
@@ -50,6 +62,59 @@ const EXIT_VIOLATED: u8 = 1;
 const EXIT_INCONCLUSIVE: u8 = 2;
 /// Exit code for usage and I/O errors.
 const EXIT_ERROR: u8 = 3;
+/// Exit code for runs cut short by SIGINT/SIGTERM: the sweep drained at a
+/// batch boundary and the final checkpoint (if configured) was flushed, so
+/// `--resume` continues exactly where the signal landed.
+const EXIT_INTERRUPTED: u8 = 4;
+
+/// Hand-rolled signal handling (no new dependencies): a `sigaction` FFI
+/// binding installs a handler for SIGINT and SIGTERM that only flips the
+/// async-signal-safe shutdown flag in `walshcheck::core::shutdown`. The
+/// scheduler polls the flag at batch boundaries, drains in-flight batches,
+/// flushes the checkpoint, and the verdict comes back
+/// `Inconclusive(Interrupted)`.
+#[cfg(unix)]
+mod signals {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    /// Restart interrupted syscalls so in-flight checkpoint writes finish.
+    const SA_RESTART: i32 = 0x1000_0000;
+
+    /// Layout shared by glibc and musl on the 64-bit platforms we build
+    /// for: handler pointer, 1024-bit signal mask, flags, restorer.
+    #[repr(C)]
+    struct SigAction {
+        handler: usize,
+        mask: [u64; 16],
+        flags: i32,
+        restorer: usize,
+    }
+
+    extern "C" {
+        fn sigaction(signum: i32, act: *const SigAction, oldact: *mut SigAction) -> i32;
+    }
+
+    extern "C" fn handle(_signum: i32) {
+        // A relaxed atomic store: the only async-signal-safe thing we do.
+        walshcheck::core::shutdown::request();
+    }
+
+    /// Installs the graceful-shutdown handler for SIGINT and SIGTERM.
+    /// Best-effort: a failed installation leaves the default disposition
+    /// (immediate termination), never breaks the run itself.
+    pub fn install() {
+        let action = SigAction {
+            handler: handle as *const () as usize,
+            mask: [0; 16],
+            flags: SA_RESTART,
+            restorer: 0,
+        };
+        unsafe {
+            let _ = sigaction(SIGINT, &action, std::ptr::null_mut());
+            let _ = sigaction(SIGTERM, &action, std::ptr::null_mut());
+        }
+    }
+}
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -86,6 +151,9 @@ struct Cli {
     cache: bool,
     cache_budget: Option<usize>,
     node_budget: Option<usize>,
+    rescue: bool,
+    rescue_attempts: Option<u32>,
+    rescue_budget: Option<usize>,
     checkpoint: Option<String>,
     checkpoint_every: Duration,
     resume: Option<String>,
@@ -107,6 +175,9 @@ fn parse_options(args: &[String]) -> Result<Cli, Error> {
         cache: true,
         cache_budget: None,
         node_budget: None,
+        rescue: false,
+        rescue_attempts: None,
+        rescue_budget: None,
         checkpoint: None,
         checkpoint_every: Duration::from_secs(30),
         resume: None,
@@ -165,6 +236,22 @@ fn parse_options(args: &[String]) -> Result<Cli, Error> {
                     value("--node-budget")?
                         .parse()
                         .map_err(|_| bad("--node-budget"))?,
+                )
+            }
+            "--rescue" => cli.rescue = true,
+            "--no-rescue" => cli.rescue = false,
+            "--rescue-attempts" => {
+                cli.rescue_attempts = Some(
+                    value("--rescue-attempts")?
+                        .parse()
+                        .map_err(|_| bad("--rescue-attempts"))?,
+                )
+            }
+            "--rescue-budget" => {
+                cli.rescue_budget = Some(
+                    value("--rescue-budget")?
+                        .parse()
+                        .map_err(|_| bad("--rescue-budget"))?,
                 )
             }
             "--checkpoint" => cli.checkpoint = Some(value("--checkpoint")?),
@@ -235,6 +322,37 @@ fn aggregate_events(rx: Receiver<ProgressEvent>, ticker: bool) -> Vec<(String, D
                 }
                 eprintln!("progress: combination {index} quarantined ({reason})");
             }
+            ProgressEvent::RescueStarted { quarantined } if ticker => {
+                if ticked {
+                    eprintln!();
+                    ticked = false;
+                }
+                eprintln!("progress: rescuing {quarantined} quarantined combination(s)");
+            }
+            ProgressEvent::RescueAttempted { index, attempt } if ticker => {
+                eprintln!(
+                    "progress: rescue #{index}: {} rung ({}, budget {}) → {}",
+                    attempt.rung,
+                    attempt.engine,
+                    attempt
+                        .node_budget
+                        .map_or_else(|| "none".into(), |n| n.to_string()),
+                    attempt.outcome
+                );
+            }
+            ProgressEvent::RescueResolved { index, resolution } if ticker => {
+                eprintln!("progress: rescue #{index} resolved: {resolution}");
+            }
+            ProgressEvent::RescueFinished {
+                attempted,
+                resolved,
+                unresolved,
+            } if ticker => {
+                eprintln!(
+                    "progress: rescue pass done — {attempted} attempted, \
+                     {resolved} resolved, {unresolved} unresolved"
+                );
+            }
             ProgressEvent::CheckpointWritten { path, combinations } if ticker => {
                 if ticked {
                     eprintln!();
@@ -303,7 +421,14 @@ fn run_check(target: &str, args: &[String]) -> Result<ExitCode, Error> {
     let mut session = Session::new(&netlist)?
         .property(property)
         .options(options.clone())
-        .threads(cli.threads);
+        .threads(cli.threads)
+        .rescue(cli.rescue);
+    if let Some(attempts) = cli.rescue_attempts {
+        session = session.rescue_attempts(attempts);
+    }
+    if let Some(bytes) = cli.rescue_budget {
+        session = session.rescue_budget(bytes);
+    }
     if let Some(path) = &cli.checkpoint {
         session = session.checkpoint_to(path, cli.checkpoint_every);
     }
@@ -384,10 +509,30 @@ fn run_check(target: &str, args: &[String]) -> Result<ExitCode, Error> {
             verdict.stats.verification_time,
             if verdict.stats.timed_out {
                 " — TIMED OUT, partial result"
+            } else if verdict.stats.interrupted {
+                " — INTERRUPTED, partial result (rerun with --resume)"
             } else {
                 ""
             }
         );
+        if let Some(r) = &verdict.recovery {
+            println!(
+                "  rescue pass: {} attempted, {} resolved, {} unresolved",
+                r.attempted, r.resolved, r.unresolved
+            );
+            for c in r.combinations.iter().take(8) {
+                println!(
+                    "    #{} ({}) → {} after {} attempt(s)",
+                    c.index,
+                    c.reason,
+                    c.resolution,
+                    c.attempts.len()
+                );
+            }
+            if r.combinations.len() > 8 {
+                println!("    … and {} more", r.combinations.len() - 8);
+            }
+        }
         if !verdict.skipped.is_empty() {
             println!(
                 "  {} combination(s) quarantined (not checked):",
@@ -422,10 +567,12 @@ fn run_check(target: &str, args: &[String]) -> Result<ExitCode, Error> {
         }
     }
     // The exit code mirrors the three-valued outcome: an inconclusive run
-    // is *not* reported as secure, and scripts must treat 2 as "unknown".
+    // is *not* reported as secure, and scripts must treat 2 as "unknown"
+    // and 4 as "interrupted, resumable".
     Ok(ExitCode::from(match verdict.outcome {
         Outcome::Secure => EXIT_SECURE,
         Outcome::Violated => EXIT_VIOLATED,
+        Outcome::Inconclusive(IncompleteReason::Interrupted) => EXIT_INTERRUPTED,
         Outcome::Inconclusive(_) => EXIT_INCONCLUSIVE,
     }))
 }
@@ -521,6 +668,8 @@ fn run_info(target: &str) -> Result<ExitCode, Error> {
 }
 
 fn main() -> ExitCode {
+    #[cfg(unix)]
+    signals::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("check") if args.len() >= 2 => run_check(&args[1], &args[2..]),
@@ -551,9 +700,11 @@ fn main() -> ExitCode {
                  \x20        --engine lil|map|mapi|fujita    --mode rowwise|joint\n\
                  \x20        --glitch  --threads N  --time-limit SECS  --no-prefilter\n\
                  \x20        --no-cache  --cache-budget BYTES  --node-budget NODES\n\
+                 \x20        --rescue  --no-rescue  --rescue-attempts N  --rescue-budget BYTES\n\
                  \x20        --checkpoint FILE  --checkpoint-every SECS  --resume FILE\n\
                  \x20        --minimize  --progress  --json\n\n\
-                 exit codes: 0 secure, 1 violated, 2 inconclusive, 3 usage/io error"
+                 exit codes: 0 secure, 1 violated, 2 inconclusive, 3 usage/io error,\n\
+                 \x20           4 interrupted by signal (resume with --resume)"
             );
             Ok(ExitCode::SUCCESS)
         }

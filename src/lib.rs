@@ -59,6 +59,10 @@ pub mod prelude {
         CheckMode, CheckStats, IncompleteReason, Outcome, Property, SkippedCombination, Verdict,
         Witness,
     };
+    pub use walshcheck_core::recover::{
+        RecoveryReport, RescueAttempt, RescueAttemptOutcome, RescueConfig, RescueResolution,
+        RescueRung, RescuedCombination,
+    };
     pub use walshcheck_core::session::{Session, WitnessSearch};
     pub use walshcheck_gadgets::suite::Benchmark;
 }

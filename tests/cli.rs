@@ -195,11 +195,67 @@ fn checkpoint_resume_round_trips_via_cli() {
 }
 
 #[test]
+fn rescue_flag_upgrades_a_starved_run() {
+    // Without rescue the tiny budget is inconclusive (exit 2, pinned
+    // above); with it every quarantine is re-verified and the run proves
+    // security — exit 0 with a recovery summary.
+    let (stdout, _, code) = walshcheck(&[
+        "check",
+        "bench:dom-2",
+        "--property",
+        "sni",
+        "--node-budget",
+        "1",
+        "--rescue",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("secure"), "{stdout}");
+    assert!(stdout.contains("rescue pass:"), "{stdout}");
+    assert!(stdout.contains("0 unresolved"), "{stdout}");
+
+    let (json, _, code) = walshcheck(&[
+        "check",
+        "bench:dom-2",
+        "--property",
+        "sni",
+        "--node-budget",
+        "1",
+        "--rescue",
+        "--json",
+    ]);
+    assert_eq!(code, Some(0), "{json}");
+    for fragment in [
+        "\"outcome\":\"secure\"",
+        "\"recovery\":{\"attempted\":",
+        "\"unresolved\":0",
+        "\"rung\":\"budget\"",
+        "\"resolution\":\"clean\"",
+    ] {
+        assert!(json.contains(fragment), "missing {fragment} in:\n{json}");
+    }
+
+    // `--no-rescue` restores the conservative behavior.
+    let (stdout, _, code) = walshcheck(&[
+        "check",
+        "bench:dom-2",
+        "--property",
+        "sni",
+        "--node-budget",
+        "1",
+        "--rescue",
+        "--no-rescue",
+    ]);
+    assert_eq!(code, Some(2), "{stdout}");
+    assert!(stdout.contains("INCONCLUSIVE"), "{stdout}");
+}
+
+#[test]
 fn json_report_for_secure_gadget() {
     let (stdout, _, code) = walshcheck(&["check", "bench:dom-1", "--property", "sni", "--json"]);
     assert_eq!(code, Some(0), "{stdout}");
     for fragment in [
-        "\"schema\":\"walshcheck-report/3\"",
+        "\"schema\":\"walshcheck-report/4\"",
+        "\"recovery\":null",
         "\"netlist\":\"dom-1\"",
         "\"cache\":{\"enabled\":true,",
         "\"secure\":true",

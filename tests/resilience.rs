@@ -211,6 +211,197 @@ fn checkpoint_resume_reproduces_the_uninterrupted_verdict() {
     }
 }
 
+/// The rescue pass resolves every starvation quarantine on a small gadget:
+/// a 1-node budget plus `--rescue` reproduces the unconstrained verdict
+/// exactly — outcome, witness, empty quarantine list — at both 1 and 4
+/// threads, and the recovery report itself is thread-count independent
+/// (the ladder is a pure function of the options, and the pass is serial).
+#[test]
+fn rescue_reproduces_the_unconstrained_verdict() {
+    let netlist = bench("dom-2");
+    let baseline = Session::new(&netlist)
+        .expect("valid netlist")
+        .property(Property::Sni(2))
+        .run();
+    assert_eq!(baseline.outcome, Outcome::Secure);
+    assert!(baseline.recovery.is_none(), "no rescue requested");
+
+    let mut reports = Vec::new();
+    for threads in [1usize, 4] {
+        let verdict = Session::new(&netlist)
+            .expect("valid netlist")
+            .property(Property::Sni(2))
+            .threads(threads)
+            .node_budget(1)
+            .rescue(true)
+            .run();
+        assert_eq!(verdict.outcome, baseline.outcome, "{threads}t");
+        assert_eq!(verdict.witness, baseline.witness, "{threads}t");
+        assert!(
+            verdict.skipped.is_empty(),
+            "{threads}t: every quarantine must be resolved"
+        );
+        assert_eq!(verdict.stats.skipped, 0, "{threads}t");
+        let recovery = verdict.recovery.expect("rescue ran");
+        assert!(recovery.attempted > 0, "{threads}t");
+        assert_eq!(recovery.unresolved, 0, "{threads}t");
+        assert_eq!(recovery.resolved, recovery.attempted, "{threads}t");
+        reports.push(recovery);
+    }
+    assert_eq!(
+        reports[0], reports[1],
+        "the recovery report must not depend on the thread count"
+    );
+}
+
+/// A starved run on an insecure gadget still reports `Violated` with a
+/// witness byte-identical to the unconstrained run's, whether the sweep
+/// reached the violating tuple itself (its estimate fits even a 1-node
+/// budget) or the rescue pass re-derived it. The rescue-found-violation
+/// path specifically is pinned down in `tests/fault_inject.rs`, where the
+/// quarantine of the violating index is forced.
+#[test]
+fn starved_violation_keeps_the_identical_witness() {
+    let netlist = bench("ti-1");
+    let baseline = Session::new(&netlist)
+        .expect("valid netlist")
+        .property(Property::Sni(1))
+        .run();
+    assert_eq!(baseline.outcome, Outcome::Violated);
+    let witness = baseline.witness.expect("violated verdict has a witness");
+
+    for threads in [1usize, 4] {
+        let verdict = Session::new(&netlist)
+            .expect("valid netlist")
+            .property(Property::Sni(1))
+            .threads(threads)
+            .node_budget(1)
+            .rescue(true)
+            .run();
+        assert_eq!(verdict.outcome, Outcome::Violated, "{threads}t");
+        assert_eq!(
+            verdict.witness.as_ref(),
+            Some(&witness),
+            "{threads}t: witness must be byte-identical"
+        );
+        if let Some(recovery) = &verdict.recovery {
+            assert_eq!(
+                recovery.attempted,
+                recovery.combinations.len(),
+                "{threads}t"
+            );
+        }
+    }
+}
+
+/// With rescue disabled the quarantines stay: the pre-rescue behavior —
+/// `Inconclusive(NodeBudget)`, populated skip list — is preserved, and no
+/// recovery block is attached.
+#[test]
+fn no_rescue_preserves_the_inconclusive_verdict() {
+    let netlist = bench("dom-2");
+    let verdict = Session::new(&netlist)
+        .expect("valid netlist")
+        .property(Property::Sni(2))
+        .node_budget(1)
+        .rescue(false)
+        .run();
+    assert_eq!(
+        verdict.outcome,
+        Outcome::Inconclusive(IncompleteReason::NodeBudget)
+    );
+    assert!(!verdict.skipped.is_empty());
+    assert!(verdict.recovery.is_none());
+}
+
+/// Quarantines carried in a checkpoint are rescued on resume: a budgeted
+/// no-rescue run leaves its quarantines in the file, and resuming that file
+/// with rescue enabled heals all of them and upgrades the verdict.
+#[test]
+fn resume_rescues_carried_quarantines() {
+    let netlist = bench("dom-2");
+    let path = tmp_checkpoint("dom2-carried-rescue");
+    let first = Session::new(&netlist)
+        .expect("valid netlist")
+        .property(Property::Sni(2))
+        .node_budget(1)
+        .checkpoint_to(&path, Duration::ZERO)
+        .run();
+    assert_eq!(
+        first.outcome,
+        Outcome::Inconclusive(IncompleteReason::NodeBudget)
+    );
+    let quarantined = first.skipped.len();
+
+    let resumed = Session::new(&netlist)
+        .expect("valid netlist")
+        .property(Property::Sni(2))
+        .node_budget(1)
+        .rescue(true)
+        .resume_from(&path)
+        .expect("fingerprint matches")
+        .run();
+    assert_eq!(resumed.outcome, Outcome::Secure);
+    assert!(resumed.skipped.is_empty());
+    let recovery = resumed.recovery.expect("rescue ran");
+    assert_eq!(recovery.attempted, quarantined);
+    assert_eq!(recovery.unresolved, 0);
+}
+
+/// Resuming a checkpoint written *mid-rescue* does not replay healed
+/// combinations and still converges to the same verdict. The mid-rescue
+/// state is reconstructed by surgery on a completed checkpoint: one entry
+/// is moved from the `rescued` array back into `skipped`, exactly the shape
+/// a kill between two rescue resolutions leaves behind.
+#[test]
+fn resume_from_mid_rescue_checkpoint_converges() {
+    let netlist = bench("dom-2");
+    let path = tmp_checkpoint("dom2-mid-rescue");
+    let direct = Session::new(&netlist)
+        .expect("valid netlist")
+        .property(Property::Sni(2))
+        .node_budget(1)
+        .rescue(true)
+        .checkpoint_to(&path, Duration::ZERO)
+        .run();
+    assert_eq!(direct.outcome, Outcome::Secure);
+    let attempted = direct.recovery.as_ref().expect("rescue ran").attempted;
+
+    // Move the first rescued entry back into the skipped list.
+    let text = std::fs::read_to_string(&path).expect("checkpoint readable");
+    let rs = text.find("\"rescued\":[").expect("rescued array") + "\"rescued\":[".len();
+    let entry_end = rs + text[rs..].find('}').expect("rescued entry") + 1;
+    let entry = text[rs..entry_end].to_string();
+    let mut tail = text[entry_end..].to_string();
+    if tail.starts_with(',') {
+        tail.remove(0);
+    }
+    let without = format!("{}{}", &text[..rs], tail);
+    let ss = without.find("\"skipped\":[").expect("skipped array") + "\"skipped\":[".len();
+    let insert = if without[ss..].starts_with(']') {
+        entry
+    } else {
+        format!("{entry},")
+    };
+    let doctored = format!("{}{}{}", &without[..ss], insert, &without[ss..]);
+    std::fs::write(&path, doctored).expect("checkpoint writable");
+
+    let resumed = Session::new(&netlist)
+        .expect("valid netlist")
+        .property(Property::Sni(2))
+        .node_budget(1)
+        .rescue(true)
+        .resume_from(&path)
+        .expect("fingerprint matches")
+        .run();
+    assert_eq!(resumed.outcome, direct.outcome);
+    assert_eq!(resumed.witness, direct.witness);
+    assert_eq!(resumed.skipped, direct.skipped);
+    let recovery = resumed.recovery.expect("rescue ran");
+    assert_eq!(recovery.attempted, attempted, "carried + replayed add up");
+    assert_eq!(recovery.unresolved, 0);
+}
+
 /// Resuming a run that already found its violation re-derives the *same*
 /// minimal witness from the recorded candidate index (witnesses are not
 /// serialized; the resume path recomputes them deterministically).

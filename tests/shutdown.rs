@@ -1,0 +1,249 @@
+//! Graceful-shutdown tests: the process-global shutdown flag drains the
+//! sweep at a batch boundary, flushes the checkpoint, and degrades the
+//! verdict to `Inconclusive(Interrupted)` — and a `--resume` of the flushed
+//! file reproduces the uninterrupted verdict exactly.
+//!
+//! The flag is per-process state, so every in-process test serializes on
+//! one lock and resets the flag before releasing it. The end-to-end SIGTERM
+//! test exercises a *child* process and needs no lock for the flag — only
+//! the fault-injection feature for a deterministic stall.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use walshcheck::core::shutdown;
+use walshcheck::prelude::*;
+
+static FLAG_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    FLAG_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn bench(name: &str) -> Netlist {
+    Benchmark::from_name(name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name}"))
+        .netlist()
+}
+
+fn tmp_checkpoint(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("walshcheck-shutdown-tests");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join(format!("{tag}.ck"));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// A shutdown requested before the sweep starts abandons all work: the
+/// verdict is `Inconclusive(Interrupted)` — never `Secure`, nothing was
+/// checked — at both thread counts.
+#[test]
+fn pre_requested_shutdown_is_interrupted_not_secure() {
+    let netlist = bench("dom-2");
+    let guard = lock();
+    for threads in [1usize, 4] {
+        shutdown::request();
+        let verdict = Session::new(&netlist)
+            .expect("valid netlist")
+            .property(Property::Sni(2))
+            .threads(threads)
+            .run();
+        shutdown::reset();
+        assert_eq!(
+            verdict.outcome,
+            Outcome::Inconclusive(IncompleteReason::Interrupted),
+            "{threads}t"
+        );
+        assert!(verdict.stats.interrupted, "{threads}t");
+        assert!(verdict.witness.is_none(), "{threads}t");
+        assert!(
+            std::panic::catch_unwind(|| verdict.expect_secure()).is_err(),
+            "{threads}t: expect_secure must reject an interrupted run"
+        );
+    }
+    drop(guard);
+}
+
+/// An interrupted run still flushes its checkpoint, and resuming the file
+/// (with the flag cleared) reproduces the uninterrupted verdict exactly.
+/// The interrupt lands mid-run from another thread, so the flushed frontier
+/// is partial in general — and may even be complete on a fast machine; the
+/// resume identity must hold either way.
+#[test]
+fn interrupted_run_flushes_a_resumable_checkpoint() {
+    let netlist = bench("dom-2");
+    let guard = lock();
+    shutdown::reset();
+    let baseline = Session::new(&netlist)
+        .expect("valid netlist")
+        .property(Property::Sni(2))
+        .run();
+    assert_eq!(baseline.outcome, Outcome::Secure);
+
+    let path = tmp_checkpoint("dom2-interrupt");
+    let requester = std::thread::spawn(|| {
+        std::thread::sleep(Duration::from_millis(1));
+        shutdown::request();
+    });
+    let interrupted = Session::new(&netlist)
+        .expect("valid netlist")
+        .property(Property::Sni(2))
+        .threads(2)
+        .checkpoint_to(&path, Duration::ZERO)
+        .run();
+    requester.join().expect("requester thread");
+    shutdown::reset();
+
+    assert!(
+        path.is_file(),
+        "the shutdown flush left a checkpoint behind"
+    );
+    assert_ne!(interrupted.outcome, Outcome::Violated);
+    if interrupted.outcome == Outcome::Inconclusive(IncompleteReason::Interrupted) {
+        assert!(interrupted.stats.interrupted);
+    }
+
+    let resumed = Session::new(&netlist)
+        .expect("valid netlist")
+        .property(Property::Sni(2))
+        .resume_from(&path)
+        .expect("fingerprint matches")
+        .run();
+    drop(guard);
+    assert_eq!(resumed.outcome, baseline.outcome);
+    assert_eq!(resumed.witness, baseline.witness);
+    assert_eq!(resumed.skipped, baseline.skipped);
+    assert_eq!(resumed.stats.combinations, baseline.stats.combinations);
+    assert_eq!(resumed.stats.pruned, baseline.stats.pruned);
+}
+
+/// An interrupt also disables the rescue pass: rescue must not upgrade a
+/// verdict whose sweep is incomplete.
+#[test]
+fn shutdown_suppresses_the_rescue_pass() {
+    let netlist = bench("dom-2");
+    let guard = lock();
+    shutdown::request();
+    let verdict = Session::new(&netlist)
+        .expect("valid netlist")
+        .property(Property::Sni(2))
+        .node_budget(1)
+        .rescue(true)
+        .run();
+    shutdown::reset();
+    drop(guard);
+    assert_eq!(
+        verdict.outcome,
+        Outcome::Inconclusive(IncompleteReason::Interrupted)
+    );
+    assert!(
+        verdict.recovery.is_none(),
+        "no rescue on an interrupted sweep"
+    );
+}
+
+/// End-to-end: SIGTERM against a deliberately stalled child exits with the
+/// documented code 4, leaves a fingerprint-valid checkpoint, and a resumed
+/// run completes with the same counters as an undisturbed reference run.
+#[cfg(all(unix, feature = "fault-inject"))]
+#[test]
+fn sigterm_drains_flushes_and_resumes() {
+    use std::process::{Command, Stdio};
+
+    let dir = std::env::temp_dir().join("walshcheck-shutdown-tests");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let ck = dir.join("sigterm.ck");
+    let _ = std::fs::remove_file(&ck);
+    let ck_str = ck.to_str().expect("utf-8 path");
+
+    // ~25ms per combination: the sweep takes many seconds undisturbed, so
+    // the signal below is guaranteed to land mid-run.
+    let child = Command::new(env!("CARGO_BIN_EXE_walshcheck"))
+        .args([
+            "check",
+            "bench:dom-2",
+            "--property",
+            "sni",
+            "--json",
+            "--checkpoint",
+            ck_str,
+            "--checkpoint-every",
+            "0",
+        ])
+        .env("WALSHCHECK_FAULT", "stall-ms=25")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("child spawns");
+    std::thread::sleep(Duration::from_millis(400));
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(term.success(), "kill -TERM delivered");
+    let out = child.wait_with_output().expect("child exits");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "interrupted exit code; stdout:\n{stdout}"
+    );
+    assert!(stdout.contains("\"outcome\":\"inconclusive\""), "{stdout}");
+    assert!(
+        stdout.contains("\"degradation\":{\"reason\":\"interrupted\""),
+        "{stdout}"
+    );
+    let text = std::fs::read_to_string(&ck).expect("checkpoint flushed");
+    assert!(
+        text.contains("\"schema\":\"walshcheck-checkpoint/1\""),
+        "{text}"
+    );
+
+    // Resume without the stall: the remainder completes and the verdict is
+    // the reference one.
+    let resumed = Command::new(env!("CARGO_BIN_EXE_walshcheck"))
+        .args([
+            "check",
+            "bench:dom-2",
+            "--property",
+            "sni",
+            "--json",
+            "--resume",
+            ck_str,
+        ])
+        .output()
+        .expect("resume runs");
+    let resumed_stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert_eq!(resumed.status.code(), Some(0), "{resumed_stdout}");
+    assert!(
+        resumed_stdout.contains("\"outcome\":\"secure\""),
+        "{resumed_stdout}"
+    );
+    assert!(
+        resumed_stdout.contains("\"resumed\":true"),
+        "{resumed_stdout}"
+    );
+
+    let reference = Command::new(env!("CARGO_BIN_EXE_walshcheck"))
+        .args(["check", "bench:dom-2", "--property", "sni", "--json"])
+        .output()
+        .expect("reference runs");
+    let reference_stdout = String::from_utf8_lossy(&reference.stdout);
+    let counter = |s: &str, key: &str| -> String {
+        let at = s
+            .find(key)
+            .unwrap_or_else(|| panic!("{key} missing in {s}"));
+        s[at + key.len()..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect()
+    };
+    for key in ["\"combinations\":", "\"pruned\":", "\"skipped_count\":"] {
+        assert_eq!(
+            counter(&resumed_stdout, key),
+            counter(&reference_stdout, key),
+            "{key} differs between the resumed and reference runs"
+        );
+    }
+}
