@@ -1,7 +1,9 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! report [--full] [table1|table2|table3|fig6|fig7|all]
+//! report [--full] [--limit SECS] [table1|table2|table3|fig6|fig7|all]
+//! report --json BENCH_5.json [--label NAME] [--samples N] [--full]
+//! report --perf-smoke BENCH_5.json [--factor F] [--samples N]
 //! ```
 //!
 //! By default the quick benchmark set is used (orders ≤ 2 plus dom-3);
@@ -9,7 +11,20 @@
 //! times differ from the paper (different machine, Rust reimplementation);
 //! the reproduced quantities are the *ratios* between engines on identical
 //! workloads. Figures are emitted as CSV series ready for plotting.
+//!
+//! `--json` records the machine-readable perf trajectory: per-gadget
+//! LIL/FUJITA/MAP/MAPI medians over `--samples` runs (default 5) plus the
+//! Table I MAPI-vs-LIL speedup median, appended as a labeled run to the
+//! given file (an existing run with the same label is replaced, everything
+//! else is preserved — the file is the project's perf history).
+//!
+//! `--perf-smoke` is the CI regression guard: it re-times the dom-2 and
+//! keccak-1 MAPI checks and exits non-zero if either median regresses more
+//! than `--factor` (default 1.5, generous to tolerate CI noise) against the
+//! last recorded run in the file.
 
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::time::Duration;
 
 use walshcheck_bench::{
@@ -17,6 +32,8 @@ use walshcheck_bench::{
     RunResult,
 };
 use walshcheck_core::engine::EngineKind;
+use walshcheck_core::json::{self, Json};
+use walshcheck_core::report::json_escape;
 use walshcheck_gadgets::suite::Benchmark;
 
 fn bench_set(full: bool) -> Vec<Benchmark> {
@@ -200,20 +217,225 @@ fn fig7(results: &[(Benchmark, [RunResult; 4])]) {
     }
 }
 
+/// The engine column order used by the JSON records.
+const ENGINES: [(EngineKind, &str); 4] = [
+    (EngineKind::Lil, "lil"),
+    (EngineKind::Fujita, "fujita"),
+    (EngineKind::Map, "map"),
+    (EngineKind::Mapi, "mapi"),
+];
+
+/// Median wall-clock seconds of `samples` runs of each engine on `bench`.
+fn engine_medians(bench: Benchmark, samples: usize, limit: Option<Duration>) -> [f64; 4] {
+    ENGINES.map(|(engine, _)| {
+        let mut times: Vec<f64> = (0..samples)
+            .map(|_| secs(run_engine_with(bench, engine, limit).total))
+            .collect();
+        median(&mut times)
+    })
+}
+
+/// Serializes a [`Json`] value with two-space indentation (the perf file is
+/// checked into the repository, so it should diff well).
+fn emit(j: &Json, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match j {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Json::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Json::Float(f) => {
+            let _ = write!(out, "{f}");
+        }
+        Json::Str(s) => {
+            let _ = write!(out, "\"{}\"", json_escape(s));
+        }
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                let _ = write!(out, "{pad}  ");
+                emit(item, indent + 1, out);
+                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+            }
+            let _ = write!(out, "{pad}]");
+        }
+        Json::Obj(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, v)) in map.iter().enumerate() {
+                let _ = write!(out, "{pad}  \"{}\": ", json_escape(k));
+                emit(v, indent + 1, out);
+                out.push_str(if i + 1 < map.len() { ",\n" } else { "\n" });
+            }
+            let _ = write!(out, "{pad}}}");
+        }
+    }
+}
+
+/// Rounds a seconds value to microsecond precision so the checked-in perf
+/// file stays stable and readable.
+fn round_secs(s: f64) -> f64 {
+    (s * 1e6).round() / 1e6
+}
+
+/// Runs the perf-trajectory measurement and records it in `path` under
+/// `label` (see the module docs for the file layout).
+fn json_mode(path: &str, label: &str, samples: usize, full: bool, limit: Option<Duration>) {
+    let benches = bench_set(full);
+    let mut gadgets = Vec::new();
+    let mut speedups = Vec::new();
+    for &b in &benches {
+        eprintln!("measuring {b} ({samples} samples per engine) ...");
+        let m = engine_medians(b, samples, limit);
+        let speedup = m[0] / m[3].max(1e-9);
+        speedups.push(speedup);
+        let mut entry = BTreeMap::new();
+        entry.insert("gadget".to_string(), Json::Str(b.name()));
+        for (i, (_, key)) in ENGINES.iter().enumerate() {
+            entry.insert(key.to_string(), Json::Float(round_secs(m[i])));
+        }
+        entry.insert(
+            "table1_speedup".to_string(),
+            Json::Float(round_secs(speedup)),
+        );
+        gadgets.push(Json::Obj(entry));
+    }
+    let mut run = BTreeMap::new();
+    run.insert("label".to_string(), Json::Str(label.to_string()));
+    run.insert("samples".to_string(), Json::Int(samples as i64));
+    run.insert("gadgets".to_string(), Json::Arr(gadgets));
+    run.insert(
+        "table1_speedup_median".to_string(),
+        Json::Float(round_secs(median(&mut speedups))),
+    );
+
+    // Merge with the existing history: drop any run with the same label,
+    // keep everything else in order, append the new run last (perf-smoke
+    // uses the last run as its baseline).
+    let mut runs: Vec<Json> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| json::parse(&text).ok())
+        .and_then(|doc| doc.get("runs").and_then(Json::as_arr).map(<[Json]>::to_vec))
+        .unwrap_or_default();
+    runs.retain(|r| r.get("label").and_then(Json::as_str) != Some(label));
+    runs.push(Json::Obj(run));
+
+    let mut doc = BTreeMap::new();
+    doc.insert(
+        "schema".to_string(),
+        Json::Str("walshcheck-bench/perf-1".to_string()),
+    );
+    doc.insert("runs".to_string(), Json::Arr(runs));
+    let mut out = String::new();
+    emit(&Json::Obj(doc), 0, &mut out);
+    out.push('\n');
+    std::fs::write(path, out).expect("perf file writable");
+    eprintln!("recorded run `{label}` in {path}");
+}
+
+/// The gadgets guarded by the CI smoke job: small enough to run on every
+/// push, big enough that a kernel regression shows up in the timing.
+const SMOKE_GADGETS: [&str; 2] = ["dom-2", "keccak-1"];
+
+/// Compares fresh MAPI medians against the last recorded run in `path`;
+/// exits non-zero if any gadget regressed more than `factor`.
+fn perf_smoke(path: &str, factor: f64, samples: usize) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perf-smoke: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("perf-smoke: cannot parse {path}: {e}");
+        std::process::exit(2);
+    });
+    let baseline = doc
+        .get("runs")
+        .and_then(Json::as_arr)
+        .and_then(<[Json]>::last)
+        .unwrap_or_else(|| {
+            eprintln!("perf-smoke: {path} has no recorded runs");
+            std::process::exit(2);
+        });
+    let base_label = baseline
+        .get("label")
+        .and_then(Json::as_str)
+        .unwrap_or("<unlabeled>");
+    let mut failed = false;
+    println!("perf-smoke vs `{base_label}` (fail factor {factor})");
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}",
+        "gadget", "baseline_s", "current_s", "ratio"
+    );
+    for name in SMOKE_GADGETS {
+        let base = baseline
+            .get("gadgets")
+            .and_then(Json::as_arr)
+            .and_then(|gs| {
+                gs.iter()
+                    .find(|g| g.get("gadget").and_then(Json::as_str) == Some(name))
+            })
+            .and_then(|g| g.get("mapi"))
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| {
+                eprintln!("perf-smoke: no mapi baseline for {name} in {path}");
+                std::process::exit(2);
+            });
+        let bench = Benchmark::all()
+            .into_iter()
+            .find(|b| b.name() == name)
+            .expect("smoke gadget exists");
+        let mut times: Vec<f64> = (0..samples)
+            .map(|_| secs(run_engine_with(bench, EngineKind::Mapi, None).total))
+            .collect();
+        let current = median(&mut times);
+        let ratio = current / base.max(1e-9);
+        println!("{name:<12} {base:>12.6} {current:>12.6} {ratio:>8.2}");
+        if ratio > factor {
+            eprintln!("perf-smoke: {name} MAPI regressed {ratio:.2}x (limit {factor}x)");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("perf-smoke: ok");
+}
+
+/// Value of a `--flag VALUE` pair, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let what = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .find(|a| a.parse::<u64>().is_err())
-        .cloned()
-        .unwrap_or_else(|| "all".into());
+    let samples = flag_value(&args, "--samples")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(5)
+        .max(1);
 
-    let limit = args
-        .iter()
-        .position(|a| a == "--limit")
-        .and_then(|i| args.get(i + 1))
+    if let Some(path) = flag_value(&args, "--perf-smoke") {
+        let factor = flag_value(&args, "--factor")
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(1.5);
+        perf_smoke(path, factor, samples);
+        return;
+    }
+
+    let limit = flag_value(&args, "--limit")
         .and_then(|v| v.parse::<u64>().ok())
         .map(Duration::from_secs)
         .or(if full {
@@ -221,6 +443,19 @@ fn main() {
         } else {
             None
         });
+
+    if let Some(path) = flag_value(&args, "--json") {
+        let label = flag_value(&args, "--label").unwrap_or("current");
+        json_mode(path, label, samples, full, limit);
+        return;
+    }
+
+    let what = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .find(|a| a.parse::<u64>().is_err())
+        .cloned()
+        .unwrap_or_else(|| "all".into());
 
     let benches = bench_set(full);
     let results = run_all_engines(&benches, limit);

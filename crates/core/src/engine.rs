@@ -18,7 +18,6 @@
 //! and an optional functional-support prefilter (a cheap necessary
 //! condition), both switchable for the ablation benchmarks.
 
-use std::collections::HashMap;
 use std::ops::ControlFlow;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -33,6 +32,7 @@ use walshcheck_dd::bdd::{Bdd, BddManager};
 use walshcheck_dd::dyadic::Dyadic;
 use walshcheck_dd::spectral::{sign_add, walsh_sparse, wht, SparseWalshCache};
 use walshcheck_dd::var::{VarId, VarSet};
+use walshcheck_dd::FastMap;
 
 use crate::mask::{Mask, VarMap};
 use crate::pcache::PrefixCache;
@@ -1045,10 +1045,13 @@ fn row_list_bytes<S: Spectrum>(rows: &[Option<Rc<S>>]) -> usize {
     rows.iter().flatten().map(|s| s.heap_bytes()).sum::<usize>() + rows.len() * 8 + 32
 }
 
-/// The apply-cache entry limit derived from a prefix-cache byte budget
-/// (`None` keeps the manager's default bound).
+/// The apply-cache slot limit derived from a prefix-cache byte budget
+/// (`None` keeps the manager's default bound). The direct-mapped caches
+/// cost 16 bytes per binary slot plus 12 bytes per unary slot at 1/16 the
+/// slot count, so ~17 bytes buys one binary slot; the manager rounds the
+/// limit down to a power of two, keeping the slab within the budget.
 fn add_apply_limit(cache_budget: usize) -> Option<usize> {
-    (cache_budget > 0).then(|| (cache_budget / 48).clamp(1 << 14, 1 << 22))
+    (cache_budget > 0).then(|| (cache_budget / 17).clamp(1 << 14, 1 << 22))
 }
 
 /// How one combination's correlation rows will be produced.
@@ -1072,12 +1075,12 @@ enum SignPlan {
 struct EngineCtx {
     kind: EngineKind,
     walsh: SparseWalshCache,
-    map_base: HashMap<Bdd, Rc<MapSpectrum>>,
-    lil_base: HashMap<Bdd, Rc<LilSpectrum>>,
-    sign_base: HashMap<Bdd, Add>,
+    map_base: FastMap<Bdd, Rc<MapSpectrum>>,
+    lil_base: FastMap<Bdd, Rc<LilSpectrum>>,
+    sign_base: FastMap<Bdd, Add>,
     adds: AddManager<Dyadic>,
     t_bdds: BddManager,
-    t_cache: HashMap<Region, Bdd>,
+    t_cache: FastMap<Region, Bdd>,
     /// Byte budget of each prefix cache below; `0` disables prefix caching
     /// entirely (the engines then re-derive every tuple independently, as
     /// before PR 2).
@@ -1108,12 +1111,12 @@ impl EngineCtx {
         EngineCtx {
             kind,
             walsh: SparseWalshCache::new(),
-            map_base: HashMap::new(),
-            lil_base: HashMap::new(),
-            sign_base: HashMap::new(),
+            map_base: FastMap::default(),
+            lil_base: FastMap::default(),
+            sign_base: FastMap::default(),
             adds,
             t_bdds,
-            t_cache: HashMap::new(),
+            t_cache: FastMap::default(),
             cache_budget,
             node_budget,
             map_prefix: PrefixCache::new(cache_budget),
@@ -1435,20 +1438,32 @@ impl EngineCtx {
         let plan = self.row_plan::<MapSpectrum>(bdds, combo, idxs, false, stats);
         let t_matrix = self.t_matrix(region, vm);
         let mut hit = None;
-        let adds = &mut self.adds;
         let t_bdds = &mut self.t_bdds;
+        let mut keys: Vec<u128> = Vec::new();
         let _ = drive_rows(&plan, false, stats, &mut |spec, stats| {
             stats.rows_checked += 1;
             let t = Instant::now();
-            // Convert the convolution into an ADD and resolve the
-            // existential query ∃α. T(α,ρ) ∧ W(α,ρ) with diagram machinery.
-            let w_add = map_to_add(adds, spec);
-            let nonzero = adds.nonzero_bdd(t_bdds, w_add);
+            // Resolve the existential query ∃α. T(α,ρ) ∧ W(α,ρ) ≠ 0 with
+            // diagram machinery: the spectrum's non-zero support becomes a
+            // BDD straight from the map keys (no intermediate ADD — the
+            // witness coefficient comes back out of the map).
+            keys.clear();
+            keys.extend(
+                spec.entries()
+                    .iter()
+                    .filter(|(_, c)| !c.is_zero())
+                    .map(|(&k, _)| k),
+            );
+            let nonzero = t_bdds.from_keys(&mut keys);
             let product = t_bdds.and(nonzero, t_matrix);
             stats.verification_time += t.elapsed();
             if product != Bdd::FALSE {
                 let alpha = t_bdds.one_sat(product).expect("satisfiable product");
-                hit = Some((Mask(alpha), *adds.eval(w_add, alpha)));
+                let coeff = *spec
+                    .entries()
+                    .get(&alpha)
+                    .expect("witness coordinate is in the support");
+                hit = Some((Mask(alpha), coeff));
                 return ControlFlow::Break(());
             }
             ControlFlow::Continue(())
@@ -1948,12 +1963,6 @@ fn product_signs(
         ControlFlow::Continue(())
     }
     rec(adds, groups, 0, unit, false, include_empty, stats, leaf)
-}
-
-/// Builds the ADD of a sparse spectrum: one path per non-zero coefficient.
-fn map_to_add(adds: &mut AddManager<Dyadic>, spec: &MapSpectrum) -> Add {
-    let entries: Vec<(u128, Dyadic)> = spec.entries().iter().map(|(&k, &c)| (k, c)).collect();
-    adds.from_sparse(entries, Dyadic::ZERO)
 }
 
 /// Union of coordinates of a non-zero-support BDD after forcing `ρ = 0`:

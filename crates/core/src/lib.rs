@@ -52,7 +52,8 @@ pub mod exhaustive;
 pub mod fault;
 pub mod heuristic;
 mod isolate;
-mod json;
+#[doc(hidden)]
+pub mod json;
 pub mod mask;
 pub mod observe;
 mod pcache;

@@ -21,7 +21,7 @@
 //! **eviction** is an entry dropped by the budget, rejected as oversized, or
 //! invalidated by [`PrefixCache::clear`].
 
-use std::collections::HashMap;
+use walshcheck_dd::FastMap;
 
 /// Aggregate counters of one [`PrefixCache`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -67,7 +67,7 @@ struct Slot<V> {
 /// An LRU cache bounded by an estimated byte budget. See the module docs.
 #[derive(Debug)]
 pub(crate) struct PrefixCache<V> {
-    map: HashMap<Key, Slot<V>>,
+    map: FastMap<Key, Slot<V>>,
     /// Reusable lookup key, so the hot `get` path allocates nothing.
     scratch: Key,
     budget: usize,
@@ -79,7 +79,7 @@ pub(crate) struct PrefixCache<V> {
 impl<V: Clone> PrefixCache<V> {
     pub(crate) fn new(budget: usize) -> Self {
         PrefixCache {
-            map: HashMap::new(),
+            map: FastMap::default(),
             scratch: Key {
                 prefix: Vec::new(),
                 joint: false,

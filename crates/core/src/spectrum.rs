@@ -8,16 +8,16 @@
 //!
 //! * [`LilSpectrum`] — sorted list of `(coordinate, coefficient)` pairs, the
 //!   "list of lists" structure of the prior exact tool (reference \[11\]);
-//! * [`MapSpectrum`] — a hash map (`std::collections::HashMap`, the Rust
-//!   analogue of C++ `unordered_map`), the container of the paper's MAP /
-//!   MAPI methods with O(1) average insertion.
+//! * [`MapSpectrum`] — a hash map (the Rust analogue of C++
+//!   `unordered_map`, using the kernel's fast multiplicative hasher — see
+//!   [`walshcheck_dd::fasthash`]), the container of the paper's MAP / MAPI
+//!   methods with O(1) average insertion.
 //!
 //! Both implement [`Spectrum`] and are interchangeable in the engines; the
 //! benchmark harness measures the difference.
 
-use std::collections::HashMap;
-
 use walshcheck_dd::dyadic::Dyadic;
+use walshcheck_dd::FastMap;
 
 use crate::mask::Mask;
 
@@ -25,7 +25,7 @@ use crate::mask::Mask;
 pub trait Spectrum: Clone {
     /// Builds a spectrum from a coordinate → coefficient map (zeros are
     /// dropped).
-    fn from_map(map: &HashMap<u128, Dyadic>) -> Self;
+    fn from_map(map: &FastMap<u128, Dyadic>) -> Self;
 
     /// The convolution `Σ_β self(β)·other(α⊕β)` — the spectrum of the XOR
     /// of the underlying functions.
@@ -83,25 +83,25 @@ pub trait Spectrum: Clone {
 /// Hash-map backed spectrum (the paper's MAP/MAPI container).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MapSpectrum {
-    entries: HashMap<u128, Dyadic>,
+    entries: FastMap<u128, Dyadic>,
 }
 
 impl MapSpectrum {
     /// The spectrum of the constant-zero function (`W(0) = 1`).
     pub fn one() -> Self {
         MapSpectrum {
-            entries: HashMap::from([(0, Dyadic::ONE)]),
+            entries: [(0, Dyadic::ONE)].into_iter().collect(),
         }
     }
 
     /// Direct access to the underlying map.
-    pub fn entries(&self) -> &HashMap<u128, Dyadic> {
+    pub fn entries(&self) -> &FastMap<u128, Dyadic> {
         &self.entries
     }
 }
 
 impl Spectrum for MapSpectrum {
-    fn from_map(map: &HashMap<u128, Dyadic>) -> Self {
+    fn from_map(map: &FastMap<u128, Dyadic>) -> Self {
         MapSpectrum {
             entries: map
                 .iter()
@@ -118,8 +118,10 @@ impl Spectrum for MapSpectrum {
         } else {
             (&other.entries, &self.entries)
         };
-        let mut out: HashMap<u128, Dyadic> =
-            HashMap::with_capacity(small.len() * large.len() / 2 + 1);
+        let mut out: FastMap<u128, Dyadic> = FastMap::with_capacity_and_hasher(
+            small.len() * large.len() / 2 + 1,
+            Default::default(),
+        );
         for (&ka, &ca) in small {
             for (&kb, &cb) in large {
                 let key = ka ^ kb;
@@ -174,7 +176,7 @@ impl LilSpectrum {
 }
 
 impl Spectrum for LilSpectrum {
-    fn from_map(map: &HashMap<u128, Dyadic>) -> Self {
+    fn from_map(map: &FastMap<u128, Dyadic>) -> Self {
         let mut entries: Vec<(u128, Dyadic)> = map
             .iter()
             .filter(|(_, c)| !c.is_zero())

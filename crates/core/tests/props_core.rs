@@ -126,7 +126,7 @@ fn spectrum_strategy() -> impl Strategy<Value = Vec<(u128, i64)>> {
 }
 
 fn to_specs(entries: &[(u128, i64)]) -> (MapSpectrum, LilSpectrum) {
-    let map: std::collections::HashMap<u128, Dyadic> = entries
+    let map: walshcheck_dd::FastMap<u128, Dyadic> = entries
         .iter()
         .map(|&(k, v)| (k, Dyadic::from_int(v)))
         .collect();

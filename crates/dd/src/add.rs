@@ -7,10 +7,13 @@
 //! equality of functions is handle equality, and binary operations are
 //! memoized.
 //!
-//! The probing-security engines use ADDs over [`crate::dyadic::Dyadic`]
-//! terminals to store sparse Walsh correlation matrices, so a small set of
-//! arithmetic operations specific to that terminal type is provided alongside
-//! the generic machinery.
+//! The hot structures follow CUDD (see DESIGN.md §12): hash consing goes
+//! through per-variable open-addressed unique subtables, and memoization
+//! through fixed-size direct-mapped lossy caches
+//! ([`crate::table`]) rather than general-purpose `HashMap`s. The
+//! [`Dyadic`] arithmetic used by the probing-security engines is additionally
+//! monomorphized with algebraic short-circuits (`0 + f = f`, `0 · f = 0`,
+//! `1 · f = f`, `f − f = 0`) checked before any cache probe.
 //!
 //! ```
 //! use walshcheck_dd::add::AddManager;
@@ -25,13 +28,14 @@
 //! assert_eq!(*m.eval(s, 0b00), Dyadic::ZERO);
 //! ```
 
-use std::collections::HashMap;
 use std::fmt::Debug;
 use std::hash::Hash;
 
 use crate::bdd::{Bdd, BddManager};
 use crate::budget::NodeBudget;
 use crate::dyadic::Dyadic;
+use crate::fasthash::{hash_pair, FastMap, FastSet};
+use crate::table::{BinaryApplyCache, Subtable, UnaryApplyCache};
 use crate::var::{VarId, VarSet};
 
 /// Handle to an ADD node inside an [`AddManager`].
@@ -67,21 +71,22 @@ pub struct ApplyCacheStats {
     pub hits: u64,
     /// Results computed and inserted.
     pub misses: u64,
-    /// Times a cache was dropped wholesale — on reaching the entry limit or
-    /// via [`AddManager::clear_caches`].
+    /// Cache generations retired via [`AddManager::clear_caches`] or a
+    /// resizing [`AddManager::set_apply_cache_limit`]. The direct-mapped
+    /// caches never flush wholesale on their own — a colliding insert
+    /// overwrites one slot instead.
     pub flushes: u64,
 }
 
-/// Default per-cache entry limit (see
-/// [`AddManager::set_apply_cache_limit`]).
-const DEFAULT_APPLY_CACHE_LIMIT: usize = 1 << 20;
+/// Default per-cache slot budget (see
+/// [`AddManager::set_apply_cache_limit`]). The engines override this from
+/// their byte budget; the default keeps a standalone manager around 1 MiB.
+const DEFAULT_APPLY_CACHE_LIMIT: usize = 1 << 16;
 
-/// Estimated bytes per binary-cache entry: key `(u8, Add, Add)` + value
-/// `Add` + `HashMap` overhead.
-const BINARY_ENTRY_BYTES: usize = 48;
-
-/// Estimated bytes per unary-cache entry.
-const UNARY_ENTRY_BYTES: usize = 40;
+/// Small-terminal intern table size. The first few distinct terminals a
+/// manager sees are the workload's ubiquitous constants (0, ±1, ±½, …);
+/// serving them from a linear scan skips the hash path of `term_unique`.
+const SMALL_TERMS: usize = 8;
 
 /// An arena-based hash-consed ADD manager over terminal values of type `T`.
 ///
@@ -90,13 +95,20 @@ const UNARY_ENTRY_BYTES: usize = 40;
 #[derive(Debug)]
 pub struct AddManager<T> {
     nodes: Vec<Node>,
-    unique: HashMap<(u32, Add, Add), Add>,
+    /// One unique subtable per variable; the variable index selects the
+    /// subtable, the `(lo, hi)` pair is the key (see [`crate::table`]).
+    unique: Vec<Subtable>,
     terminals: Vec<T>,
-    term_unique: HashMap<T, Add>,
-    binary_cache: HashMap<(u8, Add, Add), Add>,
-    unary_cache: HashMap<(u8, Add), Add>,
-    apply_cache_limit: usize,
+    term_unique: FastMap<T, Add>,
+    /// The first [`SMALL_TERMS`] interned terminals, scanned linearly
+    /// before `term_unique`.
+    term_small: Vec<(T, Add)>,
+    binary_cache: BinaryApplyCache,
+    unary_cache: UnaryApplyCache,
     apply_stats: ApplyCacheStats,
+    /// `apply_stats.misses` at the last flush, to count a flush only when
+    /// the caches could hold something.
+    misses_at_flush: u64,
     budget: NodeBudget,
     num_vars: u32,
 }
@@ -111,13 +123,14 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
         assert!(num_vars <= VarId::MAX_VARS, "too many variables");
         AddManager {
             nodes: Vec::new(),
-            unique: HashMap::new(),
+            unique: (0..num_vars).map(|_| Subtable::default()).collect(),
             terminals: Vec::new(),
-            term_unique: HashMap::new(),
-            binary_cache: HashMap::new(),
-            unary_cache: HashMap::new(),
-            apply_cache_limit: DEFAULT_APPLY_CACHE_LIMIT,
+            term_unique: FastMap::default(),
+            term_small: Vec::new(),
+            binary_cache: BinaryApplyCache::new(DEFAULT_APPLY_CACHE_LIMIT),
+            unary_cache: UnaryApplyCache::new(DEFAULT_APPLY_CACHE_LIMIT >> 4),
             apply_stats: ApplyCacheStats::default(),
+            misses_at_flush: 0,
             budget: NodeBudget::default(),
             num_vars,
         }
@@ -139,11 +152,15 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
         self.budget.rebase(self.nodes.len());
     }
 
-    /// Caps each apply cache at `limit` entries (floored at 16); a cache
-    /// reaching its cap is dropped wholesale before the next insert.
+    /// Sizes the apply caches to about `limit` slots (rounded down to a
+    /// power of two, floored at 16). The caches are fixed direct-mapped
+    /// slabs: they allocate their full footprint up front and colliding
+    /// entries overwrite each other, so this bounds memory exactly.
     /// Memoization only affects time, never results, so any limit is safe.
+    /// Resizing to a different slot count drops all cached entries.
     pub fn set_apply_cache_limit(&mut self, limit: usize) {
-        self.apply_cache_limit = limit.max(16);
+        self.binary_cache.resize(limit);
+        self.unary_cache.resize((limit >> 4).max(16));
     }
 
     /// The apply-cache counters accumulated so far (they survive flushes).
@@ -151,9 +168,16 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
         self.apply_stats
     }
 
-    /// Estimated current heap footprint of both apply caches, in bytes.
+    /// Heap footprint of both apply-cache slabs, in bytes. Fixed by
+    /// [`AddManager::set_apply_cache_limit`] — it does not vary with
+    /// occupancy, because the slabs are allocated in full up front.
     pub fn apply_cache_bytes(&self) -> usize {
-        self.binary_cache.len() * BINARY_ENTRY_BYTES + self.unary_cache.len() * UNARY_ENTRY_BYTES
+        self.binary_cache.bytes() + self.unary_cache.bytes()
+    }
+
+    /// Heap footprint of the unique subtables' slot arrays, in bytes.
+    pub fn unique_table_bytes(&self) -> usize {
+        self.unique.iter().map(Subtable::heap_bytes).sum()
     }
 
     /// Number of variables managed.
@@ -163,6 +187,11 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
 
     /// Interns and returns the constant function `value`.
     pub fn constant(&mut self, value: T) -> Add {
+        for (v, id) in &self.term_small {
+            if *v == value {
+                return *id;
+            }
+        }
         if let Some(&id) = self.term_unique.get(&value) {
             return id;
         }
@@ -170,6 +199,9 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
         assert!(idx & TERM_BIT == 0, "terminal table full");
         let id = Add(TERM_BIT | idx);
         self.terminals.push(value.clone());
+        if self.term_small.len() < SMALL_TERMS {
+            self.term_small.push((value.clone(), id));
+        }
         self.term_unique.insert(value, id);
         id
     }
@@ -207,16 +239,25 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
             var.0 < self.var_of(lo) && var.0 < self.var_of(hi),
             "ordering violated"
         );
-        if let Some(&id) = self.unique.get(&(var.0, lo, hi)) {
-            return id;
+        let h = hash_pair(lo.0, hi.0);
+        let nodes = &self.nodes;
+        let sub = &mut self.unique[var.0 as usize];
+        if let Some(found) = sub.get(h, |i| {
+            let n = &nodes[i as usize];
+            n.lo == lo && n.hi == hi
+        }) {
+            return Add(found);
         }
         self.budget.charge("add-arena", self.nodes.len());
         let raw = u32::try_from(self.nodes.len()).expect("ADD arena full");
         assert!(raw & TERM_BIT == 0, "ADD arena full");
-        let id = Add(raw);
         self.nodes.push(Node { var: var.0, lo, hi });
-        self.unique.insert((var.0, lo, hi), id);
-        id
+        let nodes = &self.nodes;
+        self.unique[var.0 as usize].insert(h, raw, |i| {
+            let n = &nodes[i as usize];
+            hash_pair(n.lo.0, n.hi.0)
+        });
+        Add(raw)
     }
 
     /// The function that is `hi_value` when `v` is 1 and `lo_value` otherwise.
@@ -241,18 +282,9 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
         &self.terminals[cur.term_index()]
     }
 
-    /// Applies a binary pointwise operation. `token` identifies the operation
-    /// in the memoization cache and must be distinct for semantically
-    /// distinct closures.
-    pub fn apply2(&mut self, token: u8, f: Add, g: Add, op: &impl Fn(&T, &T) -> T) -> Add {
-        if let (Some(a), Some(b)) = (self.terminal_value(f), self.terminal_value(g)) {
-            let v = op(a, b);
-            return self.constant(v);
-        }
-        if let Some(&r) = self.binary_cache.get(&(token, f, g)) {
-            self.apply_stats.hits += 1;
-            return r;
-        }
+    /// Top variable and cofactor pairs of `(f, g)` for the apply recursion.
+    #[inline]
+    fn cofactors2(&self, f: Add, g: Add) -> (u32, Add, Add, Add, Add) {
         let vf = self.var_of(f);
         let vg = self.var_of(g);
         let top = vf.min(vg);
@@ -268,38 +300,48 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
         } else {
             (g, g)
         };
+        (top, f0, f1, g0, g1)
+    }
+
+    /// Applies a binary pointwise operation. `token` identifies the operation
+    /// in the memoization cache and must be distinct for semantically
+    /// distinct closures; tokens 1–3 and 16–17 are reserved for the built-in
+    /// [`Dyadic`] operations.
+    pub fn apply2(&mut self, token: u8, f: Add, g: Add, op: &impl Fn(&T, &T) -> T) -> Add {
+        if let (Some(a), Some(b)) = (self.terminal_value(f), self.terminal_value(g)) {
+            let v = op(a, b);
+            return self.constant(v);
+        }
+        if let Some(r) = self.binary_cache.get(token as u32, f.0, g.0) {
+            self.apply_stats.hits += 1;
+            return Add(r);
+        }
+        let (top, f0, f1, g0, g1) = self.cofactors2(f, g);
         let r0 = self.apply2(token, f0, g0, op);
         let r1 = self.apply2(token, f1, g1, op);
         let r = self.mk(VarId(top), r0, r1);
-        if self.binary_cache.len() >= self.apply_cache_limit {
-            self.binary_cache.clear();
-            self.apply_stats.flushes += 1;
-        }
         self.apply_stats.misses += 1;
-        self.binary_cache.insert((token, f, g), r);
+        self.binary_cache.put(token as u32, f.0, g.0, r.0);
         r
     }
 
-    /// Applies a unary pointwise operation with memoization token `token`.
+    /// Applies a unary pointwise operation with memoization token `token`
+    /// (tokens 16–17 are reserved for the built-in [`Dyadic`] operations).
     pub fn apply1(&mut self, token: u8, f: Add, op: &impl Fn(&T) -> T) -> Add {
         if let Some(a) = self.terminal_value(f) {
             let v = op(a);
             return self.constant(v);
         }
-        if let Some(&r) = self.unary_cache.get(&(token, f)) {
+        if let Some(r) = self.unary_cache.get(token as u32, f.0) {
             self.apply_stats.hits += 1;
-            return r;
+            return Add(r);
         }
         let n = self.nodes[f.0 as usize];
         let r0 = self.apply1(token, n.lo, op);
         let r1 = self.apply1(token, n.hi, op);
         let r = self.mk(VarId(n.var), r0, r1);
-        if self.unary_cache.len() >= self.apply_cache_limit {
-            self.unary_cache.clear();
-            self.apply_stats.flushes += 1;
-        }
         self.apply_stats.misses += 1;
-        self.unary_cache.insert((token, f), r);
+        self.unary_cache.put(token as u32, f.0, r.0);
         r
     }
 
@@ -307,7 +349,7 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
     /// terminal to `then_value` and `false` to `else_value`.
     #[allow(clippy::wrong_self_convention)] // conversion *into* this manager
     pub fn from_bdd(&mut self, bdds: &BddManager, f: Bdd, then_value: T, else_value: T) -> Add {
-        let mut memo: HashMap<Bdd, Add> = HashMap::new();
+        let mut memo: FastMap<Bdd, Add> = FastMap::default();
         let t = self.constant(then_value);
         let e = self.constant(else_value);
         self.from_bdd_rec(bdds, f, t, e, &mut memo)
@@ -320,7 +362,7 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
         f: Bdd,
         t: Add,
         e: Add,
-        memo: &mut HashMap<Bdd, Add>,
+        memo: &mut FastMap<Bdd, Add>,
     ) -> Add {
         if f == Bdd::TRUE {
             return t;
@@ -341,7 +383,7 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
 
     /// Builds the BDD of `{x : pred(f(x))}` in `bdds`.
     pub fn to_bdd(&self, bdds: &mut BddManager, f: Add, pred: &impl Fn(&T) -> bool) -> Bdd {
-        let mut memo: HashMap<Add, Bdd> = HashMap::new();
+        let mut memo: FastMap<Add, Bdd> = FastMap::default();
         self.to_bdd_rec(bdds, f, pred, &mut memo)
     }
 
@@ -350,7 +392,7 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
         bdds: &mut BddManager,
         f: Add,
         pred: &impl Fn(&T) -> bool,
-        memo: &mut HashMap<Add, Bdd>,
+        memo: &mut FastMap<Add, Bdd>,
     ) -> Bdd {
         if let Some(v) = self.terminal_value(f) {
             return bdds.constant(pred(v));
@@ -369,7 +411,7 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
 
     /// The set of variables `f` structurally depends on.
     pub fn support(&self, f: Add) -> VarSet {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen: FastSet<Add> = FastSet::default();
         let mut stack = vec![f];
         let mut s = VarSet::EMPTY;
         while let Some(n) = stack.pop() {
@@ -386,7 +428,7 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
 
     /// Number of distinct nodes reachable from `f` (including terminals).
     pub fn node_count(&self, f: Add) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen: FastSet<Add> = FastSet::default();
         let mut stack = vec![f];
         while let Some(n) = stack.pop() {
             if seen.insert(n) && !n.is_terminal() {
@@ -487,8 +529,9 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
 
     /// Clears the operation caches; handles remain valid.
     pub fn clear_caches(&mut self) {
-        if !self.binary_cache.is_empty() || !self.unary_cache.is_empty() {
+        if self.apply_stats.misses > self.misses_at_flush {
             self.apply_stats.flushes += 1;
+            self.misses_at_flush = self.apply_stats.misses;
         }
         self.binary_cache.clear();
         self.unary_cache.clear();
@@ -502,11 +545,11 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
 
 /// Cache tokens for the built-in [`Dyadic`] operations.
 mod token {
-    pub const ADD: u8 = 1;
-    pub const SUB: u8 = 2;
-    pub const MUL: u8 = 3;
-    pub const NEG: u8 = 16;
-    pub const HALF: u8 = 17;
+    pub const ADD: u32 = 1;
+    pub const SUB: u32 = 2;
+    pub const MUL: u32 = 3;
+    pub const NEG: u32 = 16;
+    pub const HALF: u32 = 17;
 }
 
 impl AddManager<Dyadic> {
@@ -515,31 +558,152 @@ impl AddManager<Dyadic> {
         self.constant(Dyadic::ZERO)
     }
 
+    /// Whether `f` is the terminal 0 (cheap handle-level check).
+    #[inline]
+    fn is_zero_term(&self, f: Add) -> bool {
+        f.is_terminal() && self.terminals[f.term_index()].is_zero()
+    }
+
+    /// Whether `f` is the terminal 1.
+    #[inline]
+    fn is_one_term(&self, f: Add) -> bool {
+        f.is_terminal() && self.terminals[f.term_index()] == Dyadic::ONE
+    }
+
     /// Pointwise sum `f + g`.
     pub fn add_op(&mut self, f: Add, g: Add) -> Add {
+        // 0 + f = f, checked before any cache traffic. This fires at every
+        // level of the recursion, not just at the root: sparse Walsh
+        // matrices are mostly zero cofactors.
+        if self.is_zero_term(f) {
+            return g;
+        }
+        if self.is_zero_term(g) {
+            return f;
+        }
         let (a, b) = if f <= g { (f, g) } else { (g, f) };
-        self.apply2(token::ADD, a, b, &|x, y| *x + *y)
+        if let (Some(x), Some(y)) = (self.terminal_value(a), self.terminal_value(b)) {
+            let v = *x + *y;
+            return self.constant(v);
+        }
+        if let Some(r) = self.binary_cache.get(token::ADD, a.0, b.0) {
+            self.apply_stats.hits += 1;
+            return Add(r);
+        }
+        let (top, f0, f1, g0, g1) = self.cofactors2(a, b);
+        let r0 = self.add_op(f0, g0);
+        let r1 = self.add_op(f1, g1);
+        let r = self.mk(VarId(top), r0, r1);
+        self.apply_stats.misses += 1;
+        self.binary_cache.put(token::ADD, a.0, b.0, r.0);
+        r
     }
 
     /// Pointwise difference `f − g`.
     pub fn sub_op(&mut self, f: Add, g: Add) -> Add {
-        self.apply2(token::SUB, f, g, &|x, y| *x - *y)
+        // Hash consing makes f − f = 0 a handle comparison.
+        if f == g {
+            return self.zero();
+        }
+        if self.is_zero_term(g) {
+            return f;
+        }
+        if self.is_zero_term(f) {
+            return self.neg_op(g);
+        }
+        if let (Some(x), Some(y)) = (self.terminal_value(f), self.terminal_value(g)) {
+            let v = *x - *y;
+            return self.constant(v);
+        }
+        if let Some(r) = self.binary_cache.get(token::SUB, f.0, g.0) {
+            self.apply_stats.hits += 1;
+            return Add(r);
+        }
+        let (top, f0, f1, g0, g1) = self.cofactors2(f, g);
+        let r0 = self.sub_op(f0, g0);
+        let r1 = self.sub_op(f1, g1);
+        let r = self.mk(VarId(top), r0, r1);
+        self.apply_stats.misses += 1;
+        self.binary_cache.put(token::SUB, f.0, g.0, r.0);
+        r
     }
 
     /// Pointwise product `f · g`.
     pub fn mul_op(&mut self, f: Add, g: Add) -> Add {
+        // 0 · f = 0 and 1 · f = f absorb whole subproblems; sign-ADDs make
+        // the ±1 cases ubiquitous.
+        if self.is_zero_term(f) {
+            return f;
+        }
+        if self.is_zero_term(g) {
+            return g;
+        }
+        if self.is_one_term(f) {
+            return g;
+        }
+        if self.is_one_term(g) {
+            return f;
+        }
         let (a, b) = if f <= g { (f, g) } else { (g, f) };
-        self.apply2(token::MUL, a, b, &|x, y| *x * *y)
+        if let (Some(x), Some(y)) = (self.terminal_value(a), self.terminal_value(b)) {
+            let v = *x * *y;
+            return self.constant(v);
+        }
+        if let Some(r) = self.binary_cache.get(token::MUL, a.0, b.0) {
+            self.apply_stats.hits += 1;
+            return Add(r);
+        }
+        let (top, f0, f1, g0, g1) = self.cofactors2(a, b);
+        let r0 = self.mul_op(f0, g0);
+        let r1 = self.mul_op(f1, g1);
+        let r = self.mk(VarId(top), r0, r1);
+        self.apply_stats.misses += 1;
+        self.binary_cache.put(token::MUL, a.0, b.0, r.0);
+        r
     }
 
     /// Pointwise negation `−f`.
     pub fn neg_op(&mut self, f: Add) -> Add {
-        self.apply1(token::NEG, f, &|x| -*x)
+        if self.is_zero_term(f) {
+            return f;
+        }
+        if let Some(x) = self.terminal_value(f) {
+            let v = -*x;
+            return self.constant(v);
+        }
+        if let Some(r) = self.unary_cache.get(token::NEG, f.0) {
+            self.apply_stats.hits += 1;
+            return Add(r);
+        }
+        let n = self.nodes[f.0 as usize];
+        let r0 = self.neg_op(n.lo);
+        let r1 = self.neg_op(n.hi);
+        let r = self.mk(VarId(n.var), r0, r1);
+        self.apply_stats.misses += 1;
+        self.unary_cache.put(token::NEG, f.0, r.0);
+        r
     }
 
     /// Pointwise exact halving `f / 2`.
     pub fn half_op(&mut self, f: Add) -> Add {
-        self.apply1(token::HALF, f, &|x| x.half())
+        if self.is_zero_term(f) {
+            return f;
+        }
+        if let Some(x) = self.terminal_value(f) {
+            let v = x.half();
+            return self.constant(v);
+        }
+        if let Some(r) = self.unary_cache.get(token::HALF, f.0) {
+            self.apply_stats.hits += 1;
+            return Add(r);
+        }
+        let n = self.nodes[f.0 as usize];
+        let r0 = self.half_op(n.lo);
+        let r1 = self.half_op(n.hi);
+        let r = self.mk(VarId(n.var), r0, r1);
+        self.apply_stats.misses += 1;
+        self.unary_cache.put(token::HALF, f.0, r.0);
+        r
     }
 
     /// Whether `f` is the constant-zero function.
@@ -565,6 +729,12 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.is_terminal());
         assert_eq!(m.terminal_value(a), Some(&Dyadic::from_int(7)));
+        // Past the small-terminal fast path, interning still dedupes.
+        for i in 0..20 {
+            let x = m.constant(Dyadic::from_int(i));
+            let y = m.constant(Dyadic::from_int(i));
+            assert_eq!(x, y);
+        }
     }
 
     #[test]
@@ -582,6 +752,30 @@ mod tests {
         }
         let neg = m.neg_op(sum);
         assert_eq!(m.eval(neg, 0b11).to_int(), Some(-5));
+    }
+
+    #[test]
+    fn algebraic_short_circuits_return_canonical_handles() {
+        let mut m: AddManager<Dyadic> = AddManager::new(3);
+        let zero = m.zero();
+        let one = m.constant(Dyadic::ONE);
+        let x = m.indicator(VarId(0), Dyadic::from_int(2), Dyadic::from_int(5));
+        // The shortcut result must be the *same handle* the full recursion
+        // would intern — not merely an equal function.
+        assert_eq!(m.add_op(zero, x), x);
+        assert_eq!(m.add_op(x, zero), x);
+        assert_eq!(m.mul_op(zero, x), zero);
+        assert_eq!(m.mul_op(x, zero), zero);
+        assert_eq!(m.mul_op(one, x), x);
+        assert_eq!(m.mul_op(x, one), x);
+        assert_eq!(m.sub_op(x, x), zero);
+        assert_eq!(m.sub_op(x, zero), x);
+        let nx = m.neg_op(x);
+        assert_eq!(m.sub_op(zero, x), nx);
+        // None of the above may have gone through the apply caches.
+        let nodes_before = m.arena_size();
+        let _ = m.add_op(zero, x);
+        assert_eq!(m.arena_size(), nodes_before);
     }
 
     #[test]
@@ -674,31 +868,57 @@ mod tests {
     #[test]
     fn apply_cache_counts_and_flushes() {
         let mut m: AddManager<Dyadic> = AddManager::new(4);
-        m.set_apply_cache_limit(0); // floored at 16
+        m.set_apply_cache_limit(0); // floored at 16 slots
+        let slab = m.apply_cache_bytes();
+        assert!(slab > 0, "slabs are allocated up front");
         let x = m.indicator(VarId(0), Dyadic::from_int(2), Dyadic::ZERO);
         let y = m.indicator(VarId(1), Dyadic::from_int(3), Dyadic::ONE);
         let s = m.add_op(x, y);
         let before = m.apply_cache_stats();
         assert!(before.misses > 0);
-        assert!(m.apply_cache_bytes() > 0);
         // Same operation again: served from cache, result identical.
         let s2 = m.add_op(x, y);
         assert_eq!(s, s2);
         let after = m.apply_cache_stats();
         assert!(after.hits > before.hits);
         assert_eq!(after.misses, before.misses);
-        // Fill past the 16-entry floor so an insert flushes the cache.
-        let mut acc = s;
-        for v in 2..4 {
-            let i = m.indicator(VarId(v), Dyadic::from_int(v as i64), Dyadic::ONE);
-            acc = m.add_op(acc, i);
-            acc = m.mul_op(acc, i);
-        }
+        // The slabs are fixed: byte footprint never varies with occupancy.
+        assert_eq!(m.apply_cache_bytes(), slab);
         m.clear_caches();
         assert!(m.apply_cache_stats().flushes > 0);
-        assert_eq!(m.apply_cache_bytes(), 0);
-        // Counters survive the flush.
+        assert_eq!(m.apply_cache_bytes(), slab);
+        // An idle clear doesn't inflate the flush counter.
+        let flushes = m.apply_cache_stats().flushes;
+        m.clear_caches();
+        assert_eq!(m.apply_cache_stats().flushes, flushes);
+        // Counters survive the flush, and resizing changes the footprint.
         assert!(m.apply_cache_stats().misses >= after.misses);
+        m.set_apply_cache_limit(1 << 10);
+        assert!(m.apply_cache_bytes() > slab);
+    }
+
+    #[test]
+    fn lossy_collisions_still_produce_identical_handles() {
+        // Tiny cache → constant evictions; results must not change.
+        let mut small: AddManager<Dyadic> = AddManager::new(6);
+        small.set_apply_cache_limit(0);
+        let mut big: AddManager<Dyadic> = AddManager::new(6);
+        let build = |m: &mut AddManager<Dyadic>| {
+            let mut acc = m.zero();
+            for v in 0..6u32 {
+                let i = m.indicator(VarId(v), Dyadic::from_int(v as i64 + 1), Dyadic::ONE);
+                acc = m.add_op(acc, i);
+                acc = m.mul_op(acc, i);
+                let h = m.half_op(acc);
+                acc = m.sub_op(acc, h);
+            }
+            acc
+        };
+        let a = build(&mut small);
+        let b = build(&mut big);
+        for x in 0..64u128 {
+            assert_eq!(small.eval(a, x), big.eval(b, x), "at {x:b}");
+        }
     }
 
     #[test]

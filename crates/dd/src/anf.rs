@@ -12,7 +12,7 @@
 //! butterfly recursion `f = f₀ ⊕ x·(f₀ ⊕ f₁)`, memoized per node — the
 //! XOR-domain analogue of the sparse Walsh transform in [`crate::spectral`].
 
-use std::collections::{HashMap, HashSet};
+use crate::fasthash::{FastMap, FastSet};
 use std::rc::Rc;
 
 use crate::bdd::{Bdd, BddManager};
@@ -22,7 +22,7 @@ use crate::var::VarSet;
 /// mask (bit `i` = variable `i`; the empty mask is the constant term).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Anf {
-    monomials: HashSet<u128>,
+    monomials: FastSet<u128>,
 }
 
 impl Anf {
@@ -34,14 +34,14 @@ impl Anf {
     /// The constant-one function.
     pub fn one() -> Self {
         Anf {
-            monomials: HashSet::from([0]),
+            monomials: [0].into_iter().collect(),
         }
     }
 
     /// Builds an ANF from an iterator of monomial masks (duplicates cancel,
     /// as XOR demands).
     pub fn from_monomials<I: IntoIterator<Item = u128>>(monomials: I) -> Self {
-        let mut set = HashSet::new();
+        let mut set = FastSet::default();
         for m in monomials {
             if !set.insert(m) {
                 set.remove(&m);
@@ -116,18 +116,18 @@ impl Anf {
 /// Sparse ANF of `f` via the Möbius/Reed–Muller transform on the BDD:
 /// `anf(f) = anf(f₀) ⊕ x·(anf(f₀) ⊕ anf(f₁))`, memoized per node.
 pub fn anf_from_bdd(m: &BddManager, f: Bdd) -> Anf {
-    let mut memo: HashMap<Bdd, Rc<HashSet<u128>>> = HashMap::new();
+    let mut memo: FastMap<Bdd, Rc<FastSet<u128>>> = FastMap::default();
     Anf {
         monomials: (*rec(m, f, &mut memo)).clone(),
     }
 }
 
-fn rec(m: &BddManager, f: Bdd, memo: &mut HashMap<Bdd, Rc<HashSet<u128>>>) -> Rc<HashSet<u128>> {
+fn rec(m: &BddManager, f: Bdd, memo: &mut FastMap<Bdd, Rc<FastSet<u128>>>) -> Rc<FastSet<u128>> {
     if f == Bdd::FALSE {
-        return Rc::new(HashSet::new());
+        return Rc::new(FastSet::default());
     }
     if f == Bdd::TRUE {
-        return Rc::new(HashSet::from([0]));
+        return Rc::new([0].into_iter().collect());
     }
     if let Some(r) = memo.get(&f) {
         return Rc::clone(r);
@@ -137,7 +137,7 @@ fn rec(m: &BddManager, f: Bdd, memo: &mut HashMap<Bdd, Rc<HashSet<u128>>>) -> Rc
     let a1 = rec(m, hi, memo);
     let bit = 1u128 << var.0;
     // f = f0 ⊕ x·(f0 ⊕ f1): start from f0, add x·(f0 Δ f1).
-    let mut out: HashSet<u128> = (*a0).clone();
+    let mut out: FastSet<u128> = (*a0).clone();
     for &mono in a0.symmetric_difference(&a1) {
         let lifted = mono | bit;
         if !out.insert(lifted) {

@@ -1,9 +1,11 @@
 //! Reduced ordered binary decision diagrams (ROBDDs).
 //!
 //! [`BddManager`] is an arena-based, hash-consed ROBDD package in the style of
-//! CUDD: nodes are interned in a unique table so that structural equality is
-//! pointer (index) equality, and all operations are memoized in apply caches,
-//! giving the classical `O(|f|·|g|)` bound for binary Boolean operations.
+//! CUDD: nodes are interned in per-variable open-addressed unique subtables so
+//! that structural equality is pointer (index) equality, and all operations
+//! are memoized in fixed-size direct-mapped apply caches ([`crate::table`],
+//! DESIGN.md §12), giving the classical `O(|f|·|g|)` bound for binary Boolean
+//! operations.
 //!
 //! The variable order is static (variable `0` is tested first). This suits the
 //! probing-security workload, where the order is fixed by the circuit's input
@@ -22,9 +24,9 @@
 //! assert_eq!(m.sat_count(f), 2); // x∧y over 3 variables: 2 assignments
 //! ```
 
-use std::collections::HashMap;
-
 use crate::budget::NodeBudget;
+use crate::fasthash::{hash_pair, FastMap, FastSet};
+use crate::table::{BinaryApplyCache, Subtable, TernaryApplyCache, UnaryApplyCache};
 use crate::var::{VarId, VarSet};
 
 /// Handle to a BDD node inside a [`BddManager`].
@@ -63,15 +65,39 @@ enum BoolOp {
     Xor,
 }
 
+impl BoolOp {
+    /// Tag in the shared binary apply cache.
+    #[inline]
+    fn tag(self) -> u32 {
+        match self {
+            BoolOp::And => 1,
+            BoolOp::Or => 2,
+            BoolOp::Xor => 3,
+        }
+    }
+}
+
+/// Tag of logical negation in the unary apply cache.
+const NOT_TAG: u32 = 4;
+
+/// Default slot counts for the operation caches. The binary cache carries
+/// almost all of the engines' traffic (`and`/`or`/`xor` during transition
+/// matrix builds), so it gets the lion's share.
+const BINARY_CACHE_SLOTS: usize = 1 << 16;
+const TERNARY_CACHE_SLOTS: usize = 1 << 15;
+const UNARY_CACHE_SLOTS: usize = 1 << 14;
+
 /// An arena-based ROBDD manager with unique table and operation caches.
 #[derive(Debug)]
 pub struct BddManager {
     nodes: Vec<Node>,
-    unique: HashMap<(u32, Bdd, Bdd), Bdd>,
-    apply_cache: HashMap<(BoolOp, Bdd, Bdd), Bdd>,
-    not_cache: HashMap<Bdd, Bdd>,
-    ite_cache: HashMap<(Bdd, Bdd, Bdd), Bdd>,
-    quant_cache: HashMap<(Bdd, u128, bool), Bdd>,
+    /// One unique subtable per variable (see [`crate::table`]); extended by
+    /// [`BddManager::add_var`].
+    unique: Vec<Subtable>,
+    apply_cache: BinaryApplyCache,
+    not_cache: UnaryApplyCache,
+    ite_cache: TernaryApplyCache,
+    quant_cache: FastMap<(Bdd, u128, bool), Bdd>,
     budget: NodeBudget,
     num_vars: u32,
 }
@@ -98,11 +124,11 @@ impl BddManager {
         ];
         BddManager {
             nodes,
-            unique: HashMap::new(),
-            apply_cache: HashMap::new(),
-            not_cache: HashMap::new(),
-            ite_cache: HashMap::new(),
-            quant_cache: HashMap::new(),
+            unique: (0..num_vars).map(|_| Subtable::default()).collect(),
+            apply_cache: BinaryApplyCache::new(BINARY_CACHE_SLOTS),
+            not_cache: UnaryApplyCache::new(UNARY_CACHE_SLOTS),
+            ite_cache: TernaryApplyCache::new(TERNARY_CACHE_SLOTS),
+            quant_cache: FastMap::default(),
             budget: NodeBudget::default(),
             num_vars,
         }
@@ -124,6 +150,23 @@ impl BddManager {
         self.budget.rebase(self.nodes.len());
     }
 
+    /// Sizes the apply caches to about `limit` slots (rounded down to a
+    /// power of two, floored at 16); the ternary and unary caches scale
+    /// down proportionally. The caches are fixed direct-mapped slabs, so
+    /// this bounds their memory exactly; see
+    /// [`crate::add::AddManager::set_apply_cache_limit`].
+    pub fn set_apply_cache_limit(&mut self, limit: usize) {
+        self.apply_cache.resize(limit);
+        self.ite_cache = TernaryApplyCache::new((limit >> 1).max(16));
+        self.not_cache.resize((limit >> 2).max(16));
+    }
+
+    /// Heap footprint of the operation-cache slabs, in bytes (fixed —
+    /// independent of occupancy).
+    pub fn apply_cache_bytes(&self) -> usize {
+        self.apply_cache.bytes() + self.not_cache.bytes() + self.ite_cache.bytes()
+    }
+
     /// Number of variables managed.
     pub fn num_vars(&self) -> u32 {
         self.num_vars
@@ -134,6 +177,7 @@ impl BddManager {
         assert!(self.num_vars < VarId::MAX_VARS, "too many variables");
         let v = VarId(self.num_vars);
         self.num_vars += 1;
+        self.unique.push(Subtable::default());
         v
     }
 
@@ -191,14 +235,24 @@ impl BddManager {
             var < self.var_of(lo) && var < self.var_of(hi),
             "ordering violated"
         );
-        if let Some(&id) = self.unique.get(&(var, lo, hi)) {
-            return id;
+        let h = hash_pair(lo.0, hi.0);
+        let nodes = &self.nodes;
+        let sub = &mut self.unique[var as usize];
+        if let Some(found) = sub.get(h, |i| {
+            let n = &nodes[i as usize];
+            n.lo == lo && n.hi == hi
+        }) {
+            return Bdd(found);
         }
         self.budget.charge("bdd-arena", self.nodes.len());
-        let id = Bdd(u32::try_from(self.nodes.len()).expect("BDD arena full"));
+        let raw = u32::try_from(self.nodes.len()).expect("BDD arena full");
         self.nodes.push(Node { var, lo, hi });
-        self.unique.insert((var, lo, hi), id);
-        id
+        let nodes = &self.nodes;
+        self.unique[var as usize].insert(h, raw, |i| {
+            let n = &nodes[i as usize];
+            hash_pair(n.lo.0, n.hi.0)
+        });
+        Bdd(raw)
     }
 
     /// The literal `v`.
@@ -234,8 +288,8 @@ impl BddManager {
         if f == Bdd::TRUE {
             return Bdd::FALSE;
         }
-        if let Some(&r) = self.not_cache.get(&f) {
-            return r;
+        if let Some(r) = self.not_cache.get(NOT_TAG, f.0) {
+            return Bdd(r);
         }
         let (var, lo, hi) = {
             let n = &self.nodes[f.0 as usize];
@@ -244,7 +298,7 @@ impl BddManager {
         let nlo = self.not(lo);
         let nhi = self.not(hi);
         let r = self.mk(var, nlo, nhi);
-        self.not_cache.insert(f, r);
+        self.not_cache.put(NOT_TAG, f.0, r.0);
         r
     }
 
@@ -293,8 +347,8 @@ impl BddManager {
         }
         // Commutative: canonicalize the cache key.
         let (a, b) = if f.0 <= g.0 { (f, g) } else { (g, f) };
-        if let Some(&r) = self.apply_cache.get(&(op, a, b)) {
-            return r;
+        if let Some(r) = self.apply_cache.get(op.tag(), a.0, b.0) {
+            return Bdd(r);
         }
         let va = self.var_of(a);
         let vb = self.var_of(b);
@@ -312,7 +366,7 @@ impl BddManager {
         let r0 = self.apply(op, a0, b0);
         let r1 = self.apply(op, a1, b1);
         let r = self.mk(top, r0, r1);
-        self.apply_cache.insert((op, a, b), r);
+        self.apply_cache.put(op.tag(), a.0, b.0, r.0);
         r
     }
 
@@ -366,8 +420,8 @@ impl BddManager {
         if g == Bdd::FALSE && h == Bdd::TRUE {
             return self.not(f);
         }
-        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
-            return r;
+        if let Some(r) = self.ite_cache.get(f.0, g.0, h.0) {
+            return Bdd(r);
         }
         let top = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
         let (f0, f1) = if self.var_of(f) == top {
@@ -388,7 +442,7 @@ impl BddManager {
         let r0 = self.ite(f0, g0, h0);
         let r1 = self.ite(f1, g1, h1);
         let r = self.mk(top, r0, r1);
-        self.ite_cache.insert((f, g, h), r);
+        self.ite_cache.put(f.0, g.0, h.0, r.0);
         r
     }
 
@@ -453,11 +507,11 @@ impl BddManager {
     /// Functional composition `f[v := g]`: substitutes `g` for variable
     /// `v` in `f` (CUDD's `Cudd_bddCompose`).
     pub fn compose(&mut self, f: Bdd, v: VarId, g: Bdd) -> Bdd {
-        let mut memo: HashMap<Bdd, Bdd> = HashMap::new();
+        let mut memo: FastMap<Bdd, Bdd> = FastMap::default();
         self.compose_rec(f, v, g, &mut memo)
     }
 
-    fn compose_rec(&mut self, f: Bdd, v: VarId, g: Bdd, memo: &mut HashMap<Bdd, Bdd>) -> Bdd {
+    fn compose_rec(&mut self, f: Bdd, v: VarId, g: Bdd, memo: &mut FastMap<Bdd, Bdd>) -> Bdd {
         if f.is_const() || self.var_of(f) > v.0 {
             return f; // v cannot appear below this node
         }
@@ -492,7 +546,7 @@ impl BddManager {
 
     /// The set of variables `f` structurally depends on.
     pub fn support(&self, f: Bdd) -> VarSet {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen: FastSet<Bdd> = FastSet::default();
         let mut stack = vec![f];
         let mut s = VarSet::EMPTY;
         while let Some(n) = stack.pop() {
@@ -523,7 +577,7 @@ impl BddManager {
 
     /// Number of satisfying assignments of `f` over all manager variables.
     pub fn sat_count(&self, f: Bdd) -> u128 {
-        let mut memo: HashMap<Bdd, u128> = HashMap::new();
+        let mut memo: FastMap<Bdd, u128> = FastMap::default();
         let below = self.count_below(f, &mut memo);
         below << self.level(f)
     }
@@ -533,7 +587,7 @@ impl BddManager {
     }
 
     /// Satisfying assignments over variables at or below `f`'s own level.
-    fn count_below(&self, f: Bdd, memo: &mut HashMap<Bdd, u128>) -> u128 {
+    fn count_below(&self, f: Bdd, memo: &mut FastMap<Bdd, u128>) -> u128 {
         if f == Bdd::FALSE {
             return 0;
         }
@@ -551,8 +605,47 @@ impl BddManager {
         c
     }
 
-    /// One satisfying assignment of `f` (unset variables default to 0), or
-    /// `None` if `f` is unsatisfiable.
+    /// Builds the characteristic function of a set of full assignments
+    /// (bit `i` of a key = variable `i`) in one radix pass over `keys`,
+    /// partitioning the slice in place level by level — no apply-cache
+    /// traffic and no allocation. Duplicate keys are tolerated; the slice
+    /// order is not preserved.
+    ///
+    /// This is the fast path for turning a sparse spectrum's support into
+    /// the BDD intersected with the `T`-matrix: equivalent to interning the
+    /// keys into an ADD and taking its non-zero support, minus the ADD.
+    pub fn from_keys(&mut self, keys: &mut [u128]) -> Bdd {
+        let n = self.num_vars();
+        self.from_keys_rec(0, n, keys)
+    }
+
+    fn from_keys_rec(&mut self, level: u32, n: u32, keys: &mut [u128]) -> Bdd {
+        if keys.is_empty() {
+            return Bdd::FALSE;
+        }
+        if level == n {
+            return Bdd::TRUE;
+        }
+        let bit = 1u128 << level;
+        // Unstable in-place partition: low-half keys first.
+        let mut i = 0;
+        let mut j = keys.len();
+        while i < j {
+            if keys[i] & bit == 0 {
+                i += 1;
+            } else {
+                j -= 1;
+                keys.swap(i, j);
+            }
+        }
+        let (lo, hi) = keys.split_at_mut(i);
+        let l = self.from_keys_rec(level + 1, n, lo);
+        let h = self.from_keys_rec(level + 1, n, hi);
+        self.mk(level, l, h)
+    }
+
+    /// One satisfying full assignment of `f` (don't-care variables are 0),
+    /// or `None` for the constant-false function.
     pub fn one_sat(&self, f: Bdd) -> Option<u128> {
         if f == Bdd::FALSE {
             return None;
@@ -600,7 +693,7 @@ impl BddManager {
 
     /// Number of distinct nodes reachable from `f` (including terminals).
     pub fn node_count(&self, f: Bdd) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen: FastSet<Bdd> = FastSet::default();
         let mut stack = vec![f];
         while let Some(n) = stack.pop() {
             if seen.insert(n) && !n.is_const() {
@@ -814,5 +907,30 @@ mod tests {
         let x = m.var(v);
         // Over the 2-variable domain, the literal has 2 satisfying assignments.
         assert_eq!(m.sat_count(x), 2);
+    }
+
+    #[test]
+    fn tiny_caches_do_not_change_results() {
+        // Evict constantly; canonical handles must still match a roomy
+        // manager's results function-by-function.
+        let mut small = BddManager::new(6);
+        small.set_apply_cache_limit(0);
+        let mut big = BddManager::new(6);
+        let build = |m: &mut BddManager| {
+            let mut acc = m.constant(false);
+            for v in 0..6u32 {
+                let lit = m.var(VarId(v));
+                let a = m.and(acc, lit);
+                let o = m.or(acc, lit);
+                let x = m.xor(a, o);
+                acc = m.ite(lit, x, acc);
+            }
+            acc
+        };
+        let f = build(&mut small);
+        let g = build(&mut big);
+        for a in 0..64u128 {
+            assert_eq!(small.eval(f, a), big.eval(g, a), "at {a:b}");
+        }
     }
 }

@@ -1,0 +1,190 @@
+//! Fast non-cryptographic hashing for the DD kernel's hot paths.
+//!
+//! `std`'s default `HashMap` hasher (SipHash-1-3) is keyed and DoS-resistant,
+//! which is wasted work here: every hot map in this workspace is keyed by
+//! arena handles, variable indices or spectral coordinates — small integers
+//! the process itself produced, not attacker-controlled strings. This module
+//! provides the multiplicative word-at-a-time hasher (in the spirit of
+//! rustc's FxHash / wyhash's folding step) used by the unique tables and
+//! apply caches of [`crate::add::AddManager`] / [`crate::bdd::BddManager`],
+//! plus [`FastMap`] / [`FastSet`] aliases that drop it into any `HashMap`
+//! call site.
+//!
+//! Determinism note: swapping hashers can only change *iteration order* of a
+//! map, never its contents. Every result-bearing path in the verifier is
+//! already iteration-order independent (witness selection takes the minimal
+//! coordinate, spectra compare by content), so the swap is observable only
+//! as time. The one deliberate non-guarantee is the same as `std`'s: two
+//! different keys may collide — the tables resolve collisions, never assume
+//! injectivity.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` with the fast multiplicative hasher.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// `HashSet` with the fast multiplicative hasher.
+pub type FastSet<T> = HashSet<T, BuildHasherDefault<FastHasher>>;
+
+/// The odd multiplier of rustc's FxHash (derived from the golden ratio);
+/// any odd constant with a roughly even bit mix works.
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Finalization mix (splitmix64): spreads the entropy of the high bits into
+/// the low bits, which power-of-two tables index by.
+#[inline]
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x;
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hash of a `(lo, hi)` child pair — the unique-table key of one variable's
+/// subtable (the variable selects the subtable, so it is not part of the
+/// key).
+#[inline]
+pub(crate) fn hash_pair(lo: u32, hi: u32) -> u64 {
+    mix64((lo as u64) | ((hi as u64) << 32))
+}
+
+/// Word-at-a-time multiplicative hasher; see the module docs.
+#[derive(Debug, Default, Clone)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // The final multiply leaves the low bits weak; finish with a full
+        // mix so both hashbrown's control bytes (top 7) and its bucket
+        // index (low bits) see good entropy.
+        mix64(self.hash)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold in the length so "ab" and "ab\0" differ.
+            self.add(u64::from_le_bytes(tail) ^ ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add(i as u64);
+        self.add((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, i: i8) {
+        self.add(i as u8 as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, i: i32) {
+        self.add(i as u32 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, i: i64) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn write_i128(&mut self, i: i128) {
+        self.write_u128(i as u128);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, i: isize) {
+        self.add(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{Hash, Hasher as _};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FastHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(&(3u32, 7u32)), hash_of(&(3u32, 7u32)));
+        assert_ne!(hash_of(&(3u32, 7u32)), hash_of(&(7u32, 3u32)));
+        assert_ne!(hash_of(&0u64), hash_of(&1u64));
+        assert_ne!(hash_of(&"ab"), hash_of(&"ab\0"));
+    }
+
+    #[test]
+    fn fast_map_round_trips() {
+        let mut m: FastMap<u128, u32> = FastMap::default();
+        for i in 0..1000u128 {
+            m.insert(i << 64 | i, i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u128 {
+            assert_eq!(m.get(&(i << 64 | i)), Some(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn low_bits_are_usable_for_power_of_two_tables() {
+        // Sequential keys must not collapse onto a few low-bit buckets.
+        let mut buckets = [0u32; 16];
+        for i in 0..4096u64 {
+            buckets[(mix64(i) & 15) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((128..=384).contains(&b), "skewed bucket: {b}");
+        }
+    }
+}

@@ -13,7 +13,13 @@
 //!   non-interference relation matrix `T(α, ρ)`;
 //! * [`anf`] — sparse algebraic normal form via the Möbius transform;
 //! * [`reorder`] — variable-order transfer and greedy sifting;
-//! * [`dot`] — Graphviz export for debugging.
+//! * [`dot`] — Graphviz export for debugging;
+//! * [`fasthash`] — the fast multiplicative hasher behind the managers' hot
+//!   tables, exported as [`FastMap`]/[`FastSet`] for other crates' hot paths.
+//!
+//! The managers' hot structures follow CUDD: per-variable open-addressed
+//! unique subtables and fixed direct-mapped lossy apply caches (see
+//! DESIGN.md §12 and the [`fasthash`] module docs).
 //!
 //! ## Example
 //!
@@ -44,8 +50,10 @@ pub mod bdd;
 pub mod budget;
 pub mod dot;
 pub mod dyadic;
+pub mod fasthash;
 pub mod reorder;
 pub mod spectral;
+mod table;
 pub mod threshold;
 pub mod var;
 
@@ -53,4 +61,5 @@ pub use add::{Add, AddManager};
 pub use bdd::{Bdd, BddManager};
 pub use budget::CapacityExceeded;
 pub use dyadic::Dyadic;
+pub use fasthash::{FastHasher, FastMap, FastSet};
 pub use var::{VarId, VarSet};

@@ -9,7 +9,7 @@
 //! permutation, and [`sift`] greedily searches for a smaller order, which is
 //! useful when unfolding pathological netlists.
 
-use std::collections::HashMap;
+use crate::fasthash::{FastMap, FastSet};
 
 use crate::bdd::{Bdd, BddManager};
 use crate::var::VarId;
@@ -33,7 +33,7 @@ pub fn transfer(
         var_map.len() >= src.num_vars() as usize,
         "var_map must cover all source variables"
     );
-    let mut memo: HashMap<Bdd, Bdd> = HashMap::new();
+    let mut memo: FastMap<Bdd, Bdd> = FastMap::default();
     roots
         .iter()
         .map(|&r| transfer_rec(src, r, dst, var_map, &mut memo))
@@ -45,7 +45,7 @@ fn transfer_rec(
     f: Bdd,
     dst: &mut BddManager,
     var_map: &[VarId],
-    memo: &mut HashMap<Bdd, Bdd>,
+    memo: &mut FastMap<Bdd, Bdd>,
 ) -> Bdd {
     if f == Bdd::FALSE {
         return Bdd::FALSE;
@@ -100,7 +100,7 @@ impl SiftResult {
 
 fn total_size(m: &BddManager, roots: &[Bdd]) -> usize {
     // Distinct nodes over the union of all roots.
-    let mut seen = std::collections::HashSet::new();
+    let mut seen: FastSet<_> = FastSet::default();
     let mut stack: Vec<Bdd> = roots.to_vec();
     while let Some(f) = stack.pop() {
         if seen.insert(f) {

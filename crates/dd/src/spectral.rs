@@ -21,12 +21,12 @@
 //! All transforms agree on every function; `tests` and the crate's proptest
 //! suite pin this down.
 
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use crate::add::{Add, AddManager};
 use crate::bdd::{Bdd, BddManager};
 use crate::dyadic::Dyadic;
+use crate::fasthash::FastMap;
 use crate::var::VarId;
 
 /// Normalized Walsh–Hadamard transform of an arbitrary real-valued function
@@ -35,7 +35,7 @@ use crate::var::VarId;
 /// The spectral coordinate `αᵢ` reuses the decision variable `xᵢ`.
 pub fn wht(adds: &mut AddManager<Dyadic>, g: Add) -> Add {
     let n = adds.num_vars();
-    let mut memo: HashMap<(Add, u32), Add> = HashMap::new();
+    let mut memo: FastMap<(Add, u32), Add> = FastMap::default();
     wht_rec(adds, g, 0, n, true, &mut memo)
 }
 
@@ -45,7 +45,7 @@ pub fn wht(adds: &mut AddManager<Dyadic>, g: Add) -> Add {
 /// normalized transforms instead scales by `2⁻ⁿ`.
 pub fn inverse_wht(adds: &mut AddManager<Dyadic>, g: Add) -> Add {
     let n = adds.num_vars();
-    let mut memo: HashMap<(Add, u32), Add> = HashMap::new();
+    let mut memo: FastMap<(Add, u32), Add> = FastMap::default();
     wht_rec(adds, g, 0, n, false, &mut memo)
 }
 
@@ -55,7 +55,7 @@ fn wht_rec(
     level: u32,
     n: u32,
     normalize: bool,
-    memo: &mut HashMap<(Add, u32), Add>,
+    memo: &mut FastMap<(Add, u32), Add>,
 ) -> Add {
     if level == n {
         debug_assert!(g.is_terminal(), "non-terminal below the last level");
@@ -98,7 +98,7 @@ pub fn sign_add(bdds: &BddManager, adds: &mut AddManager<Dyadic>, f: Bdd) -> Add
 /// same [`BddManager`] so that shared subgraphs are only transformed once.
 #[derive(Debug, Default)]
 pub struct SparseWalshCache {
-    memo: HashMap<Bdd, Rc<HashMap<u128, Dyadic>>>,
+    memo: FastMap<Bdd, Rc<FastMap<u128, Dyadic>>>,
 }
 
 impl SparseWalshCache {
@@ -128,12 +128,12 @@ pub fn walsh_sparse(
     bdds: &BddManager,
     f: Bdd,
     cache: &mut SparseWalshCache,
-) -> Rc<HashMap<u128, Dyadic>> {
+) -> Rc<FastMap<u128, Dyadic>> {
     if f == Bdd::FALSE {
-        return Rc::new(HashMap::from([(0u128, Dyadic::ONE)]));
+        return Rc::new([(0u128, Dyadic::ONE)].into_iter().collect());
     }
     if f == Bdd::TRUE {
-        return Rc::new(HashMap::from([(0u128, Dyadic::MINUS_ONE)]));
+        return Rc::new([(0u128, Dyadic::MINUS_ONE)].into_iter().collect());
     }
     if let Some(r) = cache.memo.get(&f) {
         return Rc::clone(r);
@@ -141,7 +141,8 @@ pub fn walsh_sparse(
     let (var, lo, hi) = bdds.node(f).expect("non-terminal");
     let w0 = walsh_sparse(bdds, lo, cache);
     let w1 = walsh_sparse(bdds, hi, cache);
-    let mut out: HashMap<u128, Dyadic> = HashMap::with_capacity(w0.len() + w1.len());
+    let mut out: FastMap<u128, Dyadic> =
+        FastMap::with_capacity_and_hasher(w0.len() + w1.len(), Default::default());
     let bit = 1u128 << var.0;
     for (&k, &c0) in w0.iter() {
         let c1 = w1.get(&k).copied().unwrap_or(Dyadic::ZERO);

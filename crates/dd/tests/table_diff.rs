@@ -1,0 +1,350 @@
+//! Differential tests pinning the CUDD-style kernel structures — the
+//! open-addressed unique subtables and the direct-mapped lossy apply caches —
+//! against straightforward reference models.
+//!
+//! The contract under test (DESIGN.md §12): because every node is
+//! hash-consed, a lossy apply cache can only cause *recomputation*, never a
+//! different answer, so the handles a manager returns must not depend on the
+//! cache size; and a `CapacityExceeded` unwind mid-operation must leave the
+//! arena usable with all previously returned handles intact.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use proptest::prelude::*;
+
+use walshcheck_dd::add::{Add, AddManager};
+use walshcheck_dd::bdd::{Bdd, BddManager};
+use walshcheck_dd::dyadic::Dyadic;
+use walshcheck_dd::var::VarId;
+use walshcheck_dd::CapacityExceeded;
+
+// ---------- random op programs ----------
+
+/// One step of a straight-line ADD program. Operand indices refer to earlier
+/// results (mod the current length), so every program is valid.
+#[derive(Debug, Clone, Copy)]
+enum AddStep {
+    Const(i8),
+    Indicator(u8),
+    Add(u8, u8),
+    Sub(u8, u8),
+    Mul(u8, u8),
+    Neg(u8),
+    Half(u8),
+}
+
+fn add_step_strategy() -> impl Strategy<Value = AddStep> {
+    prop_oneof![
+        (-4i8..5).prop_map(AddStep::Const),
+        (0u8..5).prop_map(AddStep::Indicator),
+        (0u8..64, 0u8..64).prop_map(|(a, b)| AddStep::Add(a, b)),
+        (0u8..64, 0u8..64).prop_map(|(a, b)| AddStep::Sub(a, b)),
+        (0u8..64, 0u8..64).prop_map(|(a, b)| AddStep::Mul(a, b)),
+        (0u8..64).prop_map(AddStep::Neg),
+        (0u8..64).prop_map(AddStep::Half),
+    ]
+}
+
+/// Runs `steps` in `m`, returning every intermediate handle.
+fn run_add_program(m: &mut AddManager<Dyadic>, steps: &[AddStep]) -> Vec<Add> {
+    let mut regs: Vec<Add> = vec![m.zero()];
+    for &step in steps {
+        let pick = |i: u8, regs: &[Add]| regs[i as usize % regs.len()];
+        let r = match step {
+            AddStep::Const(c) => m.constant(Dyadic::from_int(c as i64)),
+            AddStep::Indicator(v) => m.indicator(VarId(v as u32 % 5), Dyadic::ONE, Dyadic::ZERO),
+            AddStep::Add(a, b) => {
+                let (fa, fb) = (pick(a, &regs), pick(b, &regs));
+                m.add_op(fa, fb)
+            }
+            AddStep::Sub(a, b) => {
+                let (fa, fb) = (pick(a, &regs), pick(b, &regs));
+                m.sub_op(fa, fb)
+            }
+            AddStep::Mul(a, b) => {
+                let (fa, fb) = (pick(a, &regs), pick(b, &regs));
+                m.mul_op(fa, fb)
+            }
+            AddStep::Neg(a) => {
+                let fa = pick(a, &regs);
+                m.neg_op(fa)
+            }
+            AddStep::Half(a) => {
+                let fa = pick(a, &regs);
+                m.half_op(fa)
+            }
+        };
+        regs.push(r);
+    }
+    regs
+}
+
+/// One step of a straight-line BDD program over 6 variables.
+#[derive(Debug, Clone, Copy)]
+enum BddStep {
+    Var(u8),
+    Not(u8),
+    And(u8, u8),
+    Or(u8, u8),
+    Xor(u8, u8),
+    Ite(u8, u8, u8),
+}
+
+fn bdd_step_strategy() -> impl Strategy<Value = BddStep> {
+    prop_oneof![
+        (0u8..6).prop_map(BddStep::Var),
+        (0u8..64).prop_map(BddStep::Not),
+        (0u8..64, 0u8..64).prop_map(|(a, b)| BddStep::And(a, b)),
+        (0u8..64, 0u8..64).prop_map(|(a, b)| BddStep::Or(a, b)),
+        (0u8..64, 0u8..64).prop_map(|(a, b)| BddStep::Xor(a, b)),
+        (0u8..64, 0u8..64, 0u8..64).prop_map(|(a, b, c)| BddStep::Ite(a, b, c)),
+    ]
+}
+
+/// Runs `steps` in `m` alongside a 64-bit truth-table model (one bit per
+/// assignment of the 6 variables), returning `(handle, table)` pairs.
+fn run_bdd_program(m: &mut BddManager, steps: &[BddStep]) -> Vec<(Bdd, u64)> {
+    // Truth table of variable v: bit `a` is set iff assignment `a` sets v.
+    let var_tt = |v: u8| -> u64 {
+        let mut tt = 0u64;
+        for a in 0..64u64 {
+            if a >> v & 1 == 1 {
+                tt |= 1 << a;
+            }
+        }
+        tt
+    };
+    let mut regs: Vec<(Bdd, u64)> = vec![(m.constant(false), 0)];
+    for &step in steps {
+        let pick = |i: u8, regs: &[(Bdd, u64)]| regs[i as usize % regs.len()];
+        let r = match step {
+            BddStep::Var(v) => (m.var(VarId(v as u32)), var_tt(v)),
+            BddStep::Not(a) => {
+                let (fa, ta) = pick(a, &regs);
+                (m.not(fa), !ta)
+            }
+            BddStep::And(a, b) => {
+                let ((fa, ta), (fb, tb)) = (pick(a, &regs), pick(b, &regs));
+                (m.and(fa, fb), ta & tb)
+            }
+            BddStep::Or(a, b) => {
+                let ((fa, ta), (fb, tb)) = (pick(a, &regs), pick(b, &regs));
+                (m.or(fa, fb), ta | tb)
+            }
+            BddStep::Xor(a, b) => {
+                let ((fa, ta), (fb, tb)) = (pick(a, &regs), pick(b, &regs));
+                (m.xor(fa, fb), ta ^ tb)
+            }
+            BddStep::Ite(a, b, c) => {
+                let ((fa, ta), (fb, tb), (fc, tc)) =
+                    (pick(a, &regs), pick(b, &regs), pick(c, &regs));
+                (m.ite(fa, fb, fc), (ta & tb) | (!ta & tc))
+            }
+        };
+        regs.push(r);
+    }
+    regs
+}
+
+// ---------- cache-size independence ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The same ADD program run with a minimal (16-slot, collision-heavy)
+    /// apply cache and with the default cache returns bit-identical handle
+    /// sequences, and every handle evaluates to the value the reference
+    /// interpreter predicts.
+    #[test]
+    fn add_handles_do_not_depend_on_cache_size(
+        steps in proptest::collection::vec(add_step_strategy(), 1..80)
+    ) {
+        let mut tiny = AddManager::new(5);
+        tiny.set_apply_cache_limit(16);
+        let mut roomy = AddManager::new(5);
+        let ht = run_add_program(&mut tiny, &steps);
+        let hr = run_add_program(&mut roomy, &steps);
+        prop_assert_eq!(&ht, &hr, "handle sequences diverged");
+        prop_assert_eq!(tiny.arena_size(), roomy.arena_size());
+        for (&a, &b) in ht.iter().zip(hr.iter()) {
+            for assignment in 0..32u128 {
+                prop_assert_eq!(
+                    tiny.eval(a, assignment),
+                    roomy.eval(b, assignment),
+                    "eval diverged at {}", assignment
+                );
+            }
+        }
+    }
+
+    /// The same BDD program with minimal caches matches a 64-bit truth-table
+    /// model and the default-cache manager node for node. Programs long
+    /// enough to intern hundreds of nodes force unique-subtable growth.
+    #[test]
+    fn bdd_handles_match_truth_tables_at_any_cache_size(
+        steps in proptest::collection::vec(bdd_step_strategy(), 1..120)
+    ) {
+        let mut tiny = BddManager::new(6);
+        tiny.set_apply_cache_limit(16);
+        let mut roomy = BddManager::new(6);
+        let rt = run_bdd_program(&mut tiny, &steps);
+        let rr = run_bdd_program(&mut roomy, &steps);
+        prop_assert_eq!(tiny.arena_size(), roomy.arena_size());
+        for (&(f_tiny, tt), &(f_roomy, _)) in rt.iter().zip(rr.iter()) {
+            prop_assert_eq!(f_tiny, f_roomy, "handle sequences diverged");
+            for a in 0..64u128 {
+                prop_assert_eq!(
+                    tiny.eval(f_tiny, a),
+                    tt >> a & 1 == 1,
+                    "truth table mismatch at {}", a
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `BddManager::from_keys` is exactly the non-zero support of the ADD
+    /// interned from the same keys — the identity the MAPI engine's row-wise
+    /// verification relies on to skip the intermediate ADD. Handles are
+    /// compared in one manager, so canonicity makes equality structural.
+    #[test]
+    fn from_keys_equals_sparse_add_support(
+        keys in proptest::collection::vec(0u128..64, 0..48)
+    ) {
+        let mut bdds = BddManager::new(6);
+        let mut adds: AddManager<Dyadic> = AddManager::new(6);
+        let mut uniq = keys.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        let entries: Vec<(u128, Dyadic)> =
+            uniq.iter().map(|&k| (k, Dyadic::ONE)).collect();
+        let w_add = adds.from_sparse(entries, Dyadic::ZERO);
+        let via_add = adds.nonzero_bdd(&mut bdds, w_add);
+        // from_keys tolerates duplicates and any order.
+        let mut raw = keys.clone();
+        let direct = bdds.from_keys(&mut raw);
+        prop_assert_eq!(direct, via_add);
+        for a in 0..64u128 {
+            prop_assert_eq!(bdds.eval(direct, a), uniq.contains(&a));
+        }
+    }
+}
+
+// ---------- forced growth ----------
+
+/// Interning far more nodes than the initial subtable slots (16 per
+/// variable) forces several rounds of incremental growth; every handle must
+/// stay retrievable and distinct afterwards.
+#[test]
+fn unique_subtable_growth_preserves_hash_consing() {
+    let mut m = AddManager::new(1);
+    let mut handles = Vec::new();
+    for i in 0..2000i64 {
+        let lo = m.constant(Dyadic::from_int(i));
+        let hi = m.constant(Dyadic::from_int(-i - 1));
+        handles.push(m.mk(VarId(0), lo, hi));
+    }
+    // Re-interning after growth must return the same handles, not copies.
+    for (i, &h) in handles.iter().enumerate().take(2000) {
+        let i = i as i64;
+        let lo = m.constant(Dyadic::from_int(i));
+        let hi = m.constant(Dyadic::from_int(-i - 1));
+        assert_eq!(m.mk(VarId(0), lo, hi), h);
+        assert_eq!(*m.eval(h, 0), Dyadic::from_int(i));
+        assert_eq!(*m.eval(h, 1), Dyadic::from_int(-i - 1));
+    }
+}
+
+// ---------- budget panics mid-operation ----------
+
+/// A `CapacityExceeded` unwind in the middle of an apply leaves the manager
+/// usable: old handles still evaluate correctly, and retrying after lifting
+/// the budget produces the same diagram a fresh manager builds.
+#[test]
+fn budget_panic_mid_insert_leaves_arena_consistent() {
+    let mut m = AddManager::new(8);
+    // Pre-build a product of indicators, then budget-starve a bigger one.
+    let mut partial = m.constant(Dyadic::ONE);
+    for v in 0..4 {
+        let ind = m.indicator(VarId(v), Dyadic::ONE, Dyadic::ZERO);
+        partial = m.mul_op(partial, ind);
+    }
+    let before = m.arena_size();
+    m.set_node_budget(Some(2));
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let mut f = partial;
+        for v in 4..8 {
+            let ind = m.indicator(VarId(v), Dyadic::ONE, Dyadic::ZERO);
+            f = m.add_op(f, ind);
+        }
+        f
+    }))
+    .expect_err("budget of 2 nodes cannot fit the sum of indicators");
+    let payload = err
+        .downcast_ref::<CapacityExceeded>()
+        .expect("payload must be CapacityExceeded");
+    assert_eq!(payload.arena, "add-arena");
+    assert_eq!(payload.limit, 2);
+
+    // Old handles survived the unwind.
+    assert_eq!(*m.eval(partial, 0b1111), Dyadic::ONE);
+    assert_eq!(*m.eval(partial, 0b0111), Dyadic::ZERO);
+
+    // Lifting the budget and retrying matches a fresh manager exactly.
+    m.set_node_budget(None);
+    let build = |m: &mut AddManager<Dyadic>, base: Add| {
+        let mut f = base;
+        for v in 4..8 {
+            let ind = m.indicator(VarId(v), Dyadic::ONE, Dyadic::ZERO);
+            f = m.add_op(f, ind);
+        }
+        f
+    };
+    let retried = build(&mut m, partial);
+    let mut fresh = AddManager::new(8);
+    let mut fresh_partial = fresh.constant(Dyadic::ONE);
+    for v in 0..4 {
+        let ind = fresh.indicator(VarId(v), Dyadic::ONE, Dyadic::ZERO);
+        fresh_partial = fresh.mul_op(fresh_partial, ind);
+    }
+    let fresh_full = build(&mut fresh, fresh_partial);
+    for a in 0..256u128 {
+        assert_eq!(m.eval(retried, a), fresh.eval(fresh_full, a));
+    }
+    assert!(m.arena_size() > before);
+}
+
+/// Same contract for the BDD arena: the payload names "bdd-arena" and the
+/// manager keeps working after the quarantined operation is abandoned.
+#[test]
+fn bdd_budget_panic_is_typed_and_recoverable() {
+    let mut m = BddManager::new(10);
+    let a = m.var(VarId(0));
+    let b = m.var(VarId(1));
+    let ab = m.and(a, b);
+    m.set_node_budget(Some(1));
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let mut f = ab;
+        for v in 2..10 {
+            let x = m.var(VarId(v));
+            f = m.xor(f, x);
+        }
+        f
+    }))
+    .expect_err("budget of 1 node cannot fit the xor chain");
+    let payload = err
+        .downcast_ref::<CapacityExceeded>()
+        .expect("payload must be CapacityExceeded");
+    assert_eq!(payload.arena, "bdd-arena");
+
+    m.set_node_budget(None);
+    assert!(m.eval(ab, 0b11));
+    assert!(!m.eval(ab, 0b01));
+    let c = m.var(VarId(2));
+    let abc = m.and(ab, c);
+    assert!(m.eval(abc, 0b111));
+    assert!(!m.eval(abc, 0b011));
+}
