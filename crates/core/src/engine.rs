@@ -55,6 +55,30 @@ pub enum EngineKind {
     Fujita,
 }
 
+impl EngineKind {
+    /// Stable lowercase machine-readable name (job specs, reports, CLI
+    /// flags): `"lil"`, `"map"`, `"mapi"` or `"fujita"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EngineKind::Lil => "lil",
+            EngineKind::Map => "map",
+            EngineKind::Mapi => "mapi",
+            EngineKind::Fujita => "fujita",
+        }
+    }
+
+    /// Inverse of [`EngineKind::as_str`].
+    pub fn parse(s: &str) -> Option<EngineKind> {
+        match s {
+            "lil" => Some(EngineKind::Lil),
+            "map" => Some(EngineKind::Map),
+            "mapi" => Some(EngineKind::Mapi),
+            "fujita" => Some(EngineKind::Fujita),
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for EngineKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(match self {
@@ -321,26 +345,10 @@ impl Verifier {
         self.check_with_control(property, &VerifyOptions::default(), &EnumControl::default())
     }
 
-    /// Checks `property` under `options`.
-    ///
-    /// Deprecated thin wrapper: [`crate::Session`] is the supported entry
-    /// point (it adds parallelism and run observability on top of the same
-    /// enumeration).
-    ///
-    /// Joint mode walks all `2^m − 1` rows of a combination with `m`
-    /// observed functions; under very wide glitch cones this is expensive —
-    /// prefer row-wise mode or the standard probe model there.
-    #[cfg(feature = "compat")]
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Session::new(netlist)?.property(p).run()` instead"
-    )]
-    pub fn check(&mut self, property: Property, options: &VerifyOptions) -> Verdict {
-        self.check_with_control(property, options, &EnumControl::default())
-    }
-
-    /// [`Verifier::check`] with explicit work-distribution control — the
-    /// primitive behind both the serial path and the modulo-shard baseline.
+    /// Serial check of `property` under `options` with explicit
+    /// work-distribution control — the primitive behind both the serial
+    /// path and the modulo-shard baseline. Public entry points are
+    /// [`crate::Session`] and [`crate::Job`].
     pub(crate) fn check_with_control(
         &mut self,
         property: Property,
@@ -356,7 +364,7 @@ impl Verifier {
     }
 
     /// Enumerates violating combinations until `limit` witnesses are found
-    /// (or the space is exhausted). Unlike [`Verifier::check`], the search
+    /// (or the space is exhausted). Unlike a verdict run, the search
     /// continues past the first violation — useful for leakage diagnosis.
     pub fn find_witnesses(
         &mut self,
@@ -820,38 +828,6 @@ impl Verifier {
     }
 }
 
-/// Checks `property` on `netlist` with `threads` worker threads.
-///
-/// Deprecated thin wrapper over [`crate::Session`], which replaces the old
-/// static modulo sharding with the work-stealing batch scheduler. Only
-/// available with the `compat` cargo feature (on by default); see README's
-/// migration table for the removal timeline.
-///
-/// # Errors
-///
-/// Fails if the netlist is structurally invalid, cyclic, or too large.
-///
-/// # Panics
-///
-/// Panics if a worker thread panics (a bug in the engine).
-#[cfg(feature = "compat")]
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Session::new(netlist)?.property(p).threads(n).run()` instead"
-)]
-pub fn check_parallel(
-    netlist: &Netlist,
-    property: Property,
-    options: &VerifyOptions,
-    threads: usize,
-) -> Result<Verdict, crate::Error> {
-    Ok(crate::Session::new(netlist)?
-        .property(property)
-        .options(options.clone())
-        .threads(threads)
-        .run())
-}
-
 /// The pre-scheduler parallel check: static modulo sharding by leading site
 /// index, one full enumeration pass per worker. Kept (hidden) as the
 /// baseline that `walshcheck-bench`'s scheduler comparison measures the
@@ -930,31 +906,6 @@ pub fn check_parallel_modulo(
     }
     skipped.sort_by_key(|s| s.index);
     Ok(Verdict::conclude(property, witness, skipped, merged_stats))
-}
-
-/// Checks `property` on `netlist` in one call.
-///
-/// Deprecated thin wrapper over [`crate::Session`]. Only available with the
-/// `compat` cargo feature (on by default); see README's migration table for
-/// the removal timeline.
-///
-/// # Errors
-///
-/// Fails if the netlist is structurally invalid, cyclic, or too large.
-#[cfg(feature = "compat")]
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Session::new(netlist)?.property(p).run()` instead"
-)]
-pub fn check_netlist(
-    netlist: &Netlist,
-    property: Property,
-    options: &VerifyOptions,
-) -> Result<Verdict, crate::Error> {
-    Ok(crate::Session::new(netlist)?
-        .property(property)
-        .options(options.clone())
-        .run())
 }
 
 /// The forbidden region for `property` on a combination of `s` observations

@@ -1,4 +1,4 @@
-//! A minimal JSON value parser for reading checkpoints back.
+//! A minimal JSON value type: parser plus canonical writer.
 //!
 //! The workspace emits JSON through hand-rolled writers (`report.rs`,
 //! `checkpoint.rs`) because the container has no serde; checkpoint *resume*
@@ -7,8 +7,20 @@
 //! hand-edited checkpoint) round-trips through. It accepts standard JSON;
 //! numbers are split into exact integers (`i64`) and floats so 64-bit
 //! enumeration indices survive without going through `f64`.
+//!
+//! The **canonical writer** ([`Json::to_canonical`]) is the serialization
+//! the artifact store and `walshcheck-report/5` hash over: object keys
+//! sorted bytewise (objects are [`BTreeMap`]s, so this holds by
+//! construction), no insignificant whitespace, fixed float formatting
+//! ([`canonical_f64`]), and the shared string escaper of the report layer.
+//! Identical values always serialize to identical bytes, so content hashes
+//! ([`crate::hash::sha256_hex`]) of canonical documents are stable across
+//! runs, platforms and thread counts.
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::report::json_escape;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +82,94 @@ impl Json {
             _ => None,
         }
     }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// An object from `(key, value)` pairs (later duplicates win).
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Serializes the value canonically: object keys sorted bytewise, no
+    /// whitespace, floats through [`canonical_f64`]. Equal values produce
+    /// byte-identical output — the property content hashing relies on.
+    pub fn to_canonical(&self) -> String {
+        let mut out = String::new();
+        self.write_canonical(&mut out);
+        out
+    }
+
+    fn write_canonical(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(f) => out.push_str(&canonical_f64(*f)),
+            Json::Str(s) => {
+                out.push('"');
+                out.push_str(&json_escape(s));
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_canonical(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                // BTreeMap iterates keys in sorted order by construction.
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&json_escape(key));
+                    out.push_str("\":");
+                    value.write_canonical(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Fixed-format float rendering for canonical documents: nine fractional
+/// digits, trailing zeros trimmed down to at least one, so the same value
+/// always prints the same bytes (no shortest-round-trip ambiguity, no
+/// exponent notation for the magnitudes our artifacts carry). Non-finite
+/// values render as `null` — JSON has no representation for them.
+pub fn canonical_f64(f: f64) -> String {
+    if !f.is_finite() {
+        return "null".into();
+    }
+    let mut s = format!("{f:.9}");
+    while s.ends_with('0') && !s.ends_with(".0") {
+        s.pop();
+    }
+    // `-0.0` and `0.0` are numerically equal; canonicalize the sign away.
+    if s == "-0.0" {
+        s = "0.0".into();
+    }
+    s
 }
 
 /// Parses `text` as a single JSON document (trailing whitespace allowed).
@@ -309,5 +409,34 @@ mod tests {
     fn round_trips_report_style_escapes() {
         let v = parse(r#""A\t""#).expect("valid");
         assert_eq!(v.as_str(), Some("A\t"));
+    }
+
+    #[test]
+    fn canonical_sorts_keys_and_omits_whitespace() {
+        let v =
+            parse(r#"{ "zeta": [1, true, null], "alpha": {"b": 2, "a": "x\"y"} }"#).expect("valid");
+        assert_eq!(
+            v.to_canonical(),
+            r#"{"alpha":{"a":"x\"y","b":2},"zeta":[1,true,null]}"#
+        );
+        // Canonicalization is idempotent: parse(canonical) → same bytes.
+        let again = parse(&v.to_canonical()).expect("valid");
+        assert_eq!(again.to_canonical(), v.to_canonical());
+    }
+
+    #[test]
+    fn canonical_float_formatting_is_fixed() {
+        assert_eq!(canonical_f64(3.5), "3.5");
+        assert_eq!(canonical_f64(1.0), "1.0");
+        assert_eq!(canonical_f64(-0.0), "0.0");
+        assert_eq!(canonical_f64(0.000000125), "0.000000125");
+        assert_eq!(canonical_f64(f64::NAN), "null");
+        assert_eq!(Json::Float(2.25).to_canonical(), "2.25");
+    }
+
+    #[test]
+    fn obj_builder_sorts() {
+        let v = Json::obj([("b", Json::Int(1)), ("a", Json::str("s"))]);
+        assert_eq!(v.to_canonical(), r#"{"a":"s","b":1}"#);
     }
 }

@@ -50,9 +50,10 @@ pub mod engine;
 pub mod error;
 pub mod exhaustive;
 pub mod fault;
+pub mod hash;
 pub mod heuristic;
 mod isolate;
-#[doc(hidden)]
+pub mod job;
 pub mod json;
 pub mod mask;
 pub mod observe;
@@ -71,11 +72,9 @@ pub mod uniformity;
 pub use checkpoint::CheckpointConfig;
 #[doc(hidden)]
 pub use engine::check_parallel_modulo;
-#[cfg(feature = "compat")]
-#[allow(deprecated)]
-pub use engine::{check_netlist, check_parallel};
 pub use engine::{EngineKind, Verifier, VerifyOptions, VerifyOptionsBuilder};
 pub use error::Error;
+pub use job::{netlist_sha256, Job, JobSpec};
 pub use mask::{Mask, VarMap};
 pub use observe::{ChannelObserver, EnginePhase, ProgressEvent, ProgressObserver};
 pub use property::{
@@ -86,5 +85,5 @@ pub use recover::{
     RecoveryReport, RescueAttempt, RescueAttemptOutcome, RescueConfig, RescueResolution,
     RescueRung, RescuedCombination,
 };
-pub use report::{run_report_json, ReportCacheConfig};
+pub use report::{run_report_json, Report, ReportCacheConfig, REPORT_SCHEMA};
 pub use session::{Session, WitnessSearch};

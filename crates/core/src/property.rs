@@ -34,6 +34,28 @@ impl Property {
             Property::Probing(d) | Property::Ni(d) | Property::Sni(d) | Property::Pini(d) => d,
         }
     }
+
+    /// Stable machine-readable property kind (job specs, reports, CLI
+    /// flags): `"probing"`, `"ni"`, `"sni"` or `"pini"`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Property::Probing(_) => "probing",
+            Property::Ni(_) => "ni",
+            Property::Sni(_) => "sni",
+            Property::Pini(_) => "pini",
+        }
+    }
+
+    /// Inverse of [`Property::kind`] at order `order`.
+    pub fn from_kind(kind: &str, order: u32) -> Option<Property> {
+        match kind {
+            "probing" => Some(Property::Probing(order)),
+            "ni" => Some(Property::Ni(order)),
+            "sni" => Some(Property::Sni(order)),
+            "pini" => Some(Property::Pini(order)),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Property {
@@ -43,6 +65,26 @@ impl fmt::Display for Property {
             Property::Ni(d) => write!(f, "{d}-NI"),
             Property::Sni(d) => write!(f, "{d}-SNI"),
             Property::Pini(d) => write!(f, "{d}-PINI"),
+        }
+    }
+}
+
+impl CheckMode {
+    /// Stable machine-readable name (job specs, reports): `"rowwise"` or
+    /// `"joint"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CheckMode::RowWise => "rowwise",
+            CheckMode::Joint => "joint",
+        }
+    }
+
+    /// Inverse of [`CheckMode::as_str`] (also accepts `"row-wise"`).
+    pub fn parse(s: &str) -> Option<CheckMode> {
+        match s {
+            "rowwise" | "row-wise" => Some(CheckMode::RowWise),
+            "joint" => Some(CheckMode::Joint),
+            _ => None,
         }
     }
 }

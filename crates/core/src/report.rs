@@ -2,7 +2,7 @@
 //!
 //! The build environment vendors no serialization framework, so this module
 //! hand-rolls the small, stable JSON surface that `walshcheck check --json`
-//! emits (schema `walshcheck-report/4`, documented in the README). All
+//! emits (schema `walshcheck-report/5`, documented in the README). All
 //! emitters produce compact single-line JSON with escaped strings; numbers
 //! are plain decimals, durations are fractional seconds.
 //!
@@ -15,12 +15,25 @@
 //! Report/4 adds the recovery surface: an `"interrupted"` stat flag and a
 //! `"recovery"` block (`null` when the rescue pass did not run) recording
 //! every escalation-ladder attempt made for quarantined combinations.
+//!
+//! Report/5 makes results content-addressable: the run document gains
+//! `"netlist_sha256"` (hash of the canonical ILANG dump) and
+//! `"report_hash"` — the SHA-256 of the run's [`Report`] *artifact*, a
+//! canonical-JSON document carrying only the deterministic result surface
+//! (verdict, witness, quarantines, recovery, space counters — no timings,
+//! no cache counters, no thread count). Two runs of the same job produce
+//! byte-identical artifacts no matter the thread count or wall clock,
+//! which is what lets the `walshcheckd` artifact store deduplicate and
+//! serve resubmissions from disk.
 
 use std::fmt::Write as _;
 use std::time::Duration;
 
 use walshcheck_circuit::netlist::Netlist;
 
+use crate::hash::sha256_hex;
+use crate::job::{netlist_sha256, JobSpec};
+use crate::json::{self, Json};
 use crate::property::{CheckStats, Outcome, ProbeRef, SkippedCombination, Verdict, Witness};
 
 /// Quarantined combinations listed inline in a report before the list is
@@ -296,20 +309,127 @@ fn degradation_json(verdict: &Verdict, netlist: &Netlist, resumed: bool) -> Stri
     )
 }
 
+/// The schema tag of the run document and of [`Report`] artifacts.
+pub const REPORT_SCHEMA: &str = "walshcheck-report/5";
+
+/// The deterministic result artifact of one verification job.
+///
+/// A report carries only what every run of the same job reproduces
+/// exactly: the job identity (netlist hash + spec identity), the verdict
+/// with witness / quarantine / recovery evidence, and the combination-space
+/// counters. Timings, cache counters and the thread count are deliberately
+/// absent — [`Report::canonical_json`] is byte-identical across thread
+/// counts, checkpoint/resume, and machines, and [`Report::hash`] over those
+/// bytes is the run's content address.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct Report {
+    doc: Json,
+    canonical: String,
+    hash: String,
+}
+
+impl Report {
+    /// Builds the artifact for `verdict` obtained by running `spec` on
+    /// `netlist`.
+    pub fn new(netlist: &Netlist, spec: &JobSpec, verdict: &Verdict) -> Report {
+        let parsed =
+            json::parse(&verdict.to_json(Some(netlist))).expect("verdict JSON is well-formed");
+        let mut result = match parsed {
+            Json::Obj(map) => map,
+            _ => unreachable!("verdict serializes to an object"),
+        };
+        // The stats block mixes deterministic space counters with wall-clock
+        // and cache telemetry; keep only the former in the artifact.
+        // `rows_checked` stays out too: a resumed run skips the rows of
+        // already-completed combinations, so the counter is history-
+        // dependent even though the verdict is not.
+        let stats = result.remove("stats").unwrap_or(Json::Null);
+        for counter in ["combinations", "pruned"] {
+            result.insert(
+                counter.into(),
+                stats.get(counter).cloned().unwrap_or(Json::Null),
+            );
+        }
+        let doc = Json::obj([
+            ("schema", Json::str(REPORT_SCHEMA)),
+            (
+                "job",
+                Json::obj([
+                    ("netlist", Json::str(netlist.name.clone())),
+                    ("netlist_sha256", Json::str(netlist_sha256(netlist))),
+                    ("spec", spec.identity_json()),
+                ]),
+            ),
+            ("result", Json::Obj(result)),
+        ]);
+        let canonical = doc.to_canonical();
+        let hash = sha256_hex(canonical.as_bytes());
+        Report {
+            doc,
+            canonical,
+            hash,
+        }
+    }
+
+    /// The artifact bytes: canonical JSON, stable across runs of the same
+    /// job. This exact string is what the artifact store persists and what
+    /// `GET /v1/jobs/{id}/report` serves verbatim.
+    pub fn canonical_json(&self) -> &str {
+        &self.canonical
+    }
+
+    /// SHA-256 (lowercase hex) of [`Report::canonical_json`] — the content
+    /// address. `sha256sum report.json` reproduces it.
+    pub fn hash(&self) -> &str {
+        &self.hash
+    }
+
+    /// The artifact as a JSON value.
+    pub fn doc(&self) -> &Json {
+        &self.doc
+    }
+
+    /// The run's outcome string (`"secure"` / `"violated"` /
+    /// `"inconclusive"`).
+    pub fn outcome(&self) -> &str {
+        self.doc
+            .get("result")
+            .and_then(|r| r.get("outcome"))
+            .and_then(Json::as_str)
+            .expect("artifact carries an outcome")
+    }
+
+    /// Whether no violating combination was found (the 0.2 `secure` bool).
+    pub fn secure(&self) -> bool {
+        self.doc
+            .get("result")
+            .and_then(|r| r.get("secure"))
+            .and_then(Json::as_bool)
+            .expect("artifact carries the secure bool")
+    }
+
+    /// The netlist content hash the job ran against.
+    pub fn netlist_sha256(&self) -> &str {
+        self.doc
+            .get("job")
+            .and_then(|j| j.get("netlist_sha256"))
+            .and_then(Json::as_str)
+            .expect("artifact carries the netlist hash")
+    }
+}
+
 /// The full `walshcheck check --json` run report (schema
-/// `walshcheck-report/4`): the verdict (with its three-valued outcome,
-/// degradation block, and recovery block) plus run configuration, the
+/// `walshcheck-report/5`): the verdict (with its three-valued outcome,
+/// degradation block, and recovery block) plus the job configuration from
+/// `spec`, content addressing (`netlist_sha256`, `report_hash`), the
 /// prefix-cache configuration and counters, and the observer-collected
 /// engine-phase timings `(name, duration)`. `resumed` records whether the
 /// run was seeded from a checkpoint.
-#[allow(clippy::too_many_arguments)]
 pub fn run_report_json(
     netlist: &Netlist,
     verdict: &Verdict,
-    engine: &str,
-    mode: &str,
-    threads: usize,
-    cache: ReportCacheConfig,
+    spec: &JobSpec,
     phases: &[(String, Duration)],
     resumed: bool,
 ) -> String {
@@ -318,9 +438,12 @@ pub fn run_report_json(
         .map(|(name, d)| format!("\"{}\":{}", json_escape(name), seconds(*d)))
         .collect();
     let stats = &verdict.stats;
+    let cache = ReportCacheConfig::from(&spec.options);
+    let artifact = Report::new(netlist, spec, verdict);
     format!(
         concat!(
-            "{{\"schema\":\"walshcheck-report/4\",\"netlist\":\"{}\",",
+            "{{\"schema\":\"{}\",\"netlist\":\"{}\",\"netlist_sha256\":\"{}\",",
+            "\"report_hash\":\"{}\",",
             "\"engine\":\"{}\",\"mode\":\"{}\",\"threads\":{},",
             "\"cache\":{{\"enabled\":{},\"budget_bytes\":{},\"hits\":{},",
             "\"misses\":{},\"evictions\":{},\"peak_bytes\":{}}},",
@@ -328,10 +451,13 @@ pub fn run_report_json(
             "\"degradation\":{},\"recovery\":{},\"witness\":{},",
             "\"stats\":{},\"phases\":{{{}}}}}"
         ),
+        REPORT_SCHEMA,
         json_escape(&netlist.name),
-        json_escape(engine),
-        json_escape(mode),
-        threads,
+        artifact.netlist_sha256(),
+        artifact.hash(),
+        spec.engine().as_str(),
+        spec.mode().as_str(),
+        spec.threads(),
         cache.enabled,
         cache.budget_bytes,
         stats.cache_hits,

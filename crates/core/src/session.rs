@@ -18,6 +18,13 @@
 //! assert!(verdict.secure);
 //! ```
 //!
+//! Since 0.3 a session is a thin builder over the [`Job`] API: every
+//! setter writes into the session's [`JobSpec`], and [`Session::run`]
+//! delegates to [`Job::run`] — the same execution path the CLI and the
+//! `walshcheckd` daemon use. [`Session::into_job`] hands over the
+//! underlying job (e.g. to serialize its spec with
+//! [`JobSpec::to_json`]).
+//!
 //! Setup (validation and symbolic unfolding) happens once in
 //! [`Session::new`]; repeated [`Session::run`] calls reuse it. Every run
 //! goes through the work-stealing batch scheduler — with one thread that
@@ -26,40 +33,31 @@
 
 use std::path::Path;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use walshcheck_circuit::glitch::ProbeModel;
 use walshcheck_circuit::netlist::Netlist;
-use walshcheck_dd::var::VarId;
 
-use crate::checkpoint::{self, CheckpointConfig, ResumeState};
 use crate::engine::{EngineKind, Verifier, VerifyOptions};
 use crate::error::Error;
+use crate::job::{Job, JobSpec};
 use crate::observe::ProgressObserver;
 use crate::property::{CheckMode, CheckStats, Property, SkippedCombination, Verdict, Witness};
-use crate::recover::RescueConfig;
-use crate::scheduler::{self, SetupTimings};
 
 /// A configured verification run over one netlist. See the module docs.
 pub struct Session {
-    verifier: Verifier,
-    options: VerifyOptions,
-    property: Option<Property>,
-    threads: usize,
-    observer: Option<Arc<dyn ProgressObserver>>,
-    setup: SetupTimings,
-    checkpoint: Option<CheckpointConfig>,
-    resume: Option<ResumeState>,
-    rescue: RescueConfig,
+    job: Job,
+    /// `Job` always carries a property; the session API keeps "unset" as a
+    /// state so [`Session::run`] can fail loudly on a forgotten
+    /// [`Session::property`] call instead of silently checking a default.
+    property_set: bool,
 }
 
 impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Session")
-            .field("options", &self.options)
-            .field("property", &self.property)
-            .field("threads", &self.threads)
-            .field("observer", &self.observer.is_some())
+            .field("job", &self.job)
+            .field("property_set", &self.property_set)
             .finish_non_exhaustive()
     }
 }
@@ -74,36 +72,20 @@ impl Session {
     /// or cyclic, and with [`Error::Capacity`] if it has more input
     /// variables than a spectral coordinate can index.
     pub fn new(netlist: &Netlist) -> Result<Self, Error> {
-        if netlist.inputs.len() > VarId::MAX_VARS as usize {
-            return Err(Error::Capacity(format!(
-                "{} input variables (limit {})",
-                netlist.inputs.len(),
-                VarId::MAX_VARS
-            )));
-        }
-        let t = Instant::now();
-        netlist.validate()?;
-        let validate = t.elapsed();
-        let t = Instant::now();
-        let verifier = Verifier::new(netlist)?;
-        let unfold = t.elapsed();
+        // Placeholder property until Session::property is called;
+        // `property_set` guards every path that would read it.
+        let job = Job::new(netlist, JobSpec::new(Property::Sni(1)))?;
         Ok(Session {
-            verifier,
-            options: VerifyOptions::default(),
-            property: None,
-            threads: 1,
-            observer: None,
-            setup: SetupTimings { validate, unfold },
-            checkpoint: None,
-            resume: None,
-            rescue: RescueConfig::default(),
+            job,
+            property_set: false,
         })
     }
 
     /// The property to check. Must be set before [`Session::run`].
     #[must_use]
     pub fn property(mut self, property: Property) -> Self {
-        self.property = Some(property);
+        self.job.spec_mut().property = property;
+        self.property_set = true;
         self
     }
 
@@ -111,49 +93,49 @@ impl Session {
     /// [`VerifyOptions::paper`] preset or a built configuration).
     #[must_use]
     pub fn options(mut self, options: VerifyOptions) -> Self {
-        self.options = options;
+        self.job.spec_mut().options = options;
         self
     }
 
     /// Engine backend.
     #[must_use]
     pub fn engine(mut self, engine: EngineKind) -> Self {
-        self.options.engine = engine;
+        self.job.spec_mut().options.engine = engine;
         self
     }
 
     /// Row-wise or joint checking.
     #[must_use]
     pub fn mode(mut self, mode: CheckMode) -> Self {
-        self.options.mode = mode;
+        self.job.spec_mut().options.mode = mode;
         self
     }
 
     /// Probe model (standard or glitch-extended).
     #[must_use]
     pub fn probe_model(mut self, model: ProbeModel) -> Self {
-        self.options.sites.probe_model = model;
+        self.job.spec_mut().options.sites.probe_model = model;
         self
     }
 
     /// Functional-support prefilter on/off.
     #[must_use]
     pub fn prefilter(mut self, on: bool) -> Self {
-        self.options.prefilter = on;
+        self.job.spec_mut().options.prefilter = on;
         self
     }
 
     /// Largest-combinations-first enumeration on/off.
     #[must_use]
     pub fn largest_first(mut self, on: bool) -> Self {
-        self.options.largest_first = on;
+        self.job.spec_mut().options.largest_first = on;
         self
     }
 
     /// Wall-clock budget for each run.
     #[must_use]
     pub fn time_limit(mut self, limit: Duration) -> Self {
-        self.options.time_limit = Some(limit);
+        self.job.spec_mut().options.time_limit = Some(limit);
         self
     }
 
@@ -161,7 +143,7 @@ impl Session {
     /// time/memory trade: verdicts and witnesses are identical either way.
     #[must_use]
     pub fn cache(mut self, on: bool) -> Self {
-        self.options.cache = on;
+        self.job.spec_mut().options.cache = on;
         self
     }
 
@@ -169,7 +151,7 @@ impl Session {
     /// eviction above it; `0` disables caching).
     #[must_use]
     pub fn cache_budget(mut self, bytes: usize) -> Self {
-        self.options.cache_budget = bytes;
+        self.job.spec_mut().options.cache_budget = bytes;
         self
     }
 
@@ -183,7 +165,7 @@ impl Session {
     /// deterministic and thread-count-independent.
     #[must_use]
     pub fn node_budget(mut self, nodes: usize) -> Self {
-        self.options.node_budget = Some(nodes);
+        self.job.spec_mut().options.node_budget = Some(nodes);
         self
     }
 
@@ -196,7 +178,7 @@ impl Session {
     /// counts and checkpoint/resume.
     #[must_use]
     pub fn rescue(mut self, on: bool) -> Self {
-        self.rescue.enabled = on;
+        self.job.spec_mut().rescue.enabled = on;
         self
     }
 
@@ -206,7 +188,7 @@ impl Session {
     /// each if reached.
     #[must_use]
     pub fn rescue_attempts(mut self, attempts: u32) -> Self {
-        self.rescue.attempts = attempts;
+        self.job.spec_mut().rescue.attempts = attempts;
         self
     }
 
@@ -214,7 +196,7 @@ impl Session {
     /// may be granted (default [`crate::recover::DEFAULT_RESCUE_BUDGET`]).
     #[must_use]
     pub fn rescue_budget(mut self, bytes: usize) -> Self {
-        self.rescue.budget_bytes = bytes;
+        self.job.spec_mut().rescue.budget_bytes = bytes;
         self
     }
 
@@ -224,7 +206,7 @@ impl Session {
     /// interrupted run.
     #[must_use]
     pub fn checkpoint_to(mut self, path: impl Into<std::path::PathBuf>, every: Duration) -> Self {
-        self.checkpoint = Some(CheckpointConfig::new(path, every));
+        self.job.checkpoint_to(path, every);
         self
     }
 
@@ -244,19 +226,12 @@ impl Session {
     /// file is malformed or does not match this session's fingerprint,
     /// [`Error::Config`] if no property is set yet.
     pub fn resume_from(mut self, path: impl AsRef<Path>) -> Result<Self, Error> {
-        let property = self.property.ok_or_else(|| {
-            Error::Config("set Session::property(..) before Session::resume_from(..)".into())
-        })?;
-        let text = std::fs::read_to_string(path.as_ref())?;
-        let ck = checkpoint::parse(&text)?;
-        let expect = checkpoint::fingerprint(self.verifier.netlist(), property, &self.options);
-        if ck.fingerprint != expect {
-            return Err(Error::Checkpoint(format!(
-                "fingerprint mismatch: checkpoint was written for {} ({}), this session is {} ({})",
-                ck.fingerprint, ck.property, expect, property
-            )));
+        if !self.property_set {
+            return Err(Error::Config(
+                "set Session::property(..) before Session::resume_from(..)".into(),
+            ));
         }
-        self.resume = Some(ck.into_resume());
+        self.job.resume_from(path)?;
         Ok(self)
     }
 
@@ -264,31 +239,53 @@ impl Session {
     /// including the selected witness — is independent of this.
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.job.spec_mut().threads = threads.max(1);
         self
     }
 
     /// Registers a progress observer receiving scheduler callbacks.
     #[must_use]
     pub fn observer(mut self, observer: Arc<dyn ProgressObserver>) -> Self {
-        self.observer = Some(observer);
+        self.job.set_observer(observer);
         self
     }
 
     /// The current option set.
     pub fn options_ref(&self) -> &VerifyOptions {
-        &self.options
+        &self.job.spec().options
+    }
+
+    /// The current job specification (property, options, threads, rescue).
+    pub fn spec(&self) -> &JobSpec {
+        self.job.spec()
     }
 
     /// The netlist under analysis.
     pub fn netlist(&self) -> &Netlist {
-        self.verifier.netlist()
+        self.job.netlist()
     }
 
     /// The underlying verifier, for advanced per-combination queries
     /// ([`Verifier::check_specific`], [`Verifier::minimize_witness`]).
     pub fn verifier_mut(&mut self) -> &mut Verifier {
-        &mut self.verifier
+        self.job.verifier_mut()
+    }
+
+    /// Hands over the underlying [`Job`] — observer, checkpoint
+    /// configuration and pending resume included. The job API is what the
+    /// daemon and the artifact store consume ([`JobSpec::to_json`],
+    /// [`JobSpec::identity_hash`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no property was set (see [`Session::property`]): a job
+    /// always carries a definite property.
+    pub fn into_job(self) -> Job {
+        assert!(
+            self.property_set,
+            "Session::property(..) must be set before Session::into_job()"
+        );
+        self.job
     }
 
     /// Runs the check with the configured property, engine and threads.
@@ -297,22 +294,11 @@ impl Session {
     ///
     /// Panics if no property was set (see [`Session::property`]).
     pub fn run(&mut self) -> Verdict {
-        let property = self
-            .property
-            .expect("Session::property(..) must be set before Session::run()");
-        // A resume state seeds exactly one run; later runs sweep fresh.
-        let resume = self.resume.take();
-        scheduler::run(
-            &mut self.verifier,
-            property,
-            &self.options,
-            self.threads,
-            self.observer.as_ref(),
-            self.setup,
-            self.checkpoint.as_ref(),
-            resume,
-            &self.rescue,
-        )
+        assert!(
+            self.property_set,
+            "Session::property(..) must be set before Session::run()"
+        );
+        self.job.run()
     }
 
     /// Enumerates violating combinations (serially) until `limit` witnesses
@@ -326,12 +312,16 @@ impl Session {
     ///
     /// Panics if no property was set (see [`Session::property`]).
     pub fn search_witnesses(&mut self, limit: usize) -> WitnessSearch {
-        let property = self
-            .property
-            .expect("Session::property(..) must be set before Session::search_witnesses()");
-        let (witnesses, skipped, stats) =
-            self.verifier
-                .find_witnesses_full(property, &self.options, limit);
+        assert!(
+            self.property_set,
+            "Session::property(..) must be set before Session::search_witnesses()"
+        );
+        let spec = self.job.spec();
+        let (property, options) = (spec.property, spec.options.clone());
+        let (witnesses, skipped, stats) = self
+            .job
+            .verifier_mut()
+            .find_witnesses_full(property, &options, limit);
         WitnessSearch {
             complete: !stats.timed_out
                 && !stats.interrupted
@@ -353,10 +343,15 @@ impl Session {
     ///
     /// Panics if no property was set (see [`Session::property`]).
     pub fn find_witnesses(&mut self, limit: usize) -> Vec<Witness> {
-        let property = self
-            .property
-            .expect("Session::property(..) must be set before Session::find_witnesses()");
-        self.verifier.find_witnesses(property, &self.options, limit)
+        assert!(
+            self.property_set,
+            "Session::property(..) must be set before Session::find_witnesses()"
+        );
+        let spec = self.job.spec();
+        let (property, options) = (spec.property, spec.options.clone());
+        self.job
+            .verifier_mut()
+            .find_witnesses(property, &options, limit)
     }
 }
 

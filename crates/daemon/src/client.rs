@@ -1,0 +1,157 @@
+//! A small blocking HTTP client for `walshcheckd` — what the CLI's
+//! `submit`/`status`/`fetch` commands and the lifecycle tests speak. One
+//! request per connection, mirroring the server's `Connection: close`
+//! contract.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A client bound to one daemon address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+}
+
+/// A completed exchange.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+impl Client {
+    /// A client for the daemon at `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// Performs one `method path` exchange with an optional body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection and protocol failures.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> io::Result<ClientResponse> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let body = body.unwrap_or(&[]);
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body)?;
+        stream.flush()?;
+        // Half-close: the server may answer (413, 400) without reading the
+        // whole body; signalling end-of-request lets it drain and respond
+        // instead of both sides waiting on the other's EOF.
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw)?;
+        parse_response(&raw)
+    }
+
+    /// `GET path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn get(&self, path: &str) -> io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST path` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn post(&self, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    /// `DELETE path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn delete(&self, path: &str) -> io::Result<ClientResponse> {
+        self.request("DELETE", path, None)
+    }
+
+    /// Submits a job: `spec_json` is the spec document, `netlist` the
+    /// ILANG source. Returns the server's `{"id","state","cached"}` body.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn submit(&self, spec_json: &str, netlist: &str) -> io::Result<ClientResponse> {
+        let body = format!(
+            "{{\"spec\":{spec_json},\"netlist\":{}}}",
+            quote_json_string(netlist)
+        );
+        self.post("/v1/jobs", body.as_bytes())
+    }
+}
+
+/// Renders `s` as a JSON string literal (quotes included).
+fn quote_json_string(s: &str) -> String {
+    format!("\"{}\"", walshcheck_core::report::json_escape(s))
+}
+
+fn parse_response(raw: &[u8]) -> io::Result<ClientResponse> {
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| io::Error::other("no header/body separator in response"))?;
+    let head = std::str::from_utf8(&raw[..split])
+        .map_err(|_| io::Error::other("response head is not UTF-8"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::other(format!("bad status line {status_line:?}")))?;
+    Ok(ClientResponse {
+        status,
+        body: raw[split + 4..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_responses() {
+        let r =
+            parse_response(b"HTTP/1.1 201 Created\r\nContent-Length: 2\r\n\r\nok").expect("parses");
+        assert_eq!(r.status, 201);
+        assert_eq!(r.text(), "ok");
+        assert!(parse_response(b"garbage").is_err());
+    }
+
+    #[test]
+    fn quotes_ilang_strings() {
+        assert_eq!(quote_json_string("a\nb\"c"), "\"a\\nb\\\"c\"");
+    }
+}

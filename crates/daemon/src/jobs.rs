@@ -1,0 +1,738 @@
+//! The job queue: states, records, the runner thread, restart recovery.
+//!
+//! Jobs run strictly one at a time on a single runner thread — a
+//! verification sweep already saturates the machine through its own worker
+//! pool, so queueing at the job level is both simpler and faster than
+//! interleaving sweeps. The [`JobManager`] owns the queue and the state
+//! machine; every transition is persisted to the job's `status.json`
+//! before it is observable through the API, so a killed daemon restarts
+//! into a consistent store.
+//!
+//! ## State machine
+//!
+//! ```text
+//! queued ──► running ──► done
+//!    ▲          │  ├───► failed
+//!    │          │  ├───► killed       (DELETE while running/queued)
+//!    │          │  └───► interrupted  (daemon stopped mid-sweep)
+//!    └──────────┴──── resume ◄── killed | interrupted | failed
+//! ```
+//!
+//! `running` and `interrupted` jobs found at startup are re-enqueued
+//! automatically (their `walshcheck-checkpoint/1` file seeds the resumed
+//! sweep); `killed` jobs stay put until an explicit `POST resume`.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use walshcheck_circuit::ilang::parse_ilang;
+use walshcheck_core::json::{self, Json};
+use walshcheck_core::observe::{EnginePhase, ProgressObserver};
+use walshcheck_core::property::CheckStats;
+use walshcheck_core::report::Report;
+use walshcheck_core::{netlist_sha256, shutdown, Job, JobSpec, Witness};
+
+use crate::store::{job_id, Store};
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for the runner.
+    Queued,
+    /// The runner is sweeping it now.
+    Running,
+    /// Finished; `report.json` holds the artifact.
+    Done,
+    /// The run errored (bad netlist, engine failure); `error` says why.
+    Failed,
+    /// Stopped by an explicit kill; waits for `POST resume`.
+    Killed,
+    /// Stopped because the daemon shut down; auto-resumes on restart.
+    Interrupted,
+}
+
+impl JobState {
+    /// The wire name of the state.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Killed => "killed",
+            JobState::Interrupted => "interrupted",
+        }
+    }
+
+    /// Parses a wire name back into a state.
+    pub fn parse(s: &str) -> Option<JobState> {
+        Some(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            "killed" => JobState::Killed,
+            "interrupted" => JobState::Interrupted,
+            _ => return None,
+        })
+    }
+
+    /// Whether `POST resume` may re-enqueue a job in this state.
+    pub fn resumable(self) -> bool {
+        matches!(
+            self,
+            JobState::Killed | JobState::Interrupted | JobState::Failed
+        )
+    }
+}
+
+/// One job as the API sees it; persisted as `status.json`.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Content-derived job id (see [`crate::store::job_id`]).
+    pub id: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// SHA-256 of the canonical ILANG dump of the submitted netlist.
+    pub netlist_sha256: String,
+    /// [`JobSpec::identity_hash`] of the submitted spec.
+    pub identity_hash: String,
+    /// Failure cause, when `state` is `failed`.
+    pub error: Option<String>,
+    /// [`Report::hash`] of the artifact, when `state` is `done`.
+    pub report_hash: Option<String>,
+}
+
+impl JobRecord {
+    /// The record as its canonical `status.json` document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str("walshcheck-status/1")),
+            ("id", Json::str(self.id.clone())),
+            ("state", Json::str(self.state.as_str())),
+            ("netlist_sha256", Json::str(self.netlist_sha256.clone())),
+            ("identity_hash", Json::str(self.identity_hash.clone())),
+            (
+                "error",
+                match &self.error {
+                    Some(e) => Json::str(e.clone()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "report_hash",
+                match &self.report_hash {
+                    Some(h) => Json::str(h.clone()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    fn parse(doc: &Json) -> Option<JobRecord> {
+        Some(JobRecord {
+            id: doc.get("id")?.as_str()?.to_string(),
+            state: JobState::parse(doc.get("state")?.as_str()?)?,
+            netlist_sha256: doc.get("netlist_sha256")?.as_str()?.to_string(),
+            identity_hash: doc.get("identity_hash")?.as_str()?.to_string(),
+            error: doc.get("error").and_then(Json::as_str).map(str::to_string),
+            report_hash: doc
+                .get("report_hash")
+                .and_then(Json::as_str)
+                .map(str::to_string),
+        })
+    }
+}
+
+/// The outcome of a submission.
+#[derive(Debug, Clone)]
+pub struct Submitted {
+    /// The (possibly pre-existing) job id.
+    pub id: String,
+    /// The job's state after the submit.
+    pub state: JobState,
+    /// `true` when the identical job had already completed and the report
+    /// is served from the store without recomputation.
+    pub cached: bool,
+    /// `true` when this submit created the job (HTTP 201 vs 200).
+    pub created: bool,
+}
+
+/// A request the API cannot satisfy, with its HTTP status.
+#[derive(Debug)]
+pub struct ApiError {
+    /// The status code to answer with.
+    pub status: u16,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl ApiError {
+    fn bad(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    fn not_found(id: &str) -> Self {
+        ApiError {
+            status: 404,
+            message: format!("no job {id}"),
+        }
+    }
+
+    fn conflict(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 409,
+            message: message.into(),
+        }
+    }
+
+    fn internal(message: impl Into<String>) -> Self {
+        ApiError {
+            status: 500,
+            message: message.into(),
+        }
+    }
+}
+
+struct Inner {
+    records: BTreeMap<String, JobRecord>,
+    queue: VecDeque<String>,
+    /// Jobs whose interruption was requested by DELETE (vs daemon stop).
+    kill_pending: BTreeSet<String>,
+    /// The id the runner is currently sweeping.
+    running: Option<String>,
+    stopping: bool,
+}
+
+/// The queue, state machine and persistence glue. One per daemon; shared
+/// between the HTTP handlers and the runner thread behind an [`Arc`].
+pub struct JobManager {
+    store: Store,
+    checkpoint_every: Duration,
+    inner: Mutex<Inner>,
+    wake: Condvar,
+}
+
+impl JobManager {
+    /// Opens the manager over `store`, recovering job state from disk:
+    /// `queued` jobs re-enter the queue, `running` and `interrupted` jobs
+    /// are re-enqueued to resume from their checkpoint, everything else
+    /// stays as found.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store scanning failures as an [`ApiError`] (500).
+    pub fn open(store: Store, checkpoint_every: Duration) -> Result<JobManager, ApiError> {
+        let mut records = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        let ids = store
+            .job_ids()
+            .map_err(|e| ApiError::internal(format!("scanning store: {e}")))?;
+        for id in ids {
+            let Ok(text) = store.read_job_file(&id, "status.json") else {
+                continue; // half-created job directory; ignore
+            };
+            let Some(mut record) = json::parse(&text).ok().as_ref().and_then(JobRecord::parse)
+            else {
+                continue;
+            };
+            match record.state {
+                JobState::Queued => queue.push_back(id.clone()),
+                JobState::Running | JobState::Interrupted => {
+                    // The daemon died or was stopped mid-sweep; the
+                    // checkpoint file (if any) seeds the resumed run.
+                    record.state = JobState::Queued;
+                    queue.push_back(id.clone());
+                }
+                JobState::Done | JobState::Failed | JobState::Killed => {}
+            }
+            records.insert(id, record);
+        }
+        let manager = JobManager {
+            store,
+            checkpoint_every,
+            inner: Mutex::new(Inner {
+                records,
+                queue,
+                kill_pending: BTreeSet::new(),
+                running: None,
+                stopping: false,
+            }),
+            wake: Condvar::new(),
+        };
+        manager.persist_all();
+        Ok(manager)
+    }
+
+    /// The manager's store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Submits a job: `spec_doc` is the JSON spec ([`JobSpec::parse`]),
+    /// `netlist_text` the ILANG source. Identical submissions dedupe to
+    /// the same id; a completed identical job is answered from the store.
+    ///
+    /// # Errors
+    ///
+    /// 400 for an invalid spec or netlist, 500 for store failures.
+    pub fn submit(&self, spec_doc: &Json, netlist_text: &str) -> Result<Submitted, ApiError> {
+        let spec = JobSpec::parse(spec_doc).map_err(|e| ApiError::bad(e.to_string()))?;
+        let netlist =
+            parse_ilang(netlist_text).map_err(|e| ApiError::bad(format!("netlist: {e}")))?;
+        netlist
+            .validate()
+            .map_err(|e| ApiError::bad(format!("netlist: {e}")))?;
+        let nl_hash = netlist_sha256(&netlist);
+        let identity = spec.identity_json().to_canonical();
+        let id = job_id(&nl_hash, &identity);
+        let mut inner = self.lock();
+        if let Some(record) = inner.records.get(&id) {
+            return Ok(Submitted {
+                id,
+                state: record.state,
+                cached: record.state == JobState::Done,
+                created: false,
+            });
+        }
+        let record = JobRecord {
+            id: id.clone(),
+            state: JobState::Queued,
+            netlist_sha256: nl_hash,
+            identity_hash: spec.identity_hash(),
+            error: None,
+            report_hash: None,
+        };
+        let io = |e: std::io::Error| ApiError::internal(format!("store: {e}"));
+        self.store.create_job(&id).map_err(io)?;
+        // The submitted text verbatim — NOT a re-dump. The id already
+        // normalizes formatting variants (it hashes the canonical dump of
+        // the *parsed* structure), and executing must parse exactly the
+        // bytes that hash was derived from: the writer materializes output
+        // aliases as `$buf` cells, so a re-dump re-parsed would be a
+        // (slightly) different netlist than the one the id names.
+        self.store
+            .write_job_file(&id, "netlist.il", netlist_text.as_bytes())
+            .map_err(io)?;
+        self.store
+            .write_job_file(&id, "spec.json", spec.to_json().to_canonical().as_bytes())
+            .map_err(io)?;
+        inner.records.insert(id.clone(), record);
+        inner.queue.push_back(id.clone());
+        self.persist(&inner, &id);
+        drop(inner);
+        self.wake.notify_all();
+        Ok(Submitted {
+            id,
+            state: JobState::Queued,
+            cached: false,
+            created: true,
+        })
+    }
+
+    /// The record of job `id`.
+    ///
+    /// # Errors
+    ///
+    /// 404 for an unknown id.
+    pub fn status(&self, id: &str) -> Result<JobRecord, ApiError> {
+        self.lock()
+            .records
+            .get(id)
+            .cloned()
+            .ok_or_else(|| ApiError::not_found(id))
+    }
+
+    /// All records, sorted by id.
+    pub fn list(&self) -> Vec<JobRecord> {
+        self.lock().records.values().cloned().collect()
+    }
+
+    /// The verbatim `report.json` artifact bytes of a `done` job.
+    ///
+    /// # Errors
+    ///
+    /// 404 for an unknown id, 409 when the job has not completed.
+    pub fn report(&self, id: &str) -> Result<String, ApiError> {
+        let record = self.status(id)?;
+        if record.state != JobState::Done {
+            return Err(ApiError::conflict(format!(
+                "job {id} is {}, not done",
+                record.state.as_str()
+            )));
+        }
+        self.store
+            .read_job_file(id, "report.json")
+            .map_err(|e| ApiError::internal(format!("reading artifact: {e}")))
+    }
+
+    /// Progress events of job `id` from line `since` on, as the response
+    /// body `{"next": N, "events": [...]}` (poll with `since = next`).
+    ///
+    /// # Errors
+    ///
+    /// 404 for an unknown id.
+    pub fn events(&self, id: &str, since: usize) -> Result<String, ApiError> {
+        self.status(id)?; // existence check
+        let text = self
+            .store
+            .read_job_file(id, "events.jsonl")
+            .unwrap_or_default();
+        let lines: Vec<&str> = text.lines().collect();
+        let upto = lines.len();
+        let slice = if since < upto { &lines[since..] } else { &[] };
+        Ok(format!(
+            "{{\"next\":{},\"events\":[{}]}}",
+            upto,
+            slice.join(",")
+        ))
+    }
+
+    /// Kills job `id`: a queued job is removed from the queue, a running
+    /// one has its sweep interrupted (the scheduler checkpoints and
+    /// returns). The job lands in `killed` and waits for `POST resume`.
+    ///
+    /// # Errors
+    ///
+    /// 404 for an unknown id, 409 when the job is not queued/running.
+    pub fn kill(&self, id: &str) -> Result<JobState, ApiError> {
+        let mut inner = self.lock();
+        let Some(record) = inner.records.get(id) else {
+            return Err(ApiError::not_found(id));
+        };
+        match record.state {
+            JobState::Queued => {
+                inner.queue.retain(|q| q != id);
+                let record = inner.records.get_mut(id).expect("present");
+                record.state = JobState::Killed;
+                self.persist(&inner, id);
+                Ok(JobState::Killed)
+            }
+            JobState::Running => {
+                inner.kill_pending.insert(id.to_string());
+                // The scheduler polls this process-global flag; the runner
+                // resets it afterwards (unless the daemon itself is
+                // stopping, in which case the stop wins).
+                shutdown::request();
+                Ok(JobState::Running)
+            }
+            state => Err(ApiError::conflict(format!(
+                "job {id} is {}, not queued or running",
+                state.as_str()
+            ))),
+        }
+    }
+
+    /// Re-enqueues a `killed`, `interrupted` or `failed` job; its
+    /// checkpoint (if one was written) seeds the resumed sweep.
+    ///
+    /// # Errors
+    ///
+    /// 404 for an unknown id, 409 when the job is not resumable.
+    pub fn resume(&self, id: &str) -> Result<JobState, ApiError> {
+        let mut inner = self.lock();
+        let Some(record) = inner.records.get_mut(id) else {
+            return Err(ApiError::not_found(id));
+        };
+        if !record.state.resumable() {
+            return Err(ApiError::conflict(format!(
+                "job {id} is {}, not resumable",
+                record.state.as_str()
+            )));
+        }
+        record.state = JobState::Queued;
+        record.error = None;
+        inner.queue.push_back(id.to_string());
+        self.persist(&inner, id);
+        drop(inner);
+        self.wake.notify_all();
+        Ok(JobState::Queued)
+    }
+
+    /// Asks the runner to exit after the current job (whose sweep the
+    /// caller interrupts separately via [`shutdown::request`]).
+    pub fn stop(&self) {
+        self.lock().stopping = true;
+        self.wake.notify_all();
+    }
+
+    /// Whether a stop has been requested.
+    pub fn stopping(&self) -> bool {
+        self.lock().stopping
+    }
+
+    /// Whether a DELETE-kill is waiting for the running sweep to drain.
+    /// Kills share the process-global shutdown flag with daemon stop, so
+    /// the accept loop must not read a kill's flag-raise as its own stop
+    /// signal — this is how it tells the two apart.
+    pub fn kill_in_progress(&self) -> bool {
+        !self.lock().kill_pending.is_empty()
+    }
+
+    /// The runner loop: pops jobs until [`JobManager::stop`]. Call from a
+    /// dedicated thread.
+    pub fn run_loop(self: &Arc<Self>) {
+        loop {
+            let id = {
+                let mut inner = self.lock();
+                loop {
+                    if inner.stopping {
+                        return;
+                    }
+                    if let Some(id) = inner.queue.pop_front() {
+                        break id;
+                    }
+                    inner = self
+                        .wake
+                        .wait(inner)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+            {
+                let mut inner = self.lock();
+                inner.running = Some(id.clone());
+                if let Some(r) = inner.records.get_mut(&id) {
+                    r.state = JobState::Running;
+                }
+                self.persist(&inner, &id);
+            }
+            let result = self.execute(&id);
+            let mut inner = self.lock();
+            inner.running = None;
+            let was_killed = inner.kill_pending.remove(&id);
+            let record = inner.records.get_mut(&id).expect("record exists");
+            match result {
+                Ok(Some(report_hash)) => {
+                    record.state = JobState::Done;
+                    record.report_hash = Some(report_hash);
+                    record.error = None;
+                }
+                Ok(None) => {
+                    // Interrupted sweep: an explicit kill parks the job,
+                    // a daemon stop marks it for auto-resume.
+                    record.state = if was_killed {
+                        JobState::Killed
+                    } else {
+                        JobState::Interrupted
+                    };
+                    // A kill shares the process-global shutdown flag with
+                    // daemon stop; clear it for the next job unless the
+                    // daemon itself is going down. (A SIGTERM landing in
+                    // exactly this window is coalesced into the kill.)
+                    if was_killed && !inner.stopping {
+                        shutdown::reset();
+                    }
+                }
+                Err(message) => {
+                    record.state = JobState::Failed;
+                    record.error = Some(message);
+                    if was_killed && !inner.stopping {
+                        shutdown::reset();
+                    }
+                }
+            }
+            self.persist(&inner, &id);
+        }
+    }
+
+    /// Runs one job to a verdict. `Ok(Some(hash))` on completion,
+    /// `Ok(None)` when the sweep was interrupted, `Err` on failure.
+    fn execute(&self, id: &str) -> Result<Option<String>, String> {
+        let spec_text = self
+            .store
+            .read_job_file(id, "spec.json")
+            .map_err(|e| format!("reading spec: {e}"))?;
+        let netlist_text = self
+            .store
+            .read_job_file(id, "netlist.il")
+            .map_err(|e| format!("reading netlist: {e}"))?;
+        let spec_doc = json::parse(&spec_text).map_err(|e| format!("stored spec: {e}"))?;
+        let spec = JobSpec::parse(&spec_doc).map_err(|e| format!("stored spec: {e}"))?;
+        let netlist = parse_ilang(&netlist_text).map_err(|e| format!("stored netlist: {e}"))?;
+        let mut job = Job::new(&netlist, spec).map_err(|e| e.to_string())?;
+        let observer = Arc::new(EventWriter {
+            store: self.store.clone(),
+            id: id.to_string(),
+            phases: Mutex::new(Vec::new()),
+        });
+        job.set_observer(Arc::<EventWriter>::clone(&observer));
+        let ck_path = self.store.job_file(id, "checkpoint.ck");
+        job.checkpoint_to(&ck_path, self.checkpoint_every);
+        let resumed = ck_path.exists() && job.resume_from(&ck_path).is_ok();
+        let verdict = job.run();
+        if verdict.stats.interrupted {
+            return Ok(None);
+        }
+        let spec = job.spec();
+        let artifact = Report::new(&netlist, spec, &verdict);
+        let phases = observer
+            .phases
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        let run_doc = walshcheck_core::run_report_json(&netlist, &verdict, spec, &phases, resumed);
+        let io = |e: std::io::Error| format!("store: {e}");
+        self.store
+            .write_job_file(id, "report.json", artifact.canonical_json().as_bytes())
+            .map_err(io)?;
+        self.store
+            .write_job_file(id, "run.json", run_doc.as_bytes())
+            .map_err(io)?;
+        let _ = std::fs::remove_file(&ck_path); // sweep complete
+        Ok(Some(artifact.hash().to_string()))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Writes `status.json` of `id` plus the top-level index.
+    fn persist(&self, inner: &Inner, id: &str) {
+        if let Some(record) = inner.records.get(id) {
+            let _ = self.store.write_job_file(
+                id,
+                "status.json",
+                record.to_json().to_canonical().as_bytes(),
+            );
+        }
+        let jobs: BTreeMap<String, Json> = inner
+            .records
+            .iter()
+            .map(|(id, r)| {
+                (
+                    id.clone(),
+                    Json::obj([
+                        ("state", Json::str(r.state.as_str())),
+                        (
+                            "report_hash",
+                            match &r.report_hash {
+                                Some(h) => Json::str(h.clone()),
+                                None => Json::Null,
+                            },
+                        ),
+                    ]),
+                )
+            })
+            .collect();
+        let index = Json::obj([
+            ("schema", Json::str("walshcheck-index/1")),
+            ("jobs", Json::Obj(jobs)),
+        ]);
+        let _ = self.store.write_index(index.to_canonical().as_bytes());
+    }
+
+    fn persist_all(&self) {
+        let inner = self.lock();
+        let ids: Vec<String> = inner.records.keys().cloned().collect();
+        for id in ids {
+            self.persist(&inner, &id);
+        }
+    }
+}
+
+/// A [`ProgressObserver`] that appends one JSON line per event to the
+/// job's `events.jsonl` (append-only, so events survive restarts) and
+/// collects phase timings for the final run report. Per-combination
+/// callbacks (`combination_pruned`) are deliberately not recorded — on
+/// large sweeps they would dwarf everything else in the log.
+struct EventWriter {
+    store: Store,
+    id: String,
+    phases: Mutex<Vec<(String, Duration)>>,
+}
+
+impl EventWriter {
+    fn emit(&self, line: String) {
+        let _ = self.store.append_event(&self.id, &line);
+    }
+}
+
+impl ProgressObserver for EventWriter {
+    fn run_started(&self, sites: usize, total: u64, buckets: &[(usize, u64)]) {
+        let buckets: Vec<String> = buckets.iter().map(|(k, n)| format!("[{k},{n}]")).collect();
+        self.emit(format!(
+            "{{\"event\":\"run-started\",\"sites\":{sites},\"total\":{total},\"buckets\":[{}]}}",
+            buckets.join(",")
+        ));
+    }
+
+    fn batch_claimed(&self, worker: usize, k: usize, first_index: u64, len: usize) {
+        self.emit(format!(
+            "{{\"event\":\"batch-claimed\",\"worker\":{worker},\"k\":{k},\"first_index\":{first_index},\"len\":{len}}}"
+        ));
+    }
+
+    fn batch_finished(&self, worker: usize, checked: u64, pruned: u64) {
+        self.emit(format!(
+            "{{\"event\":\"batch-finished\",\"worker\":{worker},\"checked\":{checked},\"pruned\":{pruned}}}"
+        ));
+    }
+
+    fn violation_found(&self, worker: usize, index: u64, _witness: &Witness) {
+        self.emit(format!(
+            "{{\"event\":\"violation-found\",\"worker\":{worker},\"index\":{index}}}"
+        ));
+    }
+
+    fn combination_quarantined(
+        &self,
+        worker: usize,
+        index: u64,
+        reason: walshcheck_core::IncompleteReason,
+    ) {
+        self.emit(format!(
+            "{{\"event\":\"combination-quarantined\",\"worker\":{worker},\"index\":{index},\"reason\":\"{}\"}}",
+            reason.as_str()
+        ));
+    }
+
+    fn checkpoint_written(&self, _path: &std::path::Path, combinations: u64) {
+        self.emit(format!(
+            "{{\"event\":\"checkpoint-written\",\"combinations\":{combinations}}}"
+        ));
+    }
+
+    fn phase_timing(&self, phase: EnginePhase, elapsed: Duration) {
+        self.phases
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push((phase.to_string(), elapsed));
+        self.emit(format!(
+            "{{\"event\":\"phase\",\"name\":\"{phase}\",\"seconds\":{:.6}}}",
+            elapsed.as_secs_f64()
+        ));
+    }
+
+    fn rescue_started(&self, quarantined: usize) {
+        self.emit(format!(
+            "{{\"event\":\"rescue-started\",\"quarantined\":{quarantined}}}"
+        ));
+    }
+
+    fn rescue_resolved(&self, index: u64, resolution: walshcheck_core::RescueResolution) {
+        self.emit(format!(
+            "{{\"event\":\"rescue-resolved\",\"index\":{index},\"resolution\":\"{}\"}}",
+            resolution.as_str()
+        ));
+    }
+
+    fn rescue_finished(&self, report: &walshcheck_core::RecoveryReport) {
+        self.emit(format!(
+            "{{\"event\":\"rescue-finished\",\"attempted\":{},\"resolved\":{},\"unresolved\":{}}}",
+            report.attempted, report.resolved, report.unresolved
+        ));
+    }
+
+    fn run_finished(&self, stats: &CheckStats) {
+        self.emit(format!(
+            "{{\"event\":\"run-finished\",\"combinations\":{},\"pruned\":{},\"interrupted\":{}}}",
+            stats.combinations, stats.pruned, stats.interrupted
+        ));
+    }
+}

@@ -1,0 +1,35 @@
+//! # walshcheck-daemon — verification as a service
+//!
+//! `walshcheckd` turns the one-shot verifier into a long-running server:
+//! submit an ILANG netlist plus a [`walshcheck_core::JobSpec`], poll
+//! progress events, fetch the finished `walshcheck-report/5` artifact —
+//! and kill or resume jobs across daemon restarts via the existing
+//! `walshcheck-checkpoint/1` files.
+//!
+//! Everything is hand-rolled over `std`: [`http`] parses HTTP/1.1 off a
+//! `TcpStream`, [`store`] is a content-addressed artifact store on the
+//! filesystem, [`jobs`] runs the queue over [`walshcheck_core::Job`], and
+//! [`server`] binds them together behind [`Daemon`]. [`client`] is the
+//! matching blocking client the CLI's `submit`/`status`/`fetch` commands
+//! use.
+//!
+//! ## Caching contract
+//!
+//! A job's identity is `(netlist SHA-256, spec identity hash)` — see
+//! [`walshcheck_core::JobSpec::identity_hash`]. Reports are canonical
+//! bytes, hashed and stored once; resubmitting the same work is answered
+//! from the store without recomputation, byte-for-byte identical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod jobs;
+pub mod server;
+pub mod store;
+
+pub use client::Client;
+pub use jobs::{JobRecord, JobState};
+pub use server::{Daemon, DaemonConfig};
+pub use store::Store;

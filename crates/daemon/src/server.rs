@@ -1,0 +1,278 @@
+//! The daemon itself: socket, routing, lifecycle.
+//!
+//! [`Daemon::bind`] opens the store, recovers the queue, and binds the
+//! listener; [`Daemon::run`] spawns the single runner thread and serves
+//! connections until the process-global shutdown flag
+//! ([`walshcheck_core::shutdown`]) is raised — by a SIGTERM/SIGINT handler
+//! in the binary, or programmatically in tests. Shutdown is graceful: the
+//! listener stops accepting, the in-flight sweep checkpoints and returns
+//! (its job is marked `interrupted` and auto-resumes on the next start),
+//! and `run` returns.
+//!
+//! ## Routes
+//!
+//! | Method + path                 | Meaning                                   |
+//! |-------------------------------|-------------------------------------------|
+//! | `GET /v1/health`              | liveness + version                        |
+//! | `POST /v1/jobs`               | submit `{"spec":…,"netlist":"<ILANG>"}`   |
+//! | `GET /v1/jobs`                | list all jobs                             |
+//! | `GET /v1/jobs/{id}`           | one job's status                          |
+//! | `GET /v1/jobs/{id}/report`    | the report/5 artifact, verbatim bytes     |
+//! | `GET /v1/jobs/{id}/events?since=N` | progress events from line N          |
+//! | `POST /v1/jobs/{id}/resume`   | re-enqueue a killed/interrupted job       |
+//! | `DELETE /v1/jobs/{id}`        | kill a queued/running job                 |
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use walshcheck_core::json;
+use walshcheck_core::shutdown;
+
+use crate::http::{self, read_request, Request, Response};
+use crate::jobs::{ApiError, JobManager, JobRecord};
+use crate::store::Store;
+
+/// How the daemon is configured.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Root directory of the artifact store.
+    pub store: PathBuf,
+    /// Listen address (`127.0.0.1:0` picks an ephemeral port).
+    pub listen: String,
+    /// Minimum interval between checkpoint writes of a running job
+    /// ([`Duration::ZERO`] writes after every batch — what the lifecycle
+    /// tests use).
+    pub checkpoint_every: Duration,
+    /// Request-body cap; larger submissions are rejected with 413.
+    pub max_body: usize,
+}
+
+impl DaemonConfig {
+    /// The default configuration over `store`: ephemeral port, 2 s
+    /// checkpoint interval, 8 MiB body cap.
+    pub fn new(store: impl Into<PathBuf>) -> DaemonConfig {
+        DaemonConfig {
+            store: store.into(),
+            listen: "127.0.0.1:0".into(),
+            checkpoint_every: Duration::from_secs(2),
+            max_body: http::DEFAULT_MAX_BODY,
+        }
+    }
+}
+
+/// A bound, not-yet-serving daemon.
+pub struct Daemon {
+    listener: TcpListener,
+    addr: SocketAddr,
+    manager: Arc<JobManager>,
+    max_body: usize,
+}
+
+impl Daemon {
+    /// Opens the store, recovers queue state, binds the listener and
+    /// records the bound address in `<store>/daemon.addr` (so the CLI and
+    /// tests can find an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates store and socket failures.
+    pub fn bind(config: &DaemonConfig) -> io::Result<Daemon> {
+        let store = Store::open(&config.store)?;
+        let manager = JobManager::open(store.clone(), config.checkpoint_every)
+            .map_err(|e| io::Error::other(e.message))?;
+        let listener = TcpListener::bind(&config.listen)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        std::fs::write(store.root().join("daemon.addr"), format!("{addr}\n"))?;
+        Ok(Daemon {
+            listener,
+            addr,
+            manager: Arc::new(manager),
+            max_body: config.max_body,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The job manager (for in-process inspection in tests).
+    pub fn manager(&self) -> &Arc<JobManager> {
+        &self.manager
+    }
+
+    /// Serves until the shutdown flag is raised, then drains gracefully.
+    /// Consumes the daemon; the listener closes on return.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures (transient accept errors are
+    /// retried, not propagated).
+    pub fn run(self) -> io::Result<()> {
+        let runner = {
+            let manager = Arc::clone(&self.manager);
+            std::thread::Builder::new()
+                .name("walshcheckd-runner".into())
+                .spawn(move || manager.run_loop())?
+        };
+        loop {
+            // The flag is shared between daemon stop and job kills: while a
+            // kill is draining the running sweep, the raise is the kill's,
+            // and the daemon keeps serving (the runner clears the flag once
+            // the job parks). A SIGTERM landing inside that kill window is
+            // coalesced into the kill — documented, and recoverable by a
+            // second signal.
+            if shutdown::requested() && !self.manager.kill_in_progress() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let manager = Arc::clone(&self.manager);
+                    let max_body = self.max_body;
+                    // One thread per connection; Connection: close keeps
+                    // lifetimes trivially bounded.
+                    let _ = std::thread::Builder::new()
+                        .name("walshcheckd-conn".into())
+                        .spawn(move || handle_connection(stream, &manager, max_body));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Shutdown: the flag also interrupts the in-flight sweep; the
+        // runner marks it interrupted and exits once told to stop.
+        self.manager.stop();
+        let _ = runner.join();
+        Ok(())
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, manager: &Arc<JobManager>, max_body: usize) {
+    // Accepted sockets should block; inherit-nonblocking behavior varies.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let (response, drain) = match read_request(&mut stream, max_body) {
+        Ok(request) => (route(&request, manager), false),
+        Err(e) => (Response::error(e.status, &e.message), true),
+    };
+    let _ = response.write_to(&mut stream);
+    if drain {
+        // A rejected request (413, malformed) leaves unread body bytes on
+        // the socket; closing now would RST the response out of the
+        // client's receive buffer. Discard a bounded remainder until the
+        // client's half-close instead (the read timeout caps a stuck peer).
+        use std::io::Read as _;
+        let _ = std::io::copy(
+            &mut (&mut stream).take(32 * 1024 * 1024),
+            &mut std::io::sink(),
+        );
+    }
+}
+
+fn record_json(record: &JobRecord) -> String {
+    record.to_json().to_canonical()
+}
+
+fn api_result(result: Result<Response, ApiError>) -> Response {
+    result.unwrap_or_else(|e| Response::error(e.status, &e.message))
+}
+
+/// Dispatches one request to the manager.
+fn route(request: &Request, manager: &Arc<JobManager>) -> Response {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["v1", "health"]) => Response::json(
+            200,
+            format!(
+                "{{\"ok\":true,\"service\":\"walshcheckd\",\"version\":\"{}\"}}",
+                env!("CARGO_PKG_VERSION")
+            ),
+        ),
+        (_, ["v1", "health"]) => Response::error(405, "health is GET-only"),
+        ("POST", ["v1", "jobs"]) => api_result(submit(request, manager)),
+        ("GET", ["v1", "jobs"]) => {
+            let jobs: Vec<String> = manager.list().iter().map(record_json).collect();
+            Response::json(200, format!("{{\"jobs\":[{}]}}", jobs.join(",")))
+        }
+        (_, ["v1", "jobs"]) => Response::error(405, "jobs is GET/POST-only"),
+        ("GET", ["v1", "jobs", id]) => api_result(
+            manager
+                .status(id)
+                .map(|r| Response::json(200, record_json(&r))),
+        ),
+        ("DELETE", ["v1", "jobs", id]) => api_result(manager.kill(id).map(|state| {
+            Response::json(
+                202,
+                format!(
+                    "{{\"id\":\"{id}\",\"killing\":true,\"was\":\"{}\"}}",
+                    state.as_str()
+                ),
+            )
+        })),
+        (_, ["v1", "jobs", _id]) => Response::error(405, "job is GET/DELETE-only"),
+        ("GET", ["v1", "jobs", id, "report"]) => {
+            api_result(manager.report(id).map(|body| Response::json(200, body)))
+        }
+        ("GET", ["v1", "jobs", id, "events"]) => {
+            let since = request
+                .query_param("since")
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or(0);
+            api_result(
+                manager
+                    .events(id, since)
+                    .map(|body| Response::json(200, body)),
+            )
+        }
+        ("POST", ["v1", "jobs", id, "resume"]) => api_result(manager.resume(id).map(|state| {
+            Response::json(
+                200,
+                format!("{{\"id\":\"{id}\",\"state\":\"{}\"}}", state.as_str()),
+            )
+        })),
+        _ => Response::error(
+            404,
+            &format!("no route {} {}", request.method, request.path),
+        ),
+    }
+}
+
+fn submit(request: &Request, manager: &Arc<JobManager>) -> Result<Response, ApiError> {
+    let text = std::str::from_utf8(&request.body).map_err(|_| ApiError {
+        status: 400,
+        message: "body is not UTF-8".into(),
+    })?;
+    let doc = json::parse(text).map_err(|e| ApiError {
+        status: 400,
+        message: format!("body: {e}"),
+    })?;
+    let spec = doc.get("spec").ok_or(ApiError {
+        status: 400,
+        message: "body needs a \"spec\" object".into(),
+    })?;
+    let netlist = doc
+        .get("netlist")
+        .and_then(json::Json::as_str)
+        .ok_or(ApiError {
+            status: 400,
+            message: "body needs a \"netlist\" ILANG string".into(),
+        })?;
+    let submitted = manager.submit(spec, netlist)?;
+    let status = if submitted.created { 201 } else { 200 };
+    Ok(Response::json(
+        status,
+        format!(
+            "{{\"id\":\"{}\",\"state\":\"{}\",\"cached\":{}}}",
+            submitted.id,
+            submitted.state.as_str(),
+            submitted.cached
+        ),
+    ))
+}

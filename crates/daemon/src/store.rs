@@ -1,0 +1,218 @@
+//! The content-addressed artifact store.
+//!
+//! One directory per job under `<root>/jobs/<id>/`, a top-level
+//! `index.json` summarising every job, and atomic (temp + rename) writes
+//! throughout so a killed daemon never leaves a half-written file:
+//!
+//! ```text
+//! store/
+//! ├── index.json            walshcheck-index/1: id → {state, report_hash}
+//! └── jobs/<id>/
+//!     ├── spec.json         full JobSpec, canonical JSON
+//!     ├── netlist.il        the submitted ILANG netlist, verbatim
+//!     ├── status.json       JobRecord snapshot (state machine source of truth)
+//!     ├── checkpoint.ck     walshcheck-checkpoint/1 (while running)
+//!     ├── events.jsonl      one progress event per line, append-only
+//!     ├── report.json       the walshcheck-report/5 artifact (canonical bytes)
+//!     └── run.json          full run report (timings, cache counters)
+//! ```
+//!
+//! The job id *is* the content address: the first 16 hex digits of
+//! `SHA-256(netlist_sha256 ∥ "\n" ∥ spec identity JSON)`. Identical
+//! submissions always map to the same directory, which is how resubmission
+//! becomes a disk read instead of a recomputation.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use walshcheck_core::hash::sha256_hex;
+
+/// Number of leading hex digits of the cache key used as the job id.
+/// 64 bits of the hash — collisions would need ~2³² distinct jobs in one
+/// store.
+pub const ID_LEN: usize = 16;
+
+/// Derives the job id from the two halves of the cache identity.
+pub fn job_id(netlist_sha256: &str, identity_json: &str) -> String {
+    let key = sha256_hex(format!("{netlist_sha256}\n{identity_json}").as_bytes());
+    key[..ID_LEN].to_string()
+}
+
+/// A handle on one store directory. Cheap to clone; all state is on disk.
+#[derive(Debug, Clone)]
+pub struct Store {
+    root: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Store> {
+        let root = root.into();
+        fs::create_dir_all(root.join("jobs"))?;
+        Ok(Store { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The directory of job `id` (not necessarily existing yet).
+    pub fn job_dir(&self, id: &str) -> PathBuf {
+        self.root.join("jobs").join(id)
+    }
+
+    /// Path of `file` inside job `id`'s directory.
+    pub fn job_file(&self, id: &str, file: &str) -> PathBuf {
+        self.job_dir(id).join(file)
+    }
+
+    /// Creates job `id`'s directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn create_job(&self, id: &str) -> io::Result<()> {
+        fs::create_dir_all(self.job_dir(id))
+    }
+
+    /// Whether job `id` has a directory in the store.
+    pub fn has_job(&self, id: &str) -> bool {
+        self.job_dir(id).is_dir()
+    }
+
+    /// Every job id present in the store, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-listing failures.
+    pub fn job_ids(&self) -> io::Result<Vec<String>> {
+        let mut ids = Vec::new();
+        for entry in fs::read_dir(self.root.join("jobs"))? {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                if let Ok(name) = entry.file_name().into_string() {
+                    ids.push(name);
+                }
+            }
+        }
+        ids.sort();
+        Ok(ids)
+    }
+
+    /// Atomically replaces `file` of job `id` with `bytes` (write to a
+    /// dot-temp sibling, fsync, rename) — a crash leaves either the old
+    /// content or the new, never a torn file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_job_file(&self, id: &str, file: &str, bytes: &[u8]) -> io::Result<()> {
+        write_atomic(&self.job_file(id, file), bytes)
+    }
+
+    /// Reads `file` of job `id` as a string.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error (`NotFound` when the
+    /// file was never written).
+    pub fn read_job_file(&self, id: &str, file: &str) -> io::Result<String> {
+        fs::read_to_string(self.job_file(id, file))
+    }
+
+    /// Appends `line` (newline-terminated by this call) to job `id`'s
+    /// `events.jsonl`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn append_event(&self, id: &str, line: &str) -> io::Result<()> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.job_file(id, "events.jsonl"))?;
+        f.write_all(line.as_bytes())?;
+        f.write_all(b"\n")
+    }
+
+    /// Atomically replaces the top-level `index.json` with `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_index(&self, bytes: &[u8]) -> io::Result<()> {
+        write_atomic(&self.root.join("index.json"), bytes)
+    }
+}
+
+/// Temp + fsync + rename in the destination directory (same pattern as
+/// `walshcheck-core`'s checkpoint writer).
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let tmp = dir.join(format!(
+        ".{}.tmp",
+        path.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "file".into())
+    ));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> Store {
+        let dir =
+            std::env::temp_dir().join(format!("walshcheckd-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Store::open(&dir).expect("open")
+    }
+
+    #[test]
+    fn job_id_is_stable_and_input_sensitive() {
+        let a = job_id("aa", "{\"x\":1}");
+        assert_eq!(a.len(), ID_LEN);
+        assert_eq!(a, job_id("aa", "{\"x\":1}"));
+        assert_ne!(a, job_id("ab", "{\"x\":1}"));
+        assert_ne!(a, job_id("aa", "{\"x\":2}"));
+    }
+
+    #[test]
+    fn files_round_trip_and_events_append() {
+        let store = temp_store("rt");
+        store.create_job("cafe").expect("create");
+        assert!(store.has_job("cafe"));
+        store
+            .write_job_file("cafe", "status.json", b"{\"state\":\"queued\"}")
+            .expect("write");
+        assert_eq!(
+            store.read_job_file("cafe", "status.json").expect("read"),
+            "{\"state\":\"queued\"}"
+        );
+        // Atomic replace leaves no temp file behind.
+        store
+            .write_job_file("cafe", "status.json", b"{\"state\":\"done\"}")
+            .expect("rewrite");
+        assert!(!store.job_file("cafe", ".status.json.tmp").exists());
+        store.append_event("cafe", "{\"e\":1}").expect("append");
+        store.append_event("cafe", "{\"e\":2}").expect("append");
+        assert_eq!(
+            store.read_job_file("cafe", "events.jsonl").expect("read"),
+            "{\"e\":1}\n{\"e\":2}\n"
+        );
+        assert_eq!(store.job_ids().expect("ids"), vec!["cafe".to_string()]);
+        let _ = fs::remove_dir_all(store.root());
+    }
+}

@@ -616,10 +616,10 @@ impl BddManager {
     /// keys into an ADD and taking its non-zero support, minus the ADD.
     pub fn from_keys(&mut self, keys: &mut [u128]) -> Bdd {
         let n = self.num_vars();
-        self.from_keys_rec(0, n, keys)
+        self.keys_to_bdd_rec(0, n, keys)
     }
 
-    fn from_keys_rec(&mut self, level: u32, n: u32, keys: &mut [u128]) -> Bdd {
+    fn keys_to_bdd_rec(&mut self, level: u32, n: u32, keys: &mut [u128]) -> Bdd {
         if keys.is_empty() {
             return Bdd::FALSE;
         }
@@ -639,8 +639,8 @@ impl BddManager {
             }
         }
         let (lo, hi) = keys.split_at_mut(i);
-        let l = self.from_keys_rec(level + 1, n, lo);
-        let h = self.from_keys_rec(level + 1, n, hi);
+        let l = self.keys_to_bdd_rec(level + 1, n, lo);
+        let h = self.keys_to_bdd_rec(level + 1, n, hi);
         self.mk(level, l, h)
     }
 

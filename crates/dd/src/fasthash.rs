@@ -148,7 +148,7 @@ impl Hasher for FastHasher {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::hash::{Hash, Hasher as _};
+    use std::hash::Hash;
 
     fn hash_of<T: Hash>(v: &T) -> u64 {
         let mut h = FastHasher::default();

@@ -7,6 +7,11 @@
 //! walshcheck dump  bench:NAME              # print the gadget as ILANG
 //! walshcheck list                          # list built-in benchmarks
 //!
+//! walshcheck serve  --store DIR [--listen ADDR] [--checkpoint-every SECS]
+//! walshcheck submit <file.il | bench:NAME> (--addr A | --store D) [options]
+//! walshcheck status [ID] (--addr A | --store D)
+//! walshcheck fetch  ID   (--addr A | --store D)
+//!
 //! options:
 //!   --property probing|ni|sni|pini   (default: sni)
 //!   --order D                        (default: shares of secret 0 minus 1)
@@ -50,8 +55,9 @@ use std::sync::mpsc::Receiver;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use walshcheck::daemon::{Client, Daemon, DaemonConfig};
 use walshcheck::prelude::*;
-use walshcheck_core::{run_report_json, Error, ReportCacheConfig};
+use walshcheck_core::{run_report_json, Error};
 
 /// Exit code for proved-secure full sweeps.
 const EXIT_SECURE: u8 = 0;
@@ -118,7 +124,8 @@ mod signals {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: walshcheck <check|info|dump|list> [<file.il>|bench:NAME] [options]\n\
+        "usage: walshcheck <check|info|dump|list|serve|submit|status|fetch> \
+         [<file.il>|bench:NAME] [options]\n\
          run `walshcheck help` for the option list"
     );
     ExitCode::from(EXIT_ERROR)
@@ -385,9 +392,10 @@ fn aggregate_events(rx: Receiver<ProgressEvent>, ticker: bool) -> Vec<(String, D
     phases
 }
 
-fn run_check(target: &str, args: &[String]) -> Result<ExitCode, Error> {
-    let netlist = load(target)?;
-    let cli = parse_options(args)?;
+/// Builds the serializable [`JobSpec`] the CLI flags describe — shared by
+/// `check` (fed into the [`Session`] builder) and `submit` (sent to the
+/// daemon as the job's identity).
+fn spec_from_cli(netlist: &Netlist, cli: &Cli) -> Result<JobSpec, Error> {
     let d = cli.order.unwrap_or_else(|| {
         let shares = netlist.shares_of(walshcheck::circuit::SecretId(0)).len() as u32;
         shares.saturating_sub(1).max(1)
@@ -416,19 +424,33 @@ fn run_check(target: &str, args: &[String]) -> Result<ExitCode, Error> {
     if let Some(nodes) = cli.node_budget {
         builder = builder.node_budget(nodes);
     }
-    let options = builder.build();
+    let mut spec = JobSpec::new(property);
+    spec.options = builder.build();
+    spec.threads = cli.threads.max(1);
+    spec.rescue.enabled = cli.rescue;
+    if let Some(attempts) = cli.rescue_attempts {
+        spec.rescue.attempts = attempts;
+    }
+    if let Some(bytes) = cli.rescue_budget {
+        spec.rescue.budget_bytes = bytes;
+    }
+    Ok(spec)
+}
+
+fn run_check(target: &str, args: &[String]) -> Result<ExitCode, Error> {
+    let netlist = load(target)?;
+    let cli = parse_options(args)?;
+    let spec = spec_from_cli(&netlist, &cli)?;
+    let property = spec.property;
+    let options = spec.options.clone();
 
     let mut session = Session::new(&netlist)?
         .property(property)
         .options(options.clone())
-        .threads(cli.threads)
-        .rescue(cli.rescue);
-    if let Some(attempts) = cli.rescue_attempts {
-        session = session.rescue_attempts(attempts);
-    }
-    if let Some(bytes) = cli.rescue_budget {
-        session = session.rescue_budget(bytes);
-    }
+        .threads(spec.threads)
+        .rescue(spec.rescue.enabled)
+        .rescue_attempts(spec.rescue.attempts)
+        .rescue_budget(spec.rescue.budget_bytes);
     if let Some(path) = &cli.checkpoint {
         session = session.checkpoint_to(path, cli.checkpoint_every);
     }
@@ -457,6 +479,7 @@ fn run_check(target: &str, args: &[String]) -> Result<ExitCode, Error> {
             );
         }
     }
+    let spec = session.spec().clone();
     // Dropping the session drops the channel sender, letting the
     // aggregator thread drain out and finish.
     drop(session);
@@ -466,23 +489,9 @@ fn run_check(target: &str, args: &[String]) -> Result<ExitCode, Error> {
     };
 
     if cli.json {
-        let mode = match options.mode {
-            CheckMode::RowWise => "rowwise",
-            CheckMode::Joint => "joint",
-        };
         println!(
             "{}",
-            run_report_json(
-                &netlist,
-                &verdict,
-                // The lowercase flag spelling, not the Display form.
-                &options.engine.to_string().to_ascii_lowercase(),
-                mode,
-                cli.threads.max(1),
-                ReportCacheConfig::from(&options),
-                &phases,
-                resumed,
-            )
+            run_report_json(&netlist, &verdict, &spec, &phases, resumed)
         );
     } else {
         println!("{}: {verdict}", netlist.name);
@@ -667,6 +676,215 @@ fn run_info(target: &str) -> Result<ExitCode, Error> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Where the daemon-facing subcommands find `walshcheckd`: an explicit
+/// `--addr`, or a `--store` whose `daemon.addr` file a running daemon wrote
+/// at bind time.
+struct DaemonTarget {
+    addr: Option<String>,
+    store: Option<String>,
+}
+
+/// Pulls `--addr`/`--store` out of `args`, returning the remainder for the
+/// subcommand's own option parser.
+fn split_daemon_target(args: &[String]) -> Result<(DaemonTarget, Vec<String>), Error> {
+    let mut target = DaemonTarget {
+        addr: None,
+        store: None,
+    };
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| Error::Config(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--addr" => target.addr = Some(value("--addr")?),
+            "--store" => target.store = Some(value("--store")?),
+            _ => rest.push(arg.clone()),
+        }
+    }
+    Ok((target, rest))
+}
+
+fn daemon_client(target: &DaemonTarget) -> Result<Client, Error> {
+    if let Some(addr) = &target.addr {
+        return Ok(Client::new(addr.clone()));
+    }
+    if let Some(store) = &target.store {
+        let path = std::path::Path::new(store).join("daemon.addr");
+        let addr = std::fs::read_to_string(&path).map_err(|e| {
+            Error::Config(format!(
+                "{}: {e} (is a daemon serving this store?)",
+                path.display()
+            ))
+        })?;
+        return Ok(Client::new(addr.trim().to_string()));
+    }
+    Err(Error::Config(
+        "need --addr HOST:PORT or --store DIR to reach the daemon".into(),
+    ))
+}
+
+/// `walshcheck serve --store DIR [--listen ADDR] [--checkpoint-every SECS]
+/// [--max-body BYTES]` — runs `walshcheckd` until SIGINT/SIGTERM, then
+/// drains gracefully (the in-flight job checkpoints, is marked
+/// `interrupted`, and auto-resumes on the next start).
+fn run_serve(args: &[String]) -> Result<ExitCode, Error> {
+    let mut store: Option<String> = None;
+    let mut listen: Option<String> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut max_body: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| Error::Config(format!("{name} needs a value")))
+        };
+        let bad = |name: &str| Error::Config(format!("bad {name}"));
+        match arg.as_str() {
+            "--store" => store = Some(value("--store")?),
+            "--listen" => listen = Some(value("--listen")?),
+            "--checkpoint-every" => {
+                checkpoint_every = Some(
+                    value("--checkpoint-every")?
+                        .parse()
+                        .map_err(|_| bad("--checkpoint-every"))?,
+                )
+            }
+            "--max-body" => {
+                max_body = Some(
+                    value("--max-body")?
+                        .parse()
+                        .map_err(|_| bad("--max-body"))?,
+                )
+            }
+            other => return Err(Error::Config(format!("unknown option `{other}`"))),
+        }
+    }
+    let store = store.ok_or_else(|| Error::Config("serve needs --store DIR".into()))?;
+    let mut config = DaemonConfig::new(store);
+    if let Some(listen) = listen {
+        config.listen = listen;
+    }
+    if let Some(secs) = checkpoint_every {
+        config.checkpoint_every = Duration::from_secs(secs);
+    }
+    if let Some(bytes) = max_body {
+        config.max_body = bytes;
+    }
+    let daemon = Daemon::bind(&config).map_err(|e| Error::Config(format!("serve: {e}")))?;
+    println!("walshcheckd listening on {}", daemon.addr());
+    daemon
+        .run()
+        .map_err(|e| Error::Config(format!("serve: {e}")))?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `walshcheck submit <file.il|bench:NAME> (--addr A | --store D)
+/// [check options]` — sends the netlist + spec to the daemon and prints the
+/// `{"id","state","cached"}` acknowledgement. Resubmitting an identical
+/// `(netlist, identity)` pair reports `"cached":true` once the first run
+/// finished: the artifact is served from the store, never recomputed.
+fn run_submit(target: &str, args: &[String]) -> Result<ExitCode, Error> {
+    let (daemon_target, rest) = split_daemon_target(args)?;
+    let cli = parse_options(&rest)?;
+    for (flag, set) in [
+        ("--checkpoint", cli.checkpoint.is_some()),
+        ("--resume", cli.resume.is_some()),
+        ("--minimize", cli.minimize),
+        ("--progress", cli.progress),
+        ("--json", cli.json),
+    ] {
+        if set {
+            return Err(Error::Config(format!(
+                "{flag} is managed by the daemon and not valid with submit"
+            )));
+        }
+    }
+    let netlist = load(target)?;
+    let spec = spec_from_cli(&netlist, &cli)?;
+    let client = daemon_client(&daemon_target)?;
+    let response = client
+        .submit(&spec.to_json().to_canonical(), &write_ilang(&netlist))
+        .map_err(|e| Error::Config(format!("submit: {e}")))?;
+    println!("{}", response.text());
+    if response.status >= 400 {
+        return Err(Error::Config(format!(
+            "daemon rejected the submission (HTTP {})",
+            response.status
+        )));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `walshcheck status [ID] (--addr A | --store D)` — one job's record, or
+/// the whole list without an ID.
+fn run_status(args: &[String]) -> Result<ExitCode, Error> {
+    let (id, rest) = match args.first() {
+        Some(first) if !first.starts_with("--") => (Some(first.clone()), &args[1..]),
+        _ => (None, args),
+    };
+    let (daemon_target, leftover) = split_daemon_target(rest)?;
+    if let Some(other) = leftover.first() {
+        return Err(Error::Config(format!("unknown option `{other}`")));
+    }
+    let client = daemon_client(&daemon_target)?;
+    let path = match &id {
+        Some(id) => format!("/v1/jobs/{id}"),
+        None => "/v1/jobs".into(),
+    };
+    let response = client
+        .get(&path)
+        .map_err(|e| Error::Config(format!("status: {e}")))?;
+    println!("{}", response.text());
+    if response.status >= 400 {
+        return Err(Error::Config(format!(
+            "daemon returned HTTP {}",
+            response.status
+        )));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `walshcheck fetch ID (--addr A | --store D)` — prints the job's
+/// walshcheck-report/5 artifact (canonical bytes) and exits with the same
+/// code the equivalent `check` run would have: 0 secure, 1 violated, 2
+/// inconclusive.
+fn run_fetch(id: &str, args: &[String]) -> Result<ExitCode, Error> {
+    let (daemon_target, leftover) = split_daemon_target(args)?;
+    if let Some(other) = leftover.first() {
+        return Err(Error::Config(format!("unknown option `{other}`")));
+    }
+    let client = daemon_client(&daemon_target)?;
+    let response = client
+        .get(&format!("/v1/jobs/{id}/report"))
+        .map_err(|e| Error::Config(format!("fetch: {e}")))?;
+    let body = response.text();
+    if response.status >= 400 {
+        return Err(Error::Config(format!(
+            "daemon returned HTTP {}: {body}",
+            response.status
+        )));
+    }
+    println!("{body}");
+    let outcome = walshcheck_core::json::parse(&body)
+        .ok()
+        .and_then(|doc| {
+            doc.get("result")
+                .and_then(|r| r.get("outcome"))
+                .and_then(|o| o.as_str().map(str::to_owned))
+        })
+        .ok_or_else(|| Error::Config("artifact carries no result.outcome".into()))?;
+    Ok(ExitCode::from(match outcome.as_str() {
+        "secure" => EXIT_SECURE,
+        "violated" => EXIT_VIOLATED,
+        _ => EXIT_INCONCLUSIVE,
+    }))
+}
+
 fn main() -> ExitCode {
     #[cfg(unix)]
     signals::install();
@@ -675,6 +893,10 @@ fn main() -> ExitCode {
         Some("check") if args.len() >= 2 => run_check(&args[1], &args[2..]),
         Some("profile") if args.len() >= 2 => run_profile(&args[1], &args[2..]),
         Some("info") if args.len() >= 2 => run_info(&args[1]),
+        Some("serve") => run_serve(&args[1..]),
+        Some("submit") if args.len() >= 2 => run_submit(&args[1], &args[2..]),
+        Some("status") => run_status(&args[1..]),
+        Some("fetch") if args.len() >= 2 => run_fetch(&args[1], &args[2..]),
         Some("dump") if args.len() >= 2 => load(&args[1]).map(|n| {
             print!("{}", write_ilang(&n));
             ExitCode::SUCCESS
@@ -695,7 +917,13 @@ fn main() -> ExitCode {
                  \x20 check <file.il|bench:NAME> [options]   verify a property\n\
                  \x20 info  <file.il|bench:NAME>             print port summary\n\
                  \x20 dump  <file.il|bench:NAME>             re-emit annotated ILANG\n\
-                 \x20 list                                   list built-in benchmarks\n\n\
+                 \x20 list                                   list built-in benchmarks\n\
+                 \x20 serve --store DIR [--listen ADDR] [--checkpoint-every SECS]\n\
+                 \x20                                        run the walshcheckd daemon\n\
+                 \x20 submit <file.il|bench:NAME> (--addr A|--store D) [options]\n\
+                 \x20                                        queue a job on the daemon\n\
+                 \x20 status [ID] (--addr A|--store D)       job status (all without ID)\n\
+                 \x20 fetch  ID   (--addr A|--store D)       print the report/5 artifact\n\n\
                  options: --property probing|ni|sni|pini  --order D\n\
                  \x20        --engine lil|map|mapi|fujita    --mode rowwise|joint\n\
                  \x20        --glitch  --threads N  --time-limit SECS  --no-prefilter\n\

@@ -37,6 +37,7 @@
 
 pub use walshcheck_circuit as circuit;
 pub use walshcheck_core as core;
+pub use walshcheck_daemon as daemon;
 pub use walshcheck_dd as dd;
 pub use walshcheck_gadgets as gadgets;
 
@@ -47,11 +48,9 @@ pub mod prelude {
     pub use walshcheck_circuit::ilang::{parse_ilang, write_ilang};
     pub use walshcheck_circuit::netlist::Netlist;
     pub use walshcheck_core::checkpoint::CheckpointConfig;
-    #[cfg(feature = "compat")]
-    #[allow(deprecated)]
-    pub use walshcheck_core::engine::check_netlist;
     pub use walshcheck_core::engine::{EngineKind, Verifier, VerifyOptions, VerifyOptionsBuilder};
     pub use walshcheck_core::error::Error;
+    pub use walshcheck_core::job::{netlist_sha256, Job, JobSpec};
     pub use walshcheck_core::observe::{
         ChannelObserver, EnginePhase, ProgressEvent, ProgressObserver,
     };

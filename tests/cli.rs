@@ -254,9 +254,11 @@ fn json_report_for_secure_gadget() {
     let (stdout, _, code) = walshcheck(&["check", "bench:dom-1", "--property", "sni", "--json"]);
     assert_eq!(code, Some(0), "{stdout}");
     for fragment in [
-        "\"schema\":\"walshcheck-report/4\"",
+        "\"schema\":\"walshcheck-report/5\"",
         "\"recovery\":null",
         "\"netlist\":\"dom-1\"",
+        "\"netlist_sha256\":\"",
+        "\"report_hash\":\"",
         "\"cache\":{\"enabled\":true,",
         "\"secure\":true",
         "\"outcome\":\"secure\"",

@@ -1,0 +1,498 @@
+//! Lifecycle tests for `walshcheckd`: submit over a real socket, poll,
+//! fetch, kill, resume, restart — and the artifact-store contract that a
+//! finished job's report is canonical bytes, content-hashed, byte-identical
+//! to an uninterrupted in-process run, and served from disk on resubmit.
+//!
+//! The daemon shares the process-global shutdown flag with the library
+//! (kills and daemon stops both ride on it), so every test in this file
+//! serializes on one lock and leaves the flag cleared. The SIGTERM test at
+//! the bottom exercises a *child* `walshcheck serve` process and needs the
+//! fault-injection feature for a deterministic mid-sweep stall.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use walshcheck::core::hash::sha256_hex;
+use walshcheck::core::json::{self, Json};
+use walshcheck::core::shutdown;
+use walshcheck::core::{Job, JobSpec, Report, REPORT_SCHEMA};
+use walshcheck::daemon::{Client, Daemon, DaemonConfig};
+use walshcheck::prelude::*;
+
+static FLAG_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    FLAG_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("walshcheckd-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Binds a daemon over `store` and serves it on a background thread.
+/// Checkpoints after every batch so kills always leave a resumable file.
+/// Clears any shutdown flag a previous (possibly panicked) test left
+/// behind, so the accept loop does not exit on arrival.
+fn start_daemon(store: &Path, max_body: usize) -> (JoinHandle<()>, Client) {
+    shutdown::reset();
+    let mut config = DaemonConfig::new(store);
+    config.checkpoint_every = Duration::ZERO;
+    config.max_body = max_body;
+    let daemon = Daemon::bind(&config).expect("daemon binds");
+    let addr = daemon.addr();
+    let handle = std::thread::spawn(move || daemon.run().expect("daemon serves"));
+    (handle, Client::new(addr.to_string()))
+}
+
+/// Raises the shutdown flag, joins the serve thread, clears the flag.
+fn stop_daemon(handle: JoinHandle<()>) {
+    shutdown::request();
+    handle.join().expect("daemon thread");
+    shutdown::reset();
+}
+
+/// RAII for `WALSHCHECK_FAULT`: clears the variable even when the test
+/// panics, so a failure does not stall every later test in this binary.
+/// Only used under the flag lock — the variable is process-global.
+#[cfg(feature = "fault-inject")]
+struct FaultPlan;
+
+#[cfg(feature = "fault-inject")]
+impl FaultPlan {
+    fn set(plan: &str) -> FaultPlan {
+        std::env::set_var("WALSHCHECK_FAULT", plan);
+        FaultPlan
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+impl Drop for FaultPlan {
+    fn drop(&mut self) {
+        std::env::remove_var("WALSHCHECK_FAULT");
+    }
+}
+
+fn spec_json(property: Property, threads: usize) -> String {
+    let mut spec = JobSpec::new(property);
+    spec.threads = threads;
+    spec.to_json().to_canonical()
+}
+
+fn submit(client: &Client, property: Property, threads: usize, netlist: &Netlist) -> Json {
+    let response = client
+        .submit(&spec_json(property, threads), &write_ilang(netlist))
+        .expect("submit");
+    assert!(
+        response.status == 200 || response.status == 201,
+        "submit answered {}: {}",
+        response.status,
+        response.text()
+    );
+    json::parse(&response.text()).expect("submit body is JSON")
+}
+
+fn field<'a>(doc: &'a Json, name: &str) -> &'a str {
+    doc.get(name)
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("{name} missing in {doc:?}"))
+}
+
+/// Polls `GET /v1/jobs/{id}` until the job reaches `want` (or fails the
+/// test on a terminal mismatch / timeout). Returns the final record.
+fn wait_for(client: &Client, id: &str, want: &str) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let response = client.get(&format!("/v1/jobs/{id}")).expect("status");
+        assert_eq!(response.status, 200, "{}", response.text());
+        let doc = json::parse(&response.text()).expect("status is JSON");
+        let state = field(&doc, "state").to_string();
+        if state == want {
+            return doc;
+        }
+        assert!(
+            !matches!(state.as_str(), "done" | "failed" | "killed"),
+            "job {id} settled in {state}, wanted {want}: {doc:?}"
+        );
+        assert!(
+            Instant::now() < deadline,
+            "job {id} stuck in {state}, wanted {want}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The reference artifact an uninterrupted in-process run produces for the
+/// same `(netlist, spec)` — what every daemon-produced report must match
+/// byte for byte. The daemon stores and runs the canonical ILANG dump of
+/// the submission, so the reference is built from the same round-tripped
+/// netlist.
+fn reference_artifact(netlist: &Netlist, property: Property, threads: usize) -> Report {
+    let canonical = parse_ilang(&write_ilang(netlist)).expect("canonical dump parses");
+    let mut spec = JobSpec::new(property);
+    spec.threads = threads;
+    let mut job = Job::new(&canonical, spec).expect("valid netlist");
+    let verdict = job.run();
+    Report::new(&canonical, job.spec(), &verdict)
+}
+
+#[test]
+fn health_routing_and_method_mismatches() {
+    let guard = lock();
+    let store = temp_store("health");
+    let (handle, client) = start_daemon(&store, 1 << 20);
+
+    let health = client.get("/v1/health").expect("health");
+    assert_eq!(health.status, 200);
+    assert!(health.text().contains("\"service\":\"walshcheckd\""));
+
+    assert_eq!(client.get("/nope").expect("404").status, 404);
+    assert_eq!(client.delete("/v1/health").expect("405").status, 405);
+    assert_eq!(client.get("/v1/jobs/feedface").expect("404").status, 404);
+    assert_eq!(
+        client.get("/v1/jobs/feedface/report").expect("404").status,
+        404
+    );
+
+    stop_daemon(handle);
+    drop(guard);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn malformed_submissions_are_rejected_not_crashed() {
+    let guard = lock();
+    let store = temp_store("reject");
+    // A 4 KiB body cap so the oversized case stays cheap.
+    let (handle, client) = start_daemon(&store, 4096);
+
+    for (label, body) in [
+        ("not JSON at all", "ilang? never heard of it".to_string()),
+        ("missing spec", "{\"netlist\":\"module m\"}".to_string()),
+        (
+            "missing netlist",
+            "{\"spec\":{\"property\":{\"kind\":\"sni\",\"order\":1}}}".to_string(),
+        ),
+        (
+            "spec without property",
+            "{\"spec\":{},\"netlist\":\"module m\"}".to_string(),
+        ),
+        (
+            "unknown engine",
+            "{\"spec\":{\"property\":{\"kind\":\"sni\",\"order\":1},\"engine\":\"cudd\"},\"netlist\":\"x\"}"
+                .to_string(),
+        ),
+        (
+            "unparseable netlist",
+            "{\"spec\":{\"property\":{\"kind\":\"sni\",\"order\":1}},\"netlist\":\"garbage\"}"
+                .to_string(),
+        ),
+    ] {
+        let response = client.post("/v1/jobs", body.as_bytes()).expect(label);
+        assert_eq!(response.status, 400, "{label}: {}", response.text());
+    }
+
+    // Oversized bodies are refused before they are buffered.
+    let oversized = format!("{{\"netlist\":\"{}\"}}", "x".repeat(8192));
+    let response = client
+        .post("/v1/jobs", oversized.as_bytes())
+        .expect("oversized");
+    assert_eq!(response.status, 413, "{}", response.text());
+
+    // Nothing above may have created a job.
+    let list = client.get("/v1/jobs").expect("list");
+    assert_eq!(list.text(), "{\"jobs\":[]}");
+
+    stop_daemon(handle);
+    drop(guard);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn submit_poll_fetch_and_cache_hit_on_resubmit() {
+    let guard = lock();
+    let store = temp_store("e2e");
+    let (handle, client) = start_daemon(&store, 1 << 20);
+    let netlist = Benchmark::Dom(1).netlist();
+
+    let ack = submit(&client, Property::Sni(1), 2, &netlist);
+    let id = field(&ack, "id").to_string();
+    assert_eq!(id.len(), 16, "content-derived id");
+    assert_eq!(ack.get("cached"), Some(&Json::Bool(false)));
+
+    let record = wait_for(&client, &id, "done");
+    let report_hash = field(&record, "report_hash").to_string();
+
+    // The artifact: canonical bytes whose SHA-256 is the advertised hash,
+    // byte-identical to what an uninterrupted in-process run produces.
+    let fetched = client
+        .get(&format!("/v1/jobs/{id}/report"))
+        .expect("report");
+    assert_eq!(fetched.status, 200);
+    let body = fetched.text();
+    assert!(
+        body.contains(&format!("\"schema\":\"{REPORT_SCHEMA}\"")),
+        "{body}"
+    );
+    assert!(body.contains("\"outcome\":\"secure\""), "{body}");
+    assert_eq!(sha256_hex(body.as_bytes()), report_hash);
+    let reference = reference_artifact(&netlist, Property::Sni(1), 1);
+    assert_eq!(body, reference.canonical_json(), "artifact bytes drifted");
+    assert_eq!(report_hash, reference.hash());
+
+    // Progress events survived on disk and paginate.
+    let events = client
+        .get(&format!("/v1/jobs/{id}/events?since=0"))
+        .expect("events");
+    assert_eq!(events.status, 200);
+    let events_doc = json::parse(&events.text()).expect("events JSON");
+    let next = events_doc.get("next").and_then(Json::as_u64).expect("next");
+    assert!(next > 0, "{}", events.text());
+    assert!(events.text().contains("\"event\":\"run-started\""));
+    let tail = client
+        .get(&format!("/v1/jobs/{id}/events?since={next}"))
+        .expect("tail");
+    assert!(tail.text().contains("\"events\":[]"), "{}", tail.text());
+
+    // Resubmitting the identical (netlist, identity) — even at a different
+    // thread count, which is not part of the identity — is a cache hit.
+    for threads in [2, 7] {
+        let again = submit(&client, Property::Sni(1), threads, &netlist);
+        assert_eq!(field(&again, "id"), id, "t{threads}");
+        assert_eq!(
+            again.get("cached"),
+            Some(&Json::Bool(true)),
+            "t{threads}: {again:?}"
+        );
+    }
+    // A different property is a different job.
+    let other = submit(&client, Property::Ni(1), 2, &netlist);
+    assert_ne!(field(&other, "id"), id);
+
+    // Killing a finished job is a conflict, not a state change.
+    let kill = client.delete(&format!("/v1/jobs/{id}")).expect("kill");
+    assert_eq!(kill.status, 409, "{}", kill.text());
+
+    stop_daemon(handle);
+    drop(guard);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn queued_jobs_kill_and_resume_deterministically() {
+    let guard = lock();
+    let store = temp_store("killq");
+    // Bind without serving: the runner thread only starts in `run`, so the
+    // submission sits in `queued` and the kill/resume transitions are
+    // race-free.
+    let config = DaemonConfig::new(&store);
+    let daemon = Daemon::bind(&config).expect("binds");
+    let manager = std::sync::Arc::clone(daemon.manager());
+    let netlist = Benchmark::Dom(1).netlist();
+    let spec_doc = json::parse(&spec_json(Property::Sni(1), 1)).expect("spec");
+    let submitted = manager
+        .submit(&spec_doc, &write_ilang(&netlist))
+        .expect("submits");
+    assert!(submitted.created);
+
+    use walshcheck::daemon::JobState;
+    assert_eq!(
+        manager.kill(&submitted.id).expect("kills"),
+        JobState::Killed
+    );
+    let conflict = manager.kill(&submitted.id).expect_err("double kill");
+    assert_eq!(conflict.status, 409);
+    assert_eq!(
+        manager.resume(&submitted.id).expect("resumes"),
+        JobState::Queued
+    );
+
+    // Now serve: the re-enqueued job runs to completion over HTTP.
+    let addr = daemon.addr();
+    let handle = std::thread::spawn(move || daemon.run().expect("serves"));
+    let client = Client::new(addr.to_string());
+    let record = wait_for(&client, &submitted.id, "done");
+    assert!(field(&record, "report_hash").len() == 64);
+
+    stop_daemon(handle);
+    drop(guard);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn restart_recovers_the_store_and_finishes_the_job() {
+    let guard = lock();
+    let store = temp_store("restart");
+    let netlist = Benchmark::Dom(2).netlist();
+
+    // Daemon A: submit and stop straight away. Depending on where the stop
+    // lands the job is still queued, mid-sweep (→ interrupted, checkpoint
+    // flushed), or already done — recovery must finish it in every case.
+    let (handle_a, client_a) = start_daemon(&store, 1 << 20);
+    let ack = submit(&client_a, Property::Sni(2), 2, &netlist);
+    let id = field(&ack, "id").to_string();
+    std::thread::sleep(Duration::from_millis(30));
+    stop_daemon(handle_a);
+
+    // Daemon B over the same store: queued/interrupted jobs re-enqueue and
+    // the checkpoint (if any) seeds the resumed sweep.
+    let (handle_b, client_b) = start_daemon(&store, 1 << 20);
+    let record = wait_for(&client_b, &id, "done");
+    let report_hash = field(&record, "report_hash").to_string();
+
+    // Whatever the interruption history, the artifact is byte-identical to
+    // an uninterrupted run's: resume is exact, and the report carries no
+    // timing or scheduling residue.
+    let fetched = client_b
+        .get(&format!("/v1/jobs/{id}/report"))
+        .expect("report");
+    let reference = reference_artifact(&netlist, Property::Sni(2), 1);
+    assert_eq!(fetched.text(), reference.canonical_json());
+    assert_eq!(report_hash, reference.hash());
+
+    // The finished job is now cache-served across restarts too.
+    let again = submit(&client_b, Property::Sni(2), 4, &netlist);
+    assert_eq!(field(&again, "id"), id);
+    assert_eq!(again.get("cached"), Some(&Json::Bool(true)));
+
+    stop_daemon(handle_b);
+    drop(guard);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+/// Kill lands mid-sweep deterministically: the fault-injected stall slows
+/// each combination to ~25 ms, so the DELETE always catches the job
+/// `running`; the interrupted sweep flushes its checkpoint, the job parks
+/// in `killed`, and `POST resume` finishes it — byte-identical to an
+/// uninterrupted run.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn http_kill_mid_sweep_then_resume_is_exact() {
+    let guard = lock();
+    let store = temp_store("killrun");
+    let (handle, client) = start_daemon(&store, 1 << 20);
+    let netlist = Benchmark::Dom(2).netlist();
+
+    let fault = FaultPlan::set("stall-ms=25");
+    let ack = submit(&client, Property::Sni(2), 1, &netlist);
+    let id = field(&ack, "id").to_string();
+    wait_for(&client, &id, "running");
+    // Let at least one batch finish so the checkpoint has a frontier.
+    std::thread::sleep(Duration::from_millis(200));
+    let kill = client.delete(&format!("/v1/jobs/{id}")).expect("kill");
+    assert_eq!(kill.status, 202, "{}", kill.text());
+    let record = wait_for(&client, &id, "killed");
+    assert_eq!(record.get("report_hash"), Some(&Json::Null));
+    drop(fault);
+
+    // The interrupted sweep left a resumable checkpoint behind.
+    let ck = store.join("jobs").join(&id).join("checkpoint.ck");
+    assert!(ck.is_file(), "no checkpoint at {}", ck.display());
+
+    // A killed job does not auto-resume; an explicit resume finishes it.
+    let resume = client
+        .post(&format!("/v1/jobs/{id}/resume"), b"")
+        .expect("resume");
+    assert_eq!(resume.status, 200, "{}", resume.text());
+    wait_for(&client, &id, "done");
+    let fetched = client
+        .get(&format!("/v1/jobs/{id}/report"))
+        .expect("report");
+    let reference = reference_artifact(&netlist, Property::Sni(2), 1);
+    assert_eq!(fetched.text(), reference.canonical_json());
+    assert!(!ck.exists(), "checkpoint survives a finished sweep");
+
+    stop_daemon(handle);
+    drop(guard);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+/// End-to-end across processes: `walshcheck serve` is SIGTERMed mid-sweep,
+/// exits 0 after draining, and a fresh `serve` over the same store
+/// auto-resumes the interrupted job to the exact uninterrupted artifact.
+#[cfg(all(unix, feature = "fault-inject"))]
+#[test]
+fn sigterm_against_a_serving_child_drains_and_resumes() {
+    use std::process::{Command, Stdio};
+
+    let guard = lock();
+    let store = temp_store("sigterm");
+    let netlist = Benchmark::Dom(2).netlist();
+    let store_str = store.to_str().expect("utf-8 path").to_string();
+    let serve = |stalled: bool| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_walshcheck"));
+        cmd.args(["serve", "--store", &store_str, "--checkpoint-every", "0"])
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped());
+        if stalled {
+            cmd.env("WALSHCHECK_FAULT", "stall-ms=25");
+        } else {
+            cmd.env_remove("WALSHCHECK_FAULT");
+        }
+        cmd.spawn().expect("serve spawns")
+    };
+    let wait_addr = || {
+        let path = store.join("daemon.addr");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Ok(addr) = std::fs::read_to_string(&path) {
+                let addr = addr.trim().to_string();
+                // The previous incarnation's file is overwritten at bind;
+                // accept whatever answers a health check.
+                let client = Client::new(addr.clone());
+                if matches!(client.get("/v1/health"), Ok(r) if r.status == 200) {
+                    return client;
+                }
+            }
+            assert!(Instant::now() < deadline, "no daemon.addr in {store_str}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    };
+
+    let mut child = serve(true);
+    let client = wait_addr();
+    let ack = submit(&client, Property::Sni(2), 1, &netlist);
+    let id = field(&ack, "id").to_string();
+    wait_for(&client, &id, "running");
+    std::thread::sleep(Duration::from_millis(200));
+
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(term.success());
+    let status = child.wait().expect("child exits");
+    assert_eq!(status.code(), Some(0), "graceful serve exit");
+
+    // The store records the interruption durably.
+    let status_text = std::fs::read_to_string(store.join("jobs").join(&id).join("status.json"))
+        .expect("status.json persisted");
+    assert!(
+        status_text.contains("\"state\":\"interrupted\"")
+            || status_text.contains("\"state\":\"queued\""),
+        "{status_text}"
+    );
+
+    // A fresh daemon (no stall) auto-resumes and completes it.
+    let mut child = serve(false);
+    let client = wait_addr();
+    let record = wait_for(&client, &id, "done");
+    let fetched = client
+        .get(&format!("/v1/jobs/{id}/report"))
+        .expect("report");
+    let reference = reference_artifact(&netlist, Property::Sni(2), 1);
+    assert_eq!(fetched.text(), reference.canonical_json());
+    assert_eq!(field(&record, "report_hash"), reference.hash());
+
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(term.success());
+    assert_eq!(child.wait().expect("exits").code(), Some(0));
+    drop(guard);
+    let _ = std::fs::remove_dir_all(&store);
+}

@@ -68,18 +68,20 @@ fn modulo_shards_partition_the_combination_space() {
     assert_eq!(par.secure, serial.secure);
 }
 
-#[cfg(feature = "compat")]
 #[test]
-#[allow(deprecated)]
-fn deprecated_entry_points_still_work() {
-    // The 0.1 API (`check_netlist` / `check_parallel`) is a thin wrapper
-    // over Session now; keep it alive until the shims are dropped.
-    use walshcheck_core::engine::check_parallel;
+fn job_spec_and_session_agree() {
+    // The 0.3 Job API and the Session builder are the same execution path;
+    // a spec round-tripped through its canonical JSON must reproduce the
+    // session's verdict exactly.
+    use walshcheck_core::{Job, JobSpec};
     let n = Benchmark::Dom(1).netlist();
-    let serial = check_netlist(&n, Property::Sni(1), &VerifyOptions::default()).expect("valid");
-    let par = check_parallel(&n, Property::Sni(1), &VerifyOptions::default(), 2).expect("valid");
-    assert!(serial.secure && par.secure);
-    assert_eq!(serial.stats.combinations, par.stats.combinations);
+    let serial = check(&n, Property::Sni(1));
+    let spec_text = JobSpec::new(Property::Sni(1)).to_json().to_canonical();
+    let spec = JobSpec::parse(&walshcheck_core::json::parse(&spec_text).expect("valid json"))
+        .expect("valid spec");
+    let via_job = Job::new(&n, spec).expect("valid").run();
+    assert!(serial.secure && via_job.secure);
+    assert_eq!(serial.stats.combinations, via_job.stats.combinations);
 }
 
 #[test]

@@ -509,7 +509,7 @@ fn search_witnesses_honors_limits_and_reports_completeness() {
     assert!(search.skipped.is_empty());
     assert!(!search.stats.timed_out);
 
-    // The compat wrapper returns the same witnesses.
+    // The bare convenience wrapper returns the same witnesses.
     let bare = Session::new(&ti1)
         .expect("valid netlist")
         .property(Property::Sni(1))

@@ -15,6 +15,7 @@
 //! witness must be byte-identical with the cache on, off, or thrashing
 //! under a tiny budget — at any thread count.
 
+use walshcheck::core::{Job, JobSpec, Report};
 use walshcheck::prelude::*;
 use walshcheck_gadgets::composition::composition_fig1;
 use walshcheck_gadgets::isw::isw_and_broken;
@@ -256,6 +257,43 @@ fn prefix_cache_fires_on_deep_tuples() {
     );
     assert!(v.stats.cache_misses > 0, "no misses recorded");
     assert!(v.stats.cache_peak_bytes > 0, "no footprint recorded");
+}
+
+#[test]
+fn report_artifacts_are_byte_identical_across_thread_counts() {
+    // The report/5 artifact carries only deterministic data (no timings,
+    // no cache counters, no thread count), so its canonical bytes — and
+    // therefore its content hash — must be identical whatever the worker
+    // count or cache configuration. That invariant is what lets the
+    // daemon's artifact store use (netlist hash, spec identity) as a cache
+    // key and serve resubmissions from disk.
+    for (label, n, prop) in [
+        ("dom-1", Benchmark::Dom(1).netlist(), Property::Sni(1)),
+        ("ti-1", Benchmark::Ti1.netlist(), Property::Sni(1)),
+        ("isw-2-broken", isw_and_broken(2), Property::Sni(2)),
+    ] {
+        let artifact = |threads: usize, cache: bool| {
+            let mut spec = JobSpec::new(prop);
+            spec.threads = threads;
+            spec.options.cache = cache;
+            let mut job = Job::new(&n, spec).expect("valid");
+            let verdict = job.run();
+            let report = Report::new(&n, job.spec(), &verdict);
+            (
+                report.canonical_json().to_string(),
+                report.hash().to_string(),
+            )
+        };
+        let (base_bytes, base_hash) = artifact(1, true);
+        for (threads, cache) in [(4, true), (4, false), (16, true)] {
+            let (bytes, hash) = artifact(threads, cache);
+            assert_eq!(
+                base_bytes, bytes,
+                "{label}: artifact bytes differ at t{threads} cache={cache}"
+            );
+            assert_eq!(base_hash, hash, "{label}: artifact hash differs");
+        }
+    }
 }
 
 #[test]
