@@ -1,0 +1,126 @@
+//! DD-backend A/B benchmark: private per-worker arenas vs the shared
+//! concurrent store.
+//!
+//! ```text
+//! bench_backends [--json BENCH_7.json] [--label NAME] [--samples N]
+//!                [--max-overhead F]
+//! ```
+//!
+//! Times the paper-configuration MAPI check of the perf-smoke gadgets
+//! (dom-2 and keccak-1) at 1, 4 and 8 worker threads on both backends and
+//! prints the per-row medians. With `--json` the medians are appended as a
+//! labeled run to the given file, in the same label-replacing,
+//! history-preserving layout as the `report --json` perf trajectory.
+//!
+//! The one-thread rows are the shared store's synchronization overhead —
+//! no sharing can pay off with a single worker, so `shared/private` at one
+//! thread is the price of the striped locks and seqlock caches. The run
+//! exits non-zero if that overhead exceeds `--max-overhead` (default 1.10,
+//! the ≤10% budget the shared backend is designed to).
+
+use std::collections::BTreeMap;
+
+use walshcheck_bench::{compare_backends, emit_json_pretty, round_secs, secs};
+use walshcheck_core::json::{self, Json};
+use walshcheck_gadgets::suite::Benchmark;
+
+/// The gadgets measured: the CI perf-smoke pair — small enough for every
+/// push, big enough that kernel-level overhead shows in the timing.
+const GADGETS: [Benchmark; 2] = [Benchmark::Dom(2), Benchmark::Keccak(1)];
+
+/// Worker-thread counts of the sweep.
+const THREADS: [usize; 3] = [1, 4, 8];
+
+/// Value of a `--flag VALUE` pair, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let samples = flag_value(&args, "--samples")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(5)
+        .max(1);
+    let max_overhead = flag_value(&args, "--max-overhead")
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1.10);
+
+    println!(
+        "{:<12} {:>8} {:>12} {:>12} {:>10}",
+        "gadget", "threads", "private_s", "shared_s", "shd/prv"
+    );
+    let mut gadget_rows = Vec::new();
+    let mut failed = false;
+    for bench in GADGETS {
+        let mut rows = Vec::new();
+        for threads in THREADS {
+            eprintln!("measuring {bench} t{threads} ({samples} samples per backend) ...");
+            let c = compare_backends(bench, threads, samples);
+            println!(
+                "{:<12} {:>8} {:>12.6} {:>12.6} {:>10.3}",
+                c.gadget,
+                c.threads,
+                secs(c.private),
+                secs(c.shared),
+                c.overhead
+            );
+            if threads == 1 && c.overhead > max_overhead {
+                eprintln!(
+                    "bench_backends: {} single-thread shared overhead {:.3} \
+                     exceeds the {max_overhead:.2} budget",
+                    c.gadget, c.overhead
+                );
+                failed = true;
+            }
+            let mut row = BTreeMap::new();
+            row.insert("threads".to_string(), Json::Int(threads as i64));
+            row.insert(
+                "private".to_string(),
+                Json::Float(round_secs(secs(c.private))),
+            );
+            row.insert(
+                "shared".to_string(),
+                Json::Float(round_secs(secs(c.shared))),
+            );
+            row.insert("overhead".to_string(), Json::Float(round_secs(c.overhead)));
+            rows.push(Json::Obj(row));
+        }
+        let mut entry = BTreeMap::new();
+        entry.insert("gadget".to_string(), Json::Str(bench.name()));
+        entry.insert("threads".to_string(), Json::Arr(rows));
+        gadget_rows.push(Json::Obj(entry));
+    }
+
+    if let Some(path) = flag_value(&args, "--json") {
+        let label = flag_value(&args, "--label").unwrap_or("current");
+        let mut run = BTreeMap::new();
+        run.insert("label".to_string(), Json::Str(label.to_string()));
+        run.insert("samples".to_string(), Json::Int(samples as i64));
+        run.insert("gadgets".to_string(), Json::Arr(gadget_rows));
+        // Same merge discipline as the report --json trajectory: replace
+        // the run with this label, keep the rest, append last.
+        let mut runs: Vec<Json> = std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| json::parse(&text).ok())
+            .and_then(|doc| doc.get("runs").and_then(Json::as_arr).map(<[Json]>::to_vec))
+            .unwrap_or_default();
+        runs.retain(|r| r.get("label").and_then(Json::as_str) != Some(label));
+        runs.push(Json::Obj(run));
+        let mut doc = BTreeMap::new();
+        doc.insert(
+            "schema".to_string(),
+            Json::Str("walshcheck-bench/backends-1".to_string()),
+        );
+        doc.insert("runs".to_string(), Json::Arr(runs));
+        std::fs::write(path, emit_json_pretty(&Json::Obj(doc))).expect("perf file writable");
+        eprintln!("recorded run `{label}` in {path}");
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

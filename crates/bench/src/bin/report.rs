@@ -24,16 +24,14 @@
 //! last recorded run in the file.
 
 use std::collections::BTreeMap;
-use std::fmt::Write as _;
 use std::time::Duration;
 
 use walshcheck_bench::{
-    median, run_bloem_like, run_engine_with, run_heuristic, run_silver_like, secs, tables,
-    RunResult,
+    emit_json_pretty, median, round_secs, run_bloem_like, run_engine_with, run_heuristic,
+    run_silver_like, secs, tables, RunResult,
 };
 use walshcheck_core::engine::EngineKind;
 use walshcheck_core::json::{self, Json};
-use walshcheck_core::report::json_escape;
 use walshcheck_gadgets::suite::Benchmark;
 
 fn bench_set(full: bool) -> Vec<Benchmark> {
@@ -235,59 +233,6 @@ fn engine_medians(bench: Benchmark, samples: usize, limit: Option<Duration>) -> 
     })
 }
 
-/// Serializes a [`Json`] value with two-space indentation (the perf file is
-/// checked into the repository, so it should diff well).
-fn emit(j: &Json, indent: usize, out: &mut String) {
-    let pad = "  ".repeat(indent);
-    match j {
-        Json::Null => out.push_str("null"),
-        Json::Bool(b) => {
-            let _ = write!(out, "{b}");
-        }
-        Json::Int(i) => {
-            let _ = write!(out, "{i}");
-        }
-        Json::Float(f) => {
-            let _ = write!(out, "{f}");
-        }
-        Json::Str(s) => {
-            let _ = write!(out, "\"{}\"", json_escape(s));
-        }
-        Json::Arr(items) => {
-            if items.is_empty() {
-                out.push_str("[]");
-                return;
-            }
-            out.push_str("[\n");
-            for (i, item) in items.iter().enumerate() {
-                let _ = write!(out, "{pad}  ");
-                emit(item, indent + 1, out);
-                out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
-            }
-            let _ = write!(out, "{pad}]");
-        }
-        Json::Obj(map) => {
-            if map.is_empty() {
-                out.push_str("{}");
-                return;
-            }
-            out.push_str("{\n");
-            for (i, (k, v)) in map.iter().enumerate() {
-                let _ = write!(out, "{pad}  \"{}\": ", json_escape(k));
-                emit(v, indent + 1, out);
-                out.push_str(if i + 1 < map.len() { ",\n" } else { "\n" });
-            }
-            let _ = write!(out, "{pad}}}");
-        }
-    }
-}
-
-/// Rounds a seconds value to microsecond precision so the checked-in perf
-/// file stays stable and readable.
-fn round_secs(s: f64) -> f64 {
-    (s * 1e6).round() / 1e6
-}
-
 /// Runs the perf-trajectory measurement and records it in `path` under
 /// `label` (see the module docs for the file layout).
 fn json_mode(path: &str, label: &str, samples: usize, full: bool, limit: Option<Duration>) {
@@ -336,10 +281,7 @@ fn json_mode(path: &str, label: &str, samples: usize, full: bool, limit: Option<
         Json::Str("walshcheck-bench/perf-1".to_string()),
     );
     doc.insert("runs".to_string(), Json::Arr(runs));
-    let mut out = String::new();
-    emit(&Json::Obj(doc), 0, &mut out);
-    out.push('\n');
-    std::fs::write(path, out).expect("perf file writable");
+    std::fs::write(path, emit_json_pretty(&Json::Obj(doc))).expect("perf file writable");
     eprintln!("recorded run `{label}` in {path}");
 }
 

@@ -18,12 +18,17 @@
 
 use std::time::{Duration, Instant};
 
+use std::fmt::Write as _;
+
 use walshcheck_core::engine::{EngineKind, VerifyOptions};
 use walshcheck_core::exhaustive::exhaustive_check;
 use walshcheck_core::heuristic::heuristic_check;
+use walshcheck_core::json::Json;
 use walshcheck_core::property::Property;
+use walshcheck_core::report::json_escape;
 use walshcheck_core::session::Session;
 use walshcheck_core::sites::SiteOptions;
+use walshcheck_core::Backend;
 use walshcheck_gadgets::suite::Benchmark;
 
 /// Timing and outcome of one verification run.
@@ -313,6 +318,142 @@ pub fn compare_cache_modes(bench: Benchmark, threads: usize, samples: usize) -> 
         hits: stats.0,
         misses: stats.1,
     }
+}
+
+/// One row of the DD-backend A/B comparison: the same check timed on the
+/// per-worker private arenas and on the shared concurrent store.
+#[derive(Debug, Clone)]
+pub struct BackendComparison {
+    /// Gadget name.
+    pub gadget: String,
+    /// Worker-thread count of both runs.
+    pub threads: usize,
+    /// Median wall time on [`Backend::Private`].
+    pub private: Duration,
+    /// Median wall time on [`Backend::Shared`].
+    pub shared: Duration,
+    /// `shared / private` (< 1 means the shared store wins; at one thread
+    /// this is the shared backend's synchronization overhead).
+    pub overhead: f64,
+}
+
+/// Times the paper-configuration SNI check of `bench` at `threads` workers
+/// on both DD backends, `samples` times each (median reported).
+///
+/// The backend is a pure speed/memory knob (DESIGN.md §14), so the harness
+/// asserts verdict *and* witness equality before reporting a row.
+///
+/// # Panics
+///
+/// Panics if the generated benchmark netlist is invalid (a bug), or if the
+/// two backends disagree on the verdict or witness (the backend-neutrality
+/// guarantee would be broken).
+pub fn compare_backends(bench: Benchmark, threads: usize, samples: usize) -> BackendComparison {
+    let netlist = bench.netlist();
+    let property = paper_property(bench);
+    let options = VerifyOptions::paper(EngineKind::Mapi);
+    let run = |backend: Backend| {
+        let mut session = Session::new(&netlist)
+            .expect("benchmark netlists are valid")
+            .property(property)
+            .options(options.clone())
+            .dd_backend(backend)
+            .threads(threads);
+        let start = Instant::now();
+        let verdict = session.run();
+        (secs(start.elapsed()), verdict)
+    };
+    let mut private_s = Vec::new();
+    let mut shared_s = Vec::new();
+    let mut ratios = Vec::new();
+    for i in 0..samples.max(1) {
+        // Alternate which backend goes first: whichever runs second in a
+        // pair inherits the first's allocator and branch-predictor state,
+        // and flipping the order each iteration cancels that bias.
+        let ((t_p, p), (t_s, s)) = if i % 2 == 0 {
+            let p = run(Backend::Private);
+            (p, run(Backend::Shared))
+        } else {
+            let s = run(Backend::Shared);
+            (run(Backend::Private), s)
+        };
+        private_s.push(t_p);
+        shared_s.push(t_s);
+        ratios.push(t_s / t_p.max(1e-9));
+        assert_eq!(p.secure, s.secure, "{bench}: backend changes the verdict");
+        assert_eq!(p.witness, s.witness, "{bench}: backend changes the witness");
+    }
+    // The overhead is the median of the *paired* per-iteration ratios, not
+    // the ratio of the medians: the backends alternate within one process,
+    // so pairing cancels the machine's frequency and load drift, which on
+    // a busy box is larger than the effect being measured.
+    BackendComparison {
+        gadget: bench.name(),
+        threads,
+        private: Duration::from_secs_f64(median(&mut private_s)),
+        shared: Duration::from_secs_f64(median(&mut shared_s)),
+        overhead: median(&mut ratios),
+    }
+}
+
+/// Serializes a [`Json`] value with two-space indentation — the perf
+/// trajectory files (BENCH_*.json) are checked into the repository, so they
+/// should diff well. Shared by the `report` and `bench_backends` binaries.
+pub fn emit_json_pretty(j: &Json) -> String {
+    fn emit(j: &Json, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        match j {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(f) => {
+                let _ = write!(out, "{f}");
+            }
+            Json::Str(s) => {
+                let _ = write!(out, "\"{}\"", json_escape(s));
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    let _ = write!(out, "{pad}  ");
+                    emit(item, indent + 1, out);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}]");
+            }
+            Json::Obj(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in map.iter().enumerate() {
+                    let _ = write!(out, "{pad}  \"{}\": ", json_escape(k));
+                    emit(v, indent + 1, out);
+                    out.push_str(if i + 1 < map.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}}}");
+            }
+        }
+    }
+    let mut out = String::new();
+    emit(j, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+/// Rounds a seconds value to microsecond precision so checked-in perf files
+/// stay stable and readable.
+pub fn round_secs(s: f64) -> f64 {
+    (s * 1e6).round() / 1e6
 }
 
 /// Median of a sequence of `f64` values (0.0 for an empty slice).

@@ -161,10 +161,12 @@ impl Checkpoint {
 /// 64-bit FNV-1a over the canonical run identity: the netlist's ILANG dump,
 /// the property, and every option that influences the enumeration order or
 /// per-combination results (engine, mode, site extraction, prefilter,
-/// largest-first, node budget). Deliberately excluded: `time_limit` (a
-/// resumed run usually changes it), `threads` (results are thread-count
-/// independent by design), and the prefix cache knobs (proven
-/// verdict-neutral, DESIGN.md §9).
+/// largest-first, node budget, presift). Deliberately excluded:
+/// `time_limit` (a resumed run usually changes it), `threads` (results are
+/// thread-count independent by design), the prefix cache knobs (proven
+/// verdict-neutral, DESIGN.md §9), and the DD backend (byte-identical
+/// results by construction, DESIGN.md §14 — a run checkpointed on one
+/// backend may resume on the other).
 pub fn fingerprint(netlist: &Netlist, property: Property, options: &VerifyOptions) -> String {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     let mut write = |bytes: &[u8]| {
@@ -177,13 +179,14 @@ pub fn fingerprint(netlist: &Netlist, property: Property, options: &VerifyOption
     write(property.to_string().as_bytes());
     write(
         format!(
-            "|{:?}|{:?}|{:?}|{}|{}|{:?}",
+            "|{:?}|{:?}|{:?}|{}|{}|{:?}|{}",
             options.engine,
             options.mode,
             options.sites,
             options.prefilter,
             options.largest_first,
             options.node_budget,
+            options.presift,
         )
         .as_bytes(),
     );

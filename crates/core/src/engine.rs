@@ -28,6 +28,7 @@ use walshcheck_circuit::glitch::ProbeModel;
 use walshcheck_circuit::netlist::{Netlist, NetlistError};
 use walshcheck_circuit::unfold::{unfold, Unfolded};
 use walshcheck_dd::add::{Add, AddManager};
+use walshcheck_dd::backend::{Backend, DdBackend, DdConfig, Private};
 use walshcheck_dd::bdd::{Bdd, BddManager};
 use walshcheck_dd::dyadic::Dyadic;
 use walshcheck_dd::spectral::{sign_add, walsh_sparse, wht, SparseWalshCache};
@@ -132,6 +133,19 @@ pub struct VerifyOptions {
     /// Byte budget of each worker's prefix cache (least-recently-used
     /// eviction above it). `0` disables caching like `cache = false`.
     pub cache_budget: usize,
+    /// Node-store backend for the engines' decision diagrams (see
+    /// [`walshcheck_dd::backend`]): [`Backend::Private`] gives each worker
+    /// its own managers, [`Backend::Shared`] one concurrent store per run.
+    /// Purely a speed knob — verdicts, witnesses and report artifacts are
+    /// byte-identical either way, so it is excluded from job identity.
+    /// Defaults to the `WALSHCHECK_DD_BACKEND` environment variable.
+    pub backend: Backend,
+    /// Greedily sift the unfolded wire functions into a smaller variable
+    /// order before enumerating ([`walshcheck_dd::reorder::sift`]); witness
+    /// coordinates are mapped back to the original numbering. Changes which
+    /// diagrams are built, so — unlike `backend` — it is part of job
+    /// identity.
+    pub presift: bool,
 }
 
 /// Default per-worker prefix-cache budget (64 MiB).
@@ -149,6 +163,8 @@ impl Default for VerifyOptions {
             node_budget: None,
             cache: true,
             cache_budget: DEFAULT_CACHE_BUDGET,
+            backend: Backend::from_env(),
+            presift: false,
         }
     }
 }
@@ -174,6 +190,8 @@ impl VerifyOptions {
             node_budget: None,
             cache: true,
             cache_budget: DEFAULT_CACHE_BUDGET,
+            backend: Backend::from_env(),
+            presift: false,
         }
     }
 
@@ -282,6 +300,18 @@ impl VerifyOptionsBuilder {
         self
     }
 
+    /// Node-store backend (see [`VerifyOptions::backend`]).
+    pub fn dd_backend(mut self, backend: Backend) -> Self {
+        self.options.backend = backend;
+        self
+    }
+
+    /// Pre-enumeration sifting on/off (see [`VerifyOptions::presift`]).
+    pub fn presift(mut self, on: bool) -> Self {
+        self.options.presift = on;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> VerifyOptions {
         self.options
@@ -300,12 +330,22 @@ pub(crate) struct EnumControl {
     pub(crate) cancel: Option<Arc<AtomicBool>>,
 }
 
+/// Variable-order bookkeeping of an applied pre-enumeration sift: the
+/// verifier's unfolding and varmap live in the permuted numbering, and
+/// outward-facing witness coordinates are mapped back through `inverse`.
+#[derive(Debug)]
+struct PresiftState {
+    /// `inverse[new_level] = old variable`.
+    inverse: Vec<VarId>,
+}
+
 /// The exact spectral verifier for one netlist.
 #[derive(Debug)]
 pub struct Verifier {
     netlist: Netlist,
     unfolded: Unfolded,
     varmap: VarMap,
+    presift: Option<PresiftState>,
 }
 
 impl Verifier {
@@ -322,7 +362,47 @@ impl Verifier {
             netlist: netlist.clone(),
             unfolded,
             varmap,
+            presift: None,
         })
+    }
+
+    /// Greedily sifts the whole unfolded wire-function forest into a
+    /// smaller variable order ([`walshcheck_dd::reorder::sift`]) and
+    /// re-expresses the verifier's state — unfolding, wire functions and
+    /// variable map — under the found order. Idempotent. Sifting is
+    /// deterministic, so every scheduler worker that applies it lands on
+    /// the same order and the same site list.
+    ///
+    /// Witness coordinates produced afterwards are mapped back to the
+    /// original numbering (see `restore_mask`), so callers never observe
+    /// the permutation.
+    pub(crate) fn apply_presift(&mut self) {
+        if self.presift.is_some() {
+            return;
+        }
+        let roots = self.unfolded.wire_fns.clone();
+        let sifted = walshcheck_dd::reorder::sift(&self.unfolded.bdds, &roots);
+        self.varmap = self.varmap.permuted(&sifted.order);
+        self.presift = Some(PresiftState {
+            inverse: sifted.inverse_order(),
+        });
+        self.unfolded.wire_fns = sifted.roots;
+        self.unfolded.bdds = sifted.manager;
+    }
+
+    /// Maps a witness coordinate from the verifier's current (possibly
+    /// presifted) numbering back to the netlist's original numbering.
+    fn restore_mask(&self, m: Mask) -> Mask {
+        match &self.presift {
+            None => m,
+            Some(p) => {
+                let mut out = Mask::ZERO;
+                for level in m.iter() {
+                    out.0 |= 1 << p.inverse[level].0;
+                }
+                out
+            }
+        }
     }
 
     /// The input-variable classification.
@@ -399,20 +479,44 @@ impl Verifier {
         (found, skipped, stats)
     }
 
-    /// Prepares the per-run enumeration state: the (deterministic) probe
-    /// sites, the resolved check mode, and a fresh engine context. Shared
-    /// between the serial enumeration and the scheduler's workers.
+    /// The runtime [`DdBackend`] for one verification run under `options`.
+    /// For [`Backend::Shared`] this allocates the run's single concurrent
+    /// store (sized from the cache budget like the private managers would
+    /// be), so call it once per run and hand the reference to every worker.
+    pub(crate) fn runtime_backend(options: &VerifyOptions) -> Box<dyn DdBackend> {
+        walshcheck_dd::backend::runtime(
+            options.backend,
+            add_apply_limit(effective_cache_budget(options)),
+        )
+    }
+
+    /// Prepares the per-run enumeration state on the default private
+    /// backend — the rescue ladder and diagnosis paths, which re-check a
+    /// handful of combinations, never benefit from a shared store.
     pub(crate) fn begin_enumeration(
         &self,
         property: Property,
         options: &VerifyOptions,
     ) -> EnumState {
-        let sites = extract_sites(&self.netlist, &self.unfolded, &options.sites)
-            .expect("netlist validated in Verifier::new");
-        self.begin_with_sites(sites, property, options)
+        self.begin_enumeration_with(property, options, &Private)
     }
 
-    /// [`Verifier::begin_enumeration`] with an explicit site list. The
+    /// Prepares the per-run enumeration state: the (deterministic) probe
+    /// sites, the resolved check mode, and a fresh engine context with
+    /// managers from `dd`. Shared between the serial enumeration and the
+    /// scheduler's workers.
+    pub(crate) fn begin_enumeration_with(
+        &self,
+        property: Property,
+        options: &VerifyOptions,
+        dd: &dyn DdBackend,
+    ) -> EnumState {
+        let sites = extract_sites(&self.netlist, &self.unfolded, &options.sites)
+            .expect("netlist validated in Verifier::new");
+        self.begin_with_sites(sites, property, options, dd)
+    }
+
+    /// [`Verifier::begin_enumeration_with`] with an explicit site list. The
     /// rescue pass re-checks combinations against the sweep's exact sites
     /// (cloned from its state) instead of re-extracting them, so a rescue
     /// attempt under different options still indexes the same tuples.
@@ -421,6 +525,7 @@ impl Verifier {
         sites: Vec<Site>,
         property: Property,
         options: &VerifyOptions,
+        dd: &dyn DdBackend,
     ) -> EnumState {
         // Probing security is a per-coefficient property: joint mode
         // degenerates to the row-wise region test.
@@ -434,6 +539,7 @@ impl Verifier {
             self.varmap.num_vars as u32,
             effective_cache_budget(options),
             options.node_budget,
+            dd,
         );
         EnumState { sites, mode, ctx }
     }
@@ -451,7 +557,7 @@ impl Verifier {
         idxs: &[usize],
         stats: &mut CheckStats,
     ) -> ComboStep {
-        let mut state = self.begin_with_sites(sites.to_vec(), property, options);
+        let mut state = self.begin_with_sites(sites.to_vec(), property, options, &Private);
         let step = self.check_indices(&mut state, property, false, idxs, stats);
         state.finish(stats);
         step
@@ -508,6 +614,7 @@ impl Verifier {
             self.varmap.num_vars as u32,
             effective_cache_budget(options),
             options.node_budget,
+            &Private,
         );
         ctx.begin_tuple(&refs);
         // Local indices are the throwaway context's cache keys; they never
@@ -532,7 +639,7 @@ impl Verifier {
                 }
                 ComboStep::Violation(Witness {
                     combination: refs.iter().map(|s| s.probe.clone()).collect(),
-                    mask: back,
+                    mask: self.restore_mask(back),
                     reason,
                     coefficient,
                 })
@@ -581,7 +688,7 @@ impl Verifier {
         match hit {
             Some((mask, reason, coefficient)) => ComboStep::Violation(Witness {
                 combination: combo.iter().map(|s| s.probe.clone()).collect(),
-                mask,
+                mask: self.restore_mask(mask),
                 reason,
                 coefficient,
             }),
@@ -609,7 +716,11 @@ impl Verifier {
     ) -> (CheckStats, Vec<SkippedCombination>) {
         crate::isolate::install_quiet_hook();
         let start = Instant::now();
-        let mut state = self.begin_enumeration(property, options);
+        if options.presift {
+            self.apply_presift();
+        }
+        let dd = Self::runtime_backend(options);
+        let mut state = self.begin_enumeration_with(property, options, dd.as_ref());
         let d = property.order() as usize;
         let mut stats = CheckStats::default();
         let mut skipped: Vec<SkippedCombination> = Vec::new();
@@ -658,7 +769,14 @@ impl Verifier {
                     }
                 }
                 match crate::isolate::check_isolated(
-                    this, &mut state, property, options, my_index, idxs, &mut stats,
+                    this,
+                    &mut state,
+                    property,
+                    options,
+                    dd.as_ref(),
+                    my_index,
+                    idxs,
+                    &mut stats,
                 ) {
                     Ok(ComboStep::Clean | ComboStep::Pruned) => ControlFlow::Continue(()),
                     Ok(ComboStep::Violation(w)) => on_witness(w),
@@ -808,6 +926,7 @@ impl Verifier {
             self.varmap.num_vars as u32,
             effective_cache_budget(options),
             None,
+            &Private,
         );
         let mut stats = CheckStats::default();
         let hit = ctx.check_combination(
@@ -821,7 +940,7 @@ impl Verifier {
         );
         hit.map(|(mask, reason, coefficient)| Witness {
             combination: combo.iter().map(|s| s.probe.clone()).collect(),
-            mask,
+            mask: self.restore_mask(mask),
             reason,
             coefficient,
         })
@@ -1040,6 +1159,11 @@ struct EngineCtx {
     /// only managers that grow while checking a tuple) plus a deterministic
     /// row-count pre-charge; `None` disables budgeting.
     node_budget: Option<usize>,
+    /// Whether `adds` / `t_bdds` intern into a run-wide shared store; if
+    /// so, [`EngineCtx::maybe_collect`] must not throw them away (the
+    /// store is not reclaimed by dropping one manager, and other workers'
+    /// handles stay live in it).
+    shared: bool,
     map_prefix: PrefixCache<Rc<RowList<MapSpectrum>>>,
     lil_prefix: PrefixCache<Rc<RowList<LilSpectrum>>>,
     add_prefix: PrefixCache<Rc<Vec<Option<Add>>>>,
@@ -1051,16 +1175,17 @@ impl EngineCtx {
         num_vars: u32,
         cache_budget: usize,
         node_budget: Option<usize>,
+        dd: &dyn DdBackend,
     ) -> Self {
-        let mut adds = AddManager::new(num_vars);
-        if let Some(limit) = add_apply_limit(cache_budget) {
-            adds.set_apply_cache_limit(limit);
-        }
-        adds.set_node_budget(node_budget);
-        let mut t_bdds = BddManager::new(num_vars);
-        t_bdds.set_node_budget(node_budget);
+        let cfg = DdConfig {
+            apply_cache_limit: add_apply_limit(cache_budget),
+            node_budget,
+        };
+        let adds = dd.add_manager(num_vars, &cfg);
+        let t_bdds = dd.bdd_manager(num_vars, &cfg);
         EngineCtx {
             kind,
+            shared: dd.kind() == Backend::Shared,
             walsh: SparseWalshCache::new(),
             map_base: FastMap::default(),
             lil_base: FastMap::default(),
@@ -1109,6 +1234,13 @@ impl EngineCtx {
     /// cache is invalidated too (the spectrum prefix caches survive).
     fn maybe_collect(&mut self) {
         const NODE_LIMIT: usize = 4_000_000;
+        // On the shared backend the arena is run-wide and append-only:
+        // dropping this worker's managers frees nothing and would orphan
+        // the cached T matrices for no benefit, so collection is a no-op
+        // (the store is sized for the run and dies with it).
+        if self.shared {
+            return;
+        }
         if self.adds.arena_size() > NODE_LIMIT || self.t_bdds.arena_size() > NODE_LIMIT {
             let n = self.t_bdds.num_vars();
             self.adds = AddManager::new(self.adds.num_vars());

@@ -21,6 +21,7 @@ use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 
+use walshcheck_dd::backend::DdBackend;
 use walshcheck_dd::budget::CapacityExceeded;
 
 use crate::engine::{ComboStep, EnumState, Verifier, VerifyOptions};
@@ -60,15 +61,20 @@ pub(crate) fn classify(payload: &(dyn Any + Send)) -> IncompleteReason {
 ///
 /// On a panic the combination is classified (`Err(reason)`), the old engine
 /// context's cache counters are folded into `stats`, `stats.skipped` is
-/// bumped, and `state` is rebuilt cold. Rebuilding cold is also what keeps
-/// tiny-budget quarantine lists thread-count-independent: after a
-/// quarantine, the next tuple is evaluated without inherited warmth, so its
-/// fate is a pure function of the tuple itself.
+/// bumped, and `state` is rebuilt cold **on the run's backend** (`dd`) — on
+/// the shared backend a rebuilt context keeps interning into the run-wide
+/// store (whose handles are never invalidated), only its per-context caches
+/// start empty. Rebuilding cold is also what keeps tiny-budget quarantine
+/// lists thread-count-independent: those budgets trip on the deterministic
+/// tuple-estimate pre-charge, so the next tuple's fate is a pure function
+/// of the tuple itself.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn check_isolated(
     verifier: &Verifier,
     state: &mut EnumState,
     property: Property,
     options: &VerifyOptions,
+    dd: &dyn DdBackend,
     index: u64,
     idxs: &[usize],
     stats: &mut CheckStats,
@@ -82,7 +88,7 @@ pub(crate) fn check_isolated(
         Err(payload) => {
             let reason = classify(payload.as_ref());
             state.finish(stats);
-            *state = verifier.begin_enumeration(property, options);
+            *state = verifier.begin_enumeration_with(property, options, dd);
             stats.skipped += 1;
             Err(reason)
         }

@@ -33,6 +33,7 @@ use std::time::{Duration, Instant};
 use walshcheck_circuit::glitch::ProbeModel;
 use walshcheck_circuit::ilang::write_ilang;
 use walshcheck_circuit::netlist::Netlist;
+use walshcheck_dd::backend::Backend;
 use walshcheck_dd::var::VarId;
 
 use crate::checkpoint::{self, CheckpointConfig, ResumeState};
@@ -107,6 +108,10 @@ impl JobSpec {
                 ("budget_bytes", Json::Int(self.options.cache_budget as i64)),
             ]),
         );
+        // The DD backend is configuration, not identity: report artifacts
+        // are byte-identical across backends (DESIGN.md §14), so results
+        // are shared across submissions that differ only here.
+        obj.insert("backend".into(), Json::str(self.options.backend.as_str()));
         Json::Obj(obj)
     }
 
@@ -147,6 +152,9 @@ impl JobSpec {
         );
         map.insert("prefilter".into(), Json::Bool(o.prefilter));
         map.insert("largest_first".into(), Json::Bool(o.largest_first));
+        // Pre-sifting changes which combinations fit a node budget, so it
+        // is identity-relevant (unlike the verdict-neutral backend knob).
+        map.insert("presift".into(), Json::Bool(o.presift));
         map.insert(
             "time_limit_ms".into(),
             match o.time_limit {
@@ -236,6 +244,14 @@ impl JobSpec {
         }
         if let Some(v) = doc.get("largest_first") {
             o.largest_first = v.as_bool().ok_or_else(|| bad("largest_first"))?;
+        }
+        if let Some(v) = doc.get("presift") {
+            o.presift = v.as_bool().ok_or_else(|| bad("presift"))?;
+        }
+        if let Some(v) = doc.get("backend") {
+            let name = v.as_str().ok_or_else(|| bad("backend must be a string"))?;
+            o.backend =
+                Backend::parse(name).ok_or_else(|| bad(&format!("unknown backend {name:?}")))?;
         }
         match doc.get("time_limit_ms") {
             None | Some(Json::Null) => {}
@@ -478,6 +494,33 @@ mod tests {
         let mut c = spec();
         c.options.engine = EngineKind::Lil;
         assert_ne!(a.identity_hash(), c.identity_hash());
+    }
+
+    #[test]
+    fn identity_ignores_backend_but_not_presift() {
+        let a = spec();
+        let mut b = spec();
+        b.options.backend = Backend::Shared;
+        assert_eq!(
+            a.identity_hash(),
+            b.identity_hash(),
+            "backend is a speed knob, not a result identity"
+        );
+        assert_ne!(
+            a.to_json().to_canonical(),
+            b.to_json().to_canonical(),
+            "the full form still records the backend"
+        );
+        let round = JobSpec::parse(&json::parse(&b.to_json().to_canonical()).expect("valid"))
+            .expect("parses");
+        assert_eq!(round.options.backend, Backend::Shared);
+        let mut c = spec();
+        c.options.presift = true;
+        assert_ne!(
+            a.identity_hash(),
+            c.identity_hash(),
+            "presift changes quarantine lists, so it is identity-relevant"
+        );
     }
 
     #[test]

@@ -87,3 +87,4 @@ pub use recover::{
 };
 pub use report::{run_report_json, Report, ReportCacheConfig, REPORT_SCHEMA};
 pub use session::{Session, WitnessSearch};
+pub use walshcheck_dd::backend::Backend;

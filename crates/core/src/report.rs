@@ -343,13 +343,20 @@ impl Report {
         // and cache telemetry; keep only the former in the artifact.
         // `rows_checked` stays out too: a resumed run skips the rows of
         // already-completed combinations, so the counter is history-
-        // dependent even though the verdict is not.
+        // dependent even though the verdict is not. On violated runs even
+        // `combinations`/`pruned` are scheduling-dependent — workers may
+        // probe a few extra combinations before the cancellation bound
+        // reaches them — so they are nulled whenever a witness exists
+        // (exhaustive sweeps pin them exactly; cancelled sweeps cannot).
         let stats = result.remove("stats").unwrap_or(Json::Null);
+        let exhaustive = matches!(result.get("witness"), None | Some(Json::Null));
         for counter in ["combinations", "pruned"] {
-            result.insert(
-                counter.into(),
-                stats.get(counter).cloned().unwrap_or(Json::Null),
-            );
+            let value = if exhaustive {
+                stats.get(counter).cloned().unwrap_or(Json::Null)
+            } else {
+                Json::Null
+            };
+            result.insert(counter.into(), value);
         }
         let doc = Json::obj([
             ("schema", Json::str(REPORT_SCHEMA)),
@@ -426,6 +433,11 @@ impl Report {
 /// prefix-cache configuration and counters, and the observer-collected
 /// engine-phase timings `(name, duration)`. `resumed` records whether the
 /// run was seeded from a checkpoint.
+///
+/// The `"backend"` field records which DD backend executed the run. Like
+/// `"threads"`, it lives only in this run document, never in the [`Report`]
+/// artifact: backends produce byte-identical artifacts (DESIGN.md §14), so
+/// the content address must not depend on it.
 pub fn run_report_json(
     netlist: &Netlist,
     verdict: &Verdict,
@@ -444,7 +456,7 @@ pub fn run_report_json(
         concat!(
             "{{\"schema\":\"{}\",\"netlist\":\"{}\",\"netlist_sha256\":\"{}\",",
             "\"report_hash\":\"{}\",",
-            "\"engine\":\"{}\",\"mode\":\"{}\",\"threads\":{},",
+            "\"engine\":\"{}\",\"mode\":\"{}\",\"threads\":{},\"backend\":\"{}\",",
             "\"cache\":{{\"enabled\":{},\"budget_bytes\":{},\"hits\":{},",
             "\"misses\":{},\"evictions\":{},\"peak_bytes\":{}}},",
             "\"property\":\"{}\",\"secure\":{},\"outcome\":\"{}\",",
@@ -458,6 +470,7 @@ pub fn run_report_json(
         spec.engine().as_str(),
         spec.mode().as_str(),
         spec.threads(),
+        spec.options.backend.as_str(),
         cache.enabled,
         cache.budget_bytes,
         stats.cache_hits,

@@ -42,6 +42,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use walshcheck_circuit::netlist::Netlist;
+use walshcheck_dd::backend::DdBackend;
 
 use crate::checkpoint::{self, Checkpoint, CheckpointConfig, RangeSet, ResumeState};
 use crate::engine::{ComboStep, EnumState, Verifier, VerifyOptions};
@@ -416,8 +417,17 @@ pub(crate) fn run(
     let start = Instant::now();
     let threads = threads.max(1);
 
+    if options.presift {
+        verifier.apply_presift();
+    }
+    // One runtime backend per run: on `Backend::Shared` this is the single
+    // concurrent store every worker interns into; on `Backend::Private`
+    // the factory hands each worker its own managers as before.
+    let dd = Verifier::runtime_backend(options);
+    let dd: &dyn DdBackend = dd.as_ref();
+
     let t = Instant::now();
-    let mut state0 = verifier.begin_enumeration(property, options);
+    let mut state0 = verifier.begin_enumeration_with(property, options, dd);
     let extract_time = t.elapsed();
 
     let n = state0.sites.len();
@@ -501,11 +511,16 @@ pub(crate) fn run(
                 scope.spawn(move || {
                     catch_unwind(AssertUnwindSafe(|| {
                         crate::fault::maybe_lose_worker(wid);
-                        let worker = Verifier::new(netlist).expect("validated in Session::new");
-                        let mut state = worker.begin_enumeration(property, options);
+                        let mut worker = Verifier::new(netlist).expect("validated in Session::new");
+                        if options.presift {
+                            // Sifting is deterministic, so every worker lands
+                            // on the same order (and site list) as worker 0.
+                            worker.apply_presift();
+                        }
+                        let mut state = worker.begin_enumeration_with(property, options, dd);
                         debug_assert_eq!(state.sites.len(), n, "site extraction is deterministic");
                         worker_loop(
-                            wid, &worker, &mut state, queue, property, options, enum_start,
+                            wid, &worker, &mut state, queue, property, options, dd, enum_start,
                             obs_dyn, candidates, skipped, done, ck_ref,
                         )
                     }))
@@ -522,6 +537,7 @@ pub(crate) fn run(
                 &queue,
                 property,
                 options,
+                dd,
                 enum_start,
                 obs_dyn,
                 &candidates,
@@ -760,6 +776,7 @@ fn worker_loop(
     queue: &BatchQueue,
     property: Property,
     options: &VerifyOptions,
+    dd: &dyn DdBackend,
     run_start: Instant,
     observer: Option<&dyn ProgressObserver>,
     candidates: &Mutex<Vec<Candidate>>,
@@ -803,7 +820,7 @@ fn worker_loop(
                 }
             }
             match crate::isolate::check_isolated(
-                verifier, state, property, options, index, idxs, &mut stats,
+                verifier, state, property, options, dd, index, idxs, &mut stats,
             ) {
                 Ok(ComboStep::Clean) => {}
                 Ok(ComboStep::Pruned) => {

@@ -1,15 +1,19 @@
 //! Reduced ordered binary decision diagrams (ROBDDs).
 //!
 //! [`BddManager`] is an arena-based, hash-consed ROBDD package in the style of
-//! CUDD: nodes are interned in per-variable open-addressed unique subtables so
-//! that structural equality is pointer (index) equality, and all operations
-//! are memoized in fixed-size direct-mapped apply caches ([`crate::table`],
-//! DESIGN.md §12), giving the classical `O(|f|·|g|)` bound for binary Boolean
-//! operations.
+//! CUDD: nodes are interned in open-addressed unique tables so that structural
+//! equality is pointer (index) equality, and all operations are memoized in
+//! fixed-size direct-mapped apply caches ([`crate::table`], DESIGN.md §12),
+//! giving the classical `O(|f|·|g|)` bound for binary Boolean operations. A
+//! manager owns those structures outright on the [`crate::backend::Private`]
+//! backend, or borrows a run-wide concurrent store on
+//! [`crate::backend::Shared`] ([`crate::shared`], DESIGN.md §14); the API and
+//! all results are identical either way.
 //!
 //! The variable order is static (variable `0` is tested first). This suits the
 //! probing-security workload, where the order is fixed by the circuit's input
-//! declaration and never reordered mid-analysis.
+//! declaration and never reordered mid-analysis (the sweep-time exception is
+//! [`crate::reorder`], which builds a separate sifted manager).
 //!
 //! ```
 //! use walshcheck_dd::bdd::BddManager;
@@ -24,15 +28,20 @@
 //! assert_eq!(m.sat_count(f), 2); // x∧y over 3 variables: 2 assignments
 //! ```
 
+use std::cell::Cell;
+use std::sync::Arc;
+
 use crate::budget::NodeBudget;
 use crate::fasthash::{hash_pair, FastMap, FastSet};
+use crate::shared::{MkMemo, SharedBddStore};
 use crate::table::{BinaryApplyCache, Subtable, TernaryApplyCache, UnaryApplyCache};
 use crate::var::{VarId, VarSet};
 
 /// Handle to a BDD node inside a [`BddManager`].
 ///
-/// Handles are plain indices; they are only meaningful for the manager that
-/// produced them. Structural equality of functions is handle equality.
+/// Handles are plain indices; they are only meaningful for the manager (or,
+/// on the shared backend, the store) that produced them. Structural equality
+/// of functions is handle equality.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Bdd(pub(crate) u32);
 
@@ -87,9 +96,42 @@ const BINARY_CACHE_SLOTS: usize = 1 << 16;
 const TERNARY_CACHE_SLOTS: usize = 1 << 15;
 const UNARY_CACHE_SLOTS: usize = 1 << 14;
 
-/// An arena-based ROBDD manager with unique table and operation caches.
+/// The node store a manager works against: owned outright
+/// ([`crate::backend::Private`]) or a handle on the run-wide concurrent
+/// store ([`crate::backend::Shared`]) plus a private `mk` memo that
+/// keeps repeat interning off the shared unique table.
 #[derive(Debug)]
-pub struct BddManager {
+enum BddStore {
+    Private(PrivateBddStore),
+    Shared {
+        store: Arc<SharedBddStore>,
+        memo: MkMemo,
+        /// Private L1 apply caches in front of the run-wide (L2) caches.
+        /// Every result this manager computes is recorded in both, so the
+        /// manager's own repeat lookups hit at private-backend cost — the
+        /// L1 sees the exact put sequence a private manager's cache would —
+        /// while L1 misses fall through to the shared L2, which is what
+        /// carries cross-manager reuse.
+        apply_l1: BinaryApplyCache,
+        not_l1: UnaryApplyCache,
+        ite_l1: TernaryApplyCache,
+        /// Read-through copy of the shared arena's nodes, indexed by id.
+        /// Arena slots are written exactly once, so a mirrored `(var, lo,
+        /// hi)` can never go stale — reads the manager repeats (the bulk of
+        /// `apply` traffic) become plain vector loads instead of
+        /// segment-located atomics. Slots holding `lo ==`
+        /// [`MIRROR_VACANT`] fall back to the arena and fill in.
+        mirror: Vec<Cell<(u32, u32, u32)>>,
+    },
+}
+
+/// `lo` sentinel of an unfilled mirror slot: real nodes always store a
+/// valid node id there (terminals store 0/1), never `u32::MAX`.
+const MIRROR_VACANT: u32 = u32::MAX;
+
+/// The single-owner store: the PR 5 kernel structures, unchanged.
+#[derive(Debug)]
+struct PrivateBddStore {
     nodes: Vec<Node>,
     /// One unique subtable per variable (see [`crate::table`]); extended by
     /// [`BddManager::add_var`].
@@ -97,13 +139,29 @@ pub struct BddManager {
     apply_cache: BinaryApplyCache,
     not_cache: UnaryApplyCache,
     ite_cache: TernaryApplyCache,
+}
+
+/// An arena-based ROBDD manager with unique table and operation caches.
+#[derive(Debug)]
+pub struct BddManager {
+    store: BddStore,
     quant_cache: FastMap<(Bdd, u128, bool), Bdd>,
+    /// Handles registered via [`BddManager::add_ref`], which structure
+    /// rewrites (sifting) must preserve even when they are not listed as
+    /// roots of the rewrite.
+    external: Vec<Bdd>,
     budget: NodeBudget,
+    /// Internal nodes *this manager* interned first (on the private backend,
+    /// exactly the arena growth past the two terminals). The node budget
+    /// charges against this counter, so on the shared backend each worker
+    /// accounts its own creations instead of the racy store-wide total.
+    created: usize,
     num_vars: u32,
 }
 
 impl BddManager {
-    /// Creates a manager with `num_vars` variables (levels `0..num_vars`).
+    /// Creates a manager with `num_vars` variables (levels `0..num_vars`)
+    /// owning a private store.
     ///
     /// # Panics
     ///
@@ -123,31 +181,63 @@ impl BddManager {
             },
         ];
         BddManager {
-            nodes,
-            unique: (0..num_vars).map(|_| Subtable::default()).collect(),
-            apply_cache: BinaryApplyCache::new(BINARY_CACHE_SLOTS),
-            not_cache: UnaryApplyCache::new(UNARY_CACHE_SLOTS),
-            ite_cache: TernaryApplyCache::new(TERNARY_CACHE_SLOTS),
+            store: BddStore::Private(PrivateBddStore {
+                nodes,
+                unique: (0..num_vars).map(|_| Subtable::default()).collect(),
+                apply_cache: BinaryApplyCache::new(BINARY_CACHE_SLOTS),
+                not_cache: UnaryApplyCache::new(UNARY_CACHE_SLOTS),
+                ite_cache: TernaryApplyCache::new(TERNARY_CACHE_SLOTS),
+            }),
             quant_cache: FastMap::default(),
+            external: Vec::new(),
             budget: NodeBudget::default(),
+            created: 0,
             num_vars,
         }
     }
 
-    /// Installs (or clears, with `None`) a node-growth budget and rebases its
-    /// baseline to the current arena size. Once set, interning more than
-    /// `limit` new internal nodes past the most recent
-    /// [`BddManager::rebase_node_budget`] raises a
-    /// [`crate::budget::CapacityExceeded`] panic payload for the caller to
-    /// `catch_unwind`.
-    pub fn set_node_budget(&mut self, limit: Option<usize>) {
-        self.budget.set(limit, self.nodes.len());
+    /// Creates a manager working against the given run-wide store (whose
+    /// terminal seeds are ids 0/1); reached via [`crate::backend::Shared`].
+    pub(crate) fn with_shared(num_vars: u32, store: Arc<SharedBddStore>) -> Self {
+        assert!(num_vars <= VarId::MAX_VARS, "too many variables");
+        store.attach();
+        BddManager {
+            store: BddStore::Shared {
+                store,
+                memo: MkMemo::new(),
+                apply_l1: BinaryApplyCache::new(BINARY_CACHE_SLOTS),
+                not_l1: UnaryApplyCache::new(UNARY_CACHE_SLOTS),
+                ite_l1: TernaryApplyCache::new(TERNARY_CACHE_SLOTS),
+                mirror: Vec::new(),
+            },
+            quant_cache: FastMap::default(),
+            external: Vec::new(),
+            budget: NodeBudget::default(),
+            created: 0,
+            num_vars,
+        }
     }
 
-    /// Moves the budget baseline to the current arena size, making existing
-    /// structure free. Call at each unit-of-work (tuple) boundary.
+    /// Whether this manager works against a run-wide shared store.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.store, BddStore::Shared { .. })
+    }
+
+    /// Installs (or clears, with `None`) a node-growth budget and rebases
+    /// its baseline to the nodes this manager has created so far. Once set,
+    /// interning more than `limit` new internal nodes past the most recent
+    /// [`BddManager::rebase_node_budget`] raises a
+    /// [`crate::budget::CapacityExceeded`] panic payload for the caller to
+    /// `catch_unwind`. Prefer installing budgets via
+    /// [`crate::backend::DdConfig`] at manager creation.
+    pub fn set_node_budget(&mut self, limit: Option<usize>) {
+        self.budget.set(limit, self.created);
+    }
+
+    /// Moves the budget baseline forward, making existing structure free.
+    /// Call at each unit-of-work (tuple) boundary.
     pub fn rebase_node_budget(&mut self) {
-        self.budget.rebase(self.nodes.len());
+        self.budget.rebase(self.created);
     }
 
     /// Sizes the apply caches to about `limit` slots (rounded down to a
@@ -155,16 +245,52 @@ impl BddManager {
     /// down proportionally. The caches are fixed direct-mapped slabs, so
     /// this bounds their memory exactly; see
     /// [`crate::add::AddManager::set_apply_cache_limit`].
+    ///
+    /// On the shared backend this sizes the manager's private L1 caches;
+    /// the run-wide L2 caches are sized once, at
+    /// [`crate::backend::Shared::new`] time.
     pub fn set_apply_cache_limit(&mut self, limit: usize) {
-        self.apply_cache.resize(limit);
-        self.ite_cache = TernaryApplyCache::new((limit >> 1).max(16));
-        self.not_cache.resize((limit >> 2).max(16));
+        match &mut self.store {
+            BddStore::Private(p) => {
+                p.apply_cache.resize(limit);
+                p.ite_cache = TernaryApplyCache::new((limit >> 1).max(16));
+                p.not_cache.resize((limit >> 2).max(16));
+            }
+            BddStore::Shared {
+                apply_l1,
+                not_l1,
+                ite_l1,
+                ..
+            } => {
+                apply_l1.resize(limit);
+                *ite_l1 = TernaryApplyCache::new((limit >> 1).max(16));
+                not_l1.resize((limit >> 2).max(16));
+            }
+        }
     }
 
     /// Heap footprint of the operation-cache slabs, in bytes (fixed —
     /// independent of occupancy).
     pub fn apply_cache_bytes(&self) -> usize {
-        self.apply_cache.bytes() + self.not_cache.bytes() + self.ite_cache.bytes()
+        match &self.store {
+            BddStore::Private(p) => {
+                p.apply_cache.bytes() + p.not_cache.bytes() + p.ite_cache.bytes()
+            }
+            BddStore::Shared {
+                store,
+                apply_l1,
+                not_l1,
+                ite_l1,
+                ..
+            } => {
+                apply_l1.bytes()
+                    + not_l1.bytes()
+                    + ite_l1.bytes()
+                    + store.binary.bytes()
+                    + store.unary.bytes()
+                    + store.ternary.bytes()
+            }
+        }
     }
 
     /// Number of variables managed.
@@ -177,31 +303,173 @@ impl BddManager {
         assert!(self.num_vars < VarId::MAX_VARS, "too many variables");
         let v = VarId(self.num_vars);
         self.num_vars += 1;
-        self.unique.push(Subtable::default());
+        // The shared table is global (the variable is part of the node key),
+        // so only the private per-variable subtables need extending.
+        if let BddStore::Private(p) = &mut self.store {
+            p.unique.push(Subtable::default());
+        }
         v
     }
 
+    /// Registers `f` as externally held: structure rewrites such as
+    /// [`crate::reorder::sift`] will transfer it even when the caller does
+    /// not list it as a root (see [`crate::reorder::SiftResult::image_of`]).
+    pub fn add_ref(&mut self, f: Bdd) {
+        if !self.external.contains(&f) {
+            self.external.push(f);
+        }
+    }
+
+    /// Drops an external registration made by [`BddManager::add_ref`];
+    /// unknown handles are ignored.
+    pub fn del_ref(&mut self, f: Bdd) {
+        if let Some(i) = self.external.iter().position(|&x| x == f) {
+            self.external.remove(i);
+        }
+    }
+
+    /// The externally registered handles, in registration order.
+    pub fn external_refs(&self) -> &[Bdd] {
+        &self.external
+    }
+
     /// Total number of live nodes in the arena (including both terminals).
+    /// On the shared backend this is the *store-wide* count, racy while
+    /// other workers intern.
     pub fn arena_size(&self) -> usize {
-        self.nodes.len()
+        match &self.store {
+            BddStore::Private(p) => p.nodes.len(),
+            BddStore::Shared { store, .. } => store.nodes.len(),
+        }
+    }
+
+    /// The node behind `f` (terminals read as `var == TERMINAL_VAR`).
+    #[inline]
+    fn raw(&self, f: Bdd) -> Node {
+        match &self.store {
+            BddStore::Private(p) => p.nodes[f.0 as usize],
+            BddStore::Shared { store, mirror, .. } => {
+                if let Some(slot) = mirror.get(f.0 as usize) {
+                    let (var, lo, hi) = slot.get();
+                    if lo != MIRROR_VACANT {
+                        return Node {
+                            var,
+                            lo: Bdd(lo),
+                            hi: Bdd(hi),
+                        };
+                    }
+                }
+                let n = store.nodes.node(f.0);
+                if let Some(slot) = mirror.get(f.0 as usize) {
+                    slot.set((n.var, n.lo, n.hi));
+                }
+                Node {
+                    var: n.var,
+                    lo: Bdd(n.lo),
+                    hi: Bdd(n.hi),
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn app_get(&self, op: u32, f: u32, g: u32) -> Option<u32> {
+        match &self.store {
+            BddStore::Private(p) => p.apply_cache.get(op, f, g),
+            BddStore::Shared {
+                store, apply_l1, ..
+            } => apply_l1.get(op, f, g).or_else(|| {
+                store
+                    .publish()
+                    .then(|| store.binary.get(op, f, g))
+                    .flatten()
+            }),
+        }
+    }
+
+    #[inline]
+    fn app_put(&mut self, op: u32, f: u32, g: u32, r: u32) {
+        match &mut self.store {
+            BddStore::Private(p) => p.apply_cache.put(op, f, g, r),
+            BddStore::Shared {
+                store, apply_l1, ..
+            } => {
+                apply_l1.put(op, f, g, r);
+                if store.publish() {
+                    store.binary.put(op, f, g, r);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn not_get(&self, f: u32) -> Option<u32> {
+        match &self.store {
+            BddStore::Private(p) => p.not_cache.get(NOT_TAG, f),
+            BddStore::Shared { store, not_l1, .. } => not_l1.get(NOT_TAG, f).or_else(|| {
+                store
+                    .publish()
+                    .then(|| store.unary.get(NOT_TAG, f))
+                    .flatten()
+            }),
+        }
+    }
+
+    #[inline]
+    fn not_put(&mut self, f: u32, r: u32) {
+        match &mut self.store {
+            BddStore::Private(p) => p.not_cache.put(NOT_TAG, f, r),
+            BddStore::Shared { store, not_l1, .. } => {
+                not_l1.put(NOT_TAG, f, r);
+                if store.publish() {
+                    store.unary.put(NOT_TAG, f, r);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn ite_get(&self, f: u32, g: u32, h: u32) -> Option<u32> {
+        match &self.store {
+            BddStore::Private(p) => p.ite_cache.get(f, g, h),
+            BddStore::Shared { store, ite_l1, .. } => ite_l1.get(f, g, h).or_else(|| {
+                store
+                    .publish()
+                    .then(|| store.ternary.get(f, g, h))
+                    .flatten()
+            }),
+        }
+    }
+
+    #[inline]
+    fn ite_put(&mut self, f: u32, g: u32, h: u32, r: u32) {
+        match &mut self.store {
+            BddStore::Private(p) => p.ite_cache.put(f, g, h, r),
+            BddStore::Shared { store, ite_l1, .. } => {
+                ite_l1.put(f, g, h, r);
+                if store.publish() {
+                    store.ternary.put(f, g, h, r);
+                }
+            }
+        }
     }
 
     /// The decision variable of `f`'s root, or `None` for terminals.
     pub fn root_var(&self, f: Bdd) -> Option<VarId> {
-        let v = self.nodes[f.0 as usize].var;
+        let v = self.raw(f).var;
         (v != TERMINAL_VAR).then_some(VarId(v))
     }
 
     fn var_of(&self, f: Bdd) -> u32 {
-        self.nodes[f.0 as usize].var
+        self.raw(f).var
     }
 
     fn lo(&self, f: Bdd) -> Bdd {
-        self.nodes[f.0 as usize].lo
+        self.raw(f).lo
     }
 
     fn hi(&self, f: Bdd) -> Bdd {
-        self.nodes[f.0 as usize].hi
+        self.raw(f).hi
     }
 
     /// Decomposes a non-terminal node into `(var, lo, hi)`, or returns
@@ -211,7 +479,7 @@ impl BddManager {
         if f.is_const() {
             None
         } else {
-            let n = &self.nodes[f.0 as usize];
+            let n = self.raw(f);
             Some((VarId(n.var), n.lo, n.hi))
         }
     }
@@ -235,24 +503,61 @@ impl BddManager {
             var < self.var_of(lo) && var < self.var_of(hi),
             "ordering violated"
         );
-        let h = hash_pair(lo.0, hi.0);
-        let nodes = &self.nodes;
-        let sub = &mut self.unique[var as usize];
-        if let Some(found) = sub.get(h, |i| {
-            let n = &nodes[i as usize];
-            n.lo == lo && n.hi == hi
-        }) {
-            return Bdd(found);
+        match &mut self.store {
+            BddStore::Private(p) => {
+                let h = hash_pair(lo.0, hi.0);
+                let nodes = &p.nodes;
+                let sub = &mut p.unique[var as usize];
+                if let Some(found) = sub.get(h, |i| {
+                    let n = &nodes[i as usize];
+                    n.lo == lo && n.hi == hi
+                }) {
+                    return Bdd(found);
+                }
+                self.budget.charge("bdd-arena", self.created);
+                let raw = u32::try_from(p.nodes.len()).expect("BDD arena full");
+                p.nodes.push(Node { var, lo, hi });
+                let nodes = &p.nodes;
+                p.unique[var as usize].insert(h, raw, |i| {
+                    let n = &nodes[i as usize];
+                    hash_pair(n.lo.0, n.hi.0)
+                });
+                self.created += 1;
+                Bdd(raw)
+            }
+            BddStore::Shared {
+                store,
+                memo,
+                mirror,
+                ..
+            } => {
+                if let Some(id) = memo.get(var, lo.0, hi.0) {
+                    return Bdd(id);
+                }
+                // The budget verdict is precomputed so a CapacityExceeded
+                // unwind can never poison the shared table — `intern` does
+                // probe and insert under one stripe acquisition and returns
+                // `None` instead of inserting when over budget.
+                let over = self.budget.would_trip(self.created);
+                let Some((id, fresh)) = store.nodes.intern(var, lo.0, hi.0, over) else {
+                    self.budget.charge("bdd-arena", self.created);
+                    unreachable!("would_trip and charge disagree");
+                };
+                if fresh {
+                    self.created += 1;
+                }
+                // `mk` is the one `&mut self` choke point every new id
+                // passes through, so the mirror is grown here; `raw` (which
+                // only has `&self`) fills out-of-range ids lazily.
+                let idx = id as usize;
+                if mirror.len() <= idx {
+                    mirror.resize(idx + 1, Cell::new((0, MIRROR_VACANT, 0)));
+                }
+                mirror[idx].set((var, lo.0, hi.0));
+                memo.put(var, lo.0, hi.0, id);
+                Bdd(id)
+            }
         }
-        self.budget.charge("bdd-arena", self.nodes.len());
-        let raw = u32::try_from(self.nodes.len()).expect("BDD arena full");
-        self.nodes.push(Node { var, lo, hi });
-        let nodes = &self.nodes;
-        self.unique[var as usize].insert(h, raw, |i| {
-            let n = &nodes[i as usize];
-            hash_pair(n.lo.0, n.hi.0)
-        });
-        Bdd(raw)
     }
 
     /// The literal `v`.
@@ -288,17 +593,14 @@ impl BddManager {
         if f == Bdd::TRUE {
             return Bdd::FALSE;
         }
-        if let Some(r) = self.not_cache.get(NOT_TAG, f.0) {
+        if let Some(r) = self.not_get(f.0) {
             return Bdd(r);
         }
-        let (var, lo, hi) = {
-            let n = &self.nodes[f.0 as usize];
-            (n.var, n.lo, n.hi)
-        };
-        let nlo = self.not(lo);
-        let nhi = self.not(hi);
-        let r = self.mk(var, nlo, nhi);
-        self.not_cache.put(NOT_TAG, f.0, r.0);
+        let n = self.raw(f);
+        let nlo = self.not(n.lo);
+        let nhi = self.not(n.hi);
+        let r = self.mk(n.var, nlo, nhi);
+        self.not_put(f.0, r.0);
         r
     }
 
@@ -347,7 +649,7 @@ impl BddManager {
         }
         // Commutative: canonicalize the cache key.
         let (a, b) = if f.0 <= g.0 { (f, g) } else { (g, f) };
-        if let Some(r) = self.apply_cache.get(op.tag(), a.0, b.0) {
+        if let Some(r) = self.app_get(op.tag(), a.0, b.0) {
             return Bdd(r);
         }
         let va = self.var_of(a);
@@ -366,7 +668,7 @@ impl BddManager {
         let r0 = self.apply(op, a0, b0);
         let r1 = self.apply(op, a1, b1);
         let r = self.mk(top, r0, r1);
-        self.apply_cache.put(op.tag(), a.0, b.0, r.0);
+        self.app_put(op.tag(), a.0, b.0, r.0);
         r
     }
 
@@ -420,7 +722,7 @@ impl BddManager {
         if g == Bdd::FALSE && h == Bdd::TRUE {
             return self.not(f);
         }
-        if let Some(r) = self.ite_cache.get(f.0, g.0, h.0) {
+        if let Some(r) = self.ite_get(f.0, g.0, h.0) {
             return Bdd(r);
         }
         let top = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
@@ -442,7 +744,7 @@ impl BddManager {
         let r0 = self.ite(f0, g0, h0);
         let r1 = self.ite(f1, g1, h1);
         let r = self.mk(top, r0, r1);
-        self.ite_cache.put(f.0, g.0, h.0, r.0);
+        self.ite_put(f.0, g.0, h.0, r.0);
         r
     }
 
@@ -462,13 +764,10 @@ impl BddManager {
         }
         // var_of(f) < v: rebuild (no dedicated cache; restrict is rare and
         // shallow in this workload).
-        let (var, lo, hi) = {
-            let n = &self.nodes[f.0 as usize];
-            (n.var, n.lo, n.hi)
-        };
-        let rlo = self.restrict(lo, v, value);
-        let rhi = self.restrict(hi, v, value);
-        self.mk(var, rlo, rhi)
+        let n = self.raw(f);
+        let rlo = self.restrict(n.lo, v, value);
+        let rhi = self.restrict(n.hi, v, value);
+        self.mk(n.var, rlo, rhi)
     }
 
     fn quantify(&mut self, f: Bdd, vars: VarSet, existential: bool) -> Bdd {
@@ -518,16 +817,13 @@ impl BddManager {
         if let Some(&r) = memo.get(&f) {
             return r;
         }
-        let (var, lo, hi) = {
-            let n = &self.nodes[f.0 as usize];
-            (n.var, n.lo, n.hi)
-        };
-        let r = if var == v.0 {
-            self.ite(g, hi, lo)
+        let n = self.raw(f);
+        let r = if n.var == v.0 {
+            self.ite(g, n.hi, n.lo)
         } else {
-            let clo = self.compose_rec(lo, v, g, memo);
-            let chi = self.compose_rec(hi, v, g, memo);
-            let lit = self.mk(var, Bdd::FALSE, Bdd::TRUE);
+            let clo = self.compose_rec(n.lo, v, g, memo);
+            let chi = self.compose_rec(n.hi, v, g, memo);
+            let lit = self.mk(n.var, Bdd::FALSE, Bdd::TRUE);
             self.ite(lit, chi, clo)
         };
         memo.insert(f, r);
@@ -553,7 +849,7 @@ impl BddManager {
             if n.is_const() || !seen.insert(n) {
                 continue;
             }
-            let node = &self.nodes[n.0 as usize];
+            let node = self.raw(n);
             s.insert(VarId(node.var));
             stack.push(node.lo);
             stack.push(node.hi);
@@ -565,7 +861,7 @@ impl BddManager {
     pub fn eval(&self, f: Bdd, assignment: u128) -> bool {
         let mut cur = f;
         while !cur.is_const() {
-            let n = &self.nodes[cur.0 as usize];
+            let n = self.raw(cur);
             cur = if assignment >> n.var & 1 == 1 {
                 n.hi
             } else {
@@ -597,7 +893,7 @@ impl BddManager {
         if let Some(&c) = memo.get(&f) {
             return c;
         }
-        let n = &self.nodes[f.0 as usize];
+        let n = self.raw(f);
         let clo = self.count_below(n.lo, memo) << (self.level(n.lo) - n.var - 1);
         let chi = self.count_below(n.hi, memo) << (self.level(n.hi) - n.var - 1);
         let c = clo + chi;
@@ -653,7 +949,7 @@ impl BddManager {
         let mut cur = f;
         let mut assignment = 0u128;
         while !cur.is_const() {
-            let n = &self.nodes[cur.0 as usize];
+            let n = self.raw(cur);
             if n.hi != Bdd::FALSE {
                 assignment |= 1u128 << n.var;
                 cur = n.hi;
@@ -697,7 +993,7 @@ impl BddManager {
         let mut stack = vec![f];
         while let Some(n) = stack.pop() {
             if seen.insert(n) && !n.is_const() {
-                let node = &self.nodes[n.0 as usize];
+                let node = self.raw(n);
                 stack.push(node.lo);
                 stack.push(node.hi);
             }
@@ -707,10 +1003,29 @@ impl BddManager {
 
     /// Clears the operation caches (the unique table is kept, so existing
     /// handles stay valid). Useful to bound memory on very long runs.
+    ///
+    /// On the shared backend the per-manager structures (L1 apply caches
+    /// and the quantification cache) are cleared — the run-wide L2 caches
+    /// stay, since other managers may be mid-operation on them and cached
+    /// handles are always safe to keep.
     pub fn clear_caches(&mut self) {
-        self.apply_cache.clear();
-        self.not_cache.clear();
-        self.ite_cache.clear();
+        match &mut self.store {
+            BddStore::Private(p) => {
+                p.apply_cache.clear();
+                p.not_cache.clear();
+                p.ite_cache.clear();
+            }
+            BddStore::Shared {
+                apply_l1,
+                not_l1,
+                ite_l1,
+                ..
+            } => {
+                apply_l1.clear();
+                not_l1.clear();
+                ite_l1.clear();
+            }
+        }
         self.quant_cache.clear();
     }
 }
@@ -932,5 +1247,55 @@ mod tests {
         for a in 0..64u128 {
             assert_eq!(small.eval(f, a), big.eval(g, a), "at {a:b}");
         }
+    }
+
+    #[test]
+    fn external_refs_register_and_release() {
+        let mut m = mgr();
+        let x = m.var(VarId(0));
+        let y = m.var(VarId(1));
+        let f = m.and(x, y);
+        m.add_ref(f);
+        m.add_ref(f); // idempotent
+        m.add_ref(x);
+        assert_eq!(m.external_refs(), &[f, x]);
+        m.del_ref(f);
+        assert_eq!(m.external_refs(), &[x]);
+        m.del_ref(f); // unknown handles are ignored
+        assert_eq!(m.external_refs(), &[x]);
+    }
+
+    #[test]
+    fn shared_store_matches_private_semantics() {
+        use crate::backend::{DdBackend, DdConfig, Shared};
+        let backend = Shared::new(None);
+        let cfg = DdConfig::default();
+        let mut sh = backend.bdd_manager(6, &cfg);
+        assert!(sh.is_shared());
+        let mut pv = BddManager::new(6);
+        assert!(!pv.is_shared());
+        let build = |m: &mut BddManager| {
+            let mut acc = m.constant(false);
+            for v in 0..6u32 {
+                let lit = m.var(VarId(v));
+                let a = m.and(acc, lit);
+                let o = m.or(acc, lit);
+                let x = m.xor(a, o);
+                acc = m.ite(lit, x, acc);
+            }
+            acc
+        };
+        let f = build(&mut sh);
+        let g = build(&mut pv);
+        for a in 0..64u128 {
+            assert_eq!(sh.eval(f, a), pv.eval(g, a), "at {a:b}");
+        }
+        // A second shared manager re-finds the same handles without
+        // creating nodes.
+        let nodes = sh.arena_size();
+        let mut sh2 = backend.bdd_manager(6, &cfg);
+        let h = build(&mut sh2);
+        assert_eq!(f, h, "shared handles must be canonical across managers");
+        assert_eq!(sh2.arena_size(), nodes, "no duplicate nodes interned");
     }
 }

@@ -72,11 +72,18 @@ pub struct SiftResult {
     pub manager: BddManager,
     /// The transferred roots, in input order.
     pub roots: Vec<Bdd>,
+    /// Images of the source manager's outstanding external references
+    /// ([`BddManager::external_refs`]) as `(old, new)` pairs. These are
+    /// transferred whether or not the caller listed them as roots, and are
+    /// re-registered (via [`BddManager::add_ref`]) on the result manager.
+    pub protected: Vec<(Bdd, Bdd)>,
     /// `order[i]` = the new level of old variable `i`.
     pub order: Vec<VarId>,
-    /// Total distinct nodes of the roots before sifting.
+    /// Total distinct nodes of the roots (and protected references) before
+    /// sifting.
     pub before: usize,
-    /// Total distinct nodes of the roots after sifting.
+    /// Total distinct nodes of the roots (and protected references) after
+    /// sifting.
     pub after: usize,
 }
 
@@ -95,6 +102,16 @@ impl SiftResult {
             inv[new.index()] = VarId(old as u32);
         }
         inv
+    }
+
+    /// The image in [`SiftResult::manager`] of an externally referenced
+    /// handle of the source manager, or `None` if `old` was not registered
+    /// there at sift time.
+    pub fn image_of(&self, old: Bdd) -> Option<Bdd> {
+        self.protected
+            .iter()
+            .find(|&&(o, _)| o == old)
+            .map(|&(_, n)| n)
     }
 }
 
@@ -117,14 +134,36 @@ fn total_size(m: &BddManager, roots: &[Bdd]) -> usize {
 /// the total (shared) node count of `roots` shrinks. Rebuild-based —
 /// `O(n²)` transfers in the worst case — so intended for up to a few dozen
 /// variables, which covers every gadget in the benchmark suite.
+///
+/// Handles registered on `src` via [`BddManager::add_ref`] are transferred
+/// alongside `roots` (they count toward the size objective, since the
+/// caller must keep them alive either way) and re-registered on the result
+/// manager; their images are reported in [`SiftResult::protected`].
 pub fn sift(src: &BddManager, roots: &[Bdd]) -> SiftResult {
     let n = src.num_vars() as usize;
-    let before = total_size(src, roots);
+    // The full set that must survive the rewrite: the requested roots plus
+    // every outstanding external reference not already among them.
+    let externals: Vec<Bdd> = {
+        let mut v: Vec<Bdd> = Vec::new();
+        for &e in src.external_refs() {
+            if !v.contains(&e) {
+                v.push(e);
+            }
+        }
+        v
+    };
+    let mut work: Vec<Bdd> = roots.to_vec();
+    for &e in &externals {
+        if !work.contains(&e) {
+            work.push(e);
+        }
+    }
+    let before = total_size(src, &work);
     // order[i] = current level of original variable i.
     let mut order: Vec<VarId> = (0..n as u32).map(VarId).collect();
     let mut best_mgr = BddManager::new(n as u32);
-    let mut best_roots = transfer(src, roots, &mut best_mgr, &order);
-    let mut best_size = total_size(&best_mgr, &best_roots);
+    let mut best_all = transfer(src, &work, &mut best_mgr, &order);
+    let mut best_size = total_size(&best_mgr, &best_all);
 
     let mut improved = true;
     while improved {
@@ -140,20 +179,31 @@ pub fn sift(src: &BddManager, roots: &[Bdd]) -> SiftResult {
                 }
             }
             let mut mgr = BddManager::new(n as u32);
-            let new_roots = transfer(src, roots, &mut mgr, &candidate);
-            let size = total_size(&mgr, &new_roots);
+            let new_all = transfer(src, &work, &mut mgr, &candidate);
+            let size = total_size(&mgr, &new_all);
             if size < best_size {
                 best_size = size;
                 best_mgr = mgr;
-                best_roots = new_roots;
+                best_all = new_all;
                 order = candidate;
                 improved = true;
             }
         }
     }
+    let protected: Vec<(Bdd, Bdd)> = externals
+        .iter()
+        .map(|&e| {
+            let i = work.iter().position(|&w| w == e).expect("external in work");
+            (e, best_all[i])
+        })
+        .collect();
+    for &(_, img) in &protected {
+        best_mgr.add_ref(img);
+    }
     SiftResult {
         manager: best_mgr,
-        roots: best_roots,
+        roots: best_all[..roots.len()].to_vec(),
+        protected,
         order,
         before,
         after: best_size,
@@ -256,6 +306,36 @@ mod tests {
         for i in 0..6u32 {
             assert_eq!(inv[result.new_level(VarId(i)).index()], VarId(i));
         }
+    }
+
+    #[test]
+    fn sifting_preserves_external_references() {
+        // Regression: an externally held function that is not among the
+        // requested roots used to be silently dropped by the rewrite.
+        let mut src = BddManager::new(6);
+        let f = pairs(&mut src, &[0, 3, 1, 4, 2, 5]);
+        let a = src.var(VarId(0));
+        let b = src.var(VarId(5));
+        let held = src.xor(a, b);
+        src.add_ref(held);
+        let result = sift(&src, &[f]);
+        assert_eq!(result.roots.len(), 1);
+        let img = result.image_of(held).expect("external ref transferred");
+        assert_eq!(result.protected, vec![(held, img)]);
+        // Re-registered on the new manager.
+        assert_eq!(result.manager.external_refs(), &[img]);
+        // Semantics preserved under the found order.
+        for asg in 0..64u128 {
+            let mut remapped = 0u128;
+            for i in 0..6 {
+                if asg >> i & 1 == 1 {
+                    remapped |= 1 << result.order[i].0;
+                }
+            }
+            assert_eq!(src.eval(held, asg), result.manager.eval(img, remapped));
+        }
+        // Unregistered handles have no image.
+        assert_eq!(result.image_of(f), None);
     }
 
     #[test]

@@ -1,0 +1,1043 @@
+//! Thread-shared node stores for the hash-consed DD managers.
+//!
+//! The PR 5 kernel gave every manager a private arena, per-variable unique
+//! subtables and direct-mapped apply caches ([`crate::table`]). This module
+//! is the concurrent counterpart (DESIGN.md §14): one [`SharedNodeTable`]
+//! holding an append-only, segmented arena of nodes plus a striped-lock
+//! unique table, and seqlock-protected lossy apply caches, all shared by any
+//! number of [`crate::add::AddManager`] / [`crate::bdd::BddManager`] values
+//! created from the same [`crate::backend::Shared`] backend.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **No `unsafe`.** The whole workspace forbids it, so the structures are
+//!    built from `Mutex`, `OnceLock` and plain atomics. Sylvan's lock-free
+//!    CAS-on-node-words table is out of reach without unsafe; a 64-way
+//!    striped mutex over the unique table plus lock-free reads everywhere
+//!    else gets most of the benefit (apply recursion only takes a stripe
+//!    lock when it interns a node that memoization failed to dedupe).
+//! 2. **Handles stay canonical.** `(var, lo, hi)` interns to exactly one
+//!    node id per store, no matter which thread asks — the stripe mutex
+//!    re-probes before every insert, so a lost race returns the winner's id.
+//!    Structural-equality-is-handle-equality therefore holds *across*
+//!    managers sharing a store, which is what lets workers reuse each
+//!    other's apply results.
+//! 3. **Reads never lock.** The arena is an array of segments published via
+//!    `OnceLock` (release/acquire on every slot), so `node(id)` is two
+//!    acquire loads; the apply caches are per-slot seqlocks, so a probe is
+//!    three loads and a fence. A torn or in-flight entry reads as a miss,
+//!    which lossiness permits.
+//!
+//! Determinism: every value stored here is a canonical handle, so cache
+//! hits, lost races and eviction order are observationally equivalent to
+//! recomputation — the same argument as DESIGN.md §12, extended to
+//! sharing in §14. Node *ids* do depend on thread interleaving, but no
+//! result-bearing path exposes raw ids.
+
+use std::hash::Hash;
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::fasthash::{mix64, FastMap};
+
+/// Sentinel for an empty unique-table slot / vacant cache field; never a
+/// valid handle (see [`crate::table`] for the same argument).
+const EMPTY: u32 = u32::MAX;
+
+/// Terminal level marker, mirroring the managers' convention.
+const TERMINAL_VAR: u32 = u32::MAX;
+
+/// log₂ of the slots in the *first* arena segment. Segment `s` holds
+/// `2^(SEG0_BITS + s)` slots, so capacity doubles per segment and a store
+/// that interns only a few thousand nodes allocates only a few KB —
+/// backend construction must cost microseconds, or the shared backend
+/// could never hit its ≤10% single-thread overhead budget on the
+/// millisecond-scale smoke gadgets.
+const SEG0_BITS: usize = 10;
+/// Maximum number of (geometrically sized) segments: caps a shared arena
+/// just past the `u32` id space, which the `EMPTY` sentinel bounds anyway.
+const SEGMENTS: usize = 22;
+
+/// Number of unique-table stripes (power of two). The stripe is selected by
+/// the low bits of the key hash, so with 64 stripes eight workers collide on
+/// a lock only ~12% of the time even under uniform hammering.
+const STRIPES: usize = 64;
+/// log₂ of [`STRIPES`]; slot probing uses the hash bits above the stripe
+/// selector so the two indices are independent.
+const STRIPE_SHIFT: u32 = 6;
+
+/// Smallest slot array a stripe materializes on first insert.
+const MIN_STRIPE_SLOTS: usize = 64;
+
+/// Slots in a per-manager `mk` memo (see [`MkMemo`]).
+const MK_MEMO_SLOTS: usize = 1 << 16;
+
+/// Default apply-cache slot budget when the backend is built without an
+/// explicit limit (matches the private managers' defaults).
+const DEFAULT_BINARY_SLOTS: usize = 1 << 16;
+
+/// An append-only, lock-free-on-read arena of `N` values.
+///
+/// Values are pushed under an id handed out by a fetch-add counter and
+/// published through a per-slot `OnceLock`, whose release/acquire pairing
+/// makes the value visible to any thread that learned the id (ids only
+/// travel through the stripe mutexes or through already-published nodes, so
+/// a `get` can never observe an unpublished slot). Segments are allocated
+/// lazily, also through `OnceLock`, so growth never moves existing slots —
+/// `&N` references stay valid for the store's lifetime. Segment sizes are
+/// geometric (see [`SEG0_BITS`]), which keeps both `Arena::new` and a
+/// small store's footprint at a few hundred bytes.
+/// One lazily allocated arena segment: a slab of per-slot `OnceLock`s.
+type Segment<N> = Box<[OnceLock<N>]>;
+
+pub(crate) struct Arena<N> {
+    segments: Box<[OnceLock<Segment<N>>]>,
+    len: AtomicUsize,
+}
+
+/// Maps an arena id to `(segment, offset, segment_len)` under the
+/// doubling-segment layout: segment `s` covers ids
+/// `[(2^s - 1) << SEG0_BITS, (2^(s+1) - 1) << SEG0_BITS)`.
+#[inline]
+fn locate(id: usize) -> (usize, usize, usize) {
+    let k = (id >> SEG0_BITS) + 1;
+    let seg = (usize::BITS - 1 - k.leading_zeros()) as usize;
+    let base = ((1usize << seg) - 1) << SEG0_BITS;
+    (seg, id - base, 1 << (SEG0_BITS + seg))
+}
+
+impl<N> Arena<N> {
+    pub(crate) fn new() -> Self {
+        Arena {
+            segments: (0..SEGMENTS).map(|_| OnceLock::new()).collect(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of values pushed so far (racy under concurrent pushes, exact
+    /// once they quiesce).
+    pub(crate) fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Appends `value`, returning its id.
+    pub(crate) fn push(&self, value: N) -> u32 {
+        let id = self.len.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            id < ((1usize << SEGMENTS) - 1) << SEG0_BITS,
+            "shared arena full"
+        );
+        let (seg, off, seg_len) = locate(id);
+        let seg =
+            self.segments[seg].get_or_init(|| (0..seg_len).map(|_| OnceLock::new()).collect());
+        if seg[off].set(value).is_err() {
+            unreachable!("arena slot {id} written twice");
+        }
+        id as u32
+    }
+
+    /// The value at `id`, which must have been returned by [`Arena::push`].
+    #[inline]
+    pub(crate) fn get(&self, id: u32) -> &N {
+        let (seg, off, _) = locate(id as usize);
+        let seg = self.segments[seg]
+            .get()
+            .expect("arena segment not published");
+        seg[off].get().expect("arena slot not published")
+    }
+}
+
+impl<N> std::fmt::Debug for Arena<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Arena").field("len", &self.len()).finish()
+    }
+}
+
+/// One interned DD node: the layout both managers share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SharedNode {
+    pub(crate) var: u32,
+    pub(crate) lo: u32,
+    pub(crate) hi: u32,
+}
+
+/// One [`NodeArena`] slot: the node fields as relaxed atomics.
+struct AtomicNode {
+    var: AtomicU32,
+    lo: AtomicU32,
+    hi: AtomicU32,
+}
+
+/// The node arena: [`Arena`]'s segment layout, specialized to
+/// [`SharedNode`] with plain relaxed-atomic fields instead of a per-slot
+/// `OnceLock`.
+///
+/// Reading a node is the single hottest shared-store operation (every
+/// apply-recursion visit does it), and an `OnceLock` state check per read
+/// costs enough to show up against the private backend's flat `Vec`. The
+/// relaxed fields are sound because a slot is written exactly once (ids
+/// come from a fetch-add) and an id only *reaches* a reader through a
+/// synchronizing channel — the stripe mutex that interned the node, a
+/// seqlock apply-cache slot (release write / acquire read), or a thread
+/// spawn — so the writer's field stores happen-before any read of them;
+/// relaxed suffices once that edge exists. The segment pointers stay
+/// `OnceLock`-published (the same edge covers their initialization).
+struct NodeArena {
+    segments: Box<[OnceLock<Box<[AtomicNode]>>]>,
+    len: AtomicUsize,
+}
+
+impl NodeArena {
+    fn new() -> Self {
+        NodeArena {
+            segments: (0..SEGMENTS).map(|_| OnceLock::new()).collect(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of nodes pushed so far (racy under concurrent pushes, exact
+    /// once they quiesce).
+    fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Appends `node`, returning its id. Callers must publish the id
+    /// through a synchronizing channel (see the type docs).
+    fn push(&self, node: SharedNode) -> u32 {
+        let id = self.len.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            id < ((1usize << SEGMENTS) - 1) << SEG0_BITS,
+            "shared arena full"
+        );
+        let (seg, off, seg_len) = locate(id);
+        let seg = self.segments[seg].get_or_init(|| {
+            (0..seg_len)
+                .map(|_| AtomicNode {
+                    var: AtomicU32::new(0),
+                    lo: AtomicU32::new(0),
+                    hi: AtomicU32::new(0),
+                })
+                .collect()
+        });
+        let slot = &seg[off];
+        slot.var.store(node.var, Ordering::Relaxed);
+        slot.lo.store(node.lo, Ordering::Relaxed);
+        slot.hi.store(node.hi, Ordering::Relaxed);
+        id as u32
+    }
+
+    /// The node at `id`, which must have been returned by
+    /// [`NodeArena::push`] and have reached this thread through a
+    /// synchronizing channel.
+    #[inline]
+    fn node(&self, id: u32) -> SharedNode {
+        let (seg, off, _) = locate(id as usize);
+        let seg = self.segments[seg]
+            .get()
+            .expect("arena segment not published");
+        let slot = &seg[off];
+        SharedNode {
+            var: slot.var.load(Ordering::Relaxed),
+            lo: slot.lo.load(Ordering::Relaxed),
+            hi: slot.hi.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for NodeArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeArena")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Hash of a full `(var, lo, hi)` key. Unlike the private per-variable
+/// subtables, the shared table is global, so the variable joins the key.
+#[inline]
+fn hash_node(var: u32, lo: u32, hi: u32) -> u64 {
+    mix64(((lo as u64) | ((hi as u64) << 32)) ^ (var as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// One stripe of the unique table: an open-addressed, power-of-two,
+/// linearly probed set of node ids, guarded by its own mutex.
+#[derive(Debug, Default)]
+struct Stripe {
+    slots: Vec<u32>,
+    len: usize,
+}
+
+impl Stripe {
+    fn probe(&self, hash: u64, arena: &NodeArena, key: SharedNode) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = ((hash >> STRIPE_SHIFT) as usize) & mask;
+        loop {
+            let v = self.slots[i];
+            if v == EMPTY {
+                return None;
+            }
+            if arena.node(v) == key {
+                return Some(v);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn place(slots: &mut [u32], hash: u64, value: u32) {
+        let mask = slots.len() - 1;
+        let mut i = ((hash >> STRIPE_SHIFT) as usize) & mask;
+        while slots[i] != EMPTY {
+            i = (i + 1) & mask;
+        }
+        slots[i] = value;
+    }
+
+    fn insert(&mut self, hash: u64, value: u32, arena: &NodeArena) {
+        // Grow at 2/3 occupancy, keeping at least one slot empty for the
+        // unbounded probe loop.
+        if (self.len + 1) * 3 > self.slots.len() * 2 {
+            self.grow(arena);
+        }
+        Self::place(&mut self.slots, hash, value);
+        self.len += 1;
+    }
+
+    #[cold]
+    fn grow(&mut self, arena: &NodeArena) {
+        let new_cap = (self.slots.len() * 2).max(MIN_STRIPE_SLOTS);
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY; new_cap]);
+        for v in old {
+            if v != EMPTY {
+                let n = arena.node(v);
+                Self::place(&mut self.slots, hash_node(n.var, n.lo, n.hi), v);
+            }
+        }
+    }
+}
+
+/// The shared arena plus its striped-lock unique table.
+///
+/// A node-budget panic ([`crate::budget::CapacityExceeded`]) must never be
+/// raised while a stripe mutex is held (which would poison it for every
+/// other worker), so [`SharedNodeTable::intern`] takes the caller's
+/// *precomputed* budget verdict and merely declines to insert when it is
+/// over — the caller raises the panic after the lock is released.
+#[derive(Debug)]
+pub(crate) struct SharedNodeTable {
+    arena: NodeArena,
+    stripes: Box<[Mutex<Stripe>]>,
+}
+
+impl SharedNodeTable {
+    pub(crate) fn new() -> Self {
+        SharedNodeTable {
+            arena: NodeArena::new(),
+            stripes: (0..STRIPES)
+                .map(|_| Mutex::new(Stripe::default()))
+                .collect(),
+        }
+    }
+
+    /// Appends a node without interning it — used to seed the BDD terminal
+    /// nodes, which are looked up by constant id, never by key.
+    pub(crate) fn seed(&self, var: u32, lo: u32, hi: u32) -> u32 {
+        self.arena.push(SharedNode { var, lo, hi })
+    }
+
+    /// Total nodes in the arena (terminal seeds included).
+    pub(crate) fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// The node stored at `id`.
+    #[inline]
+    pub(crate) fn node(&self, id: u32) -> SharedNode {
+        self.arena.node(id)
+    }
+
+    #[inline]
+    fn stripe(&self, hash: u64) -> &Mutex<Stripe> {
+        &self.stripes[(hash as usize) & (STRIPES - 1)]
+    }
+
+    /// Probes for `(var, lo, hi)` and interns it on a miss, all under one
+    /// stripe acquisition — the managers' `mk` fast path. `over_budget` is
+    /// the caller's precomputed [`crate::budget::NodeBudget::would_trip`]
+    /// verdict: when true and the key is absent, returns `None` *without
+    /// inserting*, and the caller raises [`crate::budget::CapacityExceeded`]
+    /// after the stripe mutex is back out of scope (a panic under the lock
+    /// would poison it for every worker). A probe hit ignores `over_budget`
+    /// — re-finding an existing node never grows the arena.
+    pub(crate) fn intern(
+        &self,
+        var: u32,
+        lo: u32,
+        hi: u32,
+        over_budget: bool,
+    ) -> Option<(u32, bool)> {
+        let key = SharedNode { var, lo, hi };
+        let h = hash_node(var, lo, hi);
+        let mut stripe = self.stripe(h).lock().expect("unique-table stripe poisoned");
+        if let Some(found) = stripe.probe(h, &self.arena, key) {
+            return Some((found, false));
+        }
+        if over_budget {
+            return None;
+        }
+        // The push happens under the stripe lock so the table never hands
+        // out an id whose slot is unpublished, and a lost race never leaks
+        // a dead arena slot.
+        let id = self.arena.push(key);
+        stripe.insert(h, id, &self.arena);
+        Some((id, true))
+    }
+
+    /// Heap bytes held by the stripes' slot arrays (diagnostic; takes each
+    /// stripe lock briefly).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| {
+                s.lock().expect("unique-table stripe poisoned").slots.len()
+                    * std::mem::size_of::<u32>()
+            })
+            .sum()
+    }
+}
+
+/// One seqlock-guarded cache slot: a sequence word and two data words.
+///
+/// Writers claim the slot by bumping `seq` to odd with a CAS (losing the
+/// race skips the write — the caches are lossy), store the data relaxed,
+/// and release with `seq + 2`. Readers snapshot `seq` (rejecting odd),
+/// load the data, fence, and re-check `seq`; any concurrent writer makes
+/// the probe a miss. No ordering beyond the slot itself is needed because
+/// the data words are canonical handles, valid independent of when they
+/// were produced.
+struct SeqSlot {
+    seq: AtomicU32,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl SeqSlot {
+    fn vacant(a: u64, b: u64) -> Self {
+        SeqSlot {
+            seq: AtomicU32::new(0),
+            a: AtomicU64::new(a),
+            b: AtomicU64::new(b),
+        }
+    }
+
+    #[inline]
+    fn read(&self) -> Option<(u64, u64)> {
+        let v1 = self.seq.load(Ordering::Acquire);
+        if v1 & 1 == 1 {
+            return None;
+        }
+        let a = self.a.load(Ordering::Relaxed);
+        let b = self.b.load(Ordering::Relaxed);
+        fence(Ordering::Acquire);
+        if self.seq.load(Ordering::Relaxed) != v1 {
+            return None;
+        }
+        Some((a, b))
+    }
+
+    #[inline]
+    fn write(&self, a: u64, b: u64) {
+        let v = self.seq.load(Ordering::Relaxed);
+        if v & 1 == 1 {
+            return; // another writer owns the slot; drop the entry
+        }
+        if self
+            .seq
+            .compare_exchange(v, v | 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        self.a.store(a, Ordering::Relaxed);
+        self.b.store(b, Ordering::Relaxed);
+        self.seq.store(v.wrapping_add(2), Ordering::Release);
+    }
+}
+
+impl std::fmt::Debug for SeqSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeqSlot").finish()
+    }
+}
+
+/// Smallest slab a shared lossy cache materializes on first put.
+const INITIAL_SHARED_CACHE_SLOTS: usize = 1 << 10;
+
+/// The slot storage behind the three shared lossy caches: direct-mapped
+/// [`SeqSlot`] slabs with concurrent lazy growth.
+///
+/// The engines size apply caches in the megabytes, and a shared store is
+/// built fresh for every run — eagerly zeroing the full slab would cost
+/// tens of milliseconds, swamping the smoke gadgets that finish in a few
+/// hundred microseconds. So, like the private caches' `grow`, the slab
+/// starts at [`INITIAL_SHARED_CACHE_SLOTS`] and steps 8× toward the limit
+/// once a generation has absorbed as many writes as it has slots. Each
+/// generation is a separate `OnceLock` slab (allocated by the first writer
+/// to reach it) and only the active generation is probed; stepping drops
+/// the previous generation's entries, which a lossy cache may always do.
+struct SeqSlots {
+    gens: Box<[OnceLock<Box<[SeqSlot]>>]>,
+    /// Slot count of each generation (powers of two, 8× apart, last one
+    /// the configured limit).
+    sizes: Box<[usize]>,
+    /// Index of the generation currently probed and written.
+    active: AtomicUsize,
+    /// 1-in-64 sample of writes since the active generation was entered
+    /// (relaxed, approximate under concurrency — it is only a growth
+    /// heuristic).
+    puts: AtomicUsize,
+    /// `(a, b)` words of a vacant slot: an impossible key, so a probe of an
+    /// untouched slot fails the caller's key comparison.
+    vacant: (u64, u64),
+}
+
+impl SeqSlots {
+    fn new(limit: usize, vacant: (u64, u64)) -> Self {
+        debug_assert!(limit.is_power_of_two());
+        let mut sizes = Vec::new();
+        let mut n = INITIAL_SHARED_CACHE_SLOTS.min(limit);
+        loop {
+            sizes.push(n);
+            if n >= limit {
+                break;
+            }
+            n = (n * 8).min(limit);
+        }
+        SeqSlots {
+            gens: (0..sizes.len()).map(|_| OnceLock::new()).collect(),
+            sizes: sizes.into_boxed_slice(),
+            active: AtomicUsize::new(0),
+            puts: AtomicUsize::new(0),
+            vacant,
+        }
+    }
+
+    #[inline]
+    fn probe(&self, hash: u64) -> Option<(u64, u64)> {
+        let slab = self.gens[self.active.load(Ordering::Relaxed)].get()?;
+        slab[(hash as usize) & (slab.len() - 1)].read()
+    }
+
+    #[inline]
+    fn write(&self, hash: u64, a: u64, b: u64) {
+        let gen = self.active.load(Ordering::Relaxed);
+        let slab = self.gens[gen].get_or_init(|| {
+            let (va, vb) = self.vacant;
+            (0..self.sizes[gen])
+                .map(|_| SeqSlot::vacant(va, vb))
+                .collect()
+        });
+        slab[(hash as usize) & (slab.len() - 1)].write(a, b);
+        // Growth pressure is *sampled* — one put in 64, gated on hash bits
+        // independent of the slot index — against a threshold scaled the
+        // same way, so the expected trigger point is still one write per
+        // slot but the steady-state put pays only the seqlock CAS, not a
+        // second shared RMW for the counter. Over- or under-counting only
+        // moves the growth step, which a lossy cache tolerates. Once the
+        // final generation is active even the sample is skipped.
+        if gen + 1 < self.gens.len()
+            && hash >> 58 == 0
+            && self.puts.fetch_add(1, Ordering::Relaxed) >= slab.len() >> 6
+            && self
+                .active
+                .compare_exchange(gen, gen + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            self.puts.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Heap bytes of every materialized generation.
+    fn bytes(&self) -> usize {
+        self.gens
+            .iter()
+            .filter_map(OnceLock::get)
+            .map(|s| s.len() * std::mem::size_of::<SeqSlot>())
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for SeqSlots {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeqSlots")
+            .field("active", &self.active.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Shared direct-mapped lossy cache for binary apply results.
+///
+/// Packing: `a = f | g << 32`, `b = r | op << 32`. A vacant slot holds
+/// `op == EMPTY`, which no real operation token uses.
+#[derive(Debug)]
+pub(crate) struct SharedBinaryCache {
+    slots: SeqSlots,
+}
+
+impl SharedBinaryCache {
+    pub(crate) fn new(slot_count: usize) -> Self {
+        SharedBinaryCache {
+            slots: SeqSlots::new(slot_count, (0, (EMPTY as u64) << 32)),
+        }
+    }
+
+    #[inline]
+    fn hash(op: u32, f: u32, g: u32) -> u64 {
+        let key = (f as u64) | ((g as u64) << 32);
+        mix64(key ^ ((op as u64) << 17))
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, op: u32, f: u32, g: u32) -> Option<u32> {
+        let (a, b) = self.slots.probe(Self::hash(op, f, g))?;
+        let key = (f as u64) | ((g as u64) << 32);
+        (a == key && (b >> 32) as u32 == op).then_some(b as u32)
+    }
+
+    #[inline]
+    pub(crate) fn put(&self, op: u32, f: u32, g: u32, r: u32) {
+        let a = (f as u64) | ((g as u64) << 32);
+        let b = (r as u64) | ((op as u64) << 32);
+        self.slots.write(Self::hash(op, f, g), a, b);
+    }
+
+    pub(crate) fn bytes(&self) -> usize {
+        self.slots.bytes()
+    }
+}
+
+/// Shared direct-mapped lossy cache for unary apply results.
+///
+/// Packing: `a = f | op << 32`, `b = r`. Vacant slots hold `a == u64::MAX`
+/// (both the handle and the op are the `EMPTY` sentinel).
+#[derive(Debug)]
+pub(crate) struct SharedUnaryCache {
+    slots: SeqSlots,
+}
+
+impl SharedUnaryCache {
+    pub(crate) fn new(slot_count: usize) -> Self {
+        SharedUnaryCache {
+            slots: SeqSlots::new(slot_count, (u64::MAX, 0)),
+        }
+    }
+
+    #[inline]
+    fn hash(op: u32, f: u32) -> u64 {
+        mix64((f as u64) | ((op as u64) << 32))
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, op: u32, f: u32) -> Option<u32> {
+        let (a, b) = self.slots.probe(Self::hash(op, f))?;
+        (a == (f as u64) | ((op as u64) << 32)).then_some(b as u32)
+    }
+
+    #[inline]
+    pub(crate) fn put(&self, op: u32, f: u32, r: u32) {
+        self.slots.write(
+            Self::hash(op, f),
+            (f as u64) | ((op as u64) << 32),
+            r as u64,
+        );
+    }
+
+    pub(crate) fn bytes(&self) -> usize {
+        self.slots.bytes()
+    }
+}
+
+/// Shared direct-mapped lossy cache for ternary (if-then-else) results.
+///
+/// Packing: `a = f | g << 32`, `b = h | r << 32`. Vacant slots hold
+/// `f == EMPTY`, never a valid handle.
+#[derive(Debug)]
+pub(crate) struct SharedTernaryCache {
+    slots: SeqSlots,
+}
+
+impl SharedTernaryCache {
+    pub(crate) fn new(slot_count: usize) -> Self {
+        SharedTernaryCache {
+            slots: SeqSlots::new(slot_count, (EMPTY as u64, 0)),
+        }
+    }
+
+    #[inline]
+    fn hash(f: u32, g: u32, h: u32) -> u64 {
+        let key =
+            mix64((f as u64) | ((g as u64) << 32)) ^ (h as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        mix64(key)
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, f: u32, g: u32, h: u32) -> Option<u32> {
+        let (a, b) = self.slots.probe(Self::hash(f, g, h))?;
+        (a == (f as u64) | ((g as u64) << 32) && b as u32 == h).then_some((b >> 32) as u32)
+    }
+
+    #[inline]
+    pub(crate) fn put(&self, f: u32, g: u32, h: u32, r: u32) {
+        self.slots.write(
+            Self::hash(f, g, h),
+            (f as u64) | ((g as u64) << 32),
+            (h as u64) | ((r as u64) << 32),
+        );
+    }
+
+    pub(crate) fn bytes(&self) -> usize {
+        self.slots.bytes()
+    }
+}
+
+/// Shared terminal-value intern table for ADD stores.
+#[derive(Debug)]
+pub(crate) struct SharedTermTable<T> {
+    values: Arena<T>,
+    unique: Mutex<FastMap<T, u32>>,
+}
+
+impl<T: Clone + Eq + Hash> SharedTermTable<T> {
+    pub(crate) fn new() -> Self {
+        SharedTermTable {
+            values: Arena::new(),
+            unique: Mutex::new(FastMap::default()),
+        }
+    }
+
+    /// Interns `value`, returning its terminal index.
+    pub(crate) fn intern(&self, value: &T) -> u32 {
+        let mut map = self.unique.lock().expect("terminal table poisoned");
+        if let Some(&id) = map.get(value) {
+            return id;
+        }
+        let id = self.values.push(value.clone());
+        map.insert(value.clone(), id);
+        id
+    }
+
+    /// The terminal value at `id`.
+    #[inline]
+    pub(crate) fn get(&self, id: u32) -> &T {
+        self.values.get(id)
+    }
+}
+
+/// Everything an [`crate::add::AddManager`] shares when running on the
+/// [`crate::backend::Shared`] backend.
+#[derive(Debug)]
+pub(crate) struct SharedAddStore<T> {
+    pub(crate) nodes: SharedNodeTable,
+    pub(crate) terms: SharedTermTable<T>,
+    pub(crate) binary: SharedBinaryCache,
+    pub(crate) unary: SharedUnaryCache,
+    /// Managers ever attached (never decremented): see
+    /// [`SharedBddStore::publish`].
+    managers: AtomicUsize,
+}
+
+impl<T: Clone + Eq + Hash> SharedAddStore<T> {
+    /// A fresh store whose apply caches hold about `apply_cache_limit`
+    /// binary slots (the private managers' proportions, eagerly allocated).
+    pub(crate) fn new(apply_cache_limit: Option<usize>) -> Self {
+        let limit = apply_cache_limit.unwrap_or(DEFAULT_BINARY_SLOTS);
+        SharedAddStore {
+            nodes: SharedNodeTable::new(),
+            terms: SharedTermTable::new(),
+            binary: SharedBinaryCache::new(crate::table::slots_for(limit)),
+            unary: SharedUnaryCache::new(crate::table::slots_for((limit >> 4).max(16))),
+            managers: AtomicUsize::new(0),
+        }
+    }
+
+    /// Records one more manager attaching to this store.
+    pub(crate) fn attach(&self) {
+        self.managers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whether managers should publish apply results to the store-wide L2
+    /// caches; see [`SharedBddStore::publish`] for the rationale.
+    #[inline]
+    pub(crate) fn publish(&self) -> bool {
+        self.managers.load(Ordering::Relaxed) > 1
+    }
+}
+
+/// Everything a [`crate::bdd::BddManager`] shares when running on the
+/// [`crate::backend::Shared`] backend. The two terminal nodes are seeded at
+/// creation so ids 0/1 match [`crate::bdd::Bdd::FALSE`] / `TRUE`.
+#[derive(Debug)]
+pub(crate) struct SharedBddStore {
+    pub(crate) nodes: SharedNodeTable,
+    pub(crate) binary: SharedBinaryCache,
+    pub(crate) unary: SharedUnaryCache,
+    pub(crate) ternary: SharedTernaryCache,
+    /// Managers ever attached (never decremented): see
+    /// [`SharedBddStore::publish`].
+    managers: AtomicUsize,
+}
+
+impl SharedBddStore {
+    /// A fresh store with the private `BddManager`'s default cache shape.
+    pub(crate) fn new() -> Self {
+        let nodes = SharedNodeTable::new();
+        let f = nodes.seed(TERMINAL_VAR, 0, 0);
+        let t = nodes.seed(TERMINAL_VAR, 1, 1);
+        assert_eq!((f, t), (0, 1), "terminal seeds must be ids 0 and 1");
+        SharedBddStore {
+            nodes,
+            binary: SharedBinaryCache::new(1 << 16),
+            unary: SharedUnaryCache::new(1 << 14),
+            ternary: SharedTernaryCache::new(1 << 15),
+            managers: AtomicUsize::new(0),
+        }
+    }
+
+    /// Records one more manager attaching to this store.
+    pub(crate) fn attach(&self) {
+        self.managers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whether managers should publish apply results to the store-wide L2
+    /// caches. While a single manager is attached there is provably no
+    /// consumer for published entries (its own probes are already answered
+    /// by the private L1), so paying the seqlock traffic is pure overhead.
+    /// The count only ever grows, so once a second manager attaches
+    /// publication is permanent; and because the L2 caches are lossy memo
+    /// tables, skipping them can never change any result — only timing.
+    #[inline]
+    pub(crate) fn publish(&self) -> bool {
+        self.managers.load(Ordering::Relaxed) > 1
+    }
+}
+
+/// One entry of a per-manager `mk` memo.
+#[derive(Debug, Clone, Copy)]
+struct MkEntry {
+    var: u32,
+    lo: u32,
+    hi: u32,
+    id: u32,
+}
+
+/// A private direct-mapped memo in front of the shared unique table.
+///
+/// Shared node ids are stable for the store's lifetime, so a manager may
+/// cache `(var, lo, hi) → id` privately and skip the stripe mutex on
+/// repeat interning — the common case, since every apply-cache miss calls
+/// `mk` and most `mk` calls re-find an existing node. This is the
+/// "per-worker scratch" that keeps the recursion off the global locks;
+/// collisions simply overwrite (a miss falls through to the real table).
+#[derive(Debug)]
+pub(crate) struct MkMemo {
+    slots: Box<[MkEntry]>,
+    /// Writes since the last growth step: the same pressure heuristic the
+    /// private apply caches use.
+    puts: usize,
+}
+
+impl MkMemo {
+    pub(crate) fn new() -> Self {
+        // Like the apply caches, the slab materializes lazily: a manager is
+        // created per worker per run, and eagerly zeroing `MK_MEMO_SLOTS`
+        // entries would dominate short checks.
+        MkMemo {
+            slots: Box::default(),
+            puts: 0,
+        }
+    }
+
+    /// Materializes the initial slab or steps it 8× toward
+    /// [`MK_MEMO_SLOTS`]. Surviving entries are rehashed into the new slab
+    /// — dropping them would send every live node back to the striped
+    /// unique table for one more locked probe, a miss storm in the middle
+    /// of a run.
+    #[cold]
+    fn grow(&mut self) {
+        let n = if self.slots.is_empty() {
+            // Larger than the shared caches' initial slab: a direct-mapped
+            // memo evicts on collision and every eviction is a later locked
+            // probe of the striped table, so headroom pays for itself well
+            // before the first 8× step.
+            (INITIAL_SHARED_CACHE_SLOTS << 2).min(MK_MEMO_SLOTS)
+        } else {
+            (self.slots.len() * 8).min(MK_MEMO_SLOTS)
+        };
+        let old = std::mem::replace(
+            &mut self.slots,
+            vec![
+                MkEntry {
+                    var: TERMINAL_VAR,
+                    lo: 0,
+                    hi: 0,
+                    id: 0,
+                };
+                n
+            ]
+            .into_boxed_slice(),
+        );
+        for e in old.iter().filter(|e| e.var != TERMINAL_VAR) {
+            let i = self.index(e.var, e.lo, e.hi);
+            self.slots[i] = *e;
+        }
+        self.puts = 0;
+    }
+
+    #[inline]
+    fn index(&self, var: u32, lo: u32, hi: u32) -> usize {
+        (hash_node(var, lo, hi) as usize) & (self.slots.len() - 1)
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, var: u32, lo: u32, hi: u32) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let e = self.slots[self.index(var, lo, hi)];
+        (e.var == var && e.lo == lo && e.hi == hi).then_some(e.id)
+    }
+
+    #[inline]
+    pub(crate) fn put(&mut self, var: u32, lo: u32, hi: u32, id: u32) {
+        if self.slots.is_empty()
+            || (self.puts >= self.slots.len() && self.slots.len() < MK_MEMO_SLOTS)
+        {
+            self.grow();
+        }
+        let i = self.index(var, lo, hi);
+        self.slots[i] = MkEntry { var, lo, hi, id };
+        self.puts += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn arena_pushes_and_reads_across_threads() {
+        let arena: Arena<u64> = Arena::new();
+        thread::scope(|s| {
+            for t in 0..8u64 {
+                let arena = &arena;
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        let v = t * 1000 + i;
+                        let id = arena.push(v);
+                        assert_eq!(*arena.get(id), v);
+                    }
+                });
+            }
+        });
+        assert_eq!(arena.len(), 4000);
+    }
+
+    #[test]
+    fn node_table_dedupes_across_threads() {
+        let table = SharedNodeTable::new();
+        // Every thread interns the same 300 keys; all must agree on ids.
+        let ids: Vec<Vec<u32>> = thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let table = &table;
+                    s.spawn(move || {
+                        (0..300u32)
+                            .map(|i| {
+                                let (var, lo, hi) = (i % 7, i * 3, i * 5 + 1);
+                                table.intern(var, lo, hi, false).expect("in budget").0
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for other in &ids[1..] {
+            assert_eq!(&ids[0], other, "threads disagree on interned ids");
+        }
+        assert_eq!(table.len(), 300, "duplicates leaked into the arena");
+        for (i, &id) in ids[0].iter().enumerate() {
+            let i = i as u32;
+            let n = table.node(id);
+            assert_eq!((n.var, n.lo, n.hi), (i % 7, i * 3, i * 5 + 1));
+        }
+    }
+
+    #[test]
+    fn seqlock_caches_are_lossy_but_never_wrong() {
+        let c = SharedBinaryCache::new(16);
+        c.put(1, 10, 20, 99);
+        assert_eq!(c.get(1, 10, 20), Some(99));
+        assert_eq!(c.get(2, 10, 20), None);
+        assert_eq!(c.get(1, 20, 10), None);
+        // Hammer from 8 threads with a self-checking payload: r = f ^ g ^ op.
+        thread::scope(|s| {
+            for t in 0..8u32 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..5000u32 {
+                        let (op, f, g) = (1 + (i % 3), i * 7 + t, i * 13);
+                        c.put(op, f, g, f ^ g ^ op);
+                        if let Some(r) = c.get(op, f, g) {
+                            assert_eq!(r, f ^ g ^ op, "torn or mismatched entry");
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn unary_and_ternary_shared_caches_round_trip() {
+        let u = SharedUnaryCache::new(16);
+        u.put(7, 3, 42);
+        assert_eq!(u.get(7, 3), Some(42));
+        assert_eq!(u.get(8, 3), None);
+
+        let t = SharedTernaryCache::new(16);
+        t.put(1, 2, 3, 4);
+        assert_eq!(t.get(1, 2, 3), Some(4));
+        assert_eq!(t.get(1, 3, 2), None);
+        assert!(t.bytes() > 0 && u.bytes() > 0);
+    }
+
+    #[test]
+    fn term_table_interns_across_threads() {
+        let t: SharedTermTable<i64> = SharedTermTable::new();
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let t = &t;
+                s.spawn(move || {
+                    for v in 0..100i64 {
+                        let a = t.intern(&v);
+                        let b = t.intern(&v);
+                        assert_eq!(a, b);
+                        assert_eq!(*t.get(a), v);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn mk_memo_hits_only_exact_keys() {
+        let mut m = MkMemo::new();
+        assert_eq!(m.get(1, 2, 3), None);
+        m.put(1, 2, 3, 77);
+        assert_eq!(m.get(1, 2, 3), Some(77));
+        assert_eq!(m.get(1, 3, 2), None);
+    }
+}

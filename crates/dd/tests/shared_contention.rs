@@ -1,0 +1,130 @@
+//! Contention stress for the shared backend: eight threads hammer one
+//! concurrent store with overlapping workloads and the node-dedup
+//! invariants must hold — identical functions get identical handles on
+//! every thread, results match the private backend, and re-running the
+//! workload afterwards interns nothing new.
+
+use std::thread;
+
+use walshcheck_dd::prelude::*;
+
+const THREADS: usize = 8;
+const VARS: u32 = 12;
+
+/// A deterministic family of functions with heavy structure sharing.
+/// `rot` rotates the construction order so concurrent threads race on
+/// different stripes at different times; the *functions* are the same.
+fn bdd_suite(m: &mut BddManager, rot: usize) -> Vec<Bdd> {
+    let n = VARS as usize;
+    let mut out = vec![Bdd::FALSE; n];
+    for k in 0..n {
+        let i = (k + rot) % n;
+        let x = m.var(VarId(i as u32));
+        let y = m.var(VarId(((i + 1) % n) as u32));
+        let z = m.var(VarId(((i + 5) % n) as u32));
+        let xy = m.and(x, y);
+        let f = m.xor(xy, z);
+        let g = m.or(f, x);
+        out[i] = m.ite(g, f, z);
+    }
+    // A chain that forces deep recursion through the shared apply caches.
+    let mut acc = Bdd::TRUE;
+    for k in 0..n {
+        let i = (k + rot) % n;
+        acc = m.xor(acc, out[i]);
+    }
+    out.push(acc);
+    out
+}
+
+fn add_suite(m: &mut AddManager<Dyadic>, rot: usize) -> Vec<Add> {
+    let n = VARS as usize;
+    let zero = m.constant(Dyadic::ZERO);
+    let mut out = vec![zero; n];
+    for k in 0..n {
+        let i = (k + rot) % n;
+        let a = m.indicator(
+            VarId(i as u32),
+            Dyadic::from_int(i as i64 + 1),
+            Dyadic::from_int(-(i as i64) - 1),
+        );
+        let b = m.indicator(VarId(((i + 3) % n) as u32), Dyadic::ONE, Dyadic::ZERO);
+        out[i] = m.add_op(a, b);
+    }
+    let mut acc = m.constant(Dyadic::ZERO);
+    for k in 0..n {
+        let i = (k + rot) % n;
+        acc = m.add_op(acc, out[i]);
+    }
+    out.push(acc);
+    out
+}
+
+#[test]
+fn eight_threads_dedupe_into_one_bdd_store() {
+    let backend = Shared::new(None);
+    let per_thread: Vec<Vec<Bdd>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let backend = backend.clone();
+                s.spawn(move || {
+                    let mut m = backend.bdd_manager(VARS, &DdConfig::default());
+                    bdd_suite(&mut m, t)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Canonicity: every thread resolved each function to the same handle.
+    for t in 1..THREADS {
+        assert_eq!(per_thread[t], per_thread[0], "thread {t} diverged");
+    }
+    // Saturation: the workload is fully interned — replaying it creates
+    // zero new nodes (the dedup invariant would be violated by any lost
+    // race that slipped a duplicate into the arena).
+    let mut replay = backend.bdd_manager(VARS, &DdConfig::default());
+    let before = replay.arena_size();
+    let again = bdd_suite(&mut replay, 3);
+    assert_eq!(replay.arena_size(), before, "replay interned new nodes");
+    assert_eq!(again, per_thread[0]);
+    // Semantics: spot-check against the private backend.
+    let mut private = BddManager::new(VARS);
+    let reference = bdd_suite(&mut private, 0);
+    for a in (0..1u128 << VARS).step_by(37) {
+        for (f, g) in per_thread[0].iter().zip(&reference) {
+            assert_eq!(replay.eval(*f, a), private.eval(*g, a), "at {a:b}");
+        }
+    }
+}
+
+#[test]
+fn eight_threads_dedupe_into_one_add_store() {
+    let backend = Shared::new(None);
+    let per_thread: Vec<Vec<Add>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let backend = backend.clone();
+                s.spawn(move || {
+                    let mut m = backend.add_manager(VARS, &DdConfig::default());
+                    add_suite(&mut m, t)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for t in 1..THREADS {
+        assert_eq!(per_thread[t], per_thread[0], "thread {t} diverged");
+    }
+    let mut replay = backend.add_manager(VARS, &DdConfig::default());
+    let before = replay.arena_size();
+    let again = add_suite(&mut replay, 5);
+    assert_eq!(replay.arena_size(), before, "replay interned new nodes");
+    assert_eq!(again, per_thread[0]);
+    let mut private = AddManager::new(VARS);
+    let reference = add_suite(&mut private, 0);
+    for a in (0..1u128 << VARS).step_by(41) {
+        for (f, g) in per_thread[0].iter().zip(&reference) {
+            assert_eq!(replay.eval(*f, a), private.eval(*g, a), "at {a:b}");
+        }
+    }
+}

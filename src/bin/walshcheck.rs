@@ -25,6 +25,16 @@
 //!   --cache-budget BYTES             per-worker prefix-cache budget
 //!   --node-budget NODES              per-combination decision-diagram cap;
 //!                                    over-budget combinations are quarantined
+//!   --dd-backend private|shared      decision-diagram node store: per-worker
+//!                                    arenas (private, the default) or one
+//!                                    concurrent store all workers intern into
+//!                                    (shared). Results are byte-identical
+//!                                    either way; the default can also be set
+//!                                    with WALSHCHECK_DD_BACKEND (which is how
+//!                                    a `walshcheck serve` daemon is steered)
+//!   --presift                        sift BDD variable order once before
+//!                                    enumeration (witnesses still reported in
+//!                                    the original input numbering)
 //!   --rescue                         re-verify quarantined combinations after
 //!                                    the sweep through an escalation ladder
 //!                                    (doubled budgets, BDD sifting, engine
@@ -57,7 +67,7 @@ use std::time::{Duration, Instant};
 
 use walshcheck::daemon::{Client, Daemon, DaemonConfig};
 use walshcheck::prelude::*;
-use walshcheck_core::{run_report_json, Error};
+use walshcheck_core::{run_report_json, Backend, Error};
 
 /// Exit code for proved-secure full sweeps.
 const EXIT_SECURE: u8 = 0;
@@ -158,6 +168,8 @@ struct Cli {
     cache: bool,
     cache_budget: Option<usize>,
     node_budget: Option<usize>,
+    backend: Option<Backend>,
+    presift: bool,
     rescue: bool,
     rescue_attempts: Option<u32>,
     rescue_budget: Option<usize>,
@@ -182,6 +194,8 @@ fn parse_options(args: &[String]) -> Result<Cli, Error> {
         cache: true,
         cache_budget: None,
         node_budget: None,
+        backend: None,
+        presift: false,
         rescue: false,
         rescue_attempts: None,
         rescue_budget: None,
@@ -245,6 +259,15 @@ fn parse_options(args: &[String]) -> Result<Cli, Error> {
                         .map_err(|_| bad("--node-budget"))?,
                 )
             }
+            "--dd-backend" => {
+                let name = value("--dd-backend")?.to_lowercase();
+                cli.backend = Some(Backend::parse(&name).ok_or_else(|| {
+                    Error::Config(format!(
+                        "unknown backend `{name}` (expected private or shared)"
+                    ))
+                })?);
+            }
+            "--presift" => cli.presift = true,
             "--rescue" => cli.rescue = true,
             "--no-rescue" => cli.rescue = false,
             "--rescue-attempts" => {
@@ -423,6 +446,14 @@ fn spec_from_cli(netlist: &Netlist, cli: &Cli) -> Result<JobSpec, Error> {
     }
     if let Some(nodes) = cli.node_budget {
         builder = builder.node_budget(nodes);
+    }
+    // Absent --dd-backend, the builder keeps the WALSHCHECK_DD_BACKEND /
+    // private default, which is also what a daemon applies to submissions.
+    if let Some(backend) = cli.backend {
+        builder = builder.dd_backend(backend);
+    }
+    if cli.presift {
+        builder = builder.presift(true);
     }
     let mut spec = JobSpec::new(property);
     spec.options = builder.build();
@@ -928,6 +959,7 @@ fn main() -> ExitCode {
                  \x20        --engine lil|map|mapi|fujita    --mode rowwise|joint\n\
                  \x20        --glitch  --threads N  --time-limit SECS  --no-prefilter\n\
                  \x20        --no-cache  --cache-budget BYTES  --node-budget NODES\n\
+                 \x20        --dd-backend private|shared  --presift\n\
                  \x20        --rescue  --no-rescue  --rescue-attempts N  --rescue-budget BYTES\n\
                  \x20        --checkpoint FILE  --checkpoint-every SECS  --resume FILE\n\
                  \x20        --minimize  --progress  --json\n\n\

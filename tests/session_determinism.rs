@@ -15,7 +15,7 @@
 //! witness must be byte-identical with the cache on, off, or thrashing
 //! under a tiny budget — at any thread count.
 
-use walshcheck::core::{Job, JobSpec, Report};
+use walshcheck::core::{Backend, Job, JobSpec, Report};
 use walshcheck::prelude::*;
 use walshcheck_gadgets::composition::composition_fig1;
 use walshcheck_gadgets::isw::isw_and_broken;
@@ -292,6 +292,49 @@ fn report_artifacts_are_byte_identical_across_thread_counts() {
                 "{label}: artifact bytes differ at t{threads} cache={cache}"
             );
             assert_eq!(base_hash, hash, "{label}: artifact hash differs");
+        }
+    }
+}
+
+#[test]
+fn report_artifacts_are_byte_identical_across_dd_backends() {
+    // The DD backend (per-worker private arenas vs one shared concurrent
+    // store) is a speed/memory knob, never a result knob: for every engine,
+    // at 1, 4 and 8 workers, both backends must produce byte-identical
+    // report/5 artifacts — which is why `JobSpec::identity_json` excludes
+    // the backend and the artifact store shares results across it.
+    for (label, n, prop) in [
+        ("dom-1", Benchmark::Dom(1).netlist(), Property::Sni(1)),
+        ("isw-2-broken", isw_and_broken(2), Property::Sni(2)),
+    ] {
+        for engine in engines() {
+            let artifact = |backend: Backend, threads: usize| {
+                let mut spec = JobSpec::new(prop);
+                spec.options.engine = engine;
+                spec.options.backend = backend;
+                spec.threads = threads;
+                let mut job = Job::new(&n, spec).expect("valid");
+                let verdict = job.run();
+                let report = Report::new(&n, job.spec(), &verdict);
+                (
+                    report.canonical_json().to_string(),
+                    report.hash().to_string(),
+                )
+            };
+            let (base_bytes, base_hash) = artifact(Backend::Private, 1);
+            for backend in [Backend::Private, Backend::Shared] {
+                for threads in [1usize, 4, 8] {
+                    let (bytes, hash) = artifact(backend, threads);
+                    assert_eq!(
+                        base_bytes, bytes,
+                        "{label} {engine}: artifact bytes differ on {backend} t{threads}"
+                    );
+                    assert_eq!(
+                        base_hash, hash,
+                        "{label} {engine}: artifact hash differs on {backend} t{threads}"
+                    );
+                }
+            }
         }
     }
 }
