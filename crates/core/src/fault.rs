@@ -20,9 +20,18 @@
 //! |                             | of combination `IDX`                              |
 //! | `stall-ms=N`                | sleep `N` ms before each combination check (slows |
 //! |                             | a sweep so signal-kill tests land mid-run)        |
+//! | `runner-panic-at=JOBID`     | panic the `walshcheckd` runner thread while it    |
+//! |                             | executes job `JOBID` (drives the daemon's         |
+//! |                             | failed-plus-respawn path)                         |
+//! | `store-torn-write=FILE`     | tear the next artifact-store write of `FILE`:     |
+//! |                             | half the bytes land at the final path with no     |
+//! |                             | atomic rename (drives the startup integrity scan) |
+//! | `job-stall-ms=N`            | sleep `N` ms at the start of every daemon job     |
+//! |                             | execution (wedges a job so deadline tests fire)   |
 //!
 //! Multiple directives are comma-separated. Without the feature every hook
-//! compiles to nothing.
+//! compiles to nothing; the daemon directives are consumed by
+//! `walshcheck-daemon` through [`string_directive`]/[`u64_directive`].
 
 /// Panic payload used by injected worker faults; classified as
 /// [`crate::IncompleteReason::WorkerFailure`] by the isolation boundary.
@@ -44,13 +53,29 @@ fn directive(prefix: &str) -> Option<u64> {
     // Re-read the environment on every call: the value is tiny, this is a
     // test-only build, and per-call reads let in-process tests change the
     // plan between runs.
+    u64_directive(prefix)
+}
+
+/// The string value of fault directive `prefix` in `WALSHCHECK_FAULT`, if
+/// present. Re-reads the environment on every call so in-process tests can
+/// change the plan between runs. Used by `walshcheck-daemon` for the
+/// job-id-valued directives (`runner-panic-at`, `store-torn-write`).
+#[cfg(feature = "fault-inject")]
+pub fn string_directive(prefix: &str) -> Option<String> {
     let plan = std::env::var("WALSHCHECK_FAULT").ok()?;
     plan.split(',').find_map(|d| {
         d.trim()
             .strip_prefix(prefix)
             .and_then(|v| v.strip_prefix('='))
-            .and_then(|v| v.trim().parse().ok())
+            .map(|v| v.trim().to_string())
     })
+}
+
+/// The numeric value of fault directive `prefix` in `WALSHCHECK_FAULT`, if
+/// present (see [`string_directive`] for the lookup semantics).
+#[cfg(feature = "fault-inject")]
+pub fn u64_directive(prefix: &str) -> Option<u64> {
+    string_directive(prefix).and_then(|v| v.parse().ok())
 }
 
 /// Injects a panic or budget exhaustion at global combination `index`.

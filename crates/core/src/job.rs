@@ -62,6 +62,14 @@ pub struct JobSpec {
     pub threads: usize,
     /// Post-sweep rescue-ladder configuration.
     pub rescue: RescueConfig,
+    /// Wall-clock deadline for one *attempt* at this job, enforced by the
+    /// daemon's supervisor (not by [`Job::run`] itself): when it elapses the
+    /// sweep is interrupted at a batch boundary, the checkpoint flushed, and
+    /// the job transitioned to `timed-out`. `None` means no deadline. Like
+    /// `threads`, this is a speed/robustness knob excluded from the identity
+    /// hash — an interrupted-and-resumed run is byte-identical to an
+    /// uninterrupted one, so the deadline cannot change the result.
+    pub timeout_secs: Option<u64>,
 }
 
 impl JobSpec {
@@ -73,6 +81,7 @@ impl JobSpec {
             options: VerifyOptions::default(),
             threads: 1,
             rescue: RescueConfig::default(),
+            timeout_secs: None,
         }
     }
 
@@ -112,6 +121,16 @@ impl JobSpec {
         // are byte-identical across backends (DESIGN.md §14), so results
         // are shared across submissions that differ only here.
         obj.insert("backend".into(), Json::str(self.options.backend.as_str()));
+        // The daemon deadline is likewise a robustness knob: interrupted
+        // attempts resume byte-identically, so the deadline never changes
+        // what the job computes — only how patiently the daemon waits.
+        obj.insert(
+            "timeout_secs".into(),
+            match self.timeout_secs {
+                Some(s) => Json::Int(s.min(i64::MAX as u64) as i64),
+                None => Json::Null,
+            },
+        );
         Json::Obj(obj)
     }
 
@@ -305,6 +324,12 @@ impl JobSpec {
                 .ok_or_else(|| bad("threads"))?
                 .max(1);
         }
+        match doc.get("timeout_secs") {
+            None | Some(Json::Null) => {}
+            Some(v) => {
+                spec.timeout_secs = Some(v.as_u64().ok_or_else(|| bad("timeout_secs"))?);
+            }
+        }
         Ok(spec)
     }
 }
@@ -327,6 +352,7 @@ pub struct Job {
     observer: Option<Arc<dyn ProgressObserver>>,
     checkpoint: Option<CheckpointConfig>,
     resume: Option<ResumeState>,
+    interrupt: Option<Arc<std::sync::atomic::AtomicBool>>,
     setup: SetupTimings,
 }
 
@@ -369,6 +395,7 @@ impl Job {
             observer: None,
             checkpoint: None,
             resume: None,
+            interrupt: None,
             setup: SetupTimings { validate, unfold },
         })
     }
@@ -396,6 +423,16 @@ impl Job {
     /// Registers a progress observer receiving scheduler callbacks.
     pub fn set_observer(&mut self, observer: Arc<dyn ProgressObserver>) {
         self.observer = Some(observer);
+    }
+
+    /// Registers a *job-scoped* interrupt token. When the token is raised
+    /// the sweep drains at the next batch boundary exactly as a
+    /// process-global [`crate::shutdown::request`] would — checkpoint
+    /// flushed, verdict `Inconclusive(Interrupted)` — but only *this* run
+    /// stops; concurrent jobs in the same process (a `walshcheckd` runner
+    /// pool) keep sweeping. The global flag still interrupts every run.
+    pub fn set_interrupt(&mut self, token: Arc<std::sync::atomic::AtomicBool>) {
+        self.interrupt = Some(token);
     }
 
     /// Periodically persists run progress to `path` (at most every
@@ -447,6 +484,7 @@ impl Job {
             self.checkpoint.as_ref(),
             resume,
             &self.spec.rescue,
+            self.interrupt.as_ref(),
         )
     }
 }
@@ -494,6 +532,26 @@ mod tests {
         let mut c = spec();
         c.options.engine = EngineKind::Lil;
         assert_ne!(a.identity_hash(), c.identity_hash());
+    }
+
+    #[test]
+    fn identity_ignores_timeout_secs() {
+        let a = spec();
+        let mut b = spec();
+        b.timeout_secs = Some(90);
+        assert_eq!(
+            a.identity_hash(),
+            b.identity_hash(),
+            "the deadline is supervision policy, not result identity"
+        );
+        assert_ne!(
+            a.to_json().to_canonical(),
+            b.to_json().to_canonical(),
+            "the full form still records the deadline"
+        );
+        let round = JobSpec::parse(&json::parse(&b.to_json().to_canonical()).expect("valid"))
+            .expect("parses");
+        assert_eq!(round.timeout_secs, Some(90));
     }
 
     #[test]

@@ -125,10 +125,19 @@ struct BatchQueue {
     /// "exhausted" (a sweep that finished before the signal stays
     /// conclusive).
     cut: AtomicBool,
+    /// Job-scoped interrupt token ([`crate::Job::set_interrupt`]): drains
+    /// this queue exactly like the process-global flag, without touching
+    /// sibling runs in the same process.
+    interrupt: Option<Arc<AtomicBool>>,
 }
 
 impl BatchQueue {
-    fn new(n: usize, sizes: Vec<usize>, threads: usize) -> Self {
+    fn new(
+        n: usize,
+        sizes: Vec<usize>,
+        threads: usize,
+        interrupt: Option<Arc<AtomicBool>>,
+    ) -> Self {
         let batch_lens = sizes
             .iter()
             .map(|&k| {
@@ -148,7 +157,18 @@ impl BatchQueue {
             stop_before: AtomicU64::new(u64::MAX),
             hard_stop: AtomicBool::new(false),
             cut: AtomicBool::new(false),
+            interrupt,
         }
+    }
+
+    /// Whether a graceful interruption was requested — process-global
+    /// shutdown or this run's own token.
+    fn interrupt_requested(&self) -> bool {
+        crate::shutdown::requested()
+            || self
+                .interrupt
+                .as_ref()
+                .is_some_and(|t| t.load(Ordering::Relaxed))
     }
 
     fn stop_before(&self) -> u64 {
@@ -194,10 +214,11 @@ impl BatchQueue {
         if cur.global >= self.stop_before() {
             return None;
         }
-        // Graceful shutdown drains the queue at the batch boundary: the
-        // check sits *after* the exhaustion and cancellation tests, so
-        // `cut` is only raised when checkable work was actually abandoned.
-        if crate::shutdown::requested() {
+        // Graceful shutdown — process-global or job-scoped — drains the
+        // queue at the batch boundary: the check sits *after* the
+        // exhaustion and cancellation tests, so `cut` is only raised when
+        // checkable work was actually abandoned.
+        if self.interrupt_requested() {
             self.cut.store(true, Ordering::Relaxed);
             return None;
         }
@@ -412,6 +433,7 @@ pub(crate) fn run(
     ckpt: Option<&CheckpointConfig>,
     resume: Option<ResumeState>,
     rescue: &RescueConfig,
+    interrupt: Option<&Arc<AtomicBool>>,
 ) -> Verdict {
     crate::isolate::install_quiet_hook();
     let start = Instant::now();
@@ -449,7 +471,7 @@ pub(crate) fn run(
         obs.phase_timing(EnginePhase::ExtractSites, extract_time);
     }
 
-    let queue = BatchQueue::new(n, sizes, threads);
+    let queue = BatchQueue::new(n, sizes, threads, interrupt.cloned());
     let enum_start = Instant::now();
 
     // Seed shared evidence from the resume state (if any); the done-set of
@@ -620,6 +642,17 @@ pub(crate) fn run(
         // lowers the bound the same way.
         let mut cutoff: Option<u64> = cand_list.iter().map(|&(g, _, _)| g).min();
         for (i, (g, idxs, reason)) in todo.iter().enumerate() {
+            // A kill or deadline landing mid-rescue drains like one landing
+            // mid-sweep: the unprocessed tail (including this entry) stays
+            // skipped, and the per-resolution snapshots already written make
+            // the run resumable from exactly this point.
+            if crate::shutdown::requested() || interrupt.is_some_and(|t| t.load(Ordering::Relaxed))
+            {
+                raw_skipped.push((*g, idxs.clone(), *reason));
+                raw_skipped.extend_from_slice(&todo[i + 1..]);
+                stats.interrupted = true;
+                break;
+            }
             if cutoff.is_some_and(|c| *g > c) {
                 raw_skipped.push((*g, idxs.clone(), *reason));
                 continue;
@@ -902,7 +935,7 @@ mod tests {
 
     #[test]
     fn queue_dispenses_every_combination_once_in_order() {
-        let queue = BatchQueue::new(6, vec![3, 2, 1], 2);
+        let queue = BatchQueue::new(6, vec![3, 2, 1], 2, None);
         let mut indices = Vec::new();
         let mut combos = Vec::new();
         while let Some(batch) = queue.next_batch() {
@@ -927,7 +960,7 @@ mod tests {
 
     #[test]
     fn queue_respects_stop_before() {
-        let queue = BatchQueue::new(6, vec![2], 1);
+        let queue = BatchQueue::new(6, vec![2], 1, None);
         queue.record_violation(3);
         let mut count = 0u64;
         while let Some(batch) = queue.next_batch() {
@@ -942,7 +975,7 @@ mod tests {
 
     #[test]
     fn hard_stop_drains_the_queue() {
-        let queue = BatchQueue::new(10, vec![2], 4);
+        let queue = BatchQueue::new(10, vec![2], 4, None);
         assert!(queue.next_batch().is_some());
         queue.hard_stop();
         assert!(queue.next_batch().is_none());
@@ -952,7 +985,7 @@ mod tests {
     fn batches_end_on_subtree_boundaries() {
         // C(9,3) = 84 with threads = 2 gives a nominal batch length of 2,
         // so nearly every batch must be extended to its subtree boundary.
-        let queue = BatchQueue::new(9, vec![3], 2);
+        let queue = BatchQueue::new(9, vec![3], 2, None);
         let mut total = 0u64;
         while let Some(batch) = queue.next_batch() {
             let last = batch.flat.chunks_exact(batch.k).last().expect("non-empty");
@@ -961,7 +994,7 @@ mod tests {
         }
         assert_eq!(total, binomial(9, 3));
         // Size-1 buckets have no prefix to align on.
-        let queue = BatchQueue::new(9, vec![1], 2);
+        let queue = BatchQueue::new(9, vec![1], 2, None);
         let mut total = 0u64;
         while let Some(batch) = queue.next_batch() {
             total += batch.len() as u64;
@@ -972,7 +1005,7 @@ mod tests {
     #[test]
     fn batch_lengths_are_positive_and_bounded() {
         for threads in [1, 4, 64] {
-            let queue = BatchQueue::new(40, vec![3, 2, 1], threads);
+            let queue = BatchQueue::new(40, vec![3, 2, 1], threads, None);
             for len in &queue.batch_lens {
                 assert!((1..=1024).contains(len));
             }

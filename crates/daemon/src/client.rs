@@ -12,6 +12,8 @@ use std::time::Duration;
 pub struct Client {
     addr: String,
     timeout: Duration,
+    connect_retries: u32,
+    retry_base: Duration,
 }
 
 /// A completed exchange.
@@ -31,11 +33,53 @@ impl ClientResponse {
 }
 
 impl Client {
-    /// A client for the daemon at `addr` (`host:port`).
+    /// A client for the daemon at `addr` (`host:port`), with a 60 s
+    /// read/write timeout and no connect retries.
     pub fn new(addr: impl Into<String>) -> Client {
         Client {
             addr: addr.into(),
             timeout: Duration::from_secs(60),
+            connect_retries: 0,
+            retry_base: Duration::from_millis(100),
+        }
+    }
+
+    /// The same client with `timeout` as its read/write timeout. A
+    /// long-poll `events` call needs a timeout comfortably above its
+    /// `wait_ms`.
+    #[must_use]
+    pub fn timeout(mut self, timeout: Duration) -> Client {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The same client retrying a refused/failed *connect* up to
+    /// `retries` times with doubling backoff from `base` — for talking to
+    /// a daemon that is mid-restart. Only connection establishment is
+    /// retried (nothing has been sent yet, so this is safe for
+    /// non-idempotent requests too).
+    #[must_use]
+    pub fn connect_retries(mut self, retries: u32, base: Duration) -> Client {
+        self.connect_retries = retries;
+        self.retry_base = base;
+        self
+    }
+
+    /// Connects to the daemon, retrying per [`Client::connect_retries`].
+    fn connect(&self) -> io::Result<TcpStream> {
+        let mut delay = self.retry_base;
+        let mut attempt = 0u32;
+        loop {
+            match TcpStream::connect(&self.addr) {
+                Ok(stream) => return Ok(stream),
+                Err(e) if attempt < self.connect_retries => {
+                    let _ = e;
+                    std::thread::sleep(delay);
+                    delay = delay.saturating_mul(2);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -50,7 +94,7 @@ impl Client {
         path: &str,
         body: Option<&[u8]>,
     ) -> io::Result<ClientResponse> {
-        let mut stream = TcpStream::connect(&self.addr)?;
+        let mut stream = self.connect()?;
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
         let body = body.unwrap_or(&[]);
@@ -110,6 +154,19 @@ impl Client {
             quote_json_string(netlist)
         );
         self.post("/v1/jobs", body.as_bytes())
+    }
+
+    /// Fetches job `id`'s progress events from line `since` on;
+    /// `wait_ms > 0` long-polls (the server blocks until a new event, a
+    /// terminal state, or the wait expires).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn events(&self, id: &str, since: usize, wait_ms: u64) -> io::Result<ClientResponse> {
+        self.get(&format!(
+            "/v1/jobs/{id}/events?since={since}&wait_ms={wait_ms}"
+        ))
     }
 }
 

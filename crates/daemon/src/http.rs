@@ -159,6 +159,8 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra headers beyond the fixed set (`Retry-After` on 503, ...).
+    pub headers: Vec<(&'static str, String)>,
     /// The body bytes.
     pub body: Vec<u8>,
 }
@@ -169,8 +171,16 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into(),
         }
+    }
+
+    /// The same response with `name: value` appended to its headers.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
     }
 
     /// A JSON error body `{"error": message}` with `status`.
@@ -201,8 +211,13 @@ impl Response {
             503 => "Service Unavailable",
             _ => "Status",
         };
+        let extra: String = self
+            .headers
+            .iter()
+            .map(|(n, v)| format!("{n}: {v}\r\n"))
+            .collect();
         let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{extra}Connection: close\r\n\r\n",
             self.status,
             reason,
             self.content_type,

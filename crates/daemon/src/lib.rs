@@ -30,6 +30,6 @@ pub mod server;
 pub mod store;
 
 pub use client::Client;
-pub use jobs::{JobRecord, JobState};
+pub use jobs::{JobRecord, JobState, PoolConfig};
 pub use server::{Daemon, DaemonConfig};
 pub use store::Store;

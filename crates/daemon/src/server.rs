@@ -1,13 +1,20 @@
-//! The daemon itself: socket, routing, lifecycle.
+//! The daemon itself: socket, routing, lifecycle, runner supervision.
 //!
 //! [`Daemon::bind`] opens the store, recovers the queue, and binds the
-//! listener; [`Daemon::run`] spawns the single runner thread and serves
+//! listener; [`Daemon::run`] spawns the runner pool and serves
 //! connections until the process-global shutdown flag
 //! ([`walshcheck_core::shutdown`]) is raised — by a SIGTERM/SIGINT handler
 //! in the binary, or programmatically in tests. Shutdown is graceful: the
-//! listener stops accepting, the in-flight sweep checkpoints and returns
-//! (its job is marked `interrupted` and auto-resumes on the next start),
-//! and `run` returns.
+//! listener stops accepting, every in-flight sweep checkpoints and
+//! returns (its job is marked `interrupted` and auto-resumes on the next
+//! start), and `run` returns.
+//!
+//! The accept loop doubles as the supervisor: between accepts it beats
+//! [`JobManager::tick`] (job deadlines, retry backoff) and respawns any
+//! runner thread that retired after a caught panic, so a poisoned sweep
+//! costs one job, never the service. Connections are capped
+//! ([`DaemonConfig::max_connections`]); past the cap the daemon answers
+//! `503` with `Retry-After` instead of spawning threads without bound.
 //!
 //! ## Routes
 //!
@@ -18,21 +25,22 @@
 //! | `GET /v1/jobs`                | list all jobs                             |
 //! | `GET /v1/jobs/{id}`           | one job's status                          |
 //! | `GET /v1/jobs/{id}/report`    | the report/5 artifact, verbatim bytes     |
-//! | `GET /v1/jobs/{id}/events?since=N` | progress events from line N          |
-//! | `POST /v1/jobs/{id}/resume`   | re-enqueue a killed/interrupted job       |
+//! | `GET /v1/jobs/{id}/events?since=N&wait_ms=M` | progress events from line N; `wait_ms` long-polls |
+//! | `POST /v1/jobs/{id}/resume`   | re-enqueue a killed/interrupted/failed/timed-out job |
 //! | `DELETE /v1/jobs/{id}`        | kill a queued/running job                 |
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 use walshcheck_core::json;
 use walshcheck_core::shutdown;
 
 use crate::http::{self, read_request, Request, Response};
-use crate::jobs::{ApiError, JobManager, JobRecord};
+use crate::jobs::{ApiError, JobManager, JobRecord, PoolConfig};
 use crate::store::Store;
 
 /// How the daemon is configured.
@@ -48,17 +56,38 @@ pub struct DaemonConfig {
     pub checkpoint_every: Duration,
     /// Request-body cap; larger submissions are rejected with 413.
     pub max_body: usize,
+    /// Size of the runner pool (how many jobs sweep concurrently).
+    pub runners: usize,
+    /// Automatic retries per `failed`/`timed-out` job (0 disables).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per retry, capped at 30 s.
+    pub retry_base: Duration,
+    /// Concurrent-connection cap; excess connections get `503` with
+    /// `Retry-After` instead of a thread.
+    pub max_connections: usize,
 }
 
 impl DaemonConfig {
     /// The default configuration over `store`: ephemeral port, 2 s
-    /// checkpoint interval, 8 MiB body cap.
+    /// checkpoint interval, 8 MiB body cap, no automatic retries,
+    /// 128-connection cap, and a runner pool sized by the
+    /// `WALSHCHECKD_RUNNERS` environment variable (default 1 — the
+    /// byte-compatible single-runner behavior).
     pub fn new(store: impl Into<PathBuf>) -> DaemonConfig {
+        let runners = std::env::var("WALSHCHECKD_RUNNERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1);
         DaemonConfig {
             store: store.into(),
             listen: "127.0.0.1:0".into(),
             checkpoint_every: Duration::from_secs(2),
             max_body: http::DEFAULT_MAX_BODY,
+            runners,
+            max_retries: 0,
+            retry_base: Duration::from_millis(500),
+            max_connections: 128,
         }
     }
 }
@@ -69,19 +98,26 @@ pub struct Daemon {
     addr: SocketAddr,
     manager: Arc<JobManager>,
     max_body: usize,
+    runners: usize,
+    gate: Arc<ConnGate>,
 }
 
 impl Daemon {
-    /// Opens the store, recovers queue state, binds the listener and
-    /// records the bound address in `<store>/daemon.addr` (so the CLI and
-    /// tests can find an ephemeral port).
+    /// Opens the store, recovers queue state (including the artifact
+    /// integrity scan), binds the listener and records the bound address
+    /// in `<store>/daemon.addr` (so the CLI and tests can find an
+    /// ephemeral port).
     ///
     /// # Errors
     ///
     /// Propagates store and socket failures.
     pub fn bind(config: &DaemonConfig) -> io::Result<Daemon> {
         let store = Store::open(&config.store)?;
-        let manager = JobManager::open(store.clone(), config.checkpoint_every)
+        let pool = PoolConfig {
+            max_retries: config.max_retries,
+            retry_base: config.retry_base,
+        };
+        let manager = JobManager::open(store.clone(), config.checkpoint_every, pool)
             .map_err(|e| io::Error::other(e.message))?;
         let listener = TcpListener::bind(&config.listen)?;
         let addr = listener.local_addr()?;
@@ -92,6 +128,8 @@ impl Daemon {
             addr,
             manager: Arc::new(manager),
             max_body: config.max_body,
+            runners: config.runners.max(1),
+            gate: Arc::new(ConnGate::new(config.max_connections.max(1))),
         })
     }
 
@@ -113,32 +151,43 @@ impl Daemon {
     /// Propagates accept-loop I/O failures (transient accept errors are
     /// retried, not propagated).
     pub fn run(self) -> io::Result<()> {
-        let runner = {
-            let manager = Arc::clone(&self.manager);
-            std::thread::Builder::new()
-                .name("walshcheckd-runner".into())
-                .spawn(move || manager.run_loop())?
-        };
+        let mut runners: Vec<JoinHandle<()>> = (0..self.runners)
+            .map(|i| self.spawn_runner(i))
+            .collect::<io::Result<_>>()?;
         loop {
-            // The flag is shared between daemon stop and job kills: while a
-            // kill is draining the running sweep, the raise is the kill's,
-            // and the daemon keeps serving (the runner clears the flag once
-            // the job parks). A SIGTERM landing inside that kill window is
-            // coalesced into the kill — documented, and recoverable by a
-            // second signal.
-            if shutdown::requested() && !self.manager.kill_in_progress() {
+            // Daemon stop is the *only* raiser of the global flag now —
+            // kills and deadlines go through per-job interrupt tokens —
+            // so a raised flag always means "stop serving".
+            if shutdown::requested() {
                 break;
             }
+            self.supervise(&mut runners)?;
             match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    let manager = Arc::clone(&self.manager);
-                    let max_body = self.max_body;
-                    // One thread per connection; Connection: close keeps
-                    // lifetimes trivially bounded.
-                    let _ = std::thread::Builder::new()
-                        .name("walshcheckd-conn".into())
-                        .spawn(move || handle_connection(stream, &manager, max_body));
-                }
+                Ok((stream, _peer)) => match self.gate.acquire() {
+                    Some(permit) => {
+                        let manager = Arc::clone(&self.manager);
+                        let max_body = self.max_body;
+                        // One thread per connection; Connection: close
+                        // keeps lifetimes trivially bounded, the gate
+                        // keeps their number bounded.
+                        let _ = std::thread::Builder::new()
+                            .name("walshcheckd-conn".into())
+                            .spawn(move || {
+                                let _permit = permit;
+                                handle_connection(stream, &manager, max_body);
+                            });
+                    }
+                    None => {
+                        // Saturated: answer on the accept thread — tiny
+                        // write, no request read — and move on.
+                        let mut stream = stream;
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                        let _ = Response::error(503, "connection limit reached")
+                            .with_header("Retry-After", "1")
+                            .write_to(&mut stream);
+                    }
+                },
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(10));
                 }
@@ -146,11 +195,84 @@ impl Daemon {
                 Err(e) => return Err(e),
             }
         }
-        // Shutdown: the flag also interrupts the in-flight sweep; the
-        // runner marks it interrupted and exits once told to stop.
+        // Shutdown: the flag also interrupts the in-flight sweeps; the
+        // runners mark their jobs interrupted and exit once told to stop.
         self.manager.stop();
-        let _ = runner.join();
+        for handle in runners {
+            let _ = handle.join();
+        }
         Ok(())
+    }
+
+    /// One supervisor beat: job deadlines + retry backoff, and respawning
+    /// any runner that retired after a caught panic.
+    fn supervise(&self, runners: &mut [JoinHandle<()>]) -> io::Result<()> {
+        self.manager.tick();
+        if self.manager.stopping() {
+            return Ok(());
+        }
+        for (i, slot) in runners.iter_mut().enumerate() {
+            if slot.is_finished() {
+                let _ = std::mem::replace(slot, self.spawn_runner(i)?).join();
+            }
+        }
+        Ok(())
+    }
+
+    fn spawn_runner(&self, index: usize) -> io::Result<JoinHandle<()>> {
+        let manager = Arc::clone(&self.manager);
+        std::thread::Builder::new()
+            .name(format!("walshcheckd-runner-{index}"))
+            .spawn(move || manager.run_loop())
+    }
+}
+
+/// A counting semaphore over the connection threads. `std` has no
+/// semaphore; a mutex-guarded counter with an RAII permit is all the
+/// accept loop needs (acquisition never blocks — saturation is answered,
+/// not queued).
+struct ConnGate {
+    active: Mutex<usize>,
+    limit: usize,
+}
+
+/// RAII side of [`ConnGate`]: releases the slot on drop, whatever path
+/// the connection thread exits through.
+struct ConnPermit {
+    gate: Arc<ConnGate>,
+}
+
+impl ConnGate {
+    fn new(limit: usize) -> ConnGate {
+        ConnGate {
+            active: Mutex::new(0),
+            limit,
+        }
+    }
+
+    fn acquire(self: &Arc<Self>) -> Option<ConnPermit> {
+        let mut active = self
+            .active
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if *active >= self.limit {
+            return None;
+        }
+        *active += 1;
+        Some(ConnPermit {
+            gate: Arc::clone(self),
+        })
+    }
+}
+
+impl Drop for ConnPermit {
+    fn drop(&mut self) {
+        let mut active = self
+            .gate
+            .active
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *active = active.saturating_sub(1);
     }
 }
 
@@ -225,9 +347,13 @@ fn route(request: &Request, manager: &Arc<JobManager>) -> Response {
                 .query_param("since")
                 .and_then(|s| s.parse::<usize>().ok())
                 .unwrap_or(0);
+            let wait_ms = request
+                .query_param("wait_ms")
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(0);
             api_result(
                 manager
-                    .events(id, since)
+                    .events(id, since, wait_ms)
                     .map(|body| Response::json(200, body)),
             )
         }

@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! store/
-//! ├── index.json            walshcheck-index/1: id → {state, report_hash}
+//! ├── index.json            walshcheck-index/2: id → {state, report_hash, …}
+//! ├── quarantine/           artifacts the integrity scan pulled aside
 //! └── jobs/<id>/
 //!     ├── spec.json         full JobSpec, canonical JSON
 //!     ├── netlist.il        the submitted ILANG netlist, verbatim
@@ -113,7 +114,57 @@ impl Store {
     ///
     /// Propagates the underlying filesystem error.
     pub fn write_job_file(&self, id: &str, file: &str, bytes: &[u8]) -> io::Result<()> {
+        #[cfg(feature = "fault-inject")]
+        if walshcheck_core::fault::string_directive("store-torn-write").as_deref() == Some(file) {
+            // Simulate a torn write: half the bytes land at the final path
+            // with no temp file and no rename — the startup integrity scan
+            // is what has to catch this.
+            return fs::write(self.job_file(id, file), &bytes[..bytes.len() / 2]);
+        }
         write_atomic(&self.job_file(id, file), bytes)
+    }
+
+    /// SHA-256 (lowercase hex) of `file` of job `id`, read as raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error (`NotFound` when the
+    /// file does not exist).
+    pub fn job_file_sha256(&self, id: &str, file: &str) -> io::Result<String> {
+        Ok(sha256_hex(&fs::read(self.job_file(id, file))?))
+    }
+
+    /// Moves `file` of job `id` into `<root>/quarantine/<id>-<file>`,
+    /// replacing any earlier quarantined copy of the same name. Used by
+    /// the startup integrity scan on artifacts whose recorded hash no
+    /// longer matches the bytes on disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn quarantine_job_file(&self, id: &str, file: &str) -> io::Result<PathBuf> {
+        let dir = self.root.join("quarantine");
+        fs::create_dir_all(&dir)?;
+        let dest = dir.join(format!("{id}-{file}"));
+        fs::rename(self.job_file(id, file), &dest)?;
+        Ok(dest)
+    }
+
+    /// Moves job `id`'s whole directory into `<root>/quarantine/<id>`,
+    /// replacing any earlier quarantined copy. Used when a job directory
+    /// is too damaged to rebuild a record from (unreadable `status.json`
+    /// *and* unreadable spec or netlist).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn quarantine_job_dir(&self, id: &str) -> io::Result<PathBuf> {
+        let dir = self.root.join("quarantine");
+        fs::create_dir_all(&dir)?;
+        let dest = dir.join(id);
+        let _ = fs::remove_dir_all(&dest);
+        fs::rename(self.job_dir(id), &dest)?;
+        Ok(dest)
     }
 
     /// Reads `file` of job `id` as a string.
@@ -129,6 +180,11 @@ impl Store {
     /// Appends `line` (newline-terminated by this call) to job `id`'s
     /// `events.jsonl`.
     ///
+    /// The line and its terminator go down in a single `write` so that
+    /// concurrent appenders — scheduler workers each observing progress —
+    /// cannot interleave mid-line: `O_APPEND` serializes whole writes,
+    /// not pairs of them.
+    ///
     /// # Errors
     ///
     /// Propagates the underlying filesystem error.
@@ -137,8 +193,10 @@ impl Store {
             .create(true)
             .append(true)
             .open(self.job_file(id, "events.jsonl"))?;
-        f.write_all(line.as_bytes())?;
-        f.write_all(b"\n")
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        f.write_all(&buf)
     }
 
     /// Atomically replaces the top-level `index.json` with `bytes`.

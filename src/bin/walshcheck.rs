@@ -8,9 +8,15 @@
 //! walshcheck list                          # list built-in benchmarks
 //!
 //! walshcheck serve  --store DIR [--listen ADDR] [--checkpoint-every SECS]
-//! walshcheck submit <file.il | bench:NAME> (--addr A | --store D) [options]
+//!                   [--runners N] [--max-retries N] [--retry-base-ms MS]
+//!                   [--max-connections N]
+//! walshcheck submit <file.il | bench:NAME> (--addr A | --store D)
+//!                   [--job-timeout SECS] [options]
 //! walshcheck status [ID] (--addr A | --store D)
-//! walshcheck fetch  ID   (--addr A | --store D)
+//! walshcheck fetch  ID   (--addr A | --store D) [--wait]
+//!
+//! daemon-facing commands also accept `--timeout SECS` (client read/write
+//! timeout, default 60).
 //!
 //! options:
 //!   --property probing|ni|sni|pini   (default: sni)
@@ -713,14 +719,16 @@ fn run_info(target: &str) -> Result<ExitCode, Error> {
 struct DaemonTarget {
     addr: Option<String>,
     store: Option<String>,
+    timeout: Option<u64>,
 }
 
-/// Pulls `--addr`/`--store` out of `args`, returning the remainder for the
-/// subcommand's own option parser.
+/// Pulls `--addr`/`--store`/`--timeout` out of `args`, returning the
+/// remainder for the subcommand's own option parser.
 fn split_daemon_target(args: &[String]) -> Result<(DaemonTarget, Vec<String>), Error> {
     let mut target = DaemonTarget {
         addr: None,
         store: None,
+        timeout: None,
     };
     let mut rest = Vec::new();
     let mut it = args.iter();
@@ -733,6 +741,13 @@ fn split_daemon_target(args: &[String]) -> Result<(DaemonTarget, Vec<String>), E
         match arg.as_str() {
             "--addr" => target.addr = Some(value("--addr")?),
             "--store" => target.store = Some(value("--store")?),
+            "--timeout" => {
+                target.timeout = Some(
+                    value("--timeout")?
+                        .parse()
+                        .map_err(|_| Error::Config("bad --timeout".into()))?,
+                )
+            }
             _ => rest.push(arg.clone()),
         }
     }
@@ -740,33 +755,46 @@ fn split_daemon_target(args: &[String]) -> Result<(DaemonTarget, Vec<String>), E
 }
 
 fn daemon_client(target: &DaemonTarget) -> Result<Client, Error> {
-    if let Some(addr) = &target.addr {
-        return Ok(Client::new(addr.clone()));
-    }
-    if let Some(store) = &target.store {
+    let addr = if let Some(addr) = &target.addr {
+        addr.clone()
+    } else if let Some(store) = &target.store {
         let path = std::path::Path::new(store).join("daemon.addr");
-        let addr = std::fs::read_to_string(&path).map_err(|e| {
-            Error::Config(format!(
-                "{}: {e} (is a daemon serving this store?)",
-                path.display()
-            ))
-        })?;
-        return Ok(Client::new(addr.trim().to_string()));
+        std::fs::read_to_string(&path)
+            .map_err(|e| {
+                Error::Config(format!(
+                    "{}: {e} (is a daemon serving this store?)",
+                    path.display()
+                ))
+            })?
+            .trim()
+            .to_string()
+    } else {
+        return Err(Error::Config(
+            "need --addr HOST:PORT or --store DIR to reach the daemon".into(),
+        ));
+    };
+    // A few quick connect retries ride over a daemon that is mid-restart.
+    let mut client = Client::new(addr).connect_retries(3, Duration::from_millis(100));
+    if let Some(secs) = target.timeout {
+        client = client.timeout(Duration::from_secs(secs));
     }
-    Err(Error::Config(
-        "need --addr HOST:PORT or --store DIR to reach the daemon".into(),
-    ))
+    Ok(client)
 }
 
 /// `walshcheck serve --store DIR [--listen ADDR] [--checkpoint-every SECS]
-/// [--max-body BYTES]` — runs `walshcheckd` until SIGINT/SIGTERM, then
-/// drains gracefully (the in-flight job checkpoints, is marked
+/// [--max-body BYTES] [--runners N] [--max-retries N] [--retry-base-ms MS]
+/// [--max-connections N]` — runs `walshcheckd` until SIGINT/SIGTERM, then
+/// drains gracefully (every in-flight job checkpoints, is marked
 /// `interrupted`, and auto-resumes on the next start).
 fn run_serve(args: &[String]) -> Result<ExitCode, Error> {
     let mut store: Option<String> = None;
     let mut listen: Option<String> = None;
     let mut checkpoint_every: Option<u64> = None;
     let mut max_body: Option<usize> = None;
+    let mut runners: Option<usize> = None;
+    let mut max_retries: Option<u32> = None;
+    let mut retry_base_ms: Option<u64> = None;
+    let mut max_connections: Option<usize> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -792,6 +820,38 @@ fn run_serve(args: &[String]) -> Result<ExitCode, Error> {
                         .map_err(|_| bad("--max-body"))?,
                 )
             }
+            "--runners" => {
+                runners = Some(
+                    value("--runners")?
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| bad("--runners"))?,
+                )
+            }
+            "--max-retries" => {
+                max_retries = Some(
+                    value("--max-retries")?
+                        .parse()
+                        .map_err(|_| bad("--max-retries"))?,
+                )
+            }
+            "--retry-base-ms" => {
+                retry_base_ms = Some(
+                    value("--retry-base-ms")?
+                        .parse()
+                        .map_err(|_| bad("--retry-base-ms"))?,
+                )
+            }
+            "--max-connections" => {
+                max_connections = Some(
+                    value("--max-connections")?
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| bad("--max-connections"))?,
+                )
+            }
             other => return Err(Error::Config(format!("unknown option `{other}`"))),
         }
     }
@@ -805,6 +865,18 @@ fn run_serve(args: &[String]) -> Result<ExitCode, Error> {
     }
     if let Some(bytes) = max_body {
         config.max_body = bytes;
+    }
+    if let Some(n) = runners {
+        config.runners = n;
+    }
+    if let Some(n) = max_retries {
+        config.max_retries = n;
+    }
+    if let Some(ms) = retry_base_ms {
+        config.retry_base = Duration::from_millis(ms);
+    }
+    if let Some(n) = max_connections {
+        config.max_connections = n;
     }
     let daemon = Daemon::bind(&config).map_err(|e| Error::Config(format!("serve: {e}")))?;
     println!("walshcheckd listening on {}", daemon.addr());
@@ -821,7 +893,24 @@ fn run_serve(args: &[String]) -> Result<ExitCode, Error> {
 /// finished: the artifact is served from the store, never recomputed.
 fn run_submit(target: &str, args: &[String]) -> Result<ExitCode, Error> {
     let (daemon_target, rest) = split_daemon_target(args)?;
-    let cli = parse_options(&rest)?;
+    // `--job-timeout` is submit-only (a deadline the daemon's supervisor
+    // enforces), so it is peeled off before the shared option parser.
+    let mut job_timeout: Option<u64> = None;
+    let mut check_args = Vec::with_capacity(rest.len());
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--job-timeout" {
+            job_timeout = Some(
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s| s >= 1)
+                    .ok_or_else(|| Error::Config("bad --job-timeout".into()))?,
+            );
+        } else {
+            check_args.push(arg.clone());
+        }
+    }
+    let cli = parse_options(&check_args)?;
     for (flag, set) in [
         ("--checkpoint", cli.checkpoint.is_some()),
         ("--resume", cli.resume.is_some()),
@@ -836,7 +925,8 @@ fn run_submit(target: &str, args: &[String]) -> Result<ExitCode, Error> {
         }
     }
     let netlist = load(target)?;
-    let spec = spec_from_cli(&netlist, &cli)?;
+    let mut spec = spec_from_cli(&netlist, &cli)?;
+    spec.timeout_secs = job_timeout;
     let client = daemon_client(&daemon_target)?;
     let response = client
         .submit(&spec.to_json().to_canonical(), &write_ilang(&netlist))
@@ -880,16 +970,54 @@ fn run_status(args: &[String]) -> Result<ExitCode, Error> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// `walshcheck fetch ID (--addr A | --store D)` — prints the job's
-/// walshcheck-report/5 artifact (canonical bytes) and exits with the same
-/// code the equivalent `check` run would have: 0 secure, 1 violated, 2
-/// inconclusive.
+/// `walshcheck fetch ID (--addr A | --store D) [--wait]` — prints the
+/// job's walshcheck-report/5 artifact (canonical bytes) and exits with the
+/// same code the equivalent `check` run would have: 0 secure, 1 violated,
+/// 2 inconclusive. With `--wait` the command long-polls the events
+/// endpoint until the job reaches a terminal state instead of failing on
+/// a still-running job.
 fn run_fetch(id: &str, args: &[String]) -> Result<ExitCode, Error> {
     let (daemon_target, leftover) = split_daemon_target(args)?;
-    if let Some(other) = leftover.first() {
-        return Err(Error::Config(format!("unknown option `{other}`")));
+    let mut wait = false;
+    for other in &leftover {
+        if other == "--wait" {
+            wait = true;
+        } else {
+            return Err(Error::Config(format!("unknown option `{other}`")));
+        }
     }
     let client = daemon_client(&daemon_target)?;
+    if wait {
+        // One long-poll per iteration; each returns early on a terminal
+        // state, so the loop spins at most once per server-side wait cap.
+        let mut since = 0usize;
+        loop {
+            let response = client
+                .events(id, since, 25_000)
+                .map_err(|e| Error::Config(format!("fetch: {e}")))?;
+            let body = response.text();
+            if response.status >= 400 {
+                return Err(Error::Config(format!(
+                    "daemon returned HTTP {}: {body}",
+                    response.status
+                )));
+            }
+            let doc = walshcheck_core::json::parse(&body)
+                .map_err(|e| Error::Config(format!("fetch: events body: {e}")))?;
+            let state = doc
+                .get("state")
+                .and_then(|s| s.as_str().map(str::to_owned))
+                .unwrap_or_default();
+            if !matches!(state.as_str(), "queued" | "running") {
+                break;
+            }
+            since = doc
+                .get("next")
+                .and_then(walshcheck_core::json::Json::as_u64)
+                .map(|n| n as usize)
+                .unwrap_or(since);
+        }
+    }
     let response = client
         .get(&format!("/v1/jobs/{id}/report"))
         .map_err(|e| Error::Config(format!("fetch: {e}")))?;
@@ -950,11 +1078,14 @@ fn main() -> ExitCode {
                  \x20 dump  <file.il|bench:NAME>             re-emit annotated ILANG\n\
                  \x20 list                                   list built-in benchmarks\n\
                  \x20 serve --store DIR [--listen ADDR] [--checkpoint-every SECS]\n\
-                 \x20                                        run the walshcheckd daemon\n\
-                 \x20 submit <file.il|bench:NAME> (--addr A|--store D) [options]\n\
-                 \x20                                        queue a job on the daemon\n\
+                 \x20       [--runners N] [--max-retries N] [--retry-base-ms MS]\n\
+                 \x20       [--max-connections N]            run the walshcheckd daemon\n\
+                 \x20 submit <file.il|bench:NAME> (--addr A|--store D)\n\
+                 \x20        [--job-timeout SECS] [options]  queue a job on the daemon\n\
                  \x20 status [ID] (--addr A|--store D)       job status (all without ID)\n\
-                 \x20 fetch  ID   (--addr A|--store D)       print the report/5 artifact\n\n\
+                 \x20 fetch  ID   (--addr A|--store D) [--wait]\n\
+                 \x20                                        print the report/5 artifact\n\
+                 \x20 (daemon commands also take --timeout SECS for the client)\n\n\
                  options: --property probing|ni|sni|pini  --order D\n\
                  \x20        --engine lil|map|mapi|fujita    --mode rowwise|joint\n\
                  \x20        --glitch  --threads N  --time-limit SECS  --no-prefilter\n\

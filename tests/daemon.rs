@@ -33,19 +33,29 @@ fn temp_store(tag: &str) -> PathBuf {
     dir
 }
 
-/// Binds a daemon over `store` and serves it on a background thread.
-/// Checkpoints after every batch so kills always leave a resumable file.
-/// Clears any shutdown flag a previous (possibly panicked) test left
-/// behind, so the accept loop does not exit on arrival.
-fn start_daemon(store: &Path, max_body: usize) -> (JoinHandle<()>, Client) {
+/// Binds a daemon over `store` (with `tweak` applied to the config) and
+/// serves it on a background thread. Checkpoints after every batch so
+/// kills always leave a resumable file. Clears any shutdown flag a
+/// previous (possibly panicked) test left behind, so the accept loop does
+/// not exit on arrival.
+fn start_daemon_with(
+    store: &Path,
+    max_body: usize,
+    tweak: impl FnOnce(&mut DaemonConfig),
+) -> (JoinHandle<()>, Client) {
     shutdown::reset();
     let mut config = DaemonConfig::new(store);
     config.checkpoint_every = Duration::ZERO;
     config.max_body = max_body;
+    tweak(&mut config);
     let daemon = Daemon::bind(&config).expect("daemon binds");
     let addr = daemon.addr();
     let handle = std::thread::spawn(move || daemon.run().expect("daemon serves"));
     (handle, Client::new(addr.to_string()))
+}
+
+fn start_daemon(store: &Path, max_body: usize) -> (JoinHandle<()>, Client) {
+    start_daemon_with(store, max_body, |_| {})
 }
 
 /// Raises the shutdown flag, joins the serve thread, clears the flag.
@@ -114,7 +124,7 @@ fn wait_for(client: &Client, id: &str, want: &str) -> Json {
             return doc;
         }
         assert!(
-            !matches!(state.as_str(), "done" | "failed" | "killed"),
+            !matches!(state.as_str(), "done" | "failed" | "killed" | "timed-out"),
             "job {id} settled in {state}, wanted {want}: {doc:?}"
         );
         assert!(
@@ -123,6 +133,19 @@ fn wait_for(client: &Client, id: &str, want: &str) -> Json {
         );
         std::thread::sleep(Duration::from_millis(10));
     }
+}
+
+/// The content-derived job id the daemon will assign to `(netlist, spec)`
+/// — computable before submission, which the fault directives keyed by job
+/// id need.
+#[cfg(feature = "fault-inject")]
+fn expected_job_id(netlist: &Netlist, property: Property) -> String {
+    let canonical = parse_ilang(&write_ilang(netlist)).expect("canonical dump parses");
+    let spec = JobSpec::new(property);
+    walshcheck::daemon::store::job_id(
+        &netlist_sha256(&canonical),
+        &spec.identity_json().to_canonical(),
+    )
 }
 
 /// The reference artifact an uninterrupted in-process run produces for the
@@ -408,6 +431,332 @@ fn http_kill_mid_sweep_then_resume_is_exact() {
     stop_daemon(handle);
     drop(guard);
     let _ = std::fs::remove_dir_all(&store);
+}
+
+/// A runner panic (injected by job id) marks the job `failed` with a
+/// typed reason, never takes down the accept loop, and the supervisor
+/// respawns the runner — proven by an explicit resume completing on the
+/// fresh runner, byte-identical to an uninterrupted run.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn runner_panic_fails_the_job_and_respawns_the_runner() {
+    let guard = lock();
+    let store = temp_store("panic");
+    let netlist = Benchmark::Dom(1).netlist();
+    let id = expected_job_id(&netlist, Property::Sni(1));
+
+    let fault = FaultPlan::set(&format!("runner-panic-at={id}"));
+    let (handle, client) = start_daemon(&store, 1 << 20);
+    let ack = submit(&client, Property::Sni(1), 1, &netlist);
+    assert_eq!(field(&ack, "id"), id, "precomputed id drifted");
+    let record = wait_for(&client, &id, "failed");
+    let error = field(&record, "error").to_string();
+    assert!(error.contains("runner panic"), "untyped failure: {error}");
+
+    // The accept loop shrugged the panic off.
+    assert_eq!(client.get("/v1/health").expect("health").status, 200);
+
+    // With the fault gone, resume runs on the respawned runner.
+    drop(fault);
+    let resume = client
+        .post(&format!("/v1/jobs/{id}/resume"), b"")
+        .expect("resume");
+    assert_eq!(resume.status, 200, "{}", resume.text());
+    wait_for(&client, &id, "done");
+    let fetched = client
+        .get(&format!("/v1/jobs/{id}/report"))
+        .expect("report");
+    let reference = reference_artifact(&netlist, Property::Sni(1), 1);
+    assert_eq!(fetched.text(), reference.canonical_json());
+
+    stop_daemon(handle);
+    drop(guard);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+/// A torn `report.json` write leaves the record `done` with the correct
+/// hash but corrupt bytes on disk; the next daemon's integrity scan
+/// quarantines the artifact, re-queues the job, and the rerun restores
+/// the exact bytes.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn torn_report_write_is_quarantined_and_requeued_on_restart() {
+    let guard = lock();
+    let store = temp_store("torn");
+    let netlist = Benchmark::Dom(1).netlist();
+    let reference = reference_artifact(&netlist, Property::Sni(1), 1);
+
+    let fault = FaultPlan::set("store-torn-write=report.json");
+    let (handle_a, client_a) = start_daemon(&store, 1 << 20);
+    let ack = submit(&client_a, Property::Sni(1), 1, &netlist);
+    let id = field(&ack, "id").to_string();
+    let record = wait_for(&client_a, &id, "done");
+    assert_eq!(field(&record, "report_hash"), reference.hash());
+    stop_daemon(handle_a);
+    drop(fault);
+
+    let report_path = store.join("jobs").join(&id).join("report.json");
+    let torn = std::fs::read(&report_path).expect("torn report exists");
+    assert_ne!(sha256_hex(&torn), reference.hash(), "write was not torn");
+
+    let (handle_b, client_b) = start_daemon(&store, 1 << 20);
+    let quarantined = store.join("quarantine").join(format!("{id}-report.json"));
+    assert!(
+        quarantined.is_file(),
+        "no quarantined artifact at {}",
+        quarantined.display()
+    );
+    assert_eq!(std::fs::read(&quarantined).expect("readable"), torn);
+    wait_for(&client_b, &id, "done");
+    let fetched = client_b
+        .get(&format!("/v1/jobs/{id}/report"))
+        .expect("report");
+    assert_eq!(fetched.text(), reference.canonical_json());
+    let healed = std::fs::read(&report_path).expect("healed report");
+    assert_eq!(sha256_hex(&healed), reference.hash());
+
+    stop_daemon(handle_b);
+    drop(guard);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+/// The supervisor enforces per-job wall-clock deadlines: a fault-stalled
+/// job blows its 1 s budget, parks in `timed-out` with a typed reason,
+/// and the automatic retry (after backoff) resumes it from the
+/// checkpoint to the exact uninterrupted artifact — no manual resume.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn deadline_times_out_and_automatic_retry_resumes_exactly() {
+    let guard = lock();
+    let store = temp_store("deadline");
+    let (handle, client) = start_daemon_with(&store, 1 << 20, |config| {
+        config.max_retries = 3;
+        config.retry_base = Duration::from_millis(300);
+    });
+    let netlist = Benchmark::Dom(1).netlist();
+
+    let fault = FaultPlan::set("job-stall-ms=1500");
+    let mut spec = JobSpec::new(Property::Sni(1));
+    spec.threads = 1;
+    spec.timeout_secs = Some(1);
+    let response = client
+        .submit(&spec.to_json().to_canonical(), &write_ilang(&netlist))
+        .expect("submit");
+    assert!(
+        response.status == 200 || response.status == 201,
+        "{}",
+        response.text()
+    );
+    let ack = json::parse(&response.text()).expect("submit body is JSON");
+    let id = field(&ack, "id").to_string();
+
+    let record = wait_for(&client, &id, "timed-out");
+    drop(fault);
+    assert!(
+        field(&record, "error").contains("deadline"),
+        "untyped timeout: {record:?}"
+    );
+
+    // No resume call: the retry fires on its own after the backoff, and
+    // the deadline is identity-neutral — the retried report matches the
+    // no-deadline reference byte for byte. `timed-out` stays legal while
+    // the backoff clock runs (and would again if a retry lost the race
+    // against the fault teardown), so this poll is bespoke.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let record = loop {
+        let response = client.get(&format!("/v1/jobs/{id}")).expect("status");
+        let doc = json::parse(&response.text()).expect("status is JSON");
+        let state = field(&doc, "state").to_string();
+        if state == "done" {
+            break doc;
+        }
+        assert!(
+            matches!(state.as_str(), "timed-out" | "queued" | "running"),
+            "job {id} settled in {state}: {doc:?}"
+        );
+        assert!(Instant::now() < deadline, "retry never completed ({state})");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let retries = record
+        .get("retries")
+        .and_then(Json::as_u64)
+        .expect("retries counter");
+    assert!(retries >= 1, "{record:?}");
+    let fetched = client
+        .get(&format!("/v1/jobs/{id}/report"))
+        .expect("report");
+    let reference = reference_artifact(&netlist, Property::Sni(1), 1);
+    assert_eq!(fetched.text(), reference.canonical_json());
+
+    stop_daemon(handle);
+    drop(guard);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+/// Two runners sweep distinct jobs concurrently (both observed `running`
+/// at once), a daemon stop drains both mid-sweep, and a fresh 2-runner
+/// daemon auto-resumes each to artifacts byte-identical to uninterrupted
+/// single-runner runs.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn two_runners_overlap_drain_and_resume_byte_identically() {
+    let guard = lock();
+    let store = temp_store("pool2");
+    let netlist = Benchmark::Dom(2).netlist();
+
+    let fault = FaultPlan::set("stall-ms=25");
+    let (handle_a, client_a) = start_daemon_with(&store, 1 << 20, |c| c.runners = 2);
+    let first = field(&submit(&client_a, Property::Sni(2), 1, &netlist), "id").to_string();
+    let second = field(&submit(&client_a, Property::Ni(2), 1, &netlist), "id").to_string();
+    assert_ne!(first, second);
+
+    // With one runner the second job would sit `queued` behind the
+    // stalled first; with two, both must be `running` simultaneously.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let states: Vec<String> = [&first, &second]
+            .iter()
+            .map(|id| {
+                let response = client_a.get(&format!("/v1/jobs/{id}")).expect("status");
+                field(&json::parse(&response.text()).expect("JSON"), "state").to_string()
+            })
+            .collect();
+        if states.iter().all(|s| s == "running") {
+            break;
+        }
+        assert!(
+            states.iter().all(|s| s == "queued" || s == "running"),
+            "{states:?}"
+        );
+        assert!(Instant::now() < deadline, "no overlap: {states:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // Let both sweeps pass at least one batch, then drain both at once.
+    std::thread::sleep(Duration::from_millis(200));
+    stop_daemon(handle_a);
+    drop(fault);
+
+    let (handle_b, client_b) = start_daemon_with(&store, 1 << 20, |c| c.runners = 2);
+    for (id, property) in [(first, Property::Sni(2)), (second, Property::Ni(2))] {
+        let record = wait_for(&client_b, &id, "done");
+        let fetched = client_b
+            .get(&format!("/v1/jobs/{id}/report"))
+            .expect("report");
+        let reference = reference_artifact(&netlist, property, 1);
+        assert_eq!(fetched.text(), reference.canonical_json(), "job {id}");
+        assert_eq!(field(&record, "report_hash"), reference.hash());
+    }
+
+    stop_daemon(handle_b);
+    drop(guard);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+/// Long-poll semantics and the connection cap: `wait_ms` answers
+/// immediately on a terminal job, blocks for the window on a job with no
+/// new events, and a saturated daemon turns the excess connection away
+/// with `503` + `Retry-After` — then recovers when the slot frees.
+#[test]
+fn long_poll_events_and_connection_cap() {
+    let guard = lock();
+    let netlist = Benchmark::Dom(1).netlist();
+
+    // Terminal job: a long poll answers immediately even with a large
+    // wait window.
+    let store = temp_store("poll");
+    let (handle, client) = start_daemon(&store, 1 << 20);
+    let ack = submit(&client, Property::Sni(1), 1, &netlist);
+    let id = field(&ack, "id").to_string();
+    wait_for(&client, &id, "done");
+    let started = Instant::now();
+    let events = client.events(&id, 0, 10_000).expect("events");
+    assert_eq!(events.status, 200, "{}", events.text());
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "long-poll blocked on a terminal job"
+    );
+    let doc = json::parse(&events.text()).expect("events JSON");
+    assert_eq!(field(&doc, "state"), "done");
+    assert!(doc.get("next").and_then(Json::as_u64).expect("next") > 0);
+    stop_daemon(handle);
+    let _ = std::fs::remove_dir_all(&store);
+
+    // Wait-expiry needs a job that stays non-terminal: bind without
+    // serving so the submission sits `queued`, then long-poll in-process.
+    let store = temp_store("poll-wait");
+    let config = DaemonConfig::new(&store);
+    let daemon = Daemon::bind(&config).expect("binds");
+    let manager = std::sync::Arc::clone(daemon.manager());
+    let spec_doc = json::parse(&spec_json(Property::Sni(1), 1)).expect("spec");
+    let queued = manager
+        .submit(&spec_doc, &write_ilang(&netlist))
+        .expect("submits");
+    let started = Instant::now();
+    let body = manager.events(&queued.id, 0, 300).expect("events");
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(250),
+        "poll returned after {elapsed:?}, before the wait expired"
+    );
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "poll overstayed: {elapsed:?}"
+    );
+    assert!(body.contains("\"state\":\"queued\""), "{body}");
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&store);
+
+    // Connection cap: with the single slot held by a silent client, the
+    // next connection is answered 503 + Retry-After on the accept thread;
+    // releasing the slot restores service.
+    use std::io::Read as _;
+    let store = temp_store("cap");
+    let (handle, client) = start_daemon_with(&store, 1 << 20, |c| c.max_connections = 1);
+    let addr = std::fs::read_to_string(store.join("daemon.addr"))
+        .expect("daemon.addr")
+        .trim()
+        .to_string();
+    let hold = std::net::TcpStream::connect(&addr).expect("first connection");
+    std::thread::sleep(Duration::from_millis(100)); // let accept claim the slot
+                                                    // The 503 is written on the accept thread before any request is read,
+                                                    // so send nothing — writing a request the server never drains would
+                                                    // turn the close into a connection reset.
+    let mut turned_away = std::net::TcpStream::connect(&addr).expect("second connection");
+    turned_away
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut reply = String::new();
+    turned_away.read_to_string(&mut reply).expect("reads");
+    assert!(reply.starts_with("HTTP/1.1 503"), "{reply}");
+    assert!(reply.contains("Retry-After: 1"), "{reply}");
+    drop(turned_away);
+    drop(hold);
+    std::thread::sleep(Duration::from_millis(100));
+    let health = client.get("/v1/health").expect("health after release");
+    assert_eq!(health.status, 200, "cap slot never freed");
+    stop_daemon(handle);
+    drop(guard);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+/// The client's connect retry backs off before giving up: against a port
+/// nothing listens on, two retries at a 20 ms base cost at least
+/// 20 + 40 ms before the error surfaces.
+#[test]
+fn client_connect_retry_backs_off_before_failing() {
+    // Reserve an ephemeral port, then free it so nothing listens there.
+    let dead = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("binds");
+        listener.local_addr().expect("addr").to_string()
+    };
+    let client = Client::new(dead).connect_retries(2, Duration::from_millis(20));
+    let started = Instant::now();
+    let err = client.get("/v1/health").expect_err("nothing listens");
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(60),
+        "no backoff before {err}: {elapsed:?}"
+    );
 }
 
 /// End-to-end across processes: `walshcheck serve` is SIGTERMed mid-sweep,
