@@ -1,0 +1,133 @@
+//! Stand-alone driver for the crash-point explorer (DESIGN.md §16).
+//!
+//! ```text
+//! cargo run --release -p walshcheck-bench --bin crash_explore [gadget] [order]
+//! ```
+//!
+//! Records one `walshcheckd` job lifecycle (submit → sweep → done) for the
+//! chosen gadget through the tracing I/O layer, then walks the **full**
+//! crash matrix: every prefix of the recorded schedule × every page-cache
+//! crash mode, recovering each materialized tree and comparing the
+//! re-derived `report.json` byte-for-byte against the uninterrupted run.
+//! Prints a per-mode summary; exits nonzero on the first invariant
+//! violation. Defaults: `dom-1` (the schedule `tests/crash_matrix.rs`
+//! pins), SNI at the gadget's natural order, one worker.
+//!
+//! This is the ad-hoc investigation tool — point it at a bigger gadget to
+//! stress a longer schedule, or edit the store and watch which crash point
+//! breaks first. The CI-facing exhaustive run lives in
+//! `tests/crash_matrix.rs` (the `crash-matrix` job).
+
+use std::process::ExitCode;
+
+use walshcheck_circuit::ilang::write_ilang;
+use walshcheck_core::iofs::CrashMode;
+use walshcheck_core::json;
+use walshcheck_core::{JobSpec, Property};
+use walshcheck_daemon::crashsim;
+use walshcheck_daemon::store::FsyncEvents;
+use walshcheck_gadgets::suite::Benchmark;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let gadget_name = args.next().unwrap_or_else(|| "dom-1".into());
+    let Some(gadget) = Benchmark::all()
+        .into_iter()
+        .find(|b| b.name() == gadget_name)
+    else {
+        eprintln!("unknown gadget `{gadget_name}`");
+        eprintln!(
+            "known: {}",
+            Benchmark::all()
+                .iter()
+                .map(Benchmark::name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let order: u32 = args
+        .next()
+        .map(|a| a.parse().expect("order must be a number"))
+        .unwrap_or_else(|| gadget.security_order());
+
+    let netlist = write_ilang(&gadget.netlist());
+    let mut spec = JobSpec::new(Property::Sni(order));
+    spec.threads = 1;
+    let spec_doc = json::parse(&spec.to_json().to_canonical()).expect("spec doc");
+
+    let root = std::env::temp_dir().join(format!("crash-explore-{}", std::process::id()));
+    let lifecycle = match crashsim::record_lifecycle(&root, &spec_doc, &netlist, FsyncEvents::Never)
+    {
+        Ok(lc) => lc,
+        Err(e) => {
+            eprintln!("recording lifecycle: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "gadget {gadget_name}: job {} traced, {} I/O ops -> {} crash points x {} modes",
+        lifecycle.job_id,
+        lifecycle.ops.len(),
+        lifecycle.ops.len() + 1,
+        CrashMode::ALL.len()
+    );
+
+    let crash_root = root.with_file_name(format!("crash-explore-mat-{}", std::process::id()));
+    let mut failures = 0usize;
+    for mode in CrashMode::ALL {
+        let mut ok = 0usize;
+        let mut resubmitted = 0usize;
+        for prefix in 0..=lifecycle.ops.len() {
+            match crashsim::crash_and_recover(
+                &lifecycle,
+                prefix,
+                mode,
+                &crash_root,
+                &spec_doc,
+                &netlist,
+            ) {
+                Ok(rec) if rec.report == lifecycle.report => {
+                    ok += 1;
+                    resubmitted += usize::from(rec.resubmitted);
+                }
+                Ok(_) => {
+                    failures += 1;
+                    eprintln!(
+                        "{}: crash before op {prefix} ({}): report bytes diverged",
+                        mode.as_str(),
+                        lifecycle
+                            .ops
+                            .get(prefix)
+                            .map_or("end".to_string(), |op| op.describe())
+                    );
+                }
+                Err(e) => {
+                    failures += 1;
+                    eprintln!(
+                        "{}: crash before op {prefix} ({}): {e}",
+                        mode.as_str(),
+                        lifecycle
+                            .ops
+                            .get(prefix)
+                            .map_or("end".to_string(), |op| op.describe())
+                    );
+                }
+            }
+        }
+        println!(
+            "{:<14} {:>4} points recovered byte-identically ({} via resubmit)",
+            mode.as_str(),
+            ok,
+            resubmitted
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    let _ = std::fs::remove_dir_all(&crash_root);
+    if failures > 0 {
+        eprintln!("{failures} crash points violated the recovery invariants");
+        return ExitCode::FAILURE;
+    }
+    println!("all crash points recovered byte-identically");
+    ExitCode::SUCCESS
+}

@@ -15,10 +15,14 @@
 //! masks and coefficients are recomputed on demand from the (fingerprinted)
 //! netlist, which keeps the format small and engine-representation-free.
 //!
-//! Writes are atomic (temp file + rename in the target directory), so a
-//! kill mid-write leaves the previous checkpoint intact.
+//! Writes are atomic *and durable* (temp file + fsync + rename + parent
+//! directory fsync, via [`crate::iofs::atomic_replace`]), so a kill or
+//! power loss mid-write leaves the previous checkpoint intact — and a
+//! completed write can no longer be undone by a crash that catches the
+//! rename before the directory metadata reached the journal.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use walshcheck_circuit::ilang::write_ilang;
@@ -42,6 +46,10 @@ pub struct CheckpointConfig {
     /// after every completed batch (useful for tests; expensive on real
     /// sweeps). A final write always happens when the run ends.
     pub every: Duration,
+    /// The I/O layer the writes go through — [`crate::iofs::RealFs`] by
+    /// default; a tracing shim when a crash-point explorer is recording
+    /// the schedule.
+    pub fs: Arc<dyn crate::iofs::IoFs>,
 }
 
 impl CheckpointConfig {
@@ -50,7 +58,15 @@ impl CheckpointConfig {
         CheckpointConfig {
             path: path.into(),
             every,
+            fs: crate::iofs::RealFs::shared(),
         }
+    }
+
+    /// The same configuration writing through `fs`.
+    #[must_use]
+    pub fn with_fs(mut self, fs: Arc<dyn crate::iofs::IoFs>) -> Self {
+        self.fs = fs;
+        self
     }
 }
 
@@ -369,15 +385,6 @@ pub(crate) fn parse(text: &str) -> Result<Checkpoint, Error> {
         skipped,
         rescued,
     })
-}
-
-/// Writes `content` to `path` atomically: a sibling `.tmp` file is written,
-/// flushed, and renamed over the target, so readers (and a kill mid-write)
-/// only ever see a complete document.
-pub(crate) fn write_atomic(path: &Path, content: &str) -> std::io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, content)?;
-    std::fs::rename(&tmp, path)
 }
 
 #[cfg(test)]

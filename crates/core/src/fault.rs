@@ -28,6 +28,11 @@
 //! |                             | atomic rename (drives the startup integrity scan) |
 //! | `job-stall-ms=N`            | sleep `N` ms at the start of every daemon job     |
 //! |                             | execution (wedges a job so deadline tests fire)   |
+//! | `crash-at-io-op=N`          | abort the process immediately before the `N`-th   |
+//! |                             | (1-based) I/O operation [`crate::iofs::RealFs`]   |
+//! |                             | would perform — a *real* crash at an exact point  |
+//! |                             | of the traced schedule, cross-checking the        |
+//! |                             | simulated page-cache model (DESIGN.md §16)        |
 //!
 //! Multiple directives are comma-separated. Without the feature every hook
 //! compiles to nothing; the daemon directives are consumed by

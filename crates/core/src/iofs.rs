@@ -1,0 +1,905 @@
+//! Injectable filesystem layer for crash-consistency testing.
+//!
+//! Every byte-identity guarantee this crate makes (DESIGN.md §10/§13)
+//! ultimately rests on what survives a crash, and *that* is decided by a
+//! handful of filesystem primitives: whether a file's data was fsynced,
+//! whether the rename that published it was followed by a parent-directory
+//! fsync, whether an append landed as one write. [`IoFs`] is a thin trait
+//! over exactly the mutating operations the artifact store and the
+//! checkpoint writer perform, with two implementations:
+//!
+//! * [`RealFs`] — the production path: `std::fs` plus the *full* set of
+//!   durability barriers (file fsync before rename, parent-directory fsync
+//!   after rename/remove/create).
+//! * [`TracingFs`] — wraps [`RealFs`], recording every mutating operation
+//!   (with its bytes) into a crash-point schedule. The recorded [`Op`] log
+//!   feeds [`crash_state`], which models a kernel page cache: data written
+//!   but never fsynced may be lost or torn at a crash, and metadata
+//!   (creates, renames, removes) not followed by a directory fsync may be
+//!   undone.
+//!
+//! The model (documented in DESIGN.md §16) is deliberately adversarial
+//! within POSIX: `fsync(file)` persists the file's *data* but not its
+//! directory entry; only `fsync(parent_dir)` persists entries. Appends are
+//! lost at whole-write granularity (the `O_APPEND` single-write guarantee)
+//! except the final surviving write, which may additionally be torn to a
+//! prefix. Three crash modes bracket what a real kernel may do:
+//!
+//! | mode                        | unsynced metadata | unsynced data        |
+//! |-----------------------------|-------------------|----------------------|
+//! | [`CrashMode::LoseUnsynced`] | undone            | lost                 |
+//! | [`CrashMode::KeepMetadata`] | applied           | lost                 |
+//! | [`CrashMode::TornTail`]     | applied           | kept, last write torn|
+//!
+//! A store is crash-consistent when the recovery invariants hold under
+//! *every* mode at *every* point of the schedule — which is exactly what
+//! the crash-point explorer (`walshcheck-daemon`'s `crashsim`) asserts.
+//!
+//! With the `fault-inject` feature, the `WALSHCHECK_FAULT` directive
+//! `crash-at-io-op=N` aborts the process immediately before the N-th
+//! (1-based) operation [`RealFs`] would perform, so the simulated schedule
+//! can be cross-checked against a *real* crashed process.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// The mutating filesystem operations the store and checkpoint writer use.
+///
+/// Reads are deliberately absent: they cannot affect what survives a
+/// crash, and [`TracingFs`] performs every operation for real, so readers
+/// always see a consistent live tree.
+pub trait IoFs: Send + Sync + Debug {
+    /// `mkdir -p`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Creates (or truncates) `path` and writes `bytes`. No fsync — the
+    /// data sits in the page cache until [`IoFs::sync_file`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// `fsync` of `path`'s data (and inode). Does *not* persist the
+    /// directory entry of a freshly created file — that takes
+    /// [`IoFs::sync_dir`] on the parent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+
+    /// `fsync` of a directory: persists the entries (creates, renames,
+    /// removes) performed inside it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+
+    /// Atomic rename. Durable only after [`IoFs::sync_dir`] on the parent
+    /// — until then a crash may undo it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Appends `bytes` to `path` (creating it if absent) as one
+    /// `O_APPEND` write, so concurrent appenders never interleave
+    /// mid-record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Removes a file. Durable only after [`IoFs::sync_dir`] on the
+    /// parent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Removes a directory tree. Durable only after [`IoFs::sync_dir`] on
+    /// the parent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()>;
+}
+
+/// Aborts the process when the `crash-at-io-op=N` fault directive says
+/// this (1-based) operation is the crash point. Compiled to nothing
+/// without the `fault-inject` feature.
+fn maybe_crash_io_op() {
+    #[cfg(feature = "fault-inject")]
+    {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static OPS: AtomicU64 = AtomicU64::new(0);
+        if let Some(n) = crate::fault::u64_directive("crash-at-io-op") {
+            let op = OPS.fetch_add(1, Ordering::SeqCst) + 1;
+            if op == n {
+                eprintln!("fault-inject: crashing at I/O op {op}");
+                std::process::abort();
+            }
+        }
+    }
+}
+
+/// The production filesystem: `std::fs` with real fsyncs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealFs;
+
+impl RealFs {
+    /// A shareable handle (the common way to pass the default I/O layer).
+    pub fn shared() -> Arc<dyn IoFs> {
+        Arc::new(RealFs)
+    }
+}
+
+impl IoFs for RealFs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        maybe_crash_io_op();
+        std::fs::create_dir_all(path)
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        maybe_crash_io_op();
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(bytes)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        maybe_crash_io_op();
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        maybe_crash_io_op();
+        // Opening a directory read-only and fsyncing it is the portable
+        // unix idiom for persisting its entries; on platforms where
+        // directories cannot be fsynced the call degrades to a no-op
+        // error swallow (the data-path syncs still happened).
+        match std::fs::File::open(path) {
+            Ok(d) => d.sync_all(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Err(e),
+            Err(_) => Ok(()),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        maybe_crash_io_op();
+        std::fs::rename(from, to)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        maybe_crash_io_op();
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(bytes)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        maybe_crash_io_op();
+        std::fs::remove_file(path)
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        maybe_crash_io_op();
+        std::fs::remove_dir_all(path)
+    }
+}
+
+/// Writes `bytes` to `path` atomically *and durably*: a dot-prefixed
+/// sibling temp file is written and fsynced, renamed over the target, and
+/// the parent directory is fsynced — a crash leaves either the old content
+/// or the new, never a torn file, and the rename itself cannot be undone.
+///
+/// With the `fault-inject` feature, the `store-torn-write=FILE` directive
+/// tears the write of a file with that name: half the bytes land at the
+/// final path with no fsync and no rename, simulating the torn write the
+/// startup integrity scan must catch.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn atomic_replace(fs: &dyn IoFs, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    #[cfg(feature = "fault-inject")]
+    if let Some(torn) = crate::fault::string_directive("store-torn-write") {
+        if path
+            .file_name()
+            .is_some_and(|n| n.to_string_lossy() == torn)
+        {
+            return fs.write_file(path, &bytes[..bytes.len() / 2]);
+        }
+    }
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let tmp = dir.join(format!(
+        ".{}.tmp",
+        path.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "file".into())
+    ));
+    fs.write_file(&tmp, bytes)?;
+    fs.sync_file(&tmp)?;
+    fs.rename(&tmp, path)?;
+    fs.sync_dir(dir)
+}
+
+/// One recorded filesystem operation ([`TracingFs`]'s schedule entry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// `mkdir -p`.
+    CreateDirAll(PathBuf),
+    /// Create/truncate + write (unsynced).
+    WriteFile(PathBuf, Vec<u8>),
+    /// File data fsync.
+    SyncFile(PathBuf),
+    /// Directory entry fsync.
+    SyncDir(PathBuf),
+    /// Atomic rename.
+    Rename(PathBuf, PathBuf),
+    /// One `O_APPEND` write (unsynced).
+    Append(PathBuf, Vec<u8>),
+    /// File removal.
+    RemoveFile(PathBuf),
+    /// Directory tree removal.
+    RemoveDirAll(PathBuf),
+}
+
+impl Op {
+    /// A compact single-line rendering for logs and failure messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Op::CreateDirAll(p) => format!("create-dir {}", p.display()),
+            Op::WriteFile(p, b) => format!("write {} ({} bytes)", p.display(), b.len()),
+            Op::SyncFile(p) => format!("sync-file {}", p.display()),
+            Op::SyncDir(p) => format!("sync-dir {}", p.display()),
+            Op::Rename(a, b) => format!("rename {} -> {}", a.display(), b.display()),
+            Op::Append(p, b) => format!("append {} ({} bytes)", p.display(), b.len()),
+            Op::RemoveFile(p) => format!("remove {}", p.display()),
+            Op::RemoveDirAll(p) => format!("remove-dir {}", p.display()),
+        }
+    }
+}
+
+/// Records every mutating operation while performing it for real.
+///
+/// The live directory stays fully functional (reads, restarts, integrity
+/// scans all work), and the recorded schedule can afterwards be replayed
+/// by [`crash_state`] to materialize what the disk would have held had
+/// the process crashed before any given operation.
+#[derive(Debug, Default)]
+pub struct TracingFs {
+    real: RealFs,
+    ops: Mutex<Vec<Op>>,
+}
+
+impl TracingFs {
+    /// An empty-schedule tracing layer.
+    pub fn new() -> Arc<TracingFs> {
+        Arc::new(TracingFs::default())
+    }
+
+    /// A snapshot of the schedule so far.
+    pub fn ops(&self) -> Vec<Op> {
+        self.lock().clone()
+    }
+
+    /// How many operations have been recorded.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Op>> {
+        self.ops
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn record(&self, op: Op) {
+        self.lock().push(op);
+    }
+}
+
+impl IoFs for TracingFs {
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.real.create_dir_all(path)?;
+        self.record(Op::CreateDirAll(path.to_path_buf()));
+        Ok(())
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.real.write_file(path, bytes)?;
+        self.record(Op::WriteFile(path.to_path_buf(), bytes.to_vec()));
+        Ok(())
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        self.real.sync_file(path)?;
+        self.record(Op::SyncFile(path.to_path_buf()));
+        Ok(())
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        self.real.sync_dir(path)?;
+        self.record(Op::SyncDir(path.to_path_buf()));
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.real.rename(from, to)?;
+        self.record(Op::Rename(from.to_path_buf(), to.to_path_buf()));
+        Ok(())
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.real.append(path, bytes)?;
+        self.record(Op::Append(path.to_path_buf(), bytes.to_vec()));
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.real.remove_file(path)?;
+        self.record(Op::RemoveFile(path.to_path_buf()));
+        Ok(())
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.real.remove_dir_all(path)?;
+        self.record(Op::RemoveDirAll(path.to_path_buf()));
+        Ok(())
+    }
+}
+
+/// What a crash does to operations that were never made durable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// Unsynced metadata is undone, unsynced data is lost — the
+    /// most-forgetful legal outcome.
+    LoseUnsynced,
+    /// Unsynced metadata survives (the journal committed) but unsynced
+    /// data is lost whole — the classic "renamed but empty" hazard.
+    KeepMetadata,
+    /// Metadata survives and unsynced data mostly survives, except the
+    /// *last* unsynced write per file, which is torn to a half-length
+    /// prefix. Earlier unsynced writes survive whole (the `O_APPEND`
+    /// single-write guarantee: loss and tearing happen at write
+    /// granularity, never by interleaving).
+    TornTail,
+}
+
+impl CrashMode {
+    /// All modes, the order the explorer iterates them.
+    pub const ALL: [CrashMode; 3] = [
+        CrashMode::LoseUnsynced,
+        CrashMode::KeepMetadata,
+        CrashMode::TornTail,
+    ];
+
+    /// A short stable name for logs and directory tags.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CrashMode::LoseUnsynced => "lose-unsynced",
+            CrashMode::KeepMetadata => "keep-metadata",
+            CrashMode::TornTail => "torn-tail",
+        }
+    }
+}
+
+/// The tree a crash leaves behind: surviving directories and file bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrashState {
+    /// Surviving directories (absolute, as recorded).
+    pub dirs: BTreeSet<PathBuf>,
+    /// Surviving files with their surviving bytes.
+    pub files: BTreeMap<PathBuf, Vec<u8>>,
+}
+
+impl CrashState {
+    /// Materializes the state under `dest`, rebasing every recorded path
+    /// from `root`. Paths outside `root` are skipped (nothing the store
+    /// owns lives there).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from creating `dest`'s tree.
+    pub fn write_to(&self, root: &Path, dest: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dest)?;
+        for dir in &self.dirs {
+            if let Ok(rel) = dir.strip_prefix(root) {
+                std::fs::create_dir_all(dest.join(rel))?;
+            }
+        }
+        for (file, bytes) in &self.files {
+            if let Ok(rel) = file.strip_prefix(root) {
+                if let Some(parent) = dest.join(rel).parent() {
+                    std::fs::create_dir_all(parent)?;
+                }
+                std::fs::write(dest.join(rel), bytes)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A file's in-model identity: data synced to disk plus the unsynced
+/// write tail (each entry one `write`/`append`).
+#[derive(Debug, Clone, Default)]
+struct Inode {
+    synced: Vec<u8>,
+    chunks: Vec<Vec<u8>>,
+}
+
+impl Inode {
+    fn cache_view(&self) -> Vec<u8> {
+        let mut all = self.synced.clone();
+        for c in &self.chunks {
+            all.extend_from_slice(c);
+        }
+        all
+    }
+
+    fn surviving(&self, mode: CrashMode) -> Vec<u8> {
+        match mode {
+            CrashMode::LoseUnsynced | CrashMode::KeepMetadata => self.synced.clone(),
+            CrashMode::TornTail => {
+                let mut all = self.synced.clone();
+                for (i, c) in self.chunks.iter().enumerate() {
+                    if i + 1 == self.chunks.len() {
+                        all.extend_from_slice(&c[..c.len().div_ceil(2)]);
+                    } else {
+                        all.extend_from_slice(c);
+                    }
+                }
+                all
+            }
+        }
+    }
+}
+
+/// A node in the simulated trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Node {
+    Dir,
+    File(usize),
+}
+
+/// One not-yet-durable directory mutation.
+#[derive(Debug, Clone)]
+enum MetaOp {
+    Put(PathBuf, Node),
+    Del(PathBuf),
+}
+
+/// The page-cache simulator: a cache view (everything applied) and a
+/// durable view (only what syncs have pinned).
+#[derive(Debug, Default)]
+struct Sim {
+    inodes: Vec<Inode>,
+    cache: BTreeMap<PathBuf, Node>,
+    durable: BTreeMap<PathBuf, Node>,
+    /// Per-directory queues of entry mutations awaiting `sync_dir`.
+    pending: BTreeMap<PathBuf, Vec<MetaOp>>,
+}
+
+fn parent_of(path: &Path) -> PathBuf {
+    path.parent().unwrap_or_else(|| Path::new("")).to_path_buf()
+}
+
+impl Sim {
+    fn pend(&mut self, dir: PathBuf, op: MetaOp) {
+        self.pending.entry(dir).or_default().push(op);
+    }
+
+    fn ensure_cache_dirs(&mut self, path: &Path) {
+        let mut missing = Vec::new();
+        let mut cur = path.to_path_buf();
+        while !cur.as_os_str().is_empty() && !self.cache.contains_key(&cur) {
+            missing.push(cur.clone());
+            cur = parent_of(&cur);
+        }
+        for dir in missing.into_iter().rev() {
+            self.cache.insert(dir.clone(), Node::Dir);
+            self.pend(parent_of(&dir), MetaOp::Put(dir, Node::Dir));
+        }
+    }
+
+    fn file_inode(&mut self, path: &Path, truncate: bool) -> usize {
+        match self.cache.get(path) {
+            Some(&Node::File(ino)) => {
+                if truncate {
+                    self.inodes[ino] = Inode::default();
+                }
+                ino
+            }
+            _ => {
+                let ino = self.inodes.len();
+                self.inodes.push(Inode::default());
+                self.cache.insert(path.to_path_buf(), Node::File(ino));
+                self.pend(
+                    parent_of(path),
+                    MetaOp::Put(path.to_path_buf(), Node::File(ino)),
+                );
+                ino
+            }
+        }
+    }
+
+    fn remove_cache_subtree(&mut self, path: &Path) {
+        let keys: Vec<PathBuf> = self
+            .cache
+            .keys()
+            .filter(|k| k.as_path() == path || k.starts_with(path))
+            .cloned()
+            .collect();
+        for k in keys {
+            self.cache.remove(&k);
+        }
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match op {
+            Op::CreateDirAll(p) => self.ensure_cache_dirs(p),
+            Op::WriteFile(p, b) => {
+                self.ensure_cache_dirs(&parent_of(p));
+                let ino = self.file_inode(p, true);
+                self.inodes[ino].chunks.push(b.clone());
+            }
+            Op::Append(p, b) => {
+                self.ensure_cache_dirs(&parent_of(p));
+                let ino = self.file_inode(p, false);
+                self.inodes[ino].chunks.push(b.clone());
+            }
+            Op::SyncFile(p) => {
+                if let Some(&Node::File(ino)) = self.cache.get(p) {
+                    let inode = &mut self.inodes[ino];
+                    inode.synced = inode.cache_view();
+                    inode.chunks.clear();
+                }
+            }
+            Op::SyncDir(d) => {
+                for meta in self.pending.remove(d).unwrap_or_default() {
+                    match meta {
+                        MetaOp::Put(p, node) => {
+                            self.durable.insert(p, node);
+                        }
+                        MetaOp::Del(p) => {
+                            let keys: Vec<PathBuf> = self
+                                .durable
+                                .keys()
+                                .filter(|k| k.as_path() == p || k.starts_with(&p))
+                                .cloned()
+                                .collect();
+                            for k in keys {
+                                self.durable.remove(&k);
+                            }
+                        }
+                    }
+                }
+            }
+            Op::Rename(from, to) => {
+                if let Some(node) = self.cache.remove(from) {
+                    // Subtree renames (quarantine moves) drag their cached
+                    // descendants along; entry durability still follows
+                    // the parent-directory syncs.
+                    let descendants: Vec<(PathBuf, Node)> = self
+                        .cache
+                        .iter()
+                        .filter(|(k, _)| k.starts_with(from))
+                        .map(|(k, v)| (k.clone(), *v))
+                        .collect();
+                    for (k, _) in &descendants {
+                        self.cache.remove(k);
+                    }
+                    self.cache.insert(to.clone(), node);
+                    for (k, v) in descendants {
+                        if let Ok(rel) = k.strip_prefix(from) {
+                            self.cache.insert(to.join(rel), v);
+                        }
+                    }
+                    self.pend(parent_of(from), MetaOp::Del(from.clone()));
+                    self.pend(parent_of(to), MetaOp::Put(to.clone(), node));
+                }
+            }
+            Op::RemoveFile(p) => {
+                if self.cache.remove(p).is_some() {
+                    self.pend(parent_of(p), MetaOp::Del(p.clone()));
+                }
+            }
+            Op::RemoveDirAll(p) => {
+                if self.cache.contains_key(p) {
+                    self.remove_cache_subtree(p);
+                    self.pend(parent_of(p), MetaOp::Del(p.clone()));
+                }
+            }
+        }
+    }
+
+    fn materialize(mut self, mode: CrashMode) -> CrashState {
+        if mode != CrashMode::LoseUnsynced {
+            // The metadata journal committed: apply every pending entry
+            // mutation, in per-directory order.
+            let dirs: Vec<PathBuf> = self.pending.keys().cloned().collect();
+            for d in dirs {
+                let queue = self.pending.remove(&d).unwrap_or_default();
+                for meta in queue {
+                    match meta {
+                        MetaOp::Put(p, node) => {
+                            self.durable.insert(p, node);
+                        }
+                        MetaOp::Del(p) => {
+                            let keys: Vec<PathBuf> = self
+                                .durable
+                                .keys()
+                                .filter(|k| k.as_path() == p || k.starts_with(&p))
+                                .cloned()
+                                .collect();
+                            for k in keys {
+                                self.durable.remove(&k);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut state = CrashState::default();
+        for (path, node) in &self.durable {
+            match node {
+                Node::Dir => {
+                    state.dirs.insert(path.clone());
+                }
+                Node::File(ino) => {
+                    state
+                        .files
+                        .insert(path.clone(), self.inodes[*ino].surviving(mode));
+                }
+            }
+        }
+        state
+    }
+}
+
+/// The tree a crash immediately after `ops` leaves behind, under `mode`.
+///
+/// Feed it a schedule prefix (`&ops[..k]`) to model a crash before the
+/// `k`-th operation executed.
+pub fn crash_state(ops: &[Op], mode: CrashMode) -> CrashState {
+    let mut sim = Sim::default();
+    for op in ops {
+        sim.apply(op);
+    }
+    sim.materialize(mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    fn write_synced(ops: &mut Vec<Op>, path: &str, bytes: &[u8]) {
+        ops.push(Op::WriteFile(p(path), bytes.to_vec()));
+        ops.push(Op::SyncFile(p(path)));
+    }
+
+    #[test]
+    fn unsynced_write_is_lost_torn_or_empty() {
+        let ops = vec![
+            Op::CreateDirAll(p("/s")),
+            Op::SyncDir(p("/")),
+            Op::WriteFile(p("/s/a"), b"abcdefgh".to_vec()),
+        ];
+        // Entry and data both unsynced: the most-forgetful crash loses the
+        // file entirely.
+        let lost = crash_state(&ops, CrashMode::LoseUnsynced);
+        assert!(!lost.files.contains_key(&p("/s/a")));
+        assert!(lost.dirs.contains(&p("/s")));
+        // Metadata journal committed, data lost: present but empty.
+        let meta = crash_state(&ops, CrashMode::KeepMetadata);
+        assert_eq!(meta.files.get(&p("/s/a")).map(Vec::len), Some(0));
+        // Torn: a half-length prefix survives.
+        let torn = crash_state(&ops, CrashMode::TornTail);
+        assert_eq!(
+            torn.files.get(&p("/s/a")).map(Vec::as_slice),
+            Some(&b"abcd"[..])
+        );
+    }
+
+    #[test]
+    fn file_sync_pins_data_but_not_the_entry() {
+        let ops = vec![
+            Op::CreateDirAll(p("/s")),
+            Op::SyncDir(p("/")),
+            Op::WriteFile(p("/s/a"), b"data".to_vec()),
+            Op::SyncFile(p("/s/a")),
+        ];
+        // Data is durable, the dir entry is not: strictest mode loses the
+        // name, the journal-committed modes keep name + full data.
+        assert!(!crash_state(&ops, CrashMode::LoseUnsynced)
+            .files
+            .contains_key(&p("/s/a")));
+        for mode in [CrashMode::KeepMetadata, CrashMode::TornTail] {
+            assert_eq!(
+                crash_state(&ops, mode)
+                    .files
+                    .get(&p("/s/a"))
+                    .map(Vec::as_slice),
+                Some(&b"data"[..]),
+                "{mode:?}"
+            );
+        }
+        // After the parent sync the entry survives every mode.
+        let mut synced = ops.clone();
+        synced.push(Op::SyncDir(p("/s")));
+        for mode in CrashMode::ALL {
+            assert_eq!(
+                crash_state(&synced, mode)
+                    .files
+                    .get(&p("/s/a"))
+                    .map(Vec::as_slice),
+                Some(&b"data"[..]),
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rename_without_dir_sync_can_be_undone() {
+        let mut ops = vec![Op::CreateDirAll(p("/s")), Op::SyncDir(p("/"))];
+        // Old durable content at the target.
+        write_synced(&mut ops, "/s/t", b"old");
+        ops.push(Op::SyncDir(p("/s")));
+        // New content staged and renamed over it — but no dir sync.
+        write_synced(&mut ops, "/s/.t.tmp", b"new!");
+        ops.push(Op::Rename(p("/s/.t.tmp"), p("/s/t")));
+        let undone = crash_state(&ops, CrashMode::LoseUnsynced);
+        assert_eq!(
+            undone.files.get(&p("/s/t")).map(Vec::as_slice),
+            Some(&b"old"[..])
+        );
+        assert!(!undone.files.contains_key(&p("/s/.t.tmp")));
+        for mode in [CrashMode::KeepMetadata, CrashMode::TornTail] {
+            let kept = crash_state(&ops, mode);
+            assert_eq!(
+                kept.files.get(&p("/s/t")).map(Vec::as_slice),
+                Some(&b"new!"[..]),
+                "{mode:?}"
+            );
+            assert!(!kept.files.contains_key(&p("/s/.t.tmp")), "{mode:?}");
+        }
+        // The full atomic_replace discipline (dir sync last) makes the
+        // publish durable in every mode.
+        ops.push(Op::SyncDir(p("/s")));
+        for mode in CrashMode::ALL {
+            assert_eq!(
+                crash_state(&ops, mode)
+                    .files
+                    .get(&p("/s/t"))
+                    .map(Vec::as_slice),
+                Some(&b"new!"[..]),
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn appends_lose_whole_writes_and_tear_only_the_tail() {
+        let mut ops = vec![Op::CreateDirAll(p("/s")), Op::SyncDir(p("/"))];
+        ops.push(Op::Append(p("/s/log"), b"one\n".to_vec()));
+        ops.push(Op::Append(p("/s/log"), b"two\n".to_vec()));
+        ops.push(Op::SyncFile(p("/s/log")));
+        ops.push(Op::SyncDir(p("/s")));
+        ops.push(Op::Append(p("/s/log"), b"three\n".to_vec()));
+        ops.push(Op::Append(p("/s/log"), b"four\n".to_vec()));
+        // Synced prefix survives everywhere.
+        let lost = crash_state(&ops, CrashMode::LoseUnsynced);
+        assert_eq!(
+            lost.files.get(&p("/s/log")).map(Vec::as_slice),
+            Some(&b"one\ntwo\n"[..])
+        );
+        // Whole-write granularity: KeepMetadata drops the unsynced writes
+        // entirely — never a torn middle.
+        let meta = crash_state(&ops, CrashMode::KeepMetadata);
+        assert_eq!(
+            meta.files.get(&p("/s/log")).map(Vec::as_slice),
+            Some(&b"one\ntwo\n"[..])
+        );
+        // TornTail keeps every unsynced write whole except the last,
+        // which survives as a prefix: "three\n" intact, "four\n" torn.
+        let torn = crash_state(&ops, CrashMode::TornTail);
+        assert_eq!(
+            torn.files.get(&p("/s/log")).map(Vec::as_slice),
+            Some(&b"one\ntwo\nthree\nfou"[..])
+        );
+    }
+
+    #[test]
+    fn remove_without_dir_sync_can_resurrect() {
+        let mut ops = vec![Op::CreateDirAll(p("/s")), Op::SyncDir(p("/"))];
+        write_synced(&mut ops, "/s/f", b"x");
+        ops.push(Op::SyncDir(p("/s")));
+        ops.push(Op::RemoveFile(p("/s/f")));
+        assert!(crash_state(&ops, CrashMode::LoseUnsynced)
+            .files
+            .contains_key(&p("/s/f")));
+        assert!(!crash_state(&ops, CrashMode::KeepMetadata)
+            .files
+            .contains_key(&p("/s/f")));
+        ops.push(Op::SyncDir(p("/s")));
+        for mode in CrashMode::ALL {
+            assert!(
+                !crash_state(&ops, mode).files.contains_key(&p("/s/f")),
+                "{mode:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tracing_fs_performs_and_records() {
+        let root = std::env::temp_dir().join(format!("walshcheck-iofs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let fs = TracingFs::new();
+        fs.create_dir_all(&root).expect("mkdir");
+        atomic_replace(&*fs, &root.join("f.json"), b"{}").expect("atomic");
+        fs.append(&root.join("log"), b"a\n").expect("append");
+        assert_eq!(std::fs::read(root.join("f.json")).expect("read"), b"{}");
+        let ops = fs.ops();
+        // mkdir, write tmp, sync tmp, rename, sync dir, append.
+        assert_eq!(ops.len(), 6);
+        assert!(matches!(&ops[3], Op::Rename(_, to) if to.ends_with("f.json")));
+        assert!(matches!(&ops[4], Op::SyncDir(d) if *d == root));
+        // The recorded schedule replays to the same bytes when everything
+        // is synced... and loses the unsynced append in the strict mode.
+        let state = crash_state(&ops, CrashMode::LoseUnsynced);
+        assert_eq!(
+            state.files.get(&root.join("f.json")).map(Vec::as_slice),
+            Some(&b"{}"[..])
+        );
+        assert!(!state.files.contains_key(&root.join("log")));
+        let torn = crash_state(&ops, CrashMode::TornTail);
+        assert_eq!(
+            torn.files.get(&root.join("log")).map(Vec::as_slice),
+            Some(&b"a"[..])
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn crash_state_writes_to_a_rebased_tree() {
+        let ops = vec![
+            Op::CreateDirAll(p("/store/jobs/j1")),
+            Op::SyncDir(p("/store/jobs")),
+            Op::WriteFile(p("/store/jobs/j1/a"), b"aa".to_vec()),
+            Op::SyncFile(p("/store/jobs/j1/a")),
+            Op::SyncDir(p("/store/jobs/j1")),
+        ];
+        let state = crash_state(&ops, CrashMode::LoseUnsynced);
+        let dest = std::env::temp_dir().join(format!("walshcheck-iofs-mat-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dest);
+        state
+            .write_to(Path::new("/store"), &dest)
+            .expect("materialize");
+        assert_eq!(std::fs::read(dest.join("jobs/j1/a")).expect("read"), b"aa");
+        let _ = std::fs::remove_dir_all(&dest);
+    }
+}

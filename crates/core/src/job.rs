@@ -441,6 +441,18 @@ impl Job {
         self.checkpoint = Some(CheckpointConfig::new(path, every));
     }
 
+    /// [`Job::checkpoint_to`] writing through an explicit I/O layer —
+    /// how the daemon routes checkpoint writes through its store's
+    /// (possibly tracing) filesystem shim.
+    pub fn checkpoint_to_with(
+        &mut self,
+        path: impl Into<std::path::PathBuf>,
+        every: Duration,
+        fs: std::sync::Arc<dyn crate::iofs::IoFs>,
+    ) {
+        self.checkpoint = Some(CheckpointConfig::new(path, every).with_fs(fs));
+    }
+
     /// Seeds the *next* [`Job::run`] from a checkpoint file: completed
     /// combinations are skipped and the recorded evidence is carried over.
     /// The resumed verdict is identical to an uninterrupted run's. The

@@ -52,6 +52,7 @@ pub mod exhaustive;
 pub mod fault;
 pub mod hash;
 pub mod heuristic;
+pub mod iofs;
 mod isolate;
 pub mod job;
 pub mod json;
@@ -74,6 +75,7 @@ pub use checkpoint::CheckpointConfig;
 pub use engine::check_parallel_modulo;
 pub use engine::{EngineKind, Verifier, VerifyOptions, VerifyOptionsBuilder};
 pub use error::Error;
+pub use iofs::{IoFs, RealFs, TracingFs};
 pub use job::{netlist_sha256, Job, JobSpec};
 pub use mask::{Mask, VarMap};
 pub use observe::{ChannelObserver, EnginePhase, ProgressEvent, ProgressObserver};

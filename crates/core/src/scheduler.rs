@@ -379,7 +379,13 @@ impl CheckpointShared {
             skipped,
             rescued: rescued.to_vec(),
         };
-        if checkpoint::write_atomic(&self.config.path, &checkpoint::render(&ck)).is_ok() {
+        if crate::iofs::atomic_replace(
+            &*self.config.fs,
+            &self.config.path,
+            checkpoint::render(&ck).as_bytes(),
+        )
+        .is_ok()
+        {
             if let Some(obs) = observer {
                 obs.checkpoint_written(&self.config.path, combinations);
             }

@@ -375,6 +375,9 @@ impl JobManager {
     ) -> Result<JobManager, ApiError> {
         let mut records = BTreeMap::new();
         let mut queue = VecDeque::new();
+        // A crash mid-`atomic_replace` can leave `.…​.tmp` siblings; they
+        // are never read, but sweeping keeps the tree canonical.
+        let _ = store.sweep_temp_files();
         let ids = store
             .job_ids()
             .map_err(|e| ApiError::internal(format!("scanning store: {e}")))?;
@@ -877,8 +880,30 @@ impl JobManager {
         });
         job.set_observer(Arc::<EventWriter>::clone(&observer));
         let ck_path = self.store.job_file(id, "checkpoint.ck");
-        job.checkpoint_to(&ck_path, self.checkpoint_every);
-        let resumed = ck_path.exists() && job.resume_from(&ck_path).is_ok();
+        job.checkpoint_to_with(&ck_path, self.checkpoint_every, Arc::clone(self.store.io()));
+        // A checkpoint that fails to parse (torn write, wrong netlist,
+        // stale schema) must never fail the job: quarantine it, log why,
+        // and fall back to a from-scratch sweep — the report is
+        // byte-identical either way.
+        let resumed = if ck_path.exists() {
+            match job.resume_from(&ck_path) {
+                Ok(()) => true,
+                Err(e) => {
+                    let _ = self.store.append_event(
+                        id,
+                        &Json::obj([
+                            ("event", Json::str("checkpoint-rejected")),
+                            ("error", Json::str(e.to_string())),
+                        ])
+                        .to_canonical(),
+                    );
+                    let _ = self.store.quarantine_job_file(id, "checkpoint.ck");
+                    false
+                }
+            }
+        } else {
+            false
+        };
         let verdict = job.run();
         if verdict.stats.interrupted {
             return Ok(None);
@@ -898,7 +923,7 @@ impl JobManager {
         self.store
             .write_job_file(id, "run.json", run_doc.as_bytes())
             .map_err(io)?;
-        let _ = std::fs::remove_file(&ck_path); // sweep complete
+        let _ = self.store.remove_job_file(id, "checkpoint.ck"); // sweep complete
         let artifacts = BTreeMap::from([
             ("report.json".to_string(), artifact.hash().to_string()),
             ("run.json".to_string(), sha256_hex(run_doc.as_bytes())),
@@ -915,7 +940,12 @@ impl JobManager {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Writes `status.json` of `id` plus the top-level index.
+    /// Writes `status.json` of `id`, then the top-level index. The order
+    /// is a durability barrier (each write fsyncs file and directory):
+    /// the index can never durably claim a state whose `status.json` did
+    /// not reach the disk first, so a crash between the two writes leaves
+    /// at worst a *stale* index entry, which the startup scan reconciles
+    /// from the authoritative per-job record.
     fn persist(&self, inner: &Inner, id: &str) {
         if let Some(record) = inner.records.get(id) {
             let _ = self.store.write_job_file(

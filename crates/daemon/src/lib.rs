@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod crashsim;
 pub mod http;
 pub mod jobs;
 pub mod server;
@@ -32,4 +33,4 @@ pub mod store;
 pub use client::Client;
 pub use jobs::{JobRecord, JobState, PoolConfig};
 pub use server::{Daemon, DaemonConfig};
-pub use store::Store;
+pub use store::{FsyncEvents, Store};

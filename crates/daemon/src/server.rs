@@ -41,7 +41,8 @@ use walshcheck_core::shutdown;
 
 use crate::http::{self, read_request, Request, Response};
 use crate::jobs::{ApiError, JobManager, JobRecord, PoolConfig};
-use crate::store::Store;
+use crate::store::{FsyncEvents, Store};
+use walshcheck_core::iofs::RealFs;
 
 /// How the daemon is configured.
 #[derive(Debug, Clone)]
@@ -65,6 +66,9 @@ pub struct DaemonConfig {
     /// Concurrent-connection cap; excess connections get `503` with
     /// `Retry-After` instead of a thread.
     pub max_connections: usize,
+    /// Event-log durability policy (the `--fsync-events` CLI flag):
+    /// how often `events.jsonl` appends are fsynced.
+    pub fsync_events: FsyncEvents,
 }
 
 impl DaemonConfig {
@@ -88,6 +92,7 @@ impl DaemonConfig {
             max_retries: 0,
             retry_base: Duration::from_millis(500),
             max_connections: 128,
+            fsync_events: FsyncEvents::default(),
         }
     }
 }
@@ -112,7 +117,7 @@ impl Daemon {
     ///
     /// Propagates store and socket failures.
     pub fn bind(config: &DaemonConfig) -> io::Result<Daemon> {
-        let store = Store::open(&config.store)?;
+        let store = Store::open_with(&config.store, RealFs::shared(), config.fsync_events)?;
         let pool = PoolConfig {
             max_retries: config.max_retries,
             retry_base: config.retry_base,

@@ -9,7 +9,7 @@
 //!
 //! walshcheck serve  --store DIR [--listen ADDR] [--checkpoint-every SECS]
 //!                   [--runners N] [--max-retries N] [--retry-base-ms MS]
-//!                   [--max-connections N]
+//!                   [--max-connections N] [--fsync-events always|interval|never]
 //! walshcheck submit <file.il | bench:NAME> (--addr A | --store D)
 //!                   [--job-timeout SECS] [options]
 //! walshcheck status [ID] (--addr A | --store D)
@@ -783,7 +783,8 @@ fn daemon_client(target: &DaemonTarget) -> Result<Client, Error> {
 
 /// `walshcheck serve --store DIR [--listen ADDR] [--checkpoint-every SECS]
 /// [--max-body BYTES] [--runners N] [--max-retries N] [--retry-base-ms MS]
-/// [--max-connections N]` — runs `walshcheckd` until SIGINT/SIGTERM, then
+/// [--max-connections N] [--fsync-events always|interval|never]` — runs
+/// `walshcheckd` until SIGINT/SIGTERM, then
 /// drains gracefully (every in-flight job checkpoints, is marked
 /// `interrupted`, and auto-resumes on the next start).
 fn run_serve(args: &[String]) -> Result<ExitCode, Error> {
@@ -795,6 +796,7 @@ fn run_serve(args: &[String]) -> Result<ExitCode, Error> {
     let mut max_retries: Option<u32> = None;
     let mut retry_base_ms: Option<u64> = None;
     let mut max_connections: Option<usize> = None;
+    let mut fsync_events: Option<walshcheck::daemon::store::FsyncEvents> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -852,6 +854,12 @@ fn run_serve(args: &[String]) -> Result<ExitCode, Error> {
                         .ok_or_else(|| bad("--max-connections"))?,
                 )
             }
+            "--fsync-events" => {
+                fsync_events = Some(
+                    walshcheck::daemon::store::FsyncEvents::parse(&value("--fsync-events")?)
+                        .ok_or_else(|| bad("--fsync-events"))?,
+                )
+            }
             other => return Err(Error::Config(format!("unknown option `{other}`"))),
         }
     }
@@ -877,6 +885,9 @@ fn run_serve(args: &[String]) -> Result<ExitCode, Error> {
     }
     if let Some(n) = max_connections {
         config.max_connections = n;
+    }
+    if let Some(policy) = fsync_events {
+        config.fsync_events = policy;
     }
     let daemon = Daemon::bind(&config).map_err(|e| Error::Config(format!("serve: {e}")))?;
     println!("walshcheckd listening on {}", daemon.addr());
@@ -1079,7 +1090,8 @@ fn main() -> ExitCode {
                  \x20 list                                   list built-in benchmarks\n\
                  \x20 serve --store DIR [--listen ADDR] [--checkpoint-every SECS]\n\
                  \x20       [--runners N] [--max-retries N] [--retry-base-ms MS]\n\
-                 \x20       [--max-connections N]            run the walshcheckd daemon\n\
+                 \x20       [--max-connections N] [--fsync-events always|interval|never]\n\
+\x20                                        run the walshcheckd daemon\n\
                  \x20 submit <file.il|bench:NAME> (--addr A|--store D)\n\
                  \x20        [--job-timeout SECS] [options]  queue a job on the daemon\n\
                  \x20 status [ID] (--addr A|--store D)       job status (all without ID)\n\
