@@ -4,6 +4,7 @@
 //! report [--full] [--limit SECS] [table1|table2|table3|fig6|fig7|all]
 //! report --json BENCH_5.json [--label NAME] [--samples N] [--full]
 //! report --perf-smoke BENCH_5.json [--factor F] [--samples N]
+//! report --table1-smoke BENCH_10.json [--factor F] [--samples N]
 //! ```
 //!
 //! By default the quick benchmark set is used (orders ≤ 2 plus dom-3);
@@ -22,13 +23,22 @@
 //! keccak-1 MAPI checks and exits non-zero if either median regresses more
 //! than `--factor` (default 1.5, generous to tolerate CI noise) against the
 //! last recorded run in the file.
+//!
+//! `--table1-smoke` guards the high-order speed knobs specifically: it
+//! re-times the dom-2 MAPI check against the last recorded run with a
+//! tight default factor (1.1 — the knobs must not cost what they bought),
+//! then runs a determinism A/B on the same gadget — report/5 artifacts
+//! across dense kernel on/off × sift auto/off × 1/4 workers must be
+//! byte-identical, since none of the knobs is part of the job identity.
+//! The perf leg compares the Table I *speed-up* (LIL/MAPI) rather than
+//! absolute seconds so machine speed and CI load cancel out.
 
 use std::collections::BTreeMap;
 use std::time::Duration;
 
 use walshcheck_bench::{
-    emit_json_pretty, median, round_secs, run_bloem_like, run_engine_with, run_heuristic,
-    run_silver_like, secs, tables, RunResult,
+    emit_json_pretty, median, paper_property, round_secs, run_bloem_like, run_engine_with,
+    run_heuristic, run_silver_like, secs, tables, RunResult,
 };
 use walshcheck_core::engine::EngineKind;
 use walshcheck_core::json::{self, Json};
@@ -353,6 +363,125 @@ fn perf_smoke(path: &str, factor: f64, samples: usize) {
     println!("perf-smoke: ok");
 }
 
+/// The gadget guarded by the table1 smoke: the smallest second-order
+/// benchmark, so both the dense kernel and the screen are exercised on
+/// every push without the job dominating CI time.
+const TABLE1_SMOKE_GADGET: &str = "dom-2";
+
+/// Guards PR-10's speed knobs: the dom-2 Table I speed-up (LIL/MAPI) must
+/// not drop more than `factor` below the last recorded run, and report/5
+/// artifacts must stay byte-identical across the knob matrix.
+fn table1_smoke(path: &str, factor: f64, samples: usize) {
+    use walshcheck_core::engine::SiftMode;
+    use walshcheck_core::{Job, JobSpec, Report, VerifyOptions};
+
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("table1-smoke: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("table1-smoke: cannot parse {path}: {e}");
+        std::process::exit(2);
+    });
+    let baseline = doc
+        .get("runs")
+        .and_then(Json::as_arr)
+        .and_then(<[Json]>::last)
+        .unwrap_or_else(|| {
+            eprintln!("table1-smoke: {path} has no recorded runs");
+            std::process::exit(2);
+        });
+    let base_label = baseline
+        .get("label")
+        .and_then(Json::as_str)
+        .unwrap_or("<unlabeled>");
+    let base_speedup = baseline
+        .get("gadgets")
+        .and_then(Json::as_arr)
+        .and_then(|gs| {
+            gs.iter()
+                .find(|g| g.get("gadget").and_then(Json::as_str) == Some(TABLE1_SMOKE_GADGET))
+        })
+        .and_then(|g| g.get("table1_speedup"))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| {
+            eprintln!("table1-smoke: no {TABLE1_SMOKE_GADGET} table1_speedup in {path}");
+            std::process::exit(2);
+        });
+
+    // Perf leg: the speed-up ratio is machine-independent (LIL and MAPI
+    // run on the same box under the same load), so the tight factor holds
+    // on CI runners that are much slower than the recording machine.
+    let bench = Benchmark::all()
+        .into_iter()
+        .find(|b| b.name() == TABLE1_SMOKE_GADGET)
+        .expect("smoke gadget exists");
+    let mut lil: Vec<f64> = Vec::new();
+    let mut mapi: Vec<f64> = Vec::new();
+    for _ in 0..samples {
+        lil.push(secs(run_engine_with(bench, EngineKind::Lil, None).total));
+        mapi.push(secs(run_engine_with(bench, EngineKind::Mapi, None).total));
+    }
+    let current = median(&mut lil) / median(&mut mapi).max(1e-9);
+    println!(
+        "table1-smoke vs `{base_label}`: {TABLE1_SMOKE_GADGET} speed-up {current:.3} \
+         (baseline {base_speedup:.3}, fail below {:.3})",
+        base_speedup / factor
+    );
+    let mut failed = false;
+    if current < base_speedup / factor {
+        eprintln!(
+            "table1-smoke: {TABLE1_SMOKE_GADGET} speed-up regressed {:.2}x (limit {factor}x)",
+            base_speedup / current.max(1e-9)
+        );
+        failed = true;
+    }
+
+    // Determinism leg: one base artifact, then every A/B leg of the knob
+    // matrix must reproduce its exact bytes and hash.
+    let netlist = bench.netlist();
+    let artifact = |dense_cut: u32, sift: SiftMode, threads: usize| {
+        let mut spec = JobSpec::new(paper_property(bench));
+        spec.options = VerifyOptions::paper(EngineKind::Mapi);
+        spec.options.dense_cut = dense_cut;
+        spec.options.sift = sift;
+        spec.threads = threads;
+        let mut job = Job::new(&netlist, spec).expect("benchmark netlists are valid");
+        let verdict = job.run();
+        let report = Report::new(&netlist, job.spec(), &verdict);
+        (
+            report.canonical_json().to_string(),
+            report.hash().to_string(),
+        )
+    };
+    let default_cut = VerifyOptions::default().dense_cut;
+    let (base_bytes, base_hash) = artifact(default_cut, SiftMode::Rescue, 1);
+    for (dense_cut, sift, threads) in [
+        (0, SiftMode::Rescue, 1),
+        (default_cut, SiftMode::Auto, 1),
+        (0, SiftMode::Off, 4),
+        (default_cut, SiftMode::Auto, 4),
+    ] {
+        let (bytes, hash) = artifact(dense_cut, sift, threads);
+        if bytes != base_bytes || hash != base_hash {
+            eprintln!(
+                "table1-smoke: artifact diverged at dense_cut={dense_cut} sift={sift} \
+                 threads={threads} ({hash} vs {base_hash})"
+            );
+            failed = true;
+        } else {
+            println!(
+                "table1-smoke: artifact stable at dense_cut={dense_cut} sift={sift} \
+                 threads={threads}"
+            );
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("table1-smoke: ok");
+}
+
 /// Value of a `--flag VALUE` pair, if present.
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
@@ -374,6 +503,14 @@ fn main() {
             .and_then(|v| v.parse::<f64>().ok())
             .unwrap_or(1.5);
         perf_smoke(path, factor, samples);
+        return;
+    }
+
+    if let Some(path) = flag_value(&args, "--table1-smoke") {
+        let factor = flag_value(&args, "--factor")
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(1.1);
+        table1_smoke(path, factor, samples);
         return;
     }
 

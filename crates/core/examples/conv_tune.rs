@@ -1,0 +1,65 @@
+//! Calibration microbenchmark: hash convolution vs dense kernel.
+//!
+//! Times `MapSpectrum::convolve` against the dense convolution-theorem
+//! path on random spectra across support widths and densities, printing
+//! the speedup per operating point. The break-even it measures —
+//! `la·lb ≈ s·2ˢ/2` — is the cost heuristic hard-coded in
+//! `try_dense_convolve`; re-run this after touching either kernel and
+//! update the factor there if the crossover moved.
+//!
+//! ```text
+//! cargo run --release -p walshcheck-core --example conv_tune
+//! ```
+use std::time::Instant;
+use walshcheck_core::spectrum::{MapSpectrum, Spectrum};
+use walshcheck_dd::dyadic::Dyadic;
+use walshcheck_dd::fasthash::FastMap;
+
+fn mk(support: u128, n_entries: usize, seed: u64) -> MapSpectrum {
+    let bits: Vec<u32> = (0..128).filter(|&i| support >> i & 1 == 1).collect();
+    let mut state = seed | 1;
+    let mut map: FastMap<u128, Dyadic> = FastMap::default();
+    while map.len() < n_entries {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let idx = (state >> 20) as usize & ((1usize << bits.len()) - 1);
+        let mut key = 0u128;
+        for (i, &b) in bits.iter().enumerate() {
+            key |= ((idx as u128 >> i) & 1) << b;
+        }
+        let m = ((state >> 40) as i64 % 7) - 3;
+        if m != 0 {
+            map.insert(key, Dyadic::new(i128::from(m), -8));
+        }
+    }
+    MapSpectrum::from_map(&map)
+}
+
+fn main() {
+    for s in [6u32, 8, 10, 12] {
+        let support = (1u128 << s) - 1;
+        let full = 1usize << s;
+        for frac in [8usize, 4, 2, 1] {
+            let n = (full / frac).max(2).min(full);
+            let a = mk(support, n, 1);
+            let b = mk(support, n, 99);
+            let reps = (200_000 / (n * n).max(1)).max(3);
+            let t = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(a.convolve(&b));
+            }
+            let hash_us = t.elapsed().as_secs_f64() * 1e6 / reps as f64;
+            let t = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(a.convolve_opt(&b, 24));
+            }
+            let opt_us = t.elapsed().as_secs_f64() * 1e6 / reps as f64;
+            println!(
+                "s={s:2} la=lb={n:5} la*lb={:8}  hash {hash_us:9.2}us  opt {opt_us:9.2}us  ratio {:5.2}",
+                n * n,
+                hash_us / opt_us
+            );
+        }
+    }
+}

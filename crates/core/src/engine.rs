@@ -31,7 +31,7 @@ use walshcheck_dd::add::{Add, AddManager};
 use walshcheck_dd::backend::{Backend, DdBackend, DdConfig, Private};
 use walshcheck_dd::bdd::{Bdd, BddManager};
 use walshcheck_dd::dyadic::Dyadic;
-use walshcheck_dd::spectral::{sign_add, walsh_sparse, wht, SparseWalshCache};
+use walshcheck_dd::spectral::{sign_add, walsh_sparse, wht_with, SparseWalshCache, WhtMemo};
 use walshcheck_dd::var::{VarId, VarSet};
 use walshcheck_dd::FastMap;
 
@@ -91,6 +91,57 @@ impl std::fmt::Display for EngineKind {
     }
 }
 
+/// When the engines may re-order decision-diagram variables by greedy
+/// sifting ([`walshcheck_dd::reorder::sift`]).
+///
+/// Unlike [`VerifyOptions::presift`] — which changes which diagrams exist
+/// and is therefore part of job identity — every mode here is a pure speed
+/// knob: verdicts, witnesses and report artifacts are byte-identical across
+/// all three settings (violations screened in a sifted order are always
+/// re-derived in the original order before a witness is emitted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SiftMode {
+    /// Never sift, not even in the rescue ladder.
+    Off,
+    /// Sift only as the rescue ladder's second rung (the pre-PR-10
+    /// behavior).
+    #[default]
+    Rescue,
+    /// Additionally screen sweep combinations in a sifted variable order
+    /// when the unfolded forest is large enough to pay for the reorder
+    /// (see `AUTO_SIFT_WATERMARK`); requires no node budget, since budget
+    /// quarantine points depend on diagram sizes and must not move.
+    Auto,
+}
+
+impl SiftMode {
+    /// Stable lowercase machine-readable name: `"off"`, `"rescue"` or
+    /// `"auto"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SiftMode::Off => "off",
+            SiftMode::Rescue => "rescue",
+            SiftMode::Auto => "auto",
+        }
+    }
+
+    /// Inverse of [`SiftMode::as_str`].
+    pub fn parse(s: &str) -> Option<SiftMode> {
+        match s {
+            "off" => Some(SiftMode::Off),
+            "rescue" => Some(SiftMode::Rescue),
+            "auto" => Some(SiftMode::Auto),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SiftMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Options for a verification run.
 ///
 /// Construct with [`VerifyOptions::builder`], [`VerifyOptions::default`] or
@@ -146,10 +197,32 @@ pub struct VerifyOptions {
     /// diagrams are built, so — unlike `backend` — it is part of job
     /// identity.
     pub presift: bool,
+    /// Support width at or below which spectral kernels (map convolution,
+    /// sparse Walsh transforms, the ADD WHT) drop to a flat integer
+    /// butterfly instead of pointer-chasing DD recursions. The dense
+    /// kernels are exact (dyadic coefficients over a common exponent, with
+    /// overflow falling back to the recursion), so results are
+    /// byte-identical at any cut — a pure speed knob, excluded from job
+    /// identity. `0` disables them.
+    pub dense_cut: u32,
+    /// Where greedy variable sifting may run (see [`SiftMode`]). A pure
+    /// speed knob under the determinism contract, excluded from job
+    /// identity.
+    pub sift: SiftMode,
 }
 
 /// Default per-worker prefix-cache budget (64 MiB).
 pub const DEFAULT_CACHE_BUDGET: usize = 64 << 20;
+
+/// Default dense-kernel support cut ([`VerifyOptions::dense_cut`]): 12
+/// variables keeps every flat table at or under 4096 entries (32 KiB of
+/// `i64`s — L1-resident) while covering the small cones that dominate
+/// low-order sweeps.
+pub const DEFAULT_DENSE_CUT: u32 = 12;
+
+/// Minimum unfolded-forest size (distinct nodes over every site function)
+/// at which [`SiftMode::Auto`] pays for a greedy reorder of the sweep.
+const AUTO_SIFT_WATERMARK: usize = 2_048;
 
 impl Default for VerifyOptions {
     fn default() -> Self {
@@ -165,6 +238,8 @@ impl Default for VerifyOptions {
             cache_budget: DEFAULT_CACHE_BUDGET,
             backend: Backend::from_env(),
             presift: false,
+            dense_cut: DEFAULT_DENSE_CUT,
+            sift: SiftMode::Rescue,
         }
     }
 }
@@ -192,6 +267,8 @@ impl VerifyOptions {
             cache_budget: DEFAULT_CACHE_BUDGET,
             backend: Backend::from_env(),
             presift: false,
+            dense_cut: DEFAULT_DENSE_CUT,
+            sift: SiftMode::Rescue,
         }
     }
 
@@ -309,6 +386,18 @@ impl VerifyOptionsBuilder {
     /// Pre-enumeration sifting on/off (see [`VerifyOptions::presift`]).
     pub fn presift(mut self, on: bool) -> Self {
         self.options.presift = on;
+        self
+    }
+
+    /// Dense spectral-kernel support cut (see [`VerifyOptions::dense_cut`]).
+    pub fn dense_cut(mut self, cut: u32) -> Self {
+        self.options.dense_cut = cut;
+        self
+    }
+
+    /// Sifting mode (see [`SiftMode`]).
+    pub fn sift(mut self, mode: SiftMode) -> Self {
+        self.options.sift = mode;
         self
     }
 
@@ -539,9 +628,72 @@ impl Verifier {
             self.varmap.num_vars as u32,
             effective_cache_budget(options),
             options.node_budget,
+            options.dense_cut,
             dd,
         );
-        EnumState { sites, mode, ctx }
+        let sift_screen = self.build_sift_screen(&sites, options);
+        EnumState {
+            sites,
+            mode,
+            ctx,
+            sift_screen,
+        }
+    }
+
+    /// Builds the [`SiftMode::Auto`] screening state, or `None` when the
+    /// mode is off, a node budget is set (quarantine points depend on
+    /// diagram sizes and must not move), the forest is below the
+    /// watermark, or sifting found no meaningfully smaller order. Every
+    /// input to the decision is a pure function of `(netlist, sites,
+    /// options)`, so all workers converge on the same screen.
+    fn build_sift_screen(&self, sites: &[Site], options: &VerifyOptions) -> Option<SiftScreen> {
+        if options.sift != SiftMode::Auto || options.node_budget.is_some() {
+            return None;
+        }
+        let roots: Vec<Bdd> = sites.iter().flat_map(|s| s.funcs.iter().copied()).collect();
+        if walshcheck_dd::reorder::total_size(&self.unfolded.bdds, &roots) < AUTO_SIFT_WATERMARK {
+            return None;
+        }
+        let sifted = walshcheck_dd::reorder::sift(&self.unfolded.bdds, &roots);
+        // Screening in an equally-large permuted space is pure overhead:
+        // require at least a 10% reduction before keeping the order.
+        if sifted.after * 10 >= sifted.before * 9 {
+            return None;
+        }
+        let vm = self.varmap.permuted(&sifted.order);
+        let permute = |m: Mask| {
+            let mut out = Mask::ZERO;
+            for i in m.iter() {
+                out.0 |= 1 << sifted.order[i].0;
+            }
+            out
+        };
+        let mut moved = sifted.roots.iter().copied();
+        let local: Vec<Site> = sites
+            .iter()
+            .map(|s| Site {
+                probe: s.probe.clone(),
+                funcs: moved.by_ref().take(s.funcs.len()).collect(),
+                support: permute(s.support),
+            })
+            .collect();
+        // The screen's manager is private by construction, so its context
+        // is too — even on shared-backend runs, where the canonical context
+        // above it interns into the run-wide store.
+        let ctx = EngineCtx::new(
+            options.engine,
+            self.varmap.num_vars as u32,
+            effective_cache_budget(options),
+            None,
+            options.dense_cut,
+            &Private,
+        );
+        Some(SiftScreen {
+            manager: sifted.manager,
+            sites: local,
+            vm,
+            ctx,
+        })
     }
 
     /// Checks one combination in a cold engine context built from
@@ -558,6 +710,9 @@ impl Verifier {
         stats: &mut CheckStats,
     ) -> ComboStep {
         let mut state = self.begin_with_sites(sites.to_vec(), property, options, &Private);
+        // Rescue attempts re-check a single combination: re-sifting the
+        // whole forest to screen one tuple would cost more than the check.
+        state.sift_screen = None;
         let step = self.check_indices(&mut state, property, false, idxs, stats);
         state.finish(stats);
         step
@@ -614,6 +769,7 @@ impl Verifier {
             self.varmap.num_vars as u32,
             effective_cache_budget(options),
             options.node_budget,
+            options.dense_cut,
             &Private,
         );
         ctx.begin_tuple(&refs);
@@ -669,6 +825,28 @@ impl Verifier {
             if region_prunable(&region, &self.varmap, support) {
                 stats.pruned += 1;
                 return ComboStep::Pruned;
+            }
+        }
+
+        // In-sweep sifted screening: run the check in the sifted order
+        // first. Clean carries over — violation existence is invariant
+        // under variable reorder — while a violation falls through to the
+        // canonical original-order check below, so the reported witness is
+        // byte-identical to an unscreened run's.
+        if let Some(screen) = &mut state.sift_screen {
+            let s_combo: Vec<&Site> = idxs.iter().map(|&i| &screen.sites[i]).collect();
+            let s_region = region_for(property, &s_combo, s_combo.len(), internal);
+            let hit = screen.ctx.check_combination(
+                &screen.manager,
+                &screen.vm,
+                &s_combo,
+                idxs,
+                &s_region,
+                state.mode,
+                stats,
+            );
+            if hit.is_none() {
+                return ComboStep::Clean;
             }
         }
 
@@ -812,12 +990,31 @@ pub(crate) struct EnumState {
     pub(crate) sites: Vec<Site>,
     pub(crate) mode: CheckMode,
     ctx: EngineCtx,
+    /// In-sweep sifted screening ([`SiftMode::Auto`]); `None` in every
+    /// other mode, under a node budget, or when the forest is too small to
+    /// pay for a reorder.
+    sift_screen: Option<SiftScreen>,
+}
+
+/// The sweep's sites re-expressed in a greedily sifted variable order,
+/// with a dedicated engine context ([`SiftMode::Auto`]). Combinations are
+/// checked here first; clean results carry over (violation existence is
+/// invariant under variable reorder), and violations are re-derived in the
+/// original order, so witnesses stay byte-identical to an unscreened run.
+struct SiftScreen {
+    manager: BddManager,
+    sites: Vec<Site>,
+    vm: VarMap,
+    ctx: EngineCtx,
 }
 
 impl EnumState {
     /// Bounds decision-diagram arena growth (see [`EngineCtx::maybe_collect`]).
     pub(crate) fn maybe_collect(&mut self) {
         self.ctx.maybe_collect();
+        if let Some(screen) = &mut self.sift_screen {
+            screen.ctx.maybe_collect();
+        }
     }
 
     /// Folds the engine's prefix-cache counters into `stats`. Call exactly
@@ -826,6 +1023,9 @@ impl EnumState {
     /// context starts its counters at zero, so the epochs sum correctly).
     pub(crate) fn finish(&self, stats: &mut CheckStats) {
         self.ctx.fold_cache_stats(stats);
+        if let Some(screen) = &self.sift_screen {
+            screen.ctx.fold_cache_stats(stats);
+        }
     }
 }
 
@@ -926,6 +1126,7 @@ impl Verifier {
             self.varmap.num_vars as u32,
             effective_cache_budget(options),
             None,
+            options.dense_cut,
             &Private,
         );
         let mut stats = CheckStats::default();
@@ -1145,6 +1346,14 @@ enum SignPlan {
 struct EngineCtx {
     kind: EngineKind,
     walsh: SparseWalshCache,
+    /// Node-keyed partial-WHT memo shared across FUJITA rows; cleared
+    /// whenever [`EngineCtx::maybe_collect`] rebuilds `adds` (its keys are
+    /// `adds` handles).
+    wht_memo: WhtMemo,
+    /// Dense spectral-kernel cut threaded into the map convolutions (see
+    /// [`VerifyOptions::dense_cut`]; the DD-side kernels read the same cut
+    /// from `walsh` / `wht_memo`).
+    dense_cut: u32,
     map_base: FastMap<Bdd, Rc<MapSpectrum>>,
     lil_base: FastMap<Bdd, Rc<LilSpectrum>>,
     sign_base: FastMap<Bdd, Add>,
@@ -1175,6 +1384,7 @@ impl EngineCtx {
         num_vars: u32,
         cache_budget: usize,
         node_budget: Option<usize>,
+        dense_cut: u32,
         dd: &dyn DdBackend,
     ) -> Self {
         let cfg = DdConfig {
@@ -1186,7 +1396,12 @@ impl EngineCtx {
         EngineCtx {
             kind,
             shared: dd.kind() == Backend::Shared,
-            walsh: SparseWalshCache::new(),
+            // The base-spectrum memos predate the prefix caches and stay on
+            // even with caching disabled (cache_budget 0 ⇒ unbounded, the
+            // pre-PR-10 behavior); a configured budget bounds them too.
+            walsh: SparseWalshCache::with_config(cache_budget, dense_cut),
+            wht_memo: WhtMemo::with_config(cache_budget, dense_cut),
+            dense_cut,
             map_base: FastMap::default(),
             lil_base: FastMap::default(),
             sign_base: FastMap::default(),
@@ -1253,6 +1468,8 @@ impl EngineCtx {
             self.t_cache.clear();
             self.sign_base.clear();
             self.add_prefix.clear();
+            // The WHT memo is keyed by handles into the old `adds` arena.
+            self.wht_memo.clear();
         }
     }
 
@@ -1268,6 +1485,12 @@ impl EngineCtx {
             stats.cache_misses += s.misses;
             stats.cache_evictions += s.evictions;
             stats.cache_peak_bytes += s.peak_bytes;
+        }
+        for s in [self.walsh.stats(), self.wht_memo.stats()] {
+            stats.dd_cache_hits += s.hits;
+            stats.dd_cache_misses += s.misses;
+            stats.dd_cache_evictions += s.evictions;
+            stats.dd_cache_peak_bytes += s.peak_bytes as u64;
         }
     }
 
@@ -1330,10 +1553,11 @@ impl EngineCtx {
     ) -> Option<(Mask, String, Option<Dyadic>)> {
         let joint = mode == CheckMode::Joint;
         let plan = self.row_plan::<S>(bdds, combo, idxs, joint, stats);
+        let dense_cut = self.dense_cut;
         match mode {
             CheckMode::RowWise => {
                 let mut hit = None;
-                let _ = drive_rows(&plan, false, stats, &mut |spec, stats| {
+                let _ = drive_rows(&plan, false, dense_cut, stats, &mut |spec, stats| {
                     stats.rows_checked += 1;
                     let t = Instant::now();
                     let found = spec.find(&|m, _| region.matches(vm, m));
@@ -1348,7 +1572,7 @@ impl EngineCtx {
             }
             CheckMode::Joint => {
                 let mut union = Mask::ZERO;
-                let _ = drive_rows(&plan, true, stats, &mut |spec, stats| {
+                let _ = drive_rows(&plan, true, dense_cut, stats, &mut |spec, stats| {
                     stats.rows_checked += 1;
                     let t = Instant::now();
                     union = union | spec.support_union(&|m| vm.rho_is_zero(m));
@@ -1440,7 +1664,7 @@ impl EngineCtx {
             } else {
                 let prev = out[rest - 1].as_ref().expect("site rows are all present");
                 let t = Instant::now();
-                let conv = prev.convolve(&base);
+                let conv = prev.convolve_opt(&base, self.dense_cut);
                 stats.convolution_time += t.elapsed();
                 stats.convolutions += 1;
                 Rc::new(conv)
@@ -1478,7 +1702,13 @@ impl EngineCtx {
             }
         }
         while level < depth {
-            let next = Rc::new(extend_rows(&rows, &groups[level], joint, stats));
+            let next = Rc::new(extend_rows(
+                &rows,
+                &groups[level],
+                joint,
+                self.dense_cut,
+                stats,
+            ));
             level += 1;
             let bytes = row_list_bytes(&next);
             S::prefix_cache(self).insert(&idxs[..level], joint, Rc::clone(&next), bytes);
@@ -1519,17 +1749,53 @@ impl EngineCtx {
         stats: &mut CheckStats,
     ) -> Option<(Mask, String, Option<Dyadic>)> {
         let plan = self.row_plan::<MapSpectrum>(bdds, combo, idxs, false, stats);
-        let t_matrix = self.t_matrix(region, vm);
         let mut hit = None;
         let t_bdds = &mut self.t_bdds;
+        let t_cache = &mut self.t_cache;
+        // Interning-free screening: the existential query ∃α. T(α,ρ) ∧
+        // W(α,ρ) ≠ 0 is first resolved by a direct mask scan of the key
+        // set — the same `region.matches` predicate the T-matrix BDD was
+        // built from — without creating a single node. It must not run
+        // under a node budget (skipping the interning would move
+        // quarantine points), and clean rows (the overwhelming majority on
+        // secure gadgets) return straight from it; only a hit falls
+        // through to the exact build-and-intersect below, whose witness —
+        // `one_sat` over the BDD product — is byte-identical to an
+        // unscreened run's.
+        let screen_rows = self.node_budget.is_none();
+        // The T-matrix BDD is only consulted past the screen, so its
+        // construction is deferred to the first screen hit: secure gadgets
+        // (every shipped benchmark) never pay for it. With the screen off
+        // the old eager build is kept — every row intersects against it.
+        let mut t_matrix = if screen_rows {
+            None
+        } else {
+            Some(match t_cache.get(region) {
+                Some(&t) => t,
+                None => {
+                    let t = region.to_bdd(vm, t_bdds);
+                    t_cache.insert(region.clone(), t);
+                    t
+                }
+            })
+        };
+        let dense_cut = self.dense_cut;
         let mut keys: Vec<u128> = Vec::new();
-        let _ = drive_rows(&plan, false, stats, &mut |spec, stats| {
+        let _ = drive_rows(&plan, false, dense_cut, stats, &mut |spec, stats| {
             stats.rows_checked += 1;
             let t = Instant::now();
-            // Resolve the existential query ∃α. T(α,ρ) ∧ W(α,ρ) ≠ 0 with
-            // diagram machinery: the spectrum's non-zero support becomes a
-            // BDD straight from the map keys (no intermediate ADD — the
-            // witness coefficient comes back out of the map).
+            if screen_rows
+                && !spec
+                    .entries()
+                    .iter()
+                    .any(|(&k, c)| !c.is_zero() && region.matches(vm, Mask(k)))
+            {
+                stats.verification_time += t.elapsed();
+                return ControlFlow::Continue(());
+            }
+            // The spectrum's non-zero support becomes a BDD straight from
+            // the map keys (no intermediate ADD — the witness coefficient
+            // comes back out of the map).
             keys.clear();
             keys.extend(
                 spec.entries()
@@ -1537,6 +1803,14 @@ impl EngineCtx {
                     .filter(|(_, c)| !c.is_zero())
                     .map(|(&k, _)| k),
             );
+            let t_matrix = *t_matrix.get_or_insert_with(|| match t_cache.get(region) {
+                Some(&t) => t,
+                None => {
+                    let t = region.to_bdd(vm, t_bdds);
+                    t_cache.insert(region.clone(), t);
+                    t
+                }
+            });
             let nonzero = t_bdds.from_keys(&mut keys);
             let product = t_bdds.and(nonzero, t_matrix);
             stats.verification_time += t.elapsed();
@@ -1572,6 +1846,7 @@ impl EngineCtx {
         let t_matrix = self.t_matrix(region, vm);
         let adds = &mut self.adds;
         let t_bdds = &mut self.t_bdds;
+        let wht_memo = &mut self.wht_memo;
 
         match mode {
             CheckMode::RowWise => {
@@ -1579,7 +1854,7 @@ impl EngineCtx {
                 let _ = drive_signs(adds, &plan, false, stats, &mut |adds, sign, stats| {
                     stats.rows_checked += 1;
                     let t = Instant::now();
-                    let spec = wht(adds, sign);
+                    let spec = wht_with(adds, sign, wht_memo);
                     stats.convolution_time += t.elapsed();
                     stats.convolutions += 1;
                     let t = Instant::now();
@@ -1601,7 +1876,7 @@ impl EngineCtx {
                 let _ = drive_signs(adds, &plan, true, stats, &mut |adds, sign, stats| {
                     stats.rows_checked += 1;
                     let t = Instant::now();
-                    let spec = wht(adds, sign);
+                    let spec = wht_with(adds, sign, wht_memo);
                     stats.convolution_time += t.elapsed();
                     stats.convolutions += 1;
                     let t = Instant::now();
@@ -1828,6 +2103,7 @@ fn extend_rows<S: Spectrum>(
     rows: &RowList<S>,
     group: &RowList<S>,
     joint: bool,
+    dense_cut: u32,
     stats: &mut CheckStats,
 ) -> RowList<S> {
     let mut out: RowList<S> = Vec::with_capacity(rows.len() * (group.len() + joint as usize));
@@ -1840,7 +2116,7 @@ fn extend_rows<S: Spectrum>(
                 None => out.push(Some(Rc::clone(c))),
                 Some(prev) => {
                     let t = Instant::now();
-                    let conv = prev.convolve(c);
+                    let conv = prev.convolve_opt(c, dense_cut);
                     stats.convolution_time += t.elapsed();
                     stats.convolutions += 1;
                     out.push(Some(Rc::new(conv)));
@@ -1857,12 +2133,13 @@ fn extend_rows<S: Spectrum>(
 fn drive_rows<S: Spectrum>(
     plan: &RowPlan<S>,
     joint: bool,
+    dense_cut: u32,
     stats: &mut CheckStats,
     leaf: &mut dyn FnMut(&S, &mut CheckStats) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
     match plan {
-        RowPlan::Dfs(groups) => product_rows(groups, joint, stats, leaf),
-        RowPlan::Prefix(rows, group) => stream_rows(rows, group, joint, stats, leaf),
+        RowPlan::Dfs(groups) => product_rows(groups, joint, dense_cut, stats, leaf),
+        RowPlan::Prefix(rows, group) => stream_rows(rows, group, joint, dense_cut, stats, leaf),
     }
 }
 
@@ -1875,6 +2152,7 @@ fn stream_rows<S: Spectrum>(
     rows: &RowList<S>,
     group: &RowList<S>,
     joint: bool,
+    dense_cut: u32,
     stats: &mut CheckStats,
     leaf: &mut dyn FnMut(&S, &mut CheckStats) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
@@ -1889,7 +2167,7 @@ fn stream_rows<S: Spectrum>(
                 None => leaf(c, stats)?,
                 Some(prev) => {
                     let t = Instant::now();
-                    let conv = prev.convolve(c);
+                    let conv = prev.convolve_opt(c, dense_cut);
                     stats.convolution_time += t.elapsed();
                     stats.convolutions += 1;
                     leaf(&conv, stats)?;
@@ -1955,6 +2233,7 @@ fn stream_signs(
 fn product_rows<S: Spectrum>(
     groups: &[Vec<Rc<S>>],
     include_empty: bool,
+    dense_cut: u32,
     stats: &mut CheckStats,
     leaf: &mut dyn FnMut(&S, &mut CheckStats) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
@@ -1963,6 +2242,7 @@ fn product_rows<S: Spectrum>(
         idx: usize,
         acc: Option<&S>,
         include_empty: bool,
+        dense_cut: u32,
         stats: &mut CheckStats,
         leaf: &mut dyn FnMut(&S, &mut CheckStats) -> ControlFlow<()>,
     ) -> ControlFlow<()> {
@@ -1973,23 +2253,39 @@ fn product_rows<S: Spectrum>(
             };
         }
         if include_empty {
-            rec(groups, idx + 1, acc, include_empty, stats, leaf)?;
+            rec(groups, idx + 1, acc, include_empty, dense_cut, stats, leaf)?;
         }
         for choice in &groups[idx] {
             match acc {
-                None => rec(groups, idx + 1, Some(choice), include_empty, stats, leaf)?,
+                None => rec(
+                    groups,
+                    idx + 1,
+                    Some(choice),
+                    include_empty,
+                    dense_cut,
+                    stats,
+                    leaf,
+                )?,
                 Some(prev) => {
                     let t = Instant::now();
-                    let conv = prev.convolve(choice);
+                    let conv = prev.convolve_opt(choice, dense_cut);
                     stats.convolution_time += t.elapsed();
                     stats.convolutions += 1;
-                    rec(groups, idx + 1, Some(&conv), include_empty, stats, leaf)?;
+                    rec(
+                        groups,
+                        idx + 1,
+                        Some(&conv),
+                        include_empty,
+                        dense_cut,
+                        stats,
+                        leaf,
+                    )?;
                 }
             }
         }
         ControlFlow::Continue(())
     }
-    rec(groups, 0, None, include_empty, stats, leaf)
+    rec(groups, 0, None, include_empty, dense_cut, stats, leaf)
 }
 
 /// Leaf callback of [`product_signs`]: receives the manager, the

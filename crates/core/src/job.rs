@@ -121,6 +121,14 @@ impl JobSpec {
         // are byte-identical across backends (DESIGN.md §14), so results
         // are shared across submissions that differ only here.
         obj.insert("backend".into(), Json::str(self.options.backend.as_str()));
+        // Same for the PR-10 speed knobs: the dense spectral kernels are
+        // exact (DESIGN.md §17) and auto-sift screening re-derives every
+        // violation in the original order, so neither can change a result.
+        obj.insert(
+            "dense_cut".into(),
+            Json::Int(i64::from(self.options.dense_cut)),
+        );
+        obj.insert("sift".into(), Json::str(self.options.sift.as_str()));
         // The daemon deadline is likewise a robustness knob: interrupted
         // attempts resume byte-identically, so the deadline never changes
         // what the job computes — only how patiently the daemon waits.
@@ -266,6 +274,17 @@ impl JobSpec {
         }
         if let Some(v) = doc.get("presift") {
             o.presift = v.as_bool().ok_or_else(|| bad("presift"))?;
+        }
+        if let Some(v) = doc.get("dense_cut") {
+            o.dense_cut = v
+                .as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| bad("dense_cut"))?;
+        }
+        if let Some(v) = doc.get("sift") {
+            let name = v.as_str().ok_or_else(|| bad("sift must be a string"))?;
+            o.sift = crate::engine::SiftMode::parse(name)
+                .ok_or_else(|| bad(&format!("unknown sift mode {name:?}")))?;
         }
         if let Some(v) = doc.get("backend") {
             let name = v.as_str().ok_or_else(|| bad("backend must be a string"))?;

@@ -73,7 +73,7 @@ pub mod uniformity;
 pub use checkpoint::CheckpointConfig;
 #[doc(hidden)]
 pub use engine::check_parallel_modulo;
-pub use engine::{EngineKind, Verifier, VerifyOptions, VerifyOptionsBuilder};
+pub use engine::{EngineKind, SiftMode, Verifier, VerifyOptions, VerifyOptionsBuilder};
 pub use error::Error;
 pub use iofs::{IoFs, RealFs, TracingFs};
 pub use job::{netlist_sha256, Job, JobSpec};

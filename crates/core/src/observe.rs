@@ -119,6 +119,15 @@ pub trait ProgressObserver: Send + Sync {
         let _ = (hits, misses, evictions, peak_bytes);
     }
 
+    /// Merged decision-diagram-layer memo counters (Walsh sparse cache +
+    /// partial-WHT memo) of all workers, reported once per run just before
+    /// [`ProgressObserver::run_finished`] (all zero when the engines never
+    /// touched the spectral memos). Telemetry only — these counters never
+    /// enter the canonical report artifact.
+    fn dd_cache_stats(&self, hits: u64, misses: u64, evictions: u64, peak_bytes: u64) {
+        let _ = (hits, misses, evictions, peak_bytes);
+    }
+
     /// The post-sweep rescue pass is starting on `quarantined` combinations
     /// (fires only when rescue is enabled and there is something to rescue).
     fn rescue_started(&self, quarantined: usize) {
@@ -227,6 +236,17 @@ pub enum ProgressEvent {
         /// Entries computed and inserted.
         misses: u64,
         /// Entries dropped (budget, oversized, or invalidation).
+        evictions: u64,
+        /// Summed per-worker peak footprint estimate, in bytes.
+        peak_bytes: u64,
+    },
+    /// See [`ProgressObserver::dd_cache_stats`].
+    DdCacheStats {
+        /// Spectral-memo lookups served from a memo.
+        hits: u64,
+        /// Lookups that missed and computed fresh.
+        misses: u64,
+        /// Entries dropped by budget flushes or LRU eviction.
         evictions: u64,
         /// Summed per-worker peak footprint estimate, in bytes.
         peak_bytes: u64,
@@ -364,6 +384,15 @@ impl ProgressObserver for ChannelObserver {
         });
     }
 
+    fn dd_cache_stats(&self, hits: u64, misses: u64, evictions: u64, peak_bytes: u64) {
+        self.send(ProgressEvent::DdCacheStats {
+            hits,
+            misses,
+            evictions,
+            peak_bytes,
+        });
+    }
+
     fn rescue_started(&self, quarantined: usize) {
         self.send(ProgressEvent::RescueStarted { quarantined });
     }
@@ -432,9 +461,10 @@ mod tests {
         });
         obs.phase_timing(EnginePhase::Enumerate, Duration::from_millis(1));
         obs.cache_stats(8, 4, 1, 4096);
+        obs.dd_cache_stats(16, 2, 3, 8192);
         obs.run_finished(&CheckStats::default());
         let events: Vec<ProgressEvent> = rx.try_iter().collect();
-        assert_eq!(events.len(), 14);
+        assert_eq!(events.len(), 15);
         assert_eq!(events[7], ProgressEvent::RescueStarted { quarantined: 1 });
         assert!(matches!(
             events[8],
@@ -491,7 +521,16 @@ mod tests {
                 peak_bytes: 4096
             }
         );
-        assert!(matches!(events[13], ProgressEvent::RunFinished { .. }));
+        assert_eq!(
+            events[13],
+            ProgressEvent::DdCacheStats {
+                hits: 16,
+                misses: 2,
+                evictions: 3,
+                peak_bytes: 8192
+            }
+        );
+        assert!(matches!(events[14], ProgressEvent::RunFinished { .. }));
     }
 
     #[test]

@@ -287,6 +287,17 @@ pub struct CheckStats {
     /// independently, so the merged value is the sum of per-worker peaks
     /// (an upper bound on the simultaneous footprint).
     pub cache_peak_bytes: u64,
+    /// Probes of the dd-layer spectral memos (the sparse Walsh cache and
+    /// the partial-WHT memo) answered from the memo.
+    pub dd_cache_hits: u64,
+    /// Dd-layer spectral-memo probes that had to compute the transform.
+    pub dd_cache_misses: u64,
+    /// Dd-layer spectral-memo entries dropped to stay inside the byte
+    /// budget.
+    pub dd_cache_evictions: u64,
+    /// Peak estimated dd-layer spectral-memo footprint in bytes (summed
+    /// across workers, like `cache_peak_bytes`).
+    pub dd_cache_peak_bytes: u64,
     /// Combinations quarantined instead of checked (budget exhaustion or an
     /// isolated panic); the quarantined tuples themselves are listed in
     /// [`Verdict::skipped`].
@@ -326,6 +337,10 @@ impl CheckStats {
         self.cache_misses += other.cache_misses;
         self.cache_evictions += other.cache_evictions;
         self.cache_peak_bytes += other.cache_peak_bytes;
+        self.dd_cache_hits += other.dd_cache_hits;
+        self.dd_cache_misses += other.dd_cache_misses;
+        self.dd_cache_evictions += other.dd_cache_evictions;
+        self.dd_cache_peak_bytes += other.dd_cache_peak_bytes;
         self.skipped += other.skipped;
         self.worker_failures += other.worker_failures;
         self.convolution_time += other.convolution_time;

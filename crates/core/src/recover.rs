@@ -34,7 +34,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use crate::engine::{ComboStep, EngineKind, Verifier, VerifyOptions};
+use crate::engine::{ComboStep, EngineKind, SiftMode, Verifier, VerifyOptions};
 use crate::observe::ProgressObserver;
 use crate::property::{CheckStats, IncompleteReason, ProbeRef, Property};
 use crate::sites::Site;
@@ -262,12 +262,16 @@ fn ladder(options: &VerifyOptions, config: &RescueConfig) -> Vec<AttemptPlan> {
     }
     // Rung 2: sifted variable order at the cap. Reordering attacks the
     // size blow-up itself, so it precedes changing the algorithm.
-    plans.push(AttemptPlan {
-        rung: RescueRung::Sift,
-        engine: options.engine,
-        node_budget: Some(cap),
-        sift: true,
-    });
+    // `--sift off` removes the rung (the ladder stays deterministic: the
+    // plan is still a pure function of the options).
+    if options.sift != SiftMode::Off {
+        plans.push(AttemptPlan {
+            rung: RescueRung::Sift,
+            engine: options.engine,
+            node_budget: Some(cap),
+            sift: true,
+        });
+    }
     // Rung 3: engine fallback, memory-hungry to memory-lean.
     for engine in [EngineKind::Mapi, EngineKind::Map, EngineKind::Lil] {
         if engine != options.engine {

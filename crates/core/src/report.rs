@@ -73,6 +73,8 @@ impl CheckStats {
                 "{{\"combinations\":{},\"pruned\":{},\"convolutions\":{},",
                 "\"rows_checked\":{},\"cache_hits\":{},\"cache_misses\":{},",
                 "\"cache_evictions\":{},\"cache_peak_bytes\":{},",
+                "\"dd_cache_hits\":{},\"dd_cache_misses\":{},",
+                "\"dd_cache_evictions\":{},\"dd_cache_peak_bytes\":{},",
                 "\"skipped\":{},\"worker_failures\":{},",
                 "\"convolution_seconds\":{},",
                 "\"verification_seconds\":{},\"total_seconds\":{},\"timed_out\":{},",
@@ -86,6 +88,10 @@ impl CheckStats {
             self.cache_misses,
             self.cache_evictions,
             self.cache_peak_bytes,
+            self.dd_cache_hits,
+            self.dd_cache_misses,
+            self.dd_cache_evictions,
+            self.dd_cache_peak_bytes,
             self.skipped,
             self.worker_failures,
             seconds(self.convolution_time),
@@ -458,7 +464,9 @@ pub fn run_report_json(
             "\"report_hash\":\"{}\",",
             "\"engine\":\"{}\",\"mode\":\"{}\",\"threads\":{},\"backend\":\"{}\",",
             "\"cache\":{{\"enabled\":{},\"budget_bytes\":{},\"hits\":{},",
-            "\"misses\":{},\"evictions\":{},\"peak_bytes\":{}}},",
+            "\"misses\":{},\"evictions\":{},\"peak_bytes\":{},",
+            "\"dd\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
+            "\"peak_bytes\":{}}}}},",
             "\"property\":\"{}\",\"secure\":{},\"outcome\":\"{}\",",
             "\"degradation\":{},\"recovery\":{},\"witness\":{},",
             "\"stats\":{},\"phases\":{{{}}}}}"
@@ -477,6 +485,10 @@ pub fn run_report_json(
         stats.cache_misses,
         stats.cache_evictions,
         stats.cache_peak_bytes,
+        stats.dd_cache_hits,
+        stats.dd_cache_misses,
+        stats.dd_cache_evictions,
+        stats.dd_cache_peak_bytes,
         json_escape(&verdict.property.to_string()),
         verdict.secure,
         verdict.outcome.as_str(),

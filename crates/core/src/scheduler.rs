@@ -762,6 +762,12 @@ pub(crate) fn run(
             stats.cache_evictions,
             stats.cache_peak_bytes,
         );
+        obs.dd_cache_stats(
+            stats.dd_cache_hits,
+            stats.dd_cache_misses,
+            stats.dd_cache_evictions,
+            stats.dd_cache_peak_bytes,
+        );
         obs.run_finished(&stats);
     }
 

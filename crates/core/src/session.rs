@@ -39,7 +39,7 @@ use walshcheck_circuit::glitch::ProbeModel;
 use walshcheck_circuit::netlist::Netlist;
 use walshcheck_dd::backend::Backend;
 
-use crate::engine::{EngineKind, Verifier, VerifyOptions};
+use crate::engine::{EngineKind, SiftMode, Verifier, VerifyOptions};
 use crate::error::Error;
 use crate::job::{Job, JobSpec};
 use crate::observe::ProgressObserver;
@@ -178,6 +178,30 @@ impl Session {
     #[must_use]
     pub fn presift(mut self, on: bool) -> Self {
         self.job.spec_mut().options.presift = on;
+        self
+    }
+
+    /// Support width at or below which the spectral kernels (map
+    /// convolution, sparse Walsh transforms, the ADD WHT) drop to a flat
+    /// integer butterfly (`0` disables; default
+    /// [`crate::engine::DEFAULT_DENSE_CUT`]). The dense kernels are exact,
+    /// so verdicts, witnesses and report artifacts are byte-identical at
+    /// any cut — a pure speed knob, excluded from job identity.
+    #[must_use]
+    pub fn dense_cut(mut self, cut: u32) -> Self {
+        self.job.spec_mut().options.dense_cut = cut;
+        self
+    }
+
+    /// Where greedy variable sifting may run (default
+    /// [`SiftMode::Rescue`]): `Off` removes the rescue ladder's sift rung,
+    /// `Auto` additionally screens sweep combinations in a sifted order
+    /// when the circuit is large enough to pay for the reorder, re-deriving
+    /// any violation in the original order. All three modes produce
+    /// byte-identical artifacts; the knob is excluded from job identity.
+    #[must_use]
+    pub fn sift(mut self, mode: SiftMode) -> Self {
+        self.job.spec_mut().options.sift = mode;
         self
     }
 

@@ -342,7 +342,9 @@ impl Store {
         let n = self.event_seq.fetch_add(1, Ordering::Relaxed) + 1;
         match self.fsync_events {
             FsyncEvents::Always => self.fs.sync_file(&path),
-            FsyncEvents::Interval if n.is_multiple_of(FsyncEvents::INTERVAL) => self.fs.sync_file(&path),
+            FsyncEvents::Interval if n.is_multiple_of(FsyncEvents::INTERVAL) => {
+                self.fs.sync_file(&path)
+            }
             _ => Ok(()),
         }
     }

@@ -49,6 +49,11 @@ use crate::var::{VarId, VarSet};
 pub struct Add(u32);
 
 const TERM_BIT: u32 = 1 << 31;
+
+/// First apply-cache op tag reserved for the partial-WHT L2 memo
+/// (`WHT_OP_BASE + level`). User-visible [`AddManager::apply2`] tokens are
+/// `u8`, so tags at 256 and above can never collide with an operator.
+const WHT_OP_BASE: u32 = 1 << 8;
 const TERMINAL_VAR: u32 = u32::MAX;
 
 impl Add {
@@ -369,6 +374,22 @@ impl<T: Clone + Eq + Hash + Debug> AddManager<T> {
                 }
             }
         }
+    }
+
+    /// Probes the apply-cache-backed L2 memo for the normalized partial
+    /// WHT of `f` from `level` down (see `spectral::wht_with`). The entry
+    /// lives in the ordinary binary apply cache — shared run-wide on the
+    /// shared backend, so a transform one worker computed is visible to
+    /// all — under op tags above the `u8` token space, which keeps it
+    /// disjoint from every [`AddManager::apply2`] operator.
+    pub fn wht_l2_get(&self, level: u32, f: Add) -> Option<Add> {
+        self.bin_get(WHT_OP_BASE + level, f.0, 0).map(Add)
+    }
+
+    /// Records a normalized partial-WHT result in the L2 memo; see
+    /// [`AddManager::wht_l2_get`].
+    pub fn wht_l2_put(&mut self, level: u32, f: Add, r: Add) {
+        self.bin_put(WHT_OP_BASE + level, f.0, 0, r.0);
     }
 
     #[inline]

@@ -10,6 +10,17 @@
 //! [`crate::backend::Shared`] ([`crate::shared`], DESIGN.md §14); the API and
 //! all results are identical either way.
 //!
+//! Handles carry a **complement edge** (DESIGN.md §17): the top bit of a
+//! [`Bdd`] marks logical negation of the node it points at, so `not` is a
+//! bit flip, a function and its complement share every node, and the two
+//! terminals collapse to a single arena node (`TRUE`; `FALSE = ¬TRUE`).
+//! Canonicity is kept by the CUDD rule that a stored node's *hi* edge is
+//! always regular (uncomplemented): `mk` normalizes `(v, l, ¬h)` to
+//! `¬(v, ¬l, h)`. All traversal goes through the logical node view
+//! ([`BddManager::node`]), which resolves the complement bit into the
+//! cofactors, so algorithms observe exactly the semantics of the plain
+//! representation — including witness enumeration order.
+//!
 //! The variable order is static (variable `0` is tested first). This suits the
 //! probing-security workload, where the order is fixed by the circuit's input
 //! declaration and never reordered mid-analysis (the sweep-time exception is
@@ -34,7 +45,7 @@ use std::sync::Arc;
 use crate::budget::NodeBudget;
 use crate::fasthash::{hash_pair, FastMap, FastSet};
 use crate::shared::{MkMemo, SharedBddStore};
-use crate::table::{BinaryApplyCache, Subtable, TernaryApplyCache, UnaryApplyCache};
+use crate::table::{BinaryApplyCache, Subtable, TernaryApplyCache};
 use crate::var::{VarId, VarSet};
 
 /// Handle to a BDD node inside a [`BddManager`].
@@ -45,15 +56,32 @@ use crate::var::{VarId, VarSet};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Bdd(pub(crate) u32);
 
-impl Bdd {
-    /// The constant false function.
-    pub const FALSE: Bdd = Bdd(0);
-    /// The constant true function.
-    pub const TRUE: Bdd = Bdd(1);
+/// Complement bit: a handle with this bit set denotes the negation of the
+/// regular handle obtained by clearing it.
+const COMPL: u32 = 1 << 31;
 
-    /// Whether this handle is one of the two terminal nodes.
+impl Bdd {
+    /// The constant true function: the single terminal arena node.
+    pub const TRUE: Bdd = Bdd(1);
+    /// The constant false function: the complemented terminal.
+    pub const FALSE: Bdd = Bdd(1 | COMPL);
+
+    /// Whether this handle is one of the two constant functions.
     pub fn is_const(self) -> bool {
-        self.0 <= 1
+        self.0 & !COMPL == 1
+    }
+
+    /// The handle with the complement bit cleared (the function or its
+    /// negation, whichever is stored regular).
+    #[inline]
+    pub(crate) fn regular(self) -> Bdd {
+        Bdd(self.0 & !COMPL)
+    }
+
+    /// Whether the complement bit is set.
+    #[inline]
+    fn is_compl(self) -> bool {
+        self.0 & COMPL != 0
     }
 }
 
@@ -67,10 +95,12 @@ struct Node {
     hi: Bdd,
 }
 
+/// With complement edges only two binary kernels are needed: `or` is
+/// De Morgan over `and` (a pair of free bit flips), which concentrates all
+/// conjunction/disjunction traffic on a single cache tag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum BoolOp {
     And,
-    Or,
     Xor,
 }
 
@@ -80,21 +110,16 @@ impl BoolOp {
     fn tag(self) -> u32 {
         match self {
             BoolOp::And => 1,
-            BoolOp::Or => 2,
             BoolOp::Xor => 3,
         }
     }
 }
-
-/// Tag of logical negation in the unary apply cache.
-const NOT_TAG: u32 = 4;
 
 /// Default slot counts for the operation caches. The binary cache carries
 /// almost all of the engines' traffic (`and`/`or`/`xor` during transition
 /// matrix builds), so it gets the lion's share.
 const BINARY_CACHE_SLOTS: usize = 1 << 16;
 const TERNARY_CACHE_SLOTS: usize = 1 << 15;
-const UNARY_CACHE_SLOTS: usize = 1 << 14;
 
 /// The node store a manager works against: owned outright
 /// ([`crate::backend::Private`]) or a handle on the run-wide concurrent
@@ -113,7 +138,6 @@ enum BddStore {
         /// while L1 misses fall through to the shared L2, which is what
         /// carries cross-manager reuse.
         apply_l1: BinaryApplyCache,
-        not_l1: UnaryApplyCache,
         ite_l1: TernaryApplyCache,
         /// Read-through copy of the shared arena's nodes, indexed by id.
         /// Arena slots are written exactly once, so a mirrored `(var, lo,
@@ -125,8 +149,10 @@ enum BddStore {
     },
 }
 
-/// `lo` sentinel of an unfilled mirror slot: real nodes always store a
-/// valid node id there (terminals store 0/1), never `u32::MAX`.
+/// `lo` sentinel of an unfilled mirror slot. A stored `lo` edge is a node
+/// id with an optional complement bit; `mk` refuses ids at or above
+/// `COMPL − 1`, so `u32::MAX` (= the complement of id `COMPL − 1`) can
+/// never be a real edge.
 const MIRROR_VACANT: u32 = u32::MAX;
 
 /// The single-owner store: the PR 5 kernel structures, unchanged.
@@ -137,7 +163,6 @@ struct PrivateBddStore {
     /// [`BddManager::add_var`].
     unique: Vec<Subtable>,
     apply_cache: BinaryApplyCache,
-    not_cache: UnaryApplyCache,
     ite_cache: TernaryApplyCache,
 }
 
@@ -168,11 +193,14 @@ impl BddManager {
     /// Panics if `num_vars` exceeds [`VarId::MAX_VARS`].
     pub fn new(num_vars: u32) -> Self {
         assert!(num_vars <= VarId::MAX_VARS, "too many variables");
+        // Slot 0 is a dead placeholder (the pre-complement-edge false
+        // terminal) kept so the true terminal stays at its historical id 1;
+        // no handle ever points at it. FALSE is the complement of TRUE.
         let nodes = vec![
             Node {
                 var: TERMINAL_VAR,
-                lo: Bdd::FALSE,
-                hi: Bdd::FALSE,
+                lo: Bdd(0),
+                hi: Bdd(0),
             },
             Node {
                 var: TERMINAL_VAR,
@@ -185,7 +213,6 @@ impl BddManager {
                 nodes,
                 unique: (0..num_vars).map(|_| Subtable::default()).collect(),
                 apply_cache: BinaryApplyCache::new(BINARY_CACHE_SLOTS),
-                not_cache: UnaryApplyCache::new(UNARY_CACHE_SLOTS),
                 ite_cache: TernaryApplyCache::new(TERNARY_CACHE_SLOTS),
             }),
             quant_cache: FastMap::default(),
@@ -206,7 +233,6 @@ impl BddManager {
                 store,
                 memo: MkMemo::new(),
                 apply_l1: BinaryApplyCache::new(BINARY_CACHE_SLOTS),
-                not_l1: UnaryApplyCache::new(UNARY_CACHE_SLOTS),
                 ite_l1: TernaryApplyCache::new(TERNARY_CACHE_SLOTS),
                 mirror: Vec::new(),
             },
@@ -241,8 +267,8 @@ impl BddManager {
     }
 
     /// Sizes the apply caches to about `limit` slots (rounded down to a
-    /// power of two, floored at 16); the ternary and unary caches scale
-    /// down proportionally. The caches are fixed direct-mapped slabs, so
+    /// power of two, floored at 16); the ternary cache scales down
+    /// proportionally. The caches are fixed direct-mapped slabs, so
     /// this bounds their memory exactly; see
     /// [`crate::add::AddManager::set_apply_cache_limit`].
     ///
@@ -254,17 +280,12 @@ impl BddManager {
             BddStore::Private(p) => {
                 p.apply_cache.resize(limit);
                 p.ite_cache = TernaryApplyCache::new((limit >> 1).max(16));
-                p.not_cache.resize((limit >> 2).max(16));
             }
             BddStore::Shared {
-                apply_l1,
-                not_l1,
-                ite_l1,
-                ..
+                apply_l1, ite_l1, ..
             } => {
                 apply_l1.resize(limit);
                 *ite_l1 = TernaryApplyCache::new((limit >> 1).max(16));
-                not_l1.resize((limit >> 2).max(16));
             }
         }
     }
@@ -273,23 +294,13 @@ impl BddManager {
     /// independent of occupancy).
     pub fn apply_cache_bytes(&self) -> usize {
         match &self.store {
-            BddStore::Private(p) => {
-                p.apply_cache.bytes() + p.not_cache.bytes() + p.ite_cache.bytes()
-            }
+            BddStore::Private(p) => p.apply_cache.bytes() + p.ite_cache.bytes(),
             BddStore::Shared {
                 store,
                 apply_l1,
-                not_l1,
                 ite_l1,
                 ..
-            } => {
-                apply_l1.bytes()
-                    + not_l1.bytes()
-                    + ite_l1.bytes()
-                    + store.binary.bytes()
-                    + store.unary.bytes()
-                    + store.ternary.bytes()
-            }
+            } => apply_l1.bytes() + ite_l1.bytes() + store.binary.bytes() + store.ternary.bytes(),
         }
     }
 
@@ -343,9 +354,28 @@ impl BddManager {
         }
     }
 
-    /// The node behind `f` (terminals read as `var == TERMINAL_VAR`).
+    /// The *logical* node behind `f` (terminals read as `var ==
+    /// TERMINAL_VAR`): the complement bit of the handle is pushed onto the
+    /// stored cofactors, so `raw(¬f).lo == ¬raw(f).lo` and traversals see
+    /// exactly the semantics a complement-free representation would.
     #[inline]
     fn raw(&self, f: Bdd) -> Node {
+        let n = self.raw_stored(f.regular());
+        if f.is_compl() {
+            Node {
+                var: n.var,
+                lo: Bdd(n.lo.0 ^ COMPL),
+                hi: Bdd(n.hi.0 ^ COMPL),
+            }
+        } else {
+            n
+        }
+    }
+
+    /// The stored node at a regular handle.
+    #[inline]
+    fn raw_stored(&self, f: Bdd) -> Node {
+        debug_assert!(!f.is_compl());
         match &self.store {
             BddStore::Private(p) => p.nodes[f.0 as usize],
             BddStore::Shared { store, mirror, .. } => {
@@ -397,32 +427,6 @@ impl BddManager {
                 apply_l1.put(op, f, g, r);
                 if store.publish() {
                     store.binary.put(op, f, g, r);
-                }
-            }
-        }
-    }
-
-    #[inline]
-    fn not_get(&self, f: u32) -> Option<u32> {
-        match &self.store {
-            BddStore::Private(p) => p.not_cache.get(NOT_TAG, f),
-            BddStore::Shared { store, not_l1, .. } => not_l1.get(NOT_TAG, f).or_else(|| {
-                store
-                    .publish()
-                    .then(|| store.unary.get(NOT_TAG, f))
-                    .flatten()
-            }),
-        }
-    }
-
-    #[inline]
-    fn not_put(&mut self, f: u32, r: u32) {
-        match &mut self.store {
-            BddStore::Private(p) => p.not_cache.put(NOT_TAG, f, r),
-            BddStore::Shared { store, not_l1, .. } => {
-                not_l1.put(NOT_TAG, f, r);
-                if store.publish() {
-                    store.unary.put(NOT_TAG, f, r);
                 }
             }
         }
@@ -494,7 +498,9 @@ impl BddManager {
         }
     }
 
-    /// Interns the node `(var, lo, hi)`, applying the reduction rule.
+    /// Interns the node `(var, lo, hi)`, applying the reduction rule and
+    /// the complement-edge canonicity rule (stored *hi* edges are regular:
+    /// `(v, l, ¬h)` is interned as `(v, ¬l, h)` and returned complemented).
     fn mk(&mut self, var: u32, lo: Bdd, hi: Bdd) -> Bdd {
         if lo == hi {
             return lo;
@@ -503,7 +509,9 @@ impl BddManager {
             var < self.var_of(lo) && var < self.var_of(hi),
             "ordering violated"
         );
-        match &mut self.store {
+        let flip = hi.0 & COMPL;
+        let (lo, hi) = (Bdd(lo.0 ^ flip), Bdd(hi.0 ^ flip));
+        let id = match &mut self.store {
             BddStore::Private(p) => {
                 let h = hash_pair(lo.0, hi.0);
                 let nodes = &p.nodes;
@@ -512,18 +520,23 @@ impl BddManager {
                     let n = &nodes[i as usize];
                     n.lo == lo && n.hi == hi
                 }) {
-                    return Bdd(found);
+                    found
+                } else {
+                    self.budget.charge("bdd-arena", self.created);
+                    let raw = u32::try_from(p.nodes.len()).expect("BDD arena full");
+                    // Ids must stay below the complement bit, and strictly
+                    // below COMPL − 1 so a complemented edge can never
+                    // collide with the MIRROR_VACANT sentinel.
+                    assert!(raw < COMPL - 1, "BDD arena full");
+                    p.nodes.push(Node { var, lo, hi });
+                    let nodes = &p.nodes;
+                    p.unique[var as usize].insert(h, raw, |i| {
+                        let n = &nodes[i as usize];
+                        hash_pair(n.lo.0, n.hi.0)
+                    });
+                    self.created += 1;
+                    raw
                 }
-                self.budget.charge("bdd-arena", self.created);
-                let raw = u32::try_from(p.nodes.len()).expect("BDD arena full");
-                p.nodes.push(Node { var, lo, hi });
-                let nodes = &p.nodes;
-                p.unique[var as usize].insert(h, raw, |i| {
-                    let n = &nodes[i as usize];
-                    hash_pair(n.lo.0, n.hi.0)
-                });
-                self.created += 1;
-                Bdd(raw)
             }
             BddStore::Shared {
                 store,
@@ -532,7 +545,7 @@ impl BddManager {
                 ..
             } => {
                 if let Some(id) = memo.get(var, lo.0, hi.0) {
-                    return Bdd(id);
+                    return Bdd(id | flip);
                 }
                 // The budget verdict is precomputed so a CapacityExceeded
                 // unwind can never poison the shared table — `intern` does
@@ -543,6 +556,7 @@ impl BddManager {
                     self.budget.charge("bdd-arena", self.created);
                     unreachable!("would_trip and charge disagree");
                 };
+                assert!(id < COMPL - 1, "BDD arena full");
                 if fresh {
                     self.created += 1;
                 }
@@ -555,9 +569,10 @@ impl BddManager {
                 }
                 mirror[idx].set((var, lo.0, hi.0));
                 memo.put(var, lo.0, hi.0, id);
-                Bdd(id)
+                id
             }
-        }
+        };
+        Bdd(id | flip)
     }
 
     /// The literal `v`.
@@ -585,30 +600,16 @@ impl BddManager {
         }
     }
 
-    /// Logical negation `¬f`.
-    pub fn not(&mut self, f: Bdd) -> Bdd {
-        if f == Bdd::FALSE {
-            return Bdd::TRUE;
-        }
-        if f == Bdd::TRUE {
-            return Bdd::FALSE;
-        }
-        if let Some(r) = self.not_get(f.0) {
-            return Bdd(r);
-        }
-        let n = self.raw(f);
-        let nlo = self.not(n.lo);
-        let nhi = self.not(n.hi);
-        let r = self.mk(n.var, nlo, nhi);
-        self.not_put(f.0, r.0);
-        r
+    /// Logical negation `¬f`: with complement edges, a free bit flip.
+    pub fn not(&self, f: Bdd) -> Bdd {
+        Bdd(f.0 ^ COMPL)
     }
 
     fn apply(&mut self, op: BoolOp, f: Bdd, g: Bdd) -> Bdd {
-        // Terminal short-cuts.
+        // Terminal and complement short-cuts.
         match op {
             BoolOp::And => {
-                if f == Bdd::FALSE || g == Bdd::FALSE {
+                if f == Bdd::FALSE || g == Bdd::FALSE || f.0 ^ g.0 == COMPL {
                     return Bdd::FALSE;
                 }
                 if f == Bdd::TRUE {
@@ -618,26 +619,20 @@ impl BddManager {
                     return f;
                 }
             }
-            BoolOp::Or => {
-                if f == Bdd::TRUE || g == Bdd::TRUE {
-                    return Bdd::TRUE;
-                }
-                if f == Bdd::FALSE {
-                    return g;
-                }
-                if g == Bdd::FALSE || f == g {
-                    return f;
-                }
-            }
             BoolOp::Xor => {
                 if f == g {
                     return Bdd::FALSE;
                 }
-                if f == Bdd::FALSE {
-                    return g;
+                if f.0 ^ g.0 == COMPL {
+                    return Bdd::TRUE;
                 }
-                if g == Bdd::FALSE {
-                    return f;
+                // XOR commutes with complement: pull both complement bits
+                // out so all four sign combinations of (f, g) share one
+                // cache entry.
+                if (f.0 | g.0) & COMPL != 0 {
+                    let flip = (f.0 ^ g.0) & COMPL;
+                    let r = self.apply(BoolOp::Xor, f.regular(), g.regular());
+                    return Bdd(r.0 ^ flip);
                 }
                 if f == Bdd::TRUE {
                     return self.not(g);
@@ -677,9 +672,13 @@ impl BddManager {
         self.apply(BoolOp::And, f, g)
     }
 
-    /// Disjunction `f ∨ g`.
+    /// Disjunction `f ∨ g`, by De Morgan over the `and` kernel (negation is
+    /// free, so this costs nothing and keeps all ∧/∨ traffic on one cache
+    /// tag).
     pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
-        self.apply(BoolOp::Or, f, g)
+        let (nf, ng) = (self.not(f), self.not(g));
+        let r = self.apply(BoolOp::And, nf, ng);
+        self.not(r)
     }
 
     /// Exclusive or `f ⊕ g`.
@@ -721,6 +720,20 @@ impl BddManager {
         }
         if g == Bdd::FALSE && h == Bdd::TRUE {
             return self.not(f);
+        }
+        // Complement canonicalization (CUDD): make f regular by swapping
+        // the branches (ite(¬f,g,h) = ite(f,h,g)), then make g regular by
+        // complementing the result (ite(f,¬g,¬h) = ¬ite(f,g,h)). All eight
+        // sign combinations share one cache entry.
+        let (f, g, h) = if f.is_compl() {
+            (self.not(f), h, g)
+        } else {
+            (f, g, h)
+        };
+        if g.is_compl() {
+            let (ng, nh) = (self.not(g), self.not(h));
+            let r = self.ite(f, ng, nh);
+            return self.not(r);
         }
         if let Some(r) = self.ite_get(f.0, g.0, h.0) {
             return Bdd(r);
@@ -842,17 +855,18 @@ impl BddManager {
 
     /// The set of variables `f` structurally depends on.
     pub fn support(&self, f: Bdd) -> VarSet {
+        // Dedupe on regular handles: f and ¬f share the same cone.
         let mut seen: FastSet<Bdd> = FastSet::default();
-        let mut stack = vec![f];
+        let mut stack = vec![f.regular()];
         let mut s = VarSet::EMPTY;
         while let Some(n) = stack.pop() {
             if n.is_const() || !seen.insert(n) {
                 continue;
             }
-            let node = self.raw(n);
+            let node = self.raw_stored(n);
             s.insert(VarId(node.var));
-            stack.push(node.lo);
-            stack.push(node.hi);
+            stack.push(node.lo.regular());
+            stack.push(node.hi.regular());
         }
         s
     }
@@ -940,6 +954,47 @@ impl BddManager {
         self.mk(level, l, h)
     }
 
+    /// Whether any of `keys` (full assignments, bit `i` = variable `i`)
+    /// satisfies `t` — exactly `and(from_keys(keys), t) != FALSE`, but
+    /// computed by a read-only radix descent that interns **zero** nodes
+    /// and touches no caches. `keys` is reordered in place.
+    ///
+    /// This is the fast path for the MAPI verification step, where almost
+    /// every row's spectrum support misses the `T`-matrix entirely: the
+    /// descent short-circuits on the first hit and prunes whole key blocks
+    /// on `t`'s false cofactors.
+    pub fn any_key_sat(&self, t: Bdd, keys: &mut [u128]) -> bool {
+        self.any_key_rec(0, self.num_vars, t, keys)
+    }
+
+    fn any_key_rec(&self, level: u32, n: u32, t: Bdd, keys: &mut [u128]) -> bool {
+        if keys.is_empty() || t == Bdd::FALSE {
+            return false;
+        }
+        if t == Bdd::TRUE || level == n {
+            return true;
+        }
+        let (t0, t1) = if self.var_of(t) == level {
+            (self.lo(t), self.hi(t))
+        } else {
+            (t, t)
+        };
+        let bit = 1u128 << level;
+        // Unstable in-place partition: low-half keys first.
+        let mut i = 0;
+        let mut j = keys.len();
+        while i < j {
+            if keys[i] & bit == 0 {
+                i += 1;
+            } else {
+                j -= 1;
+                keys.swap(i, j);
+            }
+        }
+        let (lo, hi) = keys.split_at_mut(i);
+        self.any_key_rec(level + 1, n, t0, lo) || self.any_key_rec(level + 1, n, t1, hi)
+    }
+
     /// One satisfying full assignment of `f` (don't-care variables are 0),
     /// or `None` for the constant-false function.
     pub fn one_sat(&self, f: Bdd) -> Option<u128> {
@@ -987,15 +1042,17 @@ impl BddManager {
         acc
     }
 
-    /// Number of distinct nodes reachable from `f` (including terminals).
+    /// Number of distinct arena nodes reachable from `f` (including the
+    /// terminal). A node and its complement count once — that is the real
+    /// memory footprint under complement edges.
     pub fn node_count(&self, f: Bdd) -> usize {
         let mut seen: FastSet<Bdd> = FastSet::default();
-        let mut stack = vec![f];
+        let mut stack = vec![f.regular()];
         while let Some(n) = stack.pop() {
             if seen.insert(n) && !n.is_const() {
-                let node = self.raw(n);
-                stack.push(node.lo);
-                stack.push(node.hi);
+                let node = self.raw_stored(n);
+                stack.push(node.lo.regular());
+                stack.push(node.hi.regular());
             }
         }
         seen.len()
@@ -1012,17 +1069,12 @@ impl BddManager {
         match &mut self.store {
             BddStore::Private(p) => {
                 p.apply_cache.clear();
-                p.not_cache.clear();
                 p.ite_cache.clear();
             }
             BddStore::Shared {
-                apply_l1,
-                not_l1,
-                ite_l1,
-                ..
+                apply_l1, ite_l1, ..
             } => {
                 apply_l1.clear();
-                not_l1.clear();
                 ite_l1.clear();
             }
         }
@@ -1297,5 +1349,81 @@ mod tests {
         let h = build(&mut sh2);
         assert_eq!(f, h, "shared handles must be canonical across managers");
         assert_eq!(sh2.arena_size(), nodes, "no duplicate nodes interned");
+    }
+
+    #[test]
+    fn complement_edges_make_negation_free() {
+        let mut m = mgr();
+        let x = m.var(VarId(0));
+        let y = m.var(VarId(1));
+        let f = m.ite(x, y, Bdd::FALSE);
+        let before = m.arena_size();
+        let nf = m.not(f);
+        assert_eq!(m.arena_size(), before, "not must intern nothing");
+        assert_eq!(m.not(nf), f, "involution at the handle level");
+        // f and ¬f share the whole cone.
+        assert_eq!(m.node_count(f), m.node_count(nf));
+        for a in 0..16u128 {
+            assert_eq!(m.eval(nf, a), !m.eval(f, a));
+        }
+        // Complement-aware terminal rules.
+        assert_eq!(m.and(f, nf), Bdd::FALSE);
+        assert_eq!(m.or(f, nf), Bdd::TRUE);
+        assert_eq!(m.xor(f, nf), Bdd::TRUE);
+        // XOR complement normalization: ¬f ⊕ y == ¬(f ⊕ y).
+        let a = m.xor(nf, y);
+        let b = m.xor(f, y);
+        assert_eq!(a, m.not(b));
+    }
+
+    #[test]
+    fn complemented_structure_traverses_like_plain() {
+        // The logical node view must hide the representation: cofactors of
+        // ¬f are the complements of f's cofactors, level by level.
+        let mut m = mgr();
+        let x = m.var(VarId(0));
+        let y = m.var(VarId(1));
+        let z = m.var(VarId(2));
+        let xy = m.and(x, y);
+        let f = m.or(xy, z);
+        let nf = m.not(f);
+        let (vf, lof, hif) = m.node(f).expect("non-terminal");
+        let (vn, lon, hin) = m.node(nf).expect("non-terminal");
+        assert_eq!(vf, vn);
+        assert_eq!(lon, m.not(lof));
+        assert_eq!(hin, m.not(hif));
+        // sat_count and one_sat see the same structure.
+        assert_eq!(m.sat_count(f) + m.sat_count(nf), 16);
+        let w = m.one_sat(nf).expect("satisfiable");
+        assert!(!m.eval(f, w));
+    }
+
+    #[test]
+    fn any_key_sat_matches_intersection_semantics() {
+        let mut m = mgr();
+        let x = m.var(VarId(0));
+        let y = m.var(VarId(1));
+        let z = m.var(VarId(2));
+        let xy = m.and(x, y);
+        let t = m.xor(xy, z);
+        for mask in 0..256u32 {
+            let mut keys: Vec<u128> = (0..8u128).filter(|k| mask >> k & 1 == 1).collect();
+            let expect = keys.iter().any(|&k| m.eval(t, k));
+            assert_eq!(
+                m.any_key_sat(t, &mut keys),
+                expect,
+                "mask={mask:08b} t=xy^z"
+            );
+        }
+        // Constants and the empty key set.
+        let mut keys = vec![0u128, 5];
+        assert!(m.any_key_sat(Bdd::TRUE, &mut keys));
+        assert!(!m.any_key_sat(Bdd::FALSE, &mut keys));
+        assert!(!m.any_key_sat(t, &mut []));
+        // No nodes are interned by the descent.
+        let before = m.arena_size();
+        let mut all: Vec<u128> = (0..16).collect();
+        assert!(m.any_key_sat(t, &mut all));
+        assert_eq!(m.arena_size(), before);
     }
 }

@@ -115,15 +115,21 @@ impl SiftResult {
     }
 }
 
-fn total_size(m: &BddManager, roots: &[Bdd]) -> usize {
-    // Distinct nodes over the union of all roots.
+/// Distinct arena nodes over the union of all `roots` — the objective
+/// [`sift`] minimizes, exposed so callers can gate a reorder on forest
+/// size before paying for one.
+pub fn total_size(m: &BddManager, roots: &[Bdd]) -> usize {
+    // Distinct arena nodes over the union of all roots. Handles are
+    // normalized to their regular (complement-stripped) form so a function
+    // and its negation — which share every node — are counted once: the
+    // objective is real memory, not handle diversity.
     let mut seen: FastSet<_> = FastSet::default();
-    let mut stack: Vec<Bdd> = roots.to_vec();
+    let mut stack: Vec<Bdd> = roots.iter().map(|r| r.regular()).collect();
     while let Some(f) = stack.pop() {
         if seen.insert(f) {
             if let Some((_, lo, hi)) = m.node(f) {
-                stack.push(lo);
-                stack.push(hi);
+                stack.push(lo.regular());
+                stack.push(hi.regular());
             }
         }
     }

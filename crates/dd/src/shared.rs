@@ -776,13 +776,19 @@ impl<T: Clone + Eq + Hash> SharedAddStore<T> {
 }
 
 /// Everything a [`crate::bdd::BddManager`] shares when running on the
-/// [`crate::backend::Shared`] backend. The two terminal nodes are seeded at
-/// creation so ids 0/1 match [`crate::bdd::Bdd::FALSE`] / `TRUE`.
+/// [`crate::backend::Shared`] backend.
+///
+/// Stored `lo`/`hi` edges are the manager's packed handles: a node id with
+/// the complement bit (bit 31) folded in (DESIGN.md §17). The store treats
+/// them as opaque `u32` key material — canonicity of the packed form is the
+/// manager's (`mk`'s) job. Seed id 0 is a dead placeholder (the
+/// pre-complement-edge false terminal) and id 1 the single live terminal,
+/// so `Bdd::TRUE == 1` and historical id layout are preserved. The BDD
+/// negation is a handle bit flip, so no unary L2 cache is needed.
 #[derive(Debug)]
 pub(crate) struct SharedBddStore {
     pub(crate) nodes: SharedNodeTable,
     pub(crate) binary: SharedBinaryCache,
-    pub(crate) unary: SharedUnaryCache,
     pub(crate) ternary: SharedTernaryCache,
     /// Managers ever attached (never decremented): see
     /// [`SharedBddStore::publish`].
@@ -799,7 +805,6 @@ impl SharedBddStore {
         SharedBddStore {
             nodes,
             binary: SharedBinaryCache::new(1 << 16),
-            unary: SharedUnaryCache::new(1 << 14),
             ternary: SharedTernaryCache::new(1 << 15),
             managers: AtomicUsize::new(0),
         }

@@ -11,12 +11,23 @@
 //! * [`wht`] — the Fujita et al. transform (*Fast spectrum computation for
 //!   logic functions using BDDs*, ISCAS '94): a butterfly recursion directly
 //!   on an ADD, producing the spectrum as an ADD over the spectral
-//!   coordinates. Used by the `FUJITA` engine.
+//!   coordinates. Used by the `FUJITA` engine. [`wht_with`] threads a
+//!   [`WhtMemo`] so transforms of cones shared between sweep rows are
+//!   computed once per sweep instead of once per row.
 //! * [`walsh_sparse`] — the same recursion on a BDD but producing a sparse
-//!   hash-map spectrum, memoized per BDD node. Used by the `MAP`/`MAPI`
-//!   engines to obtain base spectra that are then combined by convolution.
+//!   hash-map spectrum, memoized per BDD node in a byte-bounded
+//!   [`SparseWalshCache`]. Used by the `MAP`/`MAPI` engines to obtain base
+//!   spectra that are then combined by convolution.
 //! * [`dense_walsh`] — the classical in-place fast WHT on a truth table;
 //!   `O(n·2ⁿ)` and only suitable as a test oracle.
+//!
+//! Both DD-backed transforms carry a **dense fallback** (DESIGN.md §17):
+//! when a cone's support spans at most `dense_cut` variables, the recursion
+//! drops into a flat `i64` butterfly over the support (an exact integer
+//! kernel — dyadic coefficients over a common exponent), then re-imports
+//! only the nonzero coefficients. The dyadic arithmetic is exact and the
+//! re-imported structures are canonical, so the fallback returns *bit-equal*
+//! results to the recursion: `dense_cut` is a pure speed knob.
 //!
 //! All transforms agree on every function; `tests` and the crate's proptest
 //! suite pin this down.
@@ -29,14 +40,38 @@ use crate::dyadic::Dyadic;
 use crate::fasthash::FastMap;
 use crate::var::VarId;
 
+/// Counters of a spectral memo ([`SparseWalshCache`] / [`WhtMemo`]),
+/// mirroring the engine-layer prefix-cache counters so the report can
+/// surface dd-layer reuse. Counters never influence results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalshCacheStats {
+    /// Probes answered from the memo.
+    pub hits: u64,
+    /// Probes that had to compute (and then memoize) the transform.
+    pub misses: u64,
+    /// Entries dropped to stay inside the byte budget.
+    pub evictions: u64,
+    /// High-water estimated heap footprint, in bytes.
+    pub peak_bytes: usize,
+}
+
 /// Normalized Walsh–Hadamard transform of an arbitrary real-valued function
 /// given as an ADD: returns `G` with `G(α) = 2⁻ⁿ Σ_x g(x)·(−1)^{α·x}`.
 ///
 /// The spectral coordinate `αᵢ` reuses the decision variable `xᵢ`.
 pub fn wht(adds: &mut AddManager<Dyadic>, g: Add) -> Add {
+    let mut memo = WhtMemo::new();
+    wht_with(adds, g, &mut memo)
+}
+
+/// [`wht`] with a caller-held [`WhtMemo`], the node-keyed partial-WHT memo
+/// that persists across sweep rows.
+pub fn wht_with(adds: &mut AddManager<Dyadic>, g: Add, memo: &mut WhtMemo) -> Add {
     let n = adds.num_vars();
-    let mut memo: FastMap<(Add, u32), Add> = FastMap::default();
-    wht_rec(adds, g, 0, n, true, &mut memo)
+    if let Some(r) = wht_dense(adds, g, true, memo.dense_cut) {
+        return r;
+    }
+    wht_rec(adds, g, 0, n, true, memo)
 }
 
 /// Un-normalized inverse transform: `g(x) = Σ_α G(α)·(−1)^{α·x}`.
@@ -45,8 +80,88 @@ pub fn wht(adds: &mut AddManager<Dyadic>, g: Add) -> Add {
 /// normalized transforms instead scales by `2⁻ⁿ`.
 pub fn inverse_wht(adds: &mut AddManager<Dyadic>, g: Add) -> Add {
     let n = adds.num_vars();
-    let mut memo: FastMap<(Add, u32), Add> = FastMap::default();
+    let mut memo = WhtMemo::new();
     wht_rec(adds, g, 0, n, false, &mut memo)
+}
+
+/// Node-keyed memo of partial WHT subresults, `(ADD node, level) → ADD`.
+///
+/// Hash-consed handles make the key exact: two rows whose sign-ADDs share a
+/// cone share the transform of that cone. The memo survives across
+/// [`wht_with`] calls (one per sweep row), is flushed wholesale when its
+/// estimated footprint exceeds the byte budget (lossy, like the apply
+/// caches — memoization affects time, never results), and must be cleared
+/// by the owner whenever the underlying manager's handles are invalidated.
+///
+/// On the shared backend the memo is additionally backed by the run-wide
+/// binary apply cache under reserved tags (L2): a transform one worker
+/// computed is visible to all others, keyed by the same canonical handles.
+#[derive(Debug, Default)]
+pub struct WhtMemo {
+    memo: FastMap<(Add, u32), Add>,
+    /// Byte budget for the L1 map; 0 = unbounded.
+    budget_bytes: usize,
+    /// Support width at or below which transforms take the dense kernel;
+    /// 0 disables it.
+    dense_cut: u32,
+    stats: WalshCacheStats,
+}
+
+/// Estimated bytes per `(Add, u32) → Add` memo entry, map overhead
+/// included.
+const WHT_ENTRY_BYTES: usize = 32;
+
+impl WhtMemo {
+    /// An unbounded memo with the dense kernel disabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A memo bounded to about `budget_bytes` (0 = unbounded) using the
+    /// dense kernel for supports of at most `dense_cut` variables (0 =
+    /// never).
+    pub fn with_config(budget_bytes: usize, dense_cut: u32) -> Self {
+        WhtMemo {
+            budget_bytes,
+            dense_cut,
+            ..Self::default()
+        }
+    }
+
+    /// The accumulated counters (they survive flushes).
+    pub fn stats(&self) -> WalshCacheStats {
+        self.stats
+    }
+
+    /// Estimated current heap footprint, in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.memo.len() * WHT_ENTRY_BYTES
+    }
+
+    /// Drops all memoized transforms, keeping counters and configuration.
+    /// Call when the owning manager's handles are invalidated.
+    pub fn clear(&mut self) {
+        self.memo.clear();
+    }
+
+    fn get(&mut self, key: (Add, u32)) -> Option<Add> {
+        let r = self.memo.get(&key).copied();
+        if r.is_some() {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        r
+    }
+
+    fn put(&mut self, key: (Add, u32), r: Add) {
+        if self.budget_bytes != 0 && self.heap_bytes() + WHT_ENTRY_BYTES > self.budget_bytes {
+            self.stats.evictions += self.memo.len() as u64;
+            self.memo.clear();
+        }
+        self.memo.insert(key, r);
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.heap_bytes());
+    }
 }
 
 fn wht_rec(
@@ -55,14 +170,20 @@ fn wht_rec(
     level: u32,
     n: u32,
     normalize: bool,
-    memo: &mut FastMap<(Add, u32), Add>,
+    memo: &mut WhtMemo,
 ) -> Add {
     if level == n {
         debug_assert!(g.is_terminal(), "non-terminal below the last level");
         return g;
     }
-    if let Some(&r) = memo.get(&(g, level)) {
+    if let Some(r) = memo.get((g, level)) {
         return r;
+    }
+    if normalize {
+        if let Some(r) = adds.wht_l2_get(level, g) {
+            memo.put((g, level), r);
+            return r;
+        }
     }
     let (g0, g1) = match adds.node_parts(g) {
         Some((v, lo, hi)) if v.0 == level => (lo, hi),
@@ -77,8 +198,113 @@ fn wht_rec(
         diff = adds.half_op(diff);
     }
     let r = adds.mk(VarId(level), sum, diff);
-    memo.insert((g, level), r);
+    memo.put((g, level), r);
+    if normalize {
+        adds.wht_l2_put(level, g, r);
+    }
     r
+}
+
+/// Dense fallback for the ADD transform: when `g`'s support spans at most
+/// `dense_cut` variables, evaluate it into a flat mantissa table over the
+/// support, butterfly in `i64`, and re-intern the nonzero coefficients.
+/// Returns `None` (→ take the recursion) when the support is too wide or
+/// the common-exponent integer representation would overflow.
+///
+/// The result is the canonical handle of exactly the ADD the recursion
+/// would build: coefficients are exact dyadics either way, skipped
+/// variables contribute no net normalization (their sum-halving cancels
+/// the duplicated cofactor), and `from_sparse` + `mk` re-reduce to the
+/// canonical structure.
+fn wht_dense(
+    adds: &mut AddManager<Dyadic>,
+    g: Add,
+    normalize: bool,
+    dense_cut: u32,
+) -> Option<Add> {
+    if dense_cut == 0 {
+        return None;
+    }
+    let support = adds.support(g);
+    let s = support.len() as u32;
+    if s > dense_cut || s > 24 {
+        return None;
+    }
+    let vars: Vec<u32> = support.iter().map(|v| v.0).collect();
+    let mut table: Vec<Dyadic> = vec![Dyadic::ZERO; 1usize << s];
+    fill_add_table(adds, g, &vars, 0, 0, &mut table);
+    // Common-exponent integer mantissas; bail out on overflow.
+    let e0 = table.iter().map(Dyadic::exponent).min()?;
+    let mut ints: Vec<i64> = Vec::with_capacity(table.len());
+    let mut sum: u128 = 0;
+    for c in &table {
+        let shift = u32::try_from(c.exponent() - e0).ok()?;
+        let m = i64::try_from(c.mantissa()).ok()?;
+        if shift > 62 || m.unsigned_abs() > u64::MAX >> 1 >> shift {
+            return None;
+        }
+        let m = m << shift;
+        sum += u128::from(m.unsigned_abs());
+        ints.push(m);
+    }
+    if sum > i64::MAX as u128 {
+        return None;
+    }
+    wht_butterfly(&mut ints);
+    let scale = if normalize { e0 - s as i32 } else { e0 };
+    let mut entries: Vec<(u128, Dyadic)> = Vec::new();
+    for (idx, &c) in ints.iter().enumerate() {
+        if c != 0 {
+            let mut key = 0u128;
+            for (i, &b) in vars.iter().enumerate() {
+                key |= ((idx as u128 >> i) & 1) << b;
+            }
+            entries.push((key, Dyadic::new(i128::from(c), scale)));
+        }
+    }
+    Some(adds.from_sparse(entries, Dyadic::ZERO))
+}
+
+/// Fills `table[idx]` with `g`'s value at the support assignment encoded by
+/// `idx` (bit `i` of `idx` = variable `vars[i]`).
+fn fill_add_table(
+    adds: &AddManager<Dyadic>,
+    g: Add,
+    vars: &[u32],
+    i: usize,
+    idx: usize,
+    table: &mut [Dyadic],
+) {
+    if i == vars.len() {
+        table[idx] = *adds.terminal_value(g).expect("support exhausted");
+        return;
+    }
+    let (lo, hi) = match adds.node_parts(g) {
+        Some((v, lo, hi)) if v.0 == vars[i] => (lo, hi),
+        _ => (g, g),
+    };
+    fill_add_table(adds, lo, vars, i + 1, idx, table);
+    fill_add_table(adds, hi, vars, i + 1, idx | 1 << i, table);
+}
+
+/// In-place unnormalized Walsh–Hadamard butterfly: the shared dense kernel
+/// of [`dense_walsh`], [`walsh_sparse`]'s fallback and [`wht_with`]'s
+/// fallback. Plain pairwise adds over a flat slice — the pattern LLVM
+/// auto-vectorizes; no intrinsics, no new deps.
+fn wht_butterfly(v: &mut [i64]) {
+    let mut h = 1;
+    while h < v.len() {
+        let mut base = 0;
+        while base < v.len() {
+            for i in base..base + h {
+                let (a, b) = (v[i], v[i + h]);
+                v[i] = a + b;
+                v[i + h] = a - b;
+            }
+            base += h * 2;
+        }
+        h *= 2;
+    }
 }
 
 /// The normalized Walsh spectrum of the Boolean function `f` as an ADD over
@@ -94,17 +320,49 @@ pub fn sign_add(bdds: &BddManager, adds: &mut AddManager<Dyadic>, f: Bdd) -> Add
     adds.from_bdd(bdds, f, Dyadic::MINUS_ONE, Dyadic::ONE)
 }
 
+/// Estimated bytes of one memoized sparse spectrum with `len` lines.
+fn sparse_entry_bytes(len: usize) -> usize {
+    len * 48 + 64
+}
+
 /// Memoization storage for [`walsh_sparse`], reusable across calls on the
 /// same [`BddManager`] so that shared subgraphs are only transformed once.
+///
+/// The cache can be byte-bounded ([`SparseWalshCache::with_config`]): when
+/// the estimated footprint exceeds the budget, least-recently-used entries
+/// are evicted down to 7/8 of the budget (the engine prefix-cache policy).
+/// Eviction only forces recomputation — every memo entry is the exact
+/// spectrum of its node, so results are identical at any budget.
 #[derive(Debug, Default)]
 pub struct SparseWalshCache {
-    memo: FastMap<Bdd, Rc<FastMap<u128, Dyadic>>>,
+    memo: FastMap<Bdd, (Rc<FastMap<u128, Dyadic>>, u64)>,
+    /// Monotone probe counter backing the LRU ticks.
+    tick: u64,
+    /// Estimated bytes held; tracked incrementally.
+    bytes: usize,
+    /// Byte budget; 0 = unbounded.
+    budget_bytes: usize,
+    /// Support width at or below which a cone's spectrum is produced by the
+    /// dense kernel instead of the per-node butterfly merge; 0 disables.
+    dense_cut: u32,
+    stats: WalshCacheStats,
 }
 
 impl SparseWalshCache {
-    /// Creates an empty cache.
+    /// Creates an unbounded cache with the dense kernel disabled.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a cache bounded to about `budget_bytes` (0 = unbounded)
+    /// that uses the dense kernel for supports of at most `dense_cut`
+    /// variables (0 = never).
+    pub fn with_config(budget_bytes: usize, dense_cut: u32) -> Self {
+        SparseWalshCache {
+            budget_bytes,
+            dense_cut,
+            ..Self::default()
+        }
     }
 
     /// Number of memoized BDD nodes.
@@ -115,6 +373,68 @@ impl SparseWalshCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.memo.is_empty()
+    }
+
+    /// The accumulated counters (they survive evictions).
+    pub fn stats(&self) -> WalshCacheStats {
+        self.stats
+    }
+
+    /// Estimated current heap footprint, in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Drops all entries, keeping counters and configuration. Call when
+    /// the owning manager's handles are invalidated.
+    pub fn clear(&mut self) {
+        self.memo.clear();
+        self.bytes = 0;
+    }
+
+    fn get(&mut self, f: Bdd) -> Option<Rc<FastMap<u128, Dyadic>>> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.memo.get_mut(&f) {
+            Some((rc, t)) => {
+                *t = tick;
+                self.stats.hits += 1;
+                Some(Rc::clone(rc))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn put(&mut self, f: Bdd, rc: Rc<FastMap<u128, Dyadic>>) {
+        self.tick += 1;
+        self.bytes += sparse_entry_bytes(rc.len());
+        self.memo.insert(f, (rc, self.tick));
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.bytes);
+        if self.budget_bytes != 0 && self.bytes > self.budget_bytes {
+            self.evict_to(self.budget_bytes - self.budget_bytes / 8);
+        }
+    }
+
+    /// Evicts least-recently-used entries until at most `target` bytes
+    /// remain (the newest entry is always kept).
+    fn evict_to(&mut self, target: usize) {
+        let mut by_age: Vec<(u64, Bdd, usize)> = self
+            .memo
+            .iter()
+            .map(|(&f, (rc, t))| (*t, f, sparse_entry_bytes(rc.len())))
+            .collect();
+        by_age.sort_unstable();
+        for (tick, f, entry_bytes) in by_age {
+            if self.bytes <= target || tick == self.tick {
+                break;
+            }
+            self.memo.remove(&f);
+            self.bytes -= entry_bytes;
+            self.stats.evictions += 1;
+        }
     }
 }
 
@@ -135,8 +455,12 @@ pub fn walsh_sparse(
     if f == Bdd::TRUE {
         return Rc::new([(0u128, Dyadic::MINUS_ONE)].into_iter().collect());
     }
-    if let Some(r) = cache.memo.get(&f) {
-        return Rc::clone(r);
+    if let Some(r) = cache.get(f) {
+        return r;
+    }
+    if let Some(rc) = walsh_sparse_dense(bdds, f, cache.dense_cut) {
+        cache.put(f, Rc::clone(&rc));
+        return rc;
     }
     let (var, lo, hi) = bdds.node(f).expect("non-terminal");
     let w0 = walsh_sparse(bdds, lo, cache);
@@ -166,8 +490,69 @@ pub fn walsh_sparse(
         }
     }
     let rc = Rc::new(out);
-    cache.memo.insert(f, Rc::clone(&rc));
+    cache.put(f, Rc::clone(&rc));
     rc
+}
+
+/// Dense fallback for the sparse transform: evaluate the sign table of `f`
+/// over its support straight off the BDD, butterfly in `i64`, and keep the
+/// nonzero lines. Signs are ±1, so the integer kernel never overflows for
+/// `s ≤ 24`. Returns `None` when the support exceeds `dense_cut` (→ take
+/// the per-node merge). The resulting map is exactly the recursion's
+/// (same keys, same canonical dyadics) — only the time to build it
+/// differs.
+fn walsh_sparse_dense(
+    bdds: &BddManager,
+    f: Bdd,
+    dense_cut: u32,
+) -> Option<Rc<FastMap<u128, Dyadic>>> {
+    if dense_cut == 0 {
+        return None;
+    }
+    let support = bdds.support(f);
+    let s = support.len() as u32;
+    if s > dense_cut || s > 24 {
+        return None;
+    }
+    let vars: Vec<u32> = support.iter().map(|v| v.0).collect();
+    let mut table: Vec<i64> = vec![0; 1usize << s];
+    fill_sign_table(bdds, f, &vars, 0, 0, &mut table);
+    wht_butterfly(&mut table);
+    let scale = -(s as i32);
+    let mut out: FastMap<u128, Dyadic> = FastMap::default();
+    for (idx, &c) in table.iter().enumerate() {
+        if c != 0 {
+            let mut key = 0u128;
+            for (i, &b) in vars.iter().enumerate() {
+                key |= ((idx as u128 >> i) & 1) << b;
+            }
+            out.insert(key, Dyadic::new(i128::from(c), scale));
+        }
+    }
+    Some(Rc::new(out))
+}
+
+/// Fills `table[idx]` with `(−1)^{f}` at the support assignment encoded by
+/// `idx` (bit `i` of `idx` = variable `vars[i]`).
+fn fill_sign_table(
+    bdds: &BddManager,
+    f: Bdd,
+    vars: &[u32],
+    i: usize,
+    idx: usize,
+    table: &mut [i64],
+) {
+    if i == vars.len() {
+        table[idx] = if f == Bdd::TRUE { -1 } else { 1 };
+        debug_assert!(f.is_const(), "support exhausted");
+        return;
+    }
+    let (lo, hi) = match bdds.node(f) {
+        Some((v, lo, hi)) if v.0 == vars[i] => (lo, hi),
+        _ => (f, f),
+    };
+    fill_sign_table(bdds, lo, vars, i + 1, idx, table);
+    fill_sign_table(bdds, hi, vars, i + 1, idx | 1 << i, table);
 }
 
 /// Reference dense WHT: normalized spectrum of a truth table.
@@ -184,21 +569,10 @@ pub fn dense_walsh(bits: &[bool]) -> Vec<Dyadic> {
         "truth table length must be 2^n"
     );
     let mut v: Vec<i64> = bits.iter().map(|&b| if b { -1 } else { 1 }).collect();
-    let n = v.len();
-    let mut h = 1;
-    while h < n {
-        for i in (0..n).step_by(h * 2) {
-            for j in i..i + h {
-                let (a, b) = (v[j], v[j + h]);
-                v[j] = a + b;
-                v[j + h] = a - b;
-            }
-        }
-        h *= 2;
-    }
-    let log = n.trailing_zeros() as i32;
+    wht_butterfly(&mut v);
+    let log = v.len().trailing_zeros() as i32;
     v.into_iter()
-        .map(|c| Dyadic::new(c as i128, -log))
+        .map(|c| Dyadic::new(i128::from(c), -log))
         .collect()
 }
 
@@ -323,7 +697,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(unused_mut)]
     fn dense_walsh_small_cases() {
         // f(x) = x on one variable: W(0)=0, W(1)=1... with sign convention
         // W(1) = ½((−1)^0·(−1)^0 + (−1)^1·(−1)^1) = 1.
@@ -349,5 +722,106 @@ mod tests {
         assert!(filled > 0);
         let _ = walsh_sparse(&b, g, &mut cache);
         assert!(cache.len() >= filled);
+        let stats = cache.stats();
+        assert!(stats.misses >= filled as u64);
+        assert_eq!(stats.evictions, 0, "unbounded cache never evicts");
+    }
+
+    #[test]
+    fn dense_fallback_matches_recursion_exactly() {
+        // Same functions transformed through a dense-enabled cache and a
+        // plain one must yield identical maps (and the ADD path identical
+        // handles within one manager).
+        let mut b = BddManager::new(6);
+        let mut funcs = Vec::new();
+        for (i, j, k) in [(0u32, 1u32, 2u32), (1, 3, 5), (0, 2, 4), (3, 4, 5)] {
+            let x = b.var(VarId(i));
+            let y = b.var(VarId(j));
+            let z = b.var(VarId(k));
+            let xy = b.and(x, y);
+            funcs.push(b.xor(xy, z));
+            funcs.push(b.or(xy, z));
+        }
+        let mut plain = SparseWalshCache::new();
+        let mut dense = SparseWalshCache::with_config(0, 12);
+        let mut adds: AddManager<Dyadic> = AddManager::new(6);
+        let mut memo_plain = WhtMemo::new();
+        let mut memo_dense = WhtMemo::with_config(0, 12);
+        for &f in &funcs {
+            let a = walsh_sparse(&b, f, &mut plain);
+            let c = walsh_sparse(&b, f, &mut dense);
+            assert_eq!(*a, *c, "sparse maps must be equal");
+            let sign = sign_add(&b, &mut adds, f);
+            let w1 = wht_with(&mut adds, sign, &mut memo_plain);
+            let w2 = wht_with(&mut adds, sign, &mut memo_dense);
+            assert_eq!(w1, w2, "ADD spectra must be the same canonical handle");
+        }
+    }
+
+    #[test]
+    fn wht_memo_is_reused_across_rows_and_flushes_on_budget() {
+        let mut b = BddManager::new(5);
+        let mut adds: AddManager<Dyadic> = AddManager::new(5);
+        let x = b.var(VarId(0));
+        let y = b.var(VarId(1));
+        let z = b.var(VarId(4));
+        let xy = b.and(x, y);
+        let f = b.xor(xy, z);
+        let g = b.or(xy, z);
+        let mut memo = WhtMemo::new();
+        let sf = sign_add(&b, &mut adds, f);
+        let sg = sign_add(&b, &mut adds, g);
+        let wf = wht_with(&mut adds, sf, &mut memo);
+        let after_first = memo.stats();
+        assert!(after_first.misses > 0);
+        // Re-transforming the same row is pure hits.
+        let wf2 = wht_with(&mut adds, sf, &mut memo);
+        assert_eq!(wf, wf2);
+        let after_repeat = memo.stats();
+        assert_eq!(after_repeat.misses, after_first.misses);
+        assert!(after_repeat.hits > after_first.hits);
+        // A different row sharing cones still gets some hits.
+        let _ = wht_with(&mut adds, sg, &mut memo);
+        // A tiny budget forces flushes but not wrong results. A fresh
+        // manager sidesteps the L2 apply-cache, which would otherwise
+        // answer before the L1 ever fills.
+        let mut adds2: AddManager<Dyadic> = AddManager::new(5);
+        let mut tiny = WhtMemo::with_config(WHT_ENTRY_BYTES * 2, 0);
+        let sf2 = sign_add(&b, &mut adds2, f);
+        let wf3 = wht_with(&mut adds2, sf2, &mut tiny);
+        for alpha in 0..1u128 << 5 {
+            assert_eq!(adds.eval(wf, alpha), adds2.eval(wf3, alpha));
+        }
+        assert!(tiny.stats().evictions > 0);
+    }
+
+    #[test]
+    fn bounded_sparse_cache_evicts_lru_and_keeps_results() {
+        let mut b = BddManager::new(8);
+        let mut funcs = Vec::new();
+        for v in 0..7u32 {
+            let x = b.var(VarId(v));
+            let y = b.var(VarId(v + 1));
+            let xy = b.and(x, y);
+            let z = b.var(VarId((v + 3) % 8));
+            funcs.push(b.xor(xy, z));
+        }
+        let mut unbounded = SparseWalshCache::new();
+        let mut bounded = SparseWalshCache::with_config(sparse_entry_bytes(8) * 4, 0);
+        for &f in &funcs {
+            let a = walsh_sparse(&b, f, &mut unbounded);
+            let c = walsh_sparse(&b, f, &mut bounded);
+            assert_eq!(*a, *c);
+        }
+        let stats = bounded.stats();
+        assert!(stats.evictions > 0, "budget must force evictions");
+        assert!(bounded.heap_bytes() <= sparse_entry_bytes(8) * 4);
+        assert!(stats.peak_bytes > 0);
+        // Evicted entries recompute correctly.
+        for &f in &funcs {
+            let a = walsh_sparse(&b, f, &mut unbounded);
+            let c = walsh_sparse(&b, f, &mut bounded);
+            assert_eq!(*a, *c);
+        }
     }
 }

@@ -8,7 +8,7 @@ use walshcheck_dd::add::AddManager;
 use walshcheck_dd::bdd::{Bdd, BddManager};
 use walshcheck_dd::dyadic::Dyadic;
 use walshcheck_dd::spectral::{
-    dense_walsh, inverse_wht, sign_add, walsh_sparse, wht, SparseWalshCache,
+    dense_walsh, inverse_wht, sign_add, walsh_sparse, wht, wht_with, SparseWalshCache, WhtMemo,
 };
 use walshcheck_dd::threshold::{at_least, at_most, exactly};
 use walshcheck_dd::var::{VarId, VarSet};
@@ -317,6 +317,81 @@ proptest! {
         let mut want = list.clone();
         want.sort();
         prop_assert_eq!(seen, want);
+    }
+}
+
+// ---------- dense-kernel equivalence up to 12 variables ----------
+
+/// Wider variable space for exercising the dense spectral fallback: the
+/// default `dense_cut` is 12, so functions drawn here cross the cut from
+/// both sides (small supports take the flat butterfly, full-support ones
+/// stay on the node-wise recursion).
+const NVARS_WIDE: u32 = 12;
+
+fn wide_expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0..NVARS_WIDE).prop_map(Expr::Var),
+        any::<bool>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(6, 96, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| Expr::Ite(
+                Box::new(a),
+                Box::new(b),
+                Box::new(c)
+            )),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `wht` (dense kernel on and off), `walsh_sparse` (dense kernel on
+    /// and off) and the literal `dense_walsh` truth-table transform agree
+    /// on random functions of up to 12 variables — and on their
+    /// complements, so the top-level complement edge crosses every kernel.
+    #[test]
+    fn spectral_kernels_agree_up_to_12_vars(e in wide_expr_strategy()) {
+        let mut m = BddManager::new(NVARS_WIDE);
+        let f = build(&mut m, &e);
+        let nf = m.not(f);
+        for (g, negated) in [(f, false), (nf, true)] {
+            let table: Vec<bool> = (0..1u128 << NVARS_WIDE)
+                .map(|a| eval_expr(&e, a) ^ negated)
+                .collect();
+            let dense = dense_walsh(&table);
+
+            // walsh_sparse, dense kernel off (new()) and on (cut 12).
+            let mut off = SparseWalshCache::new();
+            let mut on = SparseWalshCache::with_config(0, NVARS_WIDE);
+            let s_off = walsh_sparse(&m, g, &mut off);
+            let s_on = walsh_sparse(&m, g, &mut on);
+            for (alpha, want) in dense.iter().enumerate() {
+                let a = alpha as u128;
+                let got_off = s_off.get(&a).copied().unwrap_or(Dyadic::ZERO);
+                let got_on = s_on.get(&a).copied().unwrap_or(Dyadic::ZERO);
+                prop_assert_eq!(got_off, *want, "sparse/off α={}", alpha);
+                prop_assert_eq!(got_on, *want, "sparse/on α={}", alpha);
+            }
+
+            // ADD-side WHT, dense kernel off and on: canonical hash
+            // consing means both paths must return the same handle.
+            let mut adds = AddManager::new(NVARS_WIDE);
+            let sign = sign_add(&m, &mut adds, g);
+            let mut memo_off = WhtMemo::new();
+            let mut memo_on = WhtMemo::with_config(0, NVARS_WIDE);
+            let w_off = wht_with(&mut adds, sign, &mut memo_off);
+            let w_on = wht_with(&mut adds, sign, &mut memo_on);
+            prop_assert_eq!(w_off, w_on);
+            for (alpha, want) in dense.iter().enumerate() {
+                prop_assert_eq!(*adds.eval(w_off, alpha as u128), *want, "wht α={}", alpha);
+            }
+        }
     }
 }
 

@@ -41,6 +41,19 @@
 //!   --presift                        sift BDD variable order once before
 //!                                    enumeration (witnesses still reported in
 //!                                    the original input numbering)
+//!   --dense-cut N                    spectral functions with support ≤ N take
+//!                                    a flat array-butterfly WHT instead of
+//!                                    the node-wise recursion (default 12; 0
+//!                                    disables the dense fallback). A pure
+//!                                    speed knob: reports are byte-identical
+//!                                    at any cut
+//!   --sift auto|rescue|off           where greedy variable sifting may run:
+//!                                    `rescue` (default) only as a rescue
+//!                                    rung, `auto` additionally as an
+//!                                    in-sweep screening pass on large
+//!                                    forests, `off` never. A pure speed
+//!                                    knob: reports are byte-identical in
+//!                                    every mode
 //!   --rescue                         re-verify quarantined combinations after
 //!                                    the sweep through an escalation ladder
 //!                                    (doubled budgets, BDD sifting, engine
@@ -176,6 +189,8 @@ struct Cli {
     node_budget: Option<usize>,
     backend: Option<Backend>,
     presift: bool,
+    dense_cut: Option<u32>,
+    sift: Option<SiftMode>,
     rescue: bool,
     rescue_attempts: Option<u32>,
     rescue_budget: Option<usize>,
@@ -202,6 +217,8 @@ fn parse_options(args: &[String]) -> Result<Cli, Error> {
         node_budget: None,
         backend: None,
         presift: false,
+        dense_cut: None,
+        sift: None,
         rescue: false,
         rescue_attempts: None,
         rescue_budget: None,
@@ -274,6 +291,21 @@ fn parse_options(args: &[String]) -> Result<Cli, Error> {
                 })?);
             }
             "--presift" => cli.presift = true,
+            "--dense-cut" => {
+                cli.dense_cut = Some(
+                    value("--dense-cut")?
+                        .parse()
+                        .map_err(|_| bad("--dense-cut"))?,
+                )
+            }
+            "--sift" => {
+                let name = value("--sift")?.to_lowercase();
+                cli.sift = Some(SiftMode::parse(&name).ok_or_else(|| {
+                    Error::Config(format!(
+                        "unknown sift mode `{name}` (expected auto, rescue or off)"
+                    ))
+                })?);
+            }
             "--rescue" => cli.rescue = true,
             "--no-rescue" => cli.rescue = false,
             "--rescue-attempts" => {
@@ -460,6 +492,12 @@ fn spec_from_cli(netlist: &Netlist, cli: &Cli) -> Result<JobSpec, Error> {
     }
     if cli.presift {
         builder = builder.presift(true);
+    }
+    if let Some(cut) = cli.dense_cut {
+        builder = builder.dense_cut(cut);
+    }
+    if let Some(mode) = cli.sift {
+        builder = builder.sift(mode);
     }
     let mut spec = JobSpec::new(property);
     spec.options = builder.build();
@@ -1103,6 +1141,7 @@ fn main() -> ExitCode {
                  \x20        --glitch  --threads N  --time-limit SECS  --no-prefilter\n\
                  \x20        --no-cache  --cache-budget BYTES  --node-budget NODES\n\
                  \x20        --dd-backend private|shared  --presift\n\
+                 \x20        --dense-cut N  --sift auto|rescue|off\n\
                  \x20        --rescue  --no-rescue  --rescue-attempts N  --rescue-budget BYTES\n\
                  \x20        --checkpoint FILE  --checkpoint-every SECS  --resume FILE\n\
                  \x20        --minimize  --progress  --json\n\n\

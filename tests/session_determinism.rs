@@ -340,6 +340,67 @@ fn report_artifacts_are_byte_identical_across_dd_backends() {
 }
 
 #[test]
+fn report_artifacts_are_byte_identical_across_speed_knobs() {
+    // PR-10's speed knobs — the dense spectral kernel (`dense_cut`), the
+    // in-sweep sifted screen (`SiftMode::Auto`) and the bounded spectral
+    // memos — are pure time/memory trades like the prefix cache and the
+    // DD backend before them. The full matrix (dense kernel on/off ×
+    // sift auto/rescue/off × private/shared store × 1/8 workers) must
+    // produce byte-identical report/5 artifacts, which is why
+    // `JobSpec::identity_json` excludes both knobs.
+    for (label, n, prop) in [
+        ("dom-1", Benchmark::Dom(1).netlist(), Property::Sni(1)),
+        ("ti-1", Benchmark::Ti1.netlist(), Property::Sni(1)),
+        ("isw-2-broken", isw_and_broken(2), Property::Sni(2)),
+    ] {
+        for engine in engines() {
+            let artifact = |dense_cut: u32, sift: SiftMode, backend: Backend, threads: usize| {
+                let mut spec = JobSpec::new(prop);
+                spec.options.engine = engine;
+                spec.options.dense_cut = dense_cut;
+                spec.options.sift = sift;
+                spec.options.backend = backend;
+                spec.threads = threads;
+                let mut job = Job::new(&n, spec).expect("valid");
+                let verdict = job.run();
+                let report = Report::new(&n, job.spec(), &verdict);
+                (
+                    report.canonical_json().to_string(),
+                    report.hash().to_string(),
+                )
+            };
+            let (base_bytes, base_hash) = artifact(
+                VerifyOptions::default().dense_cut,
+                SiftMode::Rescue,
+                Backend::Private,
+                1,
+            );
+            for dense_cut in [12u32, 0] {
+                for sift in [SiftMode::Auto, SiftMode::Rescue, SiftMode::Off] {
+                    for (backend, threads) in [
+                        (Backend::Private, 1usize),
+                        (Backend::Private, 8),
+                        (Backend::Shared, 8),
+                    ] {
+                        let (bytes, hash) = artifact(dense_cut, sift, backend, threads);
+                        assert_eq!(
+                            base_bytes, bytes,
+                            "{label} {engine}: artifact bytes differ at dense_cut={dense_cut} \
+                             sift={sift} {backend} t{threads}"
+                        );
+                        assert_eq!(
+                            base_hash, hash,
+                            "{label} {engine}: artifact hash differs at dense_cut={dense_cut} \
+                             sift={sift} {backend} t{threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn thread_counts_beyond_the_workload_are_harmless() {
     // More workers than batches: the extras must exit cleanly.
     let n = Benchmark::Dom(1).netlist();
